@@ -1,0 +1,68 @@
+// Experiment T2: cost of the Theorem 8/19 certifier (appropriate return
+// values + SG acyclicity) vs trace length, for both conflict modes, and
+// the split between its two phases.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "sg/appropriate.h"
+#include "sg/certifier.h"
+
+namespace ntsg {
+namespace {
+
+void BM_CertifierRw(benchmark::State& state) {
+  const QuickRunResult& run =
+      bench::CachedRun(static_cast<size_t>(state.range(0)), Backend::kMoss);
+  for (auto _ : state) {
+    CertifierReport report = CertifySeriallyCorrect(
+        *run.type, run.sim.trace, ConflictMode::kReadWrite);
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["events"] = static_cast<double>(run.sim.trace.size());
+}
+
+void BM_CertifierCommut(benchmark::State& state) {
+  const QuickRunResult& run =
+      bench::CachedRun(static_cast<size_t>(state.range(0)), Backend::kMoss);
+  for (auto _ : state) {
+    CertifierReport report = CertifySeriallyCorrect(
+        *run.type, run.sim.trace, ConflictMode::kCommutativity);
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["events"] = static_cast<double>(run.sim.trace.size());
+}
+
+void BM_AppropriateValuesOnly(benchmark::State& state) {
+  const QuickRunResult& run =
+      bench::CachedRun(static_cast<size_t>(state.range(0)), Backend::kMoss);
+  Trace serial = SerialPart(run.sim.trace);
+  for (auto _ : state) {
+    Status s = CheckAppropriateReturnValuesGeneral(*run.type, serial);
+    benchmark::DoNotOptimize(s);
+  }
+}
+
+void BM_CurrentAndSafeOnly(benchmark::State& state) {
+  const QuickRunResult& run =
+      bench::CachedRun(static_cast<size_t>(state.range(0)), Backend::kMoss);
+  Trace serial = SerialPart(run.sim.trace);
+  for (auto _ : state) {
+    Status s = CheckCurrentAndSafe(*run.type, serial);
+    benchmark::DoNotOptimize(s);
+  }
+}
+
+BENCHMARK(BM_CertifierRw)->Arg(8)->Arg(32)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CertifierCommut)->Arg(8)->Arg(32)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AppropriateValuesOnly)->Arg(32)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CurrentAndSafeOnly)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ntsg
+
+BENCHMARK_MAIN();

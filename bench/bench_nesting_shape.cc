@@ -1,0 +1,54 @@
+// Experiment F3: effect of the nesting shape (depth × fanout) on run cost
+// and abort behavior under Moss locking, at a fixed total access budget.
+// Deeper trees mean more inheritance steps per lock (INFORM_COMMIT walks)
+// but finer-grained aborts; flat trees abort whole transactions at once.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/driver.h"
+
+namespace ntsg {
+namespace {
+
+void BM_NestingShape(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  int fanout = static_cast<int>(state.range(1));
+  double committed = 0, stall_aborts = 0, steps = 0, events = 0, runs = 0;
+  uint64_t seed = 21;
+  for (auto _ : state) {
+    QuickRunParams params;
+    params.config.backend = Backend::kMoss;
+    params.config.seed = seed++;
+    params.num_objects = 4;
+    params.num_toplevel = 12;
+    params.toplevel_retries = 2;
+    params.gen.depth = depth;
+    params.gen.fanout = fanout;
+    params.gen.early_access_prob = 0.0;  // Exact shape.
+    params.gen.read_prob = 0.5;
+    QuickRunResult run = QuickRun(params);
+    committed += static_cast<double>(run.sim.stats.toplevel_committed);
+    stall_aborts += static_cast<double>(run.sim.stats.stall_aborts_injected);
+    steps += static_cast<double>(run.sim.stats.steps);
+    events += static_cast<double>(run.sim.trace.size());
+    runs += 1;
+  }
+  state.counters["committed"] = committed / runs;
+  state.counters["stall_aborts"] = stall_aborts / runs;
+  state.counters["steps"] = steps / runs;
+  state.counters["events"] = events / runs;
+}
+
+BENCHMARK(BM_NestingShape)
+    ->Args({1, 2})
+    ->Args({1, 4})
+    ->Args({1, 8})
+    ->Args({2, 2})
+    ->Args({2, 4})
+    ->Args({3, 2})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ntsg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Experiment F6: the serial system as a zero-concurrency baseline. The
+// serial scheduler runs siblings one at a time, so it never aborts and never
+// deadlocks — at the cost of all parallelism. Comparing steps and wall time
+// against the generic backends (F1/F4) frames what concurrency control buys.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/serial_driver.h"
+
+namespace ntsg {
+namespace {
+
+void BM_SerialBaseline(benchmark::State& state) {
+  size_t toplevel = static_cast<size_t>(state.range(0));
+  double committed = 0, steps = 0, runs = 0;
+  uint64_t seed = 61;
+  for (auto _ : state) {
+    SystemType type;
+    for (int i = 0; i < 4; ++i) {
+      type.AddObject(ObjectType::kReadWrite, "X" + std::to_string(i), 0);
+    }
+    Rng rng(seed++);
+    ProgramGenParams gen;
+    gen.depth = 2;
+    gen.fanout = 3;
+    gen.read_prob = 0.5;
+    std::vector<std::unique_ptr<ProgramNode>> tops;
+    for (size_t i = 0; i < toplevel; ++i) {
+      tops.push_back(GenerateProgram(type, gen, rng));
+    }
+    SerialSimulation sim(&type, MakePar(std::move(tops), 0));
+    SerialSimulation::Config config;
+    config.seed = seed;
+    SimResult result = sim.Run(config);
+    committed += static_cast<double>(result.stats.toplevel_committed);
+    steps += static_cast<double>(result.stats.steps);
+    runs += 1;
+  }
+  state.counters["committed"] = committed / runs;
+  state.counters["steps"] = steps / runs;
+  state.counters["committed_per_sec"] =
+      benchmark::Counter(committed, benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_SerialBaseline)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ntsg
+
+BENCHMARK_MAIN();

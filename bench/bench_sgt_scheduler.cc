@@ -1,0 +1,58 @@
+// Experiment F4: the online SGT scheduler and multiversion timestamp
+// ordering (both extensions) against Moss locking and undo logging on
+// identical read/write workloads, sweeping contention (number of objects)
+// and read ratio. SGT admits interleavings locking blocks (updates past
+// live readers); MVTO additionally serves stale-but-consistent reads from
+// old versions, so readers never block writers at all.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/driver.h"
+
+namespace ntsg {
+namespace {
+
+void RunBackend(benchmark::State& state, Backend backend) {
+  size_t num_objects = static_cast<size_t>(state.range(0));
+  double read_prob = static_cast<double>(state.range(1)) / 100.0;
+  double committed = 0, stall_aborts = 0, steps = 0, runs = 0;
+  uint64_t seed = 31;
+  for (auto _ : state) {
+    QuickRunParams params;
+    params.config.backend = backend;
+    params.config.seed = seed++;
+    params.num_objects = num_objects;
+    params.num_toplevel = 16;
+    params.toplevel_retries = 2;
+    params.gen.depth = 2;
+    params.gen.fanout = 3;
+    params.gen.read_prob = read_prob;
+    QuickRunResult run = QuickRun(params);
+    committed += static_cast<double>(run.sim.stats.toplevel_committed);
+    stall_aborts += static_cast<double>(run.sim.stats.stall_aborts_injected);
+    steps += static_cast<double>(run.sim.stats.steps);
+    runs += 1;
+  }
+  state.counters["committed"] = committed / runs;
+  state.counters["stall_aborts"] = stall_aborts / runs;
+  state.counters["steps"] = steps / runs;
+}
+
+void BM_Moss(benchmark::State& state) { RunBackend(state, Backend::kMoss); }
+void BM_Undo(benchmark::State& state) { RunBackend(state, Backend::kUndo); }
+void BM_Sgt(benchmark::State& state) { RunBackend(state, Backend::kSgt); }
+void BM_Mvto(benchmark::State& state) { RunBackend(state, Backend::kMvto); }
+
+#define SGT_ARGS                                              \
+  ->Args({2, 20})->Args({2, 80})->Args({8, 20})->Args({8, 80}) \
+      ->Iterations(5)->Unit(benchmark::kMillisecond)
+
+BENCHMARK(BM_Moss) SGT_ARGS;
+BENCHMARK(BM_Undo) SGT_ARGS;
+BENCHMARK(BM_Sgt) SGT_ARGS;
+BENCHMARK(BM_Mvto) SGT_ARGS;
+
+}  // namespace
+}  // namespace ntsg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Experiment T5: the sufficiency gap. Theorem 8's condition is sufficient
+// but not necessary for serial correctness; the multiversion scheduler
+// lives in the gap. Measures, across randomized MVTO runs: how often the
+// response-order certifier rejects, and how often the exact witness on the
+// scheduler's timestamp order proves serial correctness anyway. Moss runs
+// are included as the control (never in the gap).
+
+#include <benchmark/benchmark.h>
+
+#include "checker/witness.h"
+#include "sg/certifier.h"
+#include "mvto/timestamp_authority.h"
+#include "sim/driver.h"
+
+namespace ntsg {
+namespace {
+
+struct GapCounts {
+  double runs = 0;
+  double certifier_rejects = 0;
+  double witness_ok = 0;
+};
+
+GapCounts RunOne(Backend backend, uint64_t seed) {
+  SystemType type;
+  for (int i = 0; i < 3; ++i) {
+    type.AddObject(ObjectType::kReadWrite, "X" + std::to_string(i), 0);
+  }
+  Rng rng(seed ^ 0x9E3779B97F4A7C15ull);
+  ProgramGenParams gen;
+  gen.depth = 2;
+  gen.fanout = 3;
+  gen.read_prob = 0.5;
+  std::vector<std::unique_ptr<ProgramNode>> tops;
+  for (int i = 0; i < 8; ++i) tops.push_back(GenerateProgram(type, gen, rng));
+
+  Simulation sim(&type, MakePar(std::move(tops), 2));
+  SimConfig config;
+  config.backend = backend;
+  config.seed = seed;
+  SimResult result = sim.Run(config);
+
+  GapCounts out;
+  out.runs = 1;
+  CertifierReport report = CertifySeriallyCorrect(
+      type, result.trace, ConflictMode::kReadWrite);
+  if (!report.status.ok()) out.certifier_rejects = 1;
+
+  WitnessResult witness =
+      backend == Backend::kMvto
+          ? BuildAndCheckWitness(type, result.trace,
+                                 sim.authority()->CreationOrders())
+          : CheckSeriallyCorrectForT0(type, result.trace);
+  if (witness.status.ok()) out.witness_ok = 1;
+  return out;
+}
+
+void BM_Gap(benchmark::State& state, Backend backend) {
+  GapCounts total;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    GapCounts c = RunOne(backend, seed++);
+    total.runs += c.runs;
+    total.certifier_rejects += c.certifier_rejects;
+    total.witness_ok += c.witness_ok;
+  }
+  state.counters["certifier_reject_rate"] =
+      total.certifier_rejects / total.runs;
+  state.counters["witness_ok_rate"] = total.witness_ok / total.runs;
+}
+
+void BM_GapMvto(benchmark::State& state) { BM_Gap(state, Backend::kMvto); }
+void BM_GapMoss(benchmark::State& state) { BM_Gap(state, Backend::kMoss); }
+
+BENCHMARK(BM_GapMvto)->Iterations(25)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GapMoss)->Iterations(25)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ntsg
+
+BENCHMARK_MAIN();

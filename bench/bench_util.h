@@ -1,0 +1,42 @@
+#ifndef NTSG_BENCH_BENCH_UTIL_H_
+#define NTSG_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the benchmark suite. Each bench binary regenerates one
+// experiment from EXPERIMENTS.md; workloads are derived deterministically
+// from the arguments so results are reproducible run to run.
+
+#include <map>
+#include <memory>
+
+#include "sim/driver.h"
+
+namespace ntsg::bench {
+
+/// Produces (and caches per-process) a completed simulation trace with
+/// roughly the requested number of top-level transactions, for analysis
+/// benchmarks that only need a behavior to chew on.
+inline const QuickRunResult& CachedRun(size_t num_toplevel, Backend backend,
+                                       size_t num_objects = 4) {
+  static std::map<std::tuple<size_t, Backend, size_t>,
+                  std::unique_ptr<QuickRunResult>>
+      cache;
+  auto key = std::make_tuple(num_toplevel, backend, num_objects);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    QuickRunParams params;
+    params.config.backend = backend;
+    params.config.seed = 0xC0FFEE ^ num_toplevel;
+    params.num_objects = num_objects;
+    params.num_toplevel = num_toplevel;
+    params.gen.depth = 2;
+    params.gen.fanout = 3;
+    params.gen.read_prob = 0.5;
+    auto result = std::make_unique<QuickRunResult>(QuickRun(params));
+    it = cache.emplace(key, std::move(result)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace ntsg::bench
+
+#endif  // NTSG_BENCH_BENCH_UTIL_H_

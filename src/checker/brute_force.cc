@@ -1,0 +1,84 @@
+#include "checker/brute_force.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+WitnessResult ExhaustiveSerialCheck(const SystemType& type, const Trace& beta,
+                                    size_t max_combinations) {
+  Trace serial = SerialPart(beta);
+  TraceIndex index(type, serial);
+
+  // Group committed, T0-visible transactions by parent; only they are run
+  // by a witness, so only their relative order matters.
+  std::map<TxName, std::vector<TxName>> groups;
+  std::set<TxName> seen;
+  for (const Action& a : serial) {
+    TxName t = kInvalidTx;
+    if (a.kind == ActionKind::kCommit) t = a.tx;
+    if (t == kInvalidTx || !seen.insert(t).second) continue;
+    if (!index.IsVisible(t, kT0)) continue;
+    groups[type.parent(t)].push_back(t);
+  }
+
+  // Estimate the combination count; bail out if too large.
+  size_t combos = 1;
+  for (auto& [parent, children] : groups) {
+    (void)parent;
+    std::sort(children.begin(), children.end());
+    size_t f = 1;
+    for (size_t i = 2; i <= children.size(); ++i) {
+      f *= i;
+      if (f > max_combinations) break;
+    }
+    if (combos > max_combinations / std::max<size_t>(f, 1)) {
+      combos = max_combinations + 1;
+      break;
+    }
+    combos *= f;
+  }
+  if (combos > max_combinations) {
+    WitnessResult r;
+    r.status = Status::FailedPrecondition(
+        "too many sibling permutations for exhaustive check");
+    return r;
+  }
+
+  // Depth-first product of per-parent permutations.
+  std::vector<TxName> parents;
+  for (const auto& [p, cs] : groups) {
+    (void)cs;
+    parents.push_back(p);
+  }
+  std::map<TxName, std::vector<TxName>> assignment = groups;
+
+  WitnessResult last;
+  last.status = Status::VerificationFailed("no sibling order admits a witness");
+
+  // Iterative odometer over permutations: repeatedly try, then advance the
+  // first parent whose permutation can step; reset earlier ones.
+  for (auto& [p, cs] : assignment) {
+    (void)p;
+    std::sort(cs.begin(), cs.end());
+  }
+  for (;;) {
+    WitnessResult r = BuildAndCheckWitness(type, serial, assignment);
+    if (r.status.ok()) return r;
+    last = std::move(r);
+    // Advance odometer.
+    size_t i = 0;
+    for (; i < parents.size(); ++i) {
+      std::vector<TxName>& perm = assignment[parents[i]];
+      if (std::next_permutation(perm.begin(), perm.end())) break;
+      // perm wrapped to sorted order; carry to the next parent.
+    }
+    if (i == parents.size()) break;  // All permutations exhausted.
+  }
+  return last;
+}
+
+}  // namespace ntsg

@@ -1,0 +1,22 @@
+#ifndef NTSG_CHECKER_BRUTE_FORCE_H_
+#define NTSG_CHECKER_BRUTE_FORCE_H_
+
+#include "checker/witness.h"
+
+namespace ntsg {
+
+/// Exhaustive serial-correctness check for small instances: enumerates
+/// per-parent permutations of the committed visible children and accepts if
+/// any combination yields a validated witness. This is the ground truth the
+/// SG-derived order is tested against — the serialization-graph condition is
+/// sufficient but not necessary, and this check is exact up to the witness
+/// shape (runs spliced into β's report order).
+///
+/// `max_combinations` bounds the search; exceeding it returns
+/// FailedPrecondition rather than a verdict.
+WitnessResult ExhaustiveSerialCheck(const SystemType& type, const Trace& beta,
+                                    size_t max_combinations = 100000);
+
+}  // namespace ntsg
+
+#endif  // NTSG_CHECKER_BRUTE_FORCE_H_

@@ -1,0 +1,37 @@
+#include "checker/oracle.h"
+
+namespace ntsg {
+
+ProjectionEqualityOracle::ProjectionEqualityOracle(const SystemType& type,
+                                                   const Trace& beta) {
+  for (const Action& a : beta) {
+    if (!a.IsSerial()) continue;
+    TxName t = TransactionOf(type, a);
+    if (t == kInvalidTx || type.IsAccess(t)) continue;
+    projections_[t].push_back(a);
+  }
+}
+
+Status ProjectionEqualityOracle::ValidateProjection(
+    const SystemType& type, TxName t, const Trace& projection) const {
+  auto it = projections_.find(t);
+  const Trace empty;
+  const Trace& expected = it == projections_.end() ? empty : it->second;
+  if (projection.size() != expected.size()) {
+    return Status::VerificationFailed(
+        "projection of " + type.NameOf(t) + " has " +
+        std::to_string(projection.size()) + " events, behavior had " +
+        std::to_string(expected.size()));
+  }
+  for (size_t i = 0; i < projection.size(); ++i) {
+    if (!(projection[i] == expected[i])) {
+      return Status::VerificationFailed(
+          "projection of " + type.NameOf(t) + " diverges at event " +
+          std::to_string(i) + ": " + projection[i].ToString(type) + " vs " +
+          expected[i].ToString(type));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ntsg

@@ -1,0 +1,33 @@
+#ifndef NTSG_CHECKER_ORACLE_H_
+#define NTSG_CHECKER_ORACLE_H_
+
+#include <map>
+
+#include "serial/validator.h"
+#include "tx/trace.h"
+
+namespace ntsg {
+
+/// Transaction oracle that accepts γ|T exactly when it equals β|T for the
+/// concurrent behavior β being checked. Sound because β|T is, by definition,
+/// a behavior of the very transaction automaton A_T that produced it — so
+/// any γ whose projections coincide with β's satisfies the "γ|T ∈
+/// finbehs(A_T)" obligation without needing to re-execute A_T.
+///
+/// The witness builder constructs γ so that every run transaction replays
+/// its β-projection verbatim, which makes this exact-equality oracle both
+/// sound and complete for our checkers.
+class ProjectionEqualityOracle final : public TransactionOracle {
+ public:
+  ProjectionEqualityOracle(const SystemType& type, const Trace& beta);
+
+  Status ValidateProjection(const SystemType& type, TxName t,
+                            const Trace& projection) const override;
+
+ private:
+  std::map<TxName, Trace> projections_;
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_CHECKER_ORACLE_H_

@@ -1,0 +1,75 @@
+#ifndef NTSG_COMMON_LOGGING_H_
+#define NTSG_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ntsg {
+
+/// Severity levels for the minimal logger. `kFatal` aborts the process after
+/// emitting the message; it is reserved for violated internal invariants
+/// (never for data-dependent failures, which use Status).
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global minimum level; messages below it are discarded. Defaults to kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Stream-style message collector used by the NTSG_LOG macro. The message is
+/// emitted (and, for kFatal, the process aborted) in the destructor.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Lets the ternary in NTSG_LOG bind an ostream expression into a void one;
+/// `&` binds more loosely than `<<`, so the whole streamed chain is consumed.
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+
+#define NTSG_LOG(level)                                                    \
+  (::ntsg::LogLevel::k##level < ::ntsg::GetLogLevel() &&                   \
+   ::ntsg::LogLevel::k##level != ::ntsg::LogLevel::kFatal)                 \
+      ? (void)0                                                            \
+      : ::ntsg::internal_logging::LogMessageVoidify() &                    \
+            ::ntsg::internal_logging::LogMessage(                          \
+                ::ntsg::LogLevel::k##level, __FILE__, __LINE__)            \
+                .stream()
+
+/// CHECK-style assertion: always on (also in release builds); aborts with a
+/// message when the condition is false. Use for internal invariants only.
+#define NTSG_CHECK(cond)                                                     \
+  while (!(cond))                                                            \
+  ::ntsg::internal_logging::LogMessage(::ntsg::LogLevel::kFatal, __FILE__,   \
+                                       __LINE__)                             \
+      .stream()                                                              \
+      << "Check failed: " #cond " "
+
+#define NTSG_CHECK_EQ(a, b) NTSG_CHECK((a) == (b))
+#define NTSG_CHECK_NE(a, b) NTSG_CHECK((a) != (b))
+#define NTSG_CHECK_LT(a, b) NTSG_CHECK((a) < (b))
+#define NTSG_CHECK_LE(a, b) NTSG_CHECK((a) <= (b))
+#define NTSG_CHECK_GT(a, b) NTSG_CHECK((a) > (b))
+#define NTSG_CHECK_GE(a, b) NTSG_CHECK((a) >= (b))
+
+}  // namespace ntsg
+
+#endif  // NTSG_COMMON_LOGGING_H_

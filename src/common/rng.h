@@ -1,0 +1,70 @@
+#ifndef NTSG_COMMON_RNG_H_
+#define NTSG_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ntsg {
+
+/// Deterministic pseudo-random number generator (xoshiro256**) seeded via
+/// SplitMix64. Every randomized component in the library takes an explicit
+/// seed so that simulations, workloads, and schedulers are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform in [0, 2^64).
+  uint64_t NextU64();
+
+  /// Uniform in [0, bound). `bound` must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Derives an independent child generator; used to give each component of
+  /// a simulation its own stream so that adding draws in one component does
+  /// not perturb another.
+  Rng Fork();
+
+  /// Fisher-Yates shuffle of `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf(s) sampler over {0, ..., n-1}: rank r is drawn with probability
+/// proportional to 1/(r+1)^s. s = 0 is uniform. Used to model skewed object
+/// popularity in workloads. Precomputes the CDF, so construction is O(n) and
+/// each sample is O(log n).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_COMMON_RNG_H_

@@ -1,0 +1,119 @@
+#include "generic/controller.h"
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+void GenericController::Apply(const Action& a) {
+  switch (a.kind) {
+    case ActionKind::kRequestCreate:
+      create_requested_.insert(a.tx);
+      if (!created_.count(a.tx) && !IsCompleted(a.tx)) {
+        enabled_.insert(Action::Create(a.tx));
+      }
+      break;
+
+    case ActionKind::kRequestCommit:
+      commit_requested_.emplace(a.tx, a.value);
+      if (!IsCompleted(a.tx)) enabled_.insert(Action::Commit(a.tx));
+      if (type_.IsAccess(a.tx)) {
+        // Record the touched object along the whole ancestor chain so that
+        // completions are announced exactly where they matter. If an
+        // ancestor already completed (orphan activity), enable the INFORM
+        // right away.
+        ObjectId x = type_.ObjectOf(a.tx);
+        for (TxName u = a.tx;; u = type_.parent(u)) {
+          touched_[u].insert(x);
+          if (u != kT0 && !informed_.count({x, u})) {
+            if (committed_.count(u)) enabled_.insert(Action::InformCommit(x, u));
+            if (aborted_.count(u)) enabled_.insert(Action::InformAbort(x, u));
+          }
+          if (u == kT0) break;
+        }
+      }
+      break;
+
+    case ActionKind::kCreate:
+      created_.insert(a.tx);
+      enabled_.erase(Action::Create(a.tx));
+      break;
+
+    case ActionKind::kCommit: {
+      committed_.insert(a.tx);
+      if (a.tx >= completed_flags_.size()) {
+        completed_flags_.resize(a.tx + 1, 0);
+      }
+      completed_flags_[a.tx] = 1;
+      enabled_.erase(Action::Commit(a.tx));
+      enabled_.erase(Action::Abort(a.tx));
+      enabled_.insert(Action::ReportCommit(a.tx, commit_requested_.at(a.tx)));
+      auto it = touched_.find(a.tx);
+      if (it != touched_.end()) {
+        for (ObjectId x : it->second) {
+          if (!informed_.count({x, a.tx})) {
+            enabled_.insert(Action::InformCommit(x, a.tx));
+          }
+        }
+      }
+      break;
+    }
+
+    case ActionKind::kAbort: {
+      aborted_.insert(a.tx);
+      if (a.tx >= completed_flags_.size()) {
+        completed_flags_.resize(a.tx + 1, 0);
+      }
+      completed_flags_[a.tx] = 1;
+      pending_aborts_.erase(a.tx);
+      enabled_.erase(Action::Abort(a.tx));
+      enabled_.erase(Action::Create(a.tx));
+      auto cit = commit_requested_.find(a.tx);
+      if (cit != commit_requested_.end()) {
+        enabled_.erase(Action::Commit(a.tx));
+      }
+      enabled_.insert(Action::ReportAbort(a.tx));
+      auto it = touched_.find(a.tx);
+      if (it != touched_.end()) {
+        for (ObjectId x : it->second) {
+          if (!informed_.count({x, a.tx})) {
+            enabled_.insert(Action::InformAbort(x, a.tx));
+          }
+        }
+      }
+      break;
+    }
+
+    case ActionKind::kReportCommit:
+    case ActionKind::kReportAbort:
+      reported_.insert(a.tx);
+      enabled_.erase(a);
+      break;
+
+    case ActionKind::kInformCommit:
+    case ActionKind::kInformAbort:
+      informed_.insert({a.at_object, a.tx});
+      enabled_.erase(a);
+      break;
+  }
+}
+
+void GenericController::RequestAbort(TxName t) {
+  if (create_requested_.count(t) && !IsCompleted(t)) {
+    pending_aborts_.insert(t);
+    enabled_.insert(Action::Abort(t));
+  }
+}
+
+std::vector<Action> GenericController::EnabledOutputs() const {
+  return std::vector<Action>(enabled_.begin(), enabled_.end());
+}
+
+std::vector<TxName> GenericController::LiveCreated() const {
+  std::vector<TxName> out;
+  for (TxName t : created_) {
+    if (!IsCompleted(t)) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace ntsg

@@ -1,0 +1,104 @@
+#ifndef NTSG_GENERIC_CONTROLLER_H_
+#define NTSG_GENERIC_CONTROLLER_H_
+
+#include <map>
+#include <set>
+
+#include "ioa/automaton.h"
+#include "tx/trace.h"
+
+namespace ntsg {
+
+/// The generic controller (Section 5.1). Unlike the serial scheduler it
+/// permits sibling concurrency, creates transactions freely once requested,
+/// and informs objects of completions; coping with concurrency and failure
+/// is delegated to the generic objects.
+///
+/// Implementation notes (each restricts nondeterminism, which is sound —
+/// our behaviors are a subset of the formal automaton's):
+///   * spontaneous ABORTs are not enumerated; the driver schedules an abort
+///     explicitly via `RequestAbort` (modelling timeout/deadlock-resolution
+///     decisions). The formal controller may abort any incomplete requested
+///     transaction at any time, so every such abort is legal.
+///   * INFORM_COMMIT/INFORM_ABORT are emitted at most once per (object,
+///     transaction), and only to objects some descendant access actually
+///     touched.
+///   * a transaction the driver aborted is not subsequently created (the
+///     formal controller permits create-after-abort; skipping it again
+///     selects a subset of behaviors).
+class GenericController final : public Automaton {
+ public:
+  explicit GenericController(const SystemType& type) : type_(type) {}
+
+  std::string name() const override { return "GenericController"; }
+
+  bool IsInput(const Action& a) const override {
+    return a.kind == ActionKind::kRequestCreate ||
+           a.kind == ActionKind::kRequestCommit;
+  }
+
+  bool IsOutput(const Action& a) const override {
+    switch (a.kind) {
+      case ActionKind::kCreate:
+      case ActionKind::kCommit:
+      case ActionKind::kAbort:
+      case ActionKind::kReportCommit:
+      case ActionKind::kReportAbort:
+      case ActionKind::kInformCommit:
+      case ActionKind::kInformAbort:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  void Apply(const Action& a) override;
+
+  /// O(|enabled|) copy of an incrementally maintained set, so long runs do
+  /// not pay a full state scan per step.
+  std::vector<Action> EnabledOutputs() const override;
+
+  /// Asks the controller to abort `t` (it must have been requested and not
+  /// completed, otherwise the request is ignored). The ABORT action itself
+  /// is emitted by the scheduler like any other enabled output.
+  void RequestAbort(TxName t);
+
+  bool IsCreated(TxName t) const { return created_.count(t) != 0; }
+  bool IsCommitted(TxName t) const { return committed_.count(t) != 0; }
+  bool IsAborted(TxName t) const { return aborted_.count(t) != 0; }
+
+  /// O(1): dense flags, hot on driver stall scans.
+  bool IsCompleted(TxName t) const {
+    return t < completed_flags_.size() && completed_flags_[t] != 0;
+  }
+  bool IsCommitRequested(TxName t) const {
+    return commit_requested_.count(t) != 0;
+  }
+
+  /// Transactions that are live (created, incomplete) and not yet responded
+  /// to (for accesses) — used by drivers to detect stalls.
+  std::vector<TxName> LiveCreated() const;
+
+ private:
+  const SystemType& type_;
+
+  std::set<TxName> create_requested_;
+  std::set<TxName> created_;
+  std::map<TxName, Value> commit_requested_;
+  std::set<TxName> committed_;
+  std::set<TxName> aborted_;
+  std::set<TxName> reported_;
+  std::set<TxName> pending_aborts_;
+  /// Objects touched by descendant accesses of each transaction.
+  std::map<TxName, std::set<ObjectId>> touched_;
+  /// (object, tx) pairs already informed.
+  std::set<std::pair<ObjectId, TxName>> informed_;
+  /// Currently enabled outputs, maintained incrementally by Apply.
+  std::set<Action> enabled_;
+  /// Dense completion flags indexed by transaction name.
+  std::vector<uint8_t> completed_flags_;
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_GENERIC_CONTROLLER_H_

@@ -1,0 +1,36 @@
+#include "generic/generic_object.h"
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+void GenericObject::Apply(const Action& a) {
+  switch (a.kind) {
+    case ActionKind::kCreate:
+      NTSG_CHECK(type_.ObjectOf(a.tx) == x_);
+      created_.insert(a.tx);
+      pending_.insert(a.tx);
+      OnCreate(a.tx);
+      break;
+    case ActionKind::kInformCommit:
+      OnInformCommit(a.tx);
+      break;
+    case ActionKind::kInformAbort:
+      OnInformAbort(a.tx);
+      break;
+    case ActionKind::kRequestCommit:
+      NTSG_CHECK(type_.ObjectOf(a.tx) == x_);
+      commit_requested_.insert(a.tx);
+      pending_.erase(a.tx);
+      OnRequestCommit(a.tx, a.value);
+      break;
+    default:
+      NTSG_CHECK(false) << "unexpected action at generic object";
+  }
+}
+
+std::vector<TxName> GenericObject::PendingAccesses() const {
+  return std::vector<TxName>(pending_.begin(), pending_.end());
+}
+
+}  // namespace ntsg

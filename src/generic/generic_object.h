@@ -1,0 +1,78 @@
+#ifndef NTSG_GENERIC_GENERIC_OBJECT_H_
+#define NTSG_GENERIC_GENERIC_OBJECT_H_
+
+#include <set>
+#include <string>
+
+#include "ioa/automaton.h"
+#include "tx/trace.h"
+
+namespace ntsg {
+
+/// Base class for generic object automata G_X (Section 5.1): the component
+/// that carries out concurrency control and recovery for one object. It
+/// receives CREATE for accesses to X and INFORM_COMMIT/INFORM_ABORT for
+/// arbitrary transactions, and emits REQUEST_COMMIT responses.
+///
+/// Subclasses implement the algorithm (Moss locking, undo logging, SGT, or a
+/// deliberately broken variant) by overriding the hooks below.
+class GenericObject : public Automaton {
+ public:
+  GenericObject(const SystemType& type, ObjectId x) : type_(type), x_(x) {}
+
+  bool IsInput(const Action& a) const override {
+    if (a.kind == ActionKind::kCreate) return type_.ObjectOf(a.tx) == x_;
+    return (a.kind == ActionKind::kInformCommit ||
+            a.kind == ActionKind::kInformAbort) &&
+           a.at_object == x_;
+  }
+
+  bool IsOutput(const Action& a) const override {
+    return a.kind == ActionKind::kRequestCommit && type_.ObjectOf(a.tx) == x_;
+  }
+
+  void Apply(const Action& a) override;
+
+  ObjectId object_id() const { return x_; }
+
+  /// Accesses created but not yet responded to — what a driver sees as
+  /// "pending" at this object (used for stall/deadlock detection).
+  std::vector<TxName> PendingAccesses() const;
+
+  /// Same set, by reference (no copy) for hot driver paths.
+  const std::set<TxName>& pending_set() const { return pending_; }
+
+ protected:
+  /// Algorithm hooks; the base class updates created/commit-requested
+  /// bookkeeping before calling them.
+  virtual void OnCreate(TxName access) = 0;
+  virtual void OnInformCommit(TxName t) = 0;
+  virtual void OnInformAbort(TxName t) = 0;
+  virtual void OnRequestCommit(TxName access, const Value& v) = 0;
+
+  bool IsCreated(TxName t) const { return created_.count(t) != 0; }
+  bool IsCommitRequested(TxName t) const {
+    return commit_requested_.count(t) != 0;
+  }
+
+  const std::set<TxName>& created() const { return created_; }
+  const std::set<TxName>& commit_requested() const {
+    return commit_requested_;
+  }
+
+  /// Accesses created but not yet responded to (= created minus
+  /// commit-requested), maintained incrementally.
+  const std::set<TxName>& pending() const { return pending_; }
+
+  const SystemType& type_;
+  const ObjectId x_;
+
+ private:
+  std::set<TxName> created_;
+  std::set<TxName> commit_requested_;
+  std::set<TxName> pending_;
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_GENERIC_GENERIC_OBJECT_H_

@@ -1,0 +1,105 @@
+#include "generic/simple_database.h"
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+void SimpleDatabase::Apply(const Action& a) {
+  switch (a.kind) {
+    case ActionKind::kRequestCreate:
+      create_requested_.insert(a.tx);
+      break;
+    case ActionKind::kRequestCommit:
+      commit_requested_.emplace(a.tx, a.value);
+      if (type_.IsAccess(a.tx)) {
+        responded_.insert(a.tx);
+        if (type_.access(a.tx).op == OpCode::kWrite) {
+          write_events_.push_back(a);
+        }
+      }
+      break;
+    case ActionKind::kCreate:
+      created_.insert(a.tx);
+      break;
+    case ActionKind::kCommit:
+      committed_.insert(a.tx);
+      break;
+    case ActionKind::kAbort:
+      aborted_.insert(a.tx);
+      break;
+    case ActionKind::kReportCommit:
+    case ActionKind::kReportAbort:
+      reported_.insert(a.tx);
+      break;
+    default:
+      NTSG_CHECK(false) << "unexpected action at simple database";
+  }
+}
+
+std::vector<Action> SimpleDatabase::EnabledOutputs() const {
+  std::vector<Action> out;
+  for (TxName t : create_requested_) {
+    if (!created_.count(t)) out.push_back(Action::Create(t));
+    // Aborting is always formally enabled; offer it only sometimes so that
+    // a useful fraction of chains commits all the way to T0 (otherwise the
+    // visible part of most random runs is empty and every verdict is
+    // vacuous).
+    if (!IsCompleted(t) && rng_.NextBool(0.1)) {
+      out.push_back(Action::Abort(t));
+    }
+  }
+  for (const auto& [t, v] : commit_requested_) {
+    if (!IsCompleted(t)) out.push_back(Action::Commit(t));
+  }
+  for (TxName t : committed_) {
+    if (!reported_.count(t) && t != kT0) {
+      out.push_back(Action::ReportCommit(t, commit_requested_.at(t)));
+    }
+  }
+  for (TxName t : aborted_) {
+    if (!reported_.count(t)) out.push_back(Action::ReportAbort(t));
+  }
+
+  // Sampled access responses.
+  auto clean_final = [this](ObjectId x) {
+    // Latest write to x whose writer is not currently an orphan.
+    for (auto it = write_events_.rbegin(); it != write_events_.rend(); ++it) {
+      if (type_.ObjectOf(it->tx) != x) continue;
+      bool orphan = false;
+      for (TxName u = it->tx;; u = type_.parent(u)) {
+        if (aborted_.count(u)) {
+          orphan = true;
+          break;
+        }
+        if (u == kT0) break;
+      }
+      if (!orphan) return type_.access(it->tx).arg;
+    }
+    return type_.object_initial(x);
+  };
+
+  for (TxName t : created_) {
+    if (!type_.IsAccess(t) || responded_.count(t)) continue;
+    const AccessSpec& acc = type_.access(t);
+    if (acc.op == OpCode::kWrite) {
+      out.push_back(Action::RequestCommit(t, Value::Ok()));
+      // Occasionally offer a nonsensical (but well-formed) response, drawn
+      // far outside any workload's argument domain so it is unmistakably
+      // inappropriate whenever it becomes visible.
+      if (rng_.NextBool(0.15)) {
+        out.push_back(
+            Action::RequestCommit(t, Value::Int(rng_.NextInRange(900, 999))));
+      }
+    } else {
+      out.push_back(Action::RequestCommit(
+          t, Value::Int(clean_final(acc.object))));
+      if (rng_.NextBool(0.3)) {
+        out.push_back(
+            Action::RequestCommit(t, Value::Int(rng_.NextInRange(900, 999))));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ntsg

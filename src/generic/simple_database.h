@@ -1,0 +1,85 @@
+#ifndef NTSG_GENERIC_SIMPLE_DATABASE_H_
+#define NTSG_GENERIC_SIMPLE_DATABASE_H_
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "ioa/automaton.h"
+#include "tx/trace.h"
+
+namespace ntsg {
+
+/// The simple database automaton (Section 2.3.1): the most nondeterministic
+/// transaction-processing component the theory quantifies over. It enforces
+/// only the structural sanity constraints — no CREATE/COMMIT/ABORT without
+/// the matching request, at most one creation and one completion per
+/// transaction, reports only for actual completions, at most one response
+/// per access — and otherwise allows *anything*: concurrent siblings,
+/// orphans running on, arbitrary access return values.
+///
+/// Its role here is adversarial: compositions with the simple database
+/// generate chaotic-but-well-formed behaviors on which the Serializability
+/// Theorem machinery is property-tested (certifier accepts ⇒ a serial
+/// witness must exist), and on which the checkers must never crash or
+/// falsely accept.
+///
+/// Nondeterministic access responses are sampled: each pending access offers
+/// a handful of candidate return values — OK, constants, and the object's
+/// current clean-final-value (so that a useful fraction of random runs has
+/// appropriate values and exercises the accepting path).
+class SimpleDatabase final : public Automaton {
+ public:
+  SimpleDatabase(const SystemType& type, uint64_t value_seed)
+      : type_(type), rng_(value_seed) {}
+
+  std::string name() const override { return "SimpleDatabase"; }
+
+  bool IsInput(const Action& a) const override {
+    return a.kind == ActionKind::kRequestCreate ||
+           (a.kind == ActionKind::kRequestCommit && !type_.IsAccess(a.tx));
+  }
+
+  bool IsOutput(const Action& a) const override {
+    switch (a.kind) {
+      case ActionKind::kCreate:
+      case ActionKind::kCommit:
+      case ActionKind::kAbort:
+      case ActionKind::kReportCommit:
+      case ActionKind::kReportAbort:
+        return true;
+      case ActionKind::kRequestCommit:
+        return type_.IsAccess(a.tx);  // Responses to accesses.
+      default:
+        return false;
+    }
+  }
+
+  void Apply(const Action& a) override;
+
+  std::vector<Action> EnabledOutputs() const override;
+
+ private:
+  bool IsCompleted(TxName t) const {
+    return committed_.count(t) || aborted_.count(t);
+  }
+
+  const SystemType& type_;
+  mutable Rng rng_;  // Candidate-value sampling only.
+
+  std::set<TxName> create_requested_;
+  std::set<TxName> created_;
+  std::map<TxName, Value> commit_requested_;
+  std::set<TxName> committed_;
+  std::set<TxName> aborted_;
+  std::set<TxName> reported_;
+  std::set<TxName> responded_;  // Accesses already answered.
+  /// Running clean-final-value per object (tracks non-orphan writes so far,
+  /// recomputed lazily on abort).
+  std::map<ObjectId, int64_t> current_value_;
+  Trace write_events_;  // REQUEST_COMMITs of write accesses, in order.
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_GENERIC_SIMPLE_DATABASE_H_

@@ -1,0 +1,49 @@
+#ifndef NTSG_IOA_AUTOMATON_H_
+#define NTSG_IOA_AUTOMATON_H_
+
+#include <string>
+#include <vector>
+
+#include "tx/action.h"
+
+namespace ntsg {
+
+/// Executable form of an I/O automaton (Section 2.1) over the action
+/// vocabulary of nested-transaction systems.
+///
+/// Simplifications relative to the fully general model, each preserving the
+/// property we need (that every behavior of our composition is a behavior of
+/// the paper's):
+///   * no internal actions — all our components are external-action machines;
+///   * `EnabledOutputs()` may return a *subset* of the formally enabled
+///     outputs (e.g. our controller emits each INFORM_COMMIT once rather
+///     than arbitrarily often). Implementing a nondeterministic automaton
+///     means producing some subset of its behaviors, which is exactly what
+///     implementation ("finbehs(A) ⊆ finbehs(B)") licenses;
+///   * input actions must be accepted in every state (input-enabledness),
+///     which `Apply` honors by never rejecting.
+class Automaton {
+ public:
+  virtual ~Automaton() = default;
+
+  virtual std::string name() const = 0;
+
+  /// True iff `a` is an input action of this automaton's signature.
+  virtual bool IsInput(const Action& a) const = 0;
+
+  /// True iff `a` is an output action of this automaton's signature.
+  virtual bool IsOutput(const Action& a) const = 0;
+
+  /// Applies an action this automaton participates in (either an input, or
+  /// one of its own enabled outputs chosen by the scheduler).
+  virtual void Apply(const Action& a) = 0;
+
+  /// The locally controlled actions currently enabled. May be a subset of
+  /// the formal automaton's enabled set but must only contain actions whose
+  /// preconditions hold.
+  virtual std::vector<Action> EnabledOutputs() const = 0;
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_IOA_AUTOMATON_H_

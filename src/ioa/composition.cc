@@ -1,0 +1,126 @@
+#include "ioa/composition.h"
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+Status Composition::Execute(const Action& a) {
+  int owner = -1;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i]->IsOutput(a)) {
+      if (owner >= 0) {
+        return Status::Internal("action is an output of two components: " +
+                                components_[owner]->name() + " and " +
+                                components_[i]->name());
+      }
+      owner = static_cast<int>(i);
+    }
+  }
+  for (size_t i = 0; i < components_.size(); ++i) {
+    Automaton& c = *components_[i];
+    if (c.IsOutput(a) || c.IsInput(a)) {
+      c.Apply(a);
+      dirty_[i] = true;
+      enabled_valid_ = false;
+    }
+  }
+  behavior_.push_back(a);
+  return Status::Ok();
+}
+
+Status Composition::ExecuteRouted(const Action& a,
+                                  const std::vector<size_t>& participants) {
+  for (size_t i : participants) {
+    NTSG_CHECK_LT(i, components_.size());
+    Automaton& c = *components_[i];
+    NTSG_CHECK(c.IsOutput(a) || c.IsInput(a))
+        << "routed action " << static_cast<int>(a.kind)
+        << " not in signature of " << c.name();
+    c.Apply(a);
+    dirty_[i] = true;
+    enabled_valid_ = false;
+  }
+  behavior_.push_back(a);
+  return Status::Ok();
+}
+
+void Composition::RefreshCache() {
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (dirty_[i]) {
+      cache_[i] = components_[i]->EnabledOutputs();
+      dirty_[i] = false;
+    }
+  }
+  enabled_.clear();
+  for (const auto& c : cache_) {
+    enabled_.insert(enabled_.end(), c.begin(), c.end());
+  }
+  enabled_valid_ = true;
+}
+
+void Composition::InvalidateAll() {
+  for (size_t i = 0; i < dirty_.size(); ++i) dirty_[i] = true;
+  enabled_valid_ = false;
+}
+
+void Composition::Invalidate(size_t index) {
+  NTSG_CHECK_LT(index, dirty_.size());
+  dirty_[index] = true;
+  enabled_valid_ = false;
+}
+
+const std::vector<Action>& Composition::EnabledOutputs() {
+  if (!enabled_valid_) RefreshCache();
+  return enabled_;
+}
+
+bool Composition::SampleEnabled(Rng& rng, Action* out) {
+  size_t total = 0;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (dirty_[i]) {
+      cache_[i] = components_[i]->EnabledOutputs();
+      dirty_[i] = false;
+      enabled_valid_ = false;
+    }
+    total += cache_[i].size();
+  }
+  if (total == 0) return false;
+  size_t k = rng.NextBelow(total);
+  for (const auto& c : cache_) {
+    if (k < c.size()) {
+      *out = c[k];
+      return true;
+    }
+    k -= c.size();
+  }
+  return false;  // Unreachable.
+}
+
+bool Composition::Quiescent() {
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (dirty_[i]) {
+      cache_[i] = components_[i]->EnabledOutputs();
+      dirty_[i] = false;
+      enabled_valid_ = false;
+    }
+    if (!cache_[i].empty()) return false;
+  }
+  return true;
+}
+
+bool Composition::Step(Rng& rng) {
+  const std::vector<Action>& enabled = EnabledOutputs();
+  if (enabled.empty()) return false;
+  const Action a = enabled[rng.NextBelow(enabled.size())];
+  Status s = Execute(a);
+  NTSG_CHECK(s.ok()) << s.ToString();
+  return true;
+}
+
+size_t Composition::Run(Rng& rng, size_t max_steps) {
+  size_t steps = 0;
+  while (steps < max_steps && Step(rng)) ++steps;
+  return steps;
+}
+
+}  // namespace ntsg

@@ -1,0 +1,97 @@
+#ifndef NTSG_IOA_COMPOSITION_H_
+#define NTSG_IOA_COMPOSITION_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ioa/automaton.h"
+#include "tx/trace.h"
+
+namespace ntsg {
+
+/// Composition of strongly compatible I/O automata (Section 2.1). Executing
+/// an action delivers it to every component whose signature contains it and
+/// appends it to the behavior trace.
+///
+/// Enabled-output sets are cached per component and invalidated only when
+/// the component participates in an action — sound because a component's
+/// state changes only through `Apply`.
+class Composition {
+ public:
+  Composition() = default;
+
+  Composition(const Composition&) = delete;
+  Composition& operator=(const Composition&) = delete;
+
+  /// Adds a component; returns a non-owning pointer for typed access.
+  template <typename T>
+  T* Add(std::unique_ptr<T> component) {
+    T* raw = component.get();
+    components_.push_back(std::move(component));
+    dirty_.push_back(true);
+    cache_.emplace_back();
+    return raw;
+  }
+
+  size_t size() const { return components_.size(); }
+  Automaton& component(size_t i) { return *components_[i]; }
+
+  /// Executes `a`: checks strong compatibility (at most one component claims
+  /// it as output), delivers it to all participants, appends it to the
+  /// behavior. O(#components) per call.
+  Status Execute(const Action& a);
+
+  /// Executes `a` delivering only to `participants` (component indices the
+  /// caller knows contain `a` in their signatures — verified here). Callers
+  /// that can compute participants from the action structure (the drivers
+  /// can) avoid the O(#components) signature scan of Execute. Each listed
+  /// component must actually claim the action.
+  Status ExecuteRouted(const Action& a,
+                       const std::vector<size_t>& participants);
+
+  /// All currently enabled outputs across components (cached).
+  const std::vector<Action>& EnabledOutputs();
+
+  /// Drops every cached enabled set. Call after mutating a component
+  /// through a side channel (e.g. GenericController::RequestAbort).
+  void InvalidateAll();
+
+  /// Drops one component's cached enabled set (when the side channel is
+  /// known to affect only that component).
+  void Invalidate(size_t index);
+
+  /// Picks a uniformly random enabled output, executes it, and returns true;
+  /// returns false when no output is enabled (quiescence).
+  bool Step(Rng& rng);
+
+  /// Samples a uniformly random enabled output without flattening the
+  /// per-component caches (the cost that dominates large compositions);
+  /// returns false at quiescence. Refreshes dirty components first.
+  bool SampleEnabled(Rng& rng, Action* out);
+
+  /// True iff no output is enabled (refreshing dirty components).
+  bool Quiescent();
+
+  /// Runs random steps until quiescence or `max_steps`. Returns the number
+  /// of steps taken.
+  size_t Run(Rng& rng, size_t max_steps);
+
+  const Trace& behavior() const { return behavior_; }
+  Trace&& TakeBehavior() { return std::move(behavior_); }
+
+ private:
+  void RefreshCache();
+
+  std::vector<std::unique_ptr<Automaton>> components_;
+  std::vector<bool> dirty_;
+  std::vector<std::vector<Action>> cache_;
+  std::vector<Action> enabled_;  // Flattened cache.
+  bool enabled_valid_ = false;
+  Trace behavior_;
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_IOA_COMPOSITION_H_

@@ -1,0 +1,64 @@
+#ifndef NTSG_MOSS_BROKEN_H_
+#define NTSG_MOSS_BROKEN_H_
+
+#include "moss/moss_object.h"
+
+namespace ntsg {
+
+/// Deliberately faulty locking objects, used to validate that the paper's
+/// checkers actually detect incorrect algorithms (detector-efficacy tests
+/// and bench T4). Each drops exactly one ingredient of M1_X.
+
+/// Reads skip the write-lock check: a read may observe the stacked value of
+/// a non-ancestor (uncommitted) writer — a dirty read. Detected by the
+/// appropriate-return-values / safe-read checkers.
+class DirtyReadMossObject final : public MossObject {
+ public:
+  using MossObject::MossObject;
+
+  std::string name() const override {
+    return "M1_dirty_" + type_.object_name(x_);
+  }
+
+ protected:
+  bool ReadEnabled(TxName) const override { return true; }
+};
+
+/// Reads check locks but do not *acquire* a read lock, so a sibling writer
+/// can overwrite data a live reader already observed. Return values stay
+/// locally plausible; the violation shows up as a serialization-graph cycle.
+class NoReadLockMossObject final : public MossObject {
+ public:
+  using MossObject::MossObject;
+
+  std::string name() const override {
+    return "M1_noreadlock_" + type_.object_name(x_);
+  }
+
+ protected:
+  bool AcquireReadLock() const override { return false; }
+};
+
+/// Writes skip the read-lock check (they still respect other writers):
+/// write locks degenerate to exclusive-writer locking, readers are not
+/// protected. Produces cycles and/or stale reads under contention.
+class IgnoreReadersMossObject final : public MossObject {
+ public:
+  using MossObject::MossObject;
+
+  std::string name() const override {
+    return "M1_ignorereaders_" + type_.object_name(x_);
+  }
+
+ protected:
+  bool WriteEnabled(TxName access) const override {
+    for (TxName h : write_lockholders_) {
+      if (!type_.IsAncestor(h, access)) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_MOSS_BROKEN_H_

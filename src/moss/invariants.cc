@@ -1,0 +1,222 @@
+#include "moss/invariants.h"
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+namespace {
+
+/// Reference state machine mirroring M1_X, plus the bookkeeping the lemma
+/// statements quantify over (inform orders, prior responses).
+class MossAuditor {
+ public:
+  MossAuditor(const SystemType& type, ObjectId x) : type_(type), x_(x) {
+    write_lockholders_.insert(kT0);
+    value_[kT0] = type.object_initial(x);
+  }
+
+  Status Step(size_t index, const Action& a) {
+    switch (a.kind) {
+      case ActionKind::kCreate:
+        break;
+      case ActionKind::kInformCommit:
+        inform_commit_index_[a.tx] = index;
+        ApplyInformCommit(a.tx);
+        break;
+      case ActionKind::kInformAbort:
+        inform_abort_.insert(a.tx);
+        ApplyInformAbort(a.tx);
+        break;
+      case ActionKind::kRequestCommit: {
+        NTSG_RETURN_IF_ERROR(CheckLemma11(a));
+        if (type_.access(a.tx).op == OpCode::kRead) {
+          NTSG_RETURN_IF_ERROR(CheckLemma12(a));
+        }
+        ApplyResponse(a);
+        responses_.push_back(a);
+        break;
+      }
+      default:
+        return Status::Corruption("unexpected action in object projection: " +
+                                  a.ToString(type_));
+    }
+    return CheckLemma9();
+  }
+
+ private:
+  bool IsLocalOrphan(TxName t) const {
+    for (TxName u = t;; u = type_.parent(u)) {
+      if (inform_abort_.count(u)) return true;
+      if (u == kT0) return false;
+    }
+  }
+
+  /// Lock visibility of T to T': INFORM_COMMITs for every ancestor of T up
+  /// to (excluding) lca(T, T'), present and in ascending leaf-to-root order.
+  bool IsLockVisible(TxName t, TxName t_prime) const {
+    TxName lca = type_.Lca(t, t_prime);
+    size_t prev = 0;
+    bool first = true;
+    for (TxName u = t; u != lca; u = type_.parent(u)) {
+      auto it = inform_commit_index_.find(u);
+      if (it == inform_commit_index_.end()) return false;
+      if (!first && it->second < prev) return false;  // Out of order.
+      prev = it->second;
+      first = false;
+    }
+    return true;
+  }
+
+  void ApplyInformCommit(TxName t) {
+    if (t == kT0) return;
+    TxName p = type_.parent(t);
+    if (write_lockholders_.erase(t) > 0) {
+      write_lockholders_.insert(p);
+      value_[p] = value_.at(t);
+      value_.erase(t);
+    }
+    if (read_lockholders_.erase(t) > 0) read_lockholders_.insert(p);
+  }
+
+  void ApplyInformAbort(TxName t) {
+    for (auto it = write_lockholders_.begin();
+         it != write_lockholders_.end();) {
+      if (type_.IsAncestor(t, *it)) {
+        value_.erase(*it);
+        it = write_lockholders_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = read_lockholders_.begin(); it != read_lockholders_.end();) {
+      if (type_.IsAncestor(t, *it)) {
+        it = read_lockholders_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void ApplyResponse(const Action& a) {
+    const AccessSpec& acc = type_.access(a.tx);
+    if (acc.op == OpCode::kWrite) {
+      write_lockholders_.insert(a.tx);
+      value_[a.tx] = acc.arg;
+    } else {
+      read_lockholders_.insert(a.tx);
+    }
+  }
+
+  Status CheckLemma9() const {
+    for (TxName w : write_lockholders_) {
+      for (TxName h : write_lockholders_) {
+        if (!type_.IsAncestor(w, h) && !type_.IsAncestor(h, w)) {
+          return Status::VerificationFailed(
+              "Lemma 9 violated: write-lock holders " + type_.NameOf(w) +
+              " and " + type_.NameOf(h) + " are unrelated");
+        }
+      }
+      for (TxName r : read_lockholders_) {
+        if (!type_.IsAncestor(w, r) && !type_.IsAncestor(r, w)) {
+          return Status::VerificationFailed(
+              "Lemma 9 violated: write-lock holder " + type_.NameOf(w) +
+              " and read-lock holder " + type_.NameOf(r) + " are unrelated");
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status CheckLemma11(const Action& response) const {
+    const AccessSpec& mine = type_.access(response.tx);
+    for (const Action& prior : responses_) {
+      const AccessSpec& theirs = type_.access(prior.tx);
+      bool conflict = mine.op == OpCode::kWrite || theirs.op == OpCode::kWrite;
+      if (!conflict) continue;
+      if (IsLocalOrphan(prior.tx)) continue;
+      if (IsLockVisible(prior.tx, response.tx)) continue;
+      return Status::VerificationFailed(
+          "Lemma 11 violated: prior conflicting access " +
+          type_.NameOf(prior.tx) + " is neither a local orphan nor "
+          "lock-visible to " + type_.NameOf(response.tx));
+    }
+    return Status::Ok();
+  }
+
+  Status CheckLemma12(const Action& response) const {
+    // Lemmas 12/13 hypothesize a non-orphan reader: an orphan's ancestors
+    // may have had inherited locks (and stacked values) discarded, so its
+    // reads are unconstrained (and invisible to everyone).
+    if (IsLocalOrphan(response.tx)) return Status::Ok();
+    // Expected value: data of the last prior write lock-visible to the
+    // reader, else the initial value (Lemmas 12/13).
+    std::optional<TxName> last;
+    for (const Action& prior : responses_) {
+      const AccessSpec& theirs = type_.access(prior.tx);
+      if (theirs.op != OpCode::kWrite) continue;
+      if (!IsLockVisible(prior.tx, response.tx)) continue;
+      last = prior.tx;
+    }
+    int64_t expect = last.has_value() ? type_.access(*last).arg
+                                      : type_.object_initial(x_);
+    if (response.value.is_ok() || response.value.AsInt() != expect) {
+      return Status::VerificationFailed(
+          "Lemma 12/13 violated: read " + type_.NameOf(response.tx) +
+          " returned " + response.value.ToString() + " but the lock-visible "
+          "final value is " + std::to_string(expect));
+    }
+    return Status::Ok();
+  }
+
+  const SystemType& type_;
+  ObjectId x_;
+
+  std::set<TxName> write_lockholders_;
+  std::set<TxName> read_lockholders_;
+  std::map<TxName, int64_t> value_;
+  std::map<TxName, size_t> inform_commit_index_;
+  std::set<TxName> inform_abort_;
+  std::vector<Action> responses_;
+};
+
+}  // namespace
+
+MossAuditReport AuditMossProjection(const SystemType& type, ObjectId x,
+                                    const Trace& projection) {
+  NTSG_CHECK(type.object_type(x) == ObjectType::kReadWrite);
+  MossAuditor auditor(type, x);
+  MossAuditReport report;
+  for (size_t i = 0; i < projection.size(); ++i) {
+    Status s = auditor.Step(i, projection[i]);
+    ++report.events;
+    if (projection[i].kind == ActionKind::kRequestCommit) ++report.responses;
+    if (!s.ok()) {
+      report.status = s;
+      return report;
+    }
+  }
+  report.status = Status::Ok();
+  return report;
+}
+
+MossAuditReport AuditMossBehavior(const SystemType& type, const Trace& beta) {
+  MossAuditReport total;
+  for (ObjectId x = 0; x < type.num_objects(); ++x) {
+    MossAuditReport r =
+        AuditMossProjection(type, x, ProjectGenericObject(type, beta, x));
+    total.events += r.events;
+    total.responses += r.responses;
+    if (!r.status.ok()) {
+      total.status = r.status;
+      return total;
+    }
+  }
+  total.status = Status::Ok();
+  return total;
+}
+
+}  // namespace ntsg

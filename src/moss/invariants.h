@@ -1,0 +1,41 @@
+#ifndef NTSG_MOSS_INVARIANTS_H_
+#define NTSG_MOSS_INVARIANTS_H_
+
+#include "common/status.h"
+#include "tx/trace.h"
+
+namespace ntsg {
+
+/// Executable forms of the paper's Section 5.3 lemmas about M1_X, audited
+/// over a generic-object projection (the actions at one object, as produced
+/// by ProjectGenericObject). The audit replays the projection through a
+/// reference M1_X state machine and checks, event by event:
+///
+///   * Lemma 9  — write-lock holders and read-lock holders form an ancestor
+///     chain with every write-lock holder (conflicting locks only along one
+///     path);
+///   * Lemma 11 — when an access responds, every earlier conflicting
+///     response's transaction is a local orphan or lock-visible to it
+///     (INFORM_COMMITs for the whole chain up to the lca, in leaf-to-root
+///     order);
+///   * Lemma 12/13 — a read's returned value equals final-value(δ, X) where
+///     δ is the subsequence of prior write responses lock-visible to the
+///     reader.
+///
+/// A projection from the real M1_X must pass all three; the deliberately
+/// broken variants each violate a specific lemma, which the audit names.
+struct MossAuditReport {
+  Status status;          // OK, or the first violated lemma with context.
+  size_t events = 0;      // Events audited.
+  size_t responses = 0;   // Access responses audited.
+};
+
+MossAuditReport AuditMossProjection(const SystemType& type, ObjectId x,
+                                    const Trace& projection);
+
+/// Convenience: audits every object's projection of a full behavior.
+MossAuditReport AuditMossBehavior(const SystemType& type, const Trace& beta);
+
+}  // namespace ntsg
+
+#endif  // NTSG_MOSS_INVARIANTS_H_

@@ -1,0 +1,103 @@
+#include "moss/moss_object.h"
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+MossObject::MossObject(const SystemType& type, ObjectId x)
+    : GenericObject(type, x) {
+  NTSG_CHECK(type.object_type(x) == ObjectType::kReadWrite)
+      << "Moss locking object requires a read/write object";
+  write_lockholders_.insert(kT0);
+  value_[kT0] = type.object_initial(x);
+}
+
+void MossObject::OnInformCommit(TxName t) {
+  NTSG_CHECK_NE(t, kT0);
+  TxName p = type_.parent(t);
+  if (write_lockholders_.erase(t) > 0) {
+    write_lockholders_.insert(p);
+    value_[p] = value_.at(t);
+    value_.erase(t);
+  }
+  if (read_lockholders_.erase(t) > 0) {
+    read_lockholders_.insert(p);
+  }
+}
+
+void MossObject::OnInformAbort(TxName t) {
+  NTSG_CHECK_NE(t, kT0);
+  for (auto it = write_lockholders_.begin(); it != write_lockholders_.end();) {
+    if (type_.IsAncestor(t, *it)) {
+      value_.erase(*it);
+      it = write_lockholders_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = read_lockholders_.begin(); it != read_lockholders_.end();) {
+    if (type_.IsAncestor(t, *it)) {
+      it = read_lockholders_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool MossObject::ReadEnabled(TxName access) const {
+  for (TxName h : write_lockholders_) {
+    if (!type_.IsAncestor(h, access)) return false;
+  }
+  return true;
+}
+
+bool MossObject::WriteEnabled(TxName access) const {
+  for (TxName h : write_lockholders_) {
+    if (!type_.IsAncestor(h, access)) return false;
+  }
+  for (TxName h : read_lockholders_) {
+    if (!type_.IsAncestor(h, access)) return false;
+  }
+  return true;
+}
+
+TxName MossObject::LeastWriteLockholder() const {
+  NTSG_CHECK(!write_lockholders_.empty());
+  TxName least = *write_lockholders_.begin();
+  for (TxName h : write_lockholders_) {
+    if (type_.depth(h) > type_.depth(least)) least = h;
+  }
+  return least;
+}
+
+std::vector<Action> MossObject::EnabledOutputs() const {
+  std::vector<Action> out;
+  for (TxName t : pending()) {
+    const AccessSpec& acc = type_.access(t);
+    if (acc.op == OpCode::kRead) {
+      if (ReadEnabled(t)) {
+        out.push_back(Action::RequestCommit(
+            t, Value::Int(value_.at(LeastWriteLockholder()))));
+      }
+    } else {
+      if (WriteEnabled(t)) {
+        out.push_back(Action::RequestCommit(t, Value::Ok()));
+      }
+    }
+  }
+  return out;
+}
+
+void MossObject::OnRequestCommit(TxName access, const Value& v) {
+  const AccessSpec& acc = type_.access(access);
+  if (acc.op == OpCode::kRead) {
+    if (AcquireReadLock()) read_lockholders_.insert(access);
+    // Reads leave the value stack unchanged.
+    (void)v;
+  } else {
+    write_lockholders_.insert(access);
+    value_[access] = acc.arg;  // data(T).
+  }
+}
+
+}  // namespace ntsg

@@ -1,0 +1,66 @@
+#ifndef NTSG_MOSS_MOSS_OBJECT_H_
+#define NTSG_MOSS_MOSS_OBJECT_H_
+
+#include <map>
+#include <set>
+
+#include "generic/generic_object.h"
+
+namespace ntsg {
+
+/// Moss' read/write locking object M1_X (Section 5.2) — the default
+/// concurrency control and recovery algorithm of Argus and Camelot.
+///
+/// State: a set of write-lock holders forming a chain along one root-to-leaf
+/// path, each with a stacked value; a set of read-lock holders; and the
+/// created/commit-requested bookkeeping of the base class. Initially T0
+/// holds a write lock on the initial value d.
+///
+/// * A read access responds when every write-lock holder is an ancestor,
+///   returning the value of the least (deepest) write-lock holder, and takes
+///   a read lock.
+/// * A write access responds when every lock holder of either kind is an
+///   ancestor, stores its value on the stack, and takes a write lock.
+/// * INFORM_COMMIT(T) moves T's locks (and stacked value) to parent(T).
+/// * INFORM_ABORT(T) discards all locks and values held by descendants of T.
+class MossObject : public GenericObject {
+ public:
+  MossObject(const SystemType& type, ObjectId x);
+
+  std::string name() const override { return "M1_" + type_.object_name(x_); }
+
+  std::vector<Action> EnabledOutputs() const override;
+
+  const std::set<TxName>& write_lockholders() const {
+    return write_lockholders_;
+  }
+  const std::set<TxName>& read_lockholders() const { return read_lockholders_; }
+
+  /// Value stacked by write-lock holder `t`; t must hold a write lock.
+  int64_t value_of(TxName t) const { return value_.at(t); }
+
+  /// The least (deepest) element of write_lockholders — the chain's unique
+  /// common descendant.
+  TxName LeastWriteLockholder() const;
+
+ protected:
+  void OnCreate(TxName) override {}
+  void OnInformCommit(TxName t) override;
+  void OnInformAbort(TxName t) override;
+  void OnRequestCommit(TxName access, const Value& v) override;
+
+  /// Precondition of REQUEST_COMMIT for `access`; broken subclasses override
+  /// these to drop parts of the check.
+  virtual bool ReadEnabled(TxName access) const;
+  virtual bool WriteEnabled(TxName access) const;
+  /// Whether a responding read access acquires a read lock.
+  virtual bool AcquireReadLock() const { return true; }
+
+  std::set<TxName> write_lockholders_;
+  std::set<TxName> read_lockholders_;
+  std::map<TxName, int64_t> value_;
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_MOSS_MOSS_OBJECT_H_

@@ -1,0 +1,101 @@
+#include "moss/read_update_object.h"
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+ReadUpdateObject::ReadUpdateObject(const SystemType& type, ObjectId x)
+    : GenericObject(type, x) {
+  update_lockholders_.insert(kT0);
+  versions_[kT0] = MakeSpec(type.object_type(x), type.object_initial(x));
+}
+
+void ReadUpdateObject::OnInformCommit(TxName t) {
+  NTSG_CHECK_NE(t, kT0);
+  TxName p = type_.parent(t);
+  if (update_lockholders_.erase(t) > 0) {
+    update_lockholders_.insert(p);
+    versions_[p] = std::move(versions_.at(t));
+    versions_.erase(t);
+  }
+  if (read_lockholders_.erase(t) > 0) {
+    read_lockholders_.insert(p);
+  }
+}
+
+void ReadUpdateObject::OnInformAbort(TxName t) {
+  NTSG_CHECK_NE(t, kT0);
+  for (auto it = update_lockholders_.begin();
+       it != update_lockholders_.end();) {
+    if (type_.IsAncestor(t, *it)) {
+      versions_.erase(*it);
+      it = update_lockholders_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = read_lockholders_.begin(); it != read_lockholders_.end();) {
+    if (type_.IsAncestor(t, *it)) {
+      it = read_lockholders_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool ReadUpdateObject::ReadEnabled(TxName access) const {
+  for (TxName h : update_lockholders_) {
+    if (!type_.IsAncestor(h, access)) return false;
+  }
+  return true;
+}
+
+bool ReadUpdateObject::UpdateEnabled(TxName access) const {
+  for (TxName h : update_lockholders_) {
+    if (!type_.IsAncestor(h, access)) return false;
+  }
+  for (TxName h : read_lockholders_) {
+    if (!type_.IsAncestor(h, access)) return false;
+  }
+  return true;
+}
+
+TxName ReadUpdateObject::LeastUpdateLockholder() const {
+  NTSG_CHECK(!update_lockholders_.empty());
+  TxName least = *update_lockholders_.begin();
+  for (TxName h : update_lockholders_) {
+    if (type_.depth(h) > type_.depth(least)) least = h;
+  }
+  return least;
+}
+
+std::vector<Action> ReadUpdateObject::EnabledOutputs() const {
+  std::vector<Action> out;
+  for (TxName t : pending()) {
+    const AccessSpec& acc = type_.access(t);
+    const bool is_update = IsModifyingOp(acc.op);
+    if (is_update ? !UpdateEnabled(t) : !ReadEnabled(t)) continue;
+    // Evaluate the operation against the least holder's version (peeking —
+    // state changes are applied at response time).
+    std::unique_ptr<SerialSpec> probe =
+        versions_.at(LeastUpdateLockholder())->Clone();
+    out.push_back(Action::RequestCommit(t, probe->Apply(acc.op, acc.arg)));
+  }
+  return out;
+}
+
+void ReadUpdateObject::OnRequestCommit(TxName access, const Value& v) {
+  const AccessSpec& acc = type_.access(access);
+  if (IsModifyingOp(acc.op)) {
+    std::unique_ptr<SerialSpec> version =
+        versions_.at(LeastUpdateLockholder())->Clone();
+    Value expect = version->Apply(acc.op, acc.arg);
+    NTSG_CHECK(expect == v) << name() << ": response diverges from version";
+    update_lockholders_.insert(access);
+    versions_[access] = std::move(version);
+  } else {
+    read_lockholders_.insert(access);
+  }
+}
+
+}  // namespace ntsg

@@ -1,0 +1,73 @@
+#ifndef NTSG_MOSS_READ_UPDATE_OBJECT_H_
+#define NTSG_MOSS_READ_UPDATE_OBJECT_H_
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "generic/generic_object.h"
+#include "spec/serial_spec.h"
+
+namespace ntsg {
+
+/// The general read/update locking object M_X of Fekete-Lynch-Merritt-Weihl
+/// — the algorithm the paper's M1_X specializes to read/write registers
+/// (Section 5.2, footnote 8). Works for objects of arbitrary serial type:
+///
+///   * operations are classified *read* (pure observers: read, counter-read,
+///     contains, sizes, balance) or *update* (anything that may modify:
+///     write, inc/dec, add/remove, enq/deq, deposit, withdraw — see
+///     IsModifyingOp);
+///   * an update access requires every lock holder (of either kind) to be an
+///     ancestor; it takes an update lock and stacks a whole-object *version*
+///     obtained by applying its operation to the least update-lock holder's
+///     version;
+///   * a read access requires every update-lock holder to be an ancestor; it
+///     returns its operation's value evaluated against the least holder's
+///     version (without modifying it) and takes a read lock;
+///   * INFORM_COMMIT moves locks and stacked versions to the parent;
+///     INFORM_ABORT discards everything held by the aborted subtree.
+///
+/// On read/write objects this coincides with M1_X (the version is just the
+/// register value). On richer types it is strictly more pessimistic than
+/// undo logging: updates exclude each other even when they commute — the
+/// contrast bench_general_locking measures.
+class ReadUpdateObject : public GenericObject {
+ public:
+  ReadUpdateObject(const SystemType& type, ObjectId x);
+
+  std::string name() const override {
+    return "M_" + type_.object_name(x_);
+  }
+
+  std::vector<Action> EnabledOutputs() const override;
+
+  const std::set<TxName>& update_lockholders() const {
+    return update_lockholders_;
+  }
+  const std::set<TxName>& read_lockholders() const { return read_lockholders_; }
+
+  /// Version stacked by update-lock holder `t`.
+  const SerialSpec& version_of(TxName t) const { return *versions_.at(t); }
+
+  /// Deepest update-lock holder — the top of the version stack.
+  TxName LeastUpdateLockholder() const;
+
+ protected:
+  void OnCreate(TxName) override {}
+  void OnInformCommit(TxName t) override;
+  void OnInformAbort(TxName t) override;
+  void OnRequestCommit(TxName access, const Value& v) override;
+
+  bool ReadEnabled(TxName access) const;
+  bool UpdateEnabled(TxName access) const;
+
+ private:
+  std::set<TxName> update_lockholders_;
+  std::set<TxName> read_lockholders_;
+  std::map<TxName, std::unique_ptr<SerialSpec>> versions_;
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_MOSS_READ_UPDATE_OBJECT_H_

@@ -1,0 +1,114 @@
+#include "mvto/mvto_object.h"
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+MvtoObject::MvtoObject(const SystemType& type, ObjectId x,
+                       TimestampAuthority* authority)
+    : GenericObject(type, x), authority_(authority) {
+  NTSG_CHECK(type.object_type(x) == ObjectType::kReadWrite)
+      << "MVTO object requires a read/write register";
+  NTSG_CHECK(authority != nullptr);
+}
+
+bool MvtoObject::IsLocallyVisible(TxName t_prime, TxName t) const {
+  TxName lca = type_.Lca(t_prime, t);
+  for (TxName u = t_prime; u != lca; u = type_.parent(u)) {
+    if (!committed_.count(u)) return false;
+  }
+  return true;
+}
+
+bool MvtoObject::ReadCandidate(TxName reader, const Version** out) const {
+  const Version* candidate = nullptr;  // nullptr = the initial value.
+  for (const Version& v : versions_) {
+    if (Ts(v.writer, reader) > 0) continue;          // Above the reader.
+    if (!IsLocallyVisible(v.writer, reader)) continue;
+    if (candidate == nullptr || Ts(candidate->writer, v.writer) < 0) {
+      candidate = &v;
+    }
+  }
+  // Wait while a responded-but-not-visible write sits between the candidate
+  // and the reader: its commit/abort decides what the read must observe.
+  for (const Version& v : versions_) {
+    if (Ts(v.writer, reader) > 0) continue;
+    if (IsLocallyVisible(v.writer, reader)) continue;
+    if (candidate == nullptr || Ts(candidate->writer, v.writer) < 0) {
+      return false;
+    }
+  }
+  *out = candidate;
+  return true;
+}
+
+bool MvtoObject::WriteTooLate(TxName writer) const {
+  for (const ReadRecord& r : reads_) {
+    if (Ts(writer, r.reader) > 0) continue;  // Read below the writer.
+    // The read is above the writer; it is too late iff the read observed a
+    // version strictly below the writer.
+    if (r.version_writer == kInvalidTx || Ts(r.version_writer, writer) < 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Action> MvtoObject::EnabledOutputs() const {
+  std::vector<Action> out;
+  for (TxName t : pending()) {
+    const AccessSpec& acc = type_.access(t);
+    if (acc.op == OpCode::kRead) {
+      const Version* v = nullptr;
+      if (ReadCandidate(t, &v)) {
+        int64_t value = v == nullptr ? type_.object_initial(x_) : v->value;
+        out.push_back(Action::RequestCommit(t, Value::Int(value)));
+      }
+    } else {
+      if (!WriteTooLate(t)) {
+        out.push_back(Action::RequestCommit(t, Value::Ok()));
+      }
+    }
+  }
+  return out;
+}
+
+void MvtoObject::OnRequestCommit(TxName access, const Value& v) {
+  const AccessSpec& acc = type_.access(access);
+  if (acc.op == OpCode::kRead) {
+    const Version* candidate = nullptr;
+    NTSG_CHECK(ReadCandidate(access, &candidate))
+        << name() << ": read scheduled while blocked";
+    int64_t value =
+        candidate == nullptr ? type_.object_initial(x_) : candidate->value;
+    NTSG_CHECK(Value::Int(value) == v)
+        << name() << ": scheduled read diverges from candidate version";
+    reads_.push_back(ReadRecord{
+        access, candidate == nullptr ? kInvalidTx : candidate->writer});
+  } else {
+    NTSG_CHECK(!WriteTooLate(access));
+    versions_.push_back(Version{access, acc.arg});
+    (void)v;
+  }
+}
+
+void MvtoObject::OnInformCommit(TxName t) { committed_.insert(t); }
+
+void MvtoObject::OnInformAbort(TxName t) {
+  for (auto it = versions_.begin(); it != versions_.end();) {
+    if (type_.IsAncestor(t, it->writer)) {
+      it = versions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = reads_.begin(); it != reads_.end();) {
+    if (type_.IsAncestor(t, it->reader)) {
+      it = reads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace ntsg

@@ -1,0 +1,90 @@
+#ifndef NTSG_MVTO_MVTO_OBJECT_H_
+#define NTSG_MVTO_MVTO_OBJECT_H_
+
+#include <set>
+#include <vector>
+
+#include "generic/generic_object.h"
+#include "mvto/timestamp_authority.h"
+
+namespace ntsg {
+
+/// Multiversion timestamp-ordering object for read/write registers — the
+/// kind of algorithm the paper's conclusion says its correctness definition
+/// covers *directly*, where the classical theory needs redefinition. An
+/// extension validated empirically by the exact witness checker.
+///
+/// Serialization target: the timestamp sibling order of the shared
+/// TimestampAuthority (creation-request order per parent). Semantics:
+///
+///   * a write stores a new *version* tagged with its access; versions of
+///     different writers coexist (no write/write blocking);
+///   * a read with timestamp ts returns the latest version below ts whose
+///     writer is locally visible (committed up to the lca — no dirty
+///     reads), and *waits* while a responded-but-not-yet-visible write sits
+///     between that candidate and ts (its fate decides what the read must
+///     see);
+///   * a write is *too late* — permanently blocked, so the driver's stall
+///     resolution aborts its transaction, and the retry incarnation gets a
+///     fresh, later timestamp — if some recorded read above its timestamp
+///     already read an older version;
+///   * INFORM_ABORT discards versions and reads of the aborted subtree;
+///     INFORM_COMMIT feeds the local visibility set.
+///
+/// Because reads deliberately return *old* values, behaviors of this object
+/// are serially correct while failing the paper's sufficient condition: the
+/// response-order conflict relation can be cyclic and reads are not
+/// "current". The tests exhibit exactly that: the Theorem 8 certifier
+/// rejects, the witness built on the timestamp order validates.
+class MvtoObject : public GenericObject {
+ public:
+  MvtoObject(const SystemType& type, ObjectId x,
+             TimestampAuthority* authority);
+
+  std::string name() const override {
+    return "MV_" + type_.object_name(x_);
+  }
+
+  std::vector<Action> EnabledOutputs() const override;
+
+  size_t version_count() const { return versions_.size() + 1; }
+
+ protected:
+  void OnCreate(TxName) override {}
+  void OnInformCommit(TxName t) override;
+  void OnInformAbort(TxName t) override;
+  void OnRequestCommit(TxName access, const Value& v) override;
+
+ private:
+  struct Version {
+    TxName writer;  // Write access that produced it.
+    int64_t value;
+  };
+  struct ReadRecord {
+    TxName reader;          // Read access.
+    TxName version_writer;  // kInvalidTx when the initial value was read.
+  };
+
+  /// Timestamp order between two recorded accesses (-1: a before b).
+  int Ts(TxName a, TxName b) const { return authority_->Compare(a, b); }
+
+  bool IsLocallyVisible(TxName t_prime, TxName t) const;
+
+  /// The version a read should observe now, if it may proceed: the latest
+  /// locally visible version below the reader. Returns false when the read
+  /// must wait (a responded non-visible write sits in between).
+  bool ReadCandidate(TxName reader, const Version** out) const;
+
+  /// True when `writer` would arrive too late: some recorded read above it
+  /// observed a version below it.
+  bool WriteTooLate(TxName writer) const;
+
+  TimestampAuthority* authority_;
+  std::set<TxName> committed_;
+  std::vector<Version> versions_;  // Excludes the initial value.
+  std::vector<ReadRecord> reads_;
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_MVTO_MVTO_OBJECT_H_

@@ -1,0 +1,44 @@
+#include "mvto/timestamp_authority.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+void TimestampAuthority::OnRequestCreate(TxName t) {
+  if (seq_.count(t)) return;
+  TxName p = type_.parent(t);
+  seq_[t] = next_seq_[p]++;
+}
+
+int TimestampAuthority::Compare(TxName a, TxName b) const {
+  NTSG_CHECK_NE(a, b);
+  TxName lca = type_.Lca(a, b);
+  NTSG_CHECK(lca != a && lca != b)
+      << "timestamp order undefined for ancestor/descendant pairs";
+  TxName ca = type_.ChildToward(lca, a);
+  TxName cb = type_.ChildToward(lca, b);
+  uint64_t sa = seq_.at(ca), sb = seq_.at(cb);
+  NTSG_CHECK_NE(sa, sb);
+  return sa < sb ? -1 : 1;
+}
+
+std::map<TxName, std::vector<TxName>> TimestampAuthority::CreationOrders()
+    const {
+  std::map<TxName, std::vector<std::pair<uint64_t, TxName>>> grouped;
+  for (const auto& [t, s] : seq_) {
+    grouped[type_.parent(t)].push_back({s, t});
+  }
+  std::map<TxName, std::vector<TxName>> orders;
+  for (auto& [p, children] : grouped) {
+    std::sort(children.begin(), children.end());
+    for (const auto& [s, t] : children) {
+      (void)s;
+      orders[p].push_back(t);
+    }
+  }
+  return orders;
+}
+
+}  // namespace ntsg

@@ -1,0 +1,48 @@
+#ifndef NTSG_MVTO_TIMESTAMP_AUTHORITY_H_
+#define NTSG_MVTO_TIMESTAMP_AUTHORITY_H_
+
+#include <map>
+#include <vector>
+
+#include "tx/system_type.h"
+
+namespace ntsg {
+
+/// Assigns every transaction a per-parent sequence number at
+/// REQUEST_CREATE time, defining the *timestamp sibling order* the
+/// multiversion scheduler serializes against: siblings are ordered by
+/// creation request, and two arbitrary transactions compare by the
+/// sequence numbers of their ancestors under the least common ancestor —
+/// exactly the R_trans extension of a sibling order (Section 2.3.2).
+///
+/// Retried incarnations are fresh names and get fresh (later) numbers.
+class TimestampAuthority {
+ public:
+  explicit TimestampAuthority(const SystemType& type) : type_(type) {}
+
+  /// Records the creation request of `t`; idempotent.
+  void OnRequestCreate(TxName t);
+
+  bool HasTimestamp(TxName t) const { return seq_.count(t) != 0; }
+
+  /// Sequence number of `t` among its siblings; t must be recorded.
+  uint64_t SequenceOf(TxName t) const { return seq_.at(t); }
+
+  /// Timestamp order on arbitrary distinct transactions, neither an
+  /// ancestor of the other: -1 if a's chain precedes b's, +1 otherwise.
+  /// Both chains' children-under-lca must be recorded.
+  int Compare(TxName a, TxName b) const;
+
+  /// Per-parent creation orders — a total sibling order suitable for
+  /// BuildAndCheckWitness.
+  std::map<TxName, std::vector<TxName>> CreationOrders() const;
+
+ private:
+  const SystemType& type_;
+  std::map<TxName, uint64_t> seq_;
+  std::map<TxName, uint64_t> next_seq_;  // Per parent.
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_MVTO_TIMESTAMP_AUTHORITY_H_

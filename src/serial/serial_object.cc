@@ -1,0 +1,35 @@
+#include "serial/serial_object.h"
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+void SerialObjectAutomaton::Apply(const Action& a) {
+  if (a.kind == ActionKind::kCreate) {
+    NTSG_CHECK(!active_.has_value())
+        << name() << ": CREATE while an invocation is pending";
+    active_ = a.tx;
+    return;
+  }
+  NTSG_CHECK(a.kind == ActionKind::kRequestCommit);
+  NTSG_CHECK(active_.has_value() && *active_ == a.tx);
+  const AccessSpec& acc = type_.access(a.tx);
+  Value v = spec_->Apply(acc.op, acc.arg);
+  NTSG_CHECK(v == a.value) << name() << ": scheduled response "
+                           << a.value.ToString() << " but spec yields "
+                           << v.ToString();
+  active_.reset();
+}
+
+std::vector<Action> SerialObjectAutomaton::EnabledOutputs() const {
+  std::vector<Action> out;
+  if (active_.has_value()) {
+    const AccessSpec& acc = type_.access(*active_);
+    // Peek the deterministic return value without disturbing state.
+    std::unique_ptr<SerialSpec> probe = spec_->Clone();
+    out.push_back(Action::RequestCommit(*active_, probe->Apply(acc.op, acc.arg)));
+  }
+  return out;
+}
+
+}  // namespace ntsg

@@ -1,0 +1,52 @@
+#ifndef NTSG_SERIAL_SERIAL_OBJECT_H_
+#define NTSG_SERIAL_SERIAL_OBJECT_H_
+
+#include <memory>
+#include <optional>
+
+#include "ioa/automaton.h"
+#include "spec/serial_spec.h"
+#include "tx/trace.h"
+
+namespace ntsg {
+
+/// The serial object automaton S_X (Section 2.2.2, generalized to arbitrary
+/// data types as in Section 6): CREATE(T) invokes an operation;
+/// REQUEST_COMMIT(T, v) responds with the unique serial return value. One
+/// invocation is active at a time (serial object well-formedness is assumed
+/// of the environment — the serial scheduler provides it).
+class SerialObjectAutomaton final : public Automaton {
+ public:
+  SerialObjectAutomaton(const SystemType& type, ObjectId x)
+      : type_(type),
+        x_(x),
+        spec_(MakeSpec(type.object_type(x), type.object_initial(x))) {}
+
+  std::string name() const override {
+    return "S_" + type_.object_name(x_);
+  }
+
+  bool IsInput(const Action& a) const override {
+    return a.kind == ActionKind::kCreate && type_.ObjectOf(a.tx) == x_;
+  }
+
+  bool IsOutput(const Action& a) const override {
+    return a.kind == ActionKind::kRequestCommit && type_.ObjectOf(a.tx) == x_;
+  }
+
+  void Apply(const Action& a) override;
+
+  std::vector<Action> EnabledOutputs() const override;
+
+  const SerialSpec& spec() const { return *spec_; }
+
+ private:
+  const SystemType& type_;
+  ObjectId x_;
+  std::optional<TxName> active_;
+  std::unique_ptr<SerialSpec> spec_;
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_SERIAL_SERIAL_OBJECT_H_

@@ -1,0 +1,68 @@
+#include "serial/serial_scheduler.h"
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+void SerialScheduler::Apply(const Action& a) {
+  switch (a.kind) {
+    case ActionKind::kRequestCreate:
+      create_requested_.insert(a.tx);
+      break;
+    case ActionKind::kRequestCommit:
+      commit_requested_.emplace(a.tx, a.value);
+      break;
+    case ActionKind::kCreate:
+      created_.insert(a.tx);
+      live_children_[type_.parent(a.tx)]++;
+      break;
+    case ActionKind::kCommit:
+      committed_.insert(a.tx);
+      live_children_[type_.parent(a.tx)]--;
+      break;
+    case ActionKind::kAbort:
+      aborted_.insert(a.tx);
+      // Aborted transactions were never created, so liveness is unaffected.
+      break;
+    case ActionKind::kReportCommit:
+    case ActionKind::kReportAbort:
+      reported_.insert(a.tx);
+      break;
+    default:
+      NTSG_CHECK(false) << "unexpected action at serial scheduler";
+  }
+}
+
+int SerialScheduler::LiveChildren(TxName parent) const {
+  auto it = live_children_.find(parent);
+  return it == live_children_.end() ? 0 : it->second;
+}
+
+std::vector<Action> SerialScheduler::EnabledOutputs() const {
+  std::vector<Action> out;
+  for (TxName t : create_requested_) {
+    bool completed = IsCompleted(t);
+    if (!created_.count(t) && !completed) {
+      // CREATE(T): no live sibling may exist.
+      if (LiveChildren(type_.parent(t)) == 0) {
+        out.push_back(Action::Create(t));
+      }
+      // ABORT(T): only never-created transactions can be aborted serially.
+      if (allow_aborts_) out.push_back(Action::Abort(t));
+    }
+  }
+  for (const auto& [t, v] : commit_requested_) {
+    if (!IsCompleted(t)) out.push_back(Action::Commit(t));
+  }
+  for (TxName t : committed_) {
+    if (!reported_.count(t) && t != kT0) {
+      out.push_back(Action::ReportCommit(t, commit_requested_.at(t)));
+    }
+  }
+  for (TxName t : aborted_) {
+    if (!reported_.count(t)) out.push_back(Action::ReportAbort(t));
+  }
+  return out;
+}
+
+}  // namespace ntsg

@@ -1,0 +1,75 @@
+#ifndef NTSG_SERIAL_SERIAL_SCHEDULER_H_
+#define NTSG_SERIAL_SERIAL_SCHEDULER_H_
+
+#include <map>
+#include <set>
+
+#include "ioa/automaton.h"
+#include "tx/trace.h"
+
+namespace ntsg {
+
+/// The serial scheduler automaton (Section 2.2.3). Runs sibling transactions
+/// serially — a transaction may be created only when no sibling is live —
+/// and aborts only transactions that were requested but never created. This
+/// automaton (composed with transaction automata and serial objects) *defines*
+/// correct behavior; it is a specification device, not a practical scheduler.
+///
+/// Inputs:  REQUEST_CREATE(T), REQUEST_COMMIT(T, v).
+/// Outputs: CREATE(T), COMMIT(T), ABORT(T), REPORT_COMMIT(T, v),
+///          REPORT_ABORT(T).
+class SerialScheduler final : public Automaton {
+ public:
+  /// `allow_aborts` removes ABORT from the enabled set; useful for driving
+  /// failure-free serial executions.
+  explicit SerialScheduler(const SystemType& type, bool allow_aborts = true)
+      : type_(type), allow_aborts_(allow_aborts) {}
+
+  std::string name() const override { return "SerialScheduler"; }
+
+  bool IsInput(const Action& a) const override {
+    return a.kind == ActionKind::kRequestCreate ||
+           a.kind == ActionKind::kRequestCommit;
+  }
+
+  bool IsOutput(const Action& a) const override {
+    switch (a.kind) {
+      case ActionKind::kCreate:
+      case ActionKind::kCommit:
+      case ActionKind::kAbort:
+      case ActionKind::kReportCommit:
+      case ActionKind::kReportAbort:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  void Apply(const Action& a) override;
+
+  std::vector<Action> EnabledOutputs() const override;
+
+  bool IsCreated(TxName t) const { return created_.count(t) != 0; }
+  bool IsCompleted(TxName t) const {
+    return committed_.count(t) != 0 || aborted_.count(t) != 0;
+  }
+
+ private:
+  /// Number of live (created, not completed) children of `parent`.
+  int LiveChildren(TxName parent) const;
+
+  const SystemType& type_;
+  bool allow_aborts_;
+
+  std::set<TxName> create_requested_;
+  std::set<TxName> created_;
+  std::map<TxName, Value> commit_requested_;
+  std::set<TxName> committed_;
+  std::set<TxName> aborted_;
+  std::set<TxName> reported_;
+  std::map<TxName, int> live_children_;
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_SERIAL_SERIAL_SCHEDULER_H_

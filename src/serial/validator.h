@@ -1,0 +1,34 @@
+#ifndef NTSG_SERIAL_VALIDATOR_H_
+#define NTSG_SERIAL_VALIDATOR_H_
+
+#include "common/status.h"
+#include "tx/trace.h"
+
+namespace ntsg {
+
+/// Hook by which the caller vouches that γ|T is a possible behavior of the
+/// transaction automaton A_T. The serial system's correctness definition
+/// quantifies over the *same* transaction automata as the concurrent system;
+/// the simulation layer implements this oracle for its scripted programs.
+class TransactionOracle {
+ public:
+  virtual ~TransactionOracle() = default;
+
+  /// `projection` is γ|T for the non-access transaction `t` (T0 included).
+  virtual Status ValidateProjection(const SystemType& type, TxName t,
+                                    const Trace& projection) const = 0;
+};
+
+/// Decides whether γ is a finite behavior of the serial system (Section
+/// 2.2.4): every scheduler output satisfies the serial scheduler's
+/// preconditions at its position, every object response equals the serial
+/// spec's return value, projections are well-formed, and (if an oracle is
+/// given) each non-access projection is a possible behavior of A_T.
+///
+/// Returns OK iff γ qualifies; the error identifies the first violation.
+Status ValidateSerialBehavior(const SystemType& type, const Trace& gamma,
+                              const TransactionOracle* oracle = nullptr);
+
+}  // namespace ntsg
+
+#endif  // NTSG_SERIAL_VALIDATOR_H_

@@ -1,0 +1,173 @@
+#include "sg/affects.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+std::vector<std::pair<size_t, size_t>> DirectlyAffects(const SystemType& type,
+                                                       const Trace& beta) {
+  std::vector<std::pair<size_t, size_t>> pairs;
+  for (size_t j = 0; j < beta.size(); ++j) {
+    const Action& pi = beta[j];
+    NTSG_CHECK(pi.IsSerial());
+    for (size_t i = 0; i < j; ++i) {
+      const Action& phi = beta[i];
+      bool affects = false;
+      TxName tp = TransactionOf(type, phi);
+      if (tp != kInvalidTx && tp == TransactionOf(type, pi)) affects = true;
+      if (phi.kind == ActionKind::kRequestCreate && phi.tx == pi.tx &&
+          (pi.kind == ActionKind::kCreate || pi.kind == ActionKind::kAbort)) {
+        affects = true;
+      }
+      if (phi.kind == ActionKind::kRequestCommit && phi.tx == pi.tx &&
+          pi.kind == ActionKind::kCommit) {
+        affects = true;
+      }
+      if (phi.kind == ActionKind::kCommit && phi.tx == pi.tx &&
+          pi.kind == ActionKind::kReportCommit) {
+        affects = true;
+      }
+      if (phi.kind == ActionKind::kAbort && phi.tx == pi.tx &&
+          pi.kind == ActionKind::kReportAbort) {
+        affects = true;
+      }
+      if (affects) pairs.push_back({i, j});
+    }
+  }
+  return pairs;
+}
+
+namespace {
+
+/// Position of each node in each parent's order, for O(log) relative tests.
+std::map<TxName, std::map<TxName, size_t>> IndexOrders(
+    const std::map<TxName, std::vector<TxName>>& order) {
+  std::map<TxName, std::map<TxName, size_t>> pos;
+  for (const auto& [parent, children] : order) {
+    for (size_t i = 0; i < children.size(); ++i) pos[parent][children[i]] = i;
+  }
+  return pos;
+}
+
+}  // namespace
+
+Status CheckSuitability(
+    const SystemType& type, const Trace& beta,
+    const std::map<TxName, std::vector<TxName>>& order) {
+  TraceIndex index(type, beta);
+
+  // Events of visible(β, T0), with lowtransactions.
+  struct Ev {
+    size_t pos;
+    TxName low;
+  };
+  std::vector<Ev> events;
+  Trace visible_actions;
+  for (size_t i = 0; i < beta.size(); ++i) {
+    const Action& a = beta[i];
+    if (!a.IsSerial()) continue;
+    TxName high = HighTransactionOf(type, a);
+    if (high == kInvalidTx || !index.IsVisible(high, kT0)) continue;
+    events.push_back(Ev{i, LowTransactionOf(type, a)});
+    visible_actions.push_back(a);
+  }
+
+  auto pos = IndexOrders(order);
+  // Relative order of two lowtransactions under R_trans: -1 t1 before t2,
+  // +1 after, 0 unordered/unrelated.
+  auto rtrans = [&](TxName t1, TxName t2) -> int {
+    if (t1 == t2) return 0;
+    if (type.IsAncestor(t1, t2) || type.IsAncestor(t2, t1)) return 0;
+    TxName p = type.Lca(t1, t2);
+    TxName u1 = type.ChildToward(p, t1);
+    TxName u2 = type.ChildToward(p, t2);
+    auto pit = pos.find(p);
+    if (pit == pos.end()) return 0;
+    auto i1 = pit->second.find(u1), i2 = pit->second.find(u2);
+    if (i1 == pit->second.end() || i2 == pit->second.end()) return 0;
+    return i1->second < i2->second ? -1 : 1;
+  };
+
+  // Condition 1: all sibling lowtransaction pairs are ordered.
+  for (size_t a = 0; a < events.size(); ++a) {
+    for (size_t b = a + 1; b < events.size(); ++b) {
+      TxName t1 = events[a].low, t2 = events[b].low;
+      if (t1 == t2 || !type.AreSiblings(t1, t2)) continue;
+      if (rtrans(t1, t2) == 0) {
+        return Status::VerificationFailed(
+            "order does not relate siblings " + type.NameOf(t1) + " and " +
+            type.NameOf(t2));
+      }
+    }
+  }
+
+  // Condition 2: union of R_event(β) and affects(β) on visible events is
+  // acyclic. Build adjacency over event indices (within `events`).
+  size_t n = events.size();
+  std::vector<std::vector<size_t>> adj(n);
+  // Edges: directly-affects between visible events (transitive closure is
+  // unnecessary for a cycle test) plus R_event edges in order direction.
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const Action& phi = beta[events[a].pos];
+      const Action& pi = beta[events[b].pos];
+      if (events[a].pos < events[b].pos) {
+        bool affects = false;
+        TxName tp = TransactionOf(type, phi);
+        if (tp != kInvalidTx && tp == TransactionOf(type, pi)) affects = true;
+        if (phi.kind == ActionKind::kRequestCreate && phi.tx == pi.tx &&
+            (pi.kind == ActionKind::kCreate ||
+             pi.kind == ActionKind::kAbort)) {
+          affects = true;
+        }
+        if (phi.kind == ActionKind::kRequestCommit && phi.tx == pi.tx &&
+            pi.kind == ActionKind::kCommit) {
+          affects = true;
+        }
+        if (phi.kind == ActionKind::kCommit && phi.tx == pi.tx &&
+            pi.kind == ActionKind::kReportCommit) {
+          affects = true;
+        }
+        if (phi.kind == ActionKind::kAbort && phi.tx == pi.tx &&
+            pi.kind == ActionKind::kReportAbort) {
+          affects = true;
+        }
+        if (affects) adj[a].push_back(b);
+      }
+      if (rtrans(events[a].low, events[b].low) < 0) adj[a].push_back(b);
+    }
+  }
+
+  // Cycle test (iterative coloring DFS).
+  std::vector<int> color(n, 0);
+  for (size_t s = 0; s < n; ++s) {
+    if (color[s] != 0) continue;
+    std::vector<std::pair<size_t, size_t>> stack{{s, 0}};
+    color[s] = 1;
+    while (!stack.empty()) {
+      auto& [node, idx] = stack.back();
+      if (idx >= adj[node].size()) {
+        color[node] = 2;
+        stack.pop_back();
+        continue;
+      }
+      size_t next = adj[node][idx++];
+      if (color[next] == 1) {
+        return Status::VerificationFailed(
+            "R_event and affects are inconsistent (cycle through event " +
+            beta[events[next].pos].ToString(type) + ")");
+      }
+      if (color[next] == 0) {
+        color[next] = 1;
+        stack.push_back({next, 0});
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ntsg

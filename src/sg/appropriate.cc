@@ -1,0 +1,146 @@
+#include "sg/appropriate.h"
+
+#include <map>
+
+#include "common/logging.h"
+#include "spec/final_value.h"
+#include "spec/replay.h"
+
+namespace ntsg {
+
+Status CheckAppropriateReturnValuesRw(const SystemType& type,
+                                      const Trace& beta) {
+  for (ObjectId x = 0; x < type.num_objects(); ++x) {
+    NTSG_CHECK(type.object_type(x) == ObjectType::kReadWrite)
+        << "read/write appropriateness requires read/write objects";
+  }
+  Trace vis = VisibleTo(type, beta, kT0);
+  // Walk visible(β, T0) maintaining the last write per object.
+  std::map<ObjectId, TxName> last_write;
+  for (const Action& a : vis) {
+    if (a.kind != ActionKind::kRequestCommit || !type.IsAccess(a.tx)) continue;
+    const AccessSpec& acc = type.access(a.tx);
+    if (acc.op == OpCode::kWrite) {
+      if (!a.value.is_ok()) {
+        return Status::VerificationFailed(
+            "write access returned non-OK: " + a.ToString(type));
+      }
+      last_write[acc.object] = a.tx;
+    } else {
+      auto it = last_write.find(acc.object);
+      int64_t expect = it == last_write.end()
+                           ? type.object_initial(acc.object)
+                           : type.access(it->second).arg;
+      if (a.value.is_ok() || a.value.AsInt() != expect) {
+        return Status::VerificationFailed(
+            "read access returned " + a.value.ToString() + " but final-value" +
+            " of the visible prefix is " + std::to_string(expect) + ": " +
+            a.ToString(type));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckAppropriateReturnValuesGeneral(const SystemType& type,
+                                           const Trace& beta) {
+  Trace vis = VisibleTo(type, beta, kT0);
+  for (ObjectId x = 0; x < type.num_objects(); ++x) {
+    std::vector<Operation> ops =
+        OperationsIn(type, ProjectObject(type, vis, x));
+    Status s = ReplayOperations(type, x, ops);
+    if (!s.ok()) {
+      return Status::VerificationFailed(
+          "object " + type.object_name(x) +
+          ": visible operations are not a serial behavior: " + s.message());
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+/// clean-last-write of the prefix beta[0, pos): the last write access to X
+/// whose transaction is not an orphan within that prefix.
+std::optional<TxName> CleanLastWriteOfPrefix(const SystemType& type,
+                                             const Trace& beta, size_t pos,
+                                             ObjectId x) {
+  // Collect aborts within the prefix for orphan tests.
+  std::vector<uint8_t> aborted(type.num_names(), 0);
+  for (size_t i = 0; i < pos; ++i) {
+    if (beta[i].kind == ActionKind::kAbort) aborted[beta[i].tx] = 1;
+  }
+  auto is_orphan = [&](TxName t) {
+    for (TxName u = t;; u = type.parent(u)) {
+      if (aborted[u]) return true;
+      if (u == kT0) return false;
+    }
+  };
+  std::optional<TxName> result;
+  for (size_t i = 0; i < pos; ++i) {
+    const Action& a = beta[i];
+    if (a.kind != ActionKind::kRequestCommit || !type.IsAccess(a.tx)) continue;
+    const AccessSpec& acc = type.access(a.tx);
+    if (acc.object != x || acc.op != OpCode::kWrite) continue;
+    if (!is_orphan(a.tx)) result = a.tx;
+  }
+  return result;
+}
+
+}  // namespace
+
+bool IsCurrentReadEvent(const SystemType& type, const Trace& beta,
+                        size_t pos) {
+  const Action& a = beta[pos];
+  NTSG_CHECK(a.kind == ActionKind::kRequestCommit && type.IsAccess(a.tx));
+  const AccessSpec& acc = type.access(a.tx);
+  NTSG_CHECK(acc.op == OpCode::kRead);
+  std::optional<TxName> lw =
+      CleanLastWriteOfPrefix(type, beta, pos, acc.object);
+  int64_t expect =
+      lw.has_value() ? type.access(*lw).arg : type.object_initial(acc.object);
+  return !a.value.is_ok() && a.value.AsInt() == expect;
+}
+
+bool IsSafeReadEvent(const SystemType& type, const Trace& beta, size_t pos) {
+  const Action& a = beta[pos];
+  NTSG_CHECK(a.kind == ActionKind::kRequestCommit && type.IsAccess(a.tx));
+  const AccessSpec& acc = type.access(a.tx);
+  NTSG_CHECK(acc.op == OpCode::kRead);
+  std::optional<TxName> lw =
+      CleanLastWriteOfPrefix(type, beta, pos, acc.object);
+  if (!lw.has_value()) return true;
+  // Visibility of the writer to the reader, judged in the prefix.
+  Trace prefix(beta.begin(), beta.begin() + static_cast<long>(pos));
+  return TraceIndex(type, prefix).IsVisible(*lw, a.tx);
+}
+
+Status CheckCurrentAndSafe(const SystemType& type, const Trace& beta) {
+  // Identify the events of visible(β, T0) by index.
+  TraceIndex index(type, beta);
+  for (size_t i = 0; i < beta.size(); ++i) {
+    const Action& a = beta[i];
+    if (a.kind != ActionKind::kRequestCommit || !type.IsAccess(a.tx)) continue;
+    TxName high = HighTransactionOf(type, a);
+    if (!index.IsVisible(high, kT0)) continue;
+    const AccessSpec& acc = type.access(a.tx);
+    if (acc.op == OpCode::kWrite) {
+      if (!a.value.is_ok()) {
+        return Status::VerificationFailed("write returned non-OK: " +
+                                          a.ToString(type));
+      }
+    } else {
+      if (!IsCurrentReadEvent(type, beta, i)) {
+        return Status::VerificationFailed("read not current: " +
+                                          a.ToString(type));
+      }
+      if (!IsSafeReadEvent(type, beta, i)) {
+        return Status::VerificationFailed("read not safe (dirty read): " +
+                                          a.ToString(type));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ntsg

@@ -1,0 +1,40 @@
+#ifndef NTSG_SG_APPROPRIATE_H_
+#define NTSG_SG_APPROPRIATE_H_
+
+#include "common/status.h"
+#include "tx/trace.h"
+
+namespace ntsg {
+
+/// Section 3.2 (read/write objects): β has appropriate return values iff for
+/// every REQUEST_COMMIT(T, v) in visible(β, T0) with T an access to X,
+/// either T is a write and v = OK, or T is a read and v = final-value(δ, X)
+/// where δ is the prefix of visible(β, T0) preceding the event.
+/// Requires all objects to be read/write. `beta` is a sequence of serial
+/// actions (a simple behavior, or serial(β) of a generic behavior).
+Status CheckAppropriateReturnValuesRw(const SystemType& type,
+                                      const Trace& beta);
+
+/// Section 6.1 (arbitrary types; equals the above on read/write systems by
+/// Lemma 5): for every object X, perform(operations(visible(β, T0)|X)) must
+/// be a behavior of S_X — checked by spec replay.
+Status CheckAppropriateReturnValuesGeneral(const SystemType& type,
+                                           const Trace& beta);
+
+/// Section 3.3: a REQUEST_COMMIT(T, v) event for a read access at position
+/// `pos` in the serial-action sequence `beta` is *current* iff
+/// v = clean-final-value(β', X) where β' is the prefix before the event.
+bool IsCurrentReadEvent(const SystemType& type, const Trace& beta, size_t pos);
+
+/// Section 3.3: the event is *safe* iff clean-last-write(β', X) is undefined
+/// or visible to T in β'. A read that is not safe reads "dirty data".
+bool IsSafeReadEvent(const SystemType& type, const Trace& beta, size_t pos);
+
+/// Lemma 6 hypotheses: every write response in visible(β, T0) is OK and
+/// every read response in visible(β, T0) is current and safe in β. When this
+/// passes, β has appropriate return values. Requires read/write objects.
+Status CheckCurrentAndSafe(const SystemType& type, const Trace& beta);
+
+}  // namespace ntsg
+
+#endif  // NTSG_SG_APPROPRIATE_H_

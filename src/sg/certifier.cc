@@ -1,0 +1,40 @@
+#include "sg/certifier.h"
+
+#include "sg/appropriate.h"
+
+namespace ntsg {
+
+CertifierReport CertifySeriallyCorrect(const SystemType& type,
+                                       const Trace& beta, ConflictMode mode) {
+  CertifierReport report;
+  Trace serial = SerialPart(beta);
+
+  Status values = mode == ConflictMode::kReadWrite
+                      ? CheckAppropriateReturnValuesRw(type, serial)
+                      : CheckAppropriateReturnValuesGeneral(type, serial);
+  report.appropriate_return_values = values.ok();
+
+  SerializationGraph sg = SerializationGraph::Build(type, serial, mode);
+  report.conflict_edge_count = sg.conflict_edges().size();
+  report.precedes_edge_count = sg.precedes_edges().size();
+  report.cycle = sg.FindCycle();
+  report.graph_acyclic = !report.cycle.has_value();
+
+  if (!values.ok()) {
+    report.status = Status::VerificationFailed(
+        "return values not appropriate: " + values.message());
+  } else if (!report.graph_acyclic) {
+    std::string names;
+    for (TxName t : *report.cycle) {
+      if (!names.empty()) names += " -> ";
+      names += type.NameOf(t);
+    }
+    report.status =
+        Status::VerificationFailed("serialization graph has cycle: " + names);
+  } else {
+    report.status = Status::Ok();
+  }
+  return report;
+}
+
+}  // namespace ntsg

@@ -1,0 +1,53 @@
+#ifndef NTSG_SG_CONFLICTS_H_
+#define NTSG_SG_CONFLICTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tx/trace.h"
+
+namespace ntsg {
+
+/// How operation conflicts are judged when building the serialization graph.
+enum class ConflictMode : uint8_t {
+  /// Section 4: objects must be read/write; two accesses to the same object
+  /// conflict iff at least one is a write (value-independent).
+  kReadWrite,
+  /// Section 6.1: two operations conflict iff they fail to commute backward
+  /// under the object's serial specification (value-dependent). Sound for
+  /// every bundled data type, including read/write registers.
+  kCommutativity,
+};
+
+/// A directed sibling edge (from, to): both are children of `parent`.
+struct SiblingEdge {
+  TxName parent;
+  TxName from;
+  TxName to;
+
+  bool operator==(const SiblingEdge& other) const {
+    return parent == other.parent && from == other.from && to == other.to;
+  }
+  bool operator<(const SiblingEdge& other) const {
+    if (parent != other.parent) return parent < other.parent;
+    if (from != other.from) return from < other.from;
+    return to < other.to;
+  }
+};
+
+/// conflict(β) (Section 4, generalized in Section 6.1): (T, T') with common
+/// parent P such that accesses U (a descendant of T) and U' (of T') perform
+/// conflicting operations, the REQUEST_COMMIT of U preceding that of U' in
+/// visible(β, T0). `beta` must be a sequence of serial actions (apply
+/// SerialPart first for generic behaviors).
+std::vector<SiblingEdge> ConflictRelation(const SystemType& type,
+                                          const Trace& beta, ConflictMode mode);
+
+/// precedes(β) (Section 4): (T, T') siblings whose common parent is visible
+/// to T0 in β, with a report event for T preceding REQUEST_CREATE(T') in β.
+std::vector<SiblingEdge> PrecedesRelation(const SystemType& type,
+                                          const Trace& beta);
+
+}  // namespace ntsg
+
+#endif  // NTSG_SG_CONFLICTS_H_

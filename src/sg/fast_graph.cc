@@ -1,0 +1,133 @@
+#include "sg/fast_graph.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace ntsg {
+
+namespace {
+
+/// Node ids: real transaction names in the low range; timeline (virtual)
+/// nodes tagged in the high bits.
+using NodeId = uint64_t;
+
+NodeId RealNode(TxName t) { return t; }
+NodeId VirtualNode(size_t k) { return (uint64_t{1} << 32) | k; }
+bool IsRealNode(NodeId n) { return (n >> 32) == 0; }
+
+/// Builds the combined conflict + timeline graph (see header).
+std::map<NodeId, std::vector<NodeId>> BuildFastGraph(const SystemType& type,
+                                                     const Trace& beta,
+                                                     ConflictMode mode,
+                                                     FastSgReport* report) {
+  std::map<NodeId, std::vector<NodeId>> adj;
+
+  std::vector<SiblingEdge> conflicts = ConflictRelation(type, beta, mode);
+  report->conflict_edge_count = conflicts.size();
+  for (const SiblingEdge& e : conflicts) {
+    adj[RealNode(e.from)].push_back(RealNode(e.to));
+    adj.try_emplace(RealNode(e.to));
+  }
+
+  TraceIndex index(type, beta);
+  struct ParentState {
+    std::vector<TxName> pending_reported;
+    NodeId last_virtual = 0;
+    bool has_virtual = false;
+  };
+  std::map<TxName, ParentState> parents;
+  size_t next_virtual = 0;
+
+  for (const Action& a : beta) {
+    if (a.kind == ActionKind::kReportCommit ||
+        a.kind == ActionKind::kReportAbort) {
+      TxName p = type.parent(a.tx);
+      if (!index.IsVisible(p, kT0)) continue;
+      parents[p].pending_reported.push_back(a.tx);
+    } else if (a.kind == ActionKind::kRequestCreate) {
+      TxName p = type.parent(a.tx);
+      if (!index.IsVisible(p, kT0)) continue;
+      ParentState& st = parents[p];
+      if (!st.pending_reported.empty()) {
+        // Seal an epoch: reported children funnel into a fresh node.
+        NodeId v = VirtualNode(next_virtual++);
+        ++report->timeline_node_count;
+        for (TxName c : st.pending_reported) {
+          adj[RealNode(c)].push_back(v);
+          ++report->timeline_edge_count;
+        }
+        st.pending_reported.clear();
+        if (st.has_virtual) {
+          adj[st.last_virtual].push_back(v);
+          ++report->timeline_edge_count;
+        }
+        adj.try_emplace(v);
+        st.last_virtual = v;
+        st.has_virtual = true;
+      }
+      if (st.has_virtual) {
+        adj[st.last_virtual].push_back(RealNode(a.tx));
+        adj.try_emplace(RealNode(a.tx));
+        ++report->timeline_edge_count;
+      }
+    }
+  }
+  return adj;
+}
+
+/// Kahn's algorithm with a deterministic (ordered) frontier. Returns the
+/// topological sequence, or an empty vector on a cycle.
+std::vector<NodeId> TopoSort(const std::map<NodeId, std::vector<NodeId>>& adj) {
+  std::map<NodeId, int> indegree;
+  for (const auto& [n, succs] : adj) {
+    indegree.try_emplace(n, 0);
+    for (NodeId s : succs) indegree[s]++;
+  }
+  std::set<NodeId> frontier;
+  for (const auto& [n, d] : indegree) {
+    if (d == 0) frontier.insert(n);
+  }
+  std::vector<NodeId> order;
+  while (!frontier.empty()) {
+    NodeId n = *frontier.begin();
+    frontier.erase(frontier.begin());
+    order.push_back(n);
+    auto it = adj.find(n);
+    if (it == adj.end()) continue;
+    for (NodeId s : it->second) {
+      if (--indegree[s] == 0) frontier.insert(s);
+    }
+  }
+  if (order.size() != indegree.size()) return {};  // Cycle.
+  return order;
+}
+
+}  // namespace
+
+FastSgReport FastSgAcyclicity(const SystemType& type, const Trace& beta,
+                              ConflictMode mode) {
+  FastSgReport report;
+  auto adj = BuildFastGraph(type, beta, mode, &report);
+  report.acyclic = !TopoSort(adj).empty() || adj.empty();
+  return report;
+}
+
+std::optional<std::map<TxName, std::vector<TxName>>> FastTopologicalOrders(
+    const SystemType& type, const Trace& beta, ConflictMode mode) {
+  FastSgReport report;
+  auto adj = BuildFastGraph(type, beta, mode, &report);
+  std::vector<NodeId> order = TopoSort(adj);
+  if (order.empty() && !adj.empty()) return std::nullopt;
+
+  std::map<TxName, std::vector<TxName>> result;
+  for (NodeId n : order) {
+    if (!IsRealNode(n)) continue;
+    TxName t = static_cast<TxName>(n);
+    result[type.parent(t)].push_back(t);
+  }
+  return result;
+}
+
+}  // namespace ntsg

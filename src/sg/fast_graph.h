@@ -1,0 +1,56 @@
+#ifndef NTSG_SG_FAST_GRAPH_H_
+#define NTSG_SG_FAST_GRAPH_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "sg/conflicts.h"
+
+namespace ntsg {
+
+/// Result of the timeline-encoded acyclicity check.
+struct FastSgReport {
+  bool acyclic = true;
+  size_t conflict_edge_count = 0;
+  size_t timeline_edge_count = 0;
+  size_t timeline_node_count = 0;
+};
+
+/// Acyclicity of SG(β) without materializing precedes(β).
+///
+/// precedes(β) relates (T, T') whenever a report for T occurs before
+/// REQUEST_CREATE(T') — a relation with Θ(n²) pairs once siblings complete
+/// in sequence, which dominates SerializationGraph::Build at scale (see
+/// bench_sg_construction). But for *cycle detection* its transitive
+/// structure can be threaded through per-parent "timeline" nodes:
+///
+///   * scanning β, each parent accumulates reported children; when a new
+///     child is requested after at least one report, an epoch node v is
+///     sealed with edges  reported-child -> v  and  v_prev -> v;
+///   * each child requested while an epoch is open gets an edge  v -> child.
+///
+/// Then report(T) precedes request(T') iff a timeline path T ->* T' exists,
+/// so the union of conflict edges and timeline edges has a cycle iff
+/// conflict(β) ∪ precedes(β) does. Total timeline edges: O(n).
+///
+/// Used where only the verdict matters (monitoring, large audits); the full
+/// SerializationGraph remains the source of topological orders for the
+/// witness construction.
+FastSgReport FastSgAcyclicity(const SystemType& type, const Trace& beta,
+                              ConflictMode mode);
+
+/// Per-parent sibling orders consistent with conflict(β) ∪ precedes(β),
+/// derived from the timeline-encoded graph: a deterministic topological
+/// sort of the combined graph, projected onto each parent's children. Any
+/// projection of a topological order is consistent with every edge inside
+/// the component, so the result is valid input for BuildAndCheckWitness —
+/// at O(n) timeline cost instead of the Θ(n²) materialized relation.
+///
+/// Returns nullopt when the graph is cyclic (no order exists).
+std::optional<std::map<TxName, std::vector<TxName>>> FastTopologicalOrders(
+    const SystemType& type, const Trace& beta, ConflictMode mode);
+
+}  // namespace ntsg
+
+#endif  // NTSG_SG_FAST_GRAPH_H_

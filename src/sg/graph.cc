@@ -1,0 +1,145 @@
+#include "sg/graph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+SerializationGraph SerializationGraph::Build(const SystemType& type,
+                                             const Trace& beta,
+                                             ConflictMode mode) {
+  return FromEdges(ConflictRelation(type, beta, mode),
+                   PrecedesRelation(type, beta));
+}
+
+SerializationGraph SerializationGraph::FromEdges(
+    std::vector<SiblingEdge> conflict_edges,
+    std::vector<SiblingEdge> precedes_edges) {
+  SerializationGraph g;
+  g.conflict_edges_ = std::move(conflict_edges);
+  g.precedes_edges_ = std::move(precedes_edges);
+  return g;
+}
+
+std::map<TxName, std::map<TxName, std::vector<TxName>>>
+SerializationGraph::BuildAdjacency() const {
+  std::map<TxName, std::map<TxName, std::vector<TxName>>> adj;
+  std::set<std::pair<std::pair<TxName, TxName>, TxName>> seen;
+  for (const auto* edges : {&conflict_edges_, &precedes_edges_}) {
+    for (const SiblingEdge& e : *edges) {
+      if (!seen.insert({{e.parent, e.from}, e.to}).second) continue;
+      adj[e.parent][e.from].push_back(e.to);
+      adj[e.parent].try_emplace(e.to);  // Ensure node exists.
+    }
+  }
+  return adj;
+}
+
+std::vector<TxName> SerializationGraph::Parents() const {
+  std::set<TxName> parents;
+  for (const auto* edges : {&conflict_edges_, &precedes_edges_}) {
+    for (const SiblingEdge& e : *edges) parents.insert(e.parent);
+  }
+  return std::vector<TxName>(parents.begin(), parents.end());
+}
+
+std::optional<std::vector<TxName>> SerializationGraph::FindCycle() const {
+  auto adj = BuildAdjacency();
+  for (const auto& [parent, nodes] : adj) {
+    (void)parent;
+    // Iterative DFS with colors; records the stack to extract the cycle.
+    std::map<TxName, int> color;  // 0 white, 1 gray, 2 black.
+    for (const auto& [start, succs] : nodes) {
+      (void)succs;
+      if (color[start] != 0) continue;
+      std::vector<std::pair<TxName, size_t>> stack;  // (node, next succ idx).
+      stack.push_back({start, 0});
+      color[start] = 1;
+      while (!stack.empty()) {
+        auto& [node, idx] = stack.back();
+        const std::vector<TxName>& succ = nodes.at(node);
+        if (idx >= succ.size()) {
+          color[node] = 2;
+          stack.pop_back();
+          continue;
+        }
+        TxName next = succ[idx++];
+        int c = color[next];
+        if (c == 1) {
+          // Found a back edge; the cycle is the stack suffix from `next`.
+          std::vector<TxName> cycle;
+          bool in_cycle = false;
+          for (const auto& [n, i] : stack) {
+            (void)i;
+            if (n == next) in_cycle = true;
+            if (in_cycle) cycle.push_back(n);
+          }
+          return cycle;
+        }
+        if (c == 0) {
+          color[next] = 1;
+          stack.push_back({next, 0});
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::map<TxName, std::vector<TxName>> SerializationGraph::TopologicalOrders()
+    const {
+  NTSG_CHECK(IsAcyclic()) << "topological order requested for cyclic graph";
+  auto adj = BuildAdjacency();
+  std::map<TxName, std::vector<TxName>> result;
+  for (const auto& [parent, nodes] : adj) {
+    // Kahn's algorithm with a deterministic (sorted) frontier.
+    std::map<TxName, int> indegree;
+    for (const auto& [n, succs] : nodes) {
+      indegree.try_emplace(n, 0);
+      for (TxName s : succs) indegree[s]++;
+    }
+    std::set<TxName> frontier;
+    for (const auto& [n, d] : indegree) {
+      if (d == 0) frontier.insert(n);
+    }
+    std::vector<TxName> order;
+    while (!frontier.empty()) {
+      TxName n = *frontier.begin();
+      frontier.erase(frontier.begin());
+      order.push_back(n);
+      for (TxName s : nodes.at(n)) {
+        if (--indegree[s] == 0) frontier.insert(s);
+      }
+    }
+    NTSG_CHECK_EQ(order.size(), nodes.size());
+    result[parent] = std::move(order);
+  }
+  return result;
+}
+
+std::string SerializationGraph::ToDot(const SystemType& type) const {
+  std::string out = "digraph SG {\n";
+  auto parents = Parents();
+  int cluster = 0;
+  for (TxName p : parents) {
+    out += "  subgraph cluster_" + std::to_string(cluster++) + " {\n";
+    out += "    label=\"SG(beta, " + type.NameOf(p) + ")\";\n";
+    for (const SiblingEdge& e : conflict_edges_) {
+      if (e.parent != p) continue;
+      out += "    \"" + type.NameOf(e.from) + "\" -> \"" + type.NameOf(e.to) +
+             "\" [color=black];\n";
+    }
+    for (const SiblingEdge& e : precedes_edges_) {
+      if (e.parent != p) continue;
+      out += "    \"" + type.NameOf(e.from) + "\" -> \"" + type.NameOf(e.to) +
+             "\" [style=dashed, color=blue];\n";
+    }
+    out += "  }\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ntsg

@@ -1,0 +1,85 @@
+#ifndef NTSG_SGT_COORDINATOR_H_
+#define NTSG_SGT_COORDINATOR_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "tx/system_type.h"
+
+namespace ntsg {
+
+/// Shared, incrementally maintained serialization graph used by the online
+/// SGT scheduler (an extension in the spirit of the paper's Section 7): SGT
+/// objects propose the sibling conflict edges a candidate response would
+/// add, and the coordinator admits the response only if the graph stays
+/// acyclic.
+///
+/// Edges are tagged with the pair of access transactions that induced them,
+/// so that when a transaction aborts, the edges supported only by its
+/// descendants' (expunged) operations disappear with it.
+class SgtCoordinator {
+ public:
+  explicit SgtCoordinator(const SystemType& type) : type_(type) {}
+
+  /// A conflict between two access operations, ordered first -> second by
+  /// response order.
+  struct AccessConflict {
+    TxName first;
+    TxName second;
+  };
+
+  /// True iff adding the sibling edges induced by `conflicts` keeps every
+  /// component acyclic. Does not modify the graph.
+  bool WouldRemainAcyclic(const std::vector<AccessConflict>& conflicts) const;
+
+  /// Records the edges induced by `conflicts` (callers check
+  /// WouldRemainAcyclic first; this CHECKs acyclicity in debug spirit).
+  void AddConflicts(const std::vector<AccessConflict>& conflicts);
+
+  /// Drops every edge one of whose supporting accesses is a descendant of
+  /// `t` (called when t aborts). Idempotent.
+  void OnAbort(TxName t);
+
+  size_t edge_count() const { return edges_.size(); }
+
+ private:
+  struct Edge {
+    TxName parent;
+    TxName from;
+    TxName to;
+    TxName from_access;
+    TxName to_access;
+
+    bool operator<(const Edge& other) const {
+      return std::tie(parent, from, to, from_access, to_access) <
+             std::tie(other.parent, other.from, other.to, other.from_access,
+                      other.to_access);
+    }
+  };
+
+  /// Sibling-level edge induced by a conflict; nullopt when both accesses
+  /// fall under the same child (no sibling edge).
+  std::optional<Edge> ToEdge(const AccessConflict& c) const;
+
+  /// True iff `target` is reachable from `start` within `parent`'s
+  /// component, following stored adjacency plus optional `extra` edges.
+  bool ReachesFrom(TxName parent, TxName start, TxName target,
+                   const std::map<TxName, std::vector<TxName>>* extra) const;
+
+  /// Cycle test over one component: stored adjacency plus `extra` edges,
+  /// starting from the endpoints of `extra`.
+  bool HasCycleAt(TxName parent,
+                  const std::map<TxName, std::vector<TxName>>& extra) const;
+
+  const SystemType& type_;
+  std::set<Edge> edges_;
+  /// parent -> from -> (to -> number of supporting access pairs). Kept in
+  /// sync with edges_ so queries never rebuild the graph.
+  std::map<TxName, std::map<TxName, std::map<TxName, int>>> adjacency_;
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_SGT_COORDINATOR_H_

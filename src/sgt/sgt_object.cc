@@ -1,0 +1,46 @@
+#include "sgt/sgt_object.h"
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+SgtObject::ConflictScan SgtObject::ScanConflicts(TxName access,
+                                                 const OpRecord& mine) const {
+  ConflictScan scan;
+  ObjectType otype = type_.object_type(x_);
+  for (const Operation& entry : log_) {
+    if (CommutesBackward(otype, mine, RecordOf(entry))) continue;
+    scan.conflicts.push_back(SgtCoordinator::AccessConflict{entry.tx, access});
+    if (!IsLocallyVisible(entry.tx, access)) scan.all_visible = false;
+  }
+  return scan;
+}
+
+std::vector<Action> SgtObject::EnabledOutputs() const {
+  std::vector<Action> out;
+  for (TxName t : pending()) {
+    const AccessSpec& acc = type_.access(t);
+    std::unique_ptr<SerialSpec> probe = state_->Clone();
+    Value v = probe->Apply(acc.op, acc.arg);
+    ConflictScan scan = ScanConflicts(t, OpRecord{acc.op, acc.arg, v});
+    // Observers must not depend on data that can still be undone.
+    if (!IsUpdateOp(acc.op) && !scan.all_visible) continue;
+    if (!coordinator_->WouldRemainAcyclic(scan.conflicts)) continue;
+    out.push_back(Action::RequestCommit(t, v));
+  }
+  return out;
+}
+
+void SgtObject::OnRequestCommit(TxName access, const Value& v) {
+  const AccessSpec& acc = type_.access(access);
+  ConflictScan scan = ScanConflicts(access, OpRecord{acc.op, acc.arg, v});
+  coordinator_->AddConflicts(scan.conflicts);
+  UndoObject::OnRequestCommit(access, v);
+}
+
+void SgtObject::OnInformAbort(TxName t) {
+  coordinator_->OnAbort(t);
+  UndoObject::OnInformAbort(t);
+}
+
+}  // namespace ntsg

@@ -1,0 +1,300 @@
+#include "sim/driver.h"
+
+#include "common/logging.h"
+#include "generic/controller.h"
+#include "generic/generic_object.h"
+#include "moss/broken.h"
+#include "moss/moss_object.h"
+#include "moss/read_update_object.h"
+#include "mvto/mvto_object.h"
+#include "mvto/timestamp_authority.h"
+#include "sgt/coordinator.h"
+#include "sgt/sgt_object.h"
+#include "undo/broken.h"
+#include "undo/undo_object.h"
+
+namespace ntsg {
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kMoss:
+      return "moss";
+    case Backend::kDirtyReadMoss:
+      return "moss_dirty_read";
+    case Backend::kNoReadLockMoss:
+      return "moss_no_read_lock";
+    case Backend::kIgnoreReadersMoss:
+      return "moss_ignore_readers";
+    case Backend::kUndo:
+      return "undo";
+    case Backend::kNoCommuteUndo:
+      return "undo_no_commute";
+    case Backend::kSgt:
+      return "sgt";
+    case Backend::kGeneralLocking:
+      return "general_locking";
+    case Backend::kMvto:
+      return "mvto";
+  }
+  return "?";
+}
+
+bool IsBrokenBackend(Backend backend) {
+  switch (backend) {
+    case Backend::kDirtyReadMoss:
+    case Backend::kNoReadLockMoss:
+    case Backend::kIgnoreReadersMoss:
+    case Backend::kNoCommuteUndo:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Simulation::Simulation(SystemType* type, std::unique_ptr<ProgramNode> root)
+    : type_(type), root_(std::move(root)) {
+  NTSG_CHECK(root_->kind == ProgramNode::Kind::kComposite);
+}
+
+Simulation::~Simulation() = default;
+
+namespace {
+
+std::unique_ptr<GenericObject> MakeBackendObject(
+    const SimConfig& config, const SystemType& type, ObjectId x,
+    SgtCoordinator* coordinator, TimestampAuthority* authority) {
+  Backend backend = config.backend;
+  switch (backend) {
+    case Backend::kMoss:
+      return std::make_unique<MossObject>(type, x);
+    case Backend::kDirtyReadMoss:
+      return std::make_unique<DirtyReadMossObject>(type, x);
+    case Backend::kNoReadLockMoss:
+      return std::make_unique<NoReadLockMossObject>(type, x);
+    case Backend::kIgnoreReadersMoss:
+      return std::make_unique<IgnoreReadersMossObject>(type, x);
+    case Backend::kUndo:
+      return std::make_unique<UndoObject>(type, x,
+                                          config.undo_log_compaction);
+    case Backend::kNoCommuteUndo:
+      return std::make_unique<NoCommuteCheckUndoObject>(type, x);
+    case Backend::kSgt:
+      return std::make_unique<SgtObject>(type, x, coordinator);
+    case Backend::kGeneralLocking:
+      return std::make_unique<ReadUpdateObject>(type, x);
+    case Backend::kMvto:
+      return std::make_unique<MvtoObject>(type, x, authority);
+  }
+  NTSG_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace
+
+namespace {
+constexpr size_t kNoComponent = static_cast<size_t>(-1);
+}  // namespace
+
+void Simulation::RouteAction(const Action& a,
+                             std::vector<size_t>* participants) const {
+  participants->clear();
+  // Component layout: 0 = controller, 1..num_objects = objects, then
+  // scripted transactions in attachment order (tracked in scripted_index_).
+  participants->push_back(0);  // The controller participates in everything.
+  auto add_script = [&](TxName t) {
+    if (t < scripted_index_.size() && scripted_index_[t] != kNoComponent) {
+      participants->push_back(scripted_index_[t]);
+    }
+  };
+  switch (a.kind) {
+    case ActionKind::kCreate:
+    case ActionKind::kRequestCommit:
+      if (type_->IsAccess(a.tx)) {
+        participants->push_back(1 + type_->ObjectOf(a.tx));
+      } else {
+        add_script(a.tx);
+      }
+      break;
+    case ActionKind::kRequestCreate:
+    case ActionKind::kReportCommit:
+    case ActionKind::kReportAbort:
+      add_script(type_->parent(a.tx));
+      break;
+    case ActionKind::kCommit:
+    case ActionKind::kAbort:
+      break;  // Controller only.
+    case ActionKind::kInformCommit:
+    case ActionKind::kInformAbort:
+      participants->push_back(1 + a.at_object);
+      break;
+  }
+}
+
+TxName Simulation::PickStallVictim(Rng& rng, StallPolicy policy) const {
+  // Uniform choice of a live pending access without materializing the
+  // candidate list (stall resolution fires often under contention and the
+  // pending population can be large): count, draw once, select — the same
+  // single RNG draw as a materialized pick, so traces are unchanged.
+  size_t candidates = 0;
+  for (const GenericObject* obj : objects_) {
+    for (TxName t : obj->pending_set()) {
+      if (!controller_->IsCompleted(t)) ++candidates;
+    }
+  }
+  if (candidates == 0) return kInvalidTx;
+  size_t k = rng.NextBelow(candidates);
+  TxName access = kInvalidTx;
+  for (const GenericObject* obj : objects_) {
+    for (TxName t : obj->pending_set()) {
+      if (controller_->IsCompleted(t)) continue;
+      if (k == 0) {
+        access = t;
+        break;
+      }
+      --k;
+    }
+    if (access != kInvalidTx) break;
+  }
+  if (policy == StallPolicy::kAbortInnermost) {
+    // Finest-grained release: the blocked access's nearest live enclosing
+    // transaction. Repeated stalls walk further up as ancestors complete.
+    for (TxName u = type_->parent(access); u != kT0; u = type_->parent(u)) {
+      if (!controller_->IsCompleted(u)) return u;
+    }
+    return access;  // Degenerate: access directly under T0.
+  }
+  // Coarsest release: the highest incomplete ancestor strictly below T0 —
+  // abort the whole top-level transaction.
+  TxName victim = access;
+  for (TxName u = access; u != kT0; u = type_->parent(u)) {
+    if (!controller_->IsCompleted(u)) victim = u;
+  }
+  return victim;
+}
+
+SimResult Simulation::Run(const SimConfig& config) {
+  Rng rng(config.seed);
+  if (config.backend == Backend::kSgt) {
+    coordinator_ = std::make_unique<SgtCoordinator>(*type_);
+  }
+  if (config.backend == Backend::kMvto) {
+    authority_ = std::make_unique<TimestampAuthority>(*type_);
+  }
+
+  controller_ = composition_.Add(std::make_unique<GenericController>(*type_));
+  objects_.clear();
+  for (ObjectId x = 0; x < type_->num_objects(); ++x) {
+    objects_.push_back(composition_.Add(MakeBackendObject(
+        config, *type_, x, coordinator_.get(), authority_.get())));
+  }
+  composition_.Add(std::make_unique<ScriptedTransaction>(
+      type_, &registry_, kT0, root_.get(), /*is_root=*/true));
+  scripted_index_.assign(type_->num_names(), kNoComponent);
+  scripted_index_[kT0] = composition_.size() - 1;
+
+  SimStats stats;
+  std::vector<size_t> participants;
+  while (stats.steps < config.max_steps) {
+    Action a;
+    if (!composition_.SampleEnabled(rng, &a)) {
+      // Quiescent: either done, or blocked accesses need an abort.
+      TxName victim = PickStallVictim(rng, config.stall_policy);
+      if (victim == kInvalidTx) {
+        stats.completed = true;
+        break;
+      }
+      if (stats.stall_aborts_injected >= config.max_stall_aborts) break;
+      controller_->RequestAbort(victim);
+      composition_.Invalidate(0);  // Only the controller's state changed.
+      ++stats.stall_aborts_injected;
+      continue;
+    }
+
+    RouteAction(a, &participants);
+    Status s = composition_.ExecuteRouted(a, participants);
+    NTSG_CHECK(s.ok()) << s.ToString();
+    ++stats.steps;
+
+    // SGT objects share the coordinator graph: any action that mutates it
+    // (a response adds edges, an abort removes them) invalidates every
+    // other object's cached precondition check. Only the object components
+    // consult the coordinator.
+    if (config.backend == Backend::kSgt &&
+        ((a.kind == ActionKind::kRequestCommit && type_->IsAccess(a.tx)) ||
+         a.kind == ActionKind::kInformAbort)) {
+      for (size_t i = 0; i < objects_.size(); ++i) {
+        composition_.Invalidate(1 + i);
+      }
+    }
+
+    // Timestamps are assigned at creation-request time.
+    if (authority_ != nullptr && a.kind == ActionKind::kRequestCreate) {
+      authority_->OnRequestCreate(a.tx);
+    }
+
+    // Attach automata for freshly requested composite children.
+    if (a.kind == ActionKind::kRequestCreate && !type_->IsAccess(a.tx)) {
+      const ProgramNode* program = registry_.Lookup(a.tx);
+      NTSG_CHECK(program != nullptr)
+          << "no program registered for " << type_->NameOf(a.tx);
+      composition_.Add(std::make_unique<ScriptedTransaction>(
+          type_, &registry_, a.tx, program, /*is_root=*/false));
+      if (scripted_index_.size() < type_->num_names()) {
+        scripted_index_.resize(type_->num_names(), kNoComponent);
+      }
+      scripted_index_[a.tx] = composition_.size() - 1;
+    }
+
+    if (config.spontaneous_abort_prob > 0 &&
+        rng.NextBool(config.spontaneous_abort_prob)) {
+      std::vector<TxName> live = controller_->LiveCreated();
+      if (!live.empty()) {
+        controller_->RequestAbort(live[rng.NextBelow(live.size())]);
+        composition_.Invalidate(0);  // Only the controller's state changed.
+        ++stats.random_aborts_injected;
+      }
+    }
+  }
+
+  SimResult result;
+  result.trace = composition_.TakeBehavior();
+  for (const Action& a : result.trace) {
+    switch (a.kind) {
+      case ActionKind::kRequestCommit:
+        if (type_->IsAccess(a.tx)) ++stats.access_responses;
+        break;
+      case ActionKind::kCommit:
+        ++stats.commits;
+        if (type_->parent(a.tx) == kT0) ++stats.toplevel_committed;
+        break;
+      case ActionKind::kAbort:
+        ++stats.aborts;
+        if (type_->parent(a.tx) == kT0) ++stats.toplevel_aborted;
+        break;
+      default:
+        break;
+    }
+  }
+  result.stats = stats;
+  return result;
+}
+
+QuickRunResult QuickRun(const QuickRunParams& params) {
+  QuickRunResult out;
+  out.type = std::make_unique<SystemType>();
+  for (size_t i = 0; i < params.num_objects; ++i) {
+    out.type->AddObject(params.object_type, "X" + std::to_string(i),
+                        params.initial_value);
+  }
+  Rng rng(params.config.seed ^ 0x9E3779B97F4A7C15ull);
+  std::vector<std::unique_ptr<ProgramNode>> tops;
+  for (size_t i = 0; i < params.num_toplevel; ++i) {
+    tops.push_back(GenerateProgram(*out.type, params.gen, rng));
+  }
+  auto root = MakePar(std::move(tops), params.toplevel_retries);
+  Simulation sim(out.type.get(), std::move(root));
+  out.sim = sim.Run(params.config);
+  return out;
+}
+
+}  // namespace ntsg

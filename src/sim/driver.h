@@ -1,0 +1,147 @@
+#ifndef NTSG_SIM_DRIVER_H_
+#define NTSG_SIM_DRIVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ioa/composition.h"
+#include "sim/program.h"
+#include "sim/scripted.h"
+#include "tx/trace.h"
+
+namespace ntsg {
+
+/// Which generic object automaton implements each object.
+enum class Backend : uint8_t {
+  kMoss,               // M1_X (Section 5.2). Read/write objects only.
+  kDirtyReadMoss,      // Broken: reads ignore write locks.
+  kNoReadLockMoss,     // Broken: reads take no read lock.
+  kIgnoreReadersMoss,  // Broken: writes ignore read locks.
+  kUndo,               // U_X (Section 6.2). Any data type.
+  kNoCommuteUndo,      // Broken: skips the commutativity precondition.
+  kSgt,                // Online SGT scheduler (extension). Any data type.
+  kGeneralLocking,     // Read/update locking M_X (footnote 8). Any data type.
+  kMvto,               // Multiversion timestamp ordering (extension).
+                       // Read/write objects only.
+};
+
+const char* BackendName(Backend backend);
+
+/// True for the deliberately faulty variants.
+bool IsBrokenBackend(Backend backend);
+
+/// Which transaction the driver aborts to clear a stall (deadlock): the
+/// whole top-level ancestor of a blocked access (classic, coarse), or the
+/// blocked access's nearest live enclosing transaction (fine-grained — the
+/// partial rollback that nesting is for).
+enum class StallPolicy : uint8_t {
+  kAbortTopLevel,
+  kAbortInnermost,
+};
+
+struct SimConfig {
+  uint64_t seed = 1;
+  Backend backend = Backend::kMoss;
+  StallPolicy stall_policy = StallPolicy::kAbortTopLevel;
+  /// Hard step bound (safety net; normal runs quiesce well below it).
+  size_t max_steps = 2'000'000;
+  /// Probability per executed step of scheduling a spontaneous abort of a
+  /// random live transaction (failure injection).
+  double spontaneous_abort_prob = 0.0;
+  /// Bound on deadlock/stall-resolution aborts before giving up.
+  size_t max_stall_aborts = 100'000;
+  /// kUndo only: fold fully-committed log prefixes into a base state
+  /// (ablation A3; semantics identical either way).
+  bool undo_log_compaction = true;
+};
+
+struct SimStats {
+  size_t steps = 0;
+  size_t access_responses = 0;
+  size_t commits = 0;
+  size_t aborts = 0;
+  size_t toplevel_committed = 0;
+  size_t toplevel_aborted = 0;
+  size_t stall_aborts_injected = 0;
+  size_t random_aborts_injected = 0;
+  /// True when the run quiesced with no live work left (as opposed to
+  /// hitting max_steps or the stall-abort budget).
+  bool completed = false;
+};
+
+struct SimResult {
+  Trace trace;
+  SimStats stats;
+};
+
+/// Builds and runs one generic (or SGT) nested-transaction system over the
+/// given workload: a root program whose children become the top-level
+/// transactions. Owns the composition, the program tree, and the registry.
+class Simulation {
+ public:
+  /// `type` must outlive the simulation and contain the objects the
+  /// programs reference; names are minted into it as the run unfolds.
+  /// `root` must be a composite node (typically MakePar of the top-level
+  /// transaction programs, with child_retries as desired).
+  Simulation(SystemType* type, std::unique_ptr<ProgramNode> root);
+
+  /// Out-of-line: members hold forward-declared types.
+  ~Simulation();
+
+  SimResult Run(const SimConfig& config);
+
+ private:
+  /// Picks a stall victim per the configured policy; kInvalidTx if no live
+  /// pending access exists.
+  TxName PickStallVictim(Rng& rng, StallPolicy policy) const;
+
+  /// Component indices participating in `a`, derived from the generic
+  /// system's fixed signature structure (controller + per-object automata +
+  /// per-transaction scripts); lets the hot loop use ExecuteRouted instead
+  /// of scanning every automaton.
+  void RouteAction(const Action& a, std::vector<size_t>* participants) const;
+
+  SystemType* type_;
+  std::unique_ptr<ProgramNode> root_;
+  ProgramRegistry registry_;
+  Composition composition_;
+  class GenericController* controller_ = nullptr;
+  std::vector<class GenericObject*> objects_;
+  /// Component index of the ScriptedTransaction for each non-access name
+  /// (kInvalidIndex when none yet).
+  std::vector<size_t> scripted_index_;
+  std::unique_ptr<class SgtCoordinator> coordinator_;
+  std::unique_ptr<class TimestampAuthority> authority_;
+
+ public:
+  /// Timestamp authority of a kMvto run (null otherwise); exposes the
+  /// serialization order the multiversion backend targets, e.g. to hand to
+  /// BuildAndCheckWitness.
+  const class TimestampAuthority* authority() const { return authority_.get(); }
+};
+
+/// Convenience: builds the system type's objects, generates `num_toplevel`
+/// random programs, runs the simulation, and returns the result. Used by
+/// benches and property tests.
+struct QuickRunParams {
+  size_t num_objects = 4;
+  ObjectType object_type = ObjectType::kReadWrite;
+  int64_t initial_value = 0;
+  size_t num_toplevel = 8;
+  int toplevel_retries = 2;
+  ProgramGenParams gen;
+  SimConfig config;
+};
+
+struct QuickRunResult {
+  std::unique_ptr<SystemType> type;
+  SimResult sim;
+};
+
+QuickRunResult QuickRun(const QuickRunParams& params);
+
+}  // namespace ntsg
+
+#endif  // NTSG_SIM_DRIVER_H_

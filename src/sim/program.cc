@@ -1,0 +1,109 @@
+#include "sim/program.h"
+
+#include "common/logging.h"
+#include "tx/system_type.h"
+
+namespace ntsg {
+
+std::unique_ptr<ProgramNode> MakeAccess(ObjectId object, OpCode op,
+                                        int64_t arg) {
+  auto node = std::make_unique<ProgramNode>();
+  node->kind = ProgramNode::Kind::kAccess;
+  node->access = AccessSpec{object, op, arg};
+  return node;
+}
+
+std::unique_ptr<ProgramNode> MakeSeq(
+    std::vector<std::unique_ptr<ProgramNode>> children, int child_retries) {
+  auto node = std::make_unique<ProgramNode>();
+  node->kind = ProgramNode::Kind::kComposite;
+  node->children = std::move(children);
+  node->sequential = true;
+  node->child_retries = child_retries;
+  return node;
+}
+
+std::unique_ptr<ProgramNode> MakePar(
+    std::vector<std::unique_ptr<ProgramNode>> children, int child_retries) {
+  auto node = std::make_unique<ProgramNode>();
+  node->kind = ProgramNode::Kind::kComposite;
+  node->children = std::move(children);
+  node->sequential = false;
+  node->child_retries = child_retries;
+  return node;
+}
+
+namespace {
+
+/// Picks an operation suited to the object's type.
+AccessSpec RandomAccess(const SystemType& type, const ProgramGenParams& params,
+                        const ZipfSampler& zipf, Rng& rng) {
+  ObjectId x = static_cast<ObjectId>(zipf.Sample(rng));
+  int64_t arg = rng.NextInRange(0, params.max_arg);
+  bool read = rng.NextBool(params.read_prob);
+  OpCode op = OpCode::kRead;
+  switch (type.object_type(x)) {
+    case ObjectType::kReadWrite:
+      op = read ? OpCode::kRead : OpCode::kWrite;
+      break;
+    case ObjectType::kCounter:
+      op = read ? OpCode::kCounterRead
+                : (rng.NextBool(0.5) ? OpCode::kIncrement : OpCode::kDecrement);
+      break;
+    case ObjectType::kSet:
+      op = read ? (rng.NextBool(0.7) ? OpCode::kContains : OpCode::kSetSize)
+                : (rng.NextBool(0.7) ? OpCode::kAdd : OpCode::kRemove);
+      // Keep the element universe small so operations actually collide.
+      arg = rng.NextInRange(0, 9);
+      break;
+    case ObjectType::kQueue:
+      op = read ? OpCode::kQueueSize
+                : (rng.NextBool(0.5) ? OpCode::kEnqueue : OpCode::kDequeue);
+      break;
+    case ObjectType::kBankAccount:
+      op = read ? OpCode::kBalance
+                : (rng.NextBool(0.5) ? OpCode::kDeposit : OpCode::kWithdraw);
+      break;
+  }
+  return AccessSpec{x, op, arg};
+}
+
+std::unique_ptr<ProgramNode> Generate(const SystemType& type,
+                                      const ProgramGenParams& params,
+                                      const ZipfSampler& zipf, Rng& rng,
+                                      int depth) {
+  if (depth <= 0) {
+    AccessSpec spec = RandomAccess(type, params, zipf, rng);
+    return MakeAccess(spec.object, spec.op, spec.arg);
+  }
+  auto node = std::make_unique<ProgramNode>();
+  node->kind = ProgramNode::Kind::kComposite;
+  node->sequential = rng.NextBool(params.sequential_prob);
+  node->child_retries = params.child_retries;
+  for (int i = 0; i < params.fanout; ++i) {
+    bool early = depth > 1 && rng.NextBool(params.early_access_prob);
+    node->children.push_back(
+        Generate(type, params, zipf, rng, early ? 0 : depth - 1));
+  }
+  return node;
+}
+
+}  // namespace
+
+std::unique_ptr<ProgramNode> GenerateProgram(const SystemType& type,
+                                             const ProgramGenParams& params,
+                                             Rng& rng) {
+  NTSG_CHECK_GT(type.num_objects(), 0u);
+  NTSG_CHECK_GE(params.depth, 1);
+  ZipfSampler zipf(type.num_objects(), params.zipf_s);
+  return Generate(type, params, zipf, rng, params.depth);
+}
+
+size_t CountAccesses(const ProgramNode& node) {
+  if (node.kind == ProgramNode::Kind::kAccess) return 1;
+  size_t n = 0;
+  for (const auto& c : node.children) n += CountAccesses(*c);
+  return n;
+}
+
+}  // namespace ntsg

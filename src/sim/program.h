@@ -1,0 +1,82 @@
+#ifndef NTSG_SIM_PROGRAM_H_
+#define NTSG_SIM_PROGRAM_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "tx/access.h"
+#include "tx/system_type.h"
+
+namespace ntsg {
+
+/// Static description of what a transaction does — the "code written by
+/// application programmers" that a transaction automaton models (Section
+/// 2.2.1). A program node is either a single access or a composite that
+/// requests child subtransactions, serially or in parallel, with optional
+/// retry-on-abort.
+///
+/// Programs are deliberately value-independent (which children to create
+/// does not depend on returned values); this keeps transaction behavior
+/// checkable while exercising every structural feature the paper's model
+/// has: nesting, sibling concurrency, aborts and retries.
+struct ProgramNode {
+  enum class Kind { kAccess, kComposite };
+
+  Kind kind = Kind::kComposite;
+
+  /// kAccess: the operation performed.
+  AccessSpec access;
+
+  /// kComposite: child programs, issued in order when `sequential`, all at
+  /// once otherwise.
+  std::vector<std::unique_ptr<ProgramNode>> children;
+  bool sequential = false;
+
+  /// Extra attempts granted to each child of this node after an abort
+  /// report (0 = no retry).
+  int child_retries = 0;
+};
+
+/// Builders for hand-written programs.
+std::unique_ptr<ProgramNode> MakeAccess(ObjectId object, OpCode op,
+                                        int64_t arg);
+std::unique_ptr<ProgramNode> MakeSeq(
+    std::vector<std::unique_ptr<ProgramNode>> children, int child_retries = 0);
+std::unique_ptr<ProgramNode> MakePar(
+    std::vector<std::unique_ptr<ProgramNode>> children, int child_retries = 0);
+
+/// Parameters for random program generation.
+struct ProgramGenParams {
+  /// Nesting depth of composites; depth 1 means children are accesses.
+  int depth = 2;
+  /// Children per composite (exact).
+  int fanout = 3;
+  /// Probability that a composite issues children sequentially.
+  double sequential_prob = 0.3;
+  /// Probability that a non-bottom child is an access rather than a nested
+  /// composite (accesses also fill the bottom level).
+  double early_access_prob = 0.4;
+  /// Retries granted to children.
+  int child_retries = 0;
+  /// Object popularity skew (Zipf exponent; 0 = uniform).
+  double zipf_s = 0.0;
+  /// Probability of a read-only operation at an access (for types with an
+  /// observer/update distinction).
+  double read_prob = 0.5;
+  /// Range of operation arguments.
+  int64_t max_arg = 100;
+};
+
+/// Generates a random program over the objects of `type` (which must have at
+/// least one object). Operation codes are chosen to fit each object's type.
+std::unique_ptr<ProgramNode> GenerateProgram(const SystemType& type,
+                                             const ProgramGenParams& params,
+                                             Rng& rng);
+
+/// Counts access leaves (first-attempt instances) in the program.
+size_t CountAccesses(const ProgramNode& node);
+
+}  // namespace ntsg
+
+#endif  // NTSG_SIM_PROGRAM_H_

@@ -1,0 +1,164 @@
+#include "sim/scripted.h"
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+ScriptedTransaction::ScriptedTransaction(SystemType* type,
+                                         ProgramRegistry* registry, TxName tx,
+                                         const ProgramNode* program,
+                                         bool is_root)
+    : type_(type),
+      registry_(registry),
+      tx_(tx),
+      program_(program),
+      is_root_(is_root),
+      active_(is_root) {
+  NTSG_CHECK(program->kind == ProgramNode::Kind::kComposite);
+  slots_.reserve(program->children.size());
+  for (const auto& child : program->children) {
+    slots_.push_back(Slot{child.get(), program->child_retries, kInvalidTx,
+                          false, false, false});
+  }
+  unresolved_ = slots_.size();
+  if (is_root_) {
+    // T0 is modelled as awake from the start; mint immediately.
+    if (program_->sequential) {
+      MintNextSequential();
+    } else {
+      for (size_t i = 0; i < slots_.size(); ++i) MintSlot(i);
+    }
+  }
+}
+
+std::string ScriptedTransaction::name() const {
+  return "A_" + type_->NameOf(tx_);
+}
+
+bool ScriptedTransaction::IsInput(const Action& a) const {
+  if (a.kind == ActionKind::kCreate) return a.tx == tx_;
+  if (a.kind == ActionKind::kReportCommit ||
+      a.kind == ActionKind::kReportAbort) {
+    return instance_slot_.count(a.tx) != 0;
+  }
+  return false;
+}
+
+bool ScriptedTransaction::IsOutput(const Action& a) const {
+  if (a.kind == ActionKind::kRequestCreate) {
+    return instance_slot_.count(a.tx) != 0;
+  }
+  if (a.kind == ActionKind::kRequestCommit) return a.tx == tx_;
+  return false;
+}
+
+void ScriptedTransaction::MintSlot(size_t i) {
+  Slot& slot = slots_[i];
+  NTSG_CHECK(!slot.resolved);
+  NTSG_CHECK_EQ(slot.current, kInvalidTx);
+  TxName child;
+  if (slot.node->kind == ProgramNode::Kind::kAccess) {
+    child = type_->NewAccess(tx_, slot.node->access);
+  } else {
+    child = type_->NewChild(tx_);
+    registry_->Register(child, slot.node);
+  }
+  slot.current = child;
+  slot.requested = false;
+  instance_slot_[child] = i;
+  ready_requests_.insert(child);
+}
+
+void ScriptedTransaction::MintNextSequential() {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].resolved) {
+      if (slots_[i].current == kInvalidTx) MintSlot(i);
+      return;
+    }
+  }
+}
+
+int ScriptedTransaction::FindSlotOf(TxName child) const {
+  auto it = instance_slot_.find(child);
+  return it == instance_slot_.end() ? -1 : static_cast<int>(it->second);
+}
+
+void ScriptedTransaction::Apply(const Action& a) {
+  switch (a.kind) {
+    case ActionKind::kCreate: {
+      NTSG_CHECK_EQ(a.tx, tx_);
+      NTSG_CHECK(!active_);
+      active_ = true;
+      if (program_->sequential) {
+        MintNextSequential();
+      } else {
+        for (size_t i = 0; i < slots_.size(); ++i) MintSlot(i);
+      }
+      break;
+    }
+    case ActionKind::kRequestCreate: {
+      int i = FindSlotOf(a.tx);
+      NTSG_CHECK_GE(i, 0);
+      Slot& slot = slots_[static_cast<size_t>(i)];
+      NTSG_CHECK_EQ(slot.current, a.tx);
+      NTSG_CHECK(!slot.requested);
+      slot.requested = true;
+      ready_requests_.erase(a.tx);
+      ++outstanding_;
+      break;
+    }
+    case ActionKind::kReportCommit: {
+      int i = FindSlotOf(a.tx);
+      NTSG_CHECK_GE(i, 0);
+      Slot& slot = slots_[static_cast<size_t>(i)];
+      NTSG_CHECK_EQ(slot.current, a.tx);
+      --outstanding_;
+      slot.current = kInvalidTx;
+      slot.resolved = true;
+      slot.committed = true;
+      ++committed_slots_;
+      --unresolved_;
+      if (program_->sequential) MintNextSequential();
+      break;
+    }
+    case ActionKind::kReportAbort: {
+      int i = FindSlotOf(a.tx);
+      NTSG_CHECK_GE(i, 0);
+      Slot& slot = slots_[static_cast<size_t>(i)];
+      NTSG_CHECK_EQ(slot.current, a.tx);
+      --outstanding_;
+      slot.current = kInvalidTx;
+      if (slot.attempts_left > 0) {
+        --slot.attempts_left;
+        MintSlot(static_cast<size_t>(i));  // Fresh sibling name for retry.
+      } else {
+        slot.resolved = true;  // Abandoned.
+        --unresolved_;
+        if (program_->sequential) MintNextSequential();
+      }
+      break;
+    }
+    case ActionKind::kRequestCommit:
+      NTSG_CHECK_EQ(a.tx, tx_);
+      commit_requested_ = true;
+      break;
+    default:
+      NTSG_CHECK(false) << "unexpected action at " << name();
+  }
+}
+
+std::vector<Action> ScriptedTransaction::EnabledOutputs() const {
+  std::vector<Action> out;
+  if (!active_ || commit_requested_) return out;
+  // Incremental: only minted-but-unissued instances, not a slot scan.
+  out.reserve(ready_requests_.size() + 1);
+  for (TxName child : ready_requests_) {
+    out.push_back(Action::RequestCreate(child));
+  }
+  if (!is_root_ && unresolved_ == 0 && outstanding_ == 0) {
+    out.push_back(Action::RequestCommit(tx_, Value::Int(committed_slots_)));
+  }
+  return out;
+}
+
+}  // namespace ntsg

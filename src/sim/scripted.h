@@ -1,0 +1,92 @@
+#ifndef NTSG_SIM_SCRIPTED_H_
+#define NTSG_SIM_SCRIPTED_H_
+
+#include <map>
+#include <set>
+
+#include "ioa/automaton.h"
+#include "sim/program.h"
+#include "tx/trace.h"
+#include "tx/value.h"
+
+namespace ntsg {
+
+/// Maps dynamically minted transaction names to the program node each will
+/// execute. The driver consults it when a REQUEST_CREATE appears, to attach
+/// a ScriptedTransaction automaton for composite children.
+class ProgramRegistry {
+ public:
+  void Register(TxName t, const ProgramNode* node) { programs_[t] = node; }
+
+  /// nullptr when `t` has no registered program (e.g. accesses).
+  const ProgramNode* Lookup(TxName t) const {
+    auto it = programs_.find(t);
+    return it == programs_.end() ? nullptr : it->second;
+  }
+
+ private:
+  std::map<TxName, const ProgramNode*> programs_;
+};
+
+/// Transaction automaton A_T executing a composite ProgramNode (Section
+/// 2.2.1). Preserves transaction well-formedness by construction:
+///   * requests children only after its own CREATE (the root T0 is awake
+///     from the start and never requests commit);
+///   * mints a fresh sibling name per retry attempt, so names stay unique;
+///   * requests commit only when every issued child has been reported and
+///     every program slot is resolved; the commit value is the number of
+///     slots whose (final) attempt committed.
+///
+/// Child names are minted against the mutable SystemType when the script
+/// first needs them (on CREATE for parallel nodes, on the predecessor's
+/// resolution for sequential nodes, on an abort report for retries).
+class ScriptedTransaction final : public Automaton {
+ public:
+  ScriptedTransaction(SystemType* type, ProgramRegistry* registry, TxName tx,
+                      const ProgramNode* program, bool is_root);
+
+  std::string name() const override;
+
+  bool IsInput(const Action& a) const override;
+  bool IsOutput(const Action& a) const override;
+  void Apply(const Action& a) override;
+  std::vector<Action> EnabledOutputs() const override;
+
+  TxName tx() const { return tx_; }
+  bool commit_requested() const { return commit_requested_; }
+
+ private:
+  struct Slot {
+    const ProgramNode* node;
+    int attempts_left;
+    TxName current = kInvalidTx;  // Minted instance awaiting resolution.
+    bool requested = false;       // REQUEST_CREATE(current) emitted.
+    bool resolved = false;        // Final attempt reported (or abandoned).
+    bool committed = false;       // Some attempt committed.
+  };
+
+  /// Mints the instance name for slot `i` and registers its program.
+  void MintSlot(size_t i);
+  /// For sequential nodes: mints the next unresolved slot, if any.
+  void MintNextSequential();
+  int FindSlotOf(TxName child) const;
+
+  SystemType* type_;
+  ProgramRegistry* registry_;
+  const TxName tx_;
+  const ProgramNode* program_;
+  const bool is_root_;
+
+  bool active_;
+  bool commit_requested_ = false;
+  std::vector<Slot> slots_;
+  std::map<TxName, size_t> instance_slot_;  // Every minted instance.
+  std::set<TxName> ready_requests_;  // Minted instances awaiting issue.
+  size_t unresolved_ = 0;            // Slots not yet resolved.
+  size_t outstanding_ = 0;  // Instances requested but not reported.
+  int64_t committed_slots_ = 0;
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_SIM_SCRIPTED_H_

@@ -1,0 +1,69 @@
+#include "sim/serial_driver.h"
+
+#include "common/logging.h"
+#include "serial/serial_object.h"
+#include "serial/serial_scheduler.h"
+#include "sim/scripted.h"
+
+namespace ntsg {
+
+SerialSimulation::SerialSimulation(SystemType* type,
+                                   std::unique_ptr<ProgramNode> root)
+    : type_(type), root_(std::move(root)) {
+  NTSG_CHECK(root_->kind == ProgramNode::Kind::kComposite);
+}
+
+SerialSimulation::~SerialSimulation() = default;
+
+SimResult SerialSimulation::Run(const Config& config) {
+  Rng rng(config.seed);
+  composition_.Add(
+      std::make_unique<SerialScheduler>(*type_, config.allow_aborts));
+  for (ObjectId x = 0; x < type_->num_objects(); ++x) {
+    composition_.Add(std::make_unique<SerialObjectAutomaton>(*type_, x));
+  }
+  composition_.Add(std::make_unique<ScriptedTransaction>(
+      type_, &registry_, kT0, root_.get(), /*is_root=*/true));
+
+  SimStats stats;
+  while (stats.steps < config.max_steps) {
+    Action a;
+    if (!composition_.SampleEnabled(rng, &a)) {
+      stats.completed = true;
+      break;
+    }
+    Status s = composition_.Execute(a);
+    NTSG_CHECK(s.ok()) << s.ToString();
+    ++stats.steps;
+    if (a.kind == ActionKind::kRequestCreate && !type_->IsAccess(a.tx)) {
+      const ProgramNode* program = registry_.Lookup(a.tx);
+      NTSG_CHECK(program != nullptr);
+      composition_.Add(std::make_unique<ScriptedTransaction>(
+          type_, &registry_, a.tx, program, /*is_root=*/false));
+    }
+  }
+
+  SimResult result;
+  result.trace = composition_.TakeBehavior();
+  for (const Action& a : result.trace) {
+    switch (a.kind) {
+      case ActionKind::kRequestCommit:
+        if (type_->IsAccess(a.tx)) ++stats.access_responses;
+        break;
+      case ActionKind::kCommit:
+        ++stats.commits;
+        if (type_->parent(a.tx) == kT0) ++stats.toplevel_committed;
+        break;
+      case ActionKind::kAbort:
+        ++stats.aborts;
+        if (type_->parent(a.tx) == kT0) ++stats.toplevel_aborted;
+        break;
+      default:
+        break;
+    }
+  }
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace ntsg

@@ -1,0 +1,45 @@
+#ifndef NTSG_SIM_SERIAL_DRIVER_H_
+#define NTSG_SIM_SERIAL_DRIVER_H_
+
+#include <memory>
+
+#include "sim/driver.h"
+#include "sim/program.h"
+
+namespace ntsg {
+
+/// Runs the *serial system* itself (Section 2.2) over a workload: the serial
+/// scheduler, one serial object automaton per object, and the same scripted
+/// transaction automata the generic driver uses. No concurrency control is
+/// involved because no concurrency exists — siblings run one at a time.
+///
+/// Two uses:
+///   * an executable ground truth: every behavior is serially correct for
+///     T0 by definition (γ = β), which the checkers must confirm;
+///   * the zero-concurrency baseline for the scheduler benchmarks.
+class SerialSimulation {
+ public:
+  /// `root` must be a composite; its children become top-level transactions.
+  SerialSimulation(SystemType* type, std::unique_ptr<ProgramNode> root);
+  ~SerialSimulation();
+
+  struct Config {
+    uint64_t seed = 1;
+    size_t max_steps = 2'000'000;
+    /// Let the serial scheduler nondeterministically abort requested (but
+    /// not yet created) transactions.
+    bool allow_aborts = false;
+  };
+
+  SimResult Run(const Config& config);
+
+ private:
+  SystemType* type_;
+  std::unique_ptr<ProgramNode> root_;
+  ProgramRegistry registry_;
+  Composition composition_;
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_SIM_SERIAL_DRIVER_H_

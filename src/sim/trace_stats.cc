@@ -1,0 +1,84 @@
+#include "sim/trace_stats.h"
+
+#include <sstream>
+
+namespace ntsg {
+
+TraceStats ComputeTraceStats(const SystemType& type, const Trace& trace) {
+  TraceStats stats;
+  stats.events = trace.size();
+
+  std::map<TxName, size_t> create_pos;
+  size_t latency_total = 0;
+
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const Action& a = trace[i];
+    stats.per_kind[a.kind]++;
+    switch (a.kind) {
+      case ActionKind::kCreate:
+        create_pos[a.tx] = i;
+        break;
+      case ActionKind::kCommit: {
+        stats.committed_by_depth[type.depth(a.tx)]++;
+        auto it = create_pos.find(a.tx);
+        if (it != create_pos.end()) {
+          size_t latency = i - it->second;
+          latency_total += latency;
+          if (latency > stats.max_commit_latency) {
+            stats.max_commit_latency = latency;
+          }
+          ++stats.committed_count;
+        }
+        break;
+      }
+      case ActionKind::kAbort:
+        stats.aborted_by_depth[type.depth(a.tx)]++;
+        break;
+      case ActionKind::kRequestCommit:
+        if (type.IsAccess(a.tx)) {
+          ++stats.access_responses;
+          const AccessSpec& acc = type.access(a.tx);
+          auto& traffic = stats.per_object[acc.object];
+          if (IsModifyingOp(acc.op)) {
+            ++traffic.updates;
+          } else {
+            ++traffic.observers;
+          }
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  if (stats.committed_count > 0) {
+    stats.mean_commit_latency =
+        static_cast<double>(latency_total) /
+        static_cast<double>(stats.committed_count);
+  }
+  return stats;
+}
+
+std::string TraceStats::ToString(const SystemType& type) const {
+  std::ostringstream out;
+  out << "events: " << events << "\n";
+  out << "committed by depth:";
+  for (const auto& [d, n] : committed_by_depth) {
+    out << "  d" << d << "=" << n;
+  }
+  out << "\naborted by depth:  ";
+  for (const auto& [d, n] : aborted_by_depth) {
+    out << "  d" << d << "=" << n;
+  }
+  out << "\nobject traffic:\n";
+  for (const auto& [x, t] : per_object) {
+    out << "  " << type.object_name(x) << ": " << t.updates << " updates, "
+        << t.observers << " observers\n";
+  }
+  out << "access responses: " << access_responses << "\n";
+  out << "commit latency (trace positions): mean " << mean_commit_latency
+      << ", max " << max_commit_latency << " over " << committed_count
+      << " commits\n";
+  return out.str();
+}
+
+}  // namespace ntsg

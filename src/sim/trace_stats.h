@@ -1,0 +1,48 @@
+#ifndef NTSG_SIM_TRACE_STATS_H_
+#define NTSG_SIM_TRACE_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tx/trace.h"
+
+namespace ntsg {
+
+/// Post-hoc statistics over a behavior, for reporting and workload tuning.
+/// All figures are derived purely from the trace (any event source works).
+struct TraceStats {
+  size_t events = 0;
+  std::map<ActionKind, size_t> per_kind;
+
+  // Transaction outcomes by depth (depth 1 = top-level).
+  std::map<uint32_t, size_t> committed_by_depth;
+  std::map<uint32_t, size_t> aborted_by_depth;
+
+  // Access traffic per object, split by modifying vs observer operations.
+  struct ObjectTraffic {
+    size_t updates = 0;
+    size_t observers = 0;
+  };
+  std::map<ObjectId, ObjectTraffic> per_object;
+
+  // "Latency" of committed transactions, in trace positions from CREATE to
+  // COMMIT — a proxy for how long work stayed live.
+  size_t committed_count = 0;
+  double mean_commit_latency = 0;
+  size_t max_commit_latency = 0;
+
+  // Retries: sibling access instances with identical access specs under the
+  // same parent (heuristic, exact for generated workloads where retries are
+  // the only duplicated specs).
+  size_t access_responses = 0;
+
+  std::string ToString(const SystemType& type) const;
+};
+
+TraceStats ComputeTraceStats(const SystemType& type, const Trace& trace);
+
+}  // namespace ntsg
+
+#endif  // NTSG_SIM_TRACE_STATS_H_

@@ -1,0 +1,41 @@
+#include "spec/bank_account.h"
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+Value BankAccountSpec::Apply(OpCode op, int64_t arg) {
+  switch (op) {
+    case OpCode::kDeposit:
+      NTSG_CHECK_GE(arg, 0) << "deposits are non-negative";
+      balance_ += arg;
+      return Value::Ok();
+    case OpCode::kWithdraw:
+      NTSG_CHECK_GE(arg, 0) << "withdrawals are non-negative";
+      if (balance_ >= arg) {
+        balance_ -= arg;
+        return Value::Int(1);
+      }
+      return Value::Int(0);
+    case OpCode::kBalance:
+      return Value::Int(balance_);
+    default:
+      NTSG_CHECK(false) << "op invalid for bank account: " << OpCodeName(op);
+      return Value::Ok();
+  }
+}
+
+bool BankAccountSpec::StateEquals(const SerialSpec& other) const {
+  NTSG_CHECK(other.type() == ObjectType::kBankAccount);
+  return balance_ == static_cast<const BankAccountSpec&>(other).balance_;
+}
+
+void BankAccountSpec::RandomizeState(Rng& rng) {
+  balance_ = rng.NextInRange(0, 12);
+}
+
+std::string BankAccountSpec::StateToString() const {
+  return "balance=" + std::to_string(balance_);
+}
+
+}  // namespace ntsg

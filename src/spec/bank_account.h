@@ -1,0 +1,43 @@
+#ifndef NTSG_SPEC_BANK_ACCOUNT_H_
+#define NTSG_SPEC_BANK_ACCOUNT_H_
+
+#include "spec/serial_spec.h"
+
+namespace ntsg {
+
+/// A bank account with a non-negative balance: deposit (returns OK),
+/// withdraw (returns 1 and debits if the balance suffices, else returns 0
+/// and leaves the balance unchanged), and balance read.
+///
+/// This is Weihl's classic example of type-specific concurrency: two
+/// *successful* withdrawals commute backward, as do two failed ones, and a
+/// balance read commutes with a failed withdrawal — structure invisible to
+/// read/write conflict analysis.
+class BankAccountSpec final : public SerialSpec {
+ public:
+  explicit BankAccountSpec(int64_t initial)
+      : balance_(initial < 0 ? 0 : initial) {}
+
+  std::unique_ptr<SerialSpec> Clone() const override {
+    return std::make_unique<BankAccountSpec>(*this);
+  }
+
+  Value Apply(OpCode op, int64_t arg) override;
+
+  bool StateEquals(const SerialSpec& other) const override;
+
+  void RandomizeState(Rng& rng) override;
+
+  std::string StateToString() const override;
+
+  ObjectType type() const override { return ObjectType::kBankAccount; }
+
+  int64_t balance() const { return balance_; }
+
+ private:
+  int64_t balance_;
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_SPEC_BANK_ACCOUNT_H_

@@ -1,0 +1,299 @@
+#include "spec/commutativity.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+namespace {
+
+bool IsCounterUpdate(OpCode op) {
+  return op == OpCode::kIncrement || op == OpCode::kDecrement;
+}
+
+int64_t CounterDelta(const OpRecord& r) {
+  return r.op == OpCode::kIncrement ? r.arg : -r.arg;
+}
+
+/// Symmetric backward commutativity on read/write registers. Derivations
+/// (over a domain with at least two values):
+///   * read/read: neither changes state; returns depend only on ξ. Commute.
+///   * write(a)/write(b): final states differ unless a == b.
+///   * read→v / write(a): dir(write, read) fails — after ξ with final value
+///     u != a, ξ·write(a)·read→a is a behavior but read→a is illegal first.
+///     (dir(read, write) holds when v == a, but the conjunction fails.)
+bool CommuteReadWrite(const OpRecord& a, const OpRecord& b) {
+  if (a.op == OpCode::kRead && b.op == OpCode::kRead) return true;
+  if (a.op == OpCode::kWrite && b.op == OpCode::kWrite) {
+    return a.arg == b.arg;
+  }
+  return false;  // read vs write.
+}
+
+/// Counter: updates commute with updates (addition is commutative, both
+/// return OK); a read commutes with an update only when the update's delta
+/// is zero.
+bool CommuteCounter(const OpRecord& a, const OpRecord& b) {
+  bool ua = IsCounterUpdate(a.op), ub = IsCounterUpdate(b.op);
+  if (ua && ub) return true;
+  if (!ua && !ub) return true;  // read/read.
+  const OpRecord& upd = ua ? a : b;
+  return CounterDelta(upd) == 0;
+}
+
+/// Set: see the per-pair derivations in the design notes. add/add and
+/// remove/remove always commute (idempotent union/difference, OK returns);
+/// add(x)/remove(y) commute iff x != y; observers commute with updates iff
+/// they cannot detect them.
+bool CommuteSet(const OpRecord& a, const OpRecord& b) {
+  auto is_update = [](OpCode op) {
+    return op == OpCode::kAdd || op == OpCode::kRemove;
+  };
+  if (is_update(a.op) && is_update(b.op)) {
+    if (a.op == b.op) return true;       // add/add, remove/remove.
+    return a.arg != b.arg;               // add(x)/remove(y).
+  }
+  if (!is_update(a.op) && !is_update(b.op)) return true;  // observers.
+  const OpRecord& obs = is_update(a.op) ? b : a;
+  const OpRecord& upd = is_update(a.op) ? a : b;
+  if (obs.op == OpCode::kSetSize) return false;  // size sees every update.
+  // contains(x) vs add/remove(y): detectable only when x == y.
+  return obs.arg != upd.arg;
+}
+
+/// Queue: FIFO order makes almost everything order-sensitive.
+bool CommuteQueue(const OpRecord& a, const OpRecord& b) {
+  auto deq_ret = [](const OpRecord& r) { return r.ret.AsInt(); };
+  if (a.op == OpCode::kEnqueue && b.op == OpCode::kEnqueue) {
+    return a.arg == b.arg;
+  }
+  if (a.op == OpCode::kDequeue && b.op == OpCode::kDequeue) {
+    return deq_ret(a) == deq_ret(b);
+  }
+  if ((a.op == OpCode::kEnqueue && b.op == OpCode::kDequeue) ||
+      (a.op == OpCode::kDequeue && b.op == OpCode::kEnqueue)) {
+    const OpRecord& enq = a.op == OpCode::kEnqueue ? a : b;
+    const OpRecord& deq = a.op == OpCode::kEnqueue ? b : a;
+    // deq→empty orders against any enqueue; deq of the just-enqueued value
+    // fails on the empty-queue prefix.
+    return deq_ret(deq) != kQueueEmpty && deq_ret(deq) != enq.arg;
+  }
+  if (a.op == OpCode::kQueueSize && b.op == OpCode::kQueueSize) return true;
+  // size vs enq: always detectable. size vs deq→v: detectable unless the
+  // dequeue hit an empty queue (then both are no-ops, or never co-legal).
+  const OpRecord& other = a.op == OpCode::kQueueSize ? b : a;
+  if (other.op == OpCode::kEnqueue) return false;
+  if (other.op == OpCode::kDequeue) return deq_ret(other) == kQueueEmpty;
+  return true;
+}
+
+/// Bank account: Weihl's example. Successful withdrawals commute with each
+/// other (if the balance covered both in one order it covers both in the
+/// other); failed withdrawals are no-ops that commute with each other and
+/// with balance reads. Deposits conflict with (non-trivial) withdrawals and
+/// balance reads because they can flip an outcome.
+bool CommuteBank(const OpRecord& a, const OpRecord& b) {
+  auto kind = [](const OpRecord& r) -> int {
+    if (r.op == OpCode::kDeposit) return 0;
+    if (r.op == OpCode::kWithdraw) return r.ret.AsInt() == 1 ? 1 : 2;  // W1/W0.
+    return 3;  // balance.
+  };
+  int ka = kind(a), kb = kind(b);
+  if (ka > kb) {
+    std::swap(ka, kb);
+    return CommuteBank(b, a);
+  }
+  // ka <= kb.
+  if (ka == 0 && kb == 0) return true;                       // dep/dep.
+  if (ka == 0 && kb == 1) return a.arg == 0 || b.arg == 0;   // dep/W1.
+  if (ka == 0 && kb == 2) return a.arg == 0 || b.arg == 0;   // dep/W0.
+  if (ka == 0 && kb == 3) return a.arg == 0;                 // dep/bal.
+  if (ka == 1 && kb == 1) return true;                       // W1/W1.
+  if (ka == 1 && kb == 2) return a.arg == 0 || b.arg == 0;   // W1/W0.
+  if (ka == 1 && kb == 3) return a.arg == 0;                 // W1/bal.
+  if (ka == 2 && kb == 2) return true;                       // W0/W0.
+  if (ka == 2 && kb == 3) return true;                       // W0/bal.
+  return true;                                               // bal/bal.
+}
+
+}  // namespace
+
+std::string OpRecordToString(const OpRecord& rec) {
+  std::string out = OpCodeName(rec.op);
+  out += "(";
+  out += std::to_string(rec.arg);
+  out += ")->";
+  out += rec.ret.ToString();
+  return out;
+}
+
+bool CommutesBackward(ObjectType type, const OpRecord& a, const OpRecord& b) {
+  NTSG_CHECK(OpValidForType(type, a.op));
+  NTSG_CHECK(OpValidForType(type, b.op));
+  switch (type) {
+    case ObjectType::kReadWrite:
+      return CommuteReadWrite(a, b);
+    case ObjectType::kCounter:
+      return CommuteCounter(a, b);
+    case ObjectType::kSet:
+      return CommuteSet(a, b);
+    case ObjectType::kQueue:
+      return CommuteQueue(a, b);
+    case ObjectType::kBankAccount:
+      return CommuteBank(a, b);
+  }
+  return false;
+}
+
+bool RwAccessesConflict(OpCode a, OpCode b) {
+  NTSG_CHECK(a == OpCode::kRead || a == OpCode::kWrite);
+  NTSG_CHECK(b == OpCode::kRead || b == OpCode::kWrite);
+  return a == OpCode::kWrite || b == OpCode::kWrite;
+}
+
+std::vector<std::unique_ptr<SerialSpec>> EnumerateProbeStates(
+    ObjectType type, const std::vector<int64_t>& candidates) {
+  std::vector<int64_t> cands(candidates);
+  std::sort(cands.begin(), cands.end());
+  cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+
+  std::vector<std::unique_ptr<SerialSpec>> states;
+  switch (type) {
+    case ObjectType::kReadWrite:
+      for (int64_t c : cands) {
+        auto s = MakeSpec(type, 0);
+        s->Apply(OpCode::kWrite, c);
+        states.push_back(std::move(s));
+      }
+      states.push_back(MakeSpec(type, 0));
+      break;
+    case ObjectType::kCounter:
+      for (int64_t c : cands) {
+        auto s = MakeSpec(type, 0);
+        s->Apply(OpCode::kIncrement, c);
+        states.push_back(std::move(s));
+      }
+      states.push_back(MakeSpec(type, 0));
+      break;
+    case ObjectType::kBankAccount:
+      for (int64_t c : cands) {
+        if (c < 0) continue;
+        auto s = MakeSpec(type, 0);
+        s->Apply(OpCode::kDeposit, c);
+        states.push_back(std::move(s));
+      }
+      states.push_back(MakeSpec(type, 0));
+      break;
+    case ObjectType::kSet: {
+      // All subsets of up to 5 distinct candidate elements.
+      std::vector<int64_t> elems(cands);
+      if (elems.size() > 5) elems.resize(5);
+      size_t n = elems.size();
+      for (size_t mask = 0; mask < (1u << n); ++mask) {
+        auto s = MakeSpec(type, 0);
+        for (size_t i = 0; i < n; ++i) {
+          if (mask & (1u << i)) s->Apply(OpCode::kAdd, elems[i]);
+        }
+        states.push_back(std::move(s));
+      }
+      break;
+    }
+    case ObjectType::kQueue: {
+      // All queues of length <= 2 over the candidates (plus empty), which
+      // suffices to expose order-sensitivity of two probed operations.
+      // Queue elements are non-negative (see QueueSpec).
+      std::vector<int64_t> elems;
+      for (int64_t c : cands) {
+        if (c >= 0) elems.push_back(c);
+      }
+      if (elems.size() > 6) elems.resize(6);
+      states.push_back(MakeSpec(type, 0));
+      for (int64_t x : elems) {
+        auto s1 = MakeSpec(type, 0);
+        s1->Apply(OpCode::kEnqueue, x);
+        states.push_back(std::move(s1));
+        for (int64_t y : elems) {
+          auto s2 = MakeSpec(type, 0);
+          s2->Apply(OpCode::kEnqueue, x);
+          s2->Apply(OpCode::kEnqueue, y);
+          states.push_back(std::move(s2));
+        }
+      }
+      break;
+    }
+  }
+  return states;
+}
+
+namespace {
+
+/// Checks dir(a, b) on one start state. Returns a violation message or
+/// nullopt. `s` is not modified.
+std::optional<std::string> DirViolationAt(const OpRecord& a, const OpRecord& b,
+                                          const SerialSpec& s) {
+  std::unique_ptr<SerialSpec> ab = s.Clone();
+  if (ab->Apply(a.op, a.arg) != a.ret) return std::nullopt;  // ξ·a illegal.
+  if (ab->Apply(b.op, b.arg) != b.ret) return std::nullopt;  // ξ·a·b illegal.
+  // ξ·a·b is a behavior; the swapped order must be a behavior leading to an
+  // equal state (equieffectiveness for deterministic total specs).
+  std::unique_ptr<SerialSpec> ba = s.Clone();
+  if (ba->Apply(b.op, b.arg) != b.ret) {
+    return "state " + s.StateToString() + ": " + OpRecordToString(b) +
+           " illegal when reordered first";
+  }
+  if (ba->Apply(a.op, a.arg) != a.ret) {
+    return "state " + s.StateToString() + ": " + OpRecordToString(a) +
+           " illegal when reordered second";
+  }
+  if (!ab->StateEquals(*ba)) {
+    return "state " + s.StateToString() + ": reordering changes final state (" +
+           ab->StateToString() + " vs " + ba->StateToString() + ")";
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> FindDirViolation(
+    const OpRecord& a, const OpRecord& b,
+    const std::vector<std::unique_ptr<SerialSpec>>& states) {
+  for (const auto& s : states) {
+    std::optional<std::string> v = DirViolationAt(a, b, *s);
+    if (v.has_value()) return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ProbeCommutativity(
+    ObjectType type, const OpRecord& a, const OpRecord& b,
+    const std::vector<int64_t>& extra_candidates) {
+  // Base values: both arguments and any integer returns. Boundary states
+  // (e.g. "balance exactly m-1" or "counter at v-k") are sums/differences of
+  // these, so close the base under pairwise +/- and offset by one.
+  std::vector<int64_t> base = {0, a.arg, b.arg};
+  if (!a.ret.is_ok()) base.push_back(a.ret.AsInt());
+  if (!b.ret.is_ok()) base.push_back(b.ret.AsInt());
+
+  std::vector<int64_t> cands = {0, 1, -1};
+  for (int64_t u : base) {
+    cands.push_back(u);
+    cands.push_back(u - 1);
+    cands.push_back(u + 1);
+    for (int64_t v : base) {
+      cands.push_back(u + v);
+      cands.push_back(u - v);
+      cands.push_back(u + v - 1);
+    }
+  }
+  for (int64_t c : extra_candidates) cands.push_back(c);
+
+  std::vector<std::unique_ptr<SerialSpec>> states =
+      EnumerateProbeStates(type, cands);
+  std::optional<std::string> v = FindDirViolation(a, b, states);
+  if (v.has_value()) return v;
+  return FindDirViolation(b, a, states);
+}
+
+}  // namespace ntsg

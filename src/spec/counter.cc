@@ -1,0 +1,34 @@
+#include "spec/counter.h"
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+Value CounterSpec::Apply(OpCode op, int64_t arg) {
+  switch (op) {
+    case OpCode::kIncrement:
+      total_ += arg;
+      return Value::Ok();
+    case OpCode::kDecrement:
+      total_ -= arg;
+      return Value::Ok();
+    case OpCode::kCounterRead:
+      return Value::Int(total_);
+    default:
+      NTSG_CHECK(false) << "op invalid for counter object: " << OpCodeName(op);
+      return Value::Ok();
+  }
+}
+
+bool CounterSpec::StateEquals(const SerialSpec& other) const {
+  NTSG_CHECK(other.type() == ObjectType::kCounter);
+  return total_ == static_cast<const CounterSpec&>(other).total_;
+}
+
+void CounterSpec::RandomizeState(Rng& rng) { total_ = rng.NextInRange(-8, 8); }
+
+std::string CounterSpec::StateToString() const {
+  return "total=" + std::to_string(total_);
+}
+
+}  // namespace ntsg

@@ -1,0 +1,38 @@
+#ifndef NTSG_SPEC_COUNTER_H_
+#define NTSG_SPEC_COUNTER_H_
+
+#include "spec/serial_spec.h"
+
+namespace ntsg {
+
+/// A counter object: increment/decrement by an amount (returning OK) and
+/// read the current total. Increments and decrements commute backward with
+/// each other, so undo logging (Section 6.2) admits far more concurrency on
+/// counters than read/write locking does on an equivalent register.
+class CounterSpec final : public SerialSpec {
+ public:
+  explicit CounterSpec(int64_t initial) : total_(initial) {}
+
+  std::unique_ptr<SerialSpec> Clone() const override {
+    return std::make_unique<CounterSpec>(*this);
+  }
+
+  Value Apply(OpCode op, int64_t arg) override;
+
+  bool StateEquals(const SerialSpec& other) const override;
+
+  void RandomizeState(Rng& rng) override;
+
+  std::string StateToString() const override;
+
+  ObjectType type() const override { return ObjectType::kCounter; }
+
+  int64_t total() const { return total_; }
+
+ private:
+  int64_t total_;
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_SPEC_COUNTER_H_

@@ -1,0 +1,19 @@
+#include "spec/equieffective.h"
+
+#include "spec/replay.h"
+
+namespace ntsg {
+
+bool AreEquieffective(const SystemType& type, ObjectId x,
+                      const std::vector<Operation>& xi1,
+                      const std::vector<Operation>& xi2) {
+  bool legal1 = ReplayOperations(type, x, xi1).ok();
+  bool legal2 = ReplayOperations(type, x, xi2).ok();
+  if (legal1 != legal2) return false;
+  if (!legal1) return true;  // Neither is a behavior: vacuous.
+  auto s1 = StateAfter(type, x, xi1);
+  auto s2 = StateAfter(type, x, xi2);
+  return s1->StateEquals(*s2);
+}
+
+}  // namespace ntsg

@@ -1,0 +1,30 @@
+#ifndef NTSG_SPEC_EQUIEFFECTIVE_H_
+#define NTSG_SPEC_EQUIEFFECTIVE_H_
+
+#include <vector>
+
+#include "tx/trace.h"
+
+namespace ntsg {
+
+/// Equieffectiveness (Section 6.1): two finite sequences of external actions
+/// of S_X are equieffective iff every serial-object-well-formed continuation
+/// extends both to behaviors or neither — the states they reach are
+/// indistinguishable by any environment.
+///
+/// For the bundled specs — deterministic and total — this is decidable:
+///   * both perform(ξ1), perform(ξ2) behaviors: equieffective iff they lead
+///     to equal canonical states (a continuation that observes the state
+///     distinguishes unequal ones; determinism makes equal ones agree on
+///     everything);
+///   * exactly one a behavior: never equieffective (the empty continuation
+///     distinguishes them);
+///   * neither a behavior: vacuously equieffective (behaviors are
+///     prefix-closed, so no extension of either is a behavior).
+bool AreEquieffective(const SystemType& type, ObjectId x,
+                      const std::vector<Operation>& xi1,
+                      const std::vector<Operation>& xi2);
+
+}  // namespace ntsg
+
+#endif  // NTSG_SPEC_EQUIEFFECTIVE_H_

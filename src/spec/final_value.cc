@@ -1,0 +1,47 @@
+#include "spec/final_value.h"
+
+namespace ntsg {
+
+std::vector<Operation> WriteSequence(const SystemType& type,
+                                     const Trace& trace, ObjectId x) {
+  std::vector<Operation> out;
+  for (const Action& a : trace) {
+    if (a.kind != ActionKind::kRequestCommit) continue;
+    if (!type.IsAccess(a.tx)) continue;
+    const AccessSpec& spec = type.access(a.tx);
+    if (spec.object == x && spec.op == OpCode::kWrite) {
+      out.push_back(Operation{a.tx, a.value});
+    }
+  }
+  return out;
+}
+
+std::optional<TxName> LastWrite(const SystemType& type, const Trace& trace,
+                                ObjectId x) {
+  std::optional<TxName> last;
+  for (const Action& a : trace) {
+    if (a.kind != ActionKind::kRequestCommit) continue;
+    if (!type.IsAccess(a.tx)) continue;
+    const AccessSpec& spec = type.access(a.tx);
+    if (spec.object == x && spec.op == OpCode::kWrite) last = a.tx;
+  }
+  return last;
+}
+
+int64_t FinalValue(const SystemType& type, const Trace& trace, ObjectId x) {
+  std::optional<TxName> last = LastWrite(type, trace, x);
+  if (!last.has_value()) return type.object_initial(x);
+  return type.access(*last).arg;  // data(T): the value written.
+}
+
+std::optional<TxName> CleanLastWrite(const SystemType& type,
+                                     const Trace& trace, ObjectId x) {
+  return LastWrite(type, Clean(type, trace), x);
+}
+
+int64_t CleanFinalValue(const SystemType& type, const Trace& trace,
+                        ObjectId x) {
+  return FinalValue(type, Clean(type, trace), x);
+}
+
+}  // namespace ntsg

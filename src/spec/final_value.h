@@ -1,0 +1,36 @@
+#ifndef NTSG_SPEC_FINAL_VALUE_H_
+#define NTSG_SPEC_FINAL_VALUE_H_
+
+#include <optional>
+
+#include "tx/trace.h"
+
+namespace ntsg {
+
+/// Section 3 machinery for read/write objects, defined over arbitrary
+/// sequences of serial actions (so it applies to serial behaviors, simple
+/// behaviors, and projections alike).
+
+/// write-sequence(β, X): the subsequence of REQUEST_COMMIT events for write
+/// accesses to X, returned as operations.
+std::vector<Operation> WriteSequence(const SystemType& type, const Trace& trace,
+                                     ObjectId x);
+
+/// last-write(β, X): the transaction of the last event of write-sequence;
+/// nullopt if there were no writes.
+std::optional<TxName> LastWrite(const SystemType& type, const Trace& trace,
+                                ObjectId x);
+
+/// final-value(β, X): data(last-write) or the initial value d of X.
+int64_t FinalValue(const SystemType& type, const Trace& trace, ObjectId x);
+
+/// clean-last-write(β, X) = last-write(clean(β), X).
+std::optional<TxName> CleanLastWrite(const SystemType& type, const Trace& trace,
+                                     ObjectId x);
+
+/// clean-final-value(β, X) = final-value(clean(β), X).
+int64_t CleanFinalValue(const SystemType& type, const Trace& trace, ObjectId x);
+
+}  // namespace ntsg
+
+#endif  // NTSG_SPEC_FINAL_VALUE_H_

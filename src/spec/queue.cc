@@ -1,0 +1,52 @@
+#include "spec/queue.h"
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+Value QueueSpec::Apply(OpCode op, int64_t arg) {
+  switch (op) {
+    case OpCode::kEnqueue:
+      // Elements are non-negative so the kQueueEmpty sentinel returned by
+      // dequeue-on-empty can never be confused with a real element.
+      NTSG_CHECK_GE(arg, 0) << "queue elements are non-negative";
+      items_.push_back(arg);
+      return Value::Ok();
+    case OpCode::kDequeue: {
+      if (items_.empty()) return Value::Int(kQueueEmpty);
+      int64_t front = items_.front();
+      items_.pop_front();
+      return Value::Int(front);
+    }
+    case OpCode::kQueueSize:
+      return Value::Int(static_cast<int64_t>(items_.size()));
+    default:
+      NTSG_CHECK(false) << "op invalid for queue object: " << OpCodeName(op);
+      return Value::Ok();
+  }
+}
+
+bool QueueSpec::StateEquals(const SerialSpec& other) const {
+  NTSG_CHECK(other.type() == ObjectType::kQueue);
+  return items_ == static_cast<const QueueSpec&>(other).items_;
+}
+
+void QueueSpec::RandomizeState(Rng& rng) {
+  items_.clear();
+  size_t n = rng.NextBelow(5);
+  for (size_t i = 0; i < n; ++i) {
+    items_.push_back(rng.NextInRange(0, 4));
+  }
+}
+
+std::string QueueSpec::StateToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(items_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace ntsg

@@ -1,0 +1,40 @@
+#ifndef NTSG_SPEC_QUEUE_H_
+#define NTSG_SPEC_QUEUE_H_
+
+#include <deque>
+
+#include "spec/serial_spec.h"
+
+namespace ntsg {
+
+/// A FIFO queue of integers: enqueue (returns OK), dequeue (returns the
+/// front element, or kQueueEmpty when empty — dequeue is total, it never
+/// blocks), and size. Queues are nearly order-sensitive everywhere, so they
+/// are the low-concurrency extreme for the commutativity-based algorithms.
+class QueueSpec final : public SerialSpec {
+ public:
+  QueueSpec() = default;
+
+  std::unique_ptr<SerialSpec> Clone() const override {
+    return std::make_unique<QueueSpec>(*this);
+  }
+
+  Value Apply(OpCode op, int64_t arg) override;
+
+  bool StateEquals(const SerialSpec& other) const override;
+
+  void RandomizeState(Rng& rng) override;
+
+  std::string StateToString() const override;
+
+  ObjectType type() const override { return ObjectType::kQueue; }
+
+  const std::deque<int64_t>& items() const { return items_; }
+
+ private:
+  std::deque<int64_t> items_;
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_SPEC_QUEUE_H_

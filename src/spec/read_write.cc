@@ -1,0 +1,34 @@
+#include "spec/read_write.h"
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+Value ReadWriteSpec::Apply(OpCode op, int64_t arg) {
+  switch (op) {
+    case OpCode::kWrite:
+      data_ = arg;
+      return Value::Ok();
+    case OpCode::kRead:
+      return Value::Int(data_);
+    default:
+      NTSG_CHECK(false) << "op invalid for read/write object: "
+                        << OpCodeName(op);
+      return Value::Ok();
+  }
+}
+
+bool ReadWriteSpec::StateEquals(const SerialSpec& other) const {
+  NTSG_CHECK(other.type() == ObjectType::kReadWrite);
+  return data_ == static_cast<const ReadWriteSpec&>(other).data_;
+}
+
+void ReadWriteSpec::RandomizeState(Rng& rng) {
+  data_ = rng.NextInRange(-8, 8);
+}
+
+std::string ReadWriteSpec::StateToString() const {
+  return "data=" + std::to_string(data_);
+}
+
+}  // namespace ntsg

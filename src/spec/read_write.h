@@ -1,0 +1,37 @@
+#ifndef NTSG_SPEC_READ_WRITE_H_
+#define NTSG_SPEC_READ_WRITE_H_
+
+#include "spec/serial_spec.h"
+
+namespace ntsg {
+
+/// The read/write serial object of Section 3.1: a register holding one
+/// domain value. A write stores data(T) and returns OK; a read returns the
+/// most recently written value (or the initial value d).
+class ReadWriteSpec final : public SerialSpec {
+ public:
+  explicit ReadWriteSpec(int64_t initial) : data_(initial) {}
+
+  std::unique_ptr<SerialSpec> Clone() const override {
+    return std::make_unique<ReadWriteSpec>(*this);
+  }
+
+  Value Apply(OpCode op, int64_t arg) override;
+
+  bool StateEquals(const SerialSpec& other) const override;
+
+  void RandomizeState(Rng& rng) override;
+
+  std::string StateToString() const override;
+
+  ObjectType type() const override { return ObjectType::kReadWrite; }
+
+  int64_t data() const { return data_; }
+
+ private:
+  int64_t data_;
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_SPEC_READ_WRITE_H_

@@ -1,0 +1,41 @@
+#include "spec/replay.h"
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+Status ReplayOperationsFrom(const SystemType& type, SerialSpec& spec,
+                            const std::vector<Operation>& ops) {
+  for (const Operation& op : ops) {
+    NTSG_CHECK(type.IsAccess(op.tx));
+    const AccessSpec& acc = type.access(op.tx);
+    Value expected = spec.Apply(acc.op, acc.arg);
+    if (!(expected == op.value)) {
+      return Status::VerificationFailed(
+          "operation " + AccessSpecToString(acc) + " by " +
+          type.NameOf(op.tx) + " recorded value " + op.value.ToString() +
+          " but serial spec yields " + expected.ToString());
+    }
+  }
+  return Status::Ok();
+}
+
+Status ReplayOperations(const SystemType& type, ObjectId x,
+                        const std::vector<Operation>& ops) {
+  std::unique_ptr<SerialSpec> spec =
+      MakeSpec(type.object_type(x), type.object_initial(x));
+  return ReplayOperationsFrom(type, *spec, ops);
+}
+
+std::unique_ptr<SerialSpec> StateAfter(const SystemType& type, ObjectId x,
+                                       const std::vector<Operation>& ops) {
+  std::unique_ptr<SerialSpec> spec =
+      MakeSpec(type.object_type(x), type.object_initial(x));
+  for (const Operation& op : ops) {
+    const AccessSpec& acc = type.access(op.tx);
+    spec->Apply(acc.op, acc.arg);
+  }
+  return spec;
+}
+
+}  // namespace ntsg

@@ -1,0 +1,33 @@
+#ifndef NTSG_SPEC_REPLAY_H_
+#define NTSG_SPEC_REPLAY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "spec/serial_spec.h"
+#include "tx/trace.h"
+
+namespace ntsg {
+
+/// Decides whether perform(ξ) is a finite behavior of S_X by replaying ξ
+/// through a fresh spec of X's type: for deterministic, total specs this is
+/// exact — perform(ξ) ∈ finbehs(S_X) iff every recorded return value equals
+/// the replayed one.
+///
+/// Returns OK on success; VerificationFailed identifies the first
+/// divergent operation.
+Status ReplayOperations(const SystemType& type, ObjectId x,
+                        const std::vector<Operation>& ops);
+
+/// As above, but starting from a caller-provided state. `spec` is mutated.
+Status ReplayOperationsFrom(const SystemType& type, SerialSpec& spec,
+                            const std::vector<Operation>& ops);
+
+/// Replays ξ and returns the spec state it leads to (ignoring recorded
+/// return values); useful to compute "the state after a log prefix".
+std::unique_ptr<SerialSpec> StateAfter(const SystemType& type, ObjectId x,
+                                       const std::vector<Operation>& ops);
+
+}  // namespace ntsg
+
+#endif  // NTSG_SPEC_REPLAY_H_

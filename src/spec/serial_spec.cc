@@ -1,0 +1,29 @@
+#include "spec/serial_spec.h"
+
+#include "common/logging.h"
+#include "spec/bank_account.h"
+#include "spec/counter.h"
+#include "spec/queue.h"
+#include "spec/read_write.h"
+#include "spec/set.h"
+
+namespace ntsg {
+
+std::unique_ptr<SerialSpec> MakeSpec(ObjectType type, int64_t initial) {
+  switch (type) {
+    case ObjectType::kReadWrite:
+      return std::make_unique<ReadWriteSpec>(initial);
+    case ObjectType::kCounter:
+      return std::make_unique<CounterSpec>(initial);
+    case ObjectType::kSet:
+      return std::make_unique<SetSpec>();
+    case ObjectType::kQueue:
+      return std::make_unique<QueueSpec>();
+    case ObjectType::kBankAccount:
+      return std::make_unique<BankAccountSpec>(initial);
+  }
+  NTSG_CHECK(false) << "unknown object type";
+  return nullptr;
+}
+
+}  // namespace ntsg

@@ -1,0 +1,54 @@
+#ifndef NTSG_SPEC_SERIAL_SPEC_H_
+#define NTSG_SPEC_SERIAL_SPEC_H_
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "tx/access.h"
+#include "tx/value.h"
+
+namespace ntsg {
+
+/// Deterministic, total serial specification of a data object — the
+/// executable form of the paper's serial object automaton S_X (Section 2.2.2,
+/// generalized in Section 6).
+///
+/// A spec is a state machine over operations: `Apply(op, arg)` advances the
+/// state and yields *the* serial return value (our bundled types are
+/// deterministic and total, so there is exactly one). Consequently
+///   perform(ξ) ∈ finbehs(S_X)  ⇔  replaying ξ reproduces every recorded
+///                                  return value,
+/// and equieffectiveness of two behaviors reduces to equality of the states
+/// they lead to (states are canonical).
+class SerialSpec {
+ public:
+  virtual ~SerialSpec() = default;
+
+  /// Deep copy, preserving state.
+  virtual std::unique_ptr<SerialSpec> Clone() const = 0;
+
+  /// Applies an operation, mutating the state, and returns the serial
+  /// return value. `op` must be valid for the concrete type.
+  virtual Value Apply(OpCode op, int64_t arg) = 0;
+
+  /// Canonical-state equality; `other` must have the same dynamic type.
+  virtual bool StateEquals(const SerialSpec& other) const = 0;
+
+  /// Replaces the state with one drawn from `rng`; used by property tests to
+  /// explore the definitional form of commutativity.
+  virtual void RandomizeState(Rng& rng) = 0;
+
+  virtual std::string StateToString() const = 0;
+
+  virtual ObjectType type() const = 0;
+};
+
+/// Creates a fresh spec of the given type in its initial state. `initial`
+/// is the initial value d for value-carrying types (read/write register,
+/// counter, bank-account balance); set and queue start empty.
+std::unique_ptr<SerialSpec> MakeSpec(ObjectType type, int64_t initial);
+
+}  // namespace ntsg
+
+#endif  // NTSG_SPEC_SERIAL_SPEC_H_

@@ -1,0 +1,50 @@
+#include "spec/set.h"
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+Value SetSpec::Apply(OpCode op, int64_t arg) {
+  switch (op) {
+    case OpCode::kAdd:
+      elements_.insert(arg);
+      return Value::Ok();
+    case OpCode::kRemove:
+      elements_.erase(arg);
+      return Value::Ok();
+    case OpCode::kContains:
+      return Value::Int(elements_.count(arg) ? 1 : 0);
+    case OpCode::kSetSize:
+      return Value::Int(static_cast<int64_t>(elements_.size()));
+    default:
+      NTSG_CHECK(false) << "op invalid for set object: " << OpCodeName(op);
+      return Value::Ok();
+  }
+}
+
+bool SetSpec::StateEquals(const SerialSpec& other) const {
+  NTSG_CHECK(other.type() == ObjectType::kSet);
+  return elements_ == static_cast<const SetSpec&>(other).elements_;
+}
+
+void SetSpec::RandomizeState(Rng& rng) {
+  elements_.clear();
+  size_t n = rng.NextBelow(6);
+  for (size_t i = 0; i < n; ++i) {
+    elements_.insert(rng.NextInRange(-4, 4));
+  }
+}
+
+std::string SetSpec::StateToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (int64_t e : elements_) {
+    if (!first) out += ", ";
+    out += std::to_string(e);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace ntsg

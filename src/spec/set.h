@@ -1,0 +1,40 @@
+#ifndef NTSG_SPEC_SET_H_
+#define NTSG_SPEC_SET_H_
+
+#include <set>
+
+#include "spec/serial_spec.h"
+
+namespace ntsg {
+
+/// An integer-set object: add/remove an element (returning OK), membership
+/// test, and size. Adds commute with adds (set union is idempotent and
+/// commutative), so undo logging admits concurrent inserts of distinct — and
+/// even equal — elements.
+class SetSpec final : public SerialSpec {
+ public:
+  SetSpec() = default;
+
+  std::unique_ptr<SerialSpec> Clone() const override {
+    return std::make_unique<SetSpec>(*this);
+  }
+
+  Value Apply(OpCode op, int64_t arg) override;
+
+  bool StateEquals(const SerialSpec& other) const override;
+
+  void RandomizeState(Rng& rng) override;
+
+  std::string StateToString() const override;
+
+  ObjectType type() const override { return ObjectType::kSet; }
+
+  const std::set<int64_t>& elements() const { return elements_; }
+
+ private:
+  std::set<int64_t> elements_;
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_SPEC_SET_H_

@@ -1,0 +1,133 @@
+#include "tx/access.h"
+
+namespace ntsg {
+
+bool IsUpdateOp(OpCode op) {
+  switch (op) {
+    case OpCode::kWrite:
+    case OpCode::kIncrement:
+    case OpCode::kDecrement:
+    case OpCode::kAdd:
+    case OpCode::kRemove:
+    case OpCode::kEnqueue:
+    case OpCode::kDeposit:
+      return true;
+    case OpCode::kRead:
+    case OpCode::kCounterRead:
+    case OpCode::kContains:
+    case OpCode::kSetSize:
+    case OpCode::kDequeue:
+    case OpCode::kQueueSize:
+    case OpCode::kWithdraw:
+    case OpCode::kBalance:
+      return false;
+  }
+  return false;
+}
+
+bool IsModifyingOp(OpCode op) {
+  switch (op) {
+    case OpCode::kWrite:
+    case OpCode::kIncrement:
+    case OpCode::kDecrement:
+    case OpCode::kAdd:
+    case OpCode::kRemove:
+    case OpCode::kEnqueue:
+    case OpCode::kDequeue:
+    case OpCode::kDeposit:
+    case OpCode::kWithdraw:
+      return true;
+    case OpCode::kRead:
+    case OpCode::kCounterRead:
+    case OpCode::kContains:
+    case OpCode::kSetSize:
+    case OpCode::kQueueSize:
+    case OpCode::kBalance:
+      return false;
+  }
+  return true;
+}
+
+const char* OpCodeName(OpCode op) {
+  switch (op) {
+    case OpCode::kRead:
+      return "read";
+    case OpCode::kWrite:
+      return "write";
+    case OpCode::kIncrement:
+      return "inc";
+    case OpCode::kDecrement:
+      return "dec";
+    case OpCode::kCounterRead:
+      return "cread";
+    case OpCode::kAdd:
+      return "add";
+    case OpCode::kRemove:
+      return "remove";
+    case OpCode::kContains:
+      return "contains";
+    case OpCode::kSetSize:
+      return "size";
+    case OpCode::kEnqueue:
+      return "enq";
+    case OpCode::kDequeue:
+      return "deq";
+    case OpCode::kQueueSize:
+      return "qsize";
+    case OpCode::kDeposit:
+      return "deposit";
+    case OpCode::kWithdraw:
+      return "withdraw";
+    case OpCode::kBalance:
+      return "balance";
+  }
+  return "?";
+}
+
+const char* ObjectTypeName(ObjectType type) {
+  switch (type) {
+    case ObjectType::kReadWrite:
+      return "read_write";
+    case ObjectType::kCounter:
+      return "counter";
+    case ObjectType::kSet:
+      return "set";
+    case ObjectType::kQueue:
+      return "queue";
+    case ObjectType::kBankAccount:
+      return "bank_account";
+  }
+  return "?";
+}
+
+bool OpValidForType(ObjectType type, OpCode op) {
+  switch (type) {
+    case ObjectType::kReadWrite:
+      return op == OpCode::kRead || op == OpCode::kWrite;
+    case ObjectType::kCounter:
+      return op == OpCode::kIncrement || op == OpCode::kDecrement ||
+             op == OpCode::kCounterRead;
+    case ObjectType::kSet:
+      return op == OpCode::kAdd || op == OpCode::kRemove ||
+             op == OpCode::kContains || op == OpCode::kSetSize;
+    case ObjectType::kQueue:
+      return op == OpCode::kEnqueue || op == OpCode::kDequeue ||
+             op == OpCode::kQueueSize;
+    case ObjectType::kBankAccount:
+      return op == OpCode::kDeposit || op == OpCode::kWithdraw ||
+             op == OpCode::kBalance;
+  }
+  return false;
+}
+
+std::string AccessSpecToString(const AccessSpec& spec) {
+  std::string out = OpCodeName(spec.op);
+  out += "(X";
+  out += std::to_string(spec.object);
+  out += ", ";
+  out += std::to_string(spec.arg);
+  out += ")";
+  return out;
+}
+
+}  // namespace ntsg

@@ -1,0 +1,87 @@
+#ifndef NTSG_TX_ACCESS_H_
+#define NTSG_TX_ACCESS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ntsg {
+
+/// Identifies a shared data object X of the system type. Objects are
+/// registered with the SystemType; the id indexes its object table.
+using ObjectId = uint32_t;
+
+inline constexpr ObjectId kInvalidObject = 0xFFFFFFFFu;
+
+/// The serial data type of an object, which fixes how its operations are
+/// interpreted (src/spec implements the corresponding serial specifications).
+enum class ObjectType : uint8_t {
+  kReadWrite,    // Section 3.1 read/write register.
+  kCounter,      // inc/dec/read counter (Section 6 example).
+  kSet,          // add/remove/contains integer set.
+  kQueue,        // FIFO queue of integers.
+  kBankAccount,  // deposit/withdraw-with-failure/balance.
+};
+
+/// Operation codes across all bundled data types. Which codes are legal for
+/// an object depends on its ObjectType.
+enum class OpCode : uint8_t {
+  // ReadWrite.
+  kRead,
+  kWrite,  // arg = value written (the paper's data(T)).
+  // Counter.
+  kIncrement,  // arg = amount.
+  kDecrement,  // arg = amount.
+  kCounterRead,
+  // Set.
+  kAdd,       // arg = element.
+  kRemove,    // arg = element.
+  kContains,  // arg = element; returns 0/1.
+  kSetSize,
+  // Queue.
+  kEnqueue,  // arg = element.
+  kDequeue,  // returns front or kQueueEmpty.
+  kQueueSize,
+  // BankAccount.
+  kDeposit,   // arg = amount (>= 0).
+  kWithdraw,  // arg = amount; returns 1 on success, 0 if insufficient funds.
+  kBalance,
+};
+
+/// Returned by kDequeue on an empty queue. Queue elements are restricted to
+/// non-negative integers (enforced by QueueSpec), so this sentinel is
+/// unambiguous.
+inline constexpr int64_t kQueueEmpty = -1;
+
+/// Describes an access transaction (a leaf of the transaction tree): which
+/// object it touches and what operation it performs. The paper encodes all
+/// parameters of an access in its name; AccessSpec is that decoding.
+struct AccessSpec {
+  ObjectId object = kInvalidObject;
+  OpCode op = OpCode::kRead;
+  int64_t arg = 0;
+
+  bool operator==(const AccessSpec& other) const {
+    return object == other.object && op == other.op && arg == other.arg;
+  }
+};
+
+/// True for operations whose serial return value is always OK (the
+/// "update"-style operations). Note: not the same as IsModifyingOp —
+/// withdraw and dequeue modify state yet return values.
+bool IsUpdateOp(OpCode op);
+
+/// True for operations that may modify the object state (the "update" class
+/// of read/update locking): everything except the pure observers.
+bool IsModifyingOp(OpCode op);
+
+const char* OpCodeName(OpCode op);
+const char* ObjectTypeName(ObjectType type);
+
+/// True if `op` is in the operation vocabulary of objects of type `type`.
+bool OpValidForType(ObjectType type, OpCode op);
+
+std::string AccessSpecToString(const AccessSpec& spec);
+
+}  // namespace ntsg
+
+#endif  // NTSG_TX_ACCESS_H_

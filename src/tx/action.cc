@@ -1,0 +1,80 @@
+#include "tx/action.h"
+
+namespace ntsg {
+
+const char* ActionKindName(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kCreate:
+      return "CREATE";
+    case ActionKind::kRequestCreate:
+      return "REQUEST_CREATE";
+    case ActionKind::kRequestCommit:
+      return "REQUEST_COMMIT";
+    case ActionKind::kCommit:
+      return "COMMIT";
+    case ActionKind::kAbort:
+      return "ABORT";
+    case ActionKind::kReportCommit:
+      return "REPORT_COMMIT";
+    case ActionKind::kReportAbort:
+      return "REPORT_ABORT";
+    case ActionKind::kInformCommit:
+      return "INFORM_COMMIT";
+    case ActionKind::kInformAbort:
+      return "INFORM_ABORT";
+  }
+  return "?";
+}
+
+std::string Action::ToString(const SystemType& type) const {
+  std::string out = ActionKindName(kind);
+  out += "(";
+  out += type.NameOf(tx);
+  if (kind == ActionKind::kRequestCommit || kind == ActionKind::kReportCommit) {
+    out += ", ";
+    out += value.ToString();
+  }
+  if (kind == ActionKind::kInformCommit || kind == ActionKind::kInformAbort) {
+    out += " at ";
+    out += type.object_name(at_object);
+  }
+  out += ")";
+  return out;
+}
+
+TxName TransactionOf(const SystemType& type, const Action& a) {
+  switch (a.kind) {
+    case ActionKind::kCreate:
+    case ActionKind::kRequestCommit:
+      return a.tx;
+    case ActionKind::kRequestCreate:
+    case ActionKind::kReportCommit:
+    case ActionKind::kReportAbort:
+      return type.parent(a.tx);
+    case ActionKind::kCommit:
+    case ActionKind::kAbort:
+    case ActionKind::kInformCommit:
+    case ActionKind::kInformAbort:
+      return kInvalidTx;
+  }
+  return kInvalidTx;
+}
+
+TxName HighTransactionOf(const SystemType& type, const Action& a) {
+  if (a.IsCompletion()) return type.parent(a.tx);
+  return TransactionOf(type, a);
+}
+
+TxName LowTransactionOf(const SystemType& type, const Action& a) {
+  if (a.IsCompletion()) return a.tx;
+  return TransactionOf(type, a);
+}
+
+ObjectId ObjectOfAction(const SystemType& type, const Action& a) {
+  if (a.kind != ActionKind::kCreate && a.kind != ActionKind::kRequestCommit) {
+    return kInvalidObject;
+  }
+  return type.ObjectOf(a.tx);
+}
+
+}  // namespace ntsg

@@ -1,0 +1,106 @@
+#ifndef NTSG_TX_ACTION_H_
+#define NTSG_TX_ACTION_H_
+
+#include <string>
+
+#include "tx/access.h"
+#include "tx/system_type.h"
+#include "tx/value.h"
+
+namespace ntsg {
+
+/// The external action vocabulary of nested-transaction systems (Section 2).
+/// The first seven kinds are the *serial actions*; the INFORM_* kinds appear
+/// only in generic systems (Section 5.1) and are dropped by `serial(β)`.
+enum class ActionKind : uint8_t {
+  kCreate,         // CREATE(T)
+  kRequestCreate,  // REQUEST_CREATE(T), T != T0
+  kRequestCommit,  // REQUEST_COMMIT(T, v)
+  kCommit,         // COMMIT(T), T != T0
+  kAbort,          // ABORT(T), T != T0
+  kReportCommit,   // REPORT_COMMIT(T, v)
+  kReportAbort,    // REPORT_ABORT(T)
+  kInformCommit,   // INFORM_COMMIT_AT(X) OF(T)
+  kInformAbort,    // INFORM_ABORT_AT(X) OF(T)
+};
+
+const char* ActionKindName(ActionKind kind);
+
+/// One action occurrence. `value` is meaningful for kRequestCommit and
+/// kReportCommit; `at_object` for the INFORM_* kinds.
+struct Action {
+  ActionKind kind;
+  TxName tx = kInvalidTx;
+  Value value = Value::Ok();
+  ObjectId at_object = kInvalidObject;
+
+  static Action Create(TxName t) { return {ActionKind::kCreate, t, {}, kInvalidObject}; }
+  static Action RequestCreate(TxName t) {
+    return {ActionKind::kRequestCreate, t, {}, kInvalidObject};
+  }
+  static Action RequestCommit(TxName t, Value v) {
+    return {ActionKind::kRequestCommit, t, v, kInvalidObject};
+  }
+  static Action Commit(TxName t) { return {ActionKind::kCommit, t, {}, kInvalidObject}; }
+  static Action Abort(TxName t) { return {ActionKind::kAbort, t, {}, kInvalidObject}; }
+  static Action ReportCommit(TxName t, Value v) {
+    return {ActionKind::kReportCommit, t, v, kInvalidObject};
+  }
+  static Action ReportAbort(TxName t) {
+    return {ActionKind::kReportAbort, t, {}, kInvalidObject};
+  }
+  static Action InformCommit(ObjectId x, TxName t) {
+    return {ActionKind::kInformCommit, t, {}, x};
+  }
+  static Action InformAbort(ObjectId x, TxName t) {
+    return {ActionKind::kInformAbort, t, {}, x};
+  }
+
+  bool IsSerial() const {
+    return kind != ActionKind::kInformCommit && kind != ActionKind::kInformAbort;
+  }
+
+  /// True for COMMIT(T) / ABORT(T) — the completion actions for T.
+  bool IsCompletion() const {
+    return kind == ActionKind::kCommit || kind == ActionKind::kAbort;
+  }
+
+  bool operator==(const Action& other) const {
+    return kind == other.kind && tx == other.tx && value == other.value &&
+           at_object == other.at_object;
+  }
+
+  /// Arbitrary total order; lets actions key ordered containers (e.g. the
+  /// controller's incrementally maintained enabled set).
+  bool operator<(const Action& other) const {
+    if (kind != other.kind) return kind < other.kind;
+    if (tx != other.tx) return tx < other.tx;
+    if (at_object != other.at_object) return at_object < other.at_object;
+    return value < other.value;
+  }
+
+  std::string ToString(const SystemType& type) const;
+};
+
+/// The paper's transaction(π): the transaction automaton at which the serial
+/// action π occurs. Defined for all serial actions except completions:
+///   transaction(CREATE(T)) = transaction(REQUEST_COMMIT(T,v)) = T,
+///   transaction(REQUEST_CREATE(T')) = transaction(REPORT_*(T')) = parent(T').
+/// Returns kInvalidTx for COMMIT/ABORT/INFORM actions.
+TxName TransactionOf(const SystemType& type, const Action& a);
+
+/// hightransaction(π): transaction(π) for non-completions; parent(T) for a
+/// completion action of T.
+TxName HighTransactionOf(const SystemType& type, const Action& a);
+
+/// lowtransaction(π): transaction(π) for non-completions; T for a completion
+/// action of T.
+TxName LowTransactionOf(const SystemType& type, const Action& a);
+
+/// object(π): the object accessed, defined when π is CREATE(T) or
+/// REQUEST_COMMIT(T,v) for an access T; kInvalidObject otherwise.
+ObjectId ObjectOfAction(const SystemType& type, const Action& a);
+
+}  // namespace ntsg
+
+#endif  // NTSG_TX_ACTION_H_

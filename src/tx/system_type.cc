@@ -1,0 +1,96 @@
+#include "tx/system_type.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+SystemType::SystemType() {
+  nodes_.push_back(Node{kInvalidTx, 0, std::nullopt});  // T0.
+}
+
+ObjectId SystemType::AddObject(ObjectType type, std::string name,
+                               int64_t initial) {
+  objects_.push_back(ObjectInfo{type, std::move(name), initial});
+  return static_cast<ObjectId>(objects_.size() - 1);
+}
+
+TxName SystemType::NewChild(TxName parent) {
+  NTSG_CHECK_LT(parent, nodes_.size());
+  NTSG_CHECK(!IsAccess(parent)) << "accesses are leaves";
+  nodes_.push_back(Node{parent, nodes_[parent].depth + 1, std::nullopt});
+  return static_cast<TxName>(nodes_.size() - 1);
+}
+
+TxName SystemType::NewAccess(TxName parent, const AccessSpec& spec) {
+  NTSG_CHECK_LT(parent, nodes_.size());
+  NTSG_CHECK(!IsAccess(parent)) << "accesses are leaves";
+  NTSG_CHECK_LT(spec.object, objects_.size());
+  NTSG_CHECK(OpValidForType(objects_[spec.object].type, spec.op))
+      << OpCodeName(spec.op) << " invalid for "
+      << ObjectTypeName(objects_[spec.object].type);
+  nodes_.push_back(Node{parent, nodes_[parent].depth + 1, spec});
+  return static_cast<TxName>(nodes_.size() - 1);
+}
+
+ObjectId SystemType::ObjectOf(TxName t) const {
+  if (!IsAccess(t)) return kInvalidObject;
+  return nodes_[t].access->object;
+}
+
+bool SystemType::IsAncestor(TxName a, TxName d) const {
+  NTSG_CHECK_LT(a, nodes_.size());
+  NTSG_CHECK_LT(d, nodes_.size());
+  while (nodes_[d].depth > nodes_[a].depth) d = nodes_[d].parent;
+  return a == d;
+}
+
+bool SystemType::AreSiblings(TxName a, TxName b) const {
+  if (a == b || a == kT0 || b == kT0) return false;
+  return nodes_[a].parent == nodes_[b].parent;
+}
+
+TxName SystemType::Lca(TxName a, TxName b) const {
+  NTSG_CHECK_LT(a, nodes_.size());
+  NTSG_CHECK_LT(b, nodes_.size());
+  while (nodes_[a].depth > nodes_[b].depth) a = nodes_[a].parent;
+  while (nodes_[b].depth > nodes_[a].depth) b = nodes_[b].parent;
+  while (a != b) {
+    a = nodes_[a].parent;
+    b = nodes_[b].parent;
+  }
+  return a;
+}
+
+TxName SystemType::ChildToward(TxName anc, TxName d) const {
+  NTSG_CHECK(IsAncestor(anc, d));
+  NTSG_CHECK_NE(anc, d);
+  while (nodes_[d].depth > nodes_[anc].depth + 1) d = nodes_[d].parent;
+  return d;
+}
+
+std::vector<TxName> SystemType::Ancestors(TxName t) const {
+  std::vector<TxName> out;
+  out.reserve(nodes_[t].depth + 1);
+  for (;;) {
+    out.push_back(t);
+    if (t == kT0) break;
+    t = nodes_[t].parent;
+  }
+  return out;
+}
+
+std::string SystemType::NameOf(TxName t) const {
+  if (t == kT0) return "T0";
+  std::vector<TxName> path = Ancestors(t);
+  std::reverse(path.begin(), path.end());
+  std::string out = "T0";
+  for (size_t i = 1; i < path.size(); ++i) {
+    out += ".";
+    out += std::to_string(path[i]);
+  }
+  return out;
+}
+
+}  // namespace ntsg

@@ -1,0 +1,112 @@
+#ifndef NTSG_TX_SYSTEM_TYPE_H_
+#define NTSG_TX_SYSTEM_TYPE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tx/access.h"
+
+namespace ntsg {
+
+/// Handle for a transaction name. `kT0` (handle 0) is the root of the
+/// transaction tree — the "mythical" transaction modelling the environment.
+using TxName = uint32_t;
+
+inline constexpr TxName kT0 = 0;
+inline constexpr TxName kInvalidTx = 0xFFFFFFFFu;
+
+/// The paper's "system type": the tree of transaction names, the partition of
+/// its leaves (accesses) among objects, and the object table.
+///
+/// The paper's tree is infinite and known in advance; since any finite
+/// execution touches only finitely many names, we intern names lazily in an
+/// arena. All tree queries the theory needs — parent, ancestor, descendant,
+/// lca — are answered from parent pointers and depths.
+///
+/// A name is an *access* iff it carries an AccessSpec; accesses must be
+/// leaves (never given children).
+class SystemType {
+ public:
+  SystemType();
+
+  SystemType(const SystemType&) = delete;
+  SystemType& operator=(const SystemType&) = delete;
+
+  // --- Object table -------------------------------------------------------
+
+  /// Registers a shared object; `initial` is the initial value d of its
+  /// serial specification (ignored by types with a fixed empty initial
+  /// state, i.e. set and queue).
+  ObjectId AddObject(ObjectType type, std::string name, int64_t initial = 0);
+
+  size_t num_objects() const { return objects_.size(); }
+  ObjectType object_type(ObjectId x) const { return objects_[x].type; }
+  int64_t object_initial(ObjectId x) const { return objects_[x].initial; }
+  const std::string& object_name(ObjectId x) const { return objects_[x].name; }
+
+  // --- Name arena ----------------------------------------------------------
+
+  /// Creates a fresh non-access child of `parent`. `parent` must not be an
+  /// access.
+  TxName NewChild(TxName parent);
+
+  /// Creates a fresh access child of `parent` performing `spec`. The spec's
+  /// operation must be valid for the object's type.
+  TxName NewAccess(TxName parent, const AccessSpec& spec);
+
+  size_t num_names() const { return nodes_.size(); }
+
+  TxName parent(TxName t) const { return nodes_[t].parent; }
+  uint32_t depth(TxName t) const { return nodes_[t].depth; }
+
+  bool IsAccess(TxName t) const { return nodes_[t].access.has_value(); }
+
+  /// Access decoding; only valid when IsAccess(t).
+  const AccessSpec& access(TxName t) const { return *nodes_[t].access; }
+
+  /// Object accessed by `t`; kInvalidObject if `t` is not an access.
+  ObjectId ObjectOf(TxName t) const;
+
+  /// True iff `a` is an ancestor of `d` (every name is its own ancestor).
+  bool IsAncestor(TxName a, TxName d) const;
+
+  bool IsDescendant(TxName d, TxName a) const { return IsAncestor(a, d); }
+
+  /// True iff parent(a) == parent(b) and a != b. T0 has no siblings.
+  bool AreSiblings(TxName a, TxName b) const;
+
+  /// Least common ancestor of `a` and `b`.
+  TxName Lca(TxName a, TxName b) const;
+
+  /// The child of ancestor `anc` on the path down to descendant `d`.
+  /// Requires IsAncestor(anc, d) and anc != d.
+  TxName ChildToward(TxName anc, TxName d) const;
+
+  /// Ancestors of `t` from `t` up to and including T0.
+  std::vector<TxName> Ancestors(TxName t) const;
+
+  /// Human-readable dotted path, e.g. "T0.2.1".
+  std::string NameOf(TxName t) const;
+
+ private:
+  struct Node {
+    TxName parent;
+    uint32_t depth;
+    std::optional<AccessSpec> access;
+  };
+
+  struct ObjectInfo {
+    ObjectType type;
+    std::string name;
+    int64_t initial;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<ObjectInfo> objects_;
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_TX_SYSTEM_TYPE_H_

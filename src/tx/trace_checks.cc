@@ -1,0 +1,277 @@
+#include "tx/trace_checks.h"
+
+#include <map>
+#include <set>
+
+namespace ntsg {
+
+namespace {
+
+std::string Describe(const SystemType& type, const Action& a) {
+  return a.ToString(type);
+}
+
+}  // namespace
+
+Status CheckSimpleBehavior(const SystemType& type, const Trace& trace) {
+  std::set<TxName> create_requested;
+  std::set<TxName> created;
+  std::map<TxName, std::set<int64_t>> commit_values;  // encoded values
+  std::set<TxName> commit_requested;
+  std::set<TxName> committed;
+  std::set<TxName> aborted;
+  std::set<TxName> reported;
+
+  auto encode = [](const Value& v) {
+    // OK and Int(v) never collide: OK encodes to a sentinel outside the
+    // int64 payload space we use (tagged in the high bit via a pair).
+    return v.is_ok() ? std::pair<int, int64_t>(1, 0)
+                     : std::pair<int, int64_t>(0, v.AsInt());
+  };
+  std::map<TxName, std::set<std::pair<int, int64_t>>> requested_values;
+
+  for (const Action& a : trace) {
+    if (!a.IsSerial()) continue;
+    switch (a.kind) {
+      case ActionKind::kRequestCreate:
+        if (a.tx == kT0) {
+          return Status::Corruption("REQUEST_CREATE(T0) is not an action");
+        }
+        create_requested.insert(a.tx);
+        break;
+      case ActionKind::kCreate:
+        if (a.tx == kT0) {
+          return Status::Corruption("CREATE(T0) is not emitted (T0 is awake)");
+        }
+        if (!create_requested.count(a.tx)) {
+          return Status::Corruption("CREATE without preceding REQUEST_CREATE: " +
+                                    Describe(type, a));
+        }
+        if (!created.insert(a.tx).second) {
+          return Status::Corruption("duplicate CREATE: " + Describe(type, a));
+        }
+        break;
+      case ActionKind::kRequestCommit:
+        if (type.IsAccess(a.tx)) {
+          if (!created.count(a.tx)) {
+            return Status::Corruption(
+                "access response without invocation: " + Describe(type, a));
+          }
+          if (commit_requested.count(a.tx)) {
+            return Status::Corruption("multiple responses to access: " +
+                                      Describe(type, a));
+          }
+        }
+        commit_requested.insert(a.tx);
+        requested_values[a.tx].insert(encode(a.value));
+        break;
+      case ActionKind::kCommit:
+        if (a.tx == kT0) return Status::Corruption("COMMIT(T0)");
+        if (!commit_requested.count(a.tx)) {
+          return Status::Corruption("COMMIT without REQUEST_COMMIT: " +
+                                    Describe(type, a));
+        }
+        if (committed.count(a.tx) || aborted.count(a.tx)) {
+          return Status::Corruption("second completion event: " +
+                                    Describe(type, a));
+        }
+        committed.insert(a.tx);
+        break;
+      case ActionKind::kAbort:
+        if (a.tx == kT0) return Status::Corruption("ABORT(T0)");
+        if (!create_requested.count(a.tx)) {
+          return Status::Corruption("ABORT without REQUEST_CREATE: " +
+                                    Describe(type, a));
+        }
+        if (committed.count(a.tx) || aborted.count(a.tx)) {
+          return Status::Corruption("second completion event: " +
+                                    Describe(type, a));
+        }
+        aborted.insert(a.tx);
+        break;
+      case ActionKind::kReportCommit:
+        if (!committed.count(a.tx)) {
+          return Status::Corruption("REPORT_COMMIT before COMMIT: " +
+                                    Describe(type, a));
+        }
+        if (!requested_values[a.tx].count(encode(a.value))) {
+          return Status::Corruption("REPORT_COMMIT with unrequested value: " +
+                                    Describe(type, a));
+        }
+        if (!reported.insert(a.tx).second) {
+          return Status::Corruption("duplicate report: " + Describe(type, a));
+        }
+        break;
+      case ActionKind::kReportAbort:
+        if (!aborted.count(a.tx)) {
+          return Status::Corruption("REPORT_ABORT before ABORT: " +
+                                    Describe(type, a));
+        }
+        if (!reported.insert(a.tx).second) {
+          return Status::Corruption("duplicate report: " + Describe(type, a));
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckSerialObjectWellFormed(const SystemType& type, const Trace& trace,
+                                   ObjectId x) {
+  std::set<TxName> seen;
+  TxName active = kInvalidTx;
+  for (const Action& a : trace) {
+    if (a.kind == ActionKind::kCreate) {
+      if (!type.IsAccess(a.tx) || type.ObjectOf(a.tx) != x) {
+        return Status::Corruption("CREATE for non-access-to-X: " +
+                                  Describe(type, a));
+      }
+      if (active != kInvalidTx) {
+        return Status::Corruption("CREATE while another access pending: " +
+                                  Describe(type, a));
+      }
+      if (!seen.insert(a.tx).second) {
+        return Status::Corruption("repeated access transaction: " +
+                                  Describe(type, a));
+      }
+      active = a.tx;
+    } else if (a.kind == ActionKind::kRequestCommit) {
+      if (a.tx != active) {
+        return Status::Corruption("REQUEST_COMMIT for non-pending access: " +
+                                  Describe(type, a));
+      }
+      active = kInvalidTx;
+    } else {
+      return Status::Corruption("non-object action in serial object trace: " +
+                                Describe(type, a));
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckTransactionWellFormed(const SystemType& type,
+                                  const Trace& projection, TxName t) {
+  bool created = (t == kT0);  // T0 is modelled as always awake.
+  bool commit_requested = false;
+  std::set<TxName> requested_children;
+  std::set<TxName> reported_children;
+
+  for (const Action& a : projection) {
+    switch (a.kind) {
+      case ActionKind::kCreate:
+        if (a.tx != t) {
+          return Status::Corruption("foreign CREATE in projection");
+        }
+        if (created) {
+          return Status::Corruption("duplicate CREATE(T) in beta|T");
+        }
+        created = true;
+        break;
+      case ActionKind::kRequestCreate: {
+        if (type.parent(a.tx) != t) {
+          return Status::Corruption("REQUEST_CREATE for non-child");
+        }
+        if (!created) {
+          return Status::Corruption(
+              "REQUEST_CREATE before CREATE(T): " + Describe(type, a));
+        }
+        if (commit_requested) {
+          return Status::Corruption("output after REQUEST_COMMIT(T): " +
+                                    Describe(type, a));
+        }
+        if (!requested_children.insert(a.tx).second) {
+          return Status::Corruption("duplicate REQUEST_CREATE: " +
+                                    Describe(type, a));
+        }
+        break;
+      }
+      case ActionKind::kReportCommit:
+      case ActionKind::kReportAbort:
+        if (type.parent(a.tx) != t) {
+          return Status::Corruption("report for non-child");
+        }
+        if (!requested_children.count(a.tx)) {
+          return Status::Corruption("report for unrequested child: " +
+                                    Describe(type, a));
+        }
+        if (!reported_children.insert(a.tx).second) {
+          return Status::Corruption("duplicate report for child: " +
+                                    Describe(type, a));
+        }
+        break;
+      case ActionKind::kRequestCommit:
+        if (a.tx != t) {
+          return Status::Corruption("foreign REQUEST_COMMIT in projection");
+        }
+        if (!created) {
+          return Status::Corruption("REQUEST_COMMIT before CREATE(T)");
+        }
+        if (commit_requested) {
+          return Status::Corruption("duplicate REQUEST_COMMIT(T)");
+        }
+        if (reported_children.size() != requested_children.size()) {
+          return Status::Corruption(
+              "REQUEST_COMMIT before all children reported");
+        }
+        commit_requested = true;
+        break;
+      default:
+        return Status::Corruption("unexpected action in beta|T: " +
+                                  Describe(type, a));
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckGenericObjectWellFormed(const SystemType& type,
+                                    const Trace& projection, ObjectId x) {
+  std::set<TxName> created;
+  std::set<TxName> responded;
+  std::set<TxName> informed_commit;
+  std::set<TxName> informed_abort;
+  for (const Action& a : projection) {
+    switch (a.kind) {
+      case ActionKind::kCreate:
+        if (type.ObjectOf(a.tx) != x) {
+          return Status::Corruption("CREATE for access to another object");
+        }
+        if (!created.insert(a.tx).second) {
+          return Status::Corruption("duplicate CREATE at object: " +
+                                    Describe(type, a));
+        }
+        break;
+      case ActionKind::kRequestCommit:
+        if (!created.count(a.tx)) {
+          return Status::Corruption("response before invocation: " +
+                                    Describe(type, a));
+        }
+        if (!responded.insert(a.tx).second) {
+          return Status::Corruption("duplicate response: " +
+                                    Describe(type, a));
+        }
+        break;
+      case ActionKind::kInformCommit:
+        if (informed_abort.count(a.tx)) {
+          return Status::Corruption(
+              "INFORM_COMMIT after INFORM_ABORT for same tx");
+        }
+        informed_commit.insert(a.tx);
+        break;
+      case ActionKind::kInformAbort:
+        if (informed_commit.count(a.tx)) {
+          return Status::Corruption(
+              "INFORM_ABORT after INFORM_COMMIT for same tx");
+        }
+        informed_abort.insert(a.tx);
+        break;
+      default:
+        return Status::Corruption("unexpected action at generic object: " +
+                                  Describe(type, a));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ntsg

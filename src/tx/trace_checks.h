@@ -1,0 +1,52 @@
+#ifndef NTSG_TX_TRACE_CHECKS_H_
+#define NTSG_TX_TRACE_CHECKS_H_
+
+#include "common/status.h"
+#include "tx/trace.h"
+
+namespace ntsg {
+
+/// Checks that `trace`'s serial part satisfies the constraints the simple
+/// database embodies (Section 2.3.1):
+///   * CREATE(T) only after REQUEST_CREATE(T), and at most once per T;
+///   * COMMIT(T) only after some REQUEST_COMMIT(T, v);
+///   * ABORT(T) only after REQUEST_CREATE(T);
+///   * at most one completion (COMMIT or ABORT) per T;
+///   * REPORT_COMMIT(T, v) only after COMMIT(T) with a matching requested v;
+///   * REPORT_ABORT(T) only after ABORT(T); at most one report per T;
+///   * REQUEST_COMMIT(T, v) for an access T only after CREATE(T), at most
+///     one response per access;
+///   * no CREATE, COMMIT, ABORT or REQUEST_CREATE mentioning T0.
+///
+/// Our systems never emit CREATE(T0): the root transaction (the environment)
+/// is modelled as always awake. This is a presentational deviation from the
+/// paper and is applied uniformly to serial and generic systems, so
+/// "serially correct for T0" comparisons are unaffected.
+Status CheckSimpleBehavior(const SystemType& type, const Trace& trace);
+
+/// Checks that `trace` (a sequence of external actions of one serial object
+/// S_X) is serial object well-formed: a prefix of
+/// CREATE(T1) REQUEST_COMMIT(T1,v1) CREATE(T2) ... with distinct Ti, all
+/// accesses to X (Section 2.2.2).
+Status CheckSerialObjectWellFormed(const SystemType& type, const Trace& trace,
+                                   ObjectId x);
+
+/// Checks transaction well-formedness of β|T for a non-access T:
+///   * for T != T0: the first event is CREATE(T), occurring exactly once;
+///   * REQUEST_CREATE(T') at most once per child T';
+///   * at most one report per child, and only for requested children;
+///   * REQUEST_COMMIT(T, v) at most once, only after a report was received
+///     for every requested child, and no further outputs after it.
+Status CheckTransactionWellFormed(const SystemType& type,
+                                  const Trace& projection, TxName t);
+
+/// Checks the generic-object well-formedness of a projection obtained via
+/// ProjectGenericObject: CREATE/REQUEST_COMMIT alternate correctly per
+/// access (create before response, at most one of each), and no INFORM_ABORT
+/// and INFORM_COMMIT occur for the same transaction.
+Status CheckGenericObjectWellFormed(const SystemType& type,
+                                    const Trace& projection, ObjectId x);
+
+}  // namespace ntsg
+
+#endif  // NTSG_TX_TRACE_CHECKS_H_

@@ -1,0 +1,234 @@
+#include "tx/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace ntsg {
+
+namespace {
+
+const std::vector<std::pair<OpCode, const char*>>& OpCodeTable() {
+  static const std::vector<std::pair<OpCode, const char*>> table = {
+      {OpCode::kRead, "read"},         {OpCode::kWrite, "write"},
+      {OpCode::kIncrement, "inc"},     {OpCode::kDecrement, "dec"},
+      {OpCode::kCounterRead, "cread"}, {OpCode::kAdd, "add"},
+      {OpCode::kRemove, "remove"},     {OpCode::kContains, "contains"},
+      {OpCode::kSetSize, "size"},      {OpCode::kEnqueue, "enq"},
+      {OpCode::kDequeue, "deq"},       {OpCode::kQueueSize, "qsize"},
+      {OpCode::kDeposit, "deposit"},   {OpCode::kWithdraw, "withdraw"},
+      {OpCode::kBalance, "balance"}};
+  return table;
+}
+
+bool ParseOpCode(const std::string& s, OpCode* out) {
+  for (const auto& [code, name] : OpCodeTable()) {
+    if (s == name) {
+      *out = code;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseObjectType(const std::string& s, ObjectType* out) {
+  for (ObjectType t : {ObjectType::kReadWrite, ObjectType::kCounter,
+                       ObjectType::kSet, ObjectType::kQueue,
+                       ObjectType::kBankAccount}) {
+    if (s == ObjectTypeName(t)) {
+      *out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseActionKind(const std::string& s, ActionKind* out) {
+  for (ActionKind k :
+       {ActionKind::kCreate, ActionKind::kRequestCreate,
+        ActionKind::kRequestCommit, ActionKind::kCommit, ActionKind::kAbort,
+        ActionKind::kReportCommit, ActionKind::kReportAbort,
+        ActionKind::kInformCommit, ActionKind::kInformAbort}) {
+    if (s == ActionKindName(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool KindHasValue(ActionKind kind) {
+  return kind == ActionKind::kRequestCommit ||
+         kind == ActionKind::kReportCommit;
+}
+
+bool KindHasObject(ActionKind kind) {
+  return kind == ActionKind::kInformCommit || kind == ActionKind::kInformAbort;
+}
+
+}  // namespace
+
+std::string SerializeSystemAndTrace(const SystemType& type, const Trace& trace,
+                                    const SiblingOrders& orders) {
+  std::ostringstream out;
+  out << "ntsg-trace v1\n";
+  for (ObjectId x = 0; x < type.num_objects(); ++x) {
+    out << "object " << x << " " << ObjectTypeName(type.object_type(x)) << " "
+        << type.object_name(x) << " " << type.object_initial(x) << "\n";
+  }
+  for (TxName t = 1; t < type.num_names(); ++t) {
+    out << "tx " << t << " " << type.parent(t);
+    if (type.IsAccess(t)) {
+      const AccessSpec& acc = type.access(t);
+      out << " access " << acc.object << " " << OpCodeName(acc.op) << " "
+          << acc.arg;
+    }
+    out << "\n";
+  }
+  for (const auto& [parent, children] : orders) {
+    out << "order " << parent;
+    for (TxName c : children) out << " " << c;
+    out << "\n";
+  }
+  for (const Action& a : trace) {
+    out << "event " << ActionKindName(a.kind) << " " << a.tx;
+    if (KindHasValue(a.kind)) {
+      out << " " << (a.value.is_ok() ? "ok" : std::to_string(a.value.AsInt()));
+    }
+    if (KindHasObject(a.kind)) out << " " << a.at_object;
+    out << "\n";
+  }
+  return out.str();
+}
+
+Status ParseSystemAndTrace(const std::string& text, SystemType* type,
+                           Trace* trace, SiblingOrders* orders) {
+  if (type->num_objects() != 0 || type->num_names() != 1) {
+    return Status::InvalidArgument("target SystemType must be empty");
+  }
+  trace->clear();
+
+  std::istringstream in(text);
+  std::string line;
+  size_t lineno = 0;
+  auto fail = [&lineno](const std::string& why) {
+    return Status::Corruption("line " + std::to_string(lineno) + ": " + why);
+  };
+
+  if (!std::getline(in, line)) return Status::Corruption("empty input");
+  ++lineno;
+  if (line != "ntsg-trace v1") return fail("bad header");
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "object") {
+      uint32_t id;
+      std::string type_name, obj_name;
+      int64_t initial;
+      if (!(fields >> id >> type_name >> obj_name >> initial)) {
+        return fail("malformed object line");
+      }
+      ObjectType otype;
+      if (!ParseObjectType(type_name, &otype)) {
+        return fail("unknown object type " + type_name);
+      }
+      if (id != type->num_objects()) return fail("object ids must be dense");
+      type->AddObject(otype, obj_name, initial);
+    } else if (tag == "tx") {
+      uint32_t id, parent;
+      if (!(fields >> id >> parent)) return fail("malformed tx line");
+      if (id != type->num_names()) return fail("tx ids must be dense");
+      if (parent >= type->num_names()) return fail("parent not yet declared");
+      std::string access_tag;
+      if (fields >> access_tag) {
+        if (access_tag != "access") return fail("expected 'access'");
+        uint32_t obj;
+        std::string op_name;
+        int64_t arg;
+        if (!(fields >> obj >> op_name >> arg)) {
+          return fail("malformed access spec");
+        }
+        OpCode op;
+        if (!ParseOpCode(op_name, &op)) {
+          return fail("unknown op " + op_name);
+        }
+        if (obj >= type->num_objects()) return fail("unknown object");
+        if (!OpValidForType(type->object_type(obj), op)) {
+          return fail("op invalid for object type");
+        }
+        type->NewAccess(parent, AccessSpec{obj, op, arg});
+      } else {
+        type->NewChild(parent);
+      }
+    } else if (tag == "order") {
+      uint32_t parent;
+      if (!(fields >> parent)) return fail("malformed order line");
+      if (parent >= type->num_names()) return fail("unknown order parent");
+      std::vector<TxName> children;
+      uint32_t child;
+      while (fields >> child) {
+        if (child >= type->num_names()) return fail("unknown order child");
+        if (type->parent(child) != parent) {
+          return fail("order child is not a child of the stated parent");
+        }
+        children.push_back(child);
+      }
+      if (orders != nullptr) (*orders)[parent] = std::move(children);
+    } else if (tag == "event") {
+      std::string kind_name;
+      uint32_t tx;
+      if (!(fields >> kind_name >> tx)) return fail("malformed event line");
+      ActionKind kind;
+      if (!ParseActionKind(kind_name, &kind)) {
+        return fail("unknown action kind " + kind_name);
+      }
+      if (tx >= type->num_names()) return fail("unknown transaction");
+      Action a;
+      a.kind = kind;
+      a.tx = tx;
+      if (KindHasValue(kind)) {
+        std::string v;
+        if (!(fields >> v)) return fail("missing value");
+        if (v == "ok") {
+          a.value = Value::Ok();
+        } else {
+          a.value = Value::Int(std::strtoll(v.c_str(), nullptr, 10));
+        }
+      }
+      if (KindHasObject(kind)) {
+        uint32_t obj;
+        if (!(fields >> obj)) return fail("missing object");
+        if (obj >= type->num_objects()) return fail("unknown object");
+        a.at_object = obj;
+      }
+      trace->push_back(a);
+    } else {
+      return fail("unknown tag " + tag);
+    }
+  }
+  return Status::Ok();
+}
+
+Status WriteTraceFile(const std::string& path, const SystemType& type,
+                      const Trace& trace, const SiblingOrders& orders) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out << SerializeSystemAndTrace(type, trace, orders);
+  return out.good() ? Status::Ok()
+                    : Status::Internal("write failed for " + path);
+}
+
+Status ReadTraceFile(const std::string& path, SystemType* type, Trace* trace,
+                     SiblingOrders* orders) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseSystemAndTrace(buf.str(), type, trace, orders);
+}
+
+}  // namespace ntsg

@@ -1,0 +1,48 @@
+#ifndef NTSG_TX_TRACE_IO_H_
+#define NTSG_TX_TRACE_IO_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tx/trace.h"
+
+namespace ntsg {
+
+/// Sibling orders attached to a trace (e.g. the timestamp order an MVTO run
+/// serialized against), so exact offline audits can target the scheduler's
+/// own order rather than deriving one.
+using SiblingOrders = std::map<TxName, std::vector<TxName>>;
+
+/// Text serialization of a system type plus one of its behaviors, so traces
+/// can be captured from a live system and audited offline (see the
+/// trace_audit example and the ntsg CLI). Line-oriented format:
+///
+///   ntsg-trace v1
+///   object <id> <type-name> <object-name> <initial>
+///   tx <id> <parent-id>                        # non-access name
+///   tx <id> <parent-id> access <obj> <op> <arg>
+///   order <parent-id> <child-id>...            # optional sibling order
+///   event <ACTION-KIND> <tx> [ok|<int>] [<obj>]
+///
+/// Names and objects must be declared before use; ids must be dense and in
+/// creation order (matching SystemType's arena). T0 (id 0) is implicit.
+std::string SerializeSystemAndTrace(const SystemType& type, const Trace& trace,
+                                    const SiblingOrders& orders = {});
+
+/// Parses the format above into a *fresh* SystemType (must be empty: no
+/// objects, only T0) and a trace. Returns Corruption with a line number on
+/// malformed input. `orders` (optional) receives any sibling-order lines.
+Status ParseSystemAndTrace(const std::string& text, SystemType* type,
+                           Trace* trace, SiblingOrders* orders = nullptr);
+
+/// Convenience file wrappers.
+Status WriteTraceFile(const std::string& path, const SystemType& type,
+                      const Trace& trace, const SiblingOrders& orders = {});
+Status ReadTraceFile(const std::string& path, SystemType* type, Trace* trace,
+                     SiblingOrders* orders = nullptr);
+
+}  // namespace ntsg
+
+#endif  // NTSG_TX_TRACE_IO_H_

@@ -1,0 +1,57 @@
+#ifndef NTSG_TX_VALUE_H_
+#define NTSG_TX_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ntsg {
+
+/// Return value of a transaction or access (the paper's `v` in
+/// REQUEST_COMMIT(T, v)). Update-style accesses (writes, increments,
+/// enqueues, ...) return the distinguished acknowledgment `OK`; observer
+/// accesses return an integer from the object's domain.
+///
+/// All bundled serial object types use integer domains. This loses no
+/// generality for the paper's constructions: none of the definitions
+/// (conflict, precedes, visibility, SG) inspect domain structure, only value
+/// equality.
+class Value {
+ public:
+  /// Default-constructs OK; makes Value usable in containers.
+  Value() : is_ok_(true), v_(0) {}
+
+  static Value Ok() { return Value(); }
+  static Value Int(int64_t v) { return Value(false, v); }
+
+  bool is_ok() const { return is_ok_; }
+
+  /// Domain value; only meaningful when !is_ok().
+  int64_t AsInt() const { return v_; }
+
+  bool operator==(const Value& other) const {
+    if (is_ok_ != other.is_ok_) return false;
+    return is_ok_ || v_ == other.v_;
+  }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Arbitrary total order (OK first, then by payload); lets values key
+  /// ordered containers.
+  bool operator<(const Value& other) const {
+    if (is_ok_ != other.is_ok_) return is_ok_;
+    return !is_ok_ && v_ < other.v_;
+  }
+
+  std::string ToString() const {
+    return is_ok_ ? "OK" : std::to_string(v_);
+  }
+
+ private:
+  Value(bool is_ok, int64_t v) : is_ok_(is_ok), v_(v) {}
+
+  bool is_ok_;
+  int64_t v_;
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_TX_VALUE_H_

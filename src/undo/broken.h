@@ -1,0 +1,29 @@
+#ifndef NTSG_UNDO_BROKEN_H_
+#define NTSG_UNDO_BROKEN_H_
+
+#include "undo/undo_object.h"
+
+namespace ntsg {
+
+/// Faulty undo-logging object that skips the backward-commutativity
+/// precondition entirely: any access responds as soon as its return value is
+/// consistent with the local log. Interleavings that the real U_X would
+/// block slip through and surface as serialization-graph cycles or
+/// inappropriate return values; used to validate the detectors.
+class NoCommuteCheckUndoObject final : public UndoObject {
+ public:
+  using UndoObject::UndoObject;
+
+  std::string name() const override {
+    return "U_nocommute_" + type_.object_name(x_);
+  }
+
+ protected:
+  bool MustCommuteWith(TxName, const Operation&) const override {
+    return false;
+  }
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_UNDO_BROKEN_H_

@@ -1,0 +1,163 @@
+#include "undo/invariants.h"
+
+#include <set>
+
+#include "common/logging.h"
+#include "spec/commutativity.h"
+#include "spec/replay.h"
+
+namespace ntsg {
+
+namespace {
+
+class UndoAuditor {
+ public:
+  UndoAuditor(const SystemType& type, ObjectId x) : type_(type), x_(x) {}
+
+  Status Step(const Action& a) {
+    switch (a.kind) {
+      case ActionKind::kCreate:
+        break;
+      case ActionKind::kInformCommit:
+        committed_.insert(a.tx);
+        break;
+      case ActionKind::kInformAbort:
+        aborted_.insert(a.tx);
+        // Lemma 20's "removed if an ancestor abort occurs after": expunge.
+        for (auto it = log_.begin(); it != log_.end();) {
+          if (type_.IsAncestor(a.tx, it->tx)) {
+            it = log_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        break;
+      case ActionKind::kRequestCommit: {
+        NTSG_RETURN_IF_ERROR(CheckLemma22(a));
+        log_.push_back(Operation{a.tx, a.value});
+        // Lemma 20 consequence: the reconstructed log replays legally.
+        Status replay = ReplayOperations(type_, x_, log_);
+        if (!replay.ok()) {
+          return Status::VerificationFailed(
+              "Lemma 20 violated: reconstructed log is not a behavior of "
+              "S_X after " + a.ToString(type_) + ": " + replay.message());
+        }
+        break;
+      }
+      default:
+        return Status::Corruption("unexpected action in object projection: " +
+                                  a.ToString(type_));
+    }
+    return Status::Ok();
+  }
+
+  /// Lemma 21(2) at end of projection: removing descendants of all
+  /// transactions without a local commit leaves a behavior.
+  Status CheckLemma21Final() const {
+    std::vector<Operation> kept;
+    for (const Operation& op : log_) {
+      bool fully_committed = true;
+      for (TxName u = op.tx; u != kT0; u = type_.parent(u)) {
+        if (!committed_.count(u)) {
+          fully_committed = false;
+          break;
+        }
+      }
+      if (fully_committed) kept.push_back(op);
+    }
+    Status replay = ReplayOperations(type_, x_, kept);
+    if (!replay.ok()) {
+      return Status::VerificationFailed(
+          "Lemma 21(2) violated: committed sub-log is not a behavior: " +
+          replay.message());
+    }
+    return Status::Ok();
+  }
+
+ private:
+  bool IsLocalOrphan(TxName t) const {
+    for (TxName u = t;; u = type_.parent(u)) {
+      if (aborted_.count(u)) return true;
+      if (u == kT0) return false;
+    }
+  }
+
+  bool IsLocallyVisible(TxName t_prime, TxName t) const {
+    TxName lca = type_.Lca(t_prime, t);
+    for (TxName u = t_prime; u != lca; u = type_.parent(u)) {
+      if (!committed_.count(u)) return false;
+    }
+    return true;
+  }
+
+  Status CheckLemma22(const Action& response) const {
+    const AccessSpec& mine = type_.access(response.tx);
+    OpRecord my_rec{mine.op, mine.arg, response.value};
+    ObjectType otype = type_.object_type(x_);
+    for (const Operation& prior : responses_seen_) {
+      const AccessSpec& theirs = type_.access(prior.tx);
+      OpRecord their_rec{theirs.op, theirs.arg, prior.value};
+      if (CommutesBackward(otype, my_rec, their_rec)) continue;
+      if (IsLocalOrphan(prior.tx)) continue;
+      if (IsLocallyVisible(prior.tx, response.tx)) continue;
+      return Status::VerificationFailed(
+          "Lemma 22 violated: prior conflicting operation by " +
+          type_.NameOf(prior.tx) + " is neither a local orphan nor locally "
+          "visible to " + type_.NameOf(response.tx));
+    }
+    return Status::Ok();
+  }
+
+ public:
+  void RecordResponse(const Action& a) {
+    responses_seen_.push_back(Operation{a.tx, a.value});
+  }
+
+ private:
+  const SystemType& type_;
+  ObjectId x_;
+  std::set<TxName> committed_;
+  std::set<TxName> aborted_;
+  std::vector<Operation> log_;
+  std::vector<Operation> responses_seen_;
+};
+
+}  // namespace
+
+UndoAuditReport AuditUndoProjection(const SystemType& type, ObjectId x,
+                                    const Trace& projection) {
+  UndoAuditor auditor(type, x);
+  UndoAuditReport report;
+  for (const Action& a : projection) {
+    Status s = auditor.Step(a);
+    ++report.events;
+    if (a.kind == ActionKind::kRequestCommit) {
+      ++report.responses;
+      auditor.RecordResponse(a);
+    }
+    if (!s.ok()) {
+      report.status = s;
+      return report;
+    }
+  }
+  report.status = auditor.CheckLemma21Final();
+  return report;
+}
+
+UndoAuditReport AuditUndoBehavior(const SystemType& type, const Trace& beta) {
+  UndoAuditReport total;
+  for (ObjectId x = 0; x < type.num_objects(); ++x) {
+    UndoAuditReport r =
+        AuditUndoProjection(type, x, ProjectGenericObject(type, beta, x));
+    total.events += r.events;
+    total.responses += r.responses;
+    if (!r.status.ok()) {
+      total.status = r.status;
+      return total;
+    }
+  }
+  total.status = Status::Ok();
+  return total;
+}
+
+}  // namespace ntsg

@@ -1,0 +1,37 @@
+#ifndef NTSG_UNDO_INVARIANTS_H_
+#define NTSG_UNDO_INVARIANTS_H_
+
+#include "common/status.h"
+#include "tx/trace.h"
+
+namespace ntsg {
+
+/// Executable forms of the paper's Section 6.3 lemmas about U_X, audited
+/// over a generic-object projection:
+///
+///   * Lemma 20 — at every point, the operation log equals the responded
+///     operations minus those with an INFORM_ABORT for an ancestor after
+///     their response; the audit reconstructs it and requires perform(log)
+///     to be a behavior of S_X;
+///   * Lemma 22 — when an access responds, every earlier conflicting
+///     (non-backward-commuting) operation's transaction is a local orphan
+///     or locally visible to it;
+///   * Lemma 21(2) — removing the descendants of any set of transactions
+///     not locally committed from the log leaves a behavior of S_X; audited
+///     at the end of the projection with T = all transactions lacking a
+///     local commit.
+struct UndoAuditReport {
+  Status status;
+  size_t events = 0;
+  size_t responses = 0;
+};
+
+UndoAuditReport AuditUndoProjection(const SystemType& type, ObjectId x,
+                                    const Trace& projection);
+
+/// Audits every object's projection of a full behavior.
+UndoAuditReport AuditUndoBehavior(const SystemType& type, const Trace& beta);
+
+}  // namespace ntsg
+
+#endif  // NTSG_UNDO_INVARIANTS_H_

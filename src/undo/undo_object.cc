@@ -1,0 +1,104 @@
+#include "undo/undo_object.h"
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+UndoObject::UndoObject(const SystemType& type, ObjectId x,
+                       bool enable_compaction)
+    : GenericObject(type, x),
+      enable_compaction_(enable_compaction),
+      base_(MakeSpec(type.object_type(x), type.object_initial(x))),
+      state_(MakeSpec(type.object_type(x), type.object_initial(x))) {}
+
+bool UndoObject::IsFullyCommitted(TxName t) const {
+  for (TxName u = t; u != kT0; u = type_.parent(u)) {
+    if (!committed_.count(u)) return false;
+  }
+  return true;
+}
+
+void UndoObject::CompactLog() {
+  if (!enable_compaction_) return;
+  size_t keep = 0;
+  while (keep < log_.size() && IsFullyCommitted(log_[keep].tx)) {
+    const AccessSpec& acc = type_.access(log_[keep].tx);
+    base_->Apply(acc.op, acc.arg);
+    ++keep;
+  }
+  if (keep > 0) log_.erase(log_.begin(), log_.begin() + keep);
+}
+
+bool UndoObject::IsLocallyVisible(TxName t_prime, TxName t) const {
+  TxName lca = type_.Lca(t_prime, t);
+  for (TxName u = t_prime; u != lca; u = type_.parent(u)) {
+    if (!committed_.count(u)) return false;
+  }
+  return true;
+}
+
+void UndoObject::OnInformCommit(TxName t) {
+  committed_.insert(t);
+  CompactLog();
+}
+
+void UndoObject::OnInformAbort(TxName t) {
+  size_t before = log_.size();
+  std::vector<Operation> kept;
+  kept.reserve(log_.size());
+  for (const Operation& op : log_) {
+    if (!type_.IsAncestor(t, op.tx)) kept.push_back(op);
+  }
+  log_ = std::move(kept);
+  if (log_.size() != before) RebuildState();
+}
+
+OpRecord UndoObject::RecordOf(const Operation& op) const {
+  const AccessSpec& acc = type_.access(op.tx);
+  return OpRecord{acc.op, acc.arg, op.value};
+}
+
+bool UndoObject::MustCommuteWith(TxName access, const Operation& entry) const {
+  return !IsLocallyVisible(entry.tx, access);
+}
+
+void UndoObject::RebuildState() {
+  state_ = base_->Clone();
+  for (const Operation& op : log_) {
+    const AccessSpec& acc = type_.access(op.tx);
+    state_->Apply(acc.op, acc.arg);
+  }
+}
+
+std::vector<Action> UndoObject::EnabledOutputs() const {
+  std::vector<Action> out;
+  ObjectType otype = type_.object_type(x_);
+  for (TxName t : pending()) {
+    const AccessSpec& acc = type_.access(t);
+    // The unique value making perform(log · (T, v)) a behavior of S_X.
+    std::unique_ptr<SerialSpec> probe = state_->Clone();
+    Value v = probe->Apply(acc.op, acc.arg);
+    OpRecord mine{acc.op, acc.arg, v};
+    bool ok = true;
+    for (const Operation& entry : log_) {
+      if (!MustCommuteWith(t, entry)) continue;
+      if (!CommutesBackward(otype, mine, RecordOf(entry))) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(Action::RequestCommit(t, v));
+  }
+  return out;
+}
+
+void UndoObject::OnRequestCommit(TxName access, const Value& v) {
+  const AccessSpec& acc = type_.access(access);
+  Value expect = state_->Apply(acc.op, acc.arg);
+  NTSG_CHECK(expect == v) << name() << ": scheduled response " << v.ToString()
+                          << " diverges from log replay "
+                          << expect.ToString();
+  log_.push_back(Operation{access, v});
+}
+
+}  // namespace ntsg

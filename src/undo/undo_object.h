@@ -1,0 +1,88 @@
+#ifndef NTSG_UNDO_UNDO_OBJECT_H_
+#define NTSG_UNDO_UNDO_OBJECT_H_
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "generic/generic_object.h"
+#include "spec/commutativity.h"
+#include "spec/serial_spec.h"
+
+namespace ntsg {
+
+/// The undo-logging object U_X (Section 6.2) — a generalization to nested
+/// transactions of Weihl's commutativity-based algorithm. Works for objects
+/// of *arbitrary* data type.
+///
+/// State: the set of transactions known committed, and a log of operations
+/// (in execution order) from which the operations of aborted transactions'
+/// descendants have been expunged.
+///
+/// An access (T, v) may respond iff
+///   * v is the serial return value after the current log (so that
+///     perform(log · (T, v)) is a behavior of S_X), and
+///   * (T, v) commutes backward with every logged operation (T', v') that is
+///     not yet "locally visible" to T — i.e. some ancestor of T' up to
+///     lca(T, T') has not been INFORM_COMMITted here.
+///
+/// INFORM_ABORT(T) removes all operations by descendants of T from the log —
+/// the "undo".
+class UndoObject : public GenericObject {
+ public:
+  /// `enable_compaction` folds fully-committed log prefixes into a base
+  /// state (ablation A3); semantics are unchanged either way.
+  UndoObject(const SystemType& type, ObjectId x,
+             bool enable_compaction = true);
+
+  std::string name() const override { return "U_" + type_.object_name(x_); }
+
+  std::vector<Action> EnabledOutputs() const override;
+
+  const std::vector<Operation>& log() const { return log_; }
+  bool IsLocallyCommitted(TxName t) const { return committed_.count(t) != 0; }
+
+  /// T' is locally visible to T here iff every ancestor of T' strictly below
+  /// lca(T, T') is in the local committed set. (Unlike lock-visibility the
+  /// INFORM order does not matter — Section 6.3.)
+  bool IsLocallyVisible(TxName t_prime, TxName t) const;
+
+ protected:
+  void OnCreate(TxName) override {}
+  void OnInformCommit(TxName t) override;
+  void OnInformAbort(TxName t) override;
+  void OnRequestCommit(TxName access, const Value& v) override;
+
+  /// Hook for broken variants: whether the commutativity precondition is
+  /// enforced for `access` against log entry `entry`.
+  virtual bool MustCommuteWith(TxName access, const Operation& entry) const;
+
+  /// Replays base state plus the log into a fresh spec; used after log
+  /// surgery (aborts).
+  void RebuildState();
+
+  /// Log compaction: an entry whose whole ancestor chain has committed can
+  /// never be undone (completed transactions never abort) and is locally
+  /// visible to every future access, so the maximal such *prefix* of the log
+  /// folds into `base_`. Keeps the scanned log proportional to the active
+  /// window rather than the whole history. Called after INFORM_COMMIT.
+  void CompactLog();
+
+  /// True iff every ancestor of `t` below T0 has committed here.
+  bool IsFullyCommitted(TxName t) const;
+
+  const bool enable_compaction_;
+
+  OpRecord RecordOf(const Operation& op) const;
+
+  std::set<TxName> committed_;
+  std::vector<Operation> log_;
+  /// State summarizing the compacted (immutable) log prefix.
+  std::unique_ptr<SerialSpec> base_;
+  /// Spec state equal to replaying base_ then log_.
+  std::unique_ptr<SerialSpec> state_;
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_UNDO_UNDO_OBJECT_H_

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace ntsg {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::VerificationFailed("cycle found");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kVerificationFailed);
+  EXPECT_EQ(s.message(), "cycle found");
+  EXPECT_EQ(s.ToString(), "VerificationFailed: cycle found");
+}
+
+TEST(StatusTest, EachFactoryProducesItsCode) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), Status::Code::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            Status::Code::kFailedPrecondition);
+  EXPECT_EQ(Status::Corruption("x").code(), Status::Code::kCorruption);
+  EXPECT_EQ(Status::Internal("x").code(), Status::Code::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+}
+
+Status Helper(bool fail) {
+  NTSG_RETURN_IF_ERROR(fail ? Status::Internal("inner") : Status::Ok());
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Helper(false).ok());
+  EXPECT_EQ(Helper(true).message(), "inner");
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(13), 13u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBelow(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, NextBoolRoughlyCalibrated) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBool(0.25)) ++hits;
+  }
+  EXPECT_GT(hits, 2100);
+  EXPECT_LT(hits, 2900);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(77);
+  Rng child = a.Fork();
+  // The fork and the parent should not be correlated step-for-step.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == child.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(21);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ZipfTest, UniformWhenExponentZero) {
+  Rng rng(31);
+  ZipfSampler zipf(4, 0.0);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 40000; ++i) counts[zipf.Sample(rng)]++;
+  for (auto& [k, c] : counts) {
+    (void)k;
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(ZipfTest, SkewPrefersLowRanks) {
+  Rng rng(37);
+  ZipfSampler zipf(10, 1.2);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[zipf.Sample(rng)]++;
+  EXPECT_GT(counts[0], counts[9] * 5);
+}
+
+TEST(ZipfTest, SingleElement) {
+  Rng rng(41);
+  ZipfSampler zipf(1, 2.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+TEST(LoggingTest, LevelFiltering) {
+  LogLevel old = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  NTSG_LOG(Info) << "should be filtered";
+  SetLogLevel(old);
+}
+
+TEST(LoggingTest, CheckPassesOnTrue) {
+  NTSG_CHECK(true) << "never shown";
+  NTSG_CHECK_EQ(1, 1);
+  NTSG_CHECK_LT(1, 2);
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalse) {
+  EXPECT_DEATH(NTSG_CHECK(false) << "boom", "Check failed");
+  EXPECT_DEATH(NTSG_CHECK_EQ(1, 2), "Check failed");
+}
+
+}  // namespace
+}  // namespace ntsg

@@ -1,0 +1,216 @@
+// Cross-validation of the analytic backward-commutativity tables (Section
+// 6.1) against the *definitional* form: for every pair of operation records,
+// the closed-form predicate must agree with a state-space probe of the
+// one-sided conditions.
+//
+//   * predicate says commute  -> the probe must find NO violating state;
+//   * predicate says conflict -> the probe must find a violating state
+//     whenever the two records can legally co-occur at all (pairs that can
+//     never co-occur are vacuously commuting in the definition, and the
+//     tables treat the decidable such cases as commuting).
+
+#include <gtest/gtest.h>
+
+#include "spec/commutativity.h"
+
+namespace ntsg {
+namespace {
+
+/// Enumerates plausible records for one operation code over small domains.
+std::vector<OpRecord> RecordsFor(OpCode op) {
+  std::vector<OpRecord> out;
+  std::vector<int64_t> args = {0, 1, 2};
+  switch (op) {
+    case OpCode::kWrite:
+    case OpCode::kIncrement:
+    case OpCode::kDecrement:
+    case OpCode::kAdd:
+    case OpCode::kRemove:
+    case OpCode::kEnqueue:
+    case OpCode::kDeposit:
+      for (int64_t a : args) out.push_back({op, a, Value::Ok()});
+      break;
+    case OpCode::kRead:
+    case OpCode::kCounterRead:
+    case OpCode::kBalance:
+      for (int64_t v : std::vector<int64_t>{-1, 0, 1, 2, 3}) out.push_back({op, 0, Value::Int(v)});
+      break;
+    case OpCode::kContains:
+      for (int64_t a : args) {
+        out.push_back({op, a, Value::Int(0)});
+        out.push_back({op, a, Value::Int(1)});
+      }
+      break;
+    case OpCode::kSetSize:
+    case OpCode::kQueueSize:
+      for (int64_t v : {0, 1, 2}) out.push_back({op, 0, Value::Int(v)});
+      break;
+    case OpCode::kDequeue:
+      for (int64_t v : {kQueueEmpty, int64_t{0}, int64_t{1}, int64_t{2}}) {
+        out.push_back({op, 0, Value::Int(v)});
+      }
+      break;
+    case OpCode::kWithdraw:
+      for (int64_t a : args) {
+        out.push_back({op, a, Value::Int(0)});
+        out.push_back({op, a, Value::Int(1)});
+      }
+      break;
+  }
+  return out;
+}
+
+std::vector<OpCode> OpsFor(ObjectType type) {
+  switch (type) {
+    case ObjectType::kReadWrite:
+      return {OpCode::kRead, OpCode::kWrite};
+    case ObjectType::kCounter:
+      return {OpCode::kIncrement, OpCode::kDecrement, OpCode::kCounterRead};
+    case ObjectType::kSet:
+      return {OpCode::kAdd, OpCode::kRemove, OpCode::kContains,
+              OpCode::kSetSize};
+    case ObjectType::kQueue:
+      return {OpCode::kEnqueue, OpCode::kDequeue, OpCode::kQueueSize};
+    case ObjectType::kBankAccount:
+      return {OpCode::kDeposit, OpCode::kWithdraw, OpCode::kBalance};
+  }
+  return {};
+}
+
+/// True when a legal co-occurrence of (a, b) exists in some probed state, in
+/// either order — otherwise the pair is vacuously commuting and a conflict
+/// verdict needs no witness.
+bool CanCoOccur(ObjectType type, const OpRecord& a, const OpRecord& b) {
+  std::vector<int64_t> cands;
+  for (const OpRecord* r : {&a, &b}) {
+    cands.push_back(r->arg);
+    if (!r->ret.is_ok()) cands.push_back(r->ret.AsInt());
+    for (int64_t off : {-2, -1, 1, 2}) {
+      cands.push_back(r->arg + off);
+      if (!r->ret.is_ok()) cands.push_back(r->ret.AsInt() + off);
+    }
+    cands.push_back(a.arg + b.arg);
+  }
+  auto states = EnumerateProbeStates(type, cands);
+  for (const auto& s : states) {
+    for (const auto* first : {&a, &b}) {
+      const auto* second = first == &a ? &b : &a;
+      auto probe = s->Clone();
+      if (probe->Apply(first->op, first->arg) != first->ret) continue;
+      if (probe->Apply(second->op, second->arg) != second->ret) continue;
+      return true;
+    }
+  }
+  return false;
+}
+
+class CommutativitySweep : public ::testing::TestWithParam<ObjectType> {};
+
+TEST_P(CommutativitySweep, AnalyticTableMatchesDefinitionalProbe) {
+  ObjectType type = GetParam();
+  size_t pairs = 0, conflicts = 0;
+  for (OpCode op1 : OpsFor(type)) {
+    for (OpCode op2 : OpsFor(type)) {
+      for (const OpRecord& a : RecordsFor(op1)) {
+        for (const OpRecord& b : RecordsFor(op2)) {
+          ++pairs;
+          bool predicted = CommutesBackward(type, a, b);
+          // The relation must be symmetric.
+          EXPECT_EQ(predicted, CommutesBackward(type, b, a))
+              << OpRecordToString(a) << " / " << OpRecordToString(b);
+          auto violation = ProbeCommutativity(type, a, b);
+          if (predicted) {
+            EXPECT_FALSE(violation.has_value())
+                << ObjectTypeName(type) << ": predicate says commute for "
+                << OpRecordToString(a) << " / " << OpRecordToString(b)
+                << " but probe found: " << *violation;
+          } else {
+            ++conflicts;
+            if (CanCoOccur(type, a, b)) {
+              EXPECT_TRUE(violation.has_value())
+                  << ObjectTypeName(type) << ": predicate says conflict for "
+                  << OpRecordToString(a) << " / " << OpRecordToString(b)
+                  << " but probe found no violating state";
+            }
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(pairs, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, CommutativitySweep,
+                         ::testing::Values(ObjectType::kReadWrite,
+                                           ObjectType::kCounter,
+                                           ObjectType::kSet, ObjectType::kQueue,
+                                           ObjectType::kBankAccount));
+
+TEST(CommutativityTest, ClassicPairs) {
+  using OT = ObjectType;
+  // Read/write.
+  OpRecord r0{OpCode::kRead, 0, Value::Int(0)};
+  OpRecord w5{OpCode::kWrite, 5, Value::Ok()};
+  OpRecord w5b{OpCode::kWrite, 5, Value::Ok()};
+  EXPECT_TRUE(CommutesBackward(OT::kReadWrite, r0, r0));
+  EXPECT_FALSE(CommutesBackward(OT::kReadWrite, r0, w5));
+  EXPECT_TRUE(CommutesBackward(OT::kReadWrite, w5, w5b));  // Same value!
+  OpRecord w7{OpCode::kWrite, 7, Value::Ok()};
+  EXPECT_FALSE(CommutesBackward(OT::kReadWrite, w5, w7));
+
+  // Counter: the headline win for undo logging.
+  OpRecord inc{OpCode::kIncrement, 3, Value::Ok()};
+  OpRecord dec{OpCode::kDecrement, 2, Value::Ok()};
+  OpRecord cread{OpCode::kCounterRead, 0, Value::Int(4)};
+  EXPECT_TRUE(CommutesBackward(OT::kCounter, inc, dec));
+  EXPECT_FALSE(CommutesBackward(OT::kCounter, inc, cread));
+
+  // Bank account (Weihl): successful withdrawals commute.
+  OpRecord wd1{OpCode::kWithdraw, 3, Value::Int(1)};
+  OpRecord wd1b{OpCode::kWithdraw, 5, Value::Int(1)};
+  OpRecord wd0{OpCode::kWithdraw, 5, Value::Int(0)};
+  OpRecord dep{OpCode::kDeposit, 2, Value::Ok()};
+  OpRecord bal{OpCode::kBalance, 0, Value::Int(2)};
+  EXPECT_TRUE(CommutesBackward(OT::kBankAccount, wd1, wd1b));
+  EXPECT_TRUE(CommutesBackward(OT::kBankAccount, wd0, wd0));
+  EXPECT_FALSE(CommutesBackward(OT::kBankAccount, wd1, wd0));
+  EXPECT_FALSE(CommutesBackward(OT::kBankAccount, dep, wd1));
+  EXPECT_TRUE(CommutesBackward(OT::kBankAccount, bal, wd0));
+  EXPECT_FALSE(CommutesBackward(OT::kBankAccount, bal, dep));
+
+  // Set: adds always commute, even of the same element.
+  OpRecord add1{OpCode::kAdd, 1, Value::Ok()};
+  OpRecord add1b{OpCode::kAdd, 1, Value::Ok()};
+  OpRecord rem1{OpCode::kRemove, 1, Value::Ok()};
+  OpRecord has2{OpCode::kContains, 2, Value::Int(0)};
+  EXPECT_TRUE(CommutesBackward(OT::kSet, add1, add1b));
+  EXPECT_FALSE(CommutesBackward(OT::kSet, add1, rem1));
+  EXPECT_TRUE(CommutesBackward(OT::kSet, add1, has2));
+
+  // Queue: nearly everything conflicts.
+  OpRecord enq1{OpCode::kEnqueue, 1, Value::Ok()};
+  OpRecord enq2{OpCode::kEnqueue, 2, Value::Ok()};
+  OpRecord deq2{OpCode::kDequeue, 0, Value::Int(2)};
+  EXPECT_FALSE(CommutesBackward(OT::kQueue, enq1, enq2));
+  EXPECT_TRUE(CommutesBackward(OT::kQueue, enq1, deq2));  // Distinct values.
+  OpRecord deq1{OpCode::kDequeue, 0, Value::Int(1)};
+  EXPECT_FALSE(CommutesBackward(OT::kQueue, enq1, deq1));  // Same value.
+}
+
+TEST(CommutativityTest, RwAccessConflictRelation) {
+  EXPECT_FALSE(RwAccessesConflict(OpCode::kRead, OpCode::kRead));
+  EXPECT_TRUE(RwAccessesConflict(OpCode::kRead, OpCode::kWrite));
+  EXPECT_TRUE(RwAccessesConflict(OpCode::kWrite, OpCode::kRead));
+  EXPECT_TRUE(RwAccessesConflict(OpCode::kWrite, OpCode::kWrite));
+}
+
+TEST(CommutativityTest, RwModeIsCoarserThanCommutativity) {
+  // Two writes of the same value: conflict under Section 4, commute under
+  // Section 6 — the paper's general relation refines the classical one.
+  OpRecord w5{OpCode::kWrite, 5, Value::Ok()};
+  EXPECT_TRUE(RwAccessesConflict(OpCode::kWrite, OpCode::kWrite));
+  EXPECT_TRUE(CommutesBackward(ObjectType::kReadWrite, w5, w5));
+}
+
+}  // namespace
+}  // namespace ntsg

@@ -1,0 +1,232 @@
+// Lemma/proposition-level property tests:
+//   * Proposition 7/18: reordering non-conflicting (backward-commuting)
+//     operations in a legal serial behavior yields a legal behavior with an
+//     equal final state — checked by random adjacent transpositions;
+//   * directly-affects (Section 2.3.2) structural rules;
+//   * I/O automaton composition semantics (strong compatibility, caching).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ioa/composition.h"
+#include "sg/affects.h"
+#include "spec/commutativity.h"
+#include "spec/replay.h"
+
+namespace ntsg {
+namespace {
+
+/// Generates a random legal operation sequence of `n` operations against a
+/// fresh spec of `otype`, recording true serial return values.
+struct GeneratedOps {
+  std::unique_ptr<SystemType> type;
+  ObjectId x;
+  std::vector<Operation> ops;
+};
+
+GeneratedOps GenerateLegalOps(ObjectType otype, size_t n, Rng& rng) {
+  GeneratedOps out;
+  out.type = std::make_unique<SystemType>();
+  out.x = out.type->AddObject(otype, "X", 5);
+  auto spec = MakeSpec(otype, 5);
+  for (size_t i = 0; i < n; ++i) {
+    // Pick a random valid op for the type.
+    std::vector<OpCode> codes;
+    for (OpCode op :
+         {OpCode::kRead, OpCode::kWrite, OpCode::kIncrement,
+          OpCode::kDecrement, OpCode::kCounterRead, OpCode::kAdd,
+          OpCode::kRemove, OpCode::kContains, OpCode::kSetSize,
+          OpCode::kEnqueue, OpCode::kDequeue, OpCode::kQueueSize,
+          OpCode::kDeposit, OpCode::kWithdraw, OpCode::kBalance}) {
+      if (OpValidForType(otype, op)) codes.push_back(op);
+    }
+    OpCode op = codes[rng.NextBelow(codes.size())];
+    int64_t arg = rng.NextInRange(0, 6);
+    TxName t = out.type->NewAccess(kT0, AccessSpec{out.x, op, arg});
+    Value v = spec->Apply(op, arg);
+    out.ops.push_back(Operation{t, v});
+  }
+  return out;
+}
+
+class ReorderingProperty : public ::testing::TestWithParam<ObjectType> {};
+
+TEST_P(ReorderingProperty, AdjacentCommutingSwapsPreserveBehavior) {
+  ObjectType otype = GetParam();
+  Rng rng(0xAB5EED ^ static_cast<uint64_t>(otype));
+  size_t swaps_tested = 0;
+  for (int round = 0; round < 40; ++round) {
+    GeneratedOps gen = GenerateLegalOps(otype, 12, rng);
+    ASSERT_TRUE(ReplayOperations(*gen.type, gen.x, gen.ops).ok());
+
+    // Try every adjacent pair; when the records commute backward, the
+    // swapped sequence must replay legally and reach the same final state.
+    for (size_t i = 0; i + 1 < gen.ops.size(); ++i) {
+      const AccessSpec& a = gen.type->access(gen.ops[i].tx);
+      const AccessSpec& b = gen.type->access(gen.ops[i + 1].tx);
+      OpRecord ra{a.op, a.arg, gen.ops[i].value};
+      OpRecord rb{b.op, b.arg, gen.ops[i + 1].value};
+      if (!CommutesBackward(otype, ra, rb)) continue;
+      ++swaps_tested;
+
+      std::vector<Operation> swapped = gen.ops;
+      std::swap(swapped[i], swapped[i + 1]);
+      Status s = ReplayOperations(*gen.type, gen.x, swapped);
+      EXPECT_TRUE(s.ok()) << ObjectTypeName(otype) << " swap at " << i << ": "
+                          << s.ToString();
+      // Equieffectiveness: identical final states.
+      auto s1 = StateAfter(*gen.type, gen.x, gen.ops);
+      auto s2 = StateAfter(*gen.type, gen.x, swapped);
+      EXPECT_TRUE(s1->StateEquals(*s2));
+    }
+  }
+  EXPECT_GT(swaps_tested, 0u) << "no commuting adjacent pairs generated";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, ReorderingProperty,
+                         ::testing::Values(ObjectType::kReadWrite,
+                                           ObjectType::kCounter,
+                                           ObjectType::kSet, ObjectType::kQueue,
+                                           ObjectType::kBankAccount));
+
+class AffectsTest : public ::testing::Test {
+ protected:
+  AffectsTest() {
+    x_ = type_.AddObject(ObjectType::kReadWrite, "X", 0);
+    t1_ = type_.NewChild(kT0);
+    w1_ = type_.NewAccess(t1_, AccessSpec{x_, OpCode::kWrite, 1});
+  }
+
+  SystemType type_;
+  ObjectId x_;
+  TxName t1_, w1_;
+};
+
+TEST_F(AffectsTest, RequestCreateAffectsCreate) {
+  Trace beta = {Action::RequestCreate(t1_), Action::Create(t1_)};
+  auto pairs = DirectlyAffects(type_, beta);
+  // REQUEST_CREATE -> CREATE plus nothing else.
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], (std::pair<size_t, size_t>{0, 1}));
+}
+
+TEST_F(AffectsTest, SameTransactionEventsChain) {
+  Trace beta = {Action::Create(t1_), Action::RequestCreate(w1_)};
+  auto pairs = DirectlyAffects(type_, beta);
+  // transaction(CREATE(t1)) == transaction(REQUEST_CREATE(w1)) == t1.
+  ASSERT_EQ(pairs.size(), 1u);
+}
+
+TEST_F(AffectsTest, FullLifecycleChain) {
+  Trace beta = {
+      Action::RequestCreate(t1_),              // 0 (by T0)
+      Action::Create(t1_),                     // 1 (t1)
+      Action::RequestCommit(t1_, Value::Int(0)),  // 2 (t1)
+      Action::Commit(t1_),                     // 3
+      Action::ReportCommit(t1_, Value::Int(0)),   // 4 (T0)
+  };
+  auto pairs = DirectlyAffects(type_, beta);
+  auto has = [&pairs](size_t i, size_t j) {
+    return std::find(pairs.begin(), pairs.end(),
+                     std::pair<size_t, size_t>{i, j}) != pairs.end();
+  };
+  EXPECT_TRUE(has(0, 1));  // REQUEST_CREATE -> CREATE.
+  EXPECT_TRUE(has(1, 2));  // Same transaction t1.
+  EXPECT_TRUE(has(2, 3));  // REQUEST_COMMIT -> COMMIT.
+  EXPECT_TRUE(has(3, 4));  // COMMIT -> REPORT_COMMIT.
+  EXPECT_FALSE(has(1, 3));
+  EXPECT_FALSE(has(0, 3));  // ABORT rule does not apply to COMMIT.
+}
+
+TEST_F(AffectsTest, AbortRule) {
+  Trace beta = {Action::RequestCreate(t1_), Action::Abort(t1_),
+                Action::ReportAbort(t1_)};
+  auto pairs = DirectlyAffects(type_, beta);
+  auto has = [&pairs](size_t i, size_t j) {
+    return std::find(pairs.begin(), pairs.end(),
+                     std::pair<size_t, size_t>{i, j}) != pairs.end();
+  };
+  EXPECT_TRUE(has(0, 1));  // REQUEST_CREATE -> ABORT.
+  EXPECT_TRUE(has(1, 2));  // ABORT -> REPORT_ABORT.
+}
+
+/// Minimal automaton: emits a fixed action once, accepts an input kind.
+class OneShot final : public Automaton {
+ public:
+  OneShot(std::string name, Action out, ActionKind input_kind)
+      : name_(std::move(name)), out_(out), input_kind_(input_kind) {}
+
+  std::string name() const override { return name_; }
+  bool IsInput(const Action& a) const override {
+    return a.kind == input_kind_;
+  }
+  bool IsOutput(const Action& a) const override { return a == out_; }
+  void Apply(const Action& a) override {
+    if (a == out_) fired_ = true;
+    if (IsInput(a)) ++inputs_seen_;
+  }
+  std::vector<Action> EnabledOutputs() const override {
+    if (fired_) return {};
+    return {out_};
+  }
+
+  int inputs_seen() const { return inputs_seen_; }
+
+ private:
+  std::string name_;
+  Action out_;
+  ActionKind input_kind_;
+  bool fired_ = false;
+  int inputs_seen_ = 0;
+};
+
+TEST(CompositionTest, DeliversToAllParticipants) {
+  SystemType type;
+  TxName t1 = type.NewChild(kT0);
+  Composition comp;
+  auto* a = comp.Add(std::make_unique<OneShot>(
+      "a", Action::RequestCreate(t1), ActionKind::kCommit));
+  auto* b = comp.Add(std::make_unique<OneShot>(
+      "b", Action::Commit(t1), ActionKind::kRequestCreate));
+
+  Rng rng(1);
+  size_t steps = comp.Run(rng, 100);
+  EXPECT_EQ(steps, 2u);  // Both one-shots fire.
+  EXPECT_EQ(a->inputs_seen(), 1);  // a saw b's COMMIT.
+  EXPECT_EQ(b->inputs_seen(), 1);  // b saw a's REQUEST_CREATE.
+  EXPECT_EQ(comp.behavior().size(), 2u);
+}
+
+TEST(CompositionTest, RejectsSharedOutput) {
+  SystemType type;
+  TxName t1 = type.NewChild(kT0);
+  Composition comp;
+  comp.Add(std::make_unique<OneShot>("a", Action::Commit(t1),
+                                     ActionKind::kAbort));
+  comp.Add(std::make_unique<OneShot>("b", Action::Commit(t1),
+                                     ActionKind::kAbort));
+  Status s = comp.Execute(Action::Commit(t1));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInternal);
+}
+
+TEST(CompositionTest, QuiescesWhenNothingEnabled) {
+  Composition comp;
+  Rng rng(2);
+  EXPECT_EQ(comp.Run(rng, 10), 0u);
+  EXPECT_TRUE(comp.EnabledOutputs().empty());
+}
+
+TEST(CompositionTest, InvalidateAllRefreshesCaches) {
+  SystemType type;
+  TxName t1 = type.NewChild(kT0);
+  Composition comp;
+  comp.Add(std::make_unique<OneShot>("a", Action::RequestCreate(t1),
+                                     ActionKind::kCommit));
+  EXPECT_EQ(comp.EnabledOutputs().size(), 1u);
+  comp.InvalidateAll();
+  EXPECT_EQ(comp.EnabledOutputs().size(), 1u);
+}
+
+}  // namespace
+}  // namespace ntsg

@@ -1,0 +1,167 @@
+// Tests for the general read/update locking object M_X: version stacking on
+// arbitrary types, lock inheritance, the coincidence with M1_X on read/write
+// registers, and end-to-end correctness sweeps.
+
+#include <gtest/gtest.h>
+
+#include "checker/witness.h"
+#include "moss/read_update_object.h"
+#include "sg/certifier.h"
+#include "sim/driver.h"
+
+namespace ntsg {
+namespace {
+
+class ReadUpdateTest : public ::testing::Test {
+ protected:
+  ReadUpdateTest() {
+    q_ = type_.AddObject(ObjectType::kQueue, "Q", 0);
+    t1_ = type_.NewChild(kT0);
+    t2_ = type_.NewChild(kT0);
+    enq1_ = type_.NewAccess(t1_, AccessSpec{q_, OpCode::kEnqueue, 7});
+    deq1_ = type_.NewAccess(t1_, AccessSpec{q_, OpCode::kDequeue, 0});
+    size2_ = type_.NewAccess(t2_, AccessSpec{q_, OpCode::kQueueSize, 0});
+    enq2_ = type_.NewAccess(t2_, AccessSpec{q_, OpCode::kEnqueue, 9});
+  }
+
+  static std::optional<Value> ResponseFor(const ReadUpdateObject& obj,
+                                          TxName access) {
+    for (const Action& a : obj.EnabledOutputs()) {
+      if (a.tx == access) return a.value;
+    }
+    return std::nullopt;
+  }
+
+  SystemType type_;
+  ObjectId q_;
+  TxName t1_, t2_, enq1_, deq1_, size2_, enq2_;
+};
+
+TEST_F(ReadUpdateTest, UpdateStacksVersion) {
+  ReadUpdateObject obj(type_, q_);
+  EXPECT_EQ(obj.LeastUpdateLockholder(), kT0);
+
+  obj.Apply(Action::Create(enq1_));
+  auto v = ResponseFor(obj, enq1_);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, Value::Ok());
+  obj.Apply(Action::RequestCommit(enq1_, Value::Ok()));
+  EXPECT_TRUE(obj.update_lockholders().count(enq1_));
+  EXPECT_EQ(obj.LeastUpdateLockholder(), enq1_);
+
+  // A nested dequeue under the same parent chain sees the new version only
+  // after lock inheritance; a sibling is blocked outright.
+  obj.Apply(Action::Create(enq2_));
+  EXPECT_FALSE(ResponseFor(obj, enq2_).has_value());
+}
+
+TEST_F(ReadUpdateTest, ValueReturningUpdateIsExclusive) {
+  // Dequeue returns a value but is an update: it must take the update lock,
+  // and the returned element must actually leave the queue.
+  ReadUpdateObject obj(type_, q_);
+  obj.Apply(Action::Create(enq1_));
+  obj.Apply(Action::RequestCommit(enq1_, Value::Ok()));
+  obj.Apply(Action::InformCommit(q_, enq1_));  // Lock to t1.
+  obj.Apply(Action::Create(deq1_));
+  auto v = ResponseFor(obj, deq1_);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, Value::Int(7));
+  obj.Apply(Action::RequestCommit(deq1_, Value::Int(7)));
+  EXPECT_TRUE(obj.update_lockholders().count(deq1_));
+  // The stacked version of deq1 has an empty queue now.
+  obj.Apply(Action::InformCommit(q_, deq1_));
+  obj.Apply(Action::InformCommit(q_, t1_));
+  TxName size0 = type_.NewAccess(kT0, AccessSpec{q_, OpCode::kQueueSize, 0});
+  obj.Apply(Action::Create(size0));
+  auto sz = ResponseFor(obj, size0);
+  ASSERT_TRUE(sz.has_value());
+  EXPECT_EQ(*sz, Value::Int(0));
+}
+
+TEST_F(ReadUpdateTest, ObserverBlocksUpdatesButNotObservers) {
+  ReadUpdateObject obj(type_, q_);
+  obj.Apply(Action::Create(size2_));
+  auto v = ResponseFor(obj, size2_);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, Value::Int(0));
+  obj.Apply(Action::RequestCommit(size2_, Value::Int(0)));
+  EXPECT_TRUE(obj.read_lockholders().count(size2_));
+
+  // Sibling update blocked by the read lock; sibling observer fine.
+  obj.Apply(Action::Create(enq1_));
+  EXPECT_FALSE(ResponseFor(obj, enq1_).has_value());
+  TxName size1 = type_.NewAccess(t1_, AccessSpec{q_, OpCode::kQueueSize, 0});
+  obj.Apply(Action::Create(size1));
+  EXPECT_TRUE(ResponseFor(obj, size1).has_value());
+}
+
+TEST_F(ReadUpdateTest, AbortDiscardsVersions) {
+  ReadUpdateObject obj(type_, q_);
+  obj.Apply(Action::Create(enq1_));
+  obj.Apply(Action::RequestCommit(enq1_, Value::Ok()));
+  obj.Apply(Action::InformAbort(q_, t1_));
+  EXPECT_FALSE(obj.update_lockholders().count(enq1_));
+  // Queue reverts to empty.
+  obj.Apply(Action::Create(size2_));
+  auto v = ResponseFor(obj, size2_);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, Value::Int(0));
+}
+
+TEST(ReadUpdateEquivalenceTest, MatchesM1xOnReadWriteObjects) {
+  // On read/write registers, M_X specializes to M1_X: identical seeds yield
+  // identical behaviors.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    QuickRunParams params;
+    params.config.seed = seed;
+    params.num_objects = 2;
+    params.num_toplevel = 5;
+    params.gen.depth = 2;
+    params.gen.fanout = 2;
+
+    params.config.backend = Backend::kMoss;
+    QuickRunResult moss = QuickRun(params);
+    params.config.backend = Backend::kGeneralLocking;
+    QuickRunResult general = QuickRun(params);
+    EXPECT_EQ(moss.sim.trace, general.sim.trace) << "seed " << seed;
+  }
+}
+
+class GeneralLockingSweep
+    : public ::testing::TestWithParam<std::tuple<ObjectType, uint64_t>> {};
+
+TEST_P(GeneralLockingSweep, RunsAreSeriallyCorrect) {
+  auto [otype, seed] = GetParam();
+  QuickRunParams params;
+  params.config.backend = Backend::kGeneralLocking;
+  params.config.seed = seed;
+  params.config.spontaneous_abort_prob = 0.003;
+  params.num_objects = 3;
+  params.object_type = otype;
+  params.initial_value = 40;
+  params.num_toplevel = 6;
+  params.gen.depth = 2;
+  params.gen.fanout = 3;
+  params.gen.read_prob = 0.4;
+  params.gen.max_arg = 8;
+
+  QuickRunResult result = QuickRun(params);
+  ASSERT_TRUE(result.sim.stats.completed);
+  CertifierReport report = CertifySeriallyCorrect(
+      *result.type, result.sim.trace, ConflictMode::kCommutativity);
+  EXPECT_TRUE(report.status.ok()) << report.status.ToString();
+  WitnessResult witness =
+      CheckSeriallyCorrectForT0(*result.type, result.sim.trace);
+  EXPECT_TRUE(witness.status.ok()) << witness.status.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, GeneralLockingSweep,
+    ::testing::Combine(::testing::Values(ObjectType::kReadWrite,
+                                         ObjectType::kCounter,
+                                         ObjectType::kSet, ObjectType::kQueue,
+                                         ObjectType::kBankAccount),
+                       ::testing::Range<uint64_t>(1, 5)));
+
+}  // namespace
+}  // namespace ntsg

@@ -1,0 +1,113 @@
+// The executable serial system is the theory's ground truth: every behavior
+// it produces must (a) validate as a serial behavior, (b) be accepted by
+// every correctness checker, and (c) serve as its own witness.
+
+#include <gtest/gtest.h>
+
+#include "checker/oracle.h"
+#include "checker/witness.h"
+#include "serial/validator.h"
+#include "sg/certifier.h"
+#include "sim/serial_driver.h"
+#include "tx/trace_checks.h"
+
+namespace ntsg {
+namespace {
+
+std::unique_ptr<ProgramNode> SampleWorkload(SystemType& type, uint64_t seed,
+                                            size_t toplevel) {
+  Rng rng(seed);
+  ProgramGenParams gen;
+  gen.depth = 2;
+  gen.fanout = 3;
+  gen.read_prob = 0.5;
+  std::vector<std::unique_ptr<ProgramNode>> tops;
+  for (size_t i = 0; i < toplevel; ++i) {
+    tops.push_back(GenerateProgram(type, gen, rng));
+  }
+  return MakePar(std::move(tops), /*child_retries=*/1);
+}
+
+TEST(SerialDriverTest, BehaviorsAreSerialBehaviors) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    SystemType type;
+    type.AddObject(ObjectType::kReadWrite, "X", 0);
+    type.AddObject(ObjectType::kCounter, "C", 5);
+    SerialSimulation sim(&type, SampleWorkload(type, seed, 5));
+    SerialSimulation::Config config;
+    config.seed = seed;
+    SimResult result = sim.Run(config);
+
+    ASSERT_TRUE(result.stats.completed);
+    EXPECT_GT(result.stats.toplevel_committed, 0u);
+    EXPECT_EQ(result.stats.toplevel_aborted, 0u);  // allow_aborts=false.
+
+    ProjectionEqualityOracle oracle(type, result.trace);
+    Status valid = ValidateSerialBehavior(type, result.trace, &oracle);
+    EXPECT_TRUE(valid.ok()) << "seed " << seed << ": " << valid.ToString();
+    EXPECT_TRUE(CheckSimpleBehavior(type, result.trace).ok());
+  }
+}
+
+TEST(SerialDriverTest, BehaviorsPassAllCheckers) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    SystemType type;
+    type.AddObject(ObjectType::kBankAccount, "acct", 30);
+    type.AddObject(ObjectType::kSet, "set", 0);
+    SerialSimulation sim(&type, SampleWorkload(type, seed * 13, 5));
+    SerialSimulation::Config config;
+    config.seed = seed;
+    config.allow_aborts = true;  // Exercise serial aborts too.
+    SimResult result = sim.Run(config);
+    ASSERT_TRUE(result.stats.completed);
+
+    CertifierReport report = CertifySeriallyCorrect(
+        type, result.trace, ConflictMode::kCommutativity);
+    EXPECT_TRUE(report.status.ok()) << report.status.ToString();
+    WitnessResult witness = CheckSeriallyCorrectForT0(type, result.trace);
+    EXPECT_TRUE(witness.status.ok()) << witness.status.ToString();
+  }
+}
+
+TEST(SerialDriverTest, AbortsOnlyUncreatedTransactions) {
+  SystemType type;
+  type.AddObject(ObjectType::kReadWrite, "X", 0);
+  SerialSimulation sim(&type, SampleWorkload(type, 3, 6));
+  SerialSimulation::Config config;
+  config.seed = 99;
+  config.allow_aborts = true;
+  SimResult result = sim.Run(config);
+  ASSERT_TRUE(result.stats.completed);
+
+  TraceIndex index(type, result.trace);
+  for (const Action& a : result.trace) {
+    if (a.kind == ActionKind::kAbort) {
+      EXPECT_FALSE(index.IsCreated(a.tx))
+          << "serial scheduler aborted a created transaction";
+    }
+  }
+}
+
+TEST(SerialDriverTest, SiblingsNeverOverlap) {
+  SystemType type;
+  type.AddObject(ObjectType::kReadWrite, "X", 0);
+  SerialSimulation sim(&type, SampleWorkload(type, 5, 6));
+  SerialSimulation::Config config;
+  config.seed = 17;
+  SimResult result = sim.Run(config);
+
+  // At any prefix, at most one child per parent is live.
+  std::map<TxName, int> live_children;
+  for (const Action& a : result.trace) {
+    if (a.kind == ActionKind::kCreate) {
+      EXPECT_EQ(live_children[type.parent(a.tx)], 0)
+          << "overlapping siblings at " << a.ToString(type);
+      live_children[type.parent(a.tx)]++;
+    } else if (a.kind == ActionKind::kCommit) {
+      live_children[type.parent(a.tx)]--;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ntsg

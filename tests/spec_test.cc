@@ -1,0 +1,182 @@
+// Tests for the serial object specifications, the replay characterization of
+// behaviors (Lemma 4/Lemma 5), and the Section 3 final-value machinery
+// (Lemma 3).
+
+#include <gtest/gtest.h>
+
+#include "spec/bank_account.h"
+#include "spec/counter.h"
+#include "spec/final_value.h"
+#include "spec/queue.h"
+#include "spec/read_write.h"
+#include "spec/replay.h"
+#include "spec/set.h"
+
+namespace ntsg {
+namespace {
+
+TEST(ReadWriteSpecTest, ReadReturnsLatestWrite) {
+  ReadWriteSpec spec(7);
+  EXPECT_EQ(spec.Apply(OpCode::kRead, 0), Value::Int(7));  // Initial value d.
+  EXPECT_EQ(spec.Apply(OpCode::kWrite, 3), Value::Ok());
+  EXPECT_EQ(spec.Apply(OpCode::kRead, 0), Value::Int(3));
+  EXPECT_EQ(spec.Apply(OpCode::kWrite, -2), Value::Ok());
+  EXPECT_EQ(spec.Apply(OpCode::kWrite, 9), Value::Ok());
+  EXPECT_EQ(spec.Apply(OpCode::kRead, 0), Value::Int(9));
+}
+
+TEST(ReadWriteSpecTest, CloneAndEquality) {
+  ReadWriteSpec spec(0);
+  spec.Apply(OpCode::kWrite, 42);
+  auto clone = spec.Clone();
+  EXPECT_TRUE(spec.StateEquals(*clone));
+  clone->Apply(OpCode::kWrite, 43);
+  EXPECT_FALSE(spec.StateEquals(*clone));
+}
+
+TEST(CounterSpecTest, IncrementsAndDecrements) {
+  CounterSpec spec(10);
+  EXPECT_EQ(spec.Apply(OpCode::kCounterRead, 0), Value::Int(10));
+  spec.Apply(OpCode::kIncrement, 5);
+  spec.Apply(OpCode::kDecrement, 3);
+  EXPECT_EQ(spec.Apply(OpCode::kCounterRead, 0), Value::Int(12));
+  EXPECT_EQ(spec.total(), 12);
+}
+
+TEST(SetSpecTest, AddRemoveContains) {
+  SetSpec spec;
+  EXPECT_EQ(spec.Apply(OpCode::kContains, 1), Value::Int(0));
+  EXPECT_EQ(spec.Apply(OpCode::kAdd, 1), Value::Ok());
+  EXPECT_EQ(spec.Apply(OpCode::kAdd, 1), Value::Ok());  // Idempotent.
+  EXPECT_EQ(spec.Apply(OpCode::kContains, 1), Value::Int(1));
+  EXPECT_EQ(spec.Apply(OpCode::kSetSize, 0), Value::Int(1));
+  EXPECT_EQ(spec.Apply(OpCode::kRemove, 1), Value::Ok());
+  EXPECT_EQ(spec.Apply(OpCode::kContains, 1), Value::Int(0));
+  EXPECT_EQ(spec.Apply(OpCode::kRemove, 99), Value::Ok());  // No-op remove.
+}
+
+TEST(QueueSpecTest, FifoOrder) {
+  QueueSpec spec;
+  EXPECT_EQ(spec.Apply(OpCode::kDequeue, 0), Value::Int(kQueueEmpty));
+  spec.Apply(OpCode::kEnqueue, 1);
+  spec.Apply(OpCode::kEnqueue, 2);
+  spec.Apply(OpCode::kEnqueue, 3);
+  EXPECT_EQ(spec.Apply(OpCode::kQueueSize, 0), Value::Int(3));
+  EXPECT_EQ(spec.Apply(OpCode::kDequeue, 0), Value::Int(1));
+  EXPECT_EQ(spec.Apply(OpCode::kDequeue, 0), Value::Int(2));
+  EXPECT_EQ(spec.Apply(OpCode::kDequeue, 0), Value::Int(3));
+  EXPECT_EQ(spec.Apply(OpCode::kDequeue, 0), Value::Int(kQueueEmpty));
+}
+
+TEST(BankAccountSpecTest, WithdrawRespectsBalance) {
+  BankAccountSpec spec(10);
+  EXPECT_EQ(spec.Apply(OpCode::kBalance, 0), Value::Int(10));
+  EXPECT_EQ(spec.Apply(OpCode::kWithdraw, 4), Value::Int(1));
+  EXPECT_EQ(spec.Apply(OpCode::kWithdraw, 7), Value::Int(0));  // Insufficient.
+  EXPECT_EQ(spec.Apply(OpCode::kBalance, 0), Value::Int(6));
+  spec.Apply(OpCode::kDeposit, 1);
+  EXPECT_EQ(spec.Apply(OpCode::kWithdraw, 7), Value::Int(1));
+  EXPECT_EQ(spec.balance(), 0);
+}
+
+TEST(MakeSpecTest, FactoryDispatch) {
+  for (ObjectType t :
+       {ObjectType::kReadWrite, ObjectType::kCounter, ObjectType::kSet,
+        ObjectType::kQueue, ObjectType::kBankAccount}) {
+    auto spec = MakeSpec(t, 5);
+    ASSERT_NE(spec, nullptr);
+    EXPECT_EQ(spec->type(), t);
+  }
+}
+
+class ReplayTest : public ::testing::Test {
+ protected:
+  ReplayTest() {
+    x_ = type_.AddObject(ObjectType::kReadWrite, "X", 0);
+    w5_ = type_.NewAccess(kT0, AccessSpec{x_, OpCode::kWrite, 5});
+    r_ = type_.NewAccess(kT0, AccessSpec{x_, OpCode::kRead, 0});
+    w9_ = type_.NewAccess(kT0, AccessSpec{x_, OpCode::kWrite, 9});
+    r2_ = type_.NewAccess(kT0, AccessSpec{x_, OpCode::kRead, 0});
+  }
+
+  SystemType type_;
+  ObjectId x_;
+  TxName w5_, r_, w9_, r2_;
+};
+
+TEST_F(ReplayTest, AcceptsLegalSequence) {
+  std::vector<Operation> ops = {{w5_, Value::Ok()},
+                                {r_, Value::Int(5)},
+                                {w9_, Value::Ok()},
+                                {r2_, Value::Int(9)}};
+  EXPECT_TRUE(ReplayOperations(type_, x_, ops).ok());
+}
+
+TEST_F(ReplayTest, RejectsWrongReadValue) {
+  std::vector<Operation> ops = {{w5_, Value::Ok()}, {r_, Value::Int(4)}};
+  Status s = ReplayOperations(type_, x_, ops);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kVerificationFailed);
+}
+
+TEST_F(ReplayTest, RejectsNonOkWrite) {
+  std::vector<Operation> ops = {{w5_, Value::Int(5)}};
+  EXPECT_FALSE(ReplayOperations(type_, x_, ops).ok());
+}
+
+TEST_F(ReplayTest, StateAfterReplaysState) {
+  std::vector<Operation> ops = {{w5_, Value::Ok()}, {w9_, Value::Ok()}};
+  auto state = StateAfter(type_, x_, ops);
+  EXPECT_EQ(state->Apply(OpCode::kRead, 0), Value::Int(9));
+}
+
+class FinalValueTest : public ::testing::Test {
+ protected:
+  FinalValueTest() {
+    x_ = type_.AddObject(ObjectType::kReadWrite, "X", 7);
+    t1_ = type_.NewChild(kT0);
+    w5_ = type_.NewAccess(t1_, AccessSpec{x_, OpCode::kWrite, 5});
+    w9_ = type_.NewAccess(kT0, AccessSpec{x_, OpCode::kWrite, 9});
+  }
+
+  SystemType type_;
+  ObjectId x_;
+  TxName t1_, w5_, w9_;
+};
+
+TEST_F(FinalValueTest, InitialWhenNoWrites) {
+  Trace empty;
+  EXPECT_EQ(FinalValue(type_, empty, x_), 7);
+  EXPECT_FALSE(LastWrite(type_, empty, x_).has_value());
+}
+
+TEST_F(FinalValueTest, LastWriteWins) {
+  Trace beta = {Action::RequestCommit(w5_, Value::Ok()),
+                Action::RequestCommit(w9_, Value::Ok())};
+  EXPECT_EQ(FinalValue(type_, beta, x_), 9);
+  EXPECT_EQ(*LastWrite(type_, beta, x_), w9_);
+  ASSERT_EQ(WriteSequence(type_, beta, x_).size(), 2u);
+}
+
+TEST_F(FinalValueTest, CleanFinalValueIgnoresOrphanWrites) {
+  // w5 runs under t1, which aborts: the clean final value reverts.
+  Trace beta = {Action::RequestCreate(t1_),
+                Action::Create(t1_),
+                Action::RequestCommit(w5_, Value::Ok()),
+                Action::RequestCommit(w9_, Value::Ok()),
+                Action::Abort(t1_)};
+  EXPECT_EQ(FinalValue(type_, beta, x_), 9);
+  EXPECT_EQ(CleanFinalValue(type_, beta, x_), 9);
+  // Reverse: the *last* write is orphaned.
+  Trace beta2 = {Action::RequestCreate(t1_),
+                 Action::Create(t1_),
+                 Action::RequestCommit(w9_, Value::Ok()),
+                 Action::RequestCommit(w5_, Value::Ok()),
+                 Action::Abort(t1_)};
+  EXPECT_EQ(FinalValue(type_, beta2, x_), 5);
+  EXPECT_EQ(CleanFinalValue(type_, beta2, x_), 9);
+  EXPECT_EQ(*CleanLastWrite(type_, beta2, x_), w9_);
+}
+
+}  // namespace
+}  // namespace ntsg

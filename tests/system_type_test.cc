@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "tx/system_type.h"
+
+namespace ntsg {
+namespace {
+
+class SystemTypeTest : public ::testing::Test {
+ protected:
+  SystemTypeTest() {
+    x_ = type_.AddObject(ObjectType::kReadWrite, "X", 7);
+    y_ = type_.AddObject(ObjectType::kCounter, "Y", 0);
+    a_ = type_.NewChild(kT0);
+    b_ = type_.NewChild(kT0);
+    a1_ = type_.NewChild(a_);
+    a2_ = type_.NewChild(a_);
+    leaf_ = type_.NewAccess(a1_, AccessSpec{x_, OpCode::kWrite, 5});
+    leaf2_ = type_.NewAccess(b_, AccessSpec{y_, OpCode::kIncrement, 2});
+  }
+
+  SystemType type_;
+  ObjectId x_, y_;
+  TxName a_, b_, a1_, a2_, leaf_, leaf2_;
+};
+
+TEST_F(SystemTypeTest, ObjectTable) {
+  EXPECT_EQ(type_.num_objects(), 2u);
+  EXPECT_EQ(type_.object_type(x_), ObjectType::kReadWrite);
+  EXPECT_EQ(type_.object_initial(x_), 7);
+  EXPECT_EQ(type_.object_name(y_), "Y");
+}
+
+TEST_F(SystemTypeTest, ParentAndDepth) {
+  EXPECT_EQ(type_.parent(a_), kT0);
+  EXPECT_EQ(type_.parent(a1_), a_);
+  EXPECT_EQ(type_.depth(kT0), 0u);
+  EXPECT_EQ(type_.depth(a_), 1u);
+  EXPECT_EQ(type_.depth(leaf_), 3u);
+}
+
+TEST_F(SystemTypeTest, AccessDecoding) {
+  EXPECT_TRUE(type_.IsAccess(leaf_));
+  EXPECT_FALSE(type_.IsAccess(a_));
+  EXPECT_FALSE(type_.IsAccess(kT0));
+  EXPECT_EQ(type_.access(leaf_).op, OpCode::kWrite);
+  EXPECT_EQ(type_.access(leaf_).arg, 5);
+  EXPECT_EQ(type_.ObjectOf(leaf_), x_);
+  EXPECT_EQ(type_.ObjectOf(a_), kInvalidObject);
+}
+
+TEST_F(SystemTypeTest, AncestorReflexiveAndTransitive) {
+  EXPECT_TRUE(type_.IsAncestor(kT0, leaf_));
+  EXPECT_TRUE(type_.IsAncestor(a_, leaf_));
+  EXPECT_TRUE(type_.IsAncestor(a1_, leaf_));
+  EXPECT_TRUE(type_.IsAncestor(leaf_, leaf_));   // Own ancestor.
+  EXPECT_FALSE(type_.IsAncestor(b_, leaf_));
+  EXPECT_FALSE(type_.IsAncestor(leaf_, a_));     // Not upward.
+  EXPECT_TRUE(type_.IsDescendant(leaf_, a_));
+}
+
+TEST_F(SystemTypeTest, Siblings) {
+  EXPECT_TRUE(type_.AreSiblings(a_, b_));
+  EXPECT_TRUE(type_.AreSiblings(a1_, a2_));
+  EXPECT_FALSE(type_.AreSiblings(a_, a_));
+  EXPECT_FALSE(type_.AreSiblings(a_, a1_));
+  EXPECT_FALSE(type_.AreSiblings(kT0, a_));
+}
+
+TEST_F(SystemTypeTest, Lca) {
+  EXPECT_EQ(type_.Lca(a1_, a2_), a_);
+  EXPECT_EQ(type_.Lca(leaf_, leaf2_), kT0);
+  EXPECT_EQ(type_.Lca(leaf_, a2_), a_);
+  EXPECT_EQ(type_.Lca(a_, a_), a_);
+  EXPECT_EQ(type_.Lca(a_, leaf_), a_);  // Ancestor case.
+}
+
+TEST_F(SystemTypeTest, ChildToward) {
+  EXPECT_EQ(type_.ChildToward(kT0, leaf_), a_);
+  EXPECT_EQ(type_.ChildToward(a_, leaf_), a1_);
+  EXPECT_EQ(type_.ChildToward(a1_, leaf_), leaf_);
+}
+
+TEST_F(SystemTypeTest, AncestorsList) {
+  std::vector<TxName> anc = type_.Ancestors(leaf_);
+  ASSERT_EQ(anc.size(), 4u);
+  EXPECT_EQ(anc[0], leaf_);
+  EXPECT_EQ(anc[1], a1_);
+  EXPECT_EQ(anc[2], a_);
+  EXPECT_EQ(anc[3], kT0);
+}
+
+TEST_F(SystemTypeTest, NameOfIsDottedPath) {
+  EXPECT_EQ(type_.NameOf(kT0), "T0");
+  std::string name = type_.NameOf(leaf_);
+  EXPECT_EQ(name.rfind("T0.", 0), 0u);
+}
+
+TEST_F(SystemTypeTest, NamesAreDense) {
+  size_t before = type_.num_names();
+  TxName fresh = type_.NewChild(b_);
+  EXPECT_EQ(fresh, before);
+  EXPECT_EQ(type_.num_names(), before + 1);
+}
+
+TEST(SystemTypeDeathTest, AccessesAreLeaves) {
+  SystemType type;
+  ObjectId x = type.AddObject(ObjectType::kReadWrite, "X", 0);
+  TxName leaf = type.NewAccess(kT0, AccessSpec{x, OpCode::kRead, 0});
+  EXPECT_DEATH(type.NewChild(leaf), "leaves");
+}
+
+TEST(SystemTypeDeathTest, OpMustFitObjectType) {
+  SystemType type;
+  ObjectId x = type.AddObject(ObjectType::kReadWrite, "X", 0);
+  EXPECT_DEATH(type.NewAccess(kT0, AccessSpec{x, OpCode::kEnqueue, 1}),
+               "invalid");
+}
+
+TEST(AccessSpecTest, OpValidityTable) {
+  EXPECT_TRUE(OpValidForType(ObjectType::kReadWrite, OpCode::kRead));
+  EXPECT_TRUE(OpValidForType(ObjectType::kReadWrite, OpCode::kWrite));
+  EXPECT_FALSE(OpValidForType(ObjectType::kReadWrite, OpCode::kIncrement));
+  EXPECT_TRUE(OpValidForType(ObjectType::kCounter, OpCode::kCounterRead));
+  EXPECT_FALSE(OpValidForType(ObjectType::kCounter, OpCode::kRead));
+  EXPECT_TRUE(OpValidForType(ObjectType::kSet, OpCode::kContains));
+  EXPECT_TRUE(OpValidForType(ObjectType::kQueue, OpCode::kDequeue));
+  EXPECT_TRUE(OpValidForType(ObjectType::kBankAccount, OpCode::kWithdraw));
+  EXPECT_FALSE(OpValidForType(ObjectType::kBankAccount, OpCode::kAdd));
+}
+
+TEST(AccessSpecTest, UpdateOpClassification) {
+  EXPECT_TRUE(IsUpdateOp(OpCode::kWrite));
+  EXPECT_TRUE(IsUpdateOp(OpCode::kIncrement));
+  EXPECT_TRUE(IsUpdateOp(OpCode::kAdd));
+  EXPECT_TRUE(IsUpdateOp(OpCode::kEnqueue));
+  EXPECT_TRUE(IsUpdateOp(OpCode::kDeposit));
+  EXPECT_FALSE(IsUpdateOp(OpCode::kRead));
+  EXPECT_FALSE(IsUpdateOp(OpCode::kDequeue));   // Returns the element.
+  EXPECT_FALSE(IsUpdateOp(OpCode::kWithdraw));  // Returns success/failure.
+  EXPECT_FALSE(IsUpdateOp(OpCode::kBalance));
+}
+
+}  // namespace
+}  // namespace ntsg

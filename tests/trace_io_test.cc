@@ -1,0 +1,196 @@
+// Round-trip and robustness tests for the trace serialization format.
+
+#include <gtest/gtest.h>
+
+#include "sim/driver.h"
+#include "tx/trace_io.h"
+
+namespace ntsg {
+namespace {
+
+TEST(TraceIoTest, RoundTripHandBuilt) {
+  SystemType type;
+  ObjectId x = type.AddObject(ObjectType::kReadWrite, "X", 3);
+  ObjectId q = type.AddObject(ObjectType::kQueue, "Q", 0);
+  TxName t1 = type.NewChild(kT0);
+  TxName w = type.NewAccess(t1, AccessSpec{x, OpCode::kWrite, 5});
+  TxName e = type.NewAccess(t1, AccessSpec{q, OpCode::kEnqueue, 9});
+
+  Trace trace = {
+      Action::RequestCreate(t1),        Action::Create(t1),
+      Action::RequestCreate(w),         Action::Create(w),
+      Action::RequestCommit(w, Value::Ok()), Action::Commit(w),
+      Action::InformCommit(x, w),       Action::ReportCommit(w, Value::Ok()),
+      Action::RequestCreate(e),         Action::Create(e),
+      Action::RequestCommit(e, Value::Ok()), Action::Abort(e),
+      Action::InformAbort(q, e),        Action::ReportAbort(e),
+      Action::RequestCommit(t1, Value::Int(1)),
+  };
+
+  std::string text = SerializeSystemAndTrace(type, trace);
+  SystemType parsed_type;
+  Trace parsed_trace;
+  Status s = ParseSystemAndTrace(text, &parsed_type, &parsed_trace);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+
+  EXPECT_EQ(parsed_type.num_objects(), 2u);
+  EXPECT_EQ(parsed_type.num_names(), type.num_names());
+  EXPECT_EQ(parsed_type.object_type(x), ObjectType::kReadWrite);
+  EXPECT_EQ(parsed_type.object_initial(x), 3);
+  EXPECT_EQ(parsed_type.object_name(q), "Q");
+  EXPECT_TRUE(parsed_type.IsAccess(w));
+  EXPECT_EQ(parsed_type.access(w).op, OpCode::kWrite);
+  EXPECT_EQ(parsed_type.access(w).arg, 5);
+  EXPECT_EQ(parsed_trace, trace);
+}
+
+TEST(TraceIoTest, RoundTripSimulatedRun) {
+  QuickRunParams params;
+  params.config.backend = Backend::kUndo;
+  params.config.seed = 5;
+  params.num_objects = 2;
+  params.object_type = ObjectType::kCounter;
+  params.num_toplevel = 4;
+  QuickRunResult run = QuickRun(params);
+
+  std::string text = SerializeSystemAndTrace(*run.type, run.sim.trace);
+  SystemType parsed_type;
+  Trace parsed_trace;
+  ASSERT_TRUE(ParseSystemAndTrace(text, &parsed_type, &parsed_trace).ok());
+  EXPECT_EQ(parsed_trace, run.sim.trace);
+  EXPECT_EQ(parsed_type.num_names(), run.type->num_names());
+
+  // Serializing the parse yields identical text (canonical form).
+  EXPECT_EQ(SerializeSystemAndTrace(parsed_type, parsed_trace), text);
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  SystemType type;
+  ObjectId x = type.AddObject(ObjectType::kCounter, "C", 0);
+  TxName a = type.NewAccess(kT0, AccessSpec{x, OpCode::kIncrement, 2});
+  Trace trace = {Action::RequestCreate(a), Action::Create(a)};
+
+  std::string path = ::testing::TempDir() + "/ntsg_trace_io_test.txt";
+  ASSERT_TRUE(WriteTraceFile(path, type, trace).ok());
+  SystemType parsed_type;
+  Trace parsed_trace;
+  ASSERT_TRUE(ReadTraceFile(path, &parsed_type, &parsed_trace).ok());
+  EXPECT_EQ(parsed_trace, trace);
+}
+
+TEST(TraceIoTest, ReadMissingFileFails) {
+  SystemType type;
+  Trace trace;
+  Status s = ReadTraceFile("/nonexistent/nowhere.txt", &type, &trace);
+  EXPECT_EQ(s.code(), Status::Code::kNotFound);
+}
+
+TEST(TraceIoTest, RejectsMalformedInput) {
+  auto parse = [](const std::string& text) {
+    SystemType type;
+    Trace trace;
+    return ParseSystemAndTrace(text, &type, &trace);
+  };
+  EXPECT_FALSE(parse("").ok());
+  EXPECT_FALSE(parse("wrong header\n").ok());
+  EXPECT_FALSE(parse("ntsg-trace v1\nbogus 1 2\n").ok());
+  // Sparse object ids.
+  EXPECT_FALSE(parse("ntsg-trace v1\nobject 3 counter C 0\n").ok());
+  // Parent declared after child.
+  EXPECT_FALSE(parse("ntsg-trace v1\ntx 1 7\n").ok());
+  // Unknown op.
+  EXPECT_FALSE(
+      parse("ntsg-trace v1\nobject 0 counter C 0\ntx 1 0 access 0 frobnicate 1\n")
+          .ok());
+  // Op/type mismatch.
+  EXPECT_FALSE(
+      parse("ntsg-trace v1\nobject 0 counter C 0\ntx 1 0 access 0 read 0\n")
+          .ok());
+  // Event referencing undeclared transaction.
+  EXPECT_FALSE(parse("ntsg-trace v1\nevent CREATE 5\n").ok());
+  // Missing value on REQUEST_COMMIT.
+  EXPECT_FALSE(parse("ntsg-trace v1\ntx 1 0\nevent REQUEST_COMMIT 1\n").ok());
+  // Non-empty target type.
+  SystemType dirty;
+  dirty.AddObject(ObjectType::kCounter, "C", 0);
+  Trace trace;
+  EXPECT_FALSE(ParseSystemAndTrace("ntsg-trace v1\n", &dirty, &trace).ok());
+}
+
+TEST(TraceIoTest, AllOpCodesRoundTrip) {
+  // One access per op code, across all object types, survives the text
+  // format byte for byte.
+  SystemType type;
+  ObjectId rw = type.AddObject(ObjectType::kReadWrite, "rw", 1);
+  ObjectId cn = type.AddObject(ObjectType::kCounter, "cn", 2);
+  ObjectId st = type.AddObject(ObjectType::kSet, "st", 0);
+  ObjectId qu = type.AddObject(ObjectType::kQueue, "qu", 0);
+  ObjectId ba = type.AddObject(ObjectType::kBankAccount, "ba", 9);
+
+  std::vector<std::pair<ObjectId, OpCode>> all = {
+      {rw, OpCode::kRead},       {rw, OpCode::kWrite},
+      {cn, OpCode::kIncrement},  {cn, OpCode::kDecrement},
+      {cn, OpCode::kCounterRead},{st, OpCode::kAdd},
+      {st, OpCode::kRemove},     {st, OpCode::kContains},
+      {st, OpCode::kSetSize},    {qu, OpCode::kEnqueue},
+      {qu, OpCode::kDequeue},    {qu, OpCode::kQueueSize},
+      {ba, OpCode::kDeposit},    {ba, OpCode::kWithdraw},
+      {ba, OpCode::kBalance}};
+  Trace trace;
+  for (const auto& [obj, op] : all) {
+    TxName a = type.NewAccess(kT0, AccessSpec{obj, op, 3});
+    trace.push_back(Action::RequestCreate(a));
+  }
+  std::string text = SerializeSystemAndTrace(type, trace);
+  SystemType parsed;
+  Trace parsed_trace;
+  ASSERT_TRUE(ParseSystemAndTrace(text, &parsed, &parsed_trace).ok());
+  EXPECT_EQ(parsed_trace, trace);
+  EXPECT_EQ(SerializeSystemAndTrace(parsed, parsed_trace), text);
+  for (size_t i = 0; i < all.size(); ++i) {
+    TxName a = trace[i].tx;
+    EXPECT_EQ(parsed.access(a).op, all[i].second);
+    EXPECT_EQ(parsed.access(a).object, all[i].first);
+  }
+}
+
+TEST(TraceIoTest, SiblingOrdersRoundTrip) {
+  SystemType type;
+  TxName t1 = type.NewChild(kT0);
+  TxName t2 = type.NewChild(kT0);
+  TxName c1 = type.NewChild(t1);
+  TxName c2 = type.NewChild(t1);
+  SiblingOrders orders = {{kT0, {t2, t1}}, {t1, {c2, c1}}};
+  Trace trace = {Action::RequestCreate(t1)};
+
+  std::string text = SerializeSystemAndTrace(type, trace, orders);
+  SystemType parsed;
+  Trace parsed_trace;
+  SiblingOrders parsed_orders;
+  ASSERT_TRUE(
+      ParseSystemAndTrace(text, &parsed, &parsed_trace, &parsed_orders).ok());
+  EXPECT_EQ(parsed_orders, orders);
+  EXPECT_EQ(parsed_trace, trace);
+
+  // Malformed order lines are rejected: unknown parent, foreign child.
+  SystemType fresh;
+  Trace tr;
+  EXPECT_FALSE(ParseSystemAndTrace("ntsg-trace v1\norder 9 1\n", &fresh, &tr)
+                   .ok());
+  SystemType fresh2;
+  EXPECT_FALSE(ParseSystemAndTrace(
+                   "ntsg-trace v1\ntx 1 0\ntx 2 1\norder 0 2\n", &fresh2, &tr)
+                   .ok());
+}
+
+TEST(TraceIoTest, CommentsAndBlankLinesIgnored) {
+  SystemType type;
+  Trace trace;
+  Status s = ParseSystemAndTrace(
+      "ntsg-trace v1\n# a comment\n\nobject 0 set S 0\n", &type, &trace);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(type.num_objects(), 1u);
+}
+
+}  // namespace
+}  // namespace ntsg

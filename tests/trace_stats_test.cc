@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "sim/driver.h"
+#include "sim/trace_stats.h"
+
+namespace ntsg {
+namespace {
+
+TEST(TraceStatsTest, CountsHandBuiltTrace) {
+  SystemType type;
+  ObjectId x = type.AddObject(ObjectType::kReadWrite, "X", 0);
+  TxName t1 = type.NewChild(kT0);
+  TxName w = type.NewAccess(t1, AccessSpec{x, OpCode::kWrite, 5});
+  TxName r = type.NewAccess(t1, AccessSpec{x, OpCode::kRead, 0});
+
+  Trace beta = {
+      Action::RequestCreate(t1),
+      Action::Create(t1),                        // pos 1
+      Action::RequestCreate(w),
+      Action::Create(w),                         // pos 3
+      Action::RequestCommit(w, Value::Ok()),
+      Action::Commit(w),                         // pos 5: latency 2
+      Action::ReportCommit(w, Value::Ok()),
+      Action::RequestCreate(r),
+      Action::Create(r),
+      Action::RequestCommit(r, Value::Int(5)),
+      Action::Abort(r),                          // Aborted access (depth 2).
+      Action::ReportAbort(r),
+      Action::RequestCommit(t1, Value::Int(1)),
+      Action::Commit(t1),                        // pos 13: latency 12
+  };
+
+  TraceStats stats = ComputeTraceStats(type, beta);
+  EXPECT_EQ(stats.events, beta.size());
+  EXPECT_EQ(stats.per_kind[ActionKind::kCommit], 2u);
+  EXPECT_EQ(stats.per_kind[ActionKind::kAbort], 1u);
+  EXPECT_EQ(stats.committed_by_depth[1], 1u);  // t1.
+  EXPECT_EQ(stats.committed_by_depth[2], 1u);  // w.
+  EXPECT_EQ(stats.aborted_by_depth[2], 1u);    // r.
+  EXPECT_EQ(stats.access_responses, 2u);
+  EXPECT_EQ(stats.per_object[x].updates, 1u);
+  EXPECT_EQ(stats.per_object[x].observers, 1u);
+  EXPECT_EQ(stats.committed_count, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_commit_latency, (2 + 12) / 2.0);
+  EXPECT_EQ(stats.max_commit_latency, 12u);
+
+  std::string rendered = stats.ToString(type);
+  EXPECT_NE(rendered.find("object traffic"), std::string::npos);
+  EXPECT_NE(rendered.find("X"), std::string::npos);
+}
+
+TEST(TraceStatsTest, ConsistentWithSimStats) {
+  QuickRunParams params;
+  params.config.backend = Backend::kMoss;
+  params.config.seed = 12;
+  params.num_objects = 2;
+  params.num_toplevel = 5;
+  QuickRunResult run = QuickRun(params);
+  TraceStats stats = ComputeTraceStats(*run.type, run.sim.trace);
+
+  EXPECT_EQ(stats.events, run.sim.trace.size());
+  EXPECT_EQ(stats.access_responses, run.sim.stats.access_responses);
+  EXPECT_EQ(stats.committed_by_depth[1], run.sim.stats.toplevel_committed);
+  EXPECT_EQ(stats.aborted_by_depth[1], run.sim.stats.toplevel_aborted);
+  size_t commits = 0;
+  for (const auto& [d, n] : stats.committed_by_depth) {
+    (void)d;
+    commits += n;
+  }
+  EXPECT_EQ(commits, run.sim.stats.commits);
+}
+
+TEST(TraceStatsTest, EmptyTrace) {
+  SystemType type;
+  TraceStats stats = ComputeTraceStats(type, {});
+  EXPECT_EQ(stats.events, 0u);
+  EXPECT_EQ(stats.committed_count, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_commit_latency, 0.0);
+}
+
+}  // namespace
+}  // namespace ntsg

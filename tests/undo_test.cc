@@ -1,0 +1,190 @@
+// Unit tests for the undo-logging object U_X (Section 6.2): the operations
+// log, the commutativity precondition, undo on abort (Lemma 20), and the
+// local-visibility notion of Section 6.3.
+
+#include <gtest/gtest.h>
+
+#include "undo/broken.h"
+#include "sim/driver.h"
+#include "undo/undo_object.h"
+
+namespace ntsg {
+namespace {
+
+class UndoTest : public ::testing::Test {
+ protected:
+  UndoTest() {
+    c_ = type_.AddObject(ObjectType::kCounter, "C", 0);
+    t1_ = type_.NewChild(kT0);
+    t2_ = type_.NewChild(kT0);
+    inc1_ = type_.NewAccess(t1_, AccessSpec{c_, OpCode::kIncrement, 3});
+    inc2_ = type_.NewAccess(t2_, AccessSpec{c_, OpCode::kIncrement, 4});
+    read1_ = type_.NewAccess(t1_, AccessSpec{c_, OpCode::kCounterRead, 0});
+    read2_ = type_.NewAccess(t2_, AccessSpec{c_, OpCode::kCounterRead, 0});
+  }
+
+  static std::optional<Value> ResponseFor(const UndoObject& obj,
+                                          TxName access) {
+    for (const Action& a : obj.EnabledOutputs()) {
+      if (a.tx == access) return a.value;
+    }
+    return std::nullopt;
+  }
+
+  SystemType type_;
+  ObjectId c_;
+  TxName t1_, t2_, inc1_, inc2_, read1_, read2_;
+};
+
+TEST_F(UndoTest, CommutingUpdatesProceedConcurrently) {
+  UndoObject obj(type_, c_);
+  obj.Apply(Action::Create(inc1_));
+  obj.Apply(Action::RequestCommit(inc1_, Value::Ok()));
+  // inc2 commutes with the uncommitted inc1: enabled immediately.
+  obj.Apply(Action::Create(inc2_));
+  auto v = ResponseFor(obj, inc2_);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, Value::Ok());
+  obj.Apply(Action::RequestCommit(inc2_, Value::Ok()));
+  ASSERT_EQ(obj.log().size(), 2u);
+}
+
+TEST_F(UndoTest, ReadBlockedByNonVisibleUpdate) {
+  UndoObject obj(type_, c_);
+  obj.Apply(Action::Create(inc1_));
+  obj.Apply(Action::RequestCommit(inc1_, Value::Ok()));
+  // read2 does not commute with inc1 (delta 3) and t1's chain has not
+  // committed: blocked.
+  obj.Apply(Action::Create(read2_));
+  EXPECT_FALSE(ResponseFor(obj, read2_).has_value());
+
+  // Informing commitment of inc1 alone is not enough (t1 still live)...
+  obj.Apply(Action::InformCommit(c_, inc1_));
+  EXPECT_FALSE(ResponseFor(obj, read2_).has_value());
+
+  // ...but once t1 commits up to the lca (T0), read2 sees value 3.
+  obj.Apply(Action::InformCommit(c_, t1_));
+  auto v = ResponseFor(obj, read2_);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, Value::Int(3));
+}
+
+TEST_F(UndoTest, OwnSubtreeUpdatesAreVisible) {
+  // read1 is a sibling of inc1 under t1: inc1 becomes visible to read1 as
+  // soon as inc1 itself commits (lca is t1).
+  UndoObject obj(type_, c_);
+  obj.Apply(Action::Create(inc1_));
+  obj.Apply(Action::RequestCommit(inc1_, Value::Ok()));
+  obj.Apply(Action::Create(read1_));
+  EXPECT_FALSE(ResponseFor(obj, read1_).has_value());
+  obj.Apply(Action::InformCommit(c_, inc1_));
+  auto v = ResponseFor(obj, read1_);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, Value::Int(3));
+}
+
+TEST_F(UndoTest, AbortExpungesDescendantsFromLog) {
+  UndoObject obj(type_, c_);
+  obj.Apply(Action::Create(inc1_));
+  obj.Apply(Action::RequestCommit(inc1_, Value::Ok()));
+  obj.Apply(Action::Create(inc2_));
+  obj.Apply(Action::RequestCommit(inc2_, Value::Ok()));
+  ASSERT_EQ(obj.log().size(), 2u);
+
+  obj.Apply(Action::InformAbort(c_, t1_));  // Undo t1's subtree.
+  ASSERT_EQ(obj.log().size(), 1u);
+  EXPECT_EQ(obj.log()[0].tx, inc2_);
+
+  // Replay state reflects the undo: a read (after t2 commits) sees 4.
+  obj.Apply(Action::InformCommit(c_, inc2_));
+  obj.Apply(Action::InformCommit(c_, t2_));
+  TxName read3 = type_.NewAccess(kT0, AccessSpec{c_, OpCode::kCounterRead, 0});
+  obj.Apply(Action::Create(read3));
+  auto v = ResponseFor(obj, read3);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, Value::Int(4));
+}
+
+TEST_F(UndoTest, LocalVisibilityIgnoresInformOrder) {
+  // Unlike lock-visibility, INFORM_COMMITs may arrive in any order
+  // (Section 6.3): parent before child still yields visibility.
+  UndoObject obj(type_, c_);
+  obj.Apply(Action::InformCommit(c_, t1_));    // Parent first.
+  obj.Apply(Action::InformCommit(c_, inc1_));  // Child second.
+  EXPECT_TRUE(obj.IsLocallyVisible(inc1_, read2_));
+}
+
+TEST_F(UndoTest, BrokenVariantSkipsCommuteCheck) {
+  NoCommuteCheckUndoObject obj(type_, c_);
+  obj.Apply(Action::Create(inc1_));
+  obj.Apply(Action::RequestCommit(inc1_, Value::Ok()));
+  obj.Apply(Action::Create(read2_));
+  // The broken object lets the read through, observing uncommitted data.
+  auto v = ResponseFor(obj, read2_);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, Value::Int(3));
+}
+
+TEST_F(UndoTest, ReadWriteObjectBehavesLikeStrictLog) {
+  SystemType type;
+  ObjectId x = type.AddObject(ObjectType::kReadWrite, "X", 0);
+  TxName ta = type.NewChild(kT0);
+  TxName tb = type.NewChild(kT0);
+  TxName wa = type.NewAccess(ta, AccessSpec{x, OpCode::kWrite, 5});
+  TxName rb = type.NewAccess(tb, AccessSpec{x, OpCode::kRead, 0});
+
+  UndoObject obj(type, x);
+  obj.Apply(Action::Create(wa));
+  obj.Apply(Action::RequestCommit(wa, Value::Ok()));
+  obj.Apply(Action::Create(rb));
+  // Write/read never commute backward: rb blocked until ta's chain commits.
+  bool enabled = false;
+  for (const Action& a : obj.EnabledOutputs()) {
+    if (a.tx == rb) enabled = true;
+  }
+  EXPECT_FALSE(enabled);
+}
+
+TEST_F(UndoTest, CompactionDoesNotChangeBehavior) {
+  // Compaction only re-represents the log; the enabled sets are identical,
+  // so the same seed yields the same trace with it on or off.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    QuickRunParams params;
+    params.config.backend = Backend::kUndo;
+    params.config.seed = seed;
+    params.num_objects = 2;
+    params.object_type = ObjectType::kCounter;
+    params.num_toplevel = 5;
+    params.gen.depth = 2;
+    params.gen.fanout = 2;
+    params.config.undo_log_compaction = true;
+    QuickRunResult with = QuickRun(params);
+    params.config.undo_log_compaction = false;
+    QuickRunResult without = QuickRun(params);
+    EXPECT_EQ(with.sim.trace, without.sim.trace) << "seed " << seed;
+  }
+}
+
+TEST_F(UndoTest, BankAccountSuccessfulWithdrawalsInterleave) {
+  SystemType type;
+  ObjectId b = type.AddObject(ObjectType::kBankAccount, "acct", 10);
+  TxName ta = type.NewChild(kT0);
+  TxName tb = type.NewChild(kT0);
+  TxName wa = type.NewAccess(ta, AccessSpec{b, OpCode::kWithdraw, 3});
+  TxName wb = type.NewAccess(tb, AccessSpec{b, OpCode::kWithdraw, 4});
+
+  UndoObject obj(type, b);
+  obj.Apply(Action::Create(wa));
+  obj.Apply(Action::RequestCommit(wa, Value::Int(1)));
+  obj.Apply(Action::Create(wb));
+  // Both withdrawals succeed and commute: wb proceeds concurrently.
+  std::optional<Value> v;
+  for (const Action& a : obj.EnabledOutputs()) {
+    if (a.tx == wb) v = a.value;
+  }
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, Value::Int(1));
+}
+
+}  // namespace
+}  // namespace ntsg

@@ -1,0 +1,334 @@
+// ntsg — command-line workbench for the nested-transaction library.
+//
+//   ntsg run   [options]          run one simulation, audit it, optionally
+//                                 save the behavior
+//   ntsg audit <trace-file>       audit a previously saved behavior
+//   ntsg sweep [options]          run many seeds, print aggregate stats
+//
+// Common options (defaults in brackets):
+//   --backend NAME    moss | moss_dirty_read | moss_no_read_lock |
+//                     moss_ignore_readers | undo | undo_no_commute | sgt |
+//                     general_locking | mvto                       [moss]
+//   --objects N       number of shared objects                     [4]
+//   --type NAME       read_write | counter | set | queue |
+//                     bank_account                                 [read_write]
+//   --initial V       initial value of each object                 [0]
+//   --toplevel N      top-level transactions                       [8]
+//   --depth D         nesting depth of generated programs          [2]
+//   --fanout F        children per composite                       [3]
+//   --read-prob P     observer-operation probability               [0.5]
+//   --zipf S          object-popularity skew exponent              [0]
+//   --retries K       per-child retry budget                       [2]
+//   --seed S          RNG seed (sweep: first seed)                 [1]
+//   --seeds N         sweep only: number of seeds                  [20]
+//   --abort-prob P    spontaneous abort probability per step       [0]
+//   --innermost       fine-grained stall aborts (default: top-level)
+//   --save FILE       run only: save the behavior (trace format)
+//   --dot FILE        run only: dump the serialization graph (Graphviz)
+//   --quiet           suppress the per-event trace dump
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "checker/witness.h"
+#include "mvto/timestamp_authority.h"
+#include "sg/certifier.h"
+#include "sg/fast_graph.h"
+#include "sg/graph.h"
+#include "sim/driver.h"
+#include "sim/trace_stats.h"
+#include "tx/trace_checks.h"
+#include "tx/trace_io.h"
+
+namespace ntsg {
+namespace {
+
+struct CliOptions {
+  std::string command;
+  std::string trace_file;  // audit operand.
+  Backend backend = Backend::kMoss;
+  size_t objects = 4;
+  ObjectType object_type = ObjectType::kReadWrite;
+  int64_t initial = 0;
+  size_t toplevel = 8;
+  int depth = 2;
+  int fanout = 3;
+  double read_prob = 0.5;
+  double zipf = 0.0;
+  int retries = 2;
+  uint64_t seed = 1;
+  size_t seeds = 20;
+  double abort_prob = 0.0;
+  bool innermost = false;
+  std::string save_file;
+  std::string dot_file;
+  bool quiet = false;
+};
+
+bool ParseBackend(const std::string& name, Backend* out) {
+  for (Backend b :
+       {Backend::kMoss, Backend::kDirtyReadMoss, Backend::kNoReadLockMoss,
+        Backend::kIgnoreReadersMoss, Backend::kUndo, Backend::kNoCommuteUndo,
+        Backend::kSgt, Backend::kGeneralLocking, Backend::kMvto}) {
+    if (name == BackendName(b)) {
+      *out = b;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseType(const std::string& name, ObjectType* out) {
+  for (ObjectType t : {ObjectType::kReadWrite, ObjectType::kCounter,
+                       ObjectType::kSet, ObjectType::kQueue,
+                       ObjectType::kBankAccount}) {
+    if (name == ObjectTypeName(t)) {
+      *out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+int Usage() {
+  std::cerr << "usage: ntsg run|audit|sweep [options]  (see tools/ntsg_cli.cpp "
+               "header for the full list)\n";
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* opt) {
+  if (argc < 2) return false;
+  opt->command = argv[1];
+  int i = 2;
+  if (opt->command == "audit") {
+    if (argc < 3) return false;
+    opt->trace_file = argv[2];
+    i = 3;
+  }
+  auto need = [&](const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << flag << " requires an argument\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (; i < argc; ++i) {
+    std::string a = argv[i];
+    const char* v = nullptr;
+    if (a == "--backend") {
+      if (!(v = need("--backend")) || !ParseBackend(v, &opt->backend)) {
+        return false;
+      }
+    } else if (a == "--objects") {
+      if (!(v = need(a.c_str()))) return false;
+      opt->objects = std::strtoull(v, nullptr, 10);
+    } else if (a == "--type") {
+      if (!(v = need(a.c_str())) || !ParseType(v, &opt->object_type)) {
+        return false;
+      }
+    } else if (a == "--initial") {
+      if (!(v = need(a.c_str()))) return false;
+      opt->initial = std::strtoll(v, nullptr, 10);
+    } else if (a == "--toplevel") {
+      if (!(v = need(a.c_str()))) return false;
+      opt->toplevel = std::strtoull(v, nullptr, 10);
+    } else if (a == "--depth") {
+      if (!(v = need(a.c_str()))) return false;
+      opt->depth = std::atoi(v);
+    } else if (a == "--fanout") {
+      if (!(v = need(a.c_str()))) return false;
+      opt->fanout = std::atoi(v);
+    } else if (a == "--read-prob") {
+      if (!(v = need(a.c_str()))) return false;
+      opt->read_prob = std::atof(v);
+    } else if (a == "--zipf") {
+      if (!(v = need(a.c_str()))) return false;
+      opt->zipf = std::atof(v);
+    } else if (a == "--retries") {
+      if (!(v = need(a.c_str()))) return false;
+      opt->retries = std::atoi(v);
+    } else if (a == "--seed") {
+      if (!(v = need(a.c_str()))) return false;
+      opt->seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--seeds") {
+      if (!(v = need(a.c_str()))) return false;
+      opt->seeds = std::strtoull(v, nullptr, 10);
+    } else if (a == "--abort-prob") {
+      if (!(v = need(a.c_str()))) return false;
+      opt->abort_prob = std::atof(v);
+    } else if (a == "--innermost") {
+      opt->innermost = true;
+    } else if (a == "--save") {
+      if (!(v = need(a.c_str()))) return false;
+      opt->save_file = v;
+    } else if (a == "--dot") {
+      if (!(v = need(a.c_str()))) return false;
+      opt->dot_file = v;
+    } else if (a == "--quiet") {
+      opt->quiet = true;
+    } else {
+      std::cerr << "unknown option " << a << "\n";
+      return false;
+    }
+  }
+  return opt->command == "run" || opt->command == "audit" ||
+         opt->command == "sweep";
+}
+
+struct RunOutput {
+  std::unique_ptr<SystemType> type;
+  SimResult sim;
+  std::map<TxName, std::vector<TxName>> mvto_orders;
+};
+
+RunOutput RunOnce(const CliOptions& opt, uint64_t seed) {
+  RunOutput out;
+  out.type = std::make_unique<SystemType>();
+  for (size_t i = 0; i < opt.objects; ++i) {
+    out.type->AddObject(opt.object_type, "X" + std::to_string(i),
+                        opt.initial);
+  }
+  Rng rng(seed ^ 0x9E3779B97F4A7C15ull);
+  ProgramGenParams gen;
+  gen.depth = opt.depth;
+  gen.fanout = opt.fanout;
+  gen.read_prob = opt.read_prob;
+  gen.zipf_s = opt.zipf;
+  std::vector<std::unique_ptr<ProgramNode>> tops;
+  for (size_t i = 0; i < opt.toplevel; ++i) {
+    tops.push_back(GenerateProgram(*out.type, gen, rng));
+  }
+  Simulation sim(out.type.get(), MakePar(std::move(tops), opt.retries));
+  SimConfig config;
+  config.backend = opt.backend;
+  config.seed = seed;
+  config.spontaneous_abort_prob = opt.abort_prob;
+  config.stall_policy = opt.innermost ? StallPolicy::kAbortInnermost
+                                      : StallPolicy::kAbortTopLevel;
+  out.sim = sim.Run(config);
+  if (sim.authority() != nullptr) {
+    out.mvto_orders = sim.authority()->CreationOrders();
+  }
+  return out;
+}
+
+ConflictMode ModeFor(const SystemType& type) {
+  for (ObjectId x = 0; x < type.num_objects(); ++x) {
+    if (type.object_type(x) != ObjectType::kReadWrite) {
+      return ConflictMode::kCommutativity;
+    }
+  }
+  return ConflictMode::kReadWrite;
+}
+
+int Audit(const CliOptions& opt, const SystemType& type, const Trace& beta,
+          const std::map<TxName, std::vector<TxName>>& mvto_orders) {
+  ConflictMode mode = ModeFor(type);
+  Status simple = CheckSimpleBehavior(type, beta);
+  std::cout << "simple-behavior:  " << simple.ToString() << "\n";
+
+  FastSgReport fast = FastSgAcyclicity(type, SerialPart(beta), mode);
+  std::cout << "fast acyclicity:  " << (fast.acyclic ? "acyclic" : "CYCLIC")
+            << " (" << fast.conflict_edge_count << " conflict + "
+            << fast.timeline_edge_count << " timeline edges)\n";
+
+  CertifierReport report = CertifySeriallyCorrect(type, beta, mode);
+  std::cout << "Theorem 8/19:     " << report.status.ToString() << "\n";
+
+  WitnessResult witness =
+      mvto_orders.empty()
+          ? FastCheckSeriallyCorrectForT0(type, beta, mode)
+          : BuildAndCheckWitness(type, beta, mvto_orders);
+  std::cout << "exact witness:    " << witness.status.ToString()
+            << (mvto_orders.empty() ? "" : " (timestamp order)") << "\n";
+
+  if (!opt.dot_file.empty()) {
+    SerializationGraph sg =
+        SerializationGraph::Build(type, SerialPart(beta), mode);
+    std::ofstream dot(opt.dot_file);
+    dot << sg.ToDot(type);
+    std::cout << "wrote " << opt.dot_file << "\n";
+  }
+  return witness.status.ok() ? 0 : 1;
+}
+
+int CmdRun(const CliOptions& opt) {
+  RunOutput out = RunOnce(opt, opt.seed);
+  const SimStats& s = out.sim.stats;
+  std::cout << "backend=" << BackendName(opt.backend) << " seed=" << opt.seed
+            << " events=" << out.sim.trace.size() << " steps=" << s.steps
+            << "\ncommitted=" << s.toplevel_committed
+            << " aborted=" << s.toplevel_aborted
+            << " stall_aborts=" << s.stall_aborts_injected
+            << " completed=" << (s.completed ? "yes" : "NO") << "\n";
+  if (!opt.quiet) std::cout << TraceToString(*out.type, out.sim.trace);
+  std::cout << ComputeTraceStats(*out.type, out.sim.trace).ToString(*out.type);
+  if (!opt.save_file.empty()) {
+    // MVTO runs persist their timestamp order so offline audits can target
+    // the scheduler's own serialization order.
+    Status st = WriteTraceFile(opt.save_file, *out.type, out.sim.trace,
+                               out.mvto_orders);
+    std::cout << "save: " << st.ToString() << "\n";
+  }
+  return Audit(opt, *out.type, out.sim.trace, out.mvto_orders);
+}
+
+int CmdAudit(const CliOptions& opt) {
+  SystemType type;
+  Trace beta;
+  SiblingOrders orders;
+  Status st = ReadTraceFile(opt.trace_file, &type, &beta, &orders);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 2;
+  }
+  std::cout << "loaded " << opt.trace_file << " (" << beta.size()
+            << " events" << (orders.empty() ? "" : ", with sibling orders")
+            << ")\n";
+  return Audit(opt, type, beta, orders);
+}
+
+int CmdSweep(const CliOptions& opt) {
+  double committed = 0, aborted = 0, stall = 0, steps = 0, verified = 0;
+  size_t runs = 0;
+  for (uint64_t seed = opt.seed; seed < opt.seed + opt.seeds; ++seed) {
+    RunOutput out = RunOnce(opt, seed);
+    if (!out.sim.stats.completed) continue;
+    ++runs;
+    committed += static_cast<double>(out.sim.stats.toplevel_committed);
+    aborted += static_cast<double>(out.sim.stats.toplevel_aborted);
+    stall += static_cast<double>(out.sim.stats.stall_aborts_injected);
+    steps += static_cast<double>(out.sim.stats.steps);
+    WitnessResult witness =
+        out.mvto_orders.empty()
+            ? FastCheckSeriallyCorrectForT0(*out.type, out.sim.trace)
+            : BuildAndCheckWitness(*out.type, out.sim.trace, out.mvto_orders);
+    if (witness.status.ok()) verified += 1;
+  }
+  if (runs == 0) {
+    std::cerr << "no runs completed\n";
+    return 1;
+  }
+  std::cout << "backend=" << BackendName(opt.backend) << " runs=" << runs
+            << "\nmean committed=" << committed / runs
+            << " aborted=" << aborted / runs
+            << " stall_aborts=" << stall / runs << " steps=" << steps / runs
+            << "\nwitness-verified " << verified << "/" << runs << "\n";
+  return verified == static_cast<double>(runs) || IsBrokenBackend(opt.backend)
+             ? 0
+             : 1;
+}
+
+}  // namespace
+}  // namespace ntsg
+
+int main(int argc, char** argv) {
+  ntsg::CliOptions opt;
+  if (!ntsg::ParseArgs(argc, argv, &opt)) return ntsg::Usage();
+  if (opt.command == "run") return ntsg::CmdRun(opt);
+  if (opt.command == "audit") return ntsg::CmdAudit(opt);
+  return ntsg::CmdSweep(opt);
+}
