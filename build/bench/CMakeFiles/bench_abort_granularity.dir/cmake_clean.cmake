@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abort_granularity.dir/bench_abort_granularity.cc.o"
+  "CMakeFiles/bench_abort_granularity.dir/bench_abort_granularity.cc.o.d"
+  "bench_abort_granularity"
+  "bench_abort_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abort_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

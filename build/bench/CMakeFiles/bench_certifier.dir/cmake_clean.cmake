@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_certifier.dir/bench_certifier.cc.o"
+  "CMakeFiles/bench_certifier.dir/bench_certifier.cc.o.d"
+  "bench_certifier"
+  "bench_certifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_certifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

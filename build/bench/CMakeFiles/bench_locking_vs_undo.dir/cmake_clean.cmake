@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_locking_vs_undo.dir/bench_locking_vs_undo.cc.o"
+  "CMakeFiles/bench_locking_vs_undo.dir/bench_locking_vs_undo.cc.o.d"
+  "bench_locking_vs_undo"
+  "bench_locking_vs_undo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_locking_vs_undo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_locking_vs_undo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_locking_vs_undo.
+# This may be replaced when dependencies are built.

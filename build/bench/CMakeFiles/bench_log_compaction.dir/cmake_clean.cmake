@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_log_compaction.dir/bench_log_compaction.cc.o"
+  "CMakeFiles/bench_log_compaction.dir/bench_log_compaction.cc.o.d"
+  "bench_log_compaction"
+  "bench_log_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_log_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

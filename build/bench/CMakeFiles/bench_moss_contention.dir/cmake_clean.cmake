@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_moss_contention.dir/bench_moss_contention.cc.o"
+  "CMakeFiles/bench_moss_contention.dir/bench_moss_contention.cc.o.d"
+  "bench_moss_contention"
+  "bench_moss_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_moss_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

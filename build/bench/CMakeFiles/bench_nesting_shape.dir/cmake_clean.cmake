@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nesting_shape.dir/bench_nesting_shape.cc.o"
+  "CMakeFiles/bench_nesting_shape.dir/bench_nesting_shape.cc.o.d"
+  "bench_nesting_shape"
+  "bench_nesting_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nesting_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

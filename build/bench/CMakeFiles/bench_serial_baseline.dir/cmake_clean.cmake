@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serial_baseline.dir/bench_serial_baseline.cc.o"
+  "CMakeFiles/bench_serial_baseline.dir/bench_serial_baseline.cc.o.d"
+  "bench_serial_baseline"
+  "bench_serial_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serial_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sg_construction.dir/bench_sg_construction.cc.o"
+  "CMakeFiles/bench_sg_construction.dir/bench_sg_construction.cc.o.d"
+  "bench_sg_construction"
+  "bench_sg_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sg_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sgt_scheduler.dir/bench_sgt_scheduler.cc.o"
+  "CMakeFiles/bench_sgt_scheduler.dir/bench_sgt_scheduler.cc.o.d"
+  "bench_sgt_scheduler"
+  "bench_sgt_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sgt_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

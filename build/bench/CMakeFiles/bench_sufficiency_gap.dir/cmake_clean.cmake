@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sufficiency_gap.dir/bench_sufficiency_gap.cc.o"
+  "CMakeFiles/bench_sufficiency_gap.dir/bench_sufficiency_gap.cc.o.d"
+  "bench_sufficiency_gap"
+  "bench_sufficiency_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sufficiency_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zipf_skew.dir/bench_zipf_skew.cc.o"
+  "CMakeFiles/bench_zipf_skew.dir/bench_zipf_skew.cc.o.d"
+  "bench_zipf_skew"
+  "bench_zipf_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zipf_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_audit.dir/trace_audit.cpp.o"
+  "CMakeFiles/trace_audit.dir/trace_audit.cpp.o.d"
+  "trace_audit"
+  "trace_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

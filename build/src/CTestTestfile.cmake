@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("tx")
+subdirs("spec")
+subdirs("ioa")
+subdirs("serial")
+subdirs("sg")
+subdirs("generic")
+subdirs("moss")
+subdirs("undo")
+subdirs("sgt")
+subdirs("mvto")
+subdirs("checker")
+subdirs("sim")

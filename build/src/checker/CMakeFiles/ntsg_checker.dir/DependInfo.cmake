@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checker/brute_force.cc" "src/checker/CMakeFiles/ntsg_checker.dir/brute_force.cc.o" "gcc" "src/checker/CMakeFiles/ntsg_checker.dir/brute_force.cc.o.d"
+  "/root/repo/src/checker/oracle.cc" "src/checker/CMakeFiles/ntsg_checker.dir/oracle.cc.o" "gcc" "src/checker/CMakeFiles/ntsg_checker.dir/oracle.cc.o.d"
+  "/root/repo/src/checker/witness.cc" "src/checker/CMakeFiles/ntsg_checker.dir/witness.cc.o" "gcc" "src/checker/CMakeFiles/ntsg_checker.dir/witness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/serial/CMakeFiles/ntsg_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/sg/CMakeFiles/ntsg_sg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tx/CMakeFiles/ntsg_tx.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ntsg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ioa/CMakeFiles/ntsg_ioa.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/ntsg_spec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntsg_checker.dir/brute_force.cc.o"
+  "CMakeFiles/ntsg_checker.dir/brute_force.cc.o.d"
+  "CMakeFiles/ntsg_checker.dir/oracle.cc.o"
+  "CMakeFiles/ntsg_checker.dir/oracle.cc.o.d"
+  "CMakeFiles/ntsg_checker.dir/witness.cc.o"
+  "CMakeFiles/ntsg_checker.dir/witness.cc.o.d"
+  "libntsg_checker.a"
+  "libntsg_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntsg_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntsg_common.dir/logging.cc.o"
+  "CMakeFiles/ntsg_common.dir/logging.cc.o.d"
+  "CMakeFiles/ntsg_common.dir/rng.cc.o"
+  "CMakeFiles/ntsg_common.dir/rng.cc.o.d"
+  "CMakeFiles/ntsg_common.dir/status.cc.o"
+  "CMakeFiles/ntsg_common.dir/status.cc.o.d"
+  "libntsg_common.a"
+  "libntsg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntsg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntsg_generic.dir/controller.cc.o"
+  "CMakeFiles/ntsg_generic.dir/controller.cc.o.d"
+  "CMakeFiles/ntsg_generic.dir/generic_object.cc.o"
+  "CMakeFiles/ntsg_generic.dir/generic_object.cc.o.d"
+  "CMakeFiles/ntsg_generic.dir/simple_database.cc.o"
+  "CMakeFiles/ntsg_generic.dir/simple_database.cc.o.d"
+  "libntsg_generic.a"
+  "libntsg_generic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntsg_generic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ntsg_generic.
+# This may be replaced when dependencies are built.

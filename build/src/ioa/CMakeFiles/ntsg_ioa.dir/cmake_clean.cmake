@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntsg_ioa.dir/composition.cc.o"
+  "CMakeFiles/ntsg_ioa.dir/composition.cc.o.d"
+  "libntsg_ioa.a"
+  "libntsg_ioa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntsg_ioa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntsg_moss.dir/invariants.cc.o"
+  "CMakeFiles/ntsg_moss.dir/invariants.cc.o.d"
+  "CMakeFiles/ntsg_moss.dir/moss_object.cc.o"
+  "CMakeFiles/ntsg_moss.dir/moss_object.cc.o.d"
+  "CMakeFiles/ntsg_moss.dir/read_update_object.cc.o"
+  "CMakeFiles/ntsg_moss.dir/read_update_object.cc.o.d"
+  "libntsg_moss.a"
+  "libntsg_moss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntsg_moss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

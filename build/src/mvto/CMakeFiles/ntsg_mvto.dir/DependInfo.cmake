@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mvto/mvto_object.cc" "src/mvto/CMakeFiles/ntsg_mvto.dir/mvto_object.cc.o" "gcc" "src/mvto/CMakeFiles/ntsg_mvto.dir/mvto_object.cc.o.d"
+  "/root/repo/src/mvto/timestamp_authority.cc" "src/mvto/CMakeFiles/ntsg_mvto.dir/timestamp_authority.cc.o" "gcc" "src/mvto/CMakeFiles/ntsg_mvto.dir/timestamp_authority.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/generic/CMakeFiles/ntsg_generic.dir/DependInfo.cmake"
+  "/root/repo/build/src/tx/CMakeFiles/ntsg_tx.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ntsg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ioa/CMakeFiles/ntsg_ioa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntsg_mvto.dir/mvto_object.cc.o"
+  "CMakeFiles/ntsg_mvto.dir/mvto_object.cc.o.d"
+  "CMakeFiles/ntsg_mvto.dir/timestamp_authority.cc.o"
+  "CMakeFiles/ntsg_mvto.dir/timestamp_authority.cc.o.d"
+  "libntsg_mvto.a"
+  "libntsg_mvto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntsg_mvto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ntsg_mvto.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serial/serial_object.cc" "src/serial/CMakeFiles/ntsg_serial.dir/serial_object.cc.o" "gcc" "src/serial/CMakeFiles/ntsg_serial.dir/serial_object.cc.o.d"
+  "/root/repo/src/serial/serial_scheduler.cc" "src/serial/CMakeFiles/ntsg_serial.dir/serial_scheduler.cc.o" "gcc" "src/serial/CMakeFiles/ntsg_serial.dir/serial_scheduler.cc.o.d"
+  "/root/repo/src/serial/validator.cc" "src/serial/CMakeFiles/ntsg_serial.dir/validator.cc.o" "gcc" "src/serial/CMakeFiles/ntsg_serial.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ioa/CMakeFiles/ntsg_ioa.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/ntsg_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/tx/CMakeFiles/ntsg_tx.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ntsg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntsg_serial.dir/serial_object.cc.o"
+  "CMakeFiles/ntsg_serial.dir/serial_object.cc.o.d"
+  "CMakeFiles/ntsg_serial.dir/serial_scheduler.cc.o"
+  "CMakeFiles/ntsg_serial.dir/serial_scheduler.cc.o.d"
+  "CMakeFiles/ntsg_serial.dir/validator.cc.o"
+  "CMakeFiles/ntsg_serial.dir/validator.cc.o.d"
+  "libntsg_serial.a"
+  "libntsg_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntsg_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sg/affects.cc" "src/sg/CMakeFiles/ntsg_sg.dir/affects.cc.o" "gcc" "src/sg/CMakeFiles/ntsg_sg.dir/affects.cc.o.d"
+  "/root/repo/src/sg/appropriate.cc" "src/sg/CMakeFiles/ntsg_sg.dir/appropriate.cc.o" "gcc" "src/sg/CMakeFiles/ntsg_sg.dir/appropriate.cc.o.d"
+  "/root/repo/src/sg/certifier.cc" "src/sg/CMakeFiles/ntsg_sg.dir/certifier.cc.o" "gcc" "src/sg/CMakeFiles/ntsg_sg.dir/certifier.cc.o.d"
+  "/root/repo/src/sg/conflicts.cc" "src/sg/CMakeFiles/ntsg_sg.dir/conflicts.cc.o" "gcc" "src/sg/CMakeFiles/ntsg_sg.dir/conflicts.cc.o.d"
+  "/root/repo/src/sg/fast_graph.cc" "src/sg/CMakeFiles/ntsg_sg.dir/fast_graph.cc.o" "gcc" "src/sg/CMakeFiles/ntsg_sg.dir/fast_graph.cc.o.d"
+  "/root/repo/src/sg/graph.cc" "src/sg/CMakeFiles/ntsg_sg.dir/graph.cc.o" "gcc" "src/sg/CMakeFiles/ntsg_sg.dir/graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spec/CMakeFiles/ntsg_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/tx/CMakeFiles/ntsg_tx.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ntsg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntsg_sg.dir/affects.cc.o"
+  "CMakeFiles/ntsg_sg.dir/affects.cc.o.d"
+  "CMakeFiles/ntsg_sg.dir/appropriate.cc.o"
+  "CMakeFiles/ntsg_sg.dir/appropriate.cc.o.d"
+  "CMakeFiles/ntsg_sg.dir/certifier.cc.o"
+  "CMakeFiles/ntsg_sg.dir/certifier.cc.o.d"
+  "CMakeFiles/ntsg_sg.dir/conflicts.cc.o"
+  "CMakeFiles/ntsg_sg.dir/conflicts.cc.o.d"
+  "CMakeFiles/ntsg_sg.dir/fast_graph.cc.o"
+  "CMakeFiles/ntsg_sg.dir/fast_graph.cc.o.d"
+  "CMakeFiles/ntsg_sg.dir/graph.cc.o"
+  "CMakeFiles/ntsg_sg.dir/graph.cc.o.d"
+  "libntsg_sg.a"
+  "libntsg_sg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntsg_sg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntsg_sgt.dir/coordinator.cc.o"
+  "CMakeFiles/ntsg_sgt.dir/coordinator.cc.o.d"
+  "CMakeFiles/ntsg_sgt.dir/sgt_object.cc.o"
+  "CMakeFiles/ntsg_sgt.dir/sgt_object.cc.o.d"
+  "libntsg_sgt.a"
+  "libntsg_sgt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntsg_sgt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

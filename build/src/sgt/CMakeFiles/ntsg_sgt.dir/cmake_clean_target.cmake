@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libntsg_sgt.a"
+)

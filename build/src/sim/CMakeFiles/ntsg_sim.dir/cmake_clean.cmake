@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntsg_sim.dir/driver.cc.o"
+  "CMakeFiles/ntsg_sim.dir/driver.cc.o.d"
+  "CMakeFiles/ntsg_sim.dir/program.cc.o"
+  "CMakeFiles/ntsg_sim.dir/program.cc.o.d"
+  "CMakeFiles/ntsg_sim.dir/scripted.cc.o"
+  "CMakeFiles/ntsg_sim.dir/scripted.cc.o.d"
+  "CMakeFiles/ntsg_sim.dir/serial_driver.cc.o"
+  "CMakeFiles/ntsg_sim.dir/serial_driver.cc.o.d"
+  "CMakeFiles/ntsg_sim.dir/trace_stats.cc.o"
+  "CMakeFiles/ntsg_sim.dir/trace_stats.cc.o.d"
+  "libntsg_sim.a"
+  "libntsg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntsg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/bank_account.cc" "src/spec/CMakeFiles/ntsg_spec.dir/bank_account.cc.o" "gcc" "src/spec/CMakeFiles/ntsg_spec.dir/bank_account.cc.o.d"
+  "/root/repo/src/spec/commutativity.cc" "src/spec/CMakeFiles/ntsg_spec.dir/commutativity.cc.o" "gcc" "src/spec/CMakeFiles/ntsg_spec.dir/commutativity.cc.o.d"
+  "/root/repo/src/spec/counter.cc" "src/spec/CMakeFiles/ntsg_spec.dir/counter.cc.o" "gcc" "src/spec/CMakeFiles/ntsg_spec.dir/counter.cc.o.d"
+  "/root/repo/src/spec/equieffective.cc" "src/spec/CMakeFiles/ntsg_spec.dir/equieffective.cc.o" "gcc" "src/spec/CMakeFiles/ntsg_spec.dir/equieffective.cc.o.d"
+  "/root/repo/src/spec/final_value.cc" "src/spec/CMakeFiles/ntsg_spec.dir/final_value.cc.o" "gcc" "src/spec/CMakeFiles/ntsg_spec.dir/final_value.cc.o.d"
+  "/root/repo/src/spec/queue.cc" "src/spec/CMakeFiles/ntsg_spec.dir/queue.cc.o" "gcc" "src/spec/CMakeFiles/ntsg_spec.dir/queue.cc.o.d"
+  "/root/repo/src/spec/read_write.cc" "src/spec/CMakeFiles/ntsg_spec.dir/read_write.cc.o" "gcc" "src/spec/CMakeFiles/ntsg_spec.dir/read_write.cc.o.d"
+  "/root/repo/src/spec/replay.cc" "src/spec/CMakeFiles/ntsg_spec.dir/replay.cc.o" "gcc" "src/spec/CMakeFiles/ntsg_spec.dir/replay.cc.o.d"
+  "/root/repo/src/spec/serial_spec.cc" "src/spec/CMakeFiles/ntsg_spec.dir/serial_spec.cc.o" "gcc" "src/spec/CMakeFiles/ntsg_spec.dir/serial_spec.cc.o.d"
+  "/root/repo/src/spec/set.cc" "src/spec/CMakeFiles/ntsg_spec.dir/set.cc.o" "gcc" "src/spec/CMakeFiles/ntsg_spec.dir/set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tx/CMakeFiles/ntsg_tx.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ntsg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

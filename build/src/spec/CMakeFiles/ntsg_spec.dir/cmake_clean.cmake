@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntsg_spec.dir/bank_account.cc.o"
+  "CMakeFiles/ntsg_spec.dir/bank_account.cc.o.d"
+  "CMakeFiles/ntsg_spec.dir/commutativity.cc.o"
+  "CMakeFiles/ntsg_spec.dir/commutativity.cc.o.d"
+  "CMakeFiles/ntsg_spec.dir/counter.cc.o"
+  "CMakeFiles/ntsg_spec.dir/counter.cc.o.d"
+  "CMakeFiles/ntsg_spec.dir/equieffective.cc.o"
+  "CMakeFiles/ntsg_spec.dir/equieffective.cc.o.d"
+  "CMakeFiles/ntsg_spec.dir/final_value.cc.o"
+  "CMakeFiles/ntsg_spec.dir/final_value.cc.o.d"
+  "CMakeFiles/ntsg_spec.dir/queue.cc.o"
+  "CMakeFiles/ntsg_spec.dir/queue.cc.o.d"
+  "CMakeFiles/ntsg_spec.dir/read_write.cc.o"
+  "CMakeFiles/ntsg_spec.dir/read_write.cc.o.d"
+  "CMakeFiles/ntsg_spec.dir/replay.cc.o"
+  "CMakeFiles/ntsg_spec.dir/replay.cc.o.d"
+  "CMakeFiles/ntsg_spec.dir/serial_spec.cc.o"
+  "CMakeFiles/ntsg_spec.dir/serial_spec.cc.o.d"
+  "CMakeFiles/ntsg_spec.dir/set.cc.o"
+  "CMakeFiles/ntsg_spec.dir/set.cc.o.d"
+  "libntsg_spec.a"
+  "libntsg_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntsg_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tx/access.cc" "src/tx/CMakeFiles/ntsg_tx.dir/access.cc.o" "gcc" "src/tx/CMakeFiles/ntsg_tx.dir/access.cc.o.d"
+  "/root/repo/src/tx/action.cc" "src/tx/CMakeFiles/ntsg_tx.dir/action.cc.o" "gcc" "src/tx/CMakeFiles/ntsg_tx.dir/action.cc.o.d"
+  "/root/repo/src/tx/system_type.cc" "src/tx/CMakeFiles/ntsg_tx.dir/system_type.cc.o" "gcc" "src/tx/CMakeFiles/ntsg_tx.dir/system_type.cc.o.d"
+  "/root/repo/src/tx/trace.cc" "src/tx/CMakeFiles/ntsg_tx.dir/trace.cc.o" "gcc" "src/tx/CMakeFiles/ntsg_tx.dir/trace.cc.o.d"
+  "/root/repo/src/tx/trace_checks.cc" "src/tx/CMakeFiles/ntsg_tx.dir/trace_checks.cc.o" "gcc" "src/tx/CMakeFiles/ntsg_tx.dir/trace_checks.cc.o.d"
+  "/root/repo/src/tx/trace_io.cc" "src/tx/CMakeFiles/ntsg_tx.dir/trace_io.cc.o" "gcc" "src/tx/CMakeFiles/ntsg_tx.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ntsg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

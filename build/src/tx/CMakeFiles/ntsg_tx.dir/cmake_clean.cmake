@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntsg_tx.dir/access.cc.o"
+  "CMakeFiles/ntsg_tx.dir/access.cc.o.d"
+  "CMakeFiles/ntsg_tx.dir/action.cc.o"
+  "CMakeFiles/ntsg_tx.dir/action.cc.o.d"
+  "CMakeFiles/ntsg_tx.dir/system_type.cc.o"
+  "CMakeFiles/ntsg_tx.dir/system_type.cc.o.d"
+  "CMakeFiles/ntsg_tx.dir/trace.cc.o"
+  "CMakeFiles/ntsg_tx.dir/trace.cc.o.d"
+  "CMakeFiles/ntsg_tx.dir/trace_checks.cc.o"
+  "CMakeFiles/ntsg_tx.dir/trace_checks.cc.o.d"
+  "CMakeFiles/ntsg_tx.dir/trace_io.cc.o"
+  "CMakeFiles/ntsg_tx.dir/trace_io.cc.o.d"
+  "libntsg_tx.a"
+  "libntsg_tx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntsg_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntsg_undo.dir/invariants.cc.o"
+  "CMakeFiles/ntsg_undo.dir/invariants.cc.o.d"
+  "CMakeFiles/ntsg_undo.dir/undo_object.cc.o"
+  "CMakeFiles/ntsg_undo.dir/undo_object.cc.o.d"
+  "libntsg_undo.a"
+  "libntsg_undo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntsg_undo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

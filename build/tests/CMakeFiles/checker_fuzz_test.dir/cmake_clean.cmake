@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_fuzz_test.dir/checker_fuzz_test.cc.o"
+  "CMakeFiles/checker_fuzz_test.dir/checker_fuzz_test.cc.o.d"
+  "checker_fuzz_test"
+  "checker_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

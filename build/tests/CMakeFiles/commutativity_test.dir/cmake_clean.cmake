@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commutativity_test.dir/commutativity_test.cc.o"
+  "CMakeFiles/commutativity_test.dir/commutativity_test.cc.o.d"
+  "commutativity_test"
+  "commutativity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commutativity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

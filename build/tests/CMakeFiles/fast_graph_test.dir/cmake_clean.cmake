@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_graph_test.dir/fast_graph_test.cc.o"
+  "CMakeFiles/fast_graph_test.dir/fast_graph_test.cc.o.d"
+  "fast_graph_test"
+  "fast_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

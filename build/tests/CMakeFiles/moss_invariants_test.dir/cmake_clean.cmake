@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moss_invariants_test.dir/moss_invariants_test.cc.o"
+  "CMakeFiles/moss_invariants_test.dir/moss_invariants_test.cc.o.d"
+  "moss_invariants_test"
+  "moss_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moss_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moss_test.dir/moss_test.cc.o"
+  "CMakeFiles/moss_test.dir/moss_test.cc.o.d"
+  "moss_test"
+  "moss_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_update_test.dir/read_update_test.cc.o"
+  "CMakeFiles/read_update_test.dir/read_update_test.cc.o.d"
+  "read_update_test"
+  "read_update_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

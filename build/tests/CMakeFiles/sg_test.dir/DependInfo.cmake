@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sg_test.cc" "tests/CMakeFiles/sg_test.dir/sg_test.cc.o" "gcc" "tests/CMakeFiles/sg_test.dir/sg_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/checker/CMakeFiles/ntsg_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ntsg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgt/CMakeFiles/ntsg_sgt.dir/DependInfo.cmake"
+  "/root/repo/build/src/moss/CMakeFiles/ntsg_moss.dir/DependInfo.cmake"
+  "/root/repo/build/src/undo/CMakeFiles/ntsg_undo.dir/DependInfo.cmake"
+  "/root/repo/build/src/generic/CMakeFiles/ntsg_generic.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/ntsg_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/sg/CMakeFiles/ntsg_sg.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/ntsg_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/ioa/CMakeFiles/ntsg_ioa.dir/DependInfo.cmake"
+  "/root/repo/build/src/tx/CMakeFiles/ntsg_tx.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ntsg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mvto/CMakeFiles/ntsg_mvto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

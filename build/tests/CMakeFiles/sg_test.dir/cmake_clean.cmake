@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_test.dir/sg_test.cc.o"
+  "CMakeFiles/sg_test.dir/sg_test.cc.o.d"
+  "sg_test"
+  "sg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simple_database_test.dir/simple_database_test.cc.o"
+  "CMakeFiles/simple_database_test.dir/simple_database_test.cc.o.d"
+  "simple_database_test"
+  "simple_database_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simple_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/undo_invariants_test.dir/undo_invariants_test.cc.o"
+  "CMakeFiles/undo_invariants_test.dir/undo_invariants_test.cc.o.d"
+  "undo_invariants_test"
+  "undo_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/undo_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

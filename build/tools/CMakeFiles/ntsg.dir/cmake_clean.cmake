@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntsg.dir/ntsg_cli.cpp.o"
+  "CMakeFiles/ntsg.dir/ntsg_cli.cpp.o.d"
+  "ntsg"
+  "ntsg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntsg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
