@@ -9,11 +9,8 @@
 
 namespace ntsg {
 
-namespace {
-
-/// Decides whether two access operations conflict under `mode`.
-bool OpsConflict(const SystemType& type, ConflictMode mode, TxName u, Value vu,
-                 TxName w, Value vw) {
+bool AccessOpsConflict(const SystemType& type, ConflictMode mode, TxName u,
+                       const Value& vu, TxName w, const Value& vw) {
   const AccessSpec& au = type.access(u);
   const AccessSpec& aw = type.access(w);
   if (au.object != aw.object) return false;
@@ -29,8 +26,6 @@ bool OpsConflict(const SystemType& type, ConflictMode mode, TxName u, Value vu,
   }
   return true;
 }
-
-}  // namespace
 
 std::vector<SiblingEdge> ConflictRelation(const SystemType& type,
                                           const Trace& beta,
@@ -50,7 +45,7 @@ std::vector<SiblingEdge> ConflictRelation(const SystemType& type,
     for (size_t j = 1; j < ops.size(); ++j) {
       for (size_t i = 0; i < j; ++i) {
         TxName u = ops[i].tx, w = ops[j].tx;
-        if (!OpsConflict(type, mode, u, ops[i].value, w, ops[j].value)) {
+        if (!AccessOpsConflict(type, mode, u, ops[i].value, w, ops[j].value)) {
           continue;
         }
         TxName lca = type.Lca(u, w);

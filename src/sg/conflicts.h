@@ -35,6 +35,14 @@ struct SiblingEdge {
   }
 };
 
+/// Decides whether two access operations conflict under `mode`: the
+/// operation-level predicate behind ConflictRelation, exposed for the
+/// incremental certifier, which discovers conflicting pairs one visible
+/// operation at a time. `u`/`w` must be accesses; `vu`/`vw` their recorded
+/// return values (inspected only in kCommutativity mode). Symmetric.
+bool AccessOpsConflict(const SystemType& type, ConflictMode mode, TxName u,
+                       const Value& vu, TxName w, const Value& vw);
+
 /// conflict(β) (Section 4, generalized in Section 6.1): (T, T') with common
 /// parent P such that accesses U (a descendant of T) and U' (of T') perform
 /// conflicting operations, the REQUEST_COMMIT of U preceding that of U' in

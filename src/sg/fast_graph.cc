@@ -1,5 +1,6 @@
 #include "sg/fast_graph.h"
 
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <set>
@@ -128,6 +129,107 @@ std::optional<std::map<TxName, std::vector<TxName>>> FastTopologicalOrders(
     result[type.parent(t)].push_back(t);
   }
   return result;
+}
+
+uint32_t IncrementalTopoGraph::Slot(TxName t) {
+  auto it = slot_.find(t);
+  if (it != slot_.end()) return it->second;
+  uint32_t s = static_cast<uint32_t>(nodes_.size());
+  slot_.emplace(t, s);
+  nodes_.push_back(Node{{}, {}, next_ord_++});
+  return s;
+}
+
+bool IncrementalTopoGraph::HasEdge(TxName from, TxName to) const {
+  return edges_.count(EdgeKey(from, to)) != 0;
+}
+
+std::optional<uint64_t> IncrementalTopoGraph::OrdOf(TxName t) const {
+  auto it = slot_.find(t);
+  if (it == slot_.end()) return std::nullopt;
+  return nodes_[it->second].ord;
+}
+
+bool IncrementalTopoGraph::AddEdge(TxName from, TxName to) {
+  if (from == to) return false;
+  uint64_t key = EdgeKey(from, to);
+  if (edges_.count(key) != 0) return true;
+  uint32_t sx = Slot(from);
+  uint32_t sy = Slot(to);
+
+  if (nodes_[sy].ord < nodes_[sx].ord) {
+    // The order is violated: discover the affected region
+    // [ord(to), ord(from)]. In a valid topological order every path out of
+    // `to` ascends in ord, so a to ->* from path — the only way the new edge
+    // closes a cycle — lies entirely inside the region.
+    const uint64_t lb = nodes_[sy].ord;
+    const uint64_t ub = nodes_[sx].ord;
+    std::vector<uint32_t> delta_f, delta_b, stack;
+    std::unordered_set<uint32_t> seen_f, seen_b;
+
+    stack.push_back(sy);
+    seen_f.insert(sy);
+    while (!stack.empty()) {
+      uint32_t n = stack.back();
+      stack.pop_back();
+      delta_f.push_back(n);
+      for (uint32_t s : nodes_[n].out) {
+        if (s == sx) return false;  // Cycle; nothing was modified.
+        if (nodes_[s].ord <= ub && seen_f.insert(s).second) {
+          stack.push_back(s);
+        }
+      }
+    }
+
+    stack.push_back(sx);
+    seen_b.insert(sx);
+    while (!stack.empty()) {
+      uint32_t n = stack.back();
+      stack.pop_back();
+      delta_b.push_back(n);
+      for (uint32_t s : nodes_[n].in) {
+        if (nodes_[s].ord >= lb && seen_b.insert(s).second) {
+          stack.push_back(s);
+        }
+      }
+    }
+
+    // Acyclic: delta_b and delta_f are disjoint (a shared node would lie on
+    // a to ->* from path). Reuse the combined ord pool, placing everything
+    // that must precede the new edge before everything that must follow it,
+    // preserving relative order inside each side.
+    auto by_ord = [this](uint32_t a, uint32_t b) {
+      return nodes_[a].ord < nodes_[b].ord;
+    };
+    std::sort(delta_b.begin(), delta_b.end(), by_ord);
+    std::sort(delta_f.begin(), delta_f.end(), by_ord);
+    std::vector<uint64_t> pool;
+    pool.reserve(delta_b.size() + delta_f.size());
+    for (uint32_t n : delta_b) pool.push_back(nodes_[n].ord);
+    for (uint32_t n : delta_f) pool.push_back(nodes_[n].ord);
+    std::sort(pool.begin(), pool.end());
+    size_t k = 0;
+    for (uint32_t n : delta_b) nodes_[n].ord = pool[k++];
+    for (uint32_t n : delta_f) nodes_[n].ord = pool[k++];
+  }
+
+  nodes_[sx].out.push_back(sy);
+  nodes_[sy].in.push_back(sx);
+  edges_.insert(key);
+  return true;
+}
+
+void IncrementalTopoGraph::RemoveEdge(TxName from, TxName to) {
+  if (edges_.erase(EdgeKey(from, to)) == 0) return;
+  uint32_t sx = slot_.at(from);
+  uint32_t sy = slot_.at(to);
+  auto drop = [](std::vector<uint32_t>& v, uint32_t target) {
+    auto it = std::find(v.begin(), v.end(), target);
+    *it = v.back();
+    v.pop_back();
+  };
+  drop(nodes_[sx].out, sy);
+  drop(nodes_[sy].in, sx);
 }
 
 }  // namespace ntsg

@@ -1,8 +1,11 @@
 #ifndef NTSG_SG_FAST_GRAPH_H_
 #define NTSG_SG_FAST_GRAPH_H_
 
+#include <cstdint>
 #include <map>
 #include <optional>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "sg/conflicts.h"
@@ -50,6 +53,61 @@ FastSgReport FastSgAcyclicity(const SystemType& type, const Trace& beta,
 /// Returns nullopt when the graph is cyclic (no order exists).
 std::optional<std::map<TxName, std::vector<TxName>>> FastTopologicalOrders(
     const SystemType& type, const Trace& beta, ConflictMode mode);
+
+/// Directed graph with Pearce–Kelly incremental topological-order
+/// maintenance: edges are added one at a time, a cycle-closing edge is
+/// rejected *before* any state changes, and the amortized reordering work is
+/// bounded by the "affected region" between the endpoints' current order
+/// positions rather than the whole graph.
+///
+/// This is the cycle-test engine behind the online certifier and the SGT
+/// coordinator. SG(β) is a disjoint union of per-parent sibling components;
+/// since every edge stays inside one component, keeping them in a single
+/// shared order loses nothing — the union is acyclic iff each component is.
+///
+/// Edge removal (needed when an SGT abort expunges supporting operations)
+/// keeps the current order untouched: any topological order of a graph
+/// remains valid for every subgraph.
+class IncrementalTopoGraph {
+ public:
+  /// Adds the edge from -> to. Returns false iff the edge would close a
+  /// cycle (including from == to); the graph is unchanged in that case.
+  /// Adding an edge that is already present is a no-op returning true.
+  bool AddEdge(TxName from, TxName to);
+
+  bool HasEdge(TxName from, TxName to) const;
+
+  /// Removes the edge if present (no-op otherwise). Never invalidates the
+  /// maintained order.
+  void RemoveEdge(TxName from, TxName to);
+
+  /// Current position of `t` in the maintained topological order; nullopt
+  /// for nodes the graph has never seen. For any present edge u -> v,
+  /// *OrdOf(u) < *OrdOf(v).
+  std::optional<uint64_t> OrdOf(TxName t) const;
+
+  size_t node_count() const { return nodes_.size(); }
+  size_t edge_count() const { return edges_.size(); }
+
+ private:
+  struct Node {
+    std::vector<uint32_t> out;
+    std::vector<uint32_t> in;
+    uint64_t ord;
+  };
+
+  static uint64_t EdgeKey(TxName from, TxName to) {
+    return (static_cast<uint64_t>(from) << 32) | to;
+  }
+
+  /// Slot of `t`, creating the node (at the end of the order) on first use.
+  uint32_t Slot(TxName t);
+
+  std::vector<Node> nodes_;
+  std::unordered_map<TxName, uint32_t> slot_;
+  std::unordered_set<uint64_t> edges_;
+  uint64_t next_ord_ = 0;
+};
 
 }  // namespace ntsg
 

@@ -1,0 +1,227 @@
+#include "sg/incremental_certifier.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+// --- VisibilityTracker ------------------------------------------------------
+
+TxName VisibilityTracker::BlockerOf(TxName subject, bool* dead) const {
+  *dead = false;
+  for (TxName u = subject; u != kT0; u = type_.parent(u)) {
+    if (Flag(aborted_, u)) {
+      *dead = true;
+      return kInvalidTx;
+    }
+    if (!Flag(committed_, u)) return u;
+  }
+  return kInvalidTx;
+}
+
+void VisibilityTracker::Watch(TxName subject, std::function<void()> on_visible) {
+  bool dead = false;
+  TxName blocker = BlockerOf(subject, &dead);
+  if (dead) return;
+  if (blocker == kInvalidTx) {
+    on_visible();
+    return;
+  }
+  waiters_[blocker].push_back(Pending{subject, std::move(on_visible)});
+}
+
+void VisibilityTracker::OnCommit(TxName t) {
+  SetFlag(&committed_, t);
+  auto it = waiters_.find(t);
+  if (it == waiters_.end()) return;
+  std::vector<Pending> parked = std::move(it->second);
+  waiters_.erase(it);
+  for (Pending& p : parked) {
+    bool dead = false;
+    TxName blocker = BlockerOf(p.subject, &dead);
+    if (dead) continue;
+    if (blocker == kInvalidTx) {
+      p.fire();
+    } else {
+      waiters_[blocker].push_back(std::move(p));
+    }
+  }
+}
+
+void VisibilityTracker::OnAbort(TxName t) {
+  SetFlag(&aborted_, t);
+  // Items parked on t waited for COMMIT(t), which can no longer happen.
+  waiters_.erase(t);
+}
+
+// --- ObjectIngestState ------------------------------------------------------
+
+ObjectIngestState::ObjectIngestState(const SystemType& type, ObjectId x)
+    : type_(type),
+      x_(x),
+      replay_(MakeSpec(type.object_type(x), type.object_initial(x))) {}
+
+void ObjectIngestState::InsertVisibleOp(
+    uint64_t pos, TxName tx, const Value& v, ConflictMode mode,
+    std::vector<std::pair<TxName, TxName>>* conflict_pairs) {
+  for (const auto& [p, op] : ops_) {
+    if (!AccessOpsConflict(type_, mode, op.tx, op.value, tx, v)) continue;
+    if (p < pos) {
+      conflict_pairs->emplace_back(op.tx, tx);
+    } else {
+      conflict_pairs->emplace_back(tx, op.tx);
+    }
+  }
+
+  auto [it, inserted] = ops_.emplace(pos, Operation{tx, v});
+  NTSG_CHECK(inserted) << "duplicate trace position " << pos;
+  if (std::next(it) == ops_.end() && legal_) {
+    // Appended at the end of the visible sequence: extend the replay.
+    const AccessSpec& acc = type_.access(tx);
+    if (replay_->Apply(acc.op, acc.arg) != v) legal_ = false;
+  } else if (std::next(it) != ops_.end()) {
+    // Revealed out of order: the replay suffix is stale either way.
+    Recompute();
+  }
+  // Appended while already illegal: the first divergence is untouched, so
+  // the sequence stays illegal; nothing to do.
+}
+
+void ObjectIngestState::Recompute() {
+  replay_ = MakeSpec(type_.object_type(x_), type_.object_initial(x_));
+  legal_ = true;
+  for (const auto& [p, op] : ops_) {
+    const AccessSpec& acc = type_.access(op.tx);
+    if (replay_->Apply(acc.op, acc.arg) != op.value) {
+      legal_ = false;
+      break;
+    }
+  }
+}
+
+// --- IncrementalCertifier ---------------------------------------------------
+
+IncrementalCertifier::IncrementalCertifier(const SystemType& type,
+                                           ConflictMode mode)
+    : type_(type), mode_(mode), tracker_(type) {}
+
+ObjectIngestState& IncrementalCertifier::ObjectState(ObjectId x) {
+  if (x >= objects_.size()) objects_.resize(x + 1);
+  if (objects_[x] == nullptr) {
+    objects_[x] = std::make_unique<ObjectIngestState>(type_, x);
+  }
+  return *objects_[x];
+}
+
+void IncrementalCertifier::Ingest(const Action& a) {
+  uint64_t pos = pos_++;
+  switch (a.kind) {
+    case ActionKind::kRequestCommit:
+      if (type_.IsAccess(a.tx)) {
+        TxName tx = a.tx;
+        Value v = a.value;
+        tracker_.Watch(tx, [this, pos, tx, v] { ActivateOp(pos, tx, v); });
+      }
+      break;
+    case ActionKind::kReportCommit:
+    case ActionKind::kReportAbort:
+      ScopeEvent(type_.parent(a.tx), /*is_report=*/true, a.tx);
+      break;
+    case ActionKind::kRequestCreate:
+      ScopeEvent(type_.parent(a.tx), /*is_report=*/false, a.tx);
+      break;
+    case ActionKind::kCommit:
+      tracker_.OnCommit(a.tx);
+      break;
+    case ActionKind::kAbort:
+      tracker_.OnAbort(a.tx);
+      break;
+    default:
+      break;  // CREATE and INFORM_* never affect the verdict.
+  }
+  NoteVerdict();
+}
+
+void IncrementalCertifier::IngestTrace(const Trace& beta) {
+  for (const Action& a : beta) Ingest(a);
+}
+
+void IncrementalCertifier::ActivateOp(uint64_t pos, TxName tx,
+                                      const Value& v) {
+  ObjectIngestState& state = ObjectState(type_.ObjectOf(tx));
+  bool was_legal = state.legal();
+  std::vector<std::pair<TxName, TxName>> pairs;
+  state.InsertVisibleOp(pos, tx, v, mode_, &pairs);
+  if (was_legal != state.legal()) {
+    illegal_objects_ += was_legal ? 1 : -1;
+  }
+  for (const auto& [earlier, later] : pairs) {
+    TxName lca = type_.Lca(earlier, later);
+    // Accesses are leaves, so distinct accesses are never related by
+    // ancestry; the lca is a proper ancestor of both.
+    TxName from = type_.ChildToward(lca, earlier);
+    TxName to = type_.ChildToward(lca, later);
+    if (from == to) continue;
+    if (conflict_edges_.insert(SiblingEdge{lca, from, to}).second) {
+      AddGraphEdge(from, to);
+    }
+  }
+}
+
+void IncrementalCertifier::ScopeEvent(TxName parent, bool is_report,
+                                      TxName child) {
+  ParentScope& scope = scopes_[parent];
+  if (!scope.registered) {
+    scope.registered = true;
+    // May fire synchronously (e.g. parent == T0); ParentScope references
+    // stay valid across inserts into the node-based map.
+    tracker_.Watch(parent, [this, parent] { ActivateScope(parent); });
+  }
+  if (!scope.visible) {
+    scope.buffer.emplace_back(is_report, child);
+    return;
+  }
+  if (is_report) {
+    scope.reported.push_back(child);
+  } else {
+    for (TxName earlier : scope.reported) {
+      EmitPrecedes(parent, earlier, child);
+    }
+  }
+}
+
+void IncrementalCertifier::ActivateScope(TxName parent) {
+  ParentScope& scope = scopes_[parent];
+  scope.visible = true;
+  for (const auto& [is_report, child] : scope.buffer) {
+    if (is_report) {
+      scope.reported.push_back(child);
+    } else {
+      for (TxName earlier : scope.reported) {
+        EmitPrecedes(parent, earlier, child);
+      }
+    }
+  }
+  scope.buffer.clear();
+}
+
+void IncrementalCertifier::EmitPrecedes(TxName parent, TxName from,
+                                        TxName to) {
+  if (from == to) return;
+  if (precedes_edges_.insert(SiblingEdge{parent, from, to}).second) {
+    AddGraphEdge(from, to);
+  }
+}
+
+void IncrementalCertifier::AddGraphEdge(TxName from, TxName to) {
+  if (!graph_.AddEdge(from, to)) acyclic_ = false;
+}
+
+void IncrementalCertifier::NoteVerdict() {
+  if (!first_rejection_pos_.has_value() && !verdict().ok()) {
+    first_rejection_pos_ = pos_ - 1;
+  }
+}
+
+}  // namespace ntsg

@@ -1,0 +1,189 @@
+#ifndef NTSG_SG_INCREMENTAL_CERTIFIER_H_
+#define NTSG_SG_INCREMENTAL_CERTIFIER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "sg/conflicts.h"
+#include "sg/fast_graph.h"
+#include "spec/serial_spec.h"
+#include "tx/trace.h"
+
+namespace ntsg {
+
+/// Activates items when their subject transaction becomes visible to T0 —
+/// i.e. when every ancestor strictly below T0 (the subject included) has
+/// committed. Visibility is monotone over trace prefixes: once a subject is
+/// visible it stays visible, so each watched item fires at most once.
+///
+/// A watched subject waits on its *lowest uncommitted ancestor*; each COMMIT
+/// re-resolves exactly the items parked on the committing name, so the
+/// amortized cost per item is O(depth) pointer walks per ancestor commit.
+class VisibilityTracker {
+ public:
+  explicit VisibilityTracker(const SystemType& type) : type_(type) {}
+
+  /// Registers `on_visible` to fire when `subject` is visible to T0.
+  /// Fires synchronously if it already is; drops the item silently if an
+  /// ancestor has aborted (the subject can never become visible).
+  void Watch(TxName subject, std::function<void()> on_visible);
+
+  /// Records COMMIT(t) / ABORT(t) and fires newly visible watchers.
+  void OnCommit(TxName t);
+  void OnAbort(TxName t);
+
+  bool IsCommitted(TxName t) const { return Flag(committed_, t); }
+  bool IsAborted(TxName t) const { return Flag(aborted_, t); }
+
+ private:
+  struct Pending {
+    TxName subject;
+    std::function<void()> fire;
+  };
+
+  /// Lowest uncommitted ancestor of `subject` below T0 (kInvalidTx when
+  /// visible now). Sets `*dead` when an ancestor has aborted.
+  TxName BlockerOf(TxName subject, bool* dead) const;
+
+  static bool Flag(const std::vector<uint8_t>& v, TxName t) {
+    return t < v.size() && v[t] != 0;
+  }
+  static void SetFlag(std::vector<uint8_t>* v, TxName t) {
+    if (t >= v->size()) v->resize(t + 1, 0);
+    (*v)[t] = 1;
+  }
+
+  const SystemType& type_;
+  std::vector<uint8_t> committed_;
+  std::vector<uint8_t> aborted_;
+  std::unordered_map<TxName, std::vector<Pending>> waiters_;
+};
+
+/// Per-object slice of the online certifier: the visible operation sequence
+/// ordered by trace position, its legality under the object's serial
+/// specification (= the appropriate-return-values condition of Theorem
+/// 8/19), and conflict discovery against previously visible operations.
+///
+/// Operations normally arrive in position order (appended as commits make
+/// them visible), which extends the replay state in O(1); a commit deep in
+/// the tree can retroactively reveal an *earlier* operation, in which case
+/// the replay is redone from scratch for this object only.
+class ObjectIngestState {
+ public:
+  ObjectIngestState(const SystemType& type, ObjectId x);
+
+  /// Inserts the newly visible operation (REQUEST_COMMIT of access `tx`
+  /// returning `v` at trace position `pos`) and appends to `conflict_pairs`
+  /// every ordered access pair (earlier, later) in which the new operation
+  /// conflicts with an already visible one under `mode`.
+  void InsertVisibleOp(uint64_t pos, TxName tx, const Value& v,
+                       ConflictMode mode,
+                       std::vector<std::pair<TxName, TxName>>* conflict_pairs);
+
+  /// True iff the visible operation sequence replays against the serial
+  /// spec (every recorded return value matches).
+  bool legal() const { return legal_; }
+
+  size_t op_count() const { return ops_.size(); }
+
+ private:
+  /// Full replay after an out-of-order insertion (or to re-judge a sequence
+  /// that was illegal before the insertion).
+  void Recompute();
+
+  const SystemType& type_;
+  const ObjectId x_;
+  std::map<uint64_t, Operation> ops_;
+  std::unique_ptr<SerialSpec> replay_;
+  bool legal_ = true;
+};
+
+/// The certifier's running answer for the prefix ingested so far.
+struct IncrementalVerdict {
+  bool appropriate = true;
+  bool acyclic = true;
+
+  bool ok() const { return appropriate && acyclic; }
+};
+
+/// Online form of Theorem 8/19: consumes a behavior action by action and
+/// maintains the batch certifier's verdict for the current prefix —
+/// prefix-consistent with CertifySeriallyCorrect by construction (and
+/// property-tested in tests/incremental_certifier_test.cc):
+///
+///   * conflict(β) edges appear when both endpoints' operations are visible
+///     to T0; visibility activations are driven by the VisibilityTracker;
+///   * precedes(β) edges appear from per-parent report/request bookkeeping
+///     once the parent is visible;
+///   * acyclicity of the union is maintained by Pearce–Kelly insertion
+///     (IncrementalTopoGraph) with early cycle rejection — edges are
+///     monotone over prefixes, so a cyclic verdict is final;
+///   * appropriate return values are maintained per object by incremental
+///     serial-spec replay.
+///
+/// INFORM actions are ignored (Theorem 17/25 strips them), so generic
+/// behaviors can be fed verbatim.
+class IncrementalCertifier {
+ public:
+  IncrementalCertifier(const SystemType& type, ConflictMode mode);
+
+  void Ingest(const Action& a);
+  void IngestTrace(const Trace& beta);
+
+  IncrementalVerdict verdict() const {
+    return IncrementalVerdict{illegal_objects_ == 0, acyclic_};
+  }
+
+  size_t conflict_edge_count() const { return conflict_edges_.size(); }
+  size_t precedes_edge_count() const { return precedes_edges_.size(); }
+  size_t actions_ingested() const { return pos_; }
+
+  /// Position of the first action whose ingestion turned the verdict
+  /// not-OK; nullopt while the prefix is certified.
+  std::optional<uint64_t> first_rejection_pos() const {
+    return first_rejection_pos_;
+  }
+
+ private:
+  /// Per-parent precedes bookkeeping. Until the parent is visible, report /
+  /// request-create events are buffered in order; afterwards reports
+  /// accumulate and every request-create emits edges from all earlier
+  /// reported siblings.
+  struct ParentScope {
+    bool registered = false;
+    bool visible = false;
+    std::vector<TxName> reported;
+    std::vector<std::pair<bool, TxName>> buffer;  // (is_report, child)
+  };
+
+  void ActivateOp(uint64_t pos, TxName tx, const Value& v);
+  void ScopeEvent(TxName parent, bool is_report, TxName child);
+  void ActivateScope(TxName parent);
+  void EmitPrecedes(TxName parent, TxName from, TxName to);
+  void AddGraphEdge(TxName from, TxName to);
+  void NoteVerdict();
+  ObjectIngestState& ObjectState(ObjectId x);
+
+  const SystemType& type_;
+  const ConflictMode mode_;
+  VisibilityTracker tracker_;
+  std::vector<std::unique_ptr<ObjectIngestState>> objects_;
+  size_t illegal_objects_ = 0;
+  std::unordered_map<TxName, ParentScope> scopes_;
+  std::set<SiblingEdge> conflict_edges_;
+  std::set<SiblingEdge> precedes_edges_;
+  IncrementalTopoGraph graph_;
+  bool acyclic_ = true;
+  uint64_t pos_ = 0;
+  std::optional<uint64_t> first_rejection_pos_;
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_SG_INCREMENTAL_CERTIFIER_H_

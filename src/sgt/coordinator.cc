@@ -1,5 +1,6 @@
 #include "sgt/coordinator.h"
 
+#include <algorithm>
 #include <optional>
 
 #include "common/logging.h"
@@ -16,143 +17,37 @@ std::optional<SgtCoordinator::Edge> SgtCoordinator::ToEdge(
   return Edge{lca, from, to, c.first, c.second};
 }
 
-bool SgtCoordinator::ReachesFrom(
-    TxName parent, TxName start, TxName target,
-    const std::map<TxName, std::vector<TxName>>* extra) const {
-  // DFS over the stored adjacency of `parent`'s component plus `extra`.
-  auto pit = adjacency_.find(parent);
-  std::set<TxName> visited;
-  std::vector<TxName> stack = {start};
-  while (!stack.empty()) {
-    TxName node = stack.back();
-    stack.pop_back();
-    if (node == target) return true;
-    if (!visited.insert(node).second) continue;
-    if (pit != adjacency_.end()) {
-      auto nit = pit->second.find(node);
-      if (nit != pit->second.end()) {
-        for (const auto& [succ, count] : nit->second) {
-          (void)count;
-          if (!visited.count(succ)) stack.push_back(succ);
-        }
-      }
-    }
-    if (extra != nullptr) {
-      auto eit = extra->find(node);
-      if (eit != extra->end()) {
-        for (TxName succ : eit->second) {
-          if (!visited.count(succ)) stack.push_back(succ);
-        }
-      }
-    }
-  }
-  return false;
-}
-
 bool SgtCoordinator::WouldRemainAcyclic(
     const std::vector<AccessConflict>& conflicts) const {
-  // Group the proposed sibling edges per parent, deduplicated (many access
-  // conflicts induce the same sibling edge). A new cycle must pass through
-  // a proposed edge, so only the touched components need a cycle test; one
-  // coloring DFS per component covers all proposed edges at once.
-  std::map<TxName, std::set<std::pair<TxName, TxName>>> proposed;
+  // Trial-insert the proposed edges not already in the graph; any rejection
+  // means the combined edge set is cyclic. Rolling the accepted trials back
+  // restores the edge set (the maintained order may differ, but any order
+  // valid for a supergraph is valid for the graph).
+  std::vector<std::pair<TxName, TxName>> added;
+  bool acyclic = true;
   for (const AccessConflict& c : conflicts) {
     std::optional<Edge> e = ToEdge(c);
-    if (e.has_value()) proposed[e->parent].insert({e->from, e->to});
-  }
-  for (const auto& [parent, pairs] : proposed) {
-    // Skip pairs the stored graph already contains: they cannot introduce a
-    // cycle that was not there before.
-    std::map<TxName, std::vector<TxName>> extra;
-    bool any_new = false;
-    auto pit = adjacency_.find(parent);
-    for (const auto& [from, to] : pairs) {
-      if (from == to) return false;
-      bool known = false;
-      if (pit != adjacency_.end()) {
-        auto nit = pit->second.find(from);
-        known = nit != pit->second.end() && nit->second.count(to) != 0;
-      }
-      if (!known) {
-        extra[from].push_back(to);
-        any_new = true;
-      }
+    if (!e.has_value()) continue;
+    if (graph_.HasEdge(e->from, e->to)) continue;
+    if (!graph_.AddEdge(e->from, e->to)) {
+      acyclic = false;
+      break;
     }
-    if (!any_new) continue;
-    if (HasCycleAt(parent, extra)) return false;
+    added.emplace_back(e->from, e->to);
   }
-  return true;
-}
-
-bool SgtCoordinator::HasCycleAt(
-    TxName parent, const std::map<TxName, std::vector<TxName>>& extra) const {
-  // Coloring DFS over stored adjacency of this component plus `extra`.
-  auto pit = adjacency_.find(parent);
-  auto successors = [&](TxName n, std::vector<TxName>& out) {
-    out.clear();
-    if (pit != adjacency_.end()) {
-      auto nit = pit->second.find(n);
-      if (nit != pit->second.end()) {
-        for (const auto& [succ, count] : nit->second) {
-          (void)count;
-          out.push_back(succ);
-        }
-      }
-    }
-    auto eit = extra.find(n);
-    if (eit != extra.end()) {
-      out.insert(out.end(), eit->second.begin(), eit->second.end());
-    }
-  };
-
-  std::set<TxName> roots;
-  for (const auto& [from, tos] : extra) {
-    roots.insert(from);
-    for (TxName t : tos) roots.insert(t);
-  }
-  std::map<TxName, int> color;
-  std::vector<TxName> succ_buf;
-  for (TxName start : roots) {
-    if (color[start] != 0) continue;
-    // Stack of (node, expanded successor list, index).
-    std::vector<std::pair<TxName, std::vector<TxName>>> stack;
-    std::vector<size_t> idx;
-    successors(start, succ_buf);
-    stack.push_back({start, succ_buf});
-    idx.push_back(0);
-    color[start] = 1;
-    while (!stack.empty()) {
-      auto& [node, succs] = stack.back();
-      size_t& i = idx.back();
-      if (i >= succs.size()) {
-        color[node] = 2;
-        stack.pop_back();
-        idx.pop_back();
-        continue;
-      }
-      TxName next = succs[i++];
-      int c = color[next];
-      if (c == 1) return true;
-      if (c == 0) {
-        color[next] = 1;
-        successors(next, succ_buf);
-        stack.push_back({next, succ_buf});
-        idx.push_back(0);
-      }
-    }
-  }
-  return false;
+  for (const auto& [from, to] : added) graph_.RemoveEdge(from, to);
+  return acyclic;
 }
 
 void SgtCoordinator::AddConflicts(
     const std::vector<AccessConflict>& conflicts) {
-  NTSG_CHECK(WouldRemainAcyclic(conflicts))
-      << "SGT coordinator asked to admit a cycle";
   for (const AccessConflict& c : conflicts) {
     std::optional<Edge> e = ToEdge(c);
     if (!e.has_value()) continue;
-    if (edges_.insert(*e).second) {
-      adjacency_[e->parent][e->from][e->to]++;
+    if (!edges_.insert(*e).second) continue;
+    if (++support_[{e->from, e->to}] == 1) {
+      NTSG_CHECK(graph_.AddEdge(e->from, e->to))
+          << "SGT coordinator asked to admit a cycle";
     }
   }
 }
@@ -161,12 +56,14 @@ void SgtCoordinator::OnAbort(TxName t) {
   for (auto it = edges_.begin(); it != edges_.end();) {
     if (type_.IsAncestor(t, it->from_access) ||
         type_.IsAncestor(t, it->to_access)) {
-      // Decrement the supporting count; drop the adjacency entry when the
-      // last supporting access pair dies.
-      auto& succs = adjacency_[it->parent][it->from];
-      auto sit = succs.find(it->to);
-      NTSG_CHECK(sit != succs.end());
-      if (--sit->second == 0) succs.erase(sit);
+      // Decrement the supporting count; drop the graph edge when the last
+      // supporting access pair dies.
+      auto sit = support_.find({it->from, it->to});
+      NTSG_CHECK(sit != support_.end());
+      if (--sit->second == 0) {
+        support_.erase(sit);
+        graph_.RemoveEdge(it->from, it->to);
+      }
       it = edges_.erase(it);
     } else {
       ++it;

@@ -4,8 +4,10 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <utility>
 #include <vector>
 
+#include "sg/fast_graph.h"
 #include "tx/system_type.h"
 
 namespace ntsg {
@@ -16,9 +18,16 @@ namespace ntsg {
 /// add, and the coordinator admits the response only if the graph stays
 /// acyclic.
 ///
+/// Certification is online: the graph lives in a Pearce–Kelly
+/// IncrementalTopoGraph whose topological order is maintained across
+/// insertions, so an admission check costs at most one bounded reordering of
+/// the affected region instead of a depth-first search over the whole
+/// component per proposal (let alone a batch rebuild).
+///
 /// Edges are tagged with the pair of access transactions that induced them,
 /// so that when a transaction aborts, the edges supported only by its
-/// descendants' (expunged) operations disappear with it.
+/// descendants' (expunged) operations disappear with it. Removal never
+/// invalidates the maintained order.
 class SgtCoordinator {
  public:
   explicit SgtCoordinator(const SystemType& type) : type_(type) {}
@@ -31,7 +40,8 @@ class SgtCoordinator {
   };
 
   /// True iff adding the sibling edges induced by `conflicts` keeps every
-  /// component acyclic. Does not modify the graph.
+  /// component acyclic. Logically const: new edges are trial-inserted into
+  /// the Pearce–Kelly order and rolled back before returning.
   bool WouldRemainAcyclic(const std::vector<AccessConflict>& conflicts) const;
 
   /// Records the edges induced by `conflicts` (callers check
@@ -63,21 +73,15 @@ class SgtCoordinator {
   /// fall under the same child (no sibling edge).
   std::optional<Edge> ToEdge(const AccessConflict& c) const;
 
-  /// True iff `target` is reachable from `start` within `parent`'s
-  /// component, following stored adjacency plus optional `extra` edges.
-  bool ReachesFrom(TxName parent, TxName start, TxName target,
-                   const std::map<TxName, std::vector<TxName>>* extra) const;
-
-  /// Cycle test over one component: stored adjacency plus `extra` edges,
-  /// starting from the endpoints of `extra`.
-  bool HasCycleAt(TxName parent,
-                  const std::map<TxName, std::vector<TxName>>& extra) const;
-
   const SystemType& type_;
   std::set<Edge> edges_;
-  /// parent -> from -> (to -> number of supporting access pairs). Kept in
-  /// sync with edges_ so queries never rebuild the graph.
-  std::map<TxName, std::map<TxName, std::map<TxName, int>>> adjacency_;
+  /// (from, to) -> number of supporting access pairs. `from` determines the
+  /// parent, so the pair identifies the sibling edge. graph_ holds exactly
+  /// the pairs with positive support.
+  std::map<std::pair<TxName, TxName>, int> support_;
+  /// Mutable for the trial insertions of WouldRemainAcyclic (rolled back
+  /// before it returns, leaving the edge set unchanged).
+  mutable IncrementalTopoGraph graph_;
 };
 
 }  // namespace ntsg

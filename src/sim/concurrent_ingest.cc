@@ -1,0 +1,212 @@
+#include "sim/concurrent_ingest.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+namespace {
+
+// splitmix64: cheap, well-mixed hash for the seeded object -> shard map.
+uint64_t Mix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ConcurrentIngestPipeline::ConcurrentIngestPipeline(
+    const SystemType& type, ConflictMode mode,
+    const ConcurrentIngestConfig& config)
+    : type_(type), mode_(mode), config_(config), tracker_(type) {
+  NTSG_CHECK(config_.num_shards > 0);
+  NTSG_CHECK(config_.num_stripes > 0);
+  NTSG_CHECK(config_.queue_capacity > 0);
+  stripes_.reserve(config_.num_stripes);
+  for (size_t i = 0; i < config_.num_stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+  shards_.resize(config_.num_shards);
+  for (size_t i = 0; i < config_.num_shards; ++i) {
+    shards_[i].queue = std::make_unique<ShardQueue>();
+  }
+  for (size_t i = 0; i < config_.num_shards; ++i) {
+    shards_[i].worker = std::thread([this, i] { WorkerLoop(i); });
+  }
+}
+
+ConcurrentIngestPipeline::~ConcurrentIngestPipeline() {
+  if (!finished_) Finish();
+}
+
+size_t ConcurrentIngestPipeline::ShardOf(ObjectId x) const {
+  return Mix64(static_cast<uint64_t>(x) ^ config_.seed) % config_.num_shards;
+}
+
+size_t ConcurrentIngestPipeline::StripeOf(TxName parent) const {
+  return static_cast<size_t>(parent) % config_.num_stripes;
+}
+
+void ConcurrentIngestPipeline::Push(size_t shard, WorkItem item) {
+  ShardQueue& q = *shards_[shard].queue;
+  std::unique_lock<std::mutex> lock(q.mu);
+  q.can_push.wait(lock,
+                  [&] { return q.items.size() < config_.queue_capacity; });
+  q.items.push_back(std::move(item));
+  q.can_pop.notify_one();
+}
+
+void ConcurrentIngestPipeline::WorkerLoop(size_t shard_index) {
+  Shard& shard = shards_[shard_index];
+  ShardQueue& q = *shard.queue;
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(q.mu);
+      q.can_pop.wait(lock, [&] { return !q.items.empty() || q.closed; });
+      if (q.items.empty()) return;  // closed and drained
+      item = std::move(q.items.front());
+      q.items.pop_front();
+      q.can_push.notify_one();
+    }
+
+    ObjectId x = type_.ObjectOf(item.tx);
+    std::unique_ptr<ObjectIngestState>& state = shard.objects[x];
+    if (state == nullptr) {
+      state = std::make_unique<ObjectIngestState>(type_, x);
+    }
+    std::vector<std::pair<TxName, TxName>> pairs;
+    state->InsertVisibleOp(item.pos, item.tx, item.value, mode_, &pairs);
+    ++shard.ops_processed;
+
+    for (const auto& [earlier, later] : pairs) {
+      TxName lca = type_.Lca(earlier, later);
+      TxName from = type_.ChildToward(lca, earlier);
+      TxName to = type_.ChildToward(lca, later);
+      if (from == to) continue;
+      InsertEdge(SiblingEdge{lca, from, to}, /*is_conflict=*/true);
+    }
+  }
+}
+
+void ConcurrentIngestPipeline::InsertEdge(const SiblingEdge& e,
+                                          bool is_conflict) {
+  Stripe& stripe = *stripes_[StripeOf(e.parent)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  std::set<SiblingEdge>& dedup =
+      is_conflict ? stripe.conflict_edges : stripe.precedes_edges;
+  if (!dedup.insert(e).second) return;
+  if (!stripe.graph.AddEdge(e.from, e.to)) {
+    acyclic_.store(false, std::memory_order_relaxed);
+  }
+}
+
+void ConcurrentIngestPipeline::Ingest(const Action& a) {
+  NTSG_CHECK(!finished_) << "Ingest after Finish";
+  uint64_t pos = pos_++;
+  switch (a.kind) {
+    case ActionKind::kRequestCommit:
+      if (type_.IsAccess(a.tx)) {
+        TxName tx = a.tx;
+        Value v = a.value;
+        tracker_.Watch(tx, [this, pos, tx, v] {
+          ++ops_routed_;
+          Push(ShardOf(type_.ObjectOf(tx)), WorkItem{pos, tx, v});
+        });
+      }
+      break;
+    case ActionKind::kReportCommit:
+    case ActionKind::kReportAbort:
+      ScopeEvent(type_.parent(a.tx), /*is_report=*/true, a.tx);
+      break;
+    case ActionKind::kRequestCreate:
+      ScopeEvent(type_.parent(a.tx), /*is_report=*/false, a.tx);
+      break;
+    case ActionKind::kCommit:
+      tracker_.OnCommit(a.tx);
+      break;
+    case ActionKind::kAbort:
+      tracker_.OnAbort(a.tx);
+      break;
+    default:
+      break;  // CREATE and INFORM_* never affect the verdict.
+  }
+}
+
+void ConcurrentIngestPipeline::ScopeEvent(TxName parent, bool is_report,
+                                          TxName child) {
+  ParentScope& scope = scopes_[parent];
+  if (!scope.registered) {
+    scope.registered = true;
+    tracker_.Watch(parent, [this, parent] { ActivateScope(parent); });
+  }
+  if (!scope.visible) {
+    scope.buffer.emplace_back(is_report, child);
+    return;
+  }
+  if (is_report) {
+    scope.reported.push_back(child);
+  } else {
+    for (TxName earlier : scope.reported) {
+      if (earlier == child) continue;
+      InsertEdge(SiblingEdge{parent, earlier, child}, /*is_conflict=*/false);
+    }
+  }
+}
+
+void ConcurrentIngestPipeline::ActivateScope(TxName parent) {
+  ParentScope& scope = scopes_[parent];
+  scope.visible = true;
+  for (const auto& [is_report, child] : scope.buffer) {
+    if (is_report) {
+      scope.reported.push_back(child);
+    } else {
+      for (TxName earlier : scope.reported) {
+        if (earlier == child) continue;
+        InsertEdge(SiblingEdge{parent, earlier, child}, /*is_conflict=*/false);
+      }
+    }
+  }
+  scope.buffer.clear();
+}
+
+ConcurrentIngestReport ConcurrentIngestPipeline::Finish() {
+  NTSG_CHECK(!finished_) << "Finish called twice";
+  finished_ = true;
+  for (Shard& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard.queue->mu);
+      shard.queue->closed = true;
+    }
+    shard.queue->can_pop.notify_all();
+  }
+  for (Shard& shard : shards_) shard.worker.join();
+
+  ConcurrentIngestReport report;
+  report.acyclic = acyclic_.load(std::memory_order_relaxed);
+  report.actions_ingested = pos_;
+  report.ops_routed = ops_routed_;
+  for (const Shard& shard : shards_) {
+    for (const auto& [x, state] : shard.objects) {
+      if (!state->legal()) report.appropriate = false;
+    }
+  }
+  for (const auto& stripe : stripes_) {
+    report.conflict_edge_count += stripe->conflict_edges.size();
+    report.precedes_edge_count += stripe->precedes_edges.size();
+  }
+  return report;
+}
+
+ConcurrentIngestReport ConcurrentIngestPipeline::Run(
+    const SystemType& type, const Trace& beta, ConflictMode mode,
+    const ConcurrentIngestConfig& config) {
+  ConcurrentIngestPipeline pipeline(type, mode, config);
+  for (const Action& a : beta) pipeline.Ingest(a);
+  return pipeline.Finish();
+}
+
+}  // namespace ntsg

@@ -1,0 +1,148 @@
+#ifndef NTSG_SIM_CONCURRENT_INGEST_H_
+#define NTSG_SIM_CONCURRENT_INGEST_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sg/incremental_certifier.h"
+#include "tx/trace.h"
+
+namespace ntsg {
+
+struct ConcurrentIngestConfig {
+  /// Worker threads; every object is pinned to one shard, so all of an
+  /// object's operations are processed by a single thread (lock-free
+  /// per-object state).
+  size_t num_shards = 4;
+  /// Mutex stripes guarding the shared serialization graph. Sibling edges
+  /// stay inside one parent's component, and a parent maps to one stripe,
+  /// so concurrent insertions into different stripes never touch the same
+  /// component.
+  size_t num_stripes = 16;
+  /// Permutes the object -> shard assignment. The final verdict is
+  /// independent of the seed and of thread scheduling (edge sets and
+  /// per-object legality are order-independent); the seed varies the
+  /// interleavings a stress run explores.
+  uint64_t seed = 1;
+  /// Bound on queued operations per shard (producer backpressure).
+  size_t queue_capacity = 4096;
+};
+
+struct ConcurrentIngestReport {
+  bool appropriate = true;
+  bool acyclic = true;
+  size_t conflict_edge_count = 0;
+  size_t precedes_edge_count = 0;
+  size_t actions_ingested = 0;
+  size_t ops_routed = 0;
+
+  bool ok() const { return appropriate && acyclic; }
+};
+
+/// Concurrent front end for the online certifier: a sequential router
+/// (the Ingest caller) performs the inherently ordered work — commit/abort
+/// bookkeeping, visibility activation, precedes scoping — and fans the
+/// expensive per-object work (conflict discovery, serial-spec replay) out to
+/// sharded worker threads over bounded queues. Discovered sibling edges are
+/// inserted into per-stripe Pearce–Kelly graphs under a striped mutex
+/// scheme.
+///
+/// The verdict over a full behavior equals CertifySeriallyCorrect's two
+/// conditions on it, deterministically: per-object operation order is fixed
+/// by the router (one shard per object, FIFO queues), and acyclicity of the
+/// final edge set does not depend on insertion interleaving.
+class ConcurrentIngestPipeline {
+ public:
+  ConcurrentIngestPipeline(const SystemType& type, ConflictMode mode,
+                           const ConcurrentIngestConfig& config);
+
+  /// Joins workers if Finish was never called.
+  ~ConcurrentIngestPipeline();
+
+  /// Feeds the next action, in trace order. Must not be called after
+  /// Finish.
+  void Ingest(const Action& a);
+
+  /// Drains the queues, joins the workers, and aggregates the verdict.
+  ConcurrentIngestReport Finish();
+
+  /// Convenience: pipe `beta` through a fresh pipeline.
+  static ConcurrentIngestReport Run(const SystemType& type, const Trace& beta,
+                                    ConflictMode mode,
+                                    const ConcurrentIngestConfig& config);
+
+ private:
+  struct WorkItem {
+    uint64_t pos;
+    TxName tx;
+    Value value;
+  };
+
+  /// Bounded MPSC queue feeding one shard worker.
+  struct ShardQueue {
+    std::mutex mu;
+    std::condition_variable can_push;
+    std::condition_variable can_pop;
+    std::deque<WorkItem> items;
+    bool closed = false;
+  };
+
+  /// One stripe of the shared graph: components whose parent hashes here.
+  struct Stripe {
+    std::mutex mu;
+    IncrementalTopoGraph graph;
+    std::set<SiblingEdge> conflict_edges;
+    std::set<SiblingEdge> precedes_edges;
+  };
+
+  struct Shard {
+    std::unique_ptr<ShardQueue> queue;
+    std::thread worker;
+    /// Owned by the worker thread (and read after join in Finish).
+    std::unordered_map<ObjectId, std::unique_ptr<ObjectIngestState>> objects;
+    size_t ops_processed = 0;
+  };
+
+  size_t ShardOf(ObjectId x) const;
+  size_t StripeOf(TxName parent) const;
+  void Push(size_t shard, WorkItem item);
+  void WorkerLoop(size_t shard_index);
+  /// Inserts a sibling edge into its stripe; kind selects the dedup set.
+  void InsertEdge(const SiblingEdge& e, bool is_conflict);
+  void ScopeEvent(TxName parent, bool is_report, TxName child);
+  void ActivateScope(TxName parent);
+
+  const SystemType& type_;
+  const ConflictMode mode_;
+  const ConcurrentIngestConfig config_;
+
+  // Router state (touched only by the Ingest caller).
+  VisibilityTracker tracker_;
+  struct ParentScope {
+    bool registered = false;
+    bool visible = false;
+    std::vector<TxName> reported;
+    std::vector<std::pair<bool, TxName>> buffer;
+  };
+  std::unordered_map<TxName, ParentScope> scopes_;
+  uint64_t pos_ = 0;
+  size_t ops_routed_ = 0;
+  bool finished_ = false;
+
+  // Shared state.
+  std::vector<Shard> shards_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::atomic<bool> acyclic_{true};
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_SIM_CONCURRENT_INGEST_H_

@@ -1,0 +1,143 @@
+// Concurrent ingest pipeline tests: the sharded pipeline must agree with
+// the single-threaded IncrementalCertifier (and hence with batch
+// certification) regardless of shard count, stripe count, or routing seed —
+// and the stress test below is the workload the ThreadSanitizer CI
+// configuration runs to prove the locking discipline sound.
+
+#include <gtest/gtest.h>
+
+#include "sg/certifier.h"
+#include "sg/incremental_certifier.h"
+#include "sim/concurrent_ingest.h"
+#include "sim/driver.h"
+
+namespace ntsg {
+namespace {
+
+QuickRunResult MakeRun(uint64_t seed, size_t toplevel, Backend backend) {
+  QuickRunParams params;
+  params.config.backend = backend;
+  params.config.seed = seed;
+  params.num_objects = 6;
+  params.num_toplevel = toplevel;
+  params.gen.depth = 2;
+  params.gen.fanout = 3;
+  params.gen.read_prob = 0.5;
+  return QuickRun(params);
+}
+
+void ExpectAgreesWithIncremental(const SystemType& type, const Trace& beta,
+                                 ConflictMode mode,
+                                 const ConcurrentIngestConfig& config) {
+  IncrementalCertifier cert(type, mode);
+  cert.IngestTrace(beta);
+  ConcurrentIngestReport report =
+      ConcurrentIngestPipeline::Run(type, beta, mode, config);
+  EXPECT_EQ(report.appropriate, cert.verdict().appropriate);
+  EXPECT_EQ(report.acyclic, cert.verdict().acyclic);
+  EXPECT_EQ(report.conflict_edge_count, cert.conflict_edge_count());
+  EXPECT_EQ(report.precedes_edge_count, cert.precedes_edge_count());
+  EXPECT_EQ(report.actions_ingested, beta.size());
+}
+
+TEST(ConcurrentIngestTest, AgreesAcrossShardAndStripeCounts) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    QuickRunResult run = MakeRun(seed, 4, Backend::kMoss);
+    ASSERT_TRUE(run.sim.stats.completed);
+    for (size_t shards : {1u, 2u, 4u}) {
+      for (size_t stripes : {1u, 16u}) {
+        ConcurrentIngestConfig config;
+        config.num_shards = shards;
+        config.num_stripes = stripes;
+        config.seed = seed;
+        ExpectAgreesWithIncremental(*run.type, run.sim.trace,
+                                    ConflictMode::kReadWrite, config);
+      }
+    }
+  }
+}
+
+TEST(ConcurrentIngestTest, VerdictIndependentOfRoutingSeed) {
+  QuickRunResult run = MakeRun(7, 6, Backend::kMoss);
+  ConcurrentIngestReport baseline;
+  for (uint64_t routing_seed = 1; routing_seed <= 5; ++routing_seed) {
+    ConcurrentIngestConfig config;
+    config.num_shards = 3;
+    config.seed = routing_seed;
+    ConcurrentIngestReport report = ConcurrentIngestPipeline::Run(
+        *run.type, run.sim.trace, ConflictMode::kReadWrite, config);
+    if (routing_seed == 1) {
+      baseline = report;
+      continue;
+    }
+    EXPECT_EQ(report.appropriate, baseline.appropriate);
+    EXPECT_EQ(report.acyclic, baseline.acyclic);
+    EXPECT_EQ(report.conflict_edge_count, baseline.conflict_edge_count);
+    EXPECT_EQ(report.precedes_edge_count, baseline.precedes_edge_count);
+    EXPECT_EQ(report.ops_routed, baseline.ops_routed);
+  }
+}
+
+TEST(ConcurrentIngestTest, RejectsBrokenSchedulerLikeBatch) {
+  size_t rejected = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    QuickRunResult run = MakeRun(seed, 4, Backend::kDirtyReadMoss);
+    ConcurrentIngestConfig config;
+    config.num_shards = 4;
+    ConcurrentIngestReport report = ConcurrentIngestPipeline::Run(
+        *run.type, run.sim.trace, ConflictMode::kReadWrite, config);
+    CertifierReport batch = CertifySeriallyCorrect(
+        *run.type, run.sim.trace, ConflictMode::kReadWrite);
+    EXPECT_EQ(report.ok(), batch.status.ok()) << "seed " << seed;
+    if (!report.ok()) ++rejected;
+  }
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(ConcurrentIngestTest, BackpressureWithTinyQueues) {
+  QuickRunResult run = MakeRun(11, 4, Backend::kMoss);
+  ConcurrentIngestConfig config;
+  config.num_shards = 2;
+  config.queue_capacity = 1;  // Every push waits for the consumer.
+  ExpectAgreesWithIncremental(*run.type, run.sim.trace,
+                              ConflictMode::kReadWrite, config);
+}
+
+// The TSan workhorse: a larger trace, maximum thread churn, both modes.
+// Must run data-race-free under -DNTSG_SANITIZE=thread.
+TEST(ConcurrentIngestTest, StressManyShardsManyIterations) {
+  QuickRunResult run = MakeRun(13, 10, Backend::kMoss);
+  ASSERT_TRUE(run.sim.stats.completed);
+  for (uint64_t iter = 0; iter < 6; ++iter) {
+    for (ConflictMode mode :
+         {ConflictMode::kReadWrite, ConflictMode::kCommutativity}) {
+      ConcurrentIngestConfig config;
+      config.num_shards = 4;
+      config.num_stripes = 8;
+      config.seed = iter + 1;
+      config.queue_capacity = 8;
+      ConcurrentIngestReport report = ConcurrentIngestPipeline::Run(
+          *run.type, run.sim.trace, mode, config);
+      IncrementalCertifier cert(*run.type, mode);
+      cert.IngestTrace(run.sim.trace);
+      ASSERT_EQ(report.ok(), cert.verdict().ok());
+      ASSERT_EQ(report.conflict_edge_count, cert.conflict_edge_count());
+      ASSERT_EQ(report.precedes_edge_count, cert.precedes_edge_count());
+    }
+  }
+}
+
+TEST(ConcurrentIngestTest, DestructorJoinsWithoutFinish) {
+  QuickRunResult run = MakeRun(17, 3, Backend::kMoss);
+  ConcurrentIngestConfig config;
+  config.num_shards = 2;
+  {
+    ConcurrentIngestPipeline pipeline(*run.type, ConflictMode::kReadWrite,
+                                      config);
+    for (const Action& a : run.sim.trace) pipeline.Ingest(a);
+    // No Finish: the destructor must close the queues and join cleanly.
+  }
+}
+
+}  // namespace
+}  // namespace ntsg

@@ -3,7 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <utility>
+#include <vector>
+
 #include "checker/witness.h"
+#include "common/rng.h"
 #include "sg/fast_graph.h"
 #include "sg/graph.h"
 #include "sim/driver.h"
@@ -153,6 +158,103 @@ TEST(FastGraphTest, TimelineCycleThroughConflictEdge) {
   // with committed accesses; emulate it by checking the pure-graph level.
   // (The realizable contradiction cases are covered by the simulated-run
   // equivalence test above.)
+}
+
+TEST(IncrementalTopoGraphTest, AcceptsDagRejectsCycle) {
+  IncrementalTopoGraph g;
+  EXPECT_TRUE(g.AddEdge(1, 2));
+  EXPECT_TRUE(g.AddEdge(2, 3));
+  EXPECT_TRUE(g.AddEdge(1, 3));
+  EXPECT_EQ(g.edge_count(), 3u);
+  // Closing the cycle 3 -> 1 must fail and leave the graph unchanged.
+  EXPECT_FALSE(g.AddEdge(3, 1));
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_FALSE(g.HasEdge(3, 1));
+  // The failed insertion must not have corrupted the order: a legal edge
+  // still inserts fine.
+  EXPECT_TRUE(g.AddEdge(3, 4));
+  EXPECT_FALSE(g.AddEdge(4, 1));
+}
+
+TEST(IncrementalTopoGraphTest, SelfLoopAndDuplicates) {
+  IncrementalTopoGraph g;
+  EXPECT_FALSE(g.AddEdge(5, 5));
+  EXPECT_TRUE(g.AddEdge(5, 6));
+  EXPECT_TRUE(g.AddEdge(5, 6));  // Duplicate: accepted, not double counted.
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(IncrementalTopoGraphTest, MaintainsTopologicalOrder) {
+  // Insert edges against discovery order so that Pearce–Kelly has to
+  // reorder: nodes are discovered 1..6 but constrained 6 -> 5 -> ... -> 1.
+  IncrementalTopoGraph g;
+  for (TxName t = 1; t <= 6; ++t) g.AddEdge(t, 100 + t);  // discover 1..6
+  for (TxName t = 6; t >= 2; --t) EXPECT_TRUE(g.AddEdge(t, t - 1));
+  for (TxName t = 6; t >= 2; --t) {
+    ASSERT_TRUE(g.OrdOf(t).has_value());
+    EXPECT_LT(*g.OrdOf(t), *g.OrdOf(t - 1)) << "t=" << t;
+  }
+  // And the chain direction is now locked in.
+  EXPECT_FALSE(g.AddEdge(1, 6));
+}
+
+TEST(IncrementalTopoGraphTest, RemoveEdgeReopensPath) {
+  IncrementalTopoGraph g;
+  EXPECT_TRUE(g.AddEdge(1, 2));
+  EXPECT_TRUE(g.AddEdge(2, 3));
+  EXPECT_FALSE(g.AddEdge(3, 1));
+  g.RemoveEdge(2, 3);
+  EXPECT_FALSE(g.HasEdge(2, 3));
+  // With the path broken, the former back edge is legal.
+  EXPECT_TRUE(g.AddEdge(3, 1));
+  // Removal is idempotent.
+  g.RemoveEdge(2, 3);
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(IncrementalTopoGraphTest, RandomizedAgainstDfsCycleCheck) {
+  // Insert random edges; at every step the PK verdict must match a
+  // from-scratch DFS reachability check on the accepted edge set.
+  Rng rng(2024);
+  constexpr TxName kNodes = 24;
+  IncrementalTopoGraph g;
+  std::set<std::pair<TxName, TxName>> accepted;
+  auto reaches = [&](TxName from, TxName to) {
+    std::vector<TxName> stack{from};
+    std::set<TxName> seen;
+    while (!stack.empty()) {
+      TxName u = stack.back();
+      stack.pop_back();
+      if (u == to) return true;
+      if (!seen.insert(u).second) continue;
+      for (const auto& [a, b] : accepted) {
+        if (a == u) stack.push_back(b);
+      }
+    }
+    return false;
+  };
+  for (int step = 0; step < 600; ++step) {
+    TxName from = 1 + rng.NextU64() % kNodes;
+    TxName to = 1 + rng.NextU64() % kNodes;
+    bool would_cycle = from == to || reaches(to, from);
+    bool ok = g.AddEdge(from, to);
+    ASSERT_EQ(ok, !would_cycle)
+        << "step " << step << ": " << from << " -> " << to;
+    if (ok) accepted.insert({from, to});
+    ASSERT_EQ(g.edge_count(), accepted.size());
+    // Occasionally remove a random accepted edge.
+    if (!accepted.empty() && rng.NextU64() % 4 == 0) {
+      auto it = accepted.begin();
+      std::advance(it, rng.NextU64() % accepted.size());
+      g.RemoveEdge(it->first, it->second);
+      accepted.erase(it);
+    }
+  }
+  // Final sanity: maintained order is consistent with every accepted edge.
+  for (const auto& [a, b] : accepted) {
+    ASSERT_TRUE(g.OrdOf(a).has_value() && g.OrdOf(b).has_value());
+    EXPECT_LT(*g.OrdOf(a), *g.OrdOf(b));
+  }
 }
 
 TEST(FastWitnessTest, AgreesWithSlowCheckerOnSimulatedRuns) {

@@ -3,6 +3,11 @@
 //   ntsg run   [options]          run one simulation, audit it, optionally
 //                                 save the behavior
 //   ntsg audit <trace-file>       audit a previously saved behavior
+//   ntsg certify <trace-file>     certify a saved behavior (Theorem 8/19);
+//                                 --online streams it through the
+//                                 incremental certifier and reports the
+//                                 first rejected action, --shards N runs
+//                                 the concurrent ingest pipeline
 //   ntsg sweep [options]          run many seeds, print aggregate stats
 //
 // Common options (defaults in brackets):
@@ -23,6 +28,8 @@
 //   --seeds N         sweep only: number of seeds                  [20]
 //   --abort-prob P    spontaneous abort probability per step       [0]
 //   --innermost       fine-grained stall aborts (default: top-level)
+//   --online          certify only: stream through IncrementalCertifier
+//   --shards N        certify only: also run the concurrent pipeline   [0]
 //   --save FILE       run only: save the behavior (trace format)
 //   --dot FILE        run only: dump the serialization graph (Graphviz)
 //   --quiet           suppress the per-event trace dump
@@ -38,6 +45,8 @@
 #include "sg/certifier.h"
 #include "sg/fast_graph.h"
 #include "sg/graph.h"
+#include "sg/incremental_certifier.h"
+#include "sim/concurrent_ingest.h"
 #include "sim/driver.h"
 #include "sim/trace_stats.h"
 #include "tx/trace_checks.h"
@@ -48,7 +57,9 @@ namespace {
 
 struct CliOptions {
   std::string command;
-  std::string trace_file;  // audit operand.
+  std::string trace_file;  // audit / certify operand.
+  bool online = false;
+  size_t shards = 0;
   Backend backend = Backend::kMoss;
   size_t objects = 4;
   ObjectType object_type = ObjectType::kReadWrite;
@@ -94,8 +105,8 @@ bool ParseType(const std::string& name, ObjectType* out) {
 }
 
 int Usage() {
-  std::cerr << "usage: ntsg run|audit|sweep [options]  (see tools/ntsg_cli.cpp "
-               "header for the full list)\n";
+  std::cerr << "usage: ntsg run|audit|certify|sweep [options]  (see "
+               "tools/ntsg_cli.cpp header for the full list)\n";
   return 2;
 }
 
@@ -103,7 +114,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
   if (argc < 2) return false;
   opt->command = argv[1];
   int i = 2;
-  if (opt->command == "audit") {
+  if (opt->command == "audit" || opt->command == "certify") {
     if (argc < 3) return false;
     opt->trace_file = argv[2];
     i = 3;
@@ -161,6 +172,11 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
       opt->abort_prob = std::atof(v);
     } else if (a == "--innermost") {
       opt->innermost = true;
+    } else if (a == "--online") {
+      opt->online = true;
+    } else if (a == "--shards") {
+      if (!(v = need(a.c_str()))) return false;
+      opt->shards = std::strtoull(v, nullptr, 10);
     } else if (a == "--save") {
       if (!(v = need(a.c_str()))) return false;
       opt->save_file = v;
@@ -175,7 +191,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
     }
   }
   return opt->command == "run" || opt->command == "audit" ||
-         opt->command == "sweep";
+         opt->command == "certify" || opt->command == "sweep";
 }
 
 struct RunOutput {
@@ -291,6 +307,58 @@ int CmdAudit(const CliOptions& opt) {
   return Audit(opt, type, beta, orders);
 }
 
+int CmdCertify(const CliOptions& opt) {
+  SystemType type;
+  Trace beta;
+  SiblingOrders orders;
+  Status st = ReadTraceFile(opt.trace_file, &type, &beta, &orders);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 2;
+  }
+  ConflictMode mode = ModeFor(type);
+  std::cout << "loaded " << opt.trace_file << " (" << beta.size()
+            << " events)\n";
+
+  CertifierReport batch = CertifySeriallyCorrect(type, beta, mode);
+  std::cout << "batch:       " << batch.status.ToString() << "\n";
+
+  bool agree = true;
+  if (opt.online) {
+    IncrementalCertifier cert(type, mode);
+    cert.IngestTrace(beta);
+    IncrementalVerdict v = cert.verdict();
+    std::cout << "incremental: "
+              << (v.ok() ? "ok"
+                         : (!v.appropriate ? "INAPPROPRIATE RETURN VALUES"
+                                           : "SG CYCLE"))
+              << " (" << cert.conflict_edge_count() << " conflict + "
+              << cert.precedes_edge_count() << " precedes edges)\n";
+    if (cert.first_rejection_pos().has_value()) {
+      std::cout << "first rejected at action "
+                << *cert.first_rejection_pos() << " of " << beta.size()
+                << "\n";
+    }
+    agree = agree && v.ok() == batch.status.ok();
+  }
+  if (opt.shards > 0) {
+    ConcurrentIngestConfig config;
+    config.num_shards = opt.shards;
+    config.seed = opt.seed;
+    ConcurrentIngestReport report =
+        ConcurrentIngestPipeline::Run(type, beta, mode, config);
+    std::cout << "concurrent:  " << (report.ok() ? "ok" : "REJECTED") << " ("
+              << opt.shards << " shards, " << report.ops_routed
+              << " ops routed)\n";
+    agree = agree && report.ok() == batch.status.ok();
+  }
+  if (!agree) {
+    std::cout << "DISAGREEMENT between certifiers\n";
+    return 3;
+  }
+  return batch.status.ok() ? 0 : 1;
+}
+
 int CmdSweep(const CliOptions& opt) {
   double committed = 0, aborted = 0, stall = 0, steps = 0, verified = 0;
   size_t runs = 0;
@@ -330,5 +398,6 @@ int main(int argc, char** argv) {
   if (!ntsg::ParseArgs(argc, argv, &opt)) return ntsg::Usage();
   if (opt.command == "run") return ntsg::CmdRun(opt);
   if (opt.command == "audit") return ntsg::CmdAudit(opt);
+  if (opt.command == "certify") return ntsg::CmdCertify(opt);
   return ntsg::CmdSweep(opt);
 }
