@@ -1,0 +1,49 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ntsg {
+
+std::string FaultStats::ToString() const {
+  std::ostringstream out;
+  out << "crashes=" << crashes << " restarts=" << restarts << " (attempts="
+      << restart_attempts << ", failures=" << restart_failures
+      << ") delays=" << delays << " duplicates=" << duplicates
+      << " reorders=" << reorders << " snapshots=" << snapshots
+      << " replayed=" << items_replayed << " injected_aborts="
+      << injected_aborts << " spurious_rejects=" << spurious_rejects;
+  return out.str();
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan,
+                             std::initializer_list<FaultKind> kinds) {
+  for (const FaultEvent& e : plan.events) {
+    if (std::find(kinds.begin(), kinds.end(), e.kind) == kinds.end()) {
+      continue;
+    }
+    if (e.kind == FaultKind::kRestartFail) {
+      ++restart_fails_[e.target];
+    } else {
+      events_.push_back(e);  // Plan events are already sorted by `at`.
+    }
+  }
+}
+
+bool FaultInjector::Poll(uint64_t tick, std::vector<FaultEvent>* fired) {
+  bool any = false;
+  while (next_ < events_.size() && events_[next_].at <= tick) {
+    fired->push_back(events_[next_++]);
+    any = true;
+  }
+  return any;
+}
+
+bool FaultInjector::TakeRestartFail(uint64_t target) {
+  auto it = restart_fails_.find(target);
+  if (it == restart_fails_.end() || it->second == 0) return false;
+  --it->second;
+  return true;
+}
+
+}  // namespace ntsg

@@ -1,0 +1,24 @@
+#include "sg/fingerprint.h"
+
+#include <algorithm>
+
+namespace ntsg {
+
+uint64_t FingerprintSerializationGraph(
+    std::vector<SiblingEdge> conflict_edges,
+    std::vector<SiblingEdge> precedes_edges) {
+  std::sort(conflict_edges.begin(), conflict_edges.end());
+  conflict_edges.erase(
+      std::unique(conflict_edges.begin(), conflict_edges.end()),
+      conflict_edges.end());
+  std::sort(precedes_edges.begin(), precedes_edges.end());
+  precedes_edges.erase(
+      std::unique(precedes_edges.begin(), precedes_edges.end()),
+      precedes_edges.end());
+  GraphFingerprinter fp;
+  for (const SiblingEdge& e : conflict_edges) fp.AddConflict(e);
+  for (const SiblingEdge& e : precedes_edges) fp.AddPrecedes(e);
+  return fp.Finish();
+}
+
+}  // namespace ntsg

@@ -3,14 +3,24 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "sg/fingerprint.h"
 
 namespace ntsg {
+
+namespace {
+
+/// Tracker tags: plain positions address pending operations; the high bit
+/// marks a parent-scope activation (positions and names both stay far below
+/// 2^63).
+constexpr uint64_t kScopeTagBit = 1ull << 63;
+
+}  // namespace
 
 // --- VisibilityTracker ------------------------------------------------------
 
 TxName VisibilityTracker::BlockerOf(TxName subject, bool* dead) const {
   *dead = false;
-  for (TxName u = subject; u != kT0; u = type_.parent(u)) {
+  for (TxName u = subject; u != kT0; u = type_->parent(u)) {
     if (Flag(aborted_, u)) {
       *dead = true;
       return kInvalidTx;
@@ -20,53 +30,89 @@ TxName VisibilityTracker::BlockerOf(TxName subject, bool* dead) const {
   return kInvalidTx;
 }
 
-void VisibilityTracker::Watch(TxName subject, std::function<void()> on_visible) {
+VisibilityTracker::WatchResult VisibilityTracker::Watch(TxName subject,
+                                                        uint64_t tag) {
   bool dead = false;
   TxName blocker = BlockerOf(subject, &dead);
-  if (dead) return;
-  if (blocker == kInvalidTx) {
-    on_visible();
-    return;
-  }
-  waiters_[blocker].push_back(Pending{subject, std::move(on_visible)});
+  if (dead) return WatchResult::kDead;
+  if (blocker == kInvalidTx) return WatchResult::kVisible;
+  waiters_[blocker].push_back(Item{subject, tag});
+  return WatchResult::kParked;
 }
 
-void VisibilityTracker::OnCommit(TxName t) {
+void VisibilityTracker::OnCommit(TxName t, std::vector<Item>* fired,
+                                 std::vector<Item>* dropped) {
   SetFlag(&committed_, t);
   auto it = waiters_.find(t);
   if (it == waiters_.end()) return;
-  std::vector<Pending> parked = std::move(it->second);
+  std::vector<Item> parked = std::move(it->second);
   waiters_.erase(it);
-  for (Pending& p : parked) {
+  for (Item& item : parked) {
     bool dead = false;
-    TxName blocker = BlockerOf(p.subject, &dead);
-    if (dead) continue;
+    TxName blocker = BlockerOf(item.subject, &dead);
+    if (dead) {
+      if (dropped != nullptr) dropped->push_back(item);
+      continue;
+    }
     if (blocker == kInvalidTx) {
-      p.fire();
+      fired->push_back(item);
     } else {
-      waiters_[blocker].push_back(std::move(p));
+      waiters_[blocker].push_back(item);
     }
   }
 }
 
-void VisibilityTracker::OnAbort(TxName t) {
+void VisibilityTracker::OnAbort(TxName t, std::vector<Item>* dropped) {
   SetFlag(&aborted_, t);
   // Items parked on t waited for COMMIT(t), which can no longer happen.
-  waiters_.erase(t);
+  auto it = waiters_.find(t);
+  if (it == waiters_.end()) return;
+  if (dropped != nullptr) {
+    dropped->insert(dropped->end(), it->second.begin(), it->second.end());
+  }
+  waiters_.erase(it);
 }
 
 // --- ObjectIngestState ------------------------------------------------------
 
 ObjectIngestState::ObjectIngestState(const SystemType& type, ObjectId x)
-    : type_(type),
+    : type_(&type),
       x_(x),
       replay_(MakeSpec(type.object_type(x), type.object_initial(x))) {}
+
+ObjectIngestState::ObjectIngestState(const ObjectIngestState& other)
+    : type_(other.type_),
+      x_(other.x_),
+      ops_(other.ops_),
+      replay_(other.replay_->Clone()),
+      legal_(other.legal_) {}
+
+ObjectIngestState& ObjectIngestState::operator=(
+    const ObjectIngestState& other) {
+  if (this == &other) return *this;
+  type_ = other.type_;
+  x_ = other.x_;
+  ops_ = other.ops_;
+  replay_ = other.replay_->Clone();
+  legal_ = other.legal_;
+  return *this;
+}
 
 void ObjectIngestState::InsertVisibleOp(
     uint64_t pos, TxName tx, const Value& v, ConflictMode mode,
     std::vector<std::pair<TxName, TxName>>* conflict_pairs) {
+  auto existing = ops_.find(pos);
+  if (existing != ops_.end()) {
+    // Duplicated delivery: at-least-once transports may hand us the same
+    // operation twice. It must be byte-for-byte the same one; dropping it
+    // is what makes redelivery idempotent.
+    NTSG_CHECK(existing->second.tx == tx && existing->second.value == v)
+        << "conflicting redelivery at trace position " << pos;
+    return;
+  }
+
   for (const auto& [p, op] : ops_) {
-    if (!AccessOpsConflict(type_, mode, op.tx, op.value, tx, v)) continue;
+    if (!AccessOpsConflict(*type_, mode, op.tx, op.value, tx, v)) continue;
     if (p < pos) {
       conflict_pairs->emplace_back(op.tx, tx);
     } else {
@@ -75,10 +121,10 @@ void ObjectIngestState::InsertVisibleOp(
   }
 
   auto [it, inserted] = ops_.emplace(pos, Operation{tx, v});
-  NTSG_CHECK(inserted) << "duplicate trace position " << pos;
+  NTSG_CHECK(inserted);
   if (std::next(it) == ops_.end() && legal_) {
     // Appended at the end of the visible sequence: extend the replay.
-    const AccessSpec& acc = type_.access(tx);
+    const AccessSpec& acc = type_->access(tx);
     if (replay_->Apply(acc.op, acc.arg) != v) legal_ = false;
   } else if (std::next(it) != ops_.end()) {
     // Revealed out of order: the replay suffix is stale either way.
@@ -89,10 +135,10 @@ void ObjectIngestState::InsertVisibleOp(
 }
 
 void ObjectIngestState::Recompute() {
-  replay_ = MakeSpec(type_.object_type(x_), type_.object_initial(x_));
+  replay_ = MakeSpec(type_->object_type(x_), type_->object_initial(x_));
   legal_ = true;
   for (const auto& [p, op] : ops_) {
-    const AccessSpec& acc = type_.access(op.tx);
+    const AccessSpec& acc = type_->access(op.tx);
     if (replay_->Apply(acc.op, acc.arg) != op.value) {
       legal_ = false;
       break;
@@ -104,42 +150,111 @@ void ObjectIngestState::Recompute() {
 
 IncrementalCertifier::IncrementalCertifier(const SystemType& type,
                                            ConflictMode mode)
-    : type_(type), mode_(mode), tracker_(type) {}
+    : type_(&type), mode_(mode), tracker_(type) {}
+
+IncrementalCertifier::IncrementalCertifier(const IncrementalCertifier& other)
+    : type_(other.type_),
+      mode_(other.mode_),
+      tracker_(other.tracker_),
+      illegal_objects_(other.illegal_objects_),
+      scopes_(other.scopes_),
+      pending_ops_(other.pending_ops_),
+      conflict_edges_(other.conflict_edges_),
+      precedes_edges_(other.precedes_edges_),
+      graph_(other.graph_),
+      acyclic_(other.acyclic_),
+      pos_(other.pos_),
+      first_rejection_pos_(other.first_rejection_pos_) {
+  objects_.reserve(other.objects_.size());
+  for (const auto& state : other.objects_) {
+    objects_.push_back(state == nullptr
+                           ? nullptr
+                           : std::make_unique<ObjectIngestState>(*state));
+  }
+}
+
+IncrementalCertifier& IncrementalCertifier::operator=(
+    const IncrementalCertifier& other) {
+  if (this == &other) return *this;
+  IncrementalCertifier copy(other);
+  type_ = copy.type_;
+  mode_ = copy.mode_;
+  tracker_ = std::move(copy.tracker_);
+  objects_ = std::move(copy.objects_);
+  illegal_objects_ = copy.illegal_objects_;
+  scopes_ = std::move(copy.scopes_);
+  pending_ops_ = std::move(copy.pending_ops_);
+  conflict_edges_ = std::move(copy.conflict_edges_);
+  precedes_edges_ = std::move(copy.precedes_edges_);
+  graph_ = std::move(copy.graph_);
+  acyclic_ = copy.acyclic_;
+  pos_ = copy.pos_;
+  first_rejection_pos_ = copy.first_rejection_pos_;
+  return *this;
+}
 
 ObjectIngestState& IncrementalCertifier::ObjectState(ObjectId x) {
   if (x >= objects_.size()) objects_.resize(x + 1);
   if (objects_[x] == nullptr) {
-    objects_[x] = std::make_unique<ObjectIngestState>(type_, x);
+    objects_[x] = std::make_unique<ObjectIngestState>(*type_, x);
   }
   return *objects_[x];
 }
 
+void IncrementalCertifier::FireItem(const VisibilityTracker::Item& item) {
+  if (item.tag & kScopeTagBit) {
+    ActivateScope(static_cast<TxName>(item.tag & ~kScopeTagBit));
+    return;
+  }
+  auto it = pending_ops_.find(item.tag);
+  NTSG_CHECK(it != pending_ops_.end()) << "fired op without pending entry";
+  PendingOp op = it->second;
+  pending_ops_.erase(it);
+  ActivateOp(item.tag, op.tx, op.value);
+}
+
+void IncrementalCertifier::DropItem(const VisibilityTracker::Item& item) {
+  if (item.tag & kScopeTagBit) return;  // Scope state stays parked in scopes_.
+  pending_ops_.erase(item.tag);
+}
+
 void IncrementalCertifier::Ingest(const Action& a) {
   uint64_t pos = pos_++;
+  std::vector<VisibilityTracker::Item> fired;
+  std::vector<VisibilityTracker::Item> dropped;
   switch (a.kind) {
     case ActionKind::kRequestCommit:
-      if (type_.IsAccess(a.tx)) {
-        TxName tx = a.tx;
-        Value v = a.value;
-        tracker_.Watch(tx, [this, pos, tx, v] { ActivateOp(pos, tx, v); });
+      if (type_->IsAccess(a.tx)) {
+        switch (tracker_.Watch(a.tx, pos)) {
+          case VisibilityTracker::WatchResult::kVisible:
+            ActivateOp(pos, a.tx, a.value);
+            break;
+          case VisibilityTracker::WatchResult::kParked:
+            pending_ops_.emplace(pos, PendingOp{a.tx, a.value});
+            break;
+          case VisibilityTracker::WatchResult::kDead:
+            break;
+        }
       }
       break;
     case ActionKind::kReportCommit:
     case ActionKind::kReportAbort:
-      ScopeEvent(type_.parent(a.tx), /*is_report=*/true, a.tx);
+      ScopeEvent(type_->parent(a.tx), /*is_report=*/true, a.tx);
       break;
     case ActionKind::kRequestCreate:
-      ScopeEvent(type_.parent(a.tx), /*is_report=*/false, a.tx);
+      ScopeEvent(type_->parent(a.tx), /*is_report=*/false, a.tx);
       break;
     case ActionKind::kCommit:
-      tracker_.OnCommit(a.tx);
+      tracker_.OnCommit(a.tx, &fired, &dropped);
       break;
     case ActionKind::kAbort:
-      tracker_.OnAbort(a.tx);
+      tracker_.OnAbort(a.tx, &dropped);
       break;
     default:
       break;  // CREATE and INFORM_* never affect the verdict.
   }
+  for (const auto& item : fired) FireItem(item);
+  for (const auto& item : dropped) DropItem(item);
   NoteVerdict();
 }
 
@@ -149,7 +264,7 @@ void IncrementalCertifier::IngestTrace(const Trace& beta) {
 
 void IncrementalCertifier::ActivateOp(uint64_t pos, TxName tx,
                                       const Value& v) {
-  ObjectIngestState& state = ObjectState(type_.ObjectOf(tx));
+  ObjectIngestState& state = ObjectState(type_->ObjectOf(tx));
   bool was_legal = state.legal();
   std::vector<std::pair<TxName, TxName>> pairs;
   state.InsertVisibleOp(pos, tx, v, mode_, &pairs);
@@ -157,11 +272,11 @@ void IncrementalCertifier::ActivateOp(uint64_t pos, TxName tx,
     illegal_objects_ += was_legal ? 1 : -1;
   }
   for (const auto& [earlier, later] : pairs) {
-    TxName lca = type_.Lca(earlier, later);
+    TxName lca = type_->Lca(earlier, later);
     // Accesses are leaves, so distinct accesses are never related by
     // ancestry; the lca is a proper ancestor of both.
-    TxName from = type_.ChildToward(lca, earlier);
-    TxName to = type_.ChildToward(lca, later);
+    TxName from = type_->ChildToward(lca, earlier);
+    TxName to = type_->ChildToward(lca, later);
     if (from == to) continue;
     if (conflict_edges_.insert(SiblingEdge{lca, from, to}).second) {
       AddGraphEdge(from, to);
@@ -174,9 +289,10 @@ void IncrementalCertifier::ScopeEvent(TxName parent, bool is_report,
   ParentScope& scope = scopes_[parent];
   if (!scope.registered) {
     scope.registered = true;
-    // May fire synchronously (e.g. parent == T0); ParentScope references
-    // stay valid across inserts into the node-based map.
-    tracker_.Watch(parent, [this, parent] { ActivateScope(parent); });
+    if (tracker_.Watch(parent, kScopeTagBit | parent) ==
+        VisibilityTracker::WatchResult::kVisible) {
+      scope.visible = true;  // e.g. parent == T0.
+    }
   }
   if (!scope.visible) {
     scope.buffer.emplace_back(is_report, child);
@@ -222,6 +338,13 @@ void IncrementalCertifier::NoteVerdict() {
   if (!first_rejection_pos_.has_value() && !verdict().ok()) {
     first_rejection_pos_ = pos_ - 1;
   }
+}
+
+uint64_t IncrementalCertifier::graph_fingerprint() const {
+  GraphFingerprinter fp;
+  for (const SiblingEdge& e : conflict_edges_) fp.AddConflict(e);
+  for (const SiblingEdge& e : precedes_edges_) fp.AddPrecedes(e);
+  return fp.Finish();
 }
 
 }  // namespace ntsg

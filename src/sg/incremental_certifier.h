@@ -2,7 +2,6 @@
 #define NTSG_SG_INCREMENTAL_CERTIFIER_H_
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -25,28 +24,44 @@ namespace ntsg {
 /// A watched subject waits on its *lowest uncommitted ancestor*; each COMMIT
 /// re-resolves exactly the items parked on the committing name, so the
 /// amortized cost per item is O(depth) pointer walks per ancestor commit.
+///
+/// Watched items are plain data (subject + caller tag), not callbacks, so
+/// the tracker has value semantics: copying it is the snapshot of the
+/// certifier's visibility frontier that crash recovery restores.
 class VisibilityTracker {
  public:
-  explicit VisibilityTracker(const SystemType& type) : type_(type) {}
+  explicit VisibilityTracker(const SystemType& type) : type_(&type) {}
 
-  /// Registers `on_visible` to fire when `subject` is visible to T0.
-  /// Fires synchronously if it already is; drops the item silently if an
-  /// ancestor has aborted (the subject can never become visible).
-  void Watch(TxName subject, std::function<void()> on_visible);
+  /// A parked activation: `tag` is caller-defined payload routing (e.g. the
+  /// trace position of a pending operation).
+  struct Item {
+    TxName subject;
+    uint64_t tag;
+  };
 
-  /// Records COMMIT(t) / ABORT(t) and fires newly visible watchers.
-  void OnCommit(TxName t);
-  void OnAbort(TxName t);
+  enum class WatchResult : uint8_t {
+    kVisible,  // already visible; the caller activates now
+    kParked,   // parked on the lowest uncommitted ancestor
+    kDead,     // an ancestor aborted; the subject can never become visible
+  };
+
+  /// Registers (subject, tag) to fire when `subject` is visible to T0.
+  WatchResult Watch(TxName subject, uint64_t tag);
+
+  /// Records COMMIT(t); appends newly visible items to `fired` (in parked
+  /// order) and items whose subject turned out dead to `dropped` (if
+  /// non-null).
+  void OnCommit(TxName t, std::vector<Item>* fired,
+                std::vector<Item>* dropped = nullptr);
+
+  /// Records ABORT(t); appends items parked directly on t to `dropped` (if
+  /// non-null) — COMMIT(t) can no longer happen.
+  void OnAbort(TxName t, std::vector<Item>* dropped = nullptr);
 
   bool IsCommitted(TxName t) const { return Flag(committed_, t); }
   bool IsAborted(TxName t) const { return Flag(aborted_, t); }
 
  private:
-  struct Pending {
-    TxName subject;
-    std::function<void()> fire;
-  };
-
   /// Lowest uncommitted ancestor of `subject` below T0 (kInvalidTx when
   /// visible now). Sets `*dead` when an ancestor has aborted.
   TxName BlockerOf(TxName subject, bool* dead) const;
@@ -59,10 +74,10 @@ class VisibilityTracker {
     (*v)[t] = 1;
   }
 
-  const SystemType& type_;
+  const SystemType* type_;
   std::vector<uint8_t> committed_;
   std::vector<uint8_t> aborted_;
-  std::unordered_map<TxName, std::vector<Pending>> waiters_;
+  std::unordered_map<TxName, std::vector<Item>> waiters_;
 };
 
 /// Per-object slice of the online certifier: the visible operation sequence
@@ -74,14 +89,24 @@ class VisibilityTracker {
 /// them visible), which extends the replay state in O(1); a commit deep in
 /// the tree can retroactively reveal an *earlier* operation, in which case
 /// the replay is redone from scratch for this object only.
+///
+/// Copyable (the serial-spec replay state clones), which is what shard
+/// snapshots and certifier restore points are made of. Re-inserting an
+/// already present (pos, tx, value) — a duplicated delivery — is an exact
+/// no-op, so at-least-once delivery cannot shift the verdict.
 class ObjectIngestState {
  public:
   ObjectIngestState(const SystemType& type, ObjectId x);
 
+  ObjectIngestState(const ObjectIngestState& other);
+  ObjectIngestState& operator=(const ObjectIngestState& other);
+
   /// Inserts the newly visible operation (REQUEST_COMMIT of access `tx`
   /// returning `v` at trace position `pos`) and appends to `conflict_pairs`
   /// every ordered access pair (earlier, later) in which the new operation
-  /// conflicts with an already visible one under `mode`.
+  /// conflicts with an already visible one under `mode`. Idempotent: a
+  /// duplicate of an already inserted operation changes nothing and emits
+  /// nothing.
   void InsertVisibleOp(uint64_t pos, TxName tx, const Value& v,
                        ConflictMode mode,
                        std::vector<std::pair<TxName, TxName>>* conflict_pairs);
@@ -97,8 +122,8 @@ class ObjectIngestState {
   /// that was illegal before the insertion).
   void Recompute();
 
-  const SystemType& type_;
-  const ObjectId x_;
+  const SystemType* type_;
+  ObjectId x_;
   std::map<uint64_t, Operation> ops_;
   std::unique_ptr<SerialSpec> replay_;
   bool legal_ = true;
@@ -129,9 +154,17 @@ struct IncrementalVerdict {
 ///
 /// INFORM actions are ignored (Theorem 17/25 strips them), so generic
 /// behaviors can be fed verbatim.
+///
+/// The certifier has value semantics: copying it captures the complete
+/// ingest state, so `IncrementalCertifier snap = cert;` is a snapshot and
+/// `cert = snap;` is the restore — a restarted certifier resumes from the
+/// checkpoint and re-ingests only the suffix, never the whole behavior.
 class IncrementalCertifier {
  public:
   IncrementalCertifier(const SystemType& type, ConflictMode mode);
+
+  IncrementalCertifier(const IncrementalCertifier& other);
+  IncrementalCertifier& operator=(const IncrementalCertifier& other);
 
   void Ingest(const Action& a);
   void IngestTrace(const Trace& beta);
@@ -143,6 +176,11 @@ class IncrementalCertifier {
   size_t conflict_edge_count() const { return conflict_edges_.size(); }
   size_t precedes_edge_count() const { return precedes_edges_.size(); }
   size_t actions_ingested() const { return pos_; }
+
+  /// Canonical fingerprint of the current conflict ∪ precedes edge sets
+  /// (see sg/fingerprint.h). Certifiers that agree on the edge sets agree
+  /// here, byte for byte.
+  uint64_t graph_fingerprint() const;
 
   /// Position of the first action whose ingestion turned the verdict
   /// not-OK; nullopt while the prefix is certified.
@@ -162,6 +200,15 @@ class IncrementalCertifier {
     std::vector<std::pair<bool, TxName>> buffer;  // (is_report, child)
   };
 
+  /// A REQUEST_COMMIT awaiting visibility, keyed by trace position (= the
+  /// tracker tag for operations).
+  struct PendingOp {
+    TxName tx;
+    Value value;
+  };
+
+  void FireItem(const VisibilityTracker::Item& item);
+  void DropItem(const VisibilityTracker::Item& item);
   void ActivateOp(uint64_t pos, TxName tx, const Value& v);
   void ScopeEvent(TxName parent, bool is_report, TxName child);
   void ActivateScope(TxName parent);
@@ -170,12 +217,13 @@ class IncrementalCertifier {
   void NoteVerdict();
   ObjectIngestState& ObjectState(ObjectId x);
 
-  const SystemType& type_;
-  const ConflictMode mode_;
+  const SystemType* type_;
+  ConflictMode mode_;
   VisibilityTracker tracker_;
   std::vector<std::unique_ptr<ObjectIngestState>> objects_;
   size_t illegal_objects_ = 0;
   std::unordered_map<TxName, ParentScope> scopes_;
+  std::unordered_map<uint64_t, PendingOp> pending_ops_;
   std::set<SiblingEdge> conflict_edges_;
   std::set<SiblingEdge> precedes_edges_;
   IncrementalTopoGraph graph_;

@@ -19,6 +19,14 @@ std::optional<SgtCoordinator::Edge> SgtCoordinator::ToEdge(
 
 bool SgtCoordinator::WouldRemainAcyclic(
     const std::vector<AccessConflict>& conflicts) const {
+  uint64_t tick = admission_checks_++;
+  if (faults_ != nullptr) {
+    fired_scratch_.clear();
+    if (faults_->Poll(tick, &fired_scratch_)) {
+      faults_->stats().spurious_rejects += fired_scratch_.size();
+      return false;  // lie: report a cycle and force the abort path
+    }
+  }
   // Trial-insert the proposed edges not already in the graph; any rejection
   // means the combined edge set is cyclic. Rolling the accepted trials back
   // restores the edge set (the maintained order may differ, but any order

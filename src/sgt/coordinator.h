@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/fault_injector.h"
 #include "sg/fast_graph.h"
 #include "tx/system_type.h"
 
@@ -54,6 +55,14 @@ class SgtCoordinator {
 
   size_t edge_count() const { return edges_.size(); }
 
+  /// Chaos hook (null = off): an injector filtered to kSpuriousReject,
+  /// polled once per admission check (the tick is the check ordinal). A
+  /// fired event makes WouldRemainAcyclic report "would close a cycle"
+  /// without consulting the graph, driving the scheduler down its abort
+  /// path; the system must still produce a serially correct behavior. Not
+  /// owned; clear before the injector dies.
+  void SetFaultInjector(FaultInjector* faults) { faults_ = faults; }
+
  private:
   struct Edge {
     TxName parent;
@@ -82,6 +91,9 @@ class SgtCoordinator {
   /// Mutable for the trial insertions of WouldRemainAcyclic (rolled back
   /// before it returns, leaving the edge set unchanged).
   mutable IncrementalTopoGraph graph_;
+  FaultInjector* faults_ = nullptr;
+  mutable uint64_t admission_checks_ = 0;
+  mutable std::vector<FaultEvent> fired_scratch_;
 };
 
 }  // namespace ntsg

@@ -1,8 +1,11 @@
 #include "sim/concurrent_ingest.h"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/logging.h"
+#include "sg/fingerprint.h"
 
 namespace ntsg {
 
@@ -16,6 +19,11 @@ uint64_t Mix64(uint64_t z) {
   return z ^ (z >> 31);
 }
 
+// Tracker tags: bit 63 marks a parent-scope activation; anything else is the
+// trace position of a pending operation. Same convention as the
+// IncrementalCertifier, so the two routers stay line-for-line comparable.
+constexpr uint64_t kScopeTagBit = 1ull << 63;
+
 }  // namespace
 
 ConcurrentIngestPipeline::ConcurrentIngestPipeline(
@@ -25,6 +33,13 @@ ConcurrentIngestPipeline::ConcurrentIngestPipeline(
   NTSG_CHECK(config_.num_shards > 0);
   NTSG_CHECK(config_.num_stripes > 0);
   NTSG_CHECK(config_.queue_capacity > 0);
+  if (config_.fault_plan != nullptr) {
+    faults_.reset(new FaultInjector(
+        *config_.fault_plan,
+        {FaultKind::kCrashWorker, FaultKind::kRestartFail,
+         FaultKind::kDelayDelivery, FaultKind::kDuplicateDelivery,
+         FaultKind::kReorderDelivery, FaultKind::kSnapshotWorker}));
+  }
   stripes_.reserve(config_.num_stripes);
   for (size_t i = 0; i < config_.num_stripes; ++i) {
     stripes_.push_back(std::make_unique<Stripe>());
@@ -52,11 +67,68 @@ size_t ConcurrentIngestPipeline::StripeOf(TxName parent) const {
 
 void ConcurrentIngestPipeline::Push(size_t shard, WorkItem item) {
   ShardQueue& q = *shards_[shard].queue;
-  std::unique_lock<std::mutex> lock(q.mu);
-  q.can_push.wait(lock,
-                  [&] { return q.items.size() < config_.queue_capacity; });
-  q.items.push_back(std::move(item));
-  q.can_pop.notify_one();
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(q.mu);
+      q.can_push.wait(lock, [&] {
+        return q.items.size() < config_.queue_capacity || q.crashed;
+      });
+      if (!q.crashed) {
+        q.items.push_back(std::move(item));
+        q.can_pop.notify_one();
+        return;
+      }
+    }
+    // The worker died under us (possibly while we were blocked on a full
+    // queue). Bring it back, then deliver.
+    RestartShard(shard);
+  }
+}
+
+void ConcurrentIngestPipeline::Deliver(size_t shard, WorkItem item) {
+  Shard& sh = shards_[shard];
+  if (faults_ != nullptr && sh.hold_next > 0) {
+    sh.held.push_back(HeldItem{std::move(item), sh.hold_next});
+    sh.hold_next = 0;
+    return;
+  }
+  if (faults_ == nullptr) {
+    Push(shard, std::move(item));
+    return;
+  }
+  sh.last_pushed = item;
+  Push(shard, std::move(item));
+  // Each delivery ages the held-back items; release the ones that are due.
+  for (auto it = sh.held.begin(); it != sh.held.end();) {
+    if (--it->remaining == 0) {
+      sh.last_pushed = it->item;
+      Push(shard, std::move(it->item));
+      it = sh.held.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ConcurrentIngestPipeline::ApplyOp(Shard& shard, const WorkItem& item,
+                                       bool record_log) {
+  if (record_log && faults_ != nullptr) shard.log.push_back(item);
+  ObjectId x = type_.ObjectOf(item.tx);
+  std::unique_ptr<ObjectIngestState>& state = shard.objects[x];
+  if (state == nullptr) {
+    state = std::make_unique<ObjectIngestState>(type_, x);
+  }
+  std::vector<std::pair<TxName, TxName>> pairs;
+  state->InsertVisibleOp(item.pos, item.tx, item.value, mode_, &pairs);
+  ++shard.ops_processed;
+
+  for (const auto& [earlier, later] : pairs) {
+    TxName lca = type_.Lca(earlier, later);
+    TxName from = type_.ChildToward(lca, earlier);
+    TxName to = type_.ChildToward(lca, later);
+    if (from == to) continue;
+    InsertEdge(SiblingEdge{lca, from, to}, /*is_conflict=*/true);
+  }
 }
 
 void ConcurrentIngestPipeline::WorkerLoop(size_t shard_index) {
@@ -73,23 +145,175 @@ void ConcurrentIngestPipeline::WorkerLoop(size_t shard_index) {
       q.can_push.notify_one();
     }
 
-    ObjectId x = type_.ObjectOf(item.tx);
-    std::unique_ptr<ObjectIngestState>& state = shard.objects[x];
-    if (state == nullptr) {
-      state = std::make_unique<ObjectIngestState>(type_, x);
-    }
-    std::vector<std::pair<TxName, TxName>> pairs;
-    state->InsertVisibleOp(item.pos, item.tx, item.value, mode_, &pairs);
-    ++shard.ops_processed;
-
-    for (const auto& [earlier, later] : pairs) {
-      TxName lca = type_.Lca(earlier, later);
-      TxName from = type_.ChildToward(lca, earlier);
-      TxName to = type_.ChildToward(lca, later);
-      if (from == to) continue;
-      InsertEdge(SiblingEdge{lca, from, to}, /*is_conflict=*/true);
+    switch (item.kind) {
+      case WorkItem::Kind::kOp:
+        ApplyOp(shard, item, /*record_log=*/true);
+        break;
+      case WorkItem::Kind::kSnapshot:
+        TakeSnapshot(shard);
+        break;
+      case WorkItem::Kind::kCrash: {
+        // Lose all volatile state and die. The queue itself is durable —
+        // undelivered items survive for the successor; the delivery log
+        // covers what this incarnation had already consumed.
+        shard.objects.clear();
+        {
+          std::lock_guard<std::mutex> lock(q.mu);
+          q.crashed = true;
+        }
+        // A producer may be blocked on a full queue; it must observe the
+        // crash and run recovery rather than wait forever.
+        q.can_push.notify_all();
+        return;
+      }
     }
   }
+}
+
+void ConcurrentIngestPipeline::TakeSnapshot(Shard& shard) {
+  shard.snapshot.clear();
+  for (const auto& [x, state] : shard.objects) {
+    shard.snapshot[x] = std::make_unique<ObjectIngestState>(*state);
+  }
+  shard.log.clear();
+}
+
+void ConcurrentIngestPipeline::Recover(Shard& shard) {
+  shard.objects.clear();
+  for (const auto& [x, state] : shard.snapshot) {
+    shard.objects[x] = std::make_unique<ObjectIngestState>(*state);
+  }
+  faults_->stats().items_replayed += shard.log.size();
+  // Replay re-discovers conflict pairs whose edges are already in the
+  // stripes; the dedup sets absorb them, which is exactly why recovery is
+  // idempotent.
+  for (const WorkItem& item : shard.log) {
+    ApplyOp(shard, item, /*record_log=*/false);
+  }
+}
+
+void ConcurrentIngestPipeline::RestartShard(size_t shard_index) {
+  Shard& shard = shards_[shard_index];
+  if (shard.worker.joinable()) shard.worker.join();
+  FaultStats& stats = faults_->stats();
+  for (size_t attempt = 0;; ++attempt) {
+    NTSG_CHECK(attempt < config_.max_restart_attempts)
+        << "shard " << shard_index << " failed to restart after "
+        << config_.max_restart_attempts << " attempts";
+    ++stats.restart_attempts;
+    if (!faults_->TakeRestartFail(shard_index)) break;
+    ++stats.restart_failures;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(config_.restart_backoff_us << attempt));
+  }
+  Recover(shard);
+  {
+    std::lock_guard<std::mutex> lock(shard.queue->mu);
+    shard.queue->crashed = false;
+  }
+  shard.worker = std::thread([this, shard_index] { WorkerLoop(shard_index); });
+  ++stats.restarts;
+}
+
+void ConcurrentIngestPipeline::PollFaults(uint64_t tick) {
+  fired_scratch_.clear();
+  if (!faults_->Poll(tick, &fired_scratch_)) return;
+  FaultStats& stats = faults_->stats();
+  for (const FaultEvent& e : fired_scratch_) {
+    size_t target = static_cast<size_t>(e.target) % config_.num_shards;
+    Shard& sh = shards_[target];
+    switch (e.kind) {
+      case FaultKind::kCrashWorker:
+        ++stats.crashes;
+        Push(target, WorkItem{WorkItem::Kind::kCrash, 0, kInvalidTx, Value{}});
+        break;
+      case FaultKind::kSnapshotWorker:
+        ++stats.snapshots;
+        Push(target,
+             WorkItem{WorkItem::Kind::kSnapshot, 0, kInvalidTx, Value{}});
+        break;
+      case FaultKind::kDelayDelivery:
+        ++stats.delays;
+        sh.hold_next = std::max<uint64_t>(1, e.param);
+        break;
+      case FaultKind::kReorderDelivery:
+        ++stats.reorders;
+        sh.hold_next = 1;  // swap with the delivery after it
+        break;
+      case FaultKind::kDuplicateDelivery:
+        if (sh.last_pushed.has_value()) {
+          ++stats.duplicates;
+          Push(target, *sh.last_pushed);
+        }
+        break;
+      default:
+        break;  // not a pipeline fault; the injector filter excludes these
+    }
+  }
+}
+
+void ConcurrentIngestPipeline::Ingest(const Action& a) {
+  NTSG_CHECK(!finished_) << "Ingest after Finish";
+  if (faults_ != nullptr) PollFaults(pos_);
+  uint64_t pos = pos_++;
+  switch (a.kind) {
+    case ActionKind::kRequestCommit:
+      if (type_.IsAccess(a.tx)) {
+        switch (tracker_.Watch(a.tx, pos)) {
+          case VisibilityTracker::WatchResult::kVisible:
+            ActivateOp(pos, a.tx, a.value);
+            break;
+          case VisibilityTracker::WatchResult::kParked:
+            pending_ops_.emplace(pos, PendingOp{a.tx, a.value});
+            break;
+          case VisibilityTracker::WatchResult::kDead:
+            break;  // can never become visible to T0
+        }
+      }
+      break;
+    case ActionKind::kReportCommit:
+    case ActionKind::kReportAbort:
+      ScopeEvent(type_.parent(a.tx), /*is_report=*/true, a.tx);
+      break;
+    case ActionKind::kRequestCreate:
+      ScopeEvent(type_.parent(a.tx), /*is_report=*/false, a.tx);
+      break;
+    case ActionKind::kCommit: {
+      std::vector<VisibilityTracker::Item> fired, dropped;
+      tracker_.OnCommit(a.tx, &fired, &dropped);
+      for (const auto& item : fired) {
+        if ((item.tag & kScopeTagBit) != 0) {
+          ActivateScope(static_cast<TxName>(item.tag & ~kScopeTagBit));
+        } else {
+          auto it = pending_ops_.find(item.tag);
+          NTSG_CHECK(it != pending_ops_.end());
+          ActivateOp(item.tag, it->second.tx, it->second.value);
+          pending_ops_.erase(it);
+        }
+      }
+      for (const auto& item : dropped) {
+        if ((item.tag & kScopeTagBit) == 0) pending_ops_.erase(item.tag);
+      }
+      break;
+    }
+    case ActionKind::kAbort: {
+      std::vector<VisibilityTracker::Item> dropped;
+      tracker_.OnAbort(a.tx, &dropped);
+      for (const auto& item : dropped) {
+        if ((item.tag & kScopeTagBit) == 0) pending_ops_.erase(item.tag);
+      }
+      break;
+    }
+    default:
+      break;  // CREATE and INFORM_* never affect the verdict.
+  }
+}
+
+void ConcurrentIngestPipeline::ActivateOp(uint64_t pos, TxName tx,
+                                          const Value& v) {
+  ++ops_routed_;
+  Deliver(ShardOf(type_.ObjectOf(tx)),
+          WorkItem{WorkItem::Kind::kOp, pos, tx, v});
 }
 
 void ConcurrentIngestPipeline::InsertEdge(const SiblingEdge& e,
@@ -104,44 +328,15 @@ void ConcurrentIngestPipeline::InsertEdge(const SiblingEdge& e,
   }
 }
 
-void ConcurrentIngestPipeline::Ingest(const Action& a) {
-  NTSG_CHECK(!finished_) << "Ingest after Finish";
-  uint64_t pos = pos_++;
-  switch (a.kind) {
-    case ActionKind::kRequestCommit:
-      if (type_.IsAccess(a.tx)) {
-        TxName tx = a.tx;
-        Value v = a.value;
-        tracker_.Watch(tx, [this, pos, tx, v] {
-          ++ops_routed_;
-          Push(ShardOf(type_.ObjectOf(tx)), WorkItem{pos, tx, v});
-        });
-      }
-      break;
-    case ActionKind::kReportCommit:
-    case ActionKind::kReportAbort:
-      ScopeEvent(type_.parent(a.tx), /*is_report=*/true, a.tx);
-      break;
-    case ActionKind::kRequestCreate:
-      ScopeEvent(type_.parent(a.tx), /*is_report=*/false, a.tx);
-      break;
-    case ActionKind::kCommit:
-      tracker_.OnCommit(a.tx);
-      break;
-    case ActionKind::kAbort:
-      tracker_.OnAbort(a.tx);
-      break;
-    default:
-      break;  // CREATE and INFORM_* never affect the verdict.
-  }
-}
-
 void ConcurrentIngestPipeline::ScopeEvent(TxName parent, bool is_report,
                                           TxName child) {
   ParentScope& scope = scopes_[parent];
   if (!scope.registered) {
     scope.registered = true;
-    tracker_.Watch(parent, [this, parent] { ActivateScope(parent); });
+    if (tracker_.Watch(parent, kScopeTagBit | parent) ==
+        VisibilityTracker::WatchResult::kVisible) {
+      scope.visible = true;
+    }
   }
   if (!scope.visible) {
     scope.buffer.emplace_back(is_report, child);
@@ -176,6 +371,18 @@ void ConcurrentIngestPipeline::ActivateScope(TxName parent) {
 ConcurrentIngestReport ConcurrentIngestPipeline::Finish() {
   NTSG_CHECK(!finished_) << "Finish called twice";
   finished_ = true;
+
+  // Release every delivery still held back by a delay/reorder fault — the
+  // trace is over, so "later" is now.
+  if (faults_ != nullptr) {
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      Shard& shard = shards_[i];
+      std::vector<HeldItem> held = std::move(shard.held);
+      shard.held.clear();
+      for (HeldItem& h : held) Push(i, std::move(h.item));
+    }
+  }
+
   for (Shard& shard : shards_) {
     {
       std::lock_guard<std::mutex> lock(shard.queue->mu);
@@ -183,7 +390,34 @@ ConcurrentIngestReport ConcurrentIngestPipeline::Finish() {
     }
     shard.queue->can_pop.notify_all();
   }
-  for (Shard& shard : shards_) shard.worker.join();
+  for (Shard& shard : shards_) {
+    if (shard.worker.joinable()) shard.worker.join();
+  }
+
+  // A shard whose worker died after the close sees no restart from Push;
+  // finish its work here on the router thread: recover, then drain whatever
+  // the dead worker left in the queue (which may itself contain further
+  // crash/snapshot control items).
+  for (Shard& shard : shards_) {
+    if (shard.queue == nullptr || !shard.queue->crashed) continue;
+    Recover(shard);
+    std::deque<WorkItem> leftover = std::move(shard.queue->items);
+    shard.queue->items.clear();
+    shard.queue->crashed = false;
+    for (const WorkItem& item : leftover) {
+      switch (item.kind) {
+        case WorkItem::Kind::kOp:
+          ApplyOp(shard, item, /*record_log=*/true);
+          break;
+        case WorkItem::Kind::kSnapshot:
+          TakeSnapshot(shard);
+          break;
+        case WorkItem::Kind::kCrash:
+          Recover(shard);
+          break;
+      }
+    }
+  }
 
   ConcurrentIngestReport report;
   report.acyclic = acyclic_.load(std::memory_order_relaxed);
@@ -194,10 +428,19 @@ ConcurrentIngestReport ConcurrentIngestPipeline::Finish() {
       if (!state->legal()) report.appropriate = false;
     }
   }
+  std::vector<SiblingEdge> conflict_edges;
+  std::vector<SiblingEdge> precedes_edges;
   for (const auto& stripe : stripes_) {
     report.conflict_edge_count += stripe->conflict_edges.size();
     report.precedes_edge_count += stripe->precedes_edges.size();
+    conflict_edges.insert(conflict_edges.end(), stripe->conflict_edges.begin(),
+                          stripe->conflict_edges.end());
+    precedes_edges.insert(precedes_edges.end(), stripe->precedes_edges.begin(),
+                          stripe->precedes_edges.end());
   }
+  report.graph_fingerprint = FingerprintSerializationGraph(
+      std::move(conflict_edges), std::move(precedes_edges));
+  if (faults_ != nullptr) report.faults = faults_->stats();
   return report;
 }
 

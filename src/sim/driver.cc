@@ -1,6 +1,7 @@
 #include "sim/driver.h"
 
 #include "common/logging.h"
+#include "fault/fault_injector.h"
 #include "generic/controller.h"
 #include "generic/generic_object.h"
 #include "moss/broken.h"
@@ -177,6 +178,17 @@ SimResult Simulation::Run(const SimConfig& config) {
   if (config.backend == Backend::kSgt) {
     coordinator_ = std::make_unique<SgtCoordinator>(*type_);
   }
+  std::unique_ptr<FaultInjector> abort_faults;
+  std::unique_ptr<FaultInjector> admission_faults;
+  if (config.fault_plan != nullptr) {
+    abort_faults.reset(
+        new FaultInjector(*config.fault_plan, {FaultKind::kInjectAbort}));
+    if (coordinator_ != nullptr) {
+      admission_faults.reset(
+          new FaultInjector(*config.fault_plan, {FaultKind::kSpuriousReject}));
+      coordinator_->SetFaultInjector(admission_faults.get());
+    }
+  }
   if (config.backend == Backend::kMvto) {
     authority_ = std::make_unique<TimestampAuthority>(*type_);
   }
@@ -254,6 +266,29 @@ SimResult Simulation::Run(const SimConfig& config) {
         ++stats.random_aborts_injected;
       }
     }
+
+    // Plan-scheduled controller aborts: the paper's controller may abort any
+    // non-completed transaction at any moment, so these are legal moves —
+    // just ones a chaos seed replays exactly.
+    if (abort_faults != nullptr) {
+      std::vector<FaultEvent> fired;
+      if (abort_faults->Poll(stats.steps, &fired)) {
+        for (const FaultEvent& e : fired) {
+          std::vector<TxName> live = controller_->LiveCreated();
+          if (live.empty()) continue;
+          controller_->RequestAbort(live[e.param % live.size()]);
+          composition_.Invalidate(0);
+          ++abort_faults->stats().injected_aborts;
+          ++stats.plan_aborts_injected;
+        }
+      }
+    }
+  }
+
+  if (coordinator_ != nullptr && admission_faults != nullptr) {
+    stats.spurious_rejects_injected =
+        admission_faults->stats().spurious_rejects;
+    coordinator_->SetFaultInjector(nullptr);  // outlives this local injector
   }
 
   SimResult result;

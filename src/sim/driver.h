@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "fault/fault_plan.h"
 #include "ioa/composition.h"
 #include "sim/program.h"
 #include "sim/scripted.h"
@@ -55,6 +56,12 @@ struct SimConfig {
   /// kUndo only: fold fully-committed log prefixes into a base state
   /// (ablation A3; semantics identical either way).
   bool undo_log_compaction = true;
+  /// Deterministic fault schedule (null = off). The driver interprets
+  /// kInjectAbort events (tick = simulation step; the controller aborts a
+  /// live transaction picked by the event's param), and hands kSpuriousReject
+  /// events to the SGT coordinator when that backend is active. Unlike
+  /// spontaneous_abort_prob, the same plan replays the same aborts.
+  const FaultPlan* fault_plan = nullptr;
 };
 
 struct SimStats {
@@ -66,6 +73,11 @@ struct SimStats {
   size_t toplevel_aborted = 0;
   size_t stall_aborts_injected = 0;
   size_t random_aborts_injected = 0;
+  /// Aborts delivered from SimConfig::fault_plan (kInjectAbort events).
+  size_t plan_aborts_injected = 0;
+  /// Admission checks the SGT coordinator failed on purpose
+  /// (kSpuriousReject events).
+  size_t spurious_rejects_injected = 0;
   /// True when the run quiesced with no live work left (as opposed to
   /// hitting max_steps or the stall-abort budget).
   bool completed = false;

@@ -1,0 +1,134 @@
+// Golden-corpus regression test. tests/corpus/ holds seeded traces (Moss,
+// undo, MVTO, SGT, and deliberately broken backends) with their expected
+// verdicts, edge counts, and serialization-graph fingerprints pinned in
+// MANIFEST.tsv by tools/corpus_gen. Every entry is replayed through all
+// three certifier implementations — batch, incremental, and the sharded
+// pipeline — so any drift in certification semantics, conflict detection,
+// or fingerprinting fails loudly here before it reaches a fuzz tier.
+//
+// To refresh after an intentional semantic change:
+//   ./build/tools/corpus_gen tests/corpus   (then review the MANIFEST diff)
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sg/certifier.h"
+#include "sg/incremental_certifier.h"
+#include "sim/concurrent_ingest.h"
+#include "tx/trace_io.h"
+
+namespace ntsg {
+namespace {
+
+struct CorpusEntry {
+  std::string file;
+  ConflictMode mode;
+  bool expect_ok;
+  size_t conflict_edges;
+  size_t precedes_edges;
+  uint64_t fingerprint;
+};
+
+std::vector<CorpusEntry> LoadManifest() {
+  std::ifstream in(std::string(NTSG_CORPUS_DIR) + "/MANIFEST.tsv");
+  EXPECT_TRUE(in.good()) << "missing " NTSG_CORPUS_DIR "/MANIFEST.tsv";
+  std::vector<CorpusEntry> entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    CorpusEntry e;
+    std::string mode, verdict, fp;
+    row >> e.file >> mode >> verdict >> e.conflict_edges >> e.precedes_edges >>
+        fp;
+    EXPECT_FALSE(row.fail()) << "bad manifest line: " << line;
+    EXPECT_TRUE(mode == "read_write" || mode == "commutativity") << line;
+    EXPECT_TRUE(verdict == "ok" || verdict == "rejected") << line;
+    e.mode = mode == "read_write" ? ConflictMode::kReadWrite
+                                  : ConflictMode::kCommutativity;
+    e.expect_ok = verdict == "ok";
+    e.fingerprint = std::stoull(fp, nullptr, 16);
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+class CorpusTest : public ::testing::Test {
+ protected:
+  static std::vector<CorpusEntry> entries_;
+  static void SetUpTestSuite() { entries_ = LoadManifest(); }
+};
+std::vector<CorpusEntry> CorpusTest::entries_;
+
+TEST_F(CorpusTest, CorpusIsSubstantialAndDiverse) {
+  ASSERT_GE(entries_.size(), 20u);
+  size_t ok = 0, rejected = 0, rw = 0, comm = 0;
+  for (const auto& e : entries_) {
+    (e.expect_ok ? ok : rejected) += 1;
+    (e.mode == ConflictMode::kReadWrite ? rw : comm) += 1;
+  }
+  // Both verdicts and both conflict modes must be represented, or the corpus
+  // has stopped guarding half the behavior space.
+  EXPECT_GT(ok, 0u);
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GT(rw, 0u);
+  EXPECT_GT(comm, 0u);
+}
+
+TEST_F(CorpusTest, BatchCertifierMatchesGoldenVerdicts) {
+  for (const auto& e : entries_) {
+    SystemType type;
+    Trace trace;
+    Status st =
+        ReadTraceFile(std::string(NTSG_CORPUS_DIR) + "/" + e.file, &type,
+                      &trace);
+    ASSERT_TRUE(st.ok()) << e.file << ": " << st.ToString();
+    ASSERT_FALSE(trace.empty()) << e.file;
+    CertifierReport report = CertifySeriallyCorrect(type, trace, e.mode);
+    EXPECT_EQ(report.status.ok(), e.expect_ok) << e.file;
+  }
+}
+
+TEST_F(CorpusTest, IncrementalCertifierMatchesGoldenGraphs) {
+  for (const auto& e : entries_) {
+    SystemType type;
+    Trace trace;
+    ASSERT_TRUE(ReadTraceFile(std::string(NTSG_CORPUS_DIR) + "/" + e.file,
+                              &type, &trace)
+                    .ok())
+        << e.file;
+    IncrementalCertifier cert(type, e.mode);
+    cert.IngestTrace(trace);
+    EXPECT_EQ(cert.verdict().ok(), e.expect_ok) << e.file;
+    EXPECT_EQ(cert.conflict_edge_count(), e.conflict_edges) << e.file;
+    EXPECT_EQ(cert.precedes_edge_count(), e.precedes_edges) << e.file;
+    EXPECT_EQ(cert.graph_fingerprint(), e.fingerprint) << e.file;
+  }
+}
+
+TEST_F(CorpusTest, ShardedPipelineMatchesGoldenGraphs) {
+  for (const auto& e : entries_) {
+    SystemType type;
+    Trace trace;
+    ASSERT_TRUE(ReadTraceFile(std::string(NTSG_CORPUS_DIR) + "/" + e.file,
+                              &type, &trace)
+                    .ok())
+        << e.file;
+    ConcurrentIngestConfig config;
+    config.num_shards = 3;
+    ConcurrentIngestReport report =
+        ConcurrentIngestPipeline::Run(type, trace, e.mode, config);
+    EXPECT_EQ(report.ok(), e.expect_ok) << e.file;
+    EXPECT_EQ(report.conflict_edge_count, e.conflict_edges) << e.file;
+    EXPECT_EQ(report.precedes_edge_count, e.precedes_edges) << e.file;
+    EXPECT_EQ(report.graph_fingerprint, e.fingerprint) << e.file;
+  }
+}
+
+}  // namespace
+}  // namespace ntsg

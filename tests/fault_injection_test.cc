@@ -1,0 +1,461 @@
+// The fault-injection guarantee, enforced: for every seeded workload × fault
+// plan, the post-fault verdict and serialization-graph fingerprint are
+// byte-identical to the fault-free run; duplicated deliveries are idempotent;
+// snapshot/restore resumes a certifier without re-ingesting the prefix; and
+// plan-driven faults in the simulation driver and SGT coordinator leave the
+// produced behaviors serially correct.
+//
+// The determinism suite covers 25 workload seeds × 4 fault-plan seeds × both
+// conflict modes = 200 (workload, plan) pairs. It carries the `nightly`
+// label as well as `tier1`, so the scheduled TSan job replays the whole
+// suite under the race detector with faults enabled.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "sg/certifier.h"
+#include "sg/incremental_certifier.h"
+#include "sim/concurrent_ingest.h"
+#include "sim/driver.h"
+
+namespace ntsg {
+namespace {
+
+QuickRunResult MakeWorkload(uint64_t seed, ObjectType object_type,
+                            Backend backend = Backend::kMoss) {
+  QuickRunParams params;
+  params.config.backend = backend;
+  params.config.seed = seed;
+  params.num_objects = 6;
+  params.object_type = object_type;
+  params.num_toplevel = 6;
+  params.gen.depth = 2;
+  params.gen.fanout = 3;
+  params.gen.read_prob = 0.5;
+  return QuickRun(params);
+}
+
+// --- FaultPlan / FaultInjector basics ---------------------------------------
+
+TEST(FaultPlanTest, GenerationIsDeterministic) {
+  FaultPlanParams params;
+  FaultPlan a = FaultPlan::Generate(42, 1000, 4, params);
+  FaultPlan b = FaultPlan::Generate(42, 1000, 4, params);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.events[i].at, b.events[i].at);
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+    EXPECT_EQ(a.events[i].target, b.events[i].target);
+    EXPECT_EQ(a.events[i].param, b.events[i].param);
+  }
+  FaultPlan c = FaultPlan::Generate(43, 1000, 4, params);
+  EXPECT_NE(a.ToString(), c.ToString());
+}
+
+TEST(FaultPlanTest, RespectsParamsAndHorizon) {
+  FaultPlanParams params;
+  params.crashes = 3;
+  params.restart_fails = 2;
+  params.delays = 5;
+  params.duplicates = 1;
+  params.reorders = 0;
+  params.snapshots = 2;
+  params.injected_aborts = 4;
+  params.spurious_rejects = 1;
+  FaultPlan plan = FaultPlan::Generate(7, 500, 3, params);
+  size_t crashes = 0, fails = 0, delays = 0, dups = 0, reorders = 0,
+         snaps = 0, aborts = 0, rejects = 0;
+  uint64_t prev = 0;
+  for (const FaultEvent& e : plan.events) {
+    EXPECT_LT(e.at, 500u);
+    EXPECT_GE(e.at, prev);  // sorted
+    prev = e.at;
+    switch (e.kind) {
+      case FaultKind::kCrashWorker:
+        EXPECT_LT(e.target, 3u);
+        ++crashes;
+        break;
+      case FaultKind::kRestartFail:
+        ++fails;
+        break;
+      case FaultKind::kDelayDelivery:
+        EXPECT_GE(e.param, 1u);
+        ++delays;
+        break;
+      case FaultKind::kDuplicateDelivery:
+        ++dups;
+        break;
+      case FaultKind::kReorderDelivery:
+        ++reorders;
+        break;
+      case FaultKind::kSnapshotWorker:
+        ++snaps;
+        break;
+      case FaultKind::kInjectAbort:
+        ++aborts;
+        break;
+      case FaultKind::kSpuriousReject:
+        ++rejects;
+        break;
+    }
+  }
+  EXPECT_EQ(crashes, 3u);
+  EXPECT_EQ(fails, 2u);
+  EXPECT_EQ(delays, 5u);
+  EXPECT_EQ(dups, 1u);
+  EXPECT_EQ(reorders, 0u);
+  EXPECT_EQ(snaps, 2u);
+  EXPECT_EQ(aborts, 4u);
+  EXPECT_EQ(rejects, 1u);
+}
+
+TEST(FaultInjectorTest, FiltersKindsAndFiresMonotonically) {
+  FaultPlan plan;
+  plan.events.push_back({5, FaultKind::kCrashWorker, 0, 0});
+  plan.events.push_back({5, FaultKind::kInjectAbort, 0, 9});
+  plan.events.push_back({10, FaultKind::kDelayDelivery, 1, 3});
+  FaultInjector injector(plan,
+                         {FaultKind::kCrashWorker, FaultKind::kDelayDelivery});
+  std::vector<FaultEvent> fired;
+  EXPECT_FALSE(injector.Poll(4, &fired));
+  EXPECT_TRUE(fired.empty());
+  EXPECT_TRUE(injector.Poll(7, &fired));
+  ASSERT_EQ(fired.size(), 1u);  // the InjectAbort was filtered out
+  EXPECT_EQ(fired[0].kind, FaultKind::kCrashWorker);
+  fired.clear();
+  EXPECT_TRUE(injector.Poll(100, &fired));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, FaultKind::kDelayDelivery);
+  EXPECT_EQ(injector.pending(), 0u);
+}
+
+TEST(FaultInjectorTest, RestartFailsAreCountedPerTarget) {
+  FaultPlan plan;
+  plan.events.push_back({0, FaultKind::kRestartFail, 2, 0});
+  plan.events.push_back({0, FaultKind::kRestartFail, 2, 0});
+  plan.events.push_back({0, FaultKind::kRestartFail, 0, 0});
+  FaultInjector injector(plan, {FaultKind::kRestartFail});
+  EXPECT_TRUE(injector.TakeRestartFail(2));
+  EXPECT_TRUE(injector.TakeRestartFail(2));
+  EXPECT_FALSE(injector.TakeRestartFail(2));
+  EXPECT_TRUE(injector.TakeRestartFail(0));
+  EXPECT_FALSE(injector.TakeRestartFail(0));
+  EXPECT_FALSE(injector.TakeRestartFail(1));
+}
+
+// --- Idempotency of delivery ------------------------------------------------
+
+TEST(IdempotencyTest, DuplicateInsertVisibleOpIsExactNoOp) {
+  SystemType type;
+  ObjectId x = type.AddObject(ObjectType::kReadWrite, "X", 0);
+  TxName top = type.NewChild(kT0);
+  TxName w = type.NewAccess(top, AccessSpec{x, OpCode::kWrite, 5});
+  TxName r = type.NewAccess(top, AccessSpec{x, OpCode::kRead, 0});
+
+  ObjectIngestState state(type, x);
+  std::vector<std::pair<TxName, TxName>> pairs;
+  state.InsertVisibleOp(3, w, Value::Ok(), ConflictMode::kReadWrite, &pairs);
+  EXPECT_TRUE(pairs.empty());
+  state.InsertVisibleOp(8, r, Value::Int(5), ConflictMode::kReadWrite,
+                        &pairs);
+  ASSERT_EQ(pairs.size(), 1u);  // w conflicts r
+  EXPECT_TRUE(state.legal());
+
+  // Redeliver both; nothing may change, in particular no re-emitted pairs.
+  pairs.clear();
+  state.InsertVisibleOp(3, w, Value::Ok(), ConflictMode::kReadWrite, &pairs);
+  state.InsertVisibleOp(8, r, Value::Int(5), ConflictMode::kReadWrite,
+                        &pairs);
+  EXPECT_TRUE(pairs.empty());
+  EXPECT_EQ(state.op_count(), 2u);
+  EXPECT_TRUE(state.legal());
+}
+
+// --- Certifier snapshot / restore --------------------------------------------
+
+TEST(SnapshotRestoreTest, RestoredCertifierResumesFromCheckpoint) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    QuickRunResult run = MakeWorkload(seed, ObjectType::kReadWrite);
+    ASSERT_TRUE(run.sim.stats.completed);
+    const Trace& beta = run.sim.trace;
+
+    IncrementalCertifier full(*run.type, ConflictMode::kReadWrite);
+    full.IngestTrace(beta);
+
+    IncrementalCertifier cert(*run.type, ConflictMode::kReadWrite);
+    size_t half = beta.size() / 2;
+    for (size_t i = 0; i < half; ++i) cert.Ingest(beta[i]);
+    IncrementalCertifier snapshot = cert;  // checkpoint mid-stream
+
+    for (size_t i = half; i < beta.size(); ++i) cert.Ingest(beta[i]);
+
+    // "Crash": discard cert's live state; resume from the checkpoint and
+    // re-ingest only the suffix.
+    IncrementalCertifier restored = snapshot;
+    for (size_t i = half; i < beta.size(); ++i) restored.Ingest(beta[i]);
+
+    EXPECT_EQ(restored.verdict().ok(), full.verdict().ok());
+    EXPECT_EQ(restored.conflict_edge_count(), full.conflict_edge_count());
+    EXPECT_EQ(restored.precedes_edge_count(), full.precedes_edge_count());
+    EXPECT_EQ(restored.graph_fingerprint(), full.graph_fingerprint());
+    EXPECT_EQ(cert.graph_fingerprint(), full.graph_fingerprint());
+  }
+}
+
+TEST(SnapshotRestoreTest, SnapshotIsUnaffectedByLaterIngest) {
+  QuickRunResult run = MakeWorkload(9, ObjectType::kCounter, Backend::kUndo);
+  const Trace& beta = run.sim.trace;
+  IncrementalCertifier cert(*run.type, ConflictMode::kCommutativity);
+  size_t third = beta.size() / 3;
+  for (size_t i = 0; i < third; ++i) cert.Ingest(beta[i]);
+  IncrementalCertifier snapshot = cert;
+  uint64_t fp_at_snapshot = snapshot.graph_fingerprint();
+  size_t edges_at_snapshot = snapshot.conflict_edge_count();
+  for (size_t i = third; i < beta.size(); ++i) cert.Ingest(beta[i]);
+  EXPECT_EQ(snapshot.graph_fingerprint(), fp_at_snapshot);
+  EXPECT_EQ(snapshot.conflict_edge_count(), edges_at_snapshot);
+  EXPECT_EQ(snapshot.actions_ingested(), third);
+}
+
+// --- Pipeline recovery -------------------------------------------------------
+
+// A hand-built plan that forces the live restart path: one shard, a crash
+// right after ingestion begins, and two failed restart attempts before the
+// third succeeds. Any operation routed after the crash makes the router
+// observe the dead worker and bring it back with backoff.
+TEST(PipelineRecoveryTest, CrashedWorkerRestartsWithBackoffAndReplays) {
+  QuickRunResult run = MakeWorkload(3, ObjectType::kReadWrite);
+  const Trace& beta = run.sim.trace;
+
+  ConcurrentIngestConfig clean_config;
+  clean_config.num_shards = 1;
+  // A one-slot queue keeps router and worker in lockstep, so the router is
+  // guaranteed to attempt a push *after* the worker has consumed the crash
+  // item — that push observes the dead worker and must take the live
+  // restart path (rather than Finish-time drain recovery).
+  clean_config.queue_capacity = 1;
+  ConcurrentIngestReport clean =
+      ConcurrentIngestPipeline::Run(*run.type, beta, ConflictMode::kReadWrite,
+                                    clean_config);
+  ASSERT_GT(clean.ops_routed, 0u);
+
+  FaultPlan plan;
+  plan.events.push_back({2, FaultKind::kCrashWorker, 0, 0});
+  plan.events.push_back({0, FaultKind::kRestartFail, 0, 0});
+  plan.events.push_back({0, FaultKind::kRestartFail, 0, 0});
+
+  ConcurrentIngestConfig config = clean_config;
+  config.fault_plan = &plan;
+  ConcurrentIngestReport report =
+      ConcurrentIngestPipeline::Run(*run.type, beta, ConflictMode::kReadWrite,
+                                    config);
+
+  EXPECT_EQ(report.faults.crashes, 1u);
+  EXPECT_EQ(report.faults.restarts, 1u);
+  EXPECT_EQ(report.faults.restart_failures, 2u);
+  EXPECT_EQ(report.faults.restart_attempts, 3u);
+  EXPECT_EQ(report.ok(), clean.ok());
+  EXPECT_EQ(report.graph_fingerprint, clean.graph_fingerprint);
+  EXPECT_EQ(report.conflict_edge_count, clean.conflict_edge_count);
+  EXPECT_EQ(report.precedes_edge_count, clean.precedes_edge_count);
+  EXPECT_EQ(report.ops_routed, clean.ops_routed);
+}
+
+// Snapshots bound the replay: after a snapshot, recovery replays only the
+// deliveries since it, not since the beginning.
+TEST(PipelineRecoveryTest, SnapshotTruncatesTheReplayLog) {
+  QuickRunResult run = MakeWorkload(5, ObjectType::kReadWrite);
+  const Trace& beta = run.sim.trace;
+
+  ConcurrentIngestConfig config;
+  config.num_shards = 1;
+
+  // Crash at the very end: everything delivered since the last snapshot is
+  // replayed during Finish-time recovery.
+  FaultPlan no_snap;
+  no_snap.events.push_back(
+      {static_cast<uint64_t>(beta.size() - 1), FaultKind::kCrashWorker, 0, 0});
+  ConcurrentIngestConfig a = config;
+  a.fault_plan = &no_snap;
+  ConcurrentIngestReport without =
+      ConcurrentIngestPipeline::Run(*run.type, beta, ConflictMode::kReadWrite,
+                                    a);
+
+  FaultPlan with_snap = no_snap;
+  with_snap.events.insert(
+      with_snap.events.begin(),
+      {static_cast<uint64_t>(beta.size() * 3 / 4), FaultKind::kSnapshotWorker,
+       0, 0});
+  ConcurrentIngestConfig b = config;
+  b.fault_plan = &with_snap;
+  ConcurrentIngestReport with =
+      ConcurrentIngestPipeline::Run(*run.type, beta, ConflictMode::kReadWrite,
+                                    b);
+
+  EXPECT_EQ(without.graph_fingerprint, with.graph_fingerprint);
+  if (without.faults.items_replayed > 0) {
+    EXPECT_LE(with.faults.items_replayed, without.faults.items_replayed);
+  }
+}
+
+// --- The 200-pair determinism suite ------------------------------------------
+
+struct ModeCase {
+  ObjectType object_type;
+  ConflictMode mode;
+};
+
+// 25 workload seeds × 4 plan seeds × 2 conflict modes = 200 pairs. A third
+// of the workloads use a deliberately broken backend, so the suite also
+// proves that *rejected* verdicts are stable under faults — a chaos layer
+// that could flip REJECTED to ok would be worse than none.
+TEST(ChaosDeterminismTest, VerdictAndFingerprintSurviveEveryPlan) {
+  const ModeCase kModes[] = {
+      {ObjectType::kReadWrite, ConflictMode::kReadWrite},
+      {ObjectType::kCounter, ConflictMode::kCommutativity},
+  };
+  size_t pairs = 0;
+  size_t total_faults = 0;
+  size_t rejected_workloads = 0;
+  for (const ModeCase& mc : kModes) {
+    for (uint64_t workload_seed = 1; workload_seed <= 25; ++workload_seed) {
+      // Every third workload runs a deliberately broken backend so the
+      // corpus of (workload, plan) pairs includes REJECTED verdicts too.
+      bool broken = workload_seed % 3 == 0;
+      Backend backend =
+          mc.object_type == ObjectType::kReadWrite
+              ? (broken ? Backend::kDirtyReadMoss : Backend::kMoss)
+              : (broken ? Backend::kNoCommuteUndo : Backend::kUndo);
+      QuickRunResult run = MakeWorkload(workload_seed, mc.object_type,
+                                        backend);
+      const Trace& beta = run.sim.trace;
+
+      ConcurrentIngestConfig clean_config;
+      clean_config.num_shards = 3;
+      clean_config.seed = workload_seed;
+      ConcurrentIngestReport clean =
+          ConcurrentIngestPipeline::Run(*run.type, beta, mc.mode,
+                                        clean_config);
+      if (!clean.ok()) ++rejected_workloads;
+
+      // The pipeline's fingerprint must agree with the sequential
+      // certifier's before any fault enters the picture.
+      IncrementalCertifier cert(*run.type, mc.mode);
+      cert.IngestTrace(beta);
+      ASSERT_EQ(clean.graph_fingerprint, cert.graph_fingerprint());
+
+      for (uint64_t plan_seed = 1; plan_seed <= 4; ++plan_seed) {
+        FaultPlanParams params;
+        params.crashes = 2;
+        params.restart_fails = 1;
+        params.delays = 3;
+        params.duplicates = 3;
+        params.reorders = 2;
+        params.snapshots = 1;
+        FaultPlan plan = FaultPlan::Generate(
+            plan_seed * 1000 + workload_seed, beta.size(),
+            clean_config.num_shards, params);
+
+        ConcurrentIngestConfig chaos_config = clean_config;
+        chaos_config.fault_plan = &plan;
+        ConcurrentIngestReport chaotic = ConcurrentIngestPipeline::Run(
+            *run.type, beta, mc.mode, chaos_config);
+
+        ++pairs;
+        total_faults += chaotic.faults.total_injected();
+        ASSERT_EQ(chaotic.appropriate, clean.appropriate)
+            << "workload " << workload_seed << " plan " << plan_seed;
+        ASSERT_EQ(chaotic.acyclic, clean.acyclic)
+            << "workload " << workload_seed << " plan " << plan_seed;
+        ASSERT_EQ(chaotic.graph_fingerprint, clean.graph_fingerprint)
+            << "workload " << workload_seed << " plan " << plan_seed;
+        ASSERT_EQ(chaotic.conflict_edge_count, clean.conflict_edge_count);
+        ASSERT_EQ(chaotic.precedes_edge_count, clean.precedes_edge_count);
+        ASSERT_EQ(chaotic.ops_routed, clean.ops_routed);
+      }
+    }
+  }
+  EXPECT_EQ(pairs, 200u);
+  EXPECT_GT(total_faults, 0u);       // the plans genuinely fired
+  EXPECT_GT(rejected_workloads, 0u);  // rejected verdicts were covered too
+}
+
+// --- Driver-level faults -----------------------------------------------------
+
+TEST(DriverFaultTest, PlanAbortsAreDeterministicAndStayCorrect) {
+  FaultPlanParams params;
+  params.crashes = 0;
+  params.restart_fails = 0;
+  params.delays = 0;
+  params.duplicates = 0;
+  params.reorders = 0;
+  params.snapshots = 0;
+  params.injected_aborts = 4;
+  FaultPlan plan = FaultPlan::Generate(77, 800, 1, params);
+
+  auto run_once = [&] {
+    QuickRunParams p;
+    p.config.seed = 21;
+    p.num_objects = 6;
+    p.num_toplevel = 6;
+    p.gen.depth = 2;
+    p.gen.fanout = 3;
+    p.config.fault_plan = &plan;
+    return QuickRun(p);
+  };
+  QuickRunResult a = run_once();
+  QuickRunResult b = run_once();
+  ASSERT_TRUE(a.sim.stats.completed);
+  EXPECT_GT(a.sim.stats.plan_aborts_injected, 0u);
+  EXPECT_EQ(a.sim.stats.plan_aborts_injected, b.sim.stats.plan_aborts_injected);
+  EXPECT_EQ(a.sim.trace.size(), b.sim.trace.size());
+
+  // Same trace, byte for byte: the plan replays exactly.
+  IncrementalCertifier ca(*a.type, ConflictMode::kReadWrite);
+  ca.IngestTrace(a.sim.trace);
+  IncrementalCertifier cb(*b.type, ConflictMode::kReadWrite);
+  cb.IngestTrace(b.sim.trace);
+  EXPECT_EQ(ca.graph_fingerprint(), cb.graph_fingerprint());
+
+  // Injected aborts are legal controller moves: the behavior still
+  // certifies.
+  CertifierReport report =
+      CertifySeriallyCorrect(*a.type, a.sim.trace, ConflictMode::kReadWrite);
+  EXPECT_TRUE(report.status.ok());
+}
+
+TEST(DriverFaultTest, SpuriousRejectsLeaveSgtSeriallyCorrect) {
+  FaultPlanParams params;
+  params.crashes = 0;
+  params.restart_fails = 0;
+  params.delays = 0;
+  params.duplicates = 0;
+  params.reorders = 0;
+  params.snapshots = 0;
+  params.injected_aborts = 2;
+  params.spurious_rejects = 4;
+  FaultPlan plan = FaultPlan::Generate(13, 400, 1, params);
+
+  QuickRunParams p;
+  p.config.backend = Backend::kSgt;
+  p.config.seed = 31;
+  p.num_objects = 6;
+  p.num_toplevel = 6;
+  p.gen.depth = 2;
+  p.gen.fanout = 3;
+  p.config.fault_plan = &plan;
+  QuickRunResult run = QuickRun(p);
+  ASSERT_TRUE(run.sim.stats.completed);
+  EXPECT_GT(run.sim.stats.spurious_rejects_injected, 0u);
+
+  CertifierReport report = CertifySeriallyCorrect(*run.type, run.sim.trace,
+                                                  ConflictMode::kReadWrite);
+  EXPECT_TRUE(report.status.ok());
+}
+
+}  // namespace
+}  // namespace ntsg

@@ -1,0 +1,173 @@
+// Property tests for IncrementalTopoGraph edge *removal* under random
+// insert/remove interleavings: the maintained order stays valid for every
+// surviving edge, cycle verdicts always match a from-scratch rebuild, and
+// removal re-enables exactly the edges whose cycles it broke.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "sg/fast_graph.h"
+
+namespace ntsg {
+namespace {
+
+using EdgeSet = std::set<std::pair<TxName, TxName>>;
+
+// Reference oracle: would adding from -> to close a cycle in `edges`?
+// (Reachability of `from` from `to` over the current edge set.)
+bool WouldCycle(const EdgeSet& edges, TxName from, TxName to) {
+  if (from == to) return true;
+  std::vector<TxName> stack = {to};
+  std::set<TxName> seen = {to};
+  while (!stack.empty()) {
+    TxName u = stack.back();
+    stack.pop_back();
+    if (u == from) return true;
+    for (const auto& [a, b] : edges) {
+      if (a == u && seen.insert(b).second) stack.push_back(b);
+    }
+  }
+  return false;
+}
+
+void ExpectOrderValid(const IncrementalTopoGraph& graph, const EdgeSet& edges) {
+  for (const auto& [from, to] : edges) {
+    ASSERT_TRUE(graph.HasEdge(from, to));
+    auto of = graph.OrdOf(from);
+    auto ot = graph.OrdOf(to);
+    ASSERT_TRUE(of.has_value());
+    ASSERT_TRUE(ot.has_value());
+    EXPECT_LT(*of, *ot) << from << " -> " << to;
+  }
+}
+
+TEST(TopoRemovalTest, RemovingAnEdgeReenablesTheReverse) {
+  IncrementalTopoGraph g;
+  EXPECT_TRUE(g.AddEdge(1, 2));
+  EXPECT_TRUE(g.AddEdge(2, 3));
+  EXPECT_FALSE(g.AddEdge(3, 1));  // would close the cycle
+  g.RemoveEdge(1, 2);
+  EXPECT_FALSE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.AddEdge(3, 1));  // the path 1 ->* 3 is gone
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(TopoRemovalTest, RemoveIsIdempotentAndIgnoresAbsentEdges) {
+  IncrementalTopoGraph g;
+  EXPECT_TRUE(g.AddEdge(1, 2));
+  g.RemoveEdge(1, 2);
+  g.RemoveEdge(1, 2);   // already gone
+  g.RemoveEdge(7, 8);   // never existed
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.AddEdge(2, 1));  // direction is free again
+}
+
+TEST(TopoRemovalTest, SelfEdgeAlwaysRejected) {
+  IncrementalTopoGraph g;
+  EXPECT_FALSE(g.AddEdge(4, 4));
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+// The core property: drive a graph through a long random interleaving of
+// insertions and removals over a small node universe (small so that cycles
+// and re-insertions are frequent), checking after every step that
+//   1. AddEdge accepts exactly the edges a from-scratch reachability oracle
+//      says are safe,
+//   2. the maintained topological order is valid for all surviving edges,
+//   3. a fresh graph rebuilt from the surviving edges accepts them all.
+TEST(TopoRemovalTest, RandomChurnMatchesFromScratchRebuild) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    IncrementalTopoGraph g;
+    EdgeSet edges;
+    const TxName kNodes = 8;
+    size_t accepted = 0, rejected = 0, removed = 0;
+
+    for (int step = 0; step < 400; ++step) {
+      bool remove = !edges.empty() && rng.NextBool(0.4);
+      if (remove) {
+        size_t idx = rng.NextBelow(edges.size());
+        auto it = edges.begin();
+        std::advance(it, idx);
+        auto [from, to] = *it;
+        g.RemoveEdge(from, to);
+        edges.erase(it);
+        ++removed;
+        EXPECT_FALSE(g.HasEdge(from, to));
+      } else {
+        TxName from = static_cast<TxName>(1 + rng.NextBelow(kNodes));
+        TxName to = static_cast<TxName>(1 + rng.NextBelow(kNodes));
+        bool oracle_rejects =
+            !edges.count({from, to}) && WouldCycle(edges, from, to);
+        bool ok = g.AddEdge(from, to);
+        ASSERT_EQ(ok, !oracle_rejects)
+            << "seed " << seed << " step " << step << ": " << from << " -> "
+            << to;
+        if (ok) {
+          edges.insert({from, to});
+          ++accepted;
+        } else {
+          ++rejected;
+        }
+      }
+      ASSERT_EQ(g.edge_count(), edges.size());
+      ExpectOrderValid(g, edges);
+    }
+
+    // The interleaving must actually have exercised all three behaviors.
+    EXPECT_GT(accepted, 0u);
+    EXPECT_GT(rejected, 0u);
+    EXPECT_GT(removed, 0u);
+
+    // A from-scratch rebuild accepts every surviving edge, in any order —
+    // here, the set's sorted order.
+    IncrementalTopoGraph rebuilt;
+    for (const auto& [from, to] : edges) {
+      ASSERT_TRUE(rebuilt.AddEdge(from, to));
+    }
+    ExpectOrderValid(rebuilt, edges);
+    EXPECT_EQ(rebuilt.edge_count(), g.edge_count());
+  }
+}
+
+// Removal-heavy endgame: tear a dense acyclic graph all the way down while
+// the order stays valid, then rebuild it reversed — every edge direction is
+// free once the graph is empty.
+TEST(TopoRemovalTest, TearDownAndRebuildReversed) {
+  IncrementalTopoGraph g;
+  EdgeSet edges;
+  const TxName kNodes = 10;
+  for (TxName from = 1; from <= kNodes; ++from) {
+    for (TxName to = from + 1; to <= kNodes; ++to) {
+      ASSERT_TRUE(g.AddEdge(from, to));
+      edges.insert({from, to});
+    }
+  }
+  // Reversed edges are all cycle-closing while the forward ones stand.
+  EXPECT_FALSE(g.AddEdge(kNodes, 1));
+
+  Rng rng(99);
+  while (!edges.empty()) {
+    size_t idx = rng.NextBelow(edges.size());
+    auto it = edges.begin();
+    std::advance(it, idx);
+    g.RemoveEdge(it->first, it->second);
+    edges.erase(it);
+    ExpectOrderValid(g, edges);
+  }
+  EXPECT_EQ(g.edge_count(), 0u);
+
+  for (TxName from = 1; from <= kNodes; ++from) {
+    for (TxName to = from + 1; to <= kNodes; ++to) {
+      ASSERT_TRUE(g.AddEdge(to, from));  // the reverse of the original
+    }
+  }
+  EXPECT_FALSE(g.AddEdge(1, kNodes));
+}
+
+}  // namespace
+}  // namespace ntsg

@@ -1,0 +1,139 @@
+// Trace I/O hardening: serialize -> parse -> re-serialize must be a fixpoint
+// for every trace the simulator can produce, and no mutation of a valid file
+// may crash the parser — it either parses cleanly or returns Corruption with
+// a line number. Complements trace_io_test.cc (which checks specific error
+// messages) with broad randomized coverage.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/driver.h"
+#include "tx/trace_io.h"
+
+namespace ntsg {
+namespace {
+
+std::string SerializeWorkload(uint64_t seed, ObjectType object_type) {
+  QuickRunParams params;
+  params.config.seed = seed;
+  params.config.backend =
+      object_type == ObjectType::kReadWrite ? Backend::kMoss : Backend::kUndo;
+  params.num_objects = 4;
+  params.object_type = object_type;
+  params.num_toplevel = 5;
+  params.gen.depth = 2;
+  params.gen.fanout = 2;
+  QuickRunResult run = QuickRun(params);
+  return SerializeSystemAndTrace(*run.type, run.sim.trace);
+}
+
+TEST(TraceIoFuzzTest, SerializeParseSerializeIsAFixpoint) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    ObjectType object_type =
+        seed % 2 == 0 ? ObjectType::kCounter : ObjectType::kReadWrite;
+    std::string first = SerializeWorkload(seed, object_type);
+
+    SystemType type;
+    Trace trace;
+    SiblingOrders orders;
+    Status st = ParseSystemAndTrace(first, &type, &trace, &orders);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+
+    std::string second = SerializeSystemAndTrace(type, trace, orders);
+    ASSERT_EQ(first, second) << "seed " << seed;
+
+    // One more round for good measure: the fixpoint is immediate, not
+    // eventual.
+    SystemType type2;
+    Trace trace2;
+    SiblingOrders orders2;
+    ASSERT_TRUE(ParseSystemAndTrace(second, &type2, &trace2, &orders2).ok());
+    EXPECT_EQ(SerializeSystemAndTrace(type2, trace2, orders2), second);
+    EXPECT_EQ(trace.size(), trace2.size());
+  }
+}
+
+TEST(TraceIoFuzzTest, MalformedInputsFailCleanly) {
+  const char* kMalformed[] = {
+      "",                                   // no header
+      "ntsg-trace v2\n",                    // wrong version
+      "ntsg-trace v1\nobject\n",            // truncated object line
+      "ntsg-trace v1\nobject 0 read_write X zero\n",  // non-numeric initial
+      "ntsg-trace v1\nobject 0 nosuch X 0\n",         // unknown object type
+      "ntsg-trace v1\nobject 1 read_write X 0\n",     // non-dense object id
+      "ntsg-trace v1\ntx 1 7\n",            // unknown parent
+      "ntsg-trace v1\ntx 5 0\n",            // non-dense tx id
+      "ntsg-trace v1\ntx 1 0 access 0 read 0\n",      // access on no object
+      "ntsg-trace v1\nobject 0 read_write X 0\n"
+      "tx 1 0 access 0 nosuchop 0\n",       // unknown op
+      "ntsg-trace v1\nevent CREATE 5\n",    // event on undeclared tx
+      "ntsg-trace v1\ntx 1 0\nevent NOSUCH 1\n",      // unknown action kind
+      "ntsg-trace v1\norder 9 1 2\n",       // order for undeclared parent
+      "ntsg-trace v1\nwhatever 1 2 3\n",    // unknown line tag
+  };
+  for (const char* text : kMalformed) {
+    SystemType type;
+    Trace trace;
+    Status st = ParseSystemAndTrace(text, &type, &trace);
+    EXPECT_FALSE(st.ok()) << "accepted: " << text;
+  }
+}
+
+// Mutation fuzzing: flip bytes, splice lines, and truncate valid files. The
+// parser must never crash or CHECK-fail; every outcome is either a clean
+// parse or a clean Corruption status.
+TEST(TraceIoFuzzTest, RandomMutationsNeverCrashTheParser) {
+  std::string base = SerializeWorkload(3, ObjectType::kReadWrite);
+  Rng rng(1234);
+  size_t parsed_ok = 0, rejected = 0;
+  for (int round = 0; round < 300; ++round) {
+    std::string text = base;
+    int mutations = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int m = 0; m < mutations; ++m) {
+      switch (rng.NextBelow(4)) {
+        case 0: {  // flip a byte
+          if (text.empty()) break;
+          size_t i = rng.NextBelow(text.size());
+          text[i] = static_cast<char>(rng.NextBelow(256));
+          break;
+        }
+        case 1: {  // truncate
+          text.resize(rng.NextBelow(text.size() + 1));
+          break;
+        }
+        case 2: {  // duplicate a random chunk of lines
+          size_t start = rng.NextBelow(text.size() + 1);
+          size_t len = rng.NextBelow(200);
+          text += text.substr(start, len);
+          break;
+        }
+        default: {  // splice garbage mid-file
+          size_t i = rng.NextBelow(text.size() + 1);
+          text.insert(i, "\ngarbage 1 2 3\n");
+          break;
+        }
+      }
+    }
+    SystemType type;
+    Trace trace;
+    SiblingOrders orders;
+    Status st = ParseSystemAndTrace(text, &type, &trace, &orders);
+    if (st.ok()) {
+      ++parsed_ok;
+      // Anything that parses must re-serialize without crashing.
+      SerializeSystemAndTrace(type, trace, orders);
+    } else {
+      ++rejected;
+    }
+  }
+  // The mutator must actually produce rejects (and the occasional survivor
+  // is fine — a flipped digit can still be a valid file).
+  EXPECT_GT(rejected, 0u);
+  EXPECT_EQ(parsed_ok + rejected, 300u);
+}
+
+}  // namespace
+}  // namespace ntsg

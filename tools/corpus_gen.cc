@@ -1,0 +1,136 @@
+// corpus_gen — regenerates the golden trace corpus under tests/corpus/.
+//
+//   corpus_gen <output-dir>
+//
+// Each corpus entry is a seeded simulator run saved in the ntsg-trace
+// format, together with a MANIFEST.tsv line recording the expected
+// certification outcome and the canonical serialization-graph fingerprint:
+//
+//   <file> <mode> <ok|rejected> <conflict-edges> <precedes-edges> <fp-hex>
+//
+// The corpus pins today's verdicts as goldens: corpus_test replays every
+// entry through the batch, incremental, and sharded certifiers and fails on
+// any drift. Regenerate (and review the diff!) only when an intentional
+// semantic change moves a golden.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sg/certifier.h"
+#include "sg/incremental_certifier.h"
+#include "sim/driver.h"
+#include "tx/trace_io.h"
+
+namespace ntsg {
+namespace {
+
+struct CorpusSpec {
+  const char* name;
+  Backend backend;
+  ObjectType object_type;
+  uint64_t seed;
+  size_t toplevel;
+  int depth;
+};
+
+// ~20 entries spanning the implemented backends, both conflict modes, deep
+// and shallow nesting, and the deliberately broken variants (whose REJECTED
+// verdicts are exactly what regression tests must keep rejecting).
+const CorpusSpec kSpecs[] = {
+    {"moss_small_1", Backend::kMoss, ObjectType::kReadWrite, 1, 4, 2},
+    {"moss_small_2", Backend::kMoss, ObjectType::kReadWrite, 2, 4, 2},
+    {"moss_wide", Backend::kMoss, ObjectType::kReadWrite, 3, 10, 1},
+    {"moss_deep", Backend::kMoss, ObjectType::kReadWrite, 4, 4, 3},
+    {"moss_large", Backend::kMoss, ObjectType::kReadWrite, 5, 12, 2},
+    {"undo_counter_1", Backend::kUndo, ObjectType::kCounter, 6, 6, 2},
+    {"undo_counter_2", Backend::kUndo, ObjectType::kCounter, 7, 6, 2},
+    {"undo_set", Backend::kUndo, ObjectType::kSet, 8, 6, 2},
+    {"undo_queue", Backend::kUndo, ObjectType::kQueue, 9, 5, 2},
+    {"undo_bank", Backend::kUndo, ObjectType::kBankAccount, 10, 6, 2},
+    {"mvto_1", Backend::kMvto, ObjectType::kReadWrite, 11, 6, 2},
+    {"mvto_2", Backend::kMvto, ObjectType::kReadWrite, 12, 8, 2},
+    {"mvto_deep", Backend::kMvto, ObjectType::kReadWrite, 13, 4, 3},
+    {"sgt_counter", Backend::kSgt, ObjectType::kCounter, 14, 6, 2},
+    {"sgt_rw", Backend::kSgt, ObjectType::kReadWrite, 15, 6, 2},
+    {"locking_counter", Backend::kGeneralLocking, ObjectType::kCounter, 16, 6,
+     2},
+    {"broken_dirty_read_1", Backend::kDirtyReadMoss, ObjectType::kReadWrite,
+     17, 8, 2},
+    {"broken_dirty_read_2", Backend::kDirtyReadMoss, ObjectType::kReadWrite,
+     18, 8, 2},
+    {"broken_no_read_lock", Backend::kNoReadLockMoss, ObjectType::kReadWrite,
+     19, 8, 2},
+    {"broken_no_commute", Backend::kNoCommuteUndo, ObjectType::kCounter, 20,
+     8, 2},
+};
+
+int Generate(const std::string& out_dir) {
+  std::ofstream manifest(out_dir + "/MANIFEST.tsv");
+  if (!manifest) {
+    std::fprintf(stderr, "cannot write %s/MANIFEST.tsv\n", out_dir.c_str());
+    return 1;
+  }
+  for (const CorpusSpec& spec : kSpecs) {
+    QuickRunParams params;
+    params.config.backend = spec.backend;
+    params.config.seed = spec.seed;
+    params.num_objects = 5;
+    params.object_type = spec.object_type;
+    params.num_toplevel = spec.toplevel;
+    params.gen.depth = spec.depth;
+    params.gen.fanout = 3;
+    params.gen.read_prob = 0.5;
+    QuickRunResult run = QuickRun(params);
+    if (!run.sim.stats.completed) {
+      std::fprintf(stderr, "%s: run did not complete\n", spec.name);
+      return 1;
+    }
+
+    ConflictMode mode = spec.object_type == ObjectType::kReadWrite
+                            ? ConflictMode::kReadWrite
+                            : ConflictMode::kCommutativity;
+    CertifierReport batch =
+        CertifySeriallyCorrect(*run.type, run.sim.trace, mode);
+    IncrementalCertifier cert(*run.type, mode);
+    cert.IngestTrace(run.sim.trace);
+    if (batch.status.ok() != cert.verdict().ok()) {
+      std::fprintf(stderr, "%s: batch and incremental disagree\n", spec.name);
+      return 1;
+    }
+
+    std::string file = std::string(spec.name) + ".trace";
+    Status st = WriteTraceFile(out_dir + "/" + file, *run.type,
+                               run.sim.trace);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.name, st.ToString().c_str());
+      return 1;
+    }
+    char fp[32];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(cert.graph_fingerprint()));
+    manifest << file << "\t"
+             << (mode == ConflictMode::kReadWrite ? "read_write"
+                                                  : "commutativity")
+             << "\t" << (batch.status.ok() ? "ok" : "rejected") << "\t"
+             << cert.conflict_edge_count() << "\t"
+             << cert.precedes_edge_count() << "\t" << fp << "\n";
+    std::printf("%-22s %s  events=%zu  conflict=%zu precedes=%zu fp=%s\n",
+                spec.name, batch.status.ok() ? "ok      " : "rejected",
+                run.sim.trace.size(), cert.conflict_edge_count(),
+                cert.precedes_edge_count(), fp);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ntsg
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: corpus_gen <output-dir>\n");
+    return 2;
+  }
+  return ntsg::Generate(argv[1]);
+}

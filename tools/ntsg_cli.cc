@@ -9,6 +9,11 @@
 //                                 first rejected action, --shards N runs
 //                                 the concurrent ingest pipeline
 //   ntsg sweep [options]          run many seeds, print aggregate stats
+//   ntsg chaos [options]          run a seeded workload under a seeded fault
+//                                 plan (worker crashes, delivery delay /
+//                                 reorder / duplication, controller aborts)
+//                                 and check the faulted verdict and graph
+//                                 fingerprint against the fault-free run
 //
 // Common options (defaults in brackets):
 //   --backend NAME    moss | moss_dirty_read | moss_no_read_lock |
@@ -29,7 +34,9 @@
 //   --abort-prob P    spontaneous abort probability per step       [0]
 //   --innermost       fine-grained stall aborts (default: top-level)
 //   --online          certify only: stream through IncrementalCertifier
-//   --shards N        certify only: also run the concurrent pipeline   [0]
+//   --shards N        certify: also run the concurrent pipeline;
+//                     chaos: pipeline width                    [0 / chaos: 4]
+//   --fault-seed S    chaos only: fault-plan seed                       [1]
 //   --save FILE       run only: save the behavior (trace format)
 //   --dot FILE        run only: dump the serialization graph (Graphviz)
 //   --quiet           suppress the per-event trace dump
@@ -41,6 +48,7 @@
 #include <string>
 
 #include "checker/witness.h"
+#include "fault/fault_plan.h"
 #include "mvto/timestamp_authority.h"
 #include "sg/certifier.h"
 #include "sg/fast_graph.h"
@@ -71,6 +79,7 @@ struct CliOptions {
   double zipf = 0.0;
   int retries = 2;
   uint64_t seed = 1;
+  uint64_t fault_seed = 1;
   size_t seeds = 20;
   double abort_prob = 0.0;
   bool innermost = false;
@@ -105,8 +114,8 @@ bool ParseType(const std::string& name, ObjectType* out) {
 }
 
 int Usage() {
-  std::cerr << "usage: ntsg run|audit|certify|sweep [options]  (see "
-               "tools/ntsg_cli.cpp header for the full list)\n";
+  std::cerr << "usage: ntsg run|audit|certify|sweep|chaos [options]  (see "
+               "tools/ntsg_cli.cc header for the full list)\n";
   return 2;
 }
 
@@ -164,6 +173,9 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
     } else if (a == "--seed") {
       if (!(v = need(a.c_str()))) return false;
       opt->seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--fault-seed") {
+      if (!(v = need(a.c_str()))) return false;
+      opt->fault_seed = std::strtoull(v, nullptr, 10);
     } else if (a == "--seeds") {
       if (!(v = need(a.c_str()))) return false;
       opt->seeds = std::strtoull(v, nullptr, 10);
@@ -191,7 +203,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
     }
   }
   return opt->command == "run" || opt->command == "audit" ||
-         opt->command == "certify" || opt->command == "sweep";
+         opt->command == "certify" || opt->command == "sweep" ||
+         opt->command == "chaos";
 }
 
 struct RunOutput {
@@ -200,7 +213,8 @@ struct RunOutput {
   std::map<TxName, std::vector<TxName>> mvto_orders;
 };
 
-RunOutput RunOnce(const CliOptions& opt, uint64_t seed) {
+RunOutput RunOnce(const CliOptions& opt, uint64_t seed,
+                  const FaultPlan* sim_plan = nullptr) {
   RunOutput out;
   out.type = std::make_unique<SystemType>();
   for (size_t i = 0; i < opt.objects; ++i) {
@@ -224,6 +238,7 @@ RunOutput RunOnce(const CliOptions& opt, uint64_t seed) {
   config.spontaneous_abort_prob = opt.abort_prob;
   config.stall_policy = opt.innermost ? StallPolicy::kAbortInnermost
                                       : StallPolicy::kAbortTopLevel;
+  config.fault_plan = sim_plan;
   out.sim = sim.Run(config);
   if (sim.authority() != nullptr) {
     out.mvto_orders = sim.authority()->CreationOrders();
@@ -359,6 +374,78 @@ int CmdCertify(const CliOptions& opt) {
   return batch.status.ok() ? 0 : 1;
 }
 
+// Runs the workload twice over the same seed — once fault-free, once under a
+// seeded fault plan both in the driver (controller aborts, spurious
+// rejections) and in the ingest pipeline (crashes, delivery faults) — and
+// demands the certifier's verdict and graph fingerprint be identical for the
+// pipeline layer, and the driver layer's behavior still certify.
+int CmdChaos(const CliOptions& opt) {
+  size_t shards = opt.shards > 0 ? opt.shards : 4;
+
+  // Driver-layer plan: deterministic controller aborts (plus spurious
+  // admission rejections when the SGT backend is active).
+  FaultPlanParams driver_params;
+  driver_params.crashes = 0;
+  driver_params.restart_fails = 0;
+  driver_params.delays = 0;
+  driver_params.duplicates = 0;
+  driver_params.reorders = 0;
+  driver_params.snapshots = 0;
+  driver_params.injected_aborts = 3;
+  driver_params.spurious_rejects = opt.backend == Backend::kSgt ? 3 : 0;
+  // Early horizon so the scheduled aborts land while work is still live.
+  FaultPlan driver_plan =
+      FaultPlan::Generate(opt.fault_seed, /*horizon=*/1'000, 1, driver_params);
+
+  RunOutput out = RunOnce(opt, opt.seed, &driver_plan);
+  const SimStats& s = out.sim.stats;
+  std::cout << "backend=" << BackendName(opt.backend) << " seed=" << opt.seed
+            << " fault-seed=" << opt.fault_seed
+            << " events=" << out.sim.trace.size()
+            << " completed=" << (s.completed ? "yes" : "NO")
+            << "\ndriver faults: plan_aborts=" << s.plan_aborts_injected
+            << " spurious_rejects=" << s.spurious_rejects_injected << "\n";
+
+  ConflictMode mode = ModeFor(*out.type);
+  CertifierReport batch = CertifySeriallyCorrect(*out.type, out.sim.trace, mode);
+  std::cout << "faulted behavior certifies: " << batch.status.ToString()
+            << "\n";
+
+  // Pipeline-layer plan: crashes, restart failures, delivery delay /
+  // reorder / duplication, snapshots — over the trace as delivered.
+  FaultPlan pipe_plan = FaultPlan::Generate(
+      opt.fault_seed, out.sim.trace.size(), shards, FaultPlanParams{});
+  if (!opt.quiet) std::cout << "fault plan:\n" << pipe_plan.ToString();
+
+  ConcurrentIngestConfig base_config;
+  base_config.num_shards = shards;
+  base_config.seed = opt.seed;
+  ConcurrentIngestReport clean =
+      ConcurrentIngestPipeline::Run(*out.type, out.sim.trace, mode,
+                                    base_config);
+
+  ConcurrentIngestConfig chaos_config = base_config;
+  chaos_config.fault_plan = &pipe_plan;
+  ConcurrentIngestReport chaotic = ConcurrentIngestPipeline::Run(
+      *out.type, out.sim.trace, mode, chaos_config);
+
+  std::cout << "fault log: " << chaotic.faults.ToString() << "\n";
+  std::cout << "clean:   " << (clean.ok() ? "ok" : "REJECTED")
+            << " fingerprint=" << std::hex << clean.graph_fingerprint
+            << std::dec << "\nchaotic: " << (chaotic.ok() ? "ok" : "REJECTED")
+            << " fingerprint=" << std::hex << chaotic.graph_fingerprint
+            << std::dec << "\n";
+
+  bool match = clean.ok() == chaotic.ok() &&
+               clean.graph_fingerprint == chaotic.graph_fingerprint &&
+               clean.conflict_edge_count == chaotic.conflict_edge_count &&
+               clean.precedes_edge_count == chaotic.precedes_edge_count;
+  std::cout << (match ? "MATCH: faults did not move the verdict or the graph"
+                      : "MISMATCH between clean and chaotic runs")
+            << "\n";
+  return match ? 0 : 3;
+}
+
 int CmdSweep(const CliOptions& opt) {
   double committed = 0, aborted = 0, stall = 0, steps = 0, verified = 0;
   size_t runs = 0;
@@ -399,5 +486,6 @@ int main(int argc, char** argv) {
   if (opt.command == "run") return ntsg::CmdRun(opt);
   if (opt.command == "audit") return ntsg::CmdAudit(opt);
   if (opt.command == "certify") return ntsg::CmdCertify(opt);
+  if (opt.command == "chaos") return ntsg::CmdChaos(opt);
   return ntsg::CmdSweep(opt);
 }
