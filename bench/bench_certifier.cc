@@ -65,4 +65,4 @@ BENCHMARK(BM_CurrentAndSafeOnly)->Arg(32)->Arg(128)
 }  // namespace
 }  // namespace ntsg
 
-BENCHMARK_MAIN();
+NTSG_BENCH_MAIN();

@@ -131,4 +131,4 @@ BENCHMARK(BM_CertifierSnapshotResume)
 }  // namespace
 }  // namespace ntsg
 
-BENCHMARK_MAIN();
+NTSG_BENCH_MAIN();

@@ -92,4 +92,4 @@ BENCHMARK(BM_ConcurrentIngest)
 }  // namespace
 }  // namespace ntsg
 
-BENCHMARK_MAIN();
+NTSG_BENCH_MAIN();

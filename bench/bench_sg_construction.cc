@@ -83,4 +83,4 @@ BENCHMARK(BM_FastAcyclicity)->Arg(8)->Arg(32)->Arg(128)->Arg(512)
 }  // namespace
 }  // namespace ntsg
 
-BENCHMARK_MAIN();
+NTSG_BENCH_MAIN();

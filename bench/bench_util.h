@@ -5,9 +5,16 @@
 // experiment from EXPERIMENTS.md; workloads are derived deterministically
 // from the arguments so results are reproducible run to run.
 
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
 #include <map>
 #include <memory>
+#include <string>
 
+#include "obs/families.h"
+#include "obs/metrics.h"
 #include "sim/driver.h"
 
 namespace ntsg::bench {
@@ -37,6 +44,48 @@ inline const QuickRunResult& CachedRun(size_t num_toplevel, Backend backend,
   return *it->second;
 }
 
+/// When NTSG_BENCH_METRICS_DIR is set, benches run instrumented: metrics are
+/// force-enabled before any workload and every family is registered so the
+/// final snapshot is complete. Off by default — overhead numbers are
+/// measured with instrumentation disabled unless a bench opts in itself.
+inline void MaybeEnableBenchMetrics() {
+  if (std::getenv("NTSG_BENCH_METRICS_DIR") != nullptr) {
+    obs::SetMetricsEnabled(true);
+    obs::RegisterAllMetricFamilies();
+  }
+}
+
+/// Companion to MaybeEnableBenchMetrics: after the benchmarks ran, drop a
+/// Prometheus-text snapshot at $NTSG_BENCH_METRICS_DIR/<bench-binary>.prom,
+/// next to the timing output CI archives.
+inline void MaybeWriteMetricsSnapshot(const char* argv0) {
+  const char* dir = std::getenv("NTSG_BENCH_METRICS_DIR");
+  if (dir == nullptr) return;
+  std::string base(argv0);
+  base = base.substr(base.find_last_of('/') + 1);
+  std::string path = std::string(dir) + "/" + base + ".prom";
+  Status st = obs::MetricsRegistry::Default().WriteSnapshot(path);
+  if (st.ok()) {
+    std::cerr << "metrics snapshot: " << path << "\n";
+  } else {
+    std::cerr << "metrics snapshot failed: " << st.ToString() << "\n";
+  }
+}
+
 }  // namespace ntsg::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() that wires the metric-snapshot
+/// hooks around the standard run.
+#define NTSG_BENCH_MAIN()                                                   \
+  int main(int argc, char** argv) {                                         \
+    ::ntsg::bench::MaybeEnableBenchMetrics();                               \
+    ::benchmark::Initialize(&argc, argv);                                   \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
+    ::benchmark::RunSpecifiedBenchmarks();                                  \
+    ::benchmark::Shutdown();                                                \
+    ::ntsg::bench::MaybeWriteMetricsSnapshot(argv[0]);                      \
+    return 0;                                                               \
+  }                                                                         \
+  int ntsg_bench_main_anchor_ = 0
 
 #endif  // NTSG_BENCH_BENCH_UTIL_H_

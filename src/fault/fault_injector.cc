@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/families.h"
+
 namespace ntsg {
 
 std::string FaultStats::ToString() const {
@@ -14,6 +16,21 @@ std::string FaultStats::ToString() const {
       << " replayed=" << items_replayed << " injected_aborts="
       << injected_aborts << " spurious_rejects=" << spurious_rejects;
   return out.str();
+}
+
+void PublishFaultStats(const FaultStats& stats) {
+  const obs::FaultMetrics& m = obs::GetFaultMetrics();
+  m.crashes->Inc(stats.crashes);
+  m.restart_attempts->Inc(stats.restart_attempts);
+  m.restart_failures->Inc(stats.restart_failures);
+  m.restarts->Inc(stats.restarts);
+  m.delays->Inc(stats.delays);
+  m.duplicates->Inc(stats.duplicates);
+  m.reorders->Inc(stats.reorders);
+  m.snapshots->Inc(stats.snapshots);
+  m.items_replayed->Inc(stats.items_replayed);
+  m.injected_aborts->Inc(stats.injected_aborts);
+  m.spurious_rejects->Inc(stats.spurious_rejects);
 }
 
 FaultInjector::FaultInjector(const FaultPlan& plan,

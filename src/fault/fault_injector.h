@@ -35,6 +35,12 @@ struct FaultStats {
   std::string ToString() const;
 };
 
+/// Folds a delivered-fault tally into the process-wide ntsg_fault_* metric
+/// families (obs/families.h), so chaos activity lands on the same scrape as
+/// certifier and ingest metrics. Call once per finished run (the pipeline's
+/// Finish, the driver's end of Run); counters accumulate across runs.
+void PublishFaultStats(const FaultStats& stats);
+
 /// Per-site cursor over a FaultPlan: each injection site (ingest router,
 /// simulation driver, SGT coordinator) constructs its own injector filtered
 /// to the kinds it interprets, then polls it with its own monotone tick.

@@ -1,0 +1,145 @@
+#include "obs/families.h"
+
+#include <string>
+
+namespace ntsg::obs {
+
+namespace {
+
+MetricsRegistry& Reg() { return MetricsRegistry::Default(); }
+
+Histogram* LatencyHistogram(const std::string& name, const std::string& help) {
+  return Reg().GetHistogram(name, help, DefaultLatencyBucketsUs());
+}
+
+}  // namespace
+
+const CertifierMetrics& GetCertifierMetrics() {
+  static const CertifierMetrics m = {
+      Reg().GetCounter("ntsg_certifier_actions_total",
+                       "Actions ingested by incremental certifiers"),
+      Reg().GetCounter("ntsg_certifier_ops_activated_total",
+                       "Operations that became visible and were applied"),
+      Reg().GetCounter("ntsg_certifier_ops_parked_total",
+                       "Operations parked on an uncommitted ancestor"),
+      Reg().GetCounter("ntsg_certifier_ops_dropped_total",
+                       "Parked operations dropped because an ancestor aborted"),
+      Reg().GetCounter("ntsg_certifier_visibility_fired_total",
+                       "Visibility-tracker items fired by a commit"),
+      Reg().GetCounter("ntsg_certifier_conflict_edges_total",
+                       "Distinct conflict edges inserted"),
+      Reg().GetCounter("ntsg_certifier_precedes_edges_total",
+                       "Distinct precedes edges inserted"),
+      Reg().GetCounter("ntsg_certifier_cycle_rejections_total",
+                       "Edge insertions rejected for closing a cycle"),
+      LatencyHistogram("ntsg_certifier_edge_insert_us",
+                       "Pearce-Kelly edge insertion latency"),
+  };
+  return m;
+}
+
+const SgtMetrics& GetSgtMetrics() {
+  static const SgtMetrics m = {
+      Reg().GetCounter("ntsg_sgt_admission_checks_total",
+                       "Admission trials run by the SGT coordinator"),
+      Reg().GetCounter("ntsg_sgt_admission_rejects_total",
+                       "Admission trials that found a cycle"),
+      Reg().GetCounter("ntsg_sgt_edges_added_total",
+                       "Sibling edges admitted into the coordinator graph"),
+      Reg().GetCounter("ntsg_sgt_edges_removed_total",
+                       "Sibling edges expunged by aborts"),
+      LatencyHistogram("ntsg_sgt_admission_check_us",
+                       "Trial-insert admission check latency"),
+  };
+  return m;
+}
+
+const IngestMetrics& GetIngestMetrics() {
+  static const IngestMetrics m = {
+      Reg().GetCounter("ntsg_ingest_actions_total",
+                       "Actions routed through ingest pipelines"),
+      Reg().GetCounter("ntsg_ingest_ops_routed_total",
+                       "Visible operations dispatched to shard queues"),
+      Reg().GetShardedCounter("ntsg_ingest_ops_processed_total",
+                              "Operations applied by shard workers"),
+      Reg().GetCounter("ntsg_ingest_backpressure_waits_total",
+                       "Pushes that blocked on a full shard queue"),
+      Reg().GetCounter("ntsg_ingest_worker_restarts_total",
+                       "Shard workers restarted after a crash"),
+      LatencyHistogram("ntsg_ingest_delivery_lag_us",
+                       "Queue residency from push to worker apply"),
+      LatencyHistogram("ntsg_ingest_snapshot_us",
+                       "Shard snapshot (checkpoint) duration"),
+      LatencyHistogram("ntsg_ingest_replay_us",
+                       "Crash-recovery snapshot-restore-plus-log-replay "
+                       "duration"),
+      LatencyHistogram("ntsg_ingest_stripe_lock_wait_us",
+                       "Wait to acquire a graph stripe mutex"),
+  };
+  return m;
+}
+
+Gauge* IngestQueueDepthGauge(size_t shard) {
+  return Reg().GetGauge("ntsg_ingest_queue_depth",
+                        "Operations queued per shard",
+                        "shard=\"" + std::to_string(shard) + "\"");
+}
+
+const DriverMetrics& GetDriverMetrics() {
+  static const DriverMetrics m = {
+      Reg().GetCounter("ntsg_driver_steps_total",
+                       "Simulation steps executed"),
+      Reg().GetCounter("ntsg_driver_stall_events_total",
+                       "Quiescent states with blocked accesses (deadlock "
+                       "resolution rounds)"),
+      Reg().GetCounter("ntsg_driver_aborts_total",
+                       "Driver-initiated aborts by cause", "cause=\"stall\""),
+      Reg().GetCounter("ntsg_driver_aborts_total",
+                       "Driver-initiated aborts by cause", "cause=\"random\""),
+      Reg().GetCounter("ntsg_driver_aborts_total",
+                       "Driver-initiated aborts by cause", "cause=\"plan\""),
+      Reg().GetCounter("ntsg_driver_aborts_total",
+                       "Driver-initiated aborts by cause",
+                       "cause=\"spurious\""),
+  };
+  return m;
+}
+
+const FaultMetrics& GetFaultMetrics() {
+  static const FaultMetrics m = {
+      Reg().GetCounter("ntsg_fault_crashes_total",
+                       "Worker crashes delivered"),
+      Reg().GetCounter("ntsg_fault_restart_attempts_total",
+                       "Worker restart attempts"),
+      Reg().GetCounter("ntsg_fault_restart_failures_total",
+                       "Worker restart attempts that failed"),
+      Reg().GetCounter("ntsg_fault_restarts_total",
+                       "Workers successfully restarted"),
+      Reg().GetCounter("ntsg_fault_delays_total",
+                       "Delivery delays injected"),
+      Reg().GetCounter("ntsg_fault_duplicates_total",
+                       "Deliveries duplicated"),
+      Reg().GetCounter("ntsg_fault_reorders_total",
+                       "Deliveries reordered"),
+      Reg().GetCounter("ntsg_fault_snapshots_total",
+                       "Snapshot faults delivered"),
+      Reg().GetCounter("ntsg_fault_items_replayed_total",
+                       "Logged items replayed during recovery"),
+      Reg().GetCounter("ntsg_fault_injected_aborts_total",
+                       "Controller aborts injected by a fault plan"),
+      Reg().GetCounter("ntsg_fault_spurious_rejects_total",
+                       "SGT admission checks failed on purpose"),
+  };
+  return m;
+}
+
+void RegisterAllMetricFamilies() {
+  (void)GetCertifierMetrics();
+  (void)GetSgtMetrics();
+  (void)GetIngestMetrics();
+  (void)IngestQueueDepthGauge(0);
+  (void)GetDriverMetrics();
+  (void)GetFaultMetrics();
+}
+
+}  // namespace ntsg::obs

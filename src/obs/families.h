@@ -1,0 +1,98 @@
+#ifndef NTSG_OBS_FAMILIES_H_
+#define NTSG_OBS_FAMILIES_H_
+
+#include <cstddef>
+
+#include "obs/metrics.h"
+
+namespace ntsg::obs {
+
+/// The fixed metric schema of the system, one handle bundle per instrumented
+/// layer. Each accessor resolves its handles from MetricsRegistry::Default()
+/// exactly once (function-local static), so hot paths record through plain
+/// pointers; the bundles double as the canonical list of family names for
+/// DESIGN.md and the scrape tests.
+///
+/// Counters are process-wide totals: every certifier / pipeline / scheduler
+/// instance in the process records into the same families (a scrape answers
+/// "what has this process done", not "what has this object done").
+
+/// IncrementalCertifier: admission work and visibility-tracker traffic.
+struct CertifierMetrics {
+  Counter* actions_ingested;    // ntsg_certifier_actions_total
+  Counter* ops_activated;       // ntsg_certifier_ops_activated_total
+  Counter* ops_parked;          // ntsg_certifier_ops_parked_total
+  Counter* ops_dropped;         // ntsg_certifier_ops_dropped_total
+  Counter* visibility_fired;    // ntsg_certifier_visibility_fired_total
+  Counter* conflict_edges;      // ntsg_certifier_conflict_edges_total
+  Counter* precedes_edges;      // ntsg_certifier_precedes_edges_total
+  Counter* cycle_rejections;    // ntsg_certifier_cycle_rejections_total
+  Histogram* edge_insert_us;    // ntsg_certifier_edge_insert_us
+};
+const CertifierMetrics& GetCertifierMetrics();
+
+/// SGT coordinator: admission trials and support-counted edge churn.
+struct SgtMetrics {
+  Counter* admission_checks;    // ntsg_sgt_admission_checks_total
+  Counter* admission_rejects;   // ntsg_sgt_admission_rejects_total
+  Counter* edges_added;         // ntsg_sgt_edges_added_total
+  Counter* edges_removed;       // ntsg_sgt_edges_removed_total
+  Histogram* admission_us;      // ntsg_sgt_admission_check_us
+};
+const SgtMetrics& GetSgtMetrics();
+
+/// ConcurrentIngestPipeline: routing, shard queues, recovery machinery.
+struct IngestMetrics {
+  Counter* actions_ingested;        // ntsg_ingest_actions_total
+  Counter* ops_routed;              // ntsg_ingest_ops_routed_total
+  ShardedCounter* ops_processed;    // ntsg_ingest_ops_processed_total
+  Counter* backpressure_waits;      // ntsg_ingest_backpressure_waits_total
+  Counter* worker_restarts;         // ntsg_ingest_worker_restarts_total
+  Histogram* delivery_lag_us;       // ntsg_ingest_delivery_lag_us
+  Histogram* snapshot_us;           // ntsg_ingest_snapshot_us
+  Histogram* replay_us;             // ntsg_ingest_replay_us
+  Histogram* stripe_lock_wait_us;   // ntsg_ingest_stripe_lock_wait_us
+};
+const IngestMetrics& GetIngestMetrics();
+
+/// Per-shard queue depth gauge (ntsg_ingest_queue_depth{shard="i"}); the
+/// pipeline resolves one per shard at construction.
+Gauge* IngestQueueDepthGauge(size_t shard);
+
+/// Simulation driver: scheduler progress and aborts by cause.
+struct DriverMetrics {
+  Counter* steps;               // ntsg_driver_steps_total
+  Counter* stall_events;        // ntsg_driver_stall_events_total
+  Counter* aborts_stall;        // ntsg_driver_aborts_total{cause="stall"}
+  Counter* aborts_random;       // ntsg_driver_aborts_total{cause="random"}
+  Counter* aborts_plan;         // ntsg_driver_aborts_total{cause="plan"}
+  Counter* aborts_spurious;     // ntsg_driver_aborts_total{cause="spurious"}
+};
+const DriverMetrics& GetDriverMetrics();
+
+/// Fault-recovery families (ntsg_fault_*), fed from FaultStats so chaos
+/// counters surface on the same scrape as everything else (see
+/// PublishFaultStats in fault/fault_injector.h).
+struct FaultMetrics {
+  Counter* crashes;             // ntsg_fault_crashes_total
+  Counter* restart_attempts;    // ntsg_fault_restart_attempts_total
+  Counter* restart_failures;    // ntsg_fault_restart_failures_total
+  Counter* restarts;            // ntsg_fault_restarts_total
+  Counter* delays;              // ntsg_fault_delays_total
+  Counter* duplicates;          // ntsg_fault_duplicates_total
+  Counter* reorders;            // ntsg_fault_reorders_total
+  Counter* snapshots;           // ntsg_fault_snapshots_total
+  Counter* items_replayed;      // ntsg_fault_items_replayed_total
+  Counter* injected_aborts;     // ntsg_fault_injected_aborts_total
+  Counter* spurious_rejects;    // ntsg_fault_spurious_rejects_total
+};
+const FaultMetrics& GetFaultMetrics();
+
+/// Forces registration of every family above (plus queue-depth shard 0), so
+/// a snapshot taken before any workload still exposes the full schema with
+/// zero values — what `ntsg certify --metrics-out` relies on.
+void RegisterAllMetricFamilies();
+
+}  // namespace ntsg::obs
+
+#endif  // NTSG_OBS_FAMILIES_H_

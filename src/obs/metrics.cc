@@ -1,0 +1,285 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ntsg::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// NTSG_METRICS=1 (any nonempty value but "0") force-enables metrics at
+/// process start — the CI hook that runs the full tier-1 gate instrumented
+/// without touching any call site.
+bool InitEnabledFromEnv() {
+  const char* env = std::getenv("NTSG_METRICS");
+  bool on = env != nullptr && env[0] != '\0' && std::string(env) != "0";
+  g_enabled.store(on, std::memory_order_relaxed);
+  return on;
+}
+
+const bool g_env_init = InitEnabledFromEnv();
+
+}  // namespace
+
+bool MetricsEnabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetMetricsEnabled(bool enabled) {
+  (void)g_env_init;
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// --- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  NTSG_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  NTSG_CHECK(std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+             bounds_.end())
+      << "histogram bounds must be strictly increasing";
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(uint64_t v) {
+  if (!MetricsEnabled()) return;
+  size_t i = std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+             bounds_.begin();
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> DefaultLatencyBucketsUs() {
+  return {1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576};
+}
+
+// --- MetricsRegistry --------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Family& MetricsRegistry::FamilyFor(const std::string& name,
+                                                    Kind kind,
+                                                    const std::string& help) {
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = kind;
+    it->second.help = help;
+  } else {
+    NTSG_CHECK(it->second.kind == kind)
+        << "metric family " << name << " re-registered with another kind";
+  }
+  return it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument& inst =
+      FamilyFor(name, Kind::kCounter, help).instances[labels];
+  if (inst.counter == nullptr) inst.counter = std::make_unique<Counter>();
+  return inst.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument& inst = FamilyFor(name, Kind::kGauge, help).instances[labels];
+  if (inst.gauge == nullptr) inst.gauge = std::make_unique<Gauge>();
+  return inst.gauge.get();
+}
+
+ShardedCounter* MetricsRegistry::GetShardedCounter(const std::string& name,
+                                                   const std::string& help,
+                                                   const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument& inst =
+      FamilyFor(name, Kind::kShardedCounter, help).instances[labels];
+  if (inst.sharded == nullptr) inst.sharded = std::make_unique<ShardedCounter>();
+  return inst.sharded.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<uint64_t> bounds,
+                                         const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument& inst =
+      FamilyFor(name, Kind::kHistogram, help).instances[labels];
+  if (inst.histogram == nullptr) {
+    inst.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return inst.histogram.get();
+}
+
+namespace {
+
+/// `name` or `name{labels}`; `extra` appends to the label list (histogram le).
+std::string Series(const std::string& name, const std::string& labels,
+                   const std::string& extra = "") {
+  std::string inner = labels;
+  if (!extra.empty()) inner += (inner.empty() ? "" : ",") + extra;
+  if (inner.empty()) return name;
+  return name + "{" + inner + "}";
+}
+
+/// Label strings carry Prometheus-style quotes (shard="3"); as JSON object
+/// keys they need escaping.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, family] : families_) {
+    out << "# HELP " << name << " " << family.help << "\n";
+    const char* type = nullptr;
+    switch (family.kind) {
+      case Kind::kCounter:
+      case Kind::kShardedCounter:
+        type = "counter";
+        break;
+      case Kind::kGauge:
+        type = "gauge";
+        break;
+      case Kind::kHistogram:
+        type = "histogram";
+        break;
+    }
+    out << "# TYPE " << name << " " << type << "\n";
+    for (const auto& [labels, inst] : family.instances) {
+      switch (family.kind) {
+        case Kind::kCounter:
+          out << Series(name, labels) << " " << inst.counter->value() << "\n";
+          break;
+        case Kind::kShardedCounter:
+          out << Series(name, labels) << " " << inst.sharded->value() << "\n";
+          break;
+        case Kind::kGauge:
+          out << Series(name, labels) << " " << inst.gauge->value() << "\n";
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *inst.histogram;
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i < h.bounds().size(); ++i) {
+            cumulative += h.bucket(i);
+            out << Series(name + "_bucket", labels,
+                          "le=\"" + std::to_string(h.bounds()[i]) + "\"")
+                << " " << cumulative << "\n";
+          }
+          out << Series(name + "_bucket", labels, "le=\"+Inf\"") << " "
+              << h.count() << "\n";
+          out << Series(name + "_sum", labels) << " " << h.sum() << "\n";
+          out << Series(name + "_count", labels) << " " << h.count() << "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::JsonText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\n";
+  bool first_family = true;
+  for (const auto& [name, family] : families_) {
+    if (!first_family) out << ",\n";
+    first_family = false;
+    out << "  \"" << name << "\": {";
+    bool first_inst = true;
+    for (const auto& [labels, inst] : family.instances) {
+      if (!first_inst) out << ", ";
+      first_inst = false;
+      out << "\"" << (labels.empty() ? "_" : JsonEscape(labels)) << "\": ";
+      switch (family.kind) {
+        case Kind::kCounter:
+          out << inst.counter->value();
+          break;
+        case Kind::kShardedCounter:
+          out << inst.sharded->value();
+          break;
+        case Kind::kGauge:
+          out << inst.gauge->value();
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *inst.histogram;
+          out << "{\"count\": " << h.count() << ", \"sum\": " << h.sum()
+              << ", \"buckets\": [";
+          for (size_t i = 0; i <= h.bounds().size(); ++i) {
+            if (i > 0) out << ", ";
+            out << h.bucket(i);
+          }
+          out << "]}";
+          break;
+        }
+      }
+    }
+    out << "}";
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+Status MetricsRegistry::WriteSnapshot(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Status::Internal("cannot open " + path + " for writing");
+  bool json = path.size() >= 5 && path.rfind(".json") == path.size() - 5;
+  file << (json ? JsonText() : PrometheusText());
+  if (!file.good()) return Status::Internal("short write to " + path);
+  return Status::Ok();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, family] : families_) {
+    for (auto& [labels, inst] : family.instances) {
+      switch (family.kind) {
+        case Kind::kCounter:
+          inst.counter->Reset();
+          break;
+        case Kind::kShardedCounter:
+          inst.sharded->Reset();
+          break;
+        case Kind::kGauge:
+          inst.gauge->Reset();
+          break;
+        case Kind::kHistogram:
+          inst.histogram->Reset();
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace ntsg::obs

@@ -1,0 +1,178 @@
+#ifndef NTSG_OBS_METRICS_H_
+#define NTSG_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ntsg::obs {
+
+/// Global on/off switch for every instrument. Disabled (the default unless
+/// the NTSG_METRICS environment variable is set to a nonempty value other
+/// than "0") every recording call reduces to one relaxed load and a branch —
+/// the discipline bench_obs_overhead holds to a <2% end-to-end budget, the
+/// same contract the fault hooks follow.
+///
+/// Instrumentation is strictly write-only from the instrumented code's point
+/// of view: no certifier, pipeline, or scheduler decision ever reads a
+/// metric, so enabling metrics cannot move a verdict or a graph fingerprint
+/// (the chaos determinism suite runs both ways to enforce this).
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+/// Monotonically increasing counter. Relaxed atomics: scrapes may observe a
+/// slightly stale value, never a torn one.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) {
+    if (MetricsEnabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous level (queue depths, live node counts).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if (MetricsEnabled()) value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t d) {
+    if (MetricsEnabled()) value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  void Sub(int64_t d) { Add(-d); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Counter sharded over cache-line-padded slots so concurrent writers (e.g.
+/// pipeline workers) never contend on one line; the scrape aggregates the
+/// slots. Callers pass a slot hint (their shard index); any hint is valid.
+class ShardedCounter {
+ public:
+  static constexpr size_t kSlots = 16;
+
+  void Inc(size_t slot_hint, uint64_t n = 1) {
+    if (MetricsEnabled()) {
+      slots_[slot_hint % kSlots].v.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  uint64_t value() const {
+    uint64_t total = 0;
+    for (const Slot& s : slots_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+  void Reset() {
+    for (Slot& s : slots_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Slot, kSlots> slots_;
+};
+
+/// Fixed-bucket histogram: bucket upper bounds are chosen at registration
+/// and never reallocate, so Observe is lock-free (binary search over the
+/// bounds + one relaxed add). Values are plain integers; latency callers use
+/// microseconds by convention (see DefaultLatencyBucketsUs).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<uint64_t> bounds);
+
+  void Observe(uint64_t v);
+
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+  /// Count in bucket i (i == bounds().size() is the +Inf bucket).
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::vector<uint64_t> bounds_;  // strictly increasing upper bounds (le)
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// 1us .. ~1s in roughly 4x steps — wide enough for a single edge insert and
+/// a full shard replay on the same scale.
+std::vector<uint64_t> DefaultLatencyBucketsUs();
+
+/// Owner of every instrument: families are keyed by Prometheus-style name
+/// (one kind per name) and instances within a family by a label string like
+/// `shard="3"` (empty for unlabeled). Handles returned by the Get* calls are
+/// stable for the registry's lifetime, so components resolve them once and
+/// record lock-free afterwards; the registry mutex is touched only at
+/// registration and scrape time.
+class MetricsRegistry {
+ public:
+  /// Process-wide registry all production components record into.
+  static MetricsRegistry& Default();
+
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const std::string& labels = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const std::string& labels = "");
+  ShardedCounter* GetShardedCounter(const std::string& name,
+                                    const std::string& help,
+                                    const std::string& labels = "");
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<uint64_t> bounds,
+                          const std::string& labels = "");
+
+  /// Prometheus text exposition (families in name order, instances in label
+  /// order — deterministic given identical values).
+  std::string PrometheusText() const;
+  /// The same snapshot as a single JSON object.
+  std::string JsonText() const;
+  /// Writes JSON when `path` ends in ".json", Prometheus text otherwise.
+  Status WriteSnapshot(const std::string& path) const;
+
+  /// Zeroes every instrument (families stay registered). For tests and for
+  /// bench iterations that want per-phase snapshots.
+  void ResetAll();
+
+ private:
+  enum class Kind : uint8_t { kCounter, kGauge, kShardedCounter, kHistogram };
+
+  struct Instrument {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<ShardedCounter> sharded;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  struct Family {
+    Kind kind;
+    std::string help;
+    std::map<std::string, Instrument> instances;  // by label string
+  };
+
+  Family& FamilyFor(const std::string& name, Kind kind,
+                    const std::string& help);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace ntsg::obs
+
+#endif  // NTSG_OBS_METRICS_H_

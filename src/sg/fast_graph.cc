@@ -6,6 +6,8 @@
 #include <set>
 #include <vector>
 
+#include "common/logging.h"
+
 namespace ntsg {
 
 namespace {
@@ -14,8 +16,19 @@ namespace {
 /// nodes tagged in the high bits.
 using NodeId = uint64_t;
 
+// The tagging scheme (and EdgeKey in the header) packs a TxName into the low
+// 32 bits of a uint64 and claims everything above for virtual-node tags. A
+// wider TxName would silently classify real transactions as timeline nodes
+// and alias edge keys; refuse to compile instead.
+static_assert(sizeof(TxName) <= sizeof(uint32_t),
+              "NodeId tagging and EdgeKey packing assume TxName fits in "
+              "32 bits; widen the tag layout before widening TxName");
+
 NodeId RealNode(TxName t) { return t; }
-NodeId VirtualNode(size_t k) { return (uint64_t{1} << 32) | k; }
+NodeId VirtualNode(size_t k) {
+  NTSG_CHECK((k >> 32) == 0) << "virtual-node index overflows the tag layout";
+  return (uint64_t{1} << 32) | k;
+}
 bool IsRealNode(NodeId n) { return (n >> 32) == 0; }
 
 /// Builds the combined conflict + timeline graph (see header).
@@ -223,8 +236,13 @@ void IncrementalTopoGraph::RemoveEdge(TxName from, TxName to) {
   if (edges_.erase(EdgeKey(from, to)) == 0) return;
   uint32_t sx = slot_.at(from);
   uint32_t sy = slot_.at(to);
+  // The key was in edges_, so both adjacency lists must hold the edge; if
+  // they diverged (a partially restored snapshot, a future refactor bug),
+  // dereferencing find()'s end() here would be UB — fail loudly instead.
   auto drop = [](std::vector<uint32_t>& v, uint32_t target) {
     auto it = std::find(v.begin(), v.end(), target);
+    NTSG_CHECK(it != v.end())
+        << "edge set and adjacency lists diverged on removal";
     *it = v.back();
     v.pop_back();
   };

@@ -97,6 +97,9 @@ class IncrementalTopoGraph {
   };
 
   static uint64_t EdgeKey(TxName from, TxName to) {
+    static_assert(sizeof(TxName) <= sizeof(uint32_t),
+                  "EdgeKey packs two TxNames into one uint64; widen the key "
+                  "before widening TxName");
     return (static_cast<uint64_t>(from) << 32) | to;
   }
 

@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/families.h"
+#include "obs/span.h"
 #include "sg/fingerprint.h"
 
 namespace ntsg {
@@ -215,10 +217,12 @@ void IncrementalCertifier::FireItem(const VisibilityTracker::Item& item) {
 
 void IncrementalCertifier::DropItem(const VisibilityTracker::Item& item) {
   if (item.tag & kScopeTagBit) return;  // Scope state stays parked in scopes_.
+  obs::GetCertifierMetrics().ops_dropped->Inc();
   pending_ops_.erase(item.tag);
 }
 
 void IncrementalCertifier::Ingest(const Action& a) {
+  obs::GetCertifierMetrics().actions_ingested->Inc();
   uint64_t pos = pos_++;
   std::vector<VisibilityTracker::Item> fired;
   std::vector<VisibilityTracker::Item> dropped;
@@ -230,6 +234,7 @@ void IncrementalCertifier::Ingest(const Action& a) {
             ActivateOp(pos, a.tx, a.value);
             break;
           case VisibilityTracker::WatchResult::kParked:
+            obs::GetCertifierMetrics().ops_parked->Inc();
             pending_ops_.emplace(pos, PendingOp{a.tx, a.value});
             break;
           case VisibilityTracker::WatchResult::kDead:
@@ -253,6 +258,7 @@ void IncrementalCertifier::Ingest(const Action& a) {
     default:
       break;  // CREATE and INFORM_* never affect the verdict.
   }
+  obs::GetCertifierMetrics().visibility_fired->Inc(fired.size());
   for (const auto& item : fired) FireItem(item);
   for (const auto& item : dropped) DropItem(item);
   NoteVerdict();
@@ -264,6 +270,7 @@ void IncrementalCertifier::IngestTrace(const Trace& beta) {
 
 void IncrementalCertifier::ActivateOp(uint64_t pos, TxName tx,
                                       const Value& v) {
+  obs::GetCertifierMetrics().ops_activated->Inc();
   ObjectIngestState& state = ObjectState(type_->ObjectOf(tx));
   bool was_legal = state.legal();
   std::vector<std::pair<TxName, TxName>> pairs;
@@ -279,6 +286,7 @@ void IncrementalCertifier::ActivateOp(uint64_t pos, TxName tx,
     TxName to = type_->ChildToward(lca, later);
     if (from == to) continue;
     if (conflict_edges_.insert(SiblingEdge{lca, from, to}).second) {
+      obs::GetCertifierMetrics().conflict_edges->Inc();
       AddGraphEdge(from, to);
     }
   }
@@ -326,12 +334,17 @@ void IncrementalCertifier::EmitPrecedes(TxName parent, TxName from,
                                         TxName to) {
   if (from == to) return;
   if (precedes_edges_.insert(SiblingEdge{parent, from, to}).second) {
+    obs::GetCertifierMetrics().precedes_edges->Inc();
     AddGraphEdge(from, to);
   }
 }
 
 void IncrementalCertifier::AddGraphEdge(TxName from, TxName to) {
-  if (!graph_.AddEdge(from, to)) acyclic_ = false;
+  obs::SpanTimer span(obs::GetCertifierMetrics().edge_insert_us);
+  if (!graph_.AddEdge(from, to)) {
+    obs::GetCertifierMetrics().cycle_rejections->Inc();
+    acyclic_ = false;
+  }
 }
 
 void IncrementalCertifier::NoteVerdict() {

@@ -4,6 +4,8 @@
 #include <optional>
 
 #include "common/logging.h"
+#include "obs/families.h"
+#include "obs/span.h"
 
 namespace ntsg {
 
@@ -19,6 +21,8 @@ std::optional<SgtCoordinator::Edge> SgtCoordinator::ToEdge(
 
 bool SgtCoordinator::WouldRemainAcyclic(
     const std::vector<AccessConflict>& conflicts) const {
+  obs::GetSgtMetrics().admission_checks->Inc();
+  obs::SpanTimer span(obs::GetSgtMetrics().admission_us);
   uint64_t tick = admission_checks_++;
   if (faults_ != nullptr) {
     fired_scratch_.clear();
@@ -44,6 +48,7 @@ bool SgtCoordinator::WouldRemainAcyclic(
     added.emplace_back(e->from, e->to);
   }
   for (const auto& [from, to] : added) graph_.RemoveEdge(from, to);
+  if (!acyclic) obs::GetSgtMetrics().admission_rejects->Inc();
   return acyclic;
 }
 
@@ -54,6 +59,7 @@ void SgtCoordinator::AddConflicts(
     if (!e.has_value()) continue;
     if (!edges_.insert(*e).second) continue;
     if (++support_[{e->from, e->to}] == 1) {
+      obs::GetSgtMetrics().edges_added->Inc();
       NTSG_CHECK(graph_.AddEdge(e->from, e->to))
           << "SGT coordinator asked to admit a cycle";
     }
@@ -70,6 +76,7 @@ void SgtCoordinator::OnAbort(TxName t) {
       NTSG_CHECK(sit != support_.end());
       if (--sit->second == 0) {
         support_.erase(sit);
+        obs::GetSgtMetrics().edges_removed->Inc();
         graph_.RemoveEdge(it->from, it->to);
       }
       it = edges_.erase(it);

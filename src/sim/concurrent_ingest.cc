@@ -5,11 +5,20 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/families.h"
+#include "obs/span.h"
 #include "sg/fingerprint.h"
 
 namespace ntsg {
 
 namespace {
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 // splitmix64: cheap, well-mixed hash for the seeded object -> shard map.
 uint64_t Mix64(uint64_t z) {
@@ -47,6 +56,7 @@ ConcurrentIngestPipeline::ConcurrentIngestPipeline(
   shards_.resize(config_.num_shards);
   for (size_t i = 0; i < config_.num_shards; ++i) {
     shards_[i].queue = std::make_unique<ShardQueue>();
+    shards_[i].queue_depth = obs::IngestQueueDepthGauge(i);
   }
   for (size_t i = 0; i < config_.num_shards; ++i) {
     shards_[i].worker = std::thread([this, i] { WorkerLoop(i); });
@@ -66,15 +76,21 @@ size_t ConcurrentIngestPipeline::StripeOf(TxName parent) const {
 }
 
 void ConcurrentIngestPipeline::Push(size_t shard, WorkItem item) {
-  ShardQueue& q = *shards_[shard].queue;
+  Shard& sh = shards_[shard];
+  ShardQueue& q = *sh.queue;
+  if (obs::MetricsEnabled()) item.enqueue_us = NowUs();
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(q.mu);
+      if (q.items.size() >= config_.queue_capacity && !q.crashed) {
+        obs::GetIngestMetrics().backpressure_waits->Inc();
+      }
       q.can_push.wait(lock, [&] {
         return q.items.size() < config_.queue_capacity || q.crashed;
       });
       if (!q.crashed) {
         q.items.push_back(std::move(item));
+        sh.queue_depth->Set(static_cast<int64_t>(q.items.size()));
         q.can_pop.notify_one();
         return;
       }
@@ -113,6 +129,15 @@ void ConcurrentIngestPipeline::Deliver(size_t shard, WorkItem item) {
 void ConcurrentIngestPipeline::ApplyOp(Shard& shard, const WorkItem& item,
                                        bool record_log) {
   if (record_log && faults_ != nullptr) shard.log.push_back(item);
+  const size_t shard_index = static_cast<size_t>(&shard - shards_.data());
+  obs::GetIngestMetrics().ops_processed->Inc(shard_index);
+  // Replayed items (record_log == false) carry their original enqueue stamp;
+  // only first deliveries feed the lag histogram.
+  if (record_log && item.enqueue_us != 0) {
+    uint64_t now = NowUs();
+    obs::GetIngestMetrics().delivery_lag_us->Observe(
+        now > item.enqueue_us ? now - item.enqueue_us : 0);
+  }
   ObjectId x = type_.ObjectOf(item.tx);
   std::unique_ptr<ObjectIngestState>& state = shard.objects[x];
   if (state == nullptr) {
@@ -142,6 +167,7 @@ void ConcurrentIngestPipeline::WorkerLoop(size_t shard_index) {
       if (q.items.empty()) return;  // closed and drained
       item = std::move(q.items.front());
       q.items.pop_front();
+      shard.queue_depth->Set(static_cast<int64_t>(q.items.size()));
       q.can_push.notify_one();
     }
 
@@ -171,6 +197,7 @@ void ConcurrentIngestPipeline::WorkerLoop(size_t shard_index) {
 }
 
 void ConcurrentIngestPipeline::TakeSnapshot(Shard& shard) {
+  obs::SpanTimer span(obs::GetIngestMetrics().snapshot_us);
   shard.snapshot.clear();
   for (const auto& [x, state] : shard.objects) {
     shard.snapshot[x] = std::make_unique<ObjectIngestState>(*state);
@@ -179,6 +206,7 @@ void ConcurrentIngestPipeline::TakeSnapshot(Shard& shard) {
 }
 
 void ConcurrentIngestPipeline::Recover(Shard& shard) {
+  obs::SpanTimer span(obs::GetIngestMetrics().replay_us);
   shard.objects.clear();
   for (const auto& [x, state] : shard.snapshot) {
     shard.objects[x] = std::make_unique<ObjectIngestState>(*state);
@@ -213,6 +241,7 @@ void ConcurrentIngestPipeline::RestartShard(size_t shard_index) {
   }
   shard.worker = std::thread([this, shard_index] { WorkerLoop(shard_index); });
   ++stats.restarts;
+  obs::GetIngestMetrics().worker_restarts->Inc();
 }
 
 void ConcurrentIngestPipeline::PollFaults(uint64_t tick) {
@@ -254,6 +283,7 @@ void ConcurrentIngestPipeline::PollFaults(uint64_t tick) {
 
 void ConcurrentIngestPipeline::Ingest(const Action& a) {
   NTSG_CHECK(!finished_) << "Ingest after Finish";
+  obs::GetIngestMetrics().actions_ingested->Inc();
   if (faults_ != nullptr) PollFaults(pos_);
   uint64_t pos = pos_++;
   switch (a.kind) {
@@ -312,6 +342,7 @@ void ConcurrentIngestPipeline::Ingest(const Action& a) {
 void ConcurrentIngestPipeline::ActivateOp(uint64_t pos, TxName tx,
                                           const Value& v) {
   ++ops_routed_;
+  obs::GetIngestMetrics().ops_routed->Inc();
   Deliver(ShardOf(type_.ObjectOf(tx)),
           WorkItem{WorkItem::Kind::kOp, pos, tx, v});
 }
@@ -319,7 +350,12 @@ void ConcurrentIngestPipeline::ActivateOp(uint64_t pos, TxName tx,
 void ConcurrentIngestPipeline::InsertEdge(const SiblingEdge& e,
                                           bool is_conflict) {
   Stripe& stripe = *stripes_[StripeOf(e.parent)];
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  std::unique_lock<std::mutex> lock(stripe.mu, std::defer_lock);
+  {
+    // Span covers only the wait for the stripe mutex, not the insert.
+    obs::SpanTimer span(obs::GetIngestMetrics().stripe_lock_wait_us);
+    lock.lock();
+  }
   std::set<SiblingEdge>& dedup =
       is_conflict ? stripe.conflict_edges : stripe.precedes_edges;
   if (!dedup.insert(e).second) return;
@@ -440,7 +476,11 @@ ConcurrentIngestReport ConcurrentIngestPipeline::Finish() {
   }
   report.graph_fingerprint = FingerprintSerializationGraph(
       std::move(conflict_edges), std::move(precedes_edges));
-  if (faults_ != nullptr) report.faults = faults_->stats();
+  if (faults_ != nullptr) {
+    report.faults = faults_->stats();
+    PublishFaultStats(report.faults);
+  }
+  for (Shard& shard : shards_) shard.queue_depth->Set(0);
   return report;
 }
 

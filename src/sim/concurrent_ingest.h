@@ -15,6 +15,7 @@
 
 #include "fault/fault_injector.h"
 #include "fault/fault_plan.h"
+#include "obs/metrics.h"
 #include "sg/incremental_certifier.h"
 #include "tx/trace.h"
 
@@ -122,6 +123,9 @@ class ConcurrentIngestPipeline {
     uint64_t pos = 0;
     TxName tx = kInvalidTx;
     Value value;
+    /// Steady-clock stamp (us) taken at push when metrics are enabled; 0
+    /// otherwise. Feeds the delivery-lag histogram only — never the verdict.
+    uint64_t enqueue_us = 0;
   };
 
   /// Bounded MPSC queue feeding one shard worker.
@@ -166,6 +170,8 @@ class ConcurrentIngestPipeline {
     std::vector<HeldItem> held;
     uint64_t hold_next = 0;  // pending kDelay/kReorder: hold the next op
     std::optional<WorkItem> last_pushed;  // duplication source
+    /// ntsg_ingest_queue_depth{shard="i"}; resolved at construction.
+    obs::Gauge* queue_depth = nullptr;
   };
 
   size_t ShardOf(ObjectId x) const;

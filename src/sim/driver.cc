@@ -3,6 +3,7 @@
 #include "common/logging.h"
 #include "fault/fault_injector.h"
 #include "generic/controller.h"
+#include "obs/families.h"
 #include "generic/generic_object.h"
 #include "moss/broken.h"
 #include "moss/moss_object.h"
@@ -216,6 +217,8 @@ SimResult Simulation::Run(const SimConfig& config) {
         break;
       }
       if (stats.stall_aborts_injected >= config.max_stall_aborts) break;
+      obs::GetDriverMetrics().stall_events->Inc();
+      obs::GetDriverMetrics().aborts_stall->Inc();
       controller_->RequestAbort(victim);
       composition_.Invalidate(0);  // Only the controller's state changed.
       ++stats.stall_aborts_injected;
@@ -226,6 +229,7 @@ SimResult Simulation::Run(const SimConfig& config) {
     Status s = composition_.ExecuteRouted(a, participants);
     NTSG_CHECK(s.ok()) << s.ToString();
     ++stats.steps;
+    obs::GetDriverMetrics().steps->Inc();
 
     // SGT objects share the coordinator graph: any action that mutates it
     // (a response adds edges, an abort removes them) invalidates every
@@ -264,6 +268,7 @@ SimResult Simulation::Run(const SimConfig& config) {
         controller_->RequestAbort(live[rng.NextBelow(live.size())]);
         composition_.Invalidate(0);  // Only the controller's state changed.
         ++stats.random_aborts_injected;
+        obs::GetDriverMetrics().aborts_random->Inc();
       }
     }
 
@@ -280,6 +285,7 @@ SimResult Simulation::Run(const SimConfig& config) {
           composition_.Invalidate(0);
           ++abort_faults->stats().injected_aborts;
           ++stats.plan_aborts_injected;
+          obs::GetDriverMetrics().aborts_plan->Inc();
         }
       }
     }
@@ -288,7 +294,13 @@ SimResult Simulation::Run(const SimConfig& config) {
   if (coordinator_ != nullptr && admission_faults != nullptr) {
     stats.spurious_rejects_injected =
         admission_faults->stats().spurious_rejects;
+    obs::GetDriverMetrics().aborts_spurious->Inc(
+        stats.spurious_rejects_injected);
     coordinator_->SetFaultInjector(nullptr);  // outlives this local injector
+  }
+  if (abort_faults != nullptr) PublishFaultStats(abort_faults->stats());
+  if (admission_faults != nullptr) {
+    PublishFaultStats(admission_faults->stats());
   }
 
   SimResult result;

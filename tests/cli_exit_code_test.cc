@@ -1,0 +1,138 @@
+// End-to-end exit-code contract of the ntsg binary: scripts branch on the
+// code, so each failure kind must be distinct and stable —
+//   0 success, 1 certification failure, 2 usage error,
+//   3 certifier disagreement / chaos mismatch, 4 unreadable or corrupt trace.
+// The binary's path arrives via the NTSG_CLI_PATH compile definition.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "sg/certifier.h"
+#include "sim/driver.h"
+#include "tx/trace_io.h"
+
+namespace ntsg {
+namespace {
+
+/// Runs `ntsg <args>` with stdout/stderr discarded; returns the exit code.
+int RunCli(const std::string& args) {
+  std::string cmd =
+      std::string(NTSG_CLI_PATH) + " " + args + " >/dev/null 2>&1";
+  int rc = std::system(cmd.c_str());
+  EXPECT_TRUE(WIFEXITED(rc)) << cmd;
+  return WEXITSTATUS(rc);
+}
+
+std::string TempPath(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+TEST(CliExitCodeTest, UsageErrorsReturn2) {
+  EXPECT_EQ(RunCli(""), 2);                        // no command
+  EXPECT_EQ(RunCli("frobnicate"), 2);              // unknown command
+  EXPECT_EQ(RunCli("certify"), 2);                 // missing operand
+  EXPECT_EQ(RunCli("run --backend bogus"), 2);     // bad flag value
+  EXPECT_EQ(RunCli("run --no-such-flag"), 2);      // unknown flag
+  EXPECT_EQ(RunCli("run --seed"), 2);              // flag missing its value
+}
+
+TEST(CliExitCodeTest, CorruptOrMissingTraceReturns4) {
+  EXPECT_EQ(RunCli("certify " + TempPath("ntsg_cli_does_not_exist.trace")), 4);
+  EXPECT_EQ(RunCli("audit " + TempPath("ntsg_cli_does_not_exist.trace")), 4);
+
+  std::string garbage = TempPath("ntsg_cli_garbage.trace");
+  {
+    std::ofstream out(garbage);
+    out << "this is not a trace file\n\x01\x02\x03\n";
+  }
+  EXPECT_EQ(RunCli("certify " + garbage), 4);
+  std::remove(garbage.c_str());
+}
+
+TEST(CliExitCodeTest, CertificationFailureReturns1AndSuccessReturns0) {
+  // A correct scheduler's behavior certifies (0); a dirty-read scheduler's
+  // rejected behavior exits 1. Hunt a few seeds for a rejecting trace so the
+  // test does not pin a particular RNG stream.
+  QuickRunParams good;
+  good.config.backend = Backend::kMoss;
+  good.config.seed = 2;
+  good.num_objects = 2;
+  good.num_toplevel = 3;
+  QuickRunResult ok_run = QuickRun(good);
+  std::string ok_path = TempPath("ntsg_cli_ok.trace");
+  ASSERT_TRUE(
+      WriteTraceFile(ok_path, *ok_run.type, ok_run.sim.trace).ok());
+  EXPECT_EQ(RunCli("certify " + ok_path + " --online"), 0);
+  std::remove(ok_path.c_str());
+
+  std::string bad_path = TempPath("ntsg_cli_bad.trace");
+  bool found = false;
+  for (uint64_t seed = 1; seed <= 40 && !found; ++seed) {
+    QuickRunParams bad = good;
+    bad.config.backend = Backend::kDirtyReadMoss;
+    bad.config.seed = seed;
+    QuickRunResult run = QuickRun(bad);
+    CertifierReport report = CertifySeriallyCorrect(
+        *run.type, run.sim.trace, ConflictMode::kReadWrite);
+    if (report.status.ok()) continue;
+    found = true;
+    ASSERT_TRUE(WriteTraceFile(bad_path, *run.type, run.sim.trace).ok());
+    EXPECT_EQ(RunCli("certify " + bad_path), 1);
+    // The incremental certifier agrees, so --online still exits 1, not 3.
+    EXPECT_EQ(RunCli("certify " + bad_path + " --online"), 1);
+  }
+  ASSERT_TRUE(found) << "no rejecting trace in 40 dirty-read seeds";
+  std::remove(bad_path.c_str());
+}
+
+TEST(CliExitCodeTest, MetricsOutWritesScrapeParseableSnapshot) {
+  QuickRunParams params;
+  params.config.backend = Backend::kMoss;
+  params.config.seed = 4;
+  params.num_objects = 2;
+  params.num_toplevel = 3;
+  QuickRunResult run = QuickRun(params);
+  std::string trace_path = TempPath("ntsg_cli_metrics.trace");
+  ASSERT_TRUE(
+      WriteTraceFile(trace_path, *run.type, run.sim.trace).ok());
+
+  std::string prom = TempPath("ntsg_cli_metrics.prom");
+  EXPECT_EQ(RunCli("certify " + trace_path + " --online --shards 2" +
+                   " --metrics-out=" + prom),
+            0);
+  std::ifstream in(prom);
+  ASSERT_TRUE(in.good()) << prom;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  // The snapshot names every layer's family — certifier, ingest, and fault
+  // recovery — and the certifier actually counted this trace's actions.
+  EXPECT_NE(text.find("# TYPE ntsg_certifier_actions_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("ntsg_ingest_ops_processed_total"), std::string::npos);
+  EXPECT_NE(text.find("ntsg_fault_crashes_total"), std::string::npos);
+  EXPECT_EQ(text.find("ntsg_certifier_actions_total 0\n"), std::string::npos)
+      << "certifier family never counted:\n"
+      << text;
+  std::remove(trace_path.c_str());
+  std::remove(prom.c_str());
+
+  // The stats subcommand emits the same families without a trace file.
+  std::string json = TempPath("ntsg_cli_metrics.json");
+  EXPECT_EQ(RunCli("stats --quiet --toplevel 3 --metrics-out " + json), 0);
+  std::ifstream jin(json);
+  ASSERT_TRUE(jin.good());
+  std::string jtext((std::istreambuf_iterator<char>(jin)),
+                    std::istreambuf_iterator<char>());
+  EXPECT_NE(jtext.find("\"ntsg_driver_steps_total\""), std::string::npos)
+      << jtext;
+  std::remove(json.c_str());
+}
+
+}  // namespace
+}  // namespace ntsg

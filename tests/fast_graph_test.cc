@@ -310,5 +310,56 @@ TEST(FastWitnessTest, FastOrdersRespectEdges) {
   }
 }
 
+TEST(FastWitnessTest, VirtualTimelineNodesDoNotLeakIntoOrders) {
+  // Serial sibling completion forces the timeline encoding to seal epoch
+  // nodes (names tagged above the 32-bit TxName space) in two components:
+  // under a nested parent and under T0. Those virtual nodes participate in
+  // the combined topological sort but must never appear in the per-parent
+  // sibling orders the function returns.
+  SystemType type;
+  ObjectId x = type.AddObject(ObjectType::kReadWrite, "X", 0);
+  TxName p = type.NewChild(kT0);
+  std::vector<TxName> accesses;
+  for (int i = 0; i < 5; ++i) {
+    accesses.push_back(type.NewAccess(p, AccessSpec{x, OpCode::kWrite, i}));
+  }
+  TxName q = type.NewAccess(kT0, AccessSpec{x, OpCode::kWrite, 9});
+
+  Trace beta;
+  beta.push_back(Action::RequestCreate(p));
+  beta.push_back(Action::Create(p));
+  for (TxName a : accesses) {  // each completes before the next is requested
+    beta.push_back(Action::RequestCreate(a));
+    beta.push_back(Action::Create(a));
+    beta.push_back(Action::RequestCommit(a, Value::Ok()));
+    beta.push_back(Action::Commit(a));
+    beta.push_back(Action::ReportCommit(a, Value::Ok()));
+  }
+  beta.push_back(Action::RequestCommit(p, Value::Int(1)));
+  beta.push_back(Action::Commit(p));
+  beta.push_back(Action::ReportCommit(p, Value::Int(1)));
+  beta.push_back(Action::RequestCreate(q));  // after p's report: T0 epoch
+  beta.push_back(Action::Create(q));
+  beta.push_back(Action::RequestCommit(q, Value::Ok()));
+  beta.push_back(Action::Commit(q));
+  beta.push_back(Action::ReportCommit(q, Value::Ok()));
+
+  FastSgReport report = FastSgAcyclicity(type, beta, ConflictMode::kReadWrite);
+  ASSERT_GT(report.timeline_node_count, 0u);  // epochs actually sealed
+
+  auto orders = FastTopologicalOrders(type, beta, ConflictMode::kReadWrite);
+  ASSERT_TRUE(orders.has_value());
+  for (const auto& [parent, children] : *orders) {
+    for (TxName t : children) {
+      ASSERT_LT(t, type.num_names())
+          << "virtual timeline node leaked into parent " << parent;
+      EXPECT_EQ(type.parent(t), parent);
+    }
+  }
+  // All five serial accesses survive, in completion order.
+  ASSERT_TRUE(orders->count(p));
+  EXPECT_EQ(orders->at(p), accesses);
+}
+
 }  // namespace
 }  // namespace ntsg

@@ -127,6 +127,63 @@ TEST(IncrementalCertifierTest, RejectionIsStickyAndPositioned) {
   }
 }
 
+TEST(VisibilityTrackerTest, CommitDeepInTreeRevealsEarlierOp) {
+  // An access commits early but stays invisible while its ancestor chain is
+  // open; each ancestor commit re-parks it one level up, and only the last
+  // (deepest-in-time) commit fires it — with the original tag, in park
+  // order relative to later watchers.
+  SystemType type;
+  ObjectId x = type.AddObject(ObjectType::kReadWrite, "X", 0);
+  TxName p = type.NewChild(kT0);
+  TxName c = type.NewChild(p);
+  TxName a = type.NewAccess(c, AccessSpec{x, OpCode::kWrite, 1});
+  TxName b = type.NewAccess(p, AccessSpec{x, OpCode::kWrite, 2});
+
+  VisibilityTracker tracker(type);
+  std::vector<VisibilityTracker::Item> fired;
+  ASSERT_EQ(tracker.Watch(a, 11), VisibilityTracker::WatchResult::kParked);
+  tracker.OnCommit(a, &fired);
+  EXPECT_TRUE(fired.empty());  // c and p still open
+  ASSERT_EQ(tracker.Watch(b, 22), VisibilityTracker::WatchResult::kParked);
+  tracker.OnCommit(b, &fired);
+  EXPECT_TRUE(fired.empty());  // p still open
+  tracker.OnCommit(c, &fired);
+  EXPECT_TRUE(fired.empty());  // a re-parks on p
+  tracker.OnCommit(p, &fired);  // the deep reveal: both become visible
+  ASSERT_EQ(fired.size(), 2u);
+  // Park order on p: b re-parked there at OnCommit(b), before a arrived
+  // via OnCommit(c).
+  EXPECT_EQ(fired[0].subject, b);
+  EXPECT_EQ(fired[0].tag, 22u);
+  EXPECT_EQ(fired[1].subject, a);
+  EXPECT_EQ(fired[1].tag, 11u);
+  // Once the chain is committed, a fresh watch is immediately visible.
+  EXPECT_EQ(tracker.Watch(a, 33), VisibilityTracker::WatchResult::kVisible);
+}
+
+TEST(VisibilityTrackerTest, AbortedAncestorDropsParkedItems) {
+  SystemType type;
+  ObjectId x = type.AddObject(ObjectType::kReadWrite, "X", 0);
+  TxName p = type.NewChild(kT0);
+  TxName c = type.NewChild(p);
+  TxName a = type.NewAccess(c, AccessSpec{x, OpCode::kWrite, 1});
+
+  VisibilityTracker tracker(type);
+  std::vector<VisibilityTracker::Item> fired, dropped;
+  ASSERT_EQ(tracker.Watch(a, 7), VisibilityTracker::WatchResult::kParked);
+  tracker.OnCommit(a, &fired, &dropped);
+  tracker.OnCommit(c, &fired, &dropped);  // a now parks on p
+  EXPECT_TRUE(fired.empty());
+  EXPECT_TRUE(dropped.empty());
+  tracker.OnAbort(p, &dropped);  // p can never commit: the item is dead
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0].subject, a);
+  EXPECT_EQ(dropped[0].tag, 7u);
+  EXPECT_TRUE(fired.empty());
+  // Watching under the aborted ancestor reports dead immediately.
+  EXPECT_EQ(tracker.Watch(a, 8), VisibilityTracker::WatchResult::kDead);
+}
+
 TEST(IncrementalCertifierTest, EmptyAndTrivialTraces) {
   SystemType type;
   type.AddObject(ObjectType::kReadWrite, "X", 0);

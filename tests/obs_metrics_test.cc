@@ -1,0 +1,212 @@
+// Unit tests for the observability layer (src/obs): instrument semantics,
+// the enabled/disabled gate, exporter formats — and the determinism
+// contract: enabling metrics must not move a verdict, an edge count, or a
+// graph fingerprint anywhere in the stack, faults included.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "obs/families.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "sim/concurrent_ingest.h"
+#include "sim/driver.h"
+
+namespace ntsg {
+namespace {
+
+/// Restores the global metrics switch on scope exit so tests compose
+/// regardless of NTSG_METRICS in the environment.
+class ScopedMetricsEnabled {
+ public:
+  explicit ScopedMetricsEnabled(bool enabled) : was_(obs::MetricsEnabled()) {
+    obs::SetMetricsEnabled(enabled);
+  }
+  ~ScopedMetricsEnabled() { obs::SetMetricsEnabled(was_); }
+
+ private:
+  bool was_;
+};
+
+TEST(ObsMetricsTest, CountersGaugesAndShardedCounters) {
+  ScopedMetricsEnabled on(true);
+  obs::MetricsRegistry reg;
+  obs::Counter* c = reg.GetCounter("t_total", "test counter");
+  c->Inc();
+  c->Inc(4);
+  EXPECT_EQ(c->value(), 5u);
+  // Same (name, labels) resolves to the same instrument.
+  EXPECT_EQ(reg.GetCounter("t_total", "test counter"), c);
+
+  obs::Gauge* g = reg.GetGauge("t_depth", "test gauge");
+  g->Set(7);
+  g->Add(2);
+  g->Sub(3);
+  EXPECT_EQ(g->value(), 6);
+
+  obs::ShardedCounter* s = reg.GetShardedCounter("t_sharded_total", "sharded");
+  for (size_t slot = 0; slot < 40; ++slot) s->Inc(slot);
+  EXPECT_EQ(s->value(), 40u);  // aggregated across slots, any hint valid
+}
+
+TEST(ObsMetricsTest, HistogramBucketsAreCumulative) {
+  ScopedMetricsEnabled on(true);
+  obs::MetricsRegistry reg;
+  obs::Histogram* h = reg.GetHistogram("t_us", "test histogram", {10, 100});
+  h->Observe(3);
+  h->Observe(10);   // le="10" is inclusive
+  h->Observe(50);
+  h->Observe(5000);  // +Inf bucket
+  EXPECT_EQ(h->count(), 4u);
+  EXPECT_EQ(h->sum(), 3u + 10u + 50u + 5000u);
+  EXPECT_EQ(h->bucket(0), 2u);  // <= 10
+  EXPECT_EQ(h->bucket(1), 1u);  // (10, 100]
+  EXPECT_EQ(h->bucket(2), 1u);  // +Inf
+
+  std::string text = reg.PrometheusText();
+  EXPECT_NE(text.find("t_us_bucket{le=\"10\"} 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("t_us_bucket{le=\"100\"} 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("t_us_bucket{le=\"+Inf\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("t_us_count 4"), std::string::npos);
+}
+
+TEST(ObsMetricsTest, DisabledInstrumentsRecordNothing) {
+  ScopedMetricsEnabled off(false);
+  obs::MetricsRegistry reg;
+  obs::Counter* c = reg.GetCounter("t_total", "test");
+  obs::Gauge* g = reg.GetGauge("t_gauge", "test");
+  obs::Histogram* h = reg.GetHistogram("t_us", "test", {10});
+  c->Inc(100);
+  g->Set(9);
+  h->Observe(5);
+  {
+    obs::SpanTimer span(h);  // constructed disabled: no clock read, no obs
+  }
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(h->count(), 0u);
+}
+
+TEST(ObsMetricsTest, SpanTimerObservesWhenEnabled) {
+  ScopedMetricsEnabled on(true);
+  obs::MetricsRegistry reg;
+  obs::Histogram* h = reg.GetHistogram("t_span_us", "test",
+                                       obs::DefaultLatencyBucketsUs());
+  {
+    obs::SpanTimer span(h);
+  }
+  EXPECT_EQ(h->count(), 1u);
+}
+
+TEST(ObsMetricsTest, LabeledInstancesAndJsonExport) {
+  ScopedMetricsEnabled on(true);
+  obs::MetricsRegistry reg;
+  reg.GetGauge("t_depth", "queue depth", "shard=\"0\"")->Set(3);
+  reg.GetGauge("t_depth", "queue depth", "shard=\"1\"")->Set(8);
+
+  std::string prom = reg.PrometheusText();
+  EXPECT_NE(prom.find("t_depth{shard=\"0\"} 3"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("t_depth{shard=\"1\"} 8"), std::string::npos);
+  // One HELP/TYPE header per family, not per instance.
+  EXPECT_EQ(prom.find("# HELP t_depth"), prom.rfind("# HELP t_depth"));
+
+  std::string json = reg.JsonText();
+  EXPECT_NE(json.find("\"t_depth\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"shard=\\\"1\\\"\""), std::string::npos) << json;
+
+  reg.ResetAll();
+  EXPECT_EQ(reg.GetGauge("t_depth", "queue depth", "shard=\"1\"")->value(), 0);
+}
+
+TEST(ObsMetricsTest, RegisterAllCoversEveryLayerFamily) {
+  // The CLI registers eagerly so a snapshot names every family even when a
+  // layer saw no traffic; these are the names the acceptance scrape greps.
+  ScopedMetricsEnabled on(true);
+  obs::RegisterAllMetricFamilies();
+  std::string text = obs::MetricsRegistry::Default().PrometheusText();
+  for (const char* family :
+       {"ntsg_certifier_actions_total", "ntsg_certifier_cycle_rejections_total",
+        "ntsg_certifier_edge_insert_us", "ntsg_sgt_admission_checks_total",
+        "ntsg_ingest_ops_processed_total", "ntsg_ingest_delivery_lag_us",
+        "ntsg_ingest_snapshot_us", "ntsg_ingest_replay_us",
+        "ntsg_ingest_worker_restarts_total", "ntsg_driver_steps_total",
+        "ntsg_fault_crashes_total", "ntsg_fault_items_replayed_total"}) {
+    EXPECT_NE(text.find(family), std::string::npos) << family;
+  }
+}
+
+// The determinism contract, end to end: the same seeded workload piped
+// through the concurrent pipeline under the same fault plan must produce
+// identical verdicts, edge counts, and graph fingerprints with metrics off
+// and with metrics on. Instrumentation is write-only; this is the test that
+// keeps it so.
+TEST(ObsMetricsTest, MetricsDoNotMoveVerdictOrFingerprint) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    QuickRunParams params;
+    params.config.backend = Backend::kMoss;
+    params.config.seed = seed;
+    params.num_objects = 3;
+    params.num_toplevel = 4;
+    QuickRunResult run = QuickRun(params);
+    ASSERT_TRUE(run.sim.stats.completed);
+
+    FaultPlan plan =
+        FaultPlan::Generate(seed, run.sim.trace.size(), 4, FaultPlanParams{});
+    ConcurrentIngestConfig config;
+    config.num_shards = 4;
+    config.seed = seed;
+    config.fault_plan = &plan;
+
+    ConcurrentIngestReport off_report, on_report;
+    {
+      ScopedMetricsEnabled off(false);
+      off_report = ConcurrentIngestPipeline::Run(
+          *run.type, run.sim.trace, ConflictMode::kReadWrite, config);
+    }
+    {
+      ScopedMetricsEnabled on(true);
+      on_report = ConcurrentIngestPipeline::Run(
+          *run.type, run.sim.trace, ConflictMode::kReadWrite, config);
+    }
+    EXPECT_EQ(off_report.appropriate, on_report.appropriate) << seed;
+    EXPECT_EQ(off_report.acyclic, on_report.acyclic) << seed;
+    EXPECT_EQ(off_report.conflict_edge_count, on_report.conflict_edge_count);
+    EXPECT_EQ(off_report.precedes_edge_count, on_report.precedes_edge_count);
+    EXPECT_EQ(off_report.graph_fingerprint, on_report.graph_fingerprint)
+        << "metrics moved the graph fingerprint at seed " << seed;
+  }
+}
+
+// Enabled instrumentation actually counts: a pipeline run with metrics on
+// must advance the ingest counters by exactly the work the report says was
+// done.
+TEST(ObsMetricsTest, PipelineCountersMatchReport) {
+  ScopedMetricsEnabled on(true);
+  QuickRunParams params;
+  params.config.backend = Backend::kMoss;
+  params.config.seed = 3;
+  params.num_objects = 2;
+  params.num_toplevel = 4;
+  QuickRunResult run = QuickRun(params);
+
+  const obs::IngestMetrics& m = obs::GetIngestMetrics();
+  uint64_t actions0 = m.actions_ingested->value();
+  uint64_t routed0 = m.ops_routed->value();
+  uint64_t processed0 = m.ops_processed->value();
+
+  ConcurrentIngestConfig config;
+  config.num_shards = 2;
+  ConcurrentIngestReport report = ConcurrentIngestPipeline::Run(
+      *run.type, run.sim.trace, ConflictMode::kReadWrite, config);
+
+  EXPECT_EQ(m.actions_ingested->value() - actions0, report.actions_ingested);
+  EXPECT_EQ(m.ops_routed->value() - routed0, report.ops_routed);
+  // Every routed op is eventually processed by a worker (no faults here).
+  EXPECT_EQ(m.ops_processed->value() - processed0, report.ops_routed);
+}
+
+}  // namespace
+}  // namespace ntsg

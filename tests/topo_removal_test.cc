@@ -66,6 +66,29 @@ TEST(TopoRemovalTest, RemoveIsIdempotentAndIgnoresAbsentEdges) {
   EXPECT_TRUE(g.AddEdge(2, 1));  // direction is free again
 }
 
+// Regression for a latent UB in RemoveEdge: the adjacency-list drop helper
+// dereferenced std::find's result unconditionally. Removing an edge that was
+// never inserted — but whose endpoints are both live and carry real edges —
+// must take the not-present early return and leave graph, order, and cycle
+// verdicts untouched (an edge-set/adjacency divergence now aborts loudly
+// instead of scanning past end()).
+TEST(TopoRemovalTest, RemoveNeverInsertedEdgeBetweenLiveEndpoints) {
+  IncrementalTopoGraph g;
+  ASSERT_TRUE(g.AddEdge(1, 2));
+  ASSERT_TRUE(g.AddEdge(2, 3));
+  ASSERT_TRUE(g.AddEdge(1, 4));
+  g.RemoveEdge(1, 3);  // both endpoints live, edge never inserted
+  g.RemoveEdge(3, 1);  // reverse direction, also absent
+  g.RemoveEdge(4, 2);  // endpoints live via unrelated edges
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_TRUE(g.HasEdge(1, 4));
+  ExpectOrderValid(g, {{1, 2}, {2, 3}, {1, 4}});
+  // The untouched path 1 ->* 3 still forbids the back edge.
+  EXPECT_FALSE(g.AddEdge(3, 1));
+}
+
 TEST(TopoRemovalTest, SelfEdgeAlwaysRejected) {
   IncrementalTopoGraph g;
   EXPECT_FALSE(g.AddEdge(4, 4));

@@ -14,6 +14,17 @@
 //                                 reorder / duplication, controller aborts)
 //                                 and check the faulted verdict and graph
 //                                 fingerprint against the fault-free run
+//   ntsg stats [options]          run one simulation plus the online and
+//                                 concurrent certifiers with metrics
+//                                 enabled, and dump the metric snapshot
+//                                 (stdout, or --metrics-out FILE)
+//
+// Exit codes (distinct so scripts can branch on the failure kind):
+//   0  success / verdicts agree
+//   1  a correctness check rejected the execution (certification failure)
+//   2  usage error (bad command, flag, or flag value)
+//   3  certifier disagreement or chaos clean-vs-faulted mismatch
+//   4  trace file unreadable or corrupt
 //
 // Common options (defaults in brackets):
 //   --backend NAME    moss | moss_dirty_read | moss_no_read_lock |
@@ -39,6 +50,8 @@
 //   --fault-seed S    chaos only: fault-plan seed                       [1]
 //   --save FILE       run only: save the behavior (trace format)
 //   --dot FILE        run only: dump the serialization graph (Graphviz)
+//   --metrics-out F   enable metrics and write a snapshot to F after the
+//                     command (Prometheus text; *.json selects JSON)
 //   --quiet           suppress the per-event trace dump
 
 #include <cstring>
@@ -50,6 +63,8 @@
 #include "checker/witness.h"
 #include "fault/fault_plan.h"
 #include "mvto/timestamp_authority.h"
+#include "obs/families.h"
+#include "obs/metrics.h"
 #include "sg/certifier.h"
 #include "sg/fast_graph.h"
 #include "sg/graph.h"
@@ -62,6 +77,13 @@
 
 namespace ntsg {
 namespace {
+
+// Exit codes, kept distinct so scripts can branch on the failure kind.
+constexpr int kExitOk = 0;
+constexpr int kExitCertificationFailed = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitMismatch = 3;
+constexpr int kExitTraceCorrupt = 4;
 
 struct CliOptions {
   std::string command;
@@ -85,6 +107,7 @@ struct CliOptions {
   bool innermost = false;
   std::string save_file;
   std::string dot_file;
+  std::string metrics_out;
   bool quiet = false;
 };
 
@@ -114,9 +137,9 @@ bool ParseType(const std::string& name, ObjectType* out) {
 }
 
 int Usage() {
-  std::cerr << "usage: ntsg run|audit|certify|sweep|chaos [options]  (see "
-               "tools/ntsg_cli.cc header for the full list)\n";
-  return 2;
+  std::cerr << "usage: ntsg run|audit|certify|sweep|chaos|stats [options]  "
+               "(see tools/ntsg_cli.cc header for the full list)\n";
+  return kExitUsage;
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* opt) {
@@ -195,6 +218,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
     } else if (a == "--dot") {
       if (!(v = need(a.c_str()))) return false;
       opt->dot_file = v;
+    } else if (a == "--metrics-out") {
+      if (!(v = need(a.c_str()))) return false;
+      opt->metrics_out = v;
+    } else if (a.rfind("--metrics-out=", 0) == 0) {
+      opt->metrics_out = a.substr(std::strlen("--metrics-out="));
+      if (opt->metrics_out.empty()) {
+        std::cerr << "--metrics-out requires an argument\n";
+        return false;
+      }
     } else if (a == "--quiet") {
       opt->quiet = true;
     } else {
@@ -204,7 +236,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
   }
   return opt->command == "run" || opt->command == "audit" ||
          opt->command == "certify" || opt->command == "sweep" ||
-         opt->command == "chaos";
+         opt->command == "chaos" || opt->command == "stats";
 }
 
 struct RunOutput {
@@ -283,7 +315,7 @@ int Audit(const CliOptions& opt, const SystemType& type, const Trace& beta,
     dot << sg.ToDot(type);
     std::cout << "wrote " << opt.dot_file << "\n";
   }
-  return witness.status.ok() ? 0 : 1;
+  return witness.status.ok() ? kExitOk : kExitCertificationFailed;
 }
 
 int CmdRun(const CliOptions& opt) {
@@ -314,7 +346,7 @@ int CmdAudit(const CliOptions& opt) {
   Status st = ReadTraceFile(opt.trace_file, &type, &beta, &orders);
   if (!st.ok()) {
     std::cerr << st.ToString() << "\n";
-    return 2;
+    return kExitTraceCorrupt;
   }
   std::cout << "loaded " << opt.trace_file << " (" << beta.size()
             << " events" << (orders.empty() ? "" : ", with sibling orders")
@@ -329,7 +361,7 @@ int CmdCertify(const CliOptions& opt) {
   Status st = ReadTraceFile(opt.trace_file, &type, &beta, &orders);
   if (!st.ok()) {
     std::cerr << st.ToString() << "\n";
-    return 2;
+    return kExitTraceCorrupt;
   }
   ConflictMode mode = ModeFor(type);
   std::cout << "loaded " << opt.trace_file << " (" << beta.size()
@@ -369,9 +401,9 @@ int CmdCertify(const CliOptions& opt) {
   }
   if (!agree) {
     std::cout << "DISAGREEMENT between certifiers\n";
-    return 3;
+    return kExitMismatch;
   }
-  return batch.status.ok() ? 0 : 1;
+  return batch.status.ok() ? kExitOk : kExitCertificationFailed;
 }
 
 // Runs the workload twice over the same seed — once fault-free, once under a
@@ -443,7 +475,7 @@ int CmdChaos(const CliOptions& opt) {
   std::cout << (match ? "MATCH: faults did not move the verdict or the graph"
                       : "MISMATCH between clean and chaotic runs")
             << "\n";
-  return match ? 0 : 3;
+  return match ? kExitOk : kExitMismatch;
 }
 
 int CmdSweep(const CliOptions& opt) {
@@ -465,7 +497,7 @@ int CmdSweep(const CliOptions& opt) {
   }
   if (runs == 0) {
     std::cerr << "no runs completed\n";
-    return 1;
+    return kExitCertificationFailed;
   }
   std::cout << "backend=" << BackendName(opt.backend) << " runs=" << runs
             << "\nmean committed=" << committed / runs
@@ -473,8 +505,53 @@ int CmdSweep(const CliOptions& opt) {
             << " stall_aborts=" << stall / runs << " steps=" << steps / runs
             << "\nwitness-verified " << verified << "/" << runs << "\n";
   return verified == static_cast<double>(runs) || IsBrokenBackend(opt.backend)
-             ? 0
-             : 1;
+             ? kExitOk
+             : kExitCertificationFailed;
+}
+
+// Runs one simulated workload through every certification layer (batch,
+// online, concurrent) with metrics enabled, then dumps the snapshot —
+// stdout by default, --metrics-out FILE otherwise. Exists so a scrape of
+// every metric family is one command away.
+int CmdStats(const CliOptions& opt) {
+  RunOutput out = RunOnce(opt, opt.seed);
+  ConflictMode mode = ModeFor(*out.type);
+
+  CertifierReport batch = CertifySeriallyCorrect(*out.type, out.sim.trace, mode);
+  IncrementalCertifier cert(*out.type, mode);
+  cert.IngestTrace(out.sim.trace);
+  ConcurrentIngestConfig config;
+  config.num_shards = opt.shards > 0 ? opt.shards : 4;
+  config.seed = opt.seed;
+  ConcurrentIngestReport pipe =
+      ConcurrentIngestPipeline::Run(*out.type, out.sim.trace, mode, config);
+
+  std::cout << "backend=" << BackendName(opt.backend) << " seed=" << opt.seed
+            << " events=" << out.sim.trace.size()
+            << " batch=" << (batch.status.ok() ? "ok" : "rejected")
+            << " online=" << (cert.verdict().ok() ? "ok" : "rejected")
+            << " concurrent=" << (pipe.ok() ? "ok" : "rejected") << "\n";
+
+  if (opt.metrics_out.empty()) {
+    std::cout << obs::MetricsRegistry::Default().PrometheusText();
+    return kExitOk;
+  }
+  Status st = obs::MetricsRegistry::Default().WriteSnapshot(opt.metrics_out);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return kExitUsage;
+  }
+  std::cout << "wrote " << opt.metrics_out << "\n";
+  return kExitOk;
+}
+
+int Dispatch(const CliOptions& opt) {
+  if (opt.command == "run") return CmdRun(opt);
+  if (opt.command == "audit") return CmdAudit(opt);
+  if (opt.command == "certify") return CmdCertify(opt);
+  if (opt.command == "chaos") return CmdChaos(opt);
+  if (opt.command == "stats") return CmdStats(opt);
+  return CmdSweep(opt);
 }
 
 }  // namespace
@@ -483,9 +560,18 @@ int CmdSweep(const CliOptions& opt) {
 int main(int argc, char** argv) {
   ntsg::CliOptions opt;
   if (!ntsg::ParseArgs(argc, argv, &opt)) return ntsg::Usage();
-  if (opt.command == "run") return ntsg::CmdRun(opt);
-  if (opt.command == "audit") return ntsg::CmdAudit(opt);
-  if (opt.command == "certify") return ntsg::CmdCertify(opt);
-  if (opt.command == "chaos") return ntsg::CmdChaos(opt);
-  return ntsg::CmdSweep(opt);
+  if (!opt.metrics_out.empty() || opt.command == "stats") {
+    // Enable before any work so every instrument in the command records,
+    // and register eagerly so the snapshot covers every family (certifier,
+    // ingest, fault recovery) even when a layer saw no traffic.
+    ntsg::obs::SetMetricsEnabled(true);
+    ntsg::obs::RegisterAllMetricFamilies();
+  }
+  int code = ntsg::Dispatch(opt);
+  if (!opt.metrics_out.empty() && opt.command != "stats") {
+    ntsg::Status st =
+        ntsg::obs::MetricsRegistry::Default().WriteSnapshot(opt.metrics_out);
+    if (!st.ok()) std::cerr << st.ToString() << "\n";
+  }
+  return code;
 }
