@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "obs/families.h"
+#include "obs/trace.h"
 
 namespace ntsg {
 
@@ -50,7 +51,12 @@ FaultInjector::FaultInjector(const FaultPlan& plan,
 bool FaultInjector::Poll(uint64_t tick, std::vector<FaultEvent>* fired) {
   bool any = false;
   while (next_ < events_.size() && events_[next_].at <= tick) {
-    fired->push_back(events_[next_++]);
+    const FaultEvent& e = events_[next_++];
+    // Span 0 = T0: faults are environment events, outside any transaction.
+    obs::TraceEmit(obs::TraceEventKind::kFaultFired, 0,
+                   static_cast<uint32_t>(e.target),
+                   static_cast<uint32_t>(e.kind), 0, e.param);
+    fired->push_back(e);
     any = true;
   }
   return any;

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -69,6 +70,45 @@ std::vector<uint64_t> DefaultLatencyBucketsUs() {
   return {1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576};
 }
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+std::string LabelPair(const std::string& key, const std::string& value) {
+  std::string out = key + "=\"";
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  out += "\"";
+  return out;
+}
+
 // --- MetricsRegistry --------------------------------------------------------
 
 MetricsRegistry& MetricsRegistry::Default() {
@@ -134,25 +174,60 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 
 namespace {
 
+/// Prometheus metric names admit only [a-zA-Z0-9_:] (and no leading digit);
+/// anything else — quotes, spaces, control characters from a hostile
+/// registration — is mapped to '_' so the exposition stays parseable.
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+/// HELP text escaping per the exposition format: backslash and newline.
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Defense in depth for label strings that bypassed LabelPair: raw newlines
+/// and carriage returns would break the line-oriented exposition, other
+/// control characters are unrepresentable in it — replace them. Properly
+/// escaped strings pass through untouched.
+std::string SanitizeLabelBlock(const std::string& labels) {
+  std::string out;
+  out.reserve(labels.size());
+  for (unsigned char c : labels) {
+    if (c == '\n') {
+      out += "\\n";
+    } else if (c < 0x20) {
+      out.push_back('_');
+    } else {
+      out.push_back(static_cast<char>(c));
+    }
+  }
+  return out;
+}
+
 /// `name` or `name{labels}`; `extra` appends to the label list (histogram le).
 std::string Series(const std::string& name, const std::string& labels,
                    const std::string& extra = "") {
-  std::string inner = labels;
+  std::string inner = SanitizeLabelBlock(labels);
   if (!extra.empty()) inner += (inner.empty() ? "" : ",") + extra;
   if (inner.empty()) return name;
   return name + "{" + inner + "}";
-}
-
-/// Label strings carry Prometheus-style quotes (shard="3"); as JSON object
-/// keys they need escaping.
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
 }
 
 }  // namespace
@@ -160,8 +235,9 @@ std::string JsonEscape(const std::string& s) {
 std::string MetricsRegistry::PrometheusText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;
-  for (const auto& [name, family] : families_) {
-    out << "# HELP " << name << " " << family.help << "\n";
+  for (const auto& [raw_name, family] : families_) {
+    const std::string name = SanitizeMetricName(raw_name);
+    out << "# HELP " << name << " " << EscapeHelp(family.help) << "\n";
     const char* type = nullptr;
     switch (family.kind) {
       case Kind::kCounter:
@@ -216,7 +292,7 @@ std::string MetricsRegistry::JsonText() const {
   for (const auto& [name, family] : families_) {
     if (!first_family) out << ",\n";
     first_family = false;
-    out << "  \"" << name << "\": {";
+    out << "  \"" << JsonEscape(name) << "\": {";
     bool first_inst = true;
     for (const auto& [labels, inst] : family.instances) {
       if (!first_inst) out << ", ";

@@ -116,6 +116,18 @@ class Histogram {
 /// a full shard replay on the same scale.
 std::vector<uint64_t> DefaultLatencyBucketsUs();
 
+/// Escapes a string for embedding inside a JSON string literal: double
+/// quotes, backslashes, and all control characters (\b \f \n \r \t, \uXXXX
+/// for the rest). Shared by the metrics and trace exporters.
+std::string JsonEscape(const std::string& s);
+
+/// Builds one Prometheus-style label pair `key="value"` with the exposition
+/// format's value escaping (backslash, double quote, newline). The canonical
+/// way to construct the `labels` strings passed to the registry Get* calls —
+/// hostile values (quotes, newlines) round-trip instead of corrupting the
+/// scrape.
+std::string LabelPair(const std::string& key, const std::string& value);
+
 /// Owner of every instrument: families are keyed by Prometheus-style name
 /// (one kind per name) and instances within a family by a label string like
 /// `shard="3"` (empty for unlabeled). Handles returned by the Get* calls are

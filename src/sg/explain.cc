@@ -1,0 +1,255 @@
+#include "sg/explain.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "sg/appropriate.h"
+#include "sg/graph.h"
+
+namespace ntsg {
+
+namespace {
+
+/// First inducing action pair for every edge of the two relations, keyed by
+/// the edge. "First" is deterministic: conflict pairs are scanned per object
+/// (ascending id) with the later operation ascending, precedes pairs in β
+/// order — the earliest moment each edge enters SG(β) wins.
+struct ProvenanceMaps {
+  std::map<SiblingEdge, EdgeProvenance> conflict;
+  std::map<SiblingEdge, EdgeProvenance> precedes;
+};
+
+ProvenanceMaps BuildProvenance(const SystemType& type, const Trace& beta,
+                               ConflictMode mode) {
+  ProvenanceMaps maps;
+  TraceIndex index(type, beta);
+
+  // Conflict edges: the visible access operations per object, with their
+  // positions in the full β (mirrors ConflictRelation's VisibleTo filter —
+  // a REQUEST_COMMIT of access T is in visible(β, T0) iff T is visible).
+  struct PosOp {
+    uint64_t pos;
+    TxName tx;
+    Value value;
+  };
+  std::map<ObjectId, std::vector<PosOp>> per_object;
+  for (size_t i = 0; i < beta.size(); ++i) {
+    const Action& a = beta[i];
+    if (a.kind != ActionKind::kRequestCommit || !type.IsAccess(a.tx)) continue;
+    if (!index.IsVisible(a.tx, kT0)) continue;
+    per_object[type.ObjectOf(a.tx)].push_back(PosOp{i, a.tx, a.value});
+  }
+  for (const auto& [x, ops] : per_object) {
+    (void)x;
+    for (size_t j = 1; j < ops.size(); ++j) {
+      for (size_t i = 0; i < j; ++i) {
+        if (!AccessOpsConflict(type, mode, ops[i].tx, ops[i].value, ops[j].tx,
+                               ops[j].value)) {
+          continue;
+        }
+        TxName lca = type.Lca(ops[i].tx, ops[j].tx);
+        TxName from = type.ChildToward(lca, ops[i].tx);
+        TxName to = type.ChildToward(lca, ops[j].tx);
+        if (from == to) continue;
+        EdgeProvenance why;
+        why.from_kind = ActionKind::kRequestCommit;
+        why.to_kind = ActionKind::kRequestCommit;
+        why.from_actor = ops[i].tx;
+        why.to_actor = ops[j].tx;
+        why.from_pos = ops[i].pos;
+        why.to_pos = ops[j].pos;
+        maps.conflict.try_emplace(SiblingEdge{lca, from, to}, why);
+      }
+    }
+  }
+
+  // Precedes edges: mirrors PrecedesRelation, keeping positions and the
+  // report kind of the earlier sibling.
+  struct Reported {
+    TxName child;
+    uint64_t pos;
+    ActionKind kind;
+  };
+  std::map<TxName, std::vector<Reported>> reported_children;
+  for (size_t i = 0; i < beta.size(); ++i) {
+    const Action& a = beta[i];
+    if (a.kind == ActionKind::kReportCommit ||
+        a.kind == ActionKind::kReportAbort) {
+      reported_children[type.parent(a.tx)].push_back(
+          Reported{a.tx, i, a.kind});
+    } else if (a.kind == ActionKind::kRequestCreate) {
+      TxName p = type.parent(a.tx);
+      if (!index.IsVisible(p, kT0)) continue;
+      auto it = reported_children.find(p);
+      if (it == reported_children.end()) continue;
+      for (const Reported& r : it->second) {
+        if (r.child == a.tx) continue;
+        EdgeProvenance why;
+        why.from_kind = r.kind;
+        why.to_kind = ActionKind::kRequestCreate;
+        why.from_actor = r.child;
+        why.to_actor = a.tx;
+        why.from_pos = r.pos;
+        why.to_pos = i;
+        maps.precedes.try_emplace(SiblingEdge{p, r.child, a.tx}, why);
+      }
+    }
+  }
+  return maps;
+}
+
+/// Rotates the cycle so the smallest transaction name leads — the stable
+/// ordering the golden files pin (a cycle has no canonical start otherwise).
+std::vector<TxName> CanonicalRotation(const std::vector<TxName>& nodes) {
+  if (nodes.empty()) return nodes;
+  size_t k = std::min_element(nodes.begin(), nodes.end()) - nodes.begin();
+  std::vector<TxName> rot;
+  rot.reserve(nodes.size());
+  rot.insert(rot.end(), nodes.begin() + k, nodes.end());
+  rot.insert(rot.end(), nodes.begin(), nodes.begin() + k);
+  return rot;
+}
+
+bool WitnessVerified(const std::vector<ExplainedEdge>& cycle) {
+  if (cycle.size() < 2) return false;
+  std::set<TxName> nodes;
+  for (size_t i = 0; i < cycle.size(); ++i) {
+    const ExplainedEdge& e = cycle[i];
+    if (!e.in_graph || !e.has_provenance) return false;
+    if (e.edge.parent != cycle[0].edge.parent) return false;
+    if (e.edge.to != cycle[(i + 1) % cycle.size()].edge.from) return false;
+    if (!nodes.insert(e.edge.from).second) return false;  // repeated node
+  }
+  return true;
+}
+
+std::string RenderAction(const SystemType& type, ActionKind kind, TxName actor,
+                         uint64_t pos) {
+  std::string out = ActionKindName(kind);
+  out += "(";
+  out += type.NameOf(actor);
+  out += ")@";
+  out += std::to_string(pos);
+  return out;
+}
+
+}  // namespace
+
+std::vector<ExplainedEdge> ExplainCycle(const SystemType& type,
+                                        const Trace& beta, ConflictMode mode,
+                                        const std::vector<TxName>& nodes) {
+  if (nodes.size() < 2) return {};
+  std::vector<TxName> rot = CanonicalRotation(nodes);
+
+  Trace serial = SerialPart(beta);
+  SerializationGraph sg = SerializationGraph::Build(type, serial, mode);
+  std::set<SiblingEdge> conflict_set(sg.conflict_edges().begin(),
+                                     sg.conflict_edges().end());
+  std::set<SiblingEdge> precedes_set(sg.precedes_edges().begin(),
+                                     sg.precedes_edges().end());
+  ProvenanceMaps prov = BuildProvenance(type, beta, mode);
+
+  std::vector<ExplainedEdge> out;
+  out.reserve(rot.size());
+  for (size_t i = 0; i < rot.size(); ++i) {
+    TxName from = rot[i];
+    TxName to = rot[(i + 1) % rot.size()];
+    ExplainedEdge ex;
+    // Every node of a component is a child of the component's parent, so
+    // the edge's parent is recoverable from either endpoint.
+    ex.edge = SiblingEdge{type.parent(from), from, to};
+    if (conflict_set.count(ex.edge) != 0) {
+      ex.is_conflict = true;
+      ex.in_graph = true;
+    } else if (precedes_set.count(ex.edge) != 0) {
+      ex.is_conflict = false;
+      ex.in_graph = true;
+    }
+    const auto& pmap = ex.is_conflict ? prov.conflict : prov.precedes;
+    auto it = pmap.find(ex.edge);
+    if (it != pmap.end()) {
+      ex.has_provenance = true;
+      ex.why = it->second;
+    }
+    out.push_back(ex);
+  }
+  return out;
+}
+
+CertificationExplanation ExplainCertification(const SystemType& type,
+                                              const Trace& beta,
+                                              ConflictMode mode) {
+  CertificationExplanation ex;
+  CertifierReport report = CertifySeriallyCorrect(type, beta, mode);
+  ex.status = report.status;
+  ex.appropriate_return_values = report.appropriate_return_values;
+  ex.graph_acyclic = report.graph_acyclic;
+  ex.conflict_edge_count = report.conflict_edge_count;
+  ex.precedes_edge_count = report.precedes_edge_count;
+
+  if (!report.appropriate_return_values) {
+    Trace serial = SerialPart(beta);
+    Status values = mode == ConflictMode::kReadWrite
+                        ? CheckAppropriateReturnValuesRw(type, serial)
+                        : CheckAppropriateReturnValuesGeneral(type, serial);
+    ex.value_violation = values.message();
+  }
+  if (report.cycle.has_value()) {
+    ex.cycle = ExplainCycle(type, beta, mode, *report.cycle);
+    ex.witness_verified = WitnessVerified(ex.cycle);
+  }
+  return ex;
+}
+
+std::string CertificationExplanation::ToString(const SystemType& type) const {
+  std::ostringstream out;
+  if (certified()) {
+    out << "verdict: CERTIFIED\n";
+  } else {
+    out << "verdict: REJECTED (";
+    if (!appropriate_return_values) {
+      out << "return values not appropriate";
+      if (!graph_acyclic) out << "; ";
+    }
+    if (!graph_acyclic) out << "serialization graph has a cycle";
+    out << ")\n";
+  }
+  out << "appropriate return values: "
+      << (appropriate_return_values ? "yes" : "no") << "\n";
+  if (!value_violation.empty()) {
+    out << "detail: " << value_violation << "\n";
+  }
+  out << "serialization graph: " << (graph_acyclic ? "acyclic" : "cyclic")
+      << " (" << conflict_edge_count << " conflict edge(s), "
+      << precedes_edge_count << " precedes edge(s))\n";
+  if (!cycle.empty()) {
+    out << "cycle in SG(beta, " << type.NameOf(cycle.front().edge.parent)
+        << "): " << cycle.size() << " edge(s)\n";
+    size_t present = 0;
+    for (const ExplainedEdge& e : cycle) {
+      out << "  " << type.NameOf(e.edge.from) << " -> "
+          << type.NameOf(e.edge.to) << " ["
+          << (e.in_graph ? (e.is_conflict ? "conflict" : "precedes")
+                         : "MISSING")
+          << "]";
+      if (e.has_provenance) {
+        out << " induced by "
+            << RenderAction(type, e.why.from_kind, e.why.from_actor,
+                            e.why.from_pos)
+            << " -> "
+            << RenderAction(type, e.why.to_kind, e.why.to_actor,
+                            e.why.to_pos);
+      }
+      out << "\n";
+      if (e.in_graph) ++present;
+    }
+    out << "witness verified against SG(beta): "
+        << (witness_verified ? "yes" : "NO") << " (" << present << "/"
+        << cycle.size() << " edges present)\n";
+  }
+  return out.str();
+}
+
+}  // namespace ntsg

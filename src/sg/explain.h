@@ -1,0 +1,88 @@
+#ifndef NTSG_SG_EXPLAIN_H_
+#define NTSG_SG_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sg/certifier.h"
+#include "sg/conflicts.h"
+#include "tx/trace.h"
+
+namespace ntsg {
+
+/// The pair of actions in β that put one edge into SG(β):
+///   * a conflict edge is induced by two conflicting REQUEST_COMMIT events
+///     in visible(β, T0) — `from_actor`/`to_actor` are the two accesses;
+///   * a precedes edge is induced by a report event for the earlier sibling
+///     followed by REQUEST_CREATE of the later one.
+/// Positions index the full input β (INFORM actions counted), so they match
+/// what `ntsg audit` and the incremental certifier's first_rejection_pos
+/// report for the same file.
+struct EdgeProvenance {
+  ActionKind from_kind = ActionKind::kCreate;
+  ActionKind to_kind = ActionKind::kCreate;
+  TxName from_actor = kInvalidTx;
+  TxName to_actor = kInvalidTx;
+  uint64_t from_pos = 0;
+  uint64_t to_pos = 0;
+};
+
+/// One edge of the witness cycle, labeled by its relation and re-verified
+/// against the constructed SG(β).
+struct ExplainedEdge {
+  SiblingEdge edge;
+  bool is_conflict = false;   // conflict(β) if true, precedes(β) otherwise
+  bool in_graph = false;      // membership re-checked in SG(β)'s edge set
+  bool has_provenance = false;
+  EdgeProvenance why;
+};
+
+/// The certifier's verdict with its evidence: what CertifySeriallyCorrect
+/// decides plus, on a cyclic rejection, the actual cycle path with per-edge
+/// relation labels and inducing actions. The cycle is canonicalized (rotated
+/// so the smallest transaction name leads) so output is stable across runs.
+struct CertificationExplanation {
+  Status status;  // identical to CertifierReport::status for the same input
+  bool appropriate_return_values = false;
+  bool graph_acyclic = false;
+  std::string value_violation;  // non-empty iff !appropriate_return_values
+
+  size_t conflict_edge_count = 0;
+  size_t precedes_edge_count = 0;
+
+  /// Witness cycle: edges chain cycle[i].edge.to == cycle[i+1].edge.from,
+  /// closing back to cycle[0].edge.from. Empty iff graph_acyclic.
+  std::vector<ExplainedEdge> cycle;
+
+  /// True iff the cycle is non-degenerate, every edge chains, every edge is
+  /// present in SG(β) under its claimed relation, and every edge carries an
+  /// inducing action pair — the re-check the acceptance criteria demand.
+  bool witness_verified = false;
+
+  bool certified() const { return status.ok(); }
+
+  /// Deterministic human-readable rendering (what `ntsg explain` prints and
+  /// the golden files pin).
+  std::string ToString(const SystemType& type) const;
+};
+
+/// Runs the batch certification of Theorem 8/19 and, on a cycle, extracts
+/// and verifies the witness. Pure function of (type, β, mode); agrees with
+/// CertifySeriallyCorrect on the verdict bit for bit.
+CertificationExplanation ExplainCertification(const SystemType& type,
+                                              const Trace& beta,
+                                              ConflictMode mode);
+
+/// Labels + provenance for an externally discovered cycle (e.g. the
+/// IncrementalCertifier's online witness): resolves each consecutive edge of
+/// `nodes` (closing back to the front) against SG(β) exactly as
+/// ExplainCertification does. Returns the canonicalized edges.
+std::vector<ExplainedEdge> ExplainCycle(const SystemType& type,
+                                        const Trace& beta, ConflictMode mode,
+                                        const std::vector<TxName>& nodes);
+
+}  // namespace ntsg
+
+#endif  // NTSG_SG_EXPLAIN_H_

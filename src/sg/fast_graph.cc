@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace ntsg {
 
@@ -224,6 +225,8 @@ bool IncrementalTopoGraph::AddEdge(TxName from, TxName to) {
     size_t k = 0;
     for (uint32_t n : delta_b) nodes_[n].ord = pool[k++];
     for (uint32_t n : delta_f) nodes_[n].ord = pool[k++];
+    obs::TraceEmit(obs::TraceEventKind::kTopoReorder, 0, from, to, 0,
+                   delta_b.size() + delta_f.size());
   }
 
   nodes_[sx].out.push_back(sy);
@@ -232,7 +235,52 @@ bool IncrementalTopoGraph::AddEdge(TxName from, TxName to) {
   return true;
 }
 
+std::vector<TxName> IncrementalTopoGraph::FindPath(TxName from,
+                                                   TxName to) const {
+  auto itf = slot_.find(from);
+  auto itt = slot_.find(to);
+  if (itf == slot_.end() || itt == slot_.end()) return {};
+  const uint32_t sf = itf->second;
+  const uint32_t st = itt->second;
+  if (sf == st) return {from};
+
+  // BFS with parent pointers: the witness is a shortest path, and the
+  // first-discovered one is unique given the insertion-ordered adjacency.
+  std::vector<uint32_t> parent(nodes_.size(), UINT32_MAX);
+  std::vector<uint8_t> seen(nodes_.size(), 0);
+  std::vector<uint32_t> queue;
+  queue.push_back(sf);
+  seen[sf] = 1;
+  bool found = false;
+  for (size_t qi = 0; qi < queue.size() && !found; ++qi) {
+    uint32_t n = queue[qi];
+    for (uint32_t s : nodes_[n].out) {
+      if (seen[s] != 0) continue;
+      seen[s] = 1;
+      parent[s] = n;
+      if (s == st) {
+        found = true;
+        break;
+      }
+      queue.push_back(s);
+    }
+  }
+  if (!found) return {};
+
+  std::vector<TxName> names(nodes_.size());
+  for (const auto& [t, s] : slot_) names[s] = t;
+  std::vector<TxName> path;
+  for (uint32_t n = st; n != UINT32_MAX; n = parent[n]) {
+    path.push_back(names[n]);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
 void IncrementalTopoGraph::RemoveEdge(TxName from, TxName to) {
+  // No kEdgeRemoved here: the SGT coordinator also calls RemoveEdge to roll
+  // back trial insertions, which are not real expunges — the semantic
+  // removal event is emitted by the caller that owns the edge's meaning.
   if (edges_.erase(EdgeKey(from, to)) == 0) return;
   uint32_t sx = slot_.at(from);
   uint32_t sy = slot_.at(to);

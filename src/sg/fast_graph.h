@@ -86,6 +86,13 @@ class IncrementalTopoGraph {
   /// *OrdOf(u) < *OrdOf(v).
   std::optional<uint64_t> OrdOf(TxName t) const;
 
+  /// A directed path from -> ... -> to over present edges (endpoints
+  /// included), or empty when none exists. Deterministic (successors are
+  /// explored in insertion order) and read-only — the witness-recovery
+  /// primitive: after AddEdge(u, v) returns false, FindPath(v, u) plus the
+  /// rejected edge is the cycle that insertion would have closed.
+  std::vector<TxName> FindPath(TxName from, TxName to) const;
+
   size_t node_count() const { return nodes_.size(); }
   size_t edge_count() const { return edges_.size(); }
 

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "obs/families.h"
 #include "obs/span.h"
+#include "obs/trace.h"
 #include "sg/fingerprint.h"
 
 namespace ntsg {
@@ -166,7 +167,8 @@ IncrementalCertifier::IncrementalCertifier(const IncrementalCertifier& other)
       graph_(other.graph_),
       acyclic_(other.acyclic_),
       pos_(other.pos_),
-      first_rejection_pos_(other.first_rejection_pos_) {
+      first_rejection_pos_(other.first_rejection_pos_),
+      cycle_witness_(other.cycle_witness_) {
   objects_.reserve(other.objects_.size());
   for (const auto& state : other.objects_) {
     objects_.push_back(state == nullptr
@@ -192,6 +194,7 @@ IncrementalCertifier& IncrementalCertifier::operator=(
   acyclic_ = copy.acyclic_;
   pos_ = copy.pos_;
   first_rejection_pos_ = copy.first_rejection_pos_;
+  cycle_witness_ = std::move(copy.cycle_witness_);
   return *this;
 }
 
@@ -208,6 +211,8 @@ void IncrementalCertifier::FireItem(const VisibilityTracker::Item& item) {
     ActivateScope(static_cast<TxName>(item.tag & ~kScopeTagBit));
     return;
   }
+  obs::TraceEmit(obs::TraceEventKind::kOpFired, item.subject, item.subject, 0,
+                 0, item.tag);
   auto it = pending_ops_.find(item.tag);
   NTSG_CHECK(it != pending_ops_.end()) << "fired op without pending entry";
   PendingOp op = it->second;
@@ -218,12 +223,22 @@ void IncrementalCertifier::FireItem(const VisibilityTracker::Item& item) {
 void IncrementalCertifier::DropItem(const VisibilityTracker::Item& item) {
   if (item.tag & kScopeTagBit) return;  // Scope state stays parked in scopes_.
   obs::GetCertifierMetrics().ops_dropped->Inc();
+  obs::TraceEmit(obs::TraceEventKind::kOpDropped, item.subject, item.subject,
+                 0, 0, item.tag);
   pending_ops_.erase(item.tag);
 }
 
 void IncrementalCertifier::Ingest(const Action& a) {
   obs::GetCertifierMetrics().actions_ingested->Inc();
   uint64_t pos = pos_++;
+  if (obs::TraceEnabled()) {
+    // The causal span is the paper's hightransaction(π): the transaction
+    // whose scope the action occurs in (completions land on the parent).
+    TxName span = HighTransactionOf(*type_, a);
+    if (span == kInvalidTx) span = kT0;
+    obs::TraceEmit(obs::TraceEventKind::kActionIngested, span, a.tx,
+                   static_cast<uint32_t>(a.kind), 0, pos);
+  }
   std::vector<VisibilityTracker::Item> fired;
   std::vector<VisibilityTracker::Item> dropped;
   switch (a.kind) {
@@ -235,6 +250,8 @@ void IncrementalCertifier::Ingest(const Action& a) {
             break;
           case VisibilityTracker::WatchResult::kParked:
             obs::GetCertifierMetrics().ops_parked->Inc();
+            obs::TraceEmit(obs::TraceEventKind::kOpParked, a.tx, a.tx, 0, 0,
+                           pos);
             pending_ops_.emplace(pos, PendingOp{a.tx, a.value});
             break;
           case VisibilityTracker::WatchResult::kDead:
@@ -244,9 +261,23 @@ void IncrementalCertifier::Ingest(const Action& a) {
       break;
     case ActionKind::kReportCommit:
     case ActionKind::kReportAbort:
+      if (obs::TraceEnabled()) {
+        // REQUEST_CREATE(T) .. REPORT_*(T) is T's interval in the parent's
+        // span — the tree-shaped causal context of the tentpole.
+        TxName parent = type_->parent(a.tx);
+        obs::TraceEmit(obs::TraceEventKind::kSpanEnd, parent, a.tx, parent,
+                       a.kind == ActionKind::kReportAbort ? obs::kTraceFlagAbort
+                                                          : uint8_t{0},
+                       pos);
+      }
       ScopeEvent(type_->parent(a.tx), /*is_report=*/true, a.tx);
       break;
     case ActionKind::kRequestCreate:
+      if (obs::TraceEnabled()) {
+        TxName parent = type_->parent(a.tx);
+        obs::TraceEmit(obs::TraceEventKind::kSpanBegin, parent, a.tx, parent,
+                       0, pos);
+      }
       ScopeEvent(type_->parent(a.tx), /*is_report=*/false, a.tx);
       break;
     case ActionKind::kCommit:
@@ -271,6 +302,7 @@ void IncrementalCertifier::IngestTrace(const Trace& beta) {
 void IncrementalCertifier::ActivateOp(uint64_t pos, TxName tx,
                                       const Value& v) {
   obs::GetCertifierMetrics().ops_activated->Inc();
+  obs::TraceEmit(obs::TraceEventKind::kOpActivated, tx, tx, 0, 0, pos);
   ObjectIngestState& state = ObjectState(type_->ObjectOf(tx));
   bool was_legal = state.legal();
   std::vector<std::pair<TxName, TxName>> pairs;
@@ -287,7 +319,7 @@ void IncrementalCertifier::ActivateOp(uint64_t pos, TxName tx,
     if (from == to) continue;
     if (conflict_edges_.insert(SiblingEdge{lca, from, to}).second) {
       obs::GetCertifierMetrics().conflict_edges->Inc();
-      AddGraphEdge(from, to);
+      AddGraphEdge(lca, from, to, /*is_conflict=*/true);
     }
   }
 }
@@ -335,21 +367,41 @@ void IncrementalCertifier::EmitPrecedes(TxName parent, TxName from,
   if (from == to) return;
   if (precedes_edges_.insert(SiblingEdge{parent, from, to}).second) {
     obs::GetCertifierMetrics().precedes_edges->Inc();
-    AddGraphEdge(from, to);
+    AddGraphEdge(parent, from, to, /*is_conflict=*/false);
   }
 }
 
-void IncrementalCertifier::AddGraphEdge(TxName from, TxName to) {
+void IncrementalCertifier::AddGraphEdge(TxName parent, TxName from, TxName to,
+                                        bool is_conflict) {
   obs::SpanTimer span(obs::GetCertifierMetrics().edge_insert_us);
-  if (!graph_.AddEdge(from, to)) {
-    obs::GetCertifierMetrics().cycle_rejections->Inc();
-    acyclic_ = false;
+  uint8_t relation =
+      is_conflict ? obs::kTraceFlagConflict : obs::kTraceFlagPrecedes;
+  if (graph_.AddEdge(from, to)) {
+    obs::TraceEmit(obs::TraceEventKind::kEdgeInserted, parent, from, to,
+                   relation);
+    return;
   }
+  obs::GetCertifierMetrics().cycle_rejections->Inc();
+  obs::TraceEmit(obs::TraceEventKind::kEdgeRejected, parent, from, to,
+                 relation);
+  if (acyclic_) {
+    // First rejection: the graph still holds exactly the acyclic prefix, so
+    // the refused edge plus the to ->* from path is the cycle it would have
+    // closed. [to, ..., from] in cycle order; the closing edge is the
+    // rejected one.
+    cycle_witness_ = graph_.FindPath(to, from);
+  }
+  acyclic_ = false;
 }
 
 void IncrementalCertifier::NoteVerdict() {
   if (!first_rejection_pos_.has_value() && !verdict().ok()) {
     first_rejection_pos_ = pos_ - 1;
+    uint8_t flags = 0;
+    if (illegal_objects_ != 0) flags |= obs::kTraceFlagInappropriate;
+    if (!acyclic_) flags |= obs::kTraceFlagCycle;
+    obs::TraceEmit(obs::TraceEventKind::kVerdictRejected, kT0, 0, 0, flags,
+                   *first_rejection_pos_);
   }
 }
 

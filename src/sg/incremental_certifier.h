@@ -188,6 +188,14 @@ class IncrementalCertifier {
     return first_rejection_pos_;
   }
 
+  /// Online cycle witness: the nodes of the cycle the first rejected edge
+  /// would have closed, in cycle order (edges w[i] -> w[i+1], closing
+  /// w.back() -> w.front()). Recovered by FindPath at rejection time, while
+  /// the graph still holds exactly the acyclic prefix; empty while no edge
+  /// has been rejected. Feed to ExplainCycle (sg/explain.h) for relation
+  /// labels and action provenance.
+  const std::vector<TxName>& cycle_witness() const { return cycle_witness_; }
+
  private:
   /// Per-parent precedes bookkeeping. Until the parent is visible, report /
   /// request-create events are buffered in order; afterwards reports
@@ -213,7 +221,7 @@ class IncrementalCertifier {
   void ScopeEvent(TxName parent, bool is_report, TxName child);
   void ActivateScope(TxName parent);
   void EmitPrecedes(TxName parent, TxName from, TxName to);
-  void AddGraphEdge(TxName from, TxName to);
+  void AddGraphEdge(TxName parent, TxName from, TxName to, bool is_conflict);
   void NoteVerdict();
   ObjectIngestState& ObjectState(ObjectId x);
 
@@ -230,6 +238,7 @@ class IncrementalCertifier {
   bool acyclic_ = true;
   uint64_t pos_ = 0;
   std::optional<uint64_t> first_rejection_pos_;
+  std::vector<TxName> cycle_witness_;
 };
 
 }  // namespace ntsg

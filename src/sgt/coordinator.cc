@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "obs/families.h"
 #include "obs/span.h"
+#include "obs/trace.h"
 
 namespace ntsg {
 
@@ -28,6 +29,10 @@ bool SgtCoordinator::WouldRemainAcyclic(
     fired_scratch_.clear();
     if (faults_->Poll(tick, &fired_scratch_)) {
       faults_->stats().spurious_rejects += fired_scratch_.size();
+      obs::TraceEmit(obs::TraceEventKind::kAdmissionCheck, kT0,
+                     conflicts.empty() ? kT0 : conflicts.front().second, 0,
+                     obs::kTraceFlagReject | obs::kTraceFlagSpurious,
+                     conflicts.size());
       return false;  // lie: report a cycle and force the abort path
     }
   }
@@ -49,6 +54,10 @@ bool SgtCoordinator::WouldRemainAcyclic(
   }
   for (const auto& [from, to] : added) graph_.RemoveEdge(from, to);
   if (!acyclic) obs::GetSgtMetrics().admission_rejects->Inc();
+  obs::TraceEmit(obs::TraceEventKind::kAdmissionCheck, kT0,
+                 conflicts.empty() ? kT0 : conflicts.front().second, 0,
+                 acyclic ? uint8_t{0} : obs::kTraceFlagReject,
+                 conflicts.size());
   return acyclic;
 }
 
@@ -60,6 +69,8 @@ void SgtCoordinator::AddConflicts(
     if (!edges_.insert(*e).second) continue;
     if (++support_[{e->from, e->to}] == 1) {
       obs::GetSgtMetrics().edges_added->Inc();
+      obs::TraceEmit(obs::TraceEventKind::kEdgeInserted, e->parent, e->from,
+                     e->to, obs::kTraceFlagConflict);
       NTSG_CHECK(graph_.AddEdge(e->from, e->to))
           << "SGT coordinator asked to admit a cycle";
     }
@@ -77,6 +88,8 @@ void SgtCoordinator::OnAbort(TxName t) {
       if (--sit->second == 0) {
         support_.erase(sit);
         obs::GetSgtMetrics().edges_removed->Inc();
+        obs::TraceEmit(obs::TraceEventKind::kEdgeRemoved, it->parent,
+                       it->from, it->to, obs::kTraceFlagConflict);
         graph_.RemoveEdge(it->from, it->to);
       }
       it = edges_.erase(it);

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "obs/families.h"
 #include "obs/span.h"
+#include "obs/trace.h"
 #include "sg/fingerprint.h"
 
 namespace ntsg {
@@ -131,6 +132,8 @@ void ConcurrentIngestPipeline::ApplyOp(Shard& shard, const WorkItem& item,
   if (record_log && faults_ != nullptr) shard.log.push_back(item);
   const size_t shard_index = static_cast<size_t>(&shard - shards_.data());
   obs::GetIngestMetrics().ops_processed->Inc(shard_index);
+  obs::TraceEmit(obs::TraceEventKind::kOpApplied, item.tx, item.tx,
+                 static_cast<uint32_t>(shard_index), 0, item.pos);
   // Replayed items (record_log == false) carry their original enqueue stamp;
   // only first deliveries feed the lag histogram.
   if (record_log && item.enqueue_us != 0) {
@@ -182,6 +185,9 @@ void ConcurrentIngestPipeline::WorkerLoop(size_t shard_index) {
         // Lose all volatile state and die. The queue itself is durable —
         // undelivered items survive for the successor; the delivery log
         // covers what this incarnation had already consumed.
+        obs::TraceEmit(obs::TraceEventKind::kWorkerCrash, kT0,
+                       static_cast<uint32_t>(shard_index), 0,
+                       obs::kTraceFlagAbort, shard.log.size());
         shard.objects.clear();
         {
           std::lock_guard<std::mutex> lock(q.mu);
@@ -198,6 +204,9 @@ void ConcurrentIngestPipeline::WorkerLoop(size_t shard_index) {
 
 void ConcurrentIngestPipeline::TakeSnapshot(Shard& shard) {
   obs::SpanTimer span(obs::GetIngestMetrics().snapshot_us);
+  obs::TraceEmit(obs::TraceEventKind::kSnapshot, kT0,
+                 static_cast<uint32_t>(&shard - shards_.data()), 0, 0,
+                 shard.log.size());
   shard.snapshot.clear();
   for (const auto& [x, state] : shard.objects) {
     shard.snapshot[x] = std::make_unique<ObjectIngestState>(*state);
@@ -207,6 +216,9 @@ void ConcurrentIngestPipeline::TakeSnapshot(Shard& shard) {
 
 void ConcurrentIngestPipeline::Recover(Shard& shard) {
   obs::SpanTimer span(obs::GetIngestMetrics().replay_us);
+  obs::TraceEmit(obs::TraceEventKind::kReplay, kT0,
+                 static_cast<uint32_t>(&shard - shards_.data()), 0, 0,
+                 shard.log.size());
   shard.objects.clear();
   for (const auto& [x, state] : shard.snapshot) {
     shard.objects[x] = std::make_unique<ObjectIngestState>(*state);
@@ -242,6 +254,9 @@ void ConcurrentIngestPipeline::RestartShard(size_t shard_index) {
   shard.worker = std::thread([this, shard_index] { WorkerLoop(shard_index); });
   ++stats.restarts;
   obs::GetIngestMetrics().worker_restarts->Inc();
+  obs::TraceEmit(obs::TraceEventKind::kWorkerRestart, kT0,
+                 static_cast<uint32_t>(shard_index), 0, 0,
+                 stats.restart_attempts);
 }
 
 void ConcurrentIngestPipeline::PollFaults(uint64_t tick) {
@@ -286,6 +301,12 @@ void ConcurrentIngestPipeline::Ingest(const Action& a) {
   obs::GetIngestMetrics().actions_ingested->Inc();
   if (faults_ != nullptr) PollFaults(pos_);
   uint64_t pos = pos_++;
+  if (obs::TraceEnabled()) {
+    TxName span = HighTransactionOf(type_, a);
+    if (span == kInvalidTx) span = kT0;
+    obs::TraceEmit(obs::TraceEventKind::kActionIngested, span, a.tx,
+                   static_cast<uint32_t>(a.kind), 0, pos);
+  }
   switch (a.kind) {
     case ActionKind::kRequestCommit:
       if (type_.IsAccess(a.tx)) {
@@ -343,8 +364,10 @@ void ConcurrentIngestPipeline::ActivateOp(uint64_t pos, TxName tx,
                                           const Value& v) {
   ++ops_routed_;
   obs::GetIngestMetrics().ops_routed->Inc();
-  Deliver(ShardOf(type_.ObjectOf(tx)),
-          WorkItem{WorkItem::Kind::kOp, pos, tx, v});
+  size_t shard = ShardOf(type_.ObjectOf(tx));
+  obs::TraceEmit(obs::TraceEventKind::kOpRouted, tx, tx,
+                 static_cast<uint32_t>(shard), 0, pos);
+  Deliver(shard, WorkItem{WorkItem::Kind::kOp, pos, tx, v});
 }
 
 void ConcurrentIngestPipeline::InsertEdge(const SiblingEdge& e,
@@ -359,7 +382,14 @@ void ConcurrentIngestPipeline::InsertEdge(const SiblingEdge& e,
   std::set<SiblingEdge>& dedup =
       is_conflict ? stripe.conflict_edges : stripe.precedes_edges;
   if (!dedup.insert(e).second) return;
-  if (!stripe.graph.AddEdge(e.from, e.to)) {
+  const uint8_t relation =
+      is_conflict ? obs::kTraceFlagConflict : obs::kTraceFlagPrecedes;
+  if (stripe.graph.AddEdge(e.from, e.to)) {
+    obs::TraceEmit(obs::TraceEventKind::kEdgeInserted, e.parent, e.from, e.to,
+                   relation);
+  } else {
+    obs::TraceEmit(obs::TraceEventKind::kEdgeRejected, e.parent, e.from, e.to,
+                   static_cast<uint8_t>(relation | obs::kTraceFlagCycle));
     acyclic_.store(false, std::memory_order_relaxed);
   }
 }

@@ -186,8 +186,9 @@ class ConcurrentIngestPipeline {
   /// Applies one op to the shard's volatile state and emits its conflict
   /// edges. Shared by the worker loop, recovery replay, and Finish drain.
   void ApplyOp(Shard& shard, const WorkItem& item, bool record_log);
-  /// Clones `objects` into `snapshot` and truncates the log.
-  static void TakeSnapshot(Shard& shard);
+  /// Clones `objects` into `snapshot` and truncates the log. Non-static only
+  /// so the trace event can name the shard.
+  void TakeSnapshot(Shard& shard);
   /// Restores the snapshot and replays the retained log (idempotent edge
   /// re-emission); the cost of rejoining is the log suffix, not the trace.
   void Recover(Shard& shard);

@@ -4,6 +4,7 @@
 #include "fault/fault_injector.h"
 #include "generic/controller.h"
 #include "obs/families.h"
+#include "obs/trace.h"
 #include "generic/generic_object.h"
 #include "moss/broken.h"
 #include "moss/moss_object.h"
@@ -219,6 +220,8 @@ SimResult Simulation::Run(const SimConfig& config) {
       if (stats.stall_aborts_injected >= config.max_stall_aborts) break;
       obs::GetDriverMetrics().stall_events->Inc();
       obs::GetDriverMetrics().aborts_stall->Inc();
+      obs::TraceEmit(obs::TraceEventKind::kStallAbort, type_->parent(victim),
+                     victim, 0, obs::kTraceFlagAbort, stats.steps);
       controller_->RequestAbort(victim);
       composition_.Invalidate(0);  // Only the controller's state changed.
       ++stats.stall_aborts_injected;
@@ -228,6 +231,12 @@ SimResult Simulation::Run(const SimConfig& config) {
     RouteAction(a, &participants);
     Status s = composition_.ExecuteRouted(a, participants);
     NTSG_CHECK(s.ok()) << s.ToString();
+    if (obs::TraceEnabled()) {
+      TxName span = HighTransactionOf(*type_, a);
+      if (span == kInvalidTx) span = kT0;
+      obs::TraceEmit(obs::TraceEventKind::kActionExecuted, span, a.tx,
+                     static_cast<uint32_t>(a.kind), 0, stats.steps);
+    }
     ++stats.steps;
     obs::GetDriverMetrics().steps->Inc();
 
@@ -265,7 +274,11 @@ SimResult Simulation::Run(const SimConfig& config) {
         rng.NextBool(config.spontaneous_abort_prob)) {
       std::vector<TxName> live = controller_->LiveCreated();
       if (!live.empty()) {
-        controller_->RequestAbort(live[rng.NextBelow(live.size())]);
+        TxName victim = live[rng.NextBelow(live.size())];
+        obs::TraceEmit(obs::TraceEventKind::kInjectedAbort,
+                       type_->parent(victim), victim, 0, obs::kTraceFlagAbort,
+                       stats.steps);
+        controller_->RequestAbort(victim);
         composition_.Invalidate(0);  // Only the controller's state changed.
         ++stats.random_aborts_injected;
         obs::GetDriverMetrics().aborts_random->Inc();
@@ -281,7 +294,11 @@ SimResult Simulation::Run(const SimConfig& config) {
         for (const FaultEvent& e : fired) {
           std::vector<TxName> live = controller_->LiveCreated();
           if (live.empty()) continue;
-          controller_->RequestAbort(live[e.param % live.size()]);
+          TxName victim = live[e.param % live.size()];
+          obs::TraceEmit(obs::TraceEventKind::kInjectedAbort,
+                         type_->parent(victim), victim, 0,
+                         obs::kTraceFlagAbort, stats.steps);
+          controller_->RequestAbort(victim);
           composition_.Invalidate(0);
           ++abort_faults->stats().injected_aborts;
           ++stats.plan_aborts_injected;

@@ -37,14 +37,31 @@ TEST(CliExitCodeTest, UsageErrorsReturn2) {
   EXPECT_EQ(RunCli(""), 2);                        // no command
   EXPECT_EQ(RunCli("frobnicate"), 2);              // unknown command
   EXPECT_EQ(RunCli("certify"), 2);                 // missing operand
+  EXPECT_EQ(RunCli("explain"), 2);                 // missing operand
   EXPECT_EQ(RunCli("run --backend bogus"), 2);     // bad flag value
   EXPECT_EQ(RunCli("run --no-such-flag"), 2);      // unknown flag
   EXPECT_EQ(RunCli("run --seed"), 2);              // flag missing its value
+  EXPECT_EQ(RunCli("trace --toplevel 2"), 2);      // trace needs --trace-out
+}
+
+TEST(CliExitCodeTest, UnwritableOutputPathsReturn2BeforeAnyWork) {
+  // A bad output path is a usage error discovered up front: nonexistent
+  // directory and an unwritable target both exit 2, for --metrics-out and
+  // --trace-out alike, on every command that accepts them.
+  std::string bad = "/nonexistent-ntsg-dir/out.json";
+  EXPECT_EQ(RunCli("stats --toplevel 2 --metrics-out " + bad), 2);
+  EXPECT_EQ(RunCli("stats --toplevel 2 --metrics-out=" + bad), 2);
+  EXPECT_EQ(RunCli("run --toplevel 2 --metrics-out=" + bad), 2);
+  EXPECT_EQ(RunCli("trace --toplevel 2 --trace-out=" + bad), 2);
+  EXPECT_EQ(RunCli("run --toplevel 2 --trace-out=" + bad), 2);
+  // A directory is not a writable file either.
+  EXPECT_EQ(RunCli("stats --toplevel 2 --metrics-out=/tmp"), 2);
 }
 
 TEST(CliExitCodeTest, CorruptOrMissingTraceReturns4) {
   EXPECT_EQ(RunCli("certify " + TempPath("ntsg_cli_does_not_exist.trace")), 4);
   EXPECT_EQ(RunCli("audit " + TempPath("ntsg_cli_does_not_exist.trace")), 4);
+  EXPECT_EQ(RunCli("explain " + TempPath("ntsg_cli_does_not_exist.trace")), 4);
 
   std::string garbage = TempPath("ntsg_cli_garbage.trace");
   {
@@ -69,6 +86,7 @@ TEST(CliExitCodeTest, CertificationFailureReturns1AndSuccessReturns0) {
   ASSERT_TRUE(
       WriteTraceFile(ok_path, *ok_run.type, ok_run.sim.trace).ok());
   EXPECT_EQ(RunCli("certify " + ok_path + " --online"), 0);
+  EXPECT_EQ(RunCli("explain " + ok_path), 0);
   std::remove(ok_path.c_str());
 
   std::string bad_path = TempPath("ntsg_cli_bad.trace");
@@ -86,9 +104,34 @@ TEST(CliExitCodeTest, CertificationFailureReturns1AndSuccessReturns0) {
     EXPECT_EQ(RunCli("certify " + bad_path), 1);
     // The incremental certifier agrees, so --online still exits 1, not 3.
     EXPECT_EQ(RunCli("certify " + bad_path + " --online"), 1);
+    // Explaining a rejected behavior is still exit 1 (the explanation is
+    // the point, not an error), and tracing it does not move the verdict.
+    EXPECT_EQ(RunCli("explain " + bad_path), 1);
   }
   ASSERT_TRUE(found) << "no rejecting trace in 40 dirty-read seeds";
   std::remove(bad_path.c_str());
+}
+
+TEST(CliExitCodeTest, TraceOutWritesEventsAndExitsZero) {
+  std::string ndjson = TempPath("ntsg_cli_trace.ndjson");
+  EXPECT_EQ(RunCli("trace --toplevel 3 --seed 5 --trace-out=" + ndjson), 0);
+  std::ifstream in(ndjson);
+  ASSERT_TRUE(in.good()) << ndjson;
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first.rfind("{\"seq\":", 0), 0u) << first;
+  EXPECT_NE(first.find("\"kind\":"), std::string::npos);
+  std::remove(ndjson.c_str());
+
+  std::string chrome = TempPath("ntsg_cli_trace.json");
+  EXPECT_EQ(RunCli("run --toplevel 3 --seed 5 --quiet --trace-out=" + chrome),
+            0);
+  std::ifstream cin_(chrome);
+  ASSERT_TRUE(cin_.good());
+  std::string text((std::istreambuf_iterator<char>(cin_)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(text.rfind("{\"traceEvents\":", 0), 0u);
+  std::remove(chrome.c_str());
 }
 
 TEST(CliExitCodeTest, MetricsOutWritesScrapeParseableSnapshot) {

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -119,6 +120,43 @@ TEST(ObsMetricsTest, LabeledInstancesAndJsonExport) {
 
   reg.ResetAll();
   EXPECT_EQ(reg.GetGauge("t_depth", "queue depth", "shard=\"1\"")->value(), 0);
+}
+
+TEST(ObsMetricsTest, HostileNamesLabelsAndHelpAreEscapedInBothExporters) {
+  // Quotes, backslashes, newlines, and control bytes in metric names, label
+  // values, and help strings must never corrupt the JSON document or the
+  // Prometheus exposition framing.
+  EXPECT_EQ(obs::JsonEscape("a\"b\\c\nd\te\x01"),
+            "a\\\"b\\\\c\\nd\\te\\u0001");
+  EXPECT_EQ(obs::LabelPair("path", "C:\\x\n\"quoted\""),
+            "path=\"C:\\\\x\\n\\\"quoted\\\"\"");
+
+  ScopedMetricsEnabled on(true);
+  obs::MetricsRegistry reg;
+  reg.GetCounter("bad name\"{}", "help with \\ and\nnewline",
+                 obs::LabelPair("file", "a\\b\"c\nd"))
+      ->Inc(3);
+
+  std::string prom = reg.PrometheusText();
+  // The family name is sanitized to the Prometheus charset; the label value
+  // survives, escaped; no line of the exposition is torn by a raw newline.
+  EXPECT_NE(prom.find("bad_name___"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("file=\"a\\\\b\\\"c\\nd\""), std::string::npos) << prom;
+  EXPECT_EQ(prom.find("bad name"), std::string::npos);
+  std::istringstream lines(prom);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(line[0] == '#' || line.find(' ') != std::string::npos) << line;
+  }
+
+  std::string json = reg.JsonText();
+  // Every quote inside the document body is escaped or structural: strip
+  // the escaped ones and require balanced structure markers to survive.
+  EXPECT_NE(json.find("bad name\\\""), std::string::npos) << json;
+  EXPECT_EQ(json.find('\n') == std::string::npos ||
+                json.rfind('\n') == json.size() - 1,
+            true)
+      << "raw newline inside the JSON document";
 }
 
 TEST(ObsMetricsTest, RegisterAllCoversEveryLayerFamily) {

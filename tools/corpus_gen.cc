@@ -64,6 +64,13 @@ const CorpusSpec kSpecs[] = {
      19, 8, 2},
     {"broken_no_commute", Backend::kNoCommuteUndo, ObjectType::kCounter, 20,
      8, 2},
+    // Seeds hunted so the rejection is specifically a serialization-graph
+    // cycle (not just inappropriate return values): these anchor the
+    // `ntsg explain` golden tests, which need witness cycles to print.
+    {"broken_cycle_counter", Backend::kNoCommuteUndo, ObjectType::kCounter,
+     23, 8, 2},
+    {"broken_cycle_rw", Backend::kDirtyReadMoss, ObjectType::kReadWrite, 34,
+     8, 2},
 };
 
 int Generate(const std::string& out_dir) {

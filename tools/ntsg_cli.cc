@@ -18,6 +18,15 @@
 //                                 concurrent certifiers with metrics
 //                                 enabled, and dump the metric snapshot
 //                                 (stdout, or --metrics-out FILE)
+//   ntsg explain <trace-file>     certify a saved behavior and, on rejection,
+//                                 print the witness cycle with each edge
+//                                 labeled conflict/precedes and the inducing
+//                                 action pair (see sg/explain.h)
+//   ntsg trace [options]          run one simulation through the online
+//                                 certifier with causal tracing enabled and
+//                                 write the event stream to --trace-out FILE
+//                                 (required; *.json selects Chrome
+//                                 trace_event format, else NDJSON)
 //
 // Exit codes (distinct so scripts can branch on the failure kind):
 //   0  success / verdicts agree
@@ -52,6 +61,11 @@
 //   --dot FILE        run only: dump the serialization graph (Graphviz)
 //   --metrics-out F   enable metrics and write a snapshot to F after the
 //                     command (Prometheus text; *.json selects JSON)
+//   --trace-out F     enable causal tracing and write the event stream to F
+//                     after the command (*.json Chrome trace, else NDJSON)
+//   --flight-recorder N  enable tracing with per-thread rings of N events;
+//                     on a nonzero exit or an injected crash, dump the last
+//                     N events per thread to stderr
 //   --quiet           suppress the per-event trace dump
 
 #include <cstring>
@@ -65,7 +79,9 @@
 #include "mvto/timestamp_authority.h"
 #include "obs/families.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sg/certifier.h"
+#include "sg/explain.h"
 #include "sg/fast_graph.h"
 #include "sg/graph.h"
 #include "sg/incremental_certifier.h"
@@ -108,8 +124,43 @@ struct CliOptions {
   std::string save_file;
   std::string dot_file;
   std::string metrics_out;
+  std::string trace_out;
+  size_t flight_recorder = 0;
   bool quiet = false;
 };
+
+// Set by commands that know the SystemType so trace exporters and the
+// flight-recorder dump print "T0.1.2" instead of raw numbers. A snapshot of
+// the names (not a pointer to the type, which is command-local).
+obs::TraceNameFn g_trace_names;
+
+// Set by chaos when the fault plan actually crashed a worker; with
+// --flight-recorder the dump then fires even though the run matched.
+bool g_injected_crash = false;
+
+void SetTraceNames(const SystemType& type) {
+  if (!obs::TraceEnabled()) return;
+  std::vector<std::string> names;
+  names.reserve(type.num_names());
+  for (TxName t = 0; t < type.num_names(); ++t) {
+    names.push_back(type.NameOf(t));
+  }
+  g_trace_names = [names = std::move(names)](uint32_t t) {
+    return t < names.size() ? names[t] : std::to_string(t);
+  };
+}
+
+// Probe an output path before any work runs: open for append (creates the
+// file, keeps existing bytes) so a bad path is a usage error up front, not a
+// surprise after a long command.
+bool ValidateWritable(const std::string& path) {
+  std::ofstream probe(path, std::ios::app);
+  if (!probe) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    return false;
+  }
+  return true;
+}
 
 bool ParseBackend(const std::string& name, Backend* out) {
   for (Backend b :
@@ -137,8 +188,9 @@ bool ParseType(const std::string& name, ObjectType* out) {
 }
 
 int Usage() {
-  std::cerr << "usage: ntsg run|audit|certify|sweep|chaos|stats [options]  "
-               "(see tools/ntsg_cli.cc header for the full list)\n";
+  std::cerr << "usage: ntsg run|audit|certify|sweep|chaos|stats|explain|trace"
+               " [options]  (see tools/ntsg_cli.cc header for the full "
+               "list)\n";
   return kExitUsage;
 }
 
@@ -146,7 +198,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
   if (argc < 2) return false;
   opt->command = argv[1];
   int i = 2;
-  if (opt->command == "audit" || opt->command == "certify") {
+  if (opt->command == "audit" || opt->command == "certify" ||
+      opt->command == "explain") {
     if (argc < 3) return false;
     opt->trace_file = argv[2];
     i = 3;
@@ -227,6 +280,25 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
         std::cerr << "--metrics-out requires an argument\n";
         return false;
       }
+    } else if (a == "--trace-out") {
+      if (!(v = need(a.c_str()))) return false;
+      opt->trace_out = v;
+    } else if (a.rfind("--trace-out=", 0) == 0) {
+      opt->trace_out = a.substr(std::strlen("--trace-out="));
+      if (opt->trace_out.empty()) {
+        std::cerr << "--trace-out requires an argument\n";
+        return false;
+      }
+    } else if (a == "--flight-recorder") {
+      if (!(v = need(a.c_str()))) return false;
+      opt->flight_recorder = std::strtoull(v, nullptr, 10);
+    } else if (a.rfind("--flight-recorder=", 0) == 0) {
+      opt->flight_recorder = std::strtoull(
+          a.c_str() + std::strlen("--flight-recorder="), nullptr, 10);
+      if (opt->flight_recorder == 0) {
+        std::cerr << "--flight-recorder requires a positive count\n";
+        return false;
+      }
     } else if (a == "--quiet") {
       opt->quiet = true;
     } else {
@@ -236,7 +308,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
   }
   return opt->command == "run" || opt->command == "audit" ||
          opt->command == "certify" || opt->command == "sweep" ||
-         opt->command == "chaos" || opt->command == "stats";
+         opt->command == "chaos" || opt->command == "stats" ||
+         opt->command == "explain" || opt->command == "trace";
 }
 
 struct RunOutput {
@@ -320,6 +393,7 @@ int Audit(const CliOptions& opt, const SystemType& type, const Trace& beta,
 
 int CmdRun(const CliOptions& opt) {
   RunOutput out = RunOnce(opt, opt.seed);
+  SetTraceNames(*out.type);
   const SimStats& s = out.sim.stats;
   std::cout << "backend=" << BackendName(opt.backend) << " seed=" << opt.seed
             << " events=" << out.sim.trace.size() << " steps=" << s.steps
@@ -364,6 +438,7 @@ int CmdCertify(const CliOptions& opt) {
     return kExitTraceCorrupt;
   }
   ConflictMode mode = ModeFor(type);
+  SetTraceNames(type);
   std::cout << "loaded " << opt.trace_file << " (" << beta.size()
             << " events)\n";
 
@@ -430,6 +505,7 @@ int CmdChaos(const CliOptions& opt) {
       FaultPlan::Generate(opt.fault_seed, /*horizon=*/1'000, 1, driver_params);
 
   RunOutput out = RunOnce(opt, opt.seed, &driver_plan);
+  SetTraceNames(*out.type);
   const SimStats& s = out.sim.stats;
   std::cout << "backend=" << BackendName(opt.backend) << " seed=" << opt.seed
             << " fault-seed=" << opt.fault_seed
@@ -461,6 +537,7 @@ int CmdChaos(const CliOptions& opt) {
   ConcurrentIngestReport chaotic = ConcurrentIngestPipeline::Run(
       *out.type, out.sim.trace, mode, chaos_config);
 
+  if (chaotic.faults.crashes > 0) g_injected_crash = true;
   std::cout << "fault log: " << chaotic.faults.ToString() << "\n";
   std::cout << "clean:   " << (clean.ok() ? "ok" : "REJECTED")
             << " fingerprint=" << std::hex << clean.graph_fingerprint
@@ -545,12 +622,53 @@ int CmdStats(const CliOptions& opt) {
   return kExitOk;
 }
 
+// Certifies a saved behavior and explains the verdict: on rejection, the
+// witness cycle is printed with each edge labeled conflict/precedes and the
+// inducing action pair, then re-verified against the constructed SG(beta).
+int CmdExplain(const CliOptions& opt) {
+  SystemType type;
+  Trace beta;
+  SiblingOrders orders;
+  Status st = ReadTraceFile(opt.trace_file, &type, &beta, &orders);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return kExitTraceCorrupt;
+  }
+  ConflictMode mode = ModeFor(type);
+  std::cout << "loaded " << opt.trace_file << " (" << beta.size()
+            << " events)\n";
+  CertificationExplanation ex = ExplainCertification(type, beta, mode);
+  std::cout << ex.ToString(type);
+  return ex.certified() ? kExitOk : kExitCertificationFailed;
+}
+
+// Records a run: one simulated workload, streamed through the online
+// certifier with tracing on, so the trace holds the full causal story —
+// driver steps, activations, edge insertions, the verdict. The file itself
+// is written by main's epilogue, shared with --trace-out on other commands.
+int CmdTrace(const CliOptions& opt) {
+  RunOutput out = RunOnce(opt, opt.seed);
+  SetTraceNames(*out.type);
+  ConflictMode mode = ModeFor(*out.type);
+  IncrementalCertifier cert(*out.type, mode);
+  cert.IngestTrace(out.sim.trace);
+  IncrementalVerdict v = cert.verdict();
+  std::cout << "backend=" << BackendName(opt.backend) << " seed=" << opt.seed
+            << " events=" << out.sim.trace.size()
+            << " verdict=" << (v.ok() ? "ok" : "rejected")
+            << " trace_events=" << obs::TraceRecorder::Default().total_events()
+            << "\n";
+  return kExitOk;
+}
+
 int Dispatch(const CliOptions& opt) {
   if (opt.command == "run") return CmdRun(opt);
   if (opt.command == "audit") return CmdAudit(opt);
   if (opt.command == "certify") return CmdCertify(opt);
   if (opt.command == "chaos") return CmdChaos(opt);
   if (opt.command == "stats") return CmdStats(opt);
+  if (opt.command == "explain") return CmdExplain(opt);
+  if (opt.command == "trace") return CmdTrace(opt);
   return CmdSweep(opt);
 }
 
@@ -560,6 +678,18 @@ int Dispatch(const CliOptions& opt) {
 int main(int argc, char** argv) {
   ntsg::CliOptions opt;
   if (!ntsg::ParseArgs(argc, argv, &opt)) return ntsg::Usage();
+  if (opt.command == "trace" && opt.trace_out.empty()) {
+    std::cerr << "trace requires --trace-out FILE\n";
+    return ntsg::kExitUsage;
+  }
+  // Output paths fail fast: a bad --metrics-out / --trace-out is a usage
+  // error caught before any work runs, not a surprise afterwards.
+  if (!opt.metrics_out.empty() && !ntsg::ValidateWritable(opt.metrics_out)) {
+    return ntsg::kExitUsage;
+  }
+  if (!opt.trace_out.empty() && !ntsg::ValidateWritable(opt.trace_out)) {
+    return ntsg::kExitUsage;
+  }
   if (!opt.metrics_out.empty() || opt.command == "stats") {
     // Enable before any work so every instrument in the command records,
     // and register eagerly so the snapshot covers every family (certifier,
@@ -567,11 +697,40 @@ int main(int argc, char** argv) {
     ntsg::obs::SetMetricsEnabled(true);
     ntsg::obs::RegisterAllMetricFamilies();
   }
+  if (!opt.trace_out.empty() || opt.flight_recorder > 0) {
+    ntsg::obs::SetTraceEnabled(true);
+    if (opt.flight_recorder > 0) {
+      ntsg::obs::TraceRecorder::Default().SetRingCapacity(
+          opt.flight_recorder);
+    }
+  }
   int code = ntsg::Dispatch(opt);
   if (!opt.metrics_out.empty() && opt.command != "stats") {
     ntsg::Status st =
         ntsg::obs::MetricsRegistry::Default().WriteSnapshot(opt.metrics_out);
-    if (!st.ok()) std::cerr << st.ToString() << "\n";
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      if (code == ntsg::kExitOk) code = ntsg::kExitUsage;
+    }
+  }
+  if (!opt.trace_out.empty()) {
+    ntsg::Status st = ntsg::obs::TraceRecorder::Default().WriteTrace(
+        opt.trace_out, ntsg::g_trace_names);
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      if (code == ntsg::kExitOk) code = ntsg::kExitUsage;
+    } else {
+      std::cout << "wrote " << opt.trace_out << " ("
+                << ntsg::obs::TraceRecorder::Default().total_events()
+                << " events)\n";
+    }
+  }
+  if (opt.flight_recorder > 0 &&
+      (code != ntsg::kExitOk || ntsg::g_injected_crash)) {
+    std::cerr << "-- flight recorder: last " << opt.flight_recorder
+              << " event(s) per thread --\n"
+              << ntsg::obs::TraceRecorder::Default().FlightRecorderText(
+                     opt.flight_recorder, ntsg::g_trace_names);
   }
   return code;
 }
