@@ -8,6 +8,7 @@
 #include "bench_util.h"
 #include "sg/fast_graph.h"
 #include "sg/graph.h"
+#include "sg/reference.h"
 
 namespace ntsg {
 namespace {
@@ -78,6 +79,59 @@ void BM_FastAcyclicity(benchmark::State& state) {
 }
 
 BENCHMARK(BM_FastAcyclicity)->Arg(8)->Arg(32)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+// Experiment T10: the frontier fast path against the retained naive
+// reference on the canonical 10k-op batch workload (64 objects, Zipf object
+// popularity; arg = Zipf s in hundredths, 0 = uniform, 110 = skewed). The
+// perf-regression gate (tools/check_bench_regression.py) reads the medians
+// of these rows and enforces the >= 3x naive/fast ratio on the skewed
+// workload.
+void BM_SgBatchNaive(benchmark::State& state) {
+  const bench::SyntheticBatch& batch =
+      bench::CachedBatch(static_cast<int>(state.range(0)));
+  Trace serial = SerialPart(batch.trace);
+  size_t edges = 0;
+  for (auto _ : state) {
+    std::vector<SiblingEdge> conflict =
+        NaiveConflictRelation(*batch.type, serial, ConflictMode::kReadWrite);
+    edges = conflict.size();
+    benchmark::DoNotOptimize(conflict);
+  }
+  state.counters["conflict_edges"] = static_cast<double>(edges);
+}
+
+void BM_SgBatchFast(benchmark::State& state) {
+  const bench::SyntheticBatch& batch =
+      bench::CachedBatch(static_cast<int>(state.range(0)));
+  Trace serial = SerialPart(batch.trace);
+  size_t edges = 0;
+  for (auto _ : state) {
+    std::vector<SiblingEdge> conflict =
+        ConflictRelation(*batch.type, serial, ConflictMode::kReadWrite);
+    edges = conflict.size();
+    benchmark::DoNotOptimize(conflict);
+  }
+  state.counters["conflict_edges"] = static_cast<double>(edges);
+}
+
+void BM_SgBatchParallel(benchmark::State& state) {
+  const bench::SyntheticBatch& batch =
+      bench::CachedBatch(static_cast<int>(state.range(0)));
+  Trace serial = SerialPart(batch.trace);
+  size_t edges = 0;
+  for (auto _ : state) {
+    std::vector<SiblingEdge> conflict = ConflictRelation(
+        *batch.type, serial, ConflictMode::kReadWrite, /*num_threads=*/4);
+    edges = conflict.size();
+    benchmark::DoNotOptimize(conflict);
+  }
+  state.counters["conflict_edges"] = static_cast<double>(edges);
+}
+
+BENCHMARK(BM_SgBatchNaive)->Arg(0)->Arg(110)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SgBatchFast)->Arg(0)->Arg(110)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SgBatchParallel)->Arg(0)->Arg(110)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -7,12 +7,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/rng.h"
 #include "obs/families.h"
 #include "obs/metrics.h"
 #include "sim/driver.h"
@@ -40,6 +43,95 @@ inline const QuickRunResult& CachedRun(size_t num_toplevel, Backend backend,
     params.gen.read_prob = 0.5;
     auto result = std::make_unique<QuickRunResult>(QuickRun(params));
     it = cache.emplace(key, std::move(result)).first;
+  }
+  return *it->second;
+}
+
+struct SyntheticBatch {
+  std::unique_ptr<SystemType> type;
+  Trace trace;
+};
+
+/// Deterministic batch-certification workload of ~`num_ops` accesses spread
+/// over top-level transactions of `ops_per_toplevel` accesses each. Object
+/// popularity is Zipf(`zipf_s`) over `num_objects` (s = 0 → uniform), the
+/// shape EXPERIMENTS.md T10 measures. Every top-level is opened before any
+/// access runs and accesses within a top-level are all created before the
+/// first one reports, so precedes(β) is empty and build cost isolates the
+/// conflict relation. Read return values replay the object's serial
+/// specification in trace order, so the trace is legal (and meaningful) in
+/// both conflict modes.
+inline SyntheticBatch SyntheticBatchWorkload(size_t num_ops,
+                                             size_t num_objects,
+                                             size_t ops_per_toplevel,
+                                             double zipf_s, uint64_t seed) {
+  SyntheticBatch out;
+  out.type = std::make_unique<SystemType>();
+  SystemType& type = *out.type;
+  std::vector<ObjectId> objects;
+  std::vector<int64_t> current(num_objects, 0);  // serial-replay value
+  objects.reserve(num_objects);
+  for (size_t i = 0; i < num_objects; ++i) {
+    std::string name = "X";
+    name += std::to_string(i);
+    objects.push_back(type.AddObject(ObjectType::kReadWrite, name));
+  }
+  Rng rng(seed);
+  ZipfSampler zipf(num_objects, zipf_s);
+  const size_t num_toplevel =
+      (num_ops + ops_per_toplevel - 1) / ops_per_toplevel;
+  std::vector<TxName> tops;
+  tops.reserve(num_toplevel);
+  for (size_t i = 0; i < num_toplevel; ++i) tops.push_back(type.NewChild(kT0));
+  for (TxName p : tops) {
+    out.trace.push_back(Action::RequestCreate(p));
+    out.trace.push_back(Action::Create(p));
+  }
+  size_t remaining = num_ops;
+  for (TxName p : tops) {
+    const size_t k = std::min(ops_per_toplevel, remaining);
+    remaining -= k;
+    std::vector<TxName> accesses;
+    accesses.reserve(k);
+    for (size_t j = 0; j < k; ++j) {
+      ObjectId x = objects[zipf.Sample(rng)];
+      TxName t = rng.NextBool(0.5)
+                     ? type.NewAccess(p, AccessSpec{x, OpCode::kRead, 0})
+                     : type.NewAccess(
+                           p, AccessSpec{x, OpCode::kWrite,
+                                         rng.NextInRange(0, 99)});
+      accesses.push_back(t);
+      out.trace.push_back(Action::RequestCreate(t));
+      out.trace.push_back(Action::Create(t));
+    }
+    for (TxName t : accesses) {
+      const AccessSpec& spec = type.access(t);
+      Value v = Value::Ok();
+      if (spec.op == OpCode::kRead) {
+        v = Value::Int(current[spec.object]);
+      } else {
+        current[spec.object] = spec.arg;
+      }
+      out.trace.push_back(Action::RequestCommit(t, v));
+      out.trace.push_back(Action::Commit(t));
+      out.trace.push_back(Action::ReportCommit(t, v));
+    }
+    out.trace.push_back(Action::RequestCommit(p, Value::Ok()));
+    out.trace.push_back(Action::Commit(p));
+    out.trace.push_back(Action::ReportCommit(p, Value::Ok()));
+  }
+  return out;
+}
+
+/// Caches SyntheticBatchWorkload per (zipf_s-in-hundredths) for the SG
+/// fast-path benches: 10k ops, 64 objects, 5 accesses per top-level.
+inline const SyntheticBatch& CachedBatch(int zipf_hundredths) {
+  static std::map<int, std::unique_ptr<SyntheticBatch>> cache;
+  auto it = cache.find(zipf_hundredths);
+  if (it == cache.end()) {
+    auto batch = std::make_unique<SyntheticBatch>(SyntheticBatchWorkload(
+        10000, 64, 5, zipf_hundredths / 100.0, 0xBA7C4 + zipf_hundredths));
+    it = cache.emplace(zipf_hundredths, std::move(batch)).first;
   }
   return *it->second;
 }

@@ -27,8 +27,8 @@ WitnessResult ExhaustiveSerialCheck(const SystemType& type, const Trace& beta,
 
   // Estimate the combination count; bail out if too large.
   size_t combos = 1;
-  for (auto& [parent, children] : groups) {
-    (void)parent;
+  for (auto& entry : groups) {
+    std::vector<TxName>& children = entry.second;
     std::sort(children.begin(), children.end());
     size_t f = 1;
     for (size_t i = 2; i <= children.size(); ++i) {
@@ -50,10 +50,7 @@ WitnessResult ExhaustiveSerialCheck(const SystemType& type, const Trace& beta,
 
   // Depth-first product of per-parent permutations.
   std::vector<TxName> parents;
-  for (const auto& [p, cs] : groups) {
-    (void)cs;
-    parents.push_back(p);
-  }
+  for (const auto& entry : groups) parents.push_back(entry.first);
   std::map<TxName, std::vector<TxName>> assignment = groups;
 
   WitnessResult last;
@@ -61,9 +58,8 @@ WitnessResult ExhaustiveSerialCheck(const SystemType& type, const Trace& beta,
 
   // Iterative odometer over permutations: repeatedly try, then advance the
   // first parent whose permutation can step; reset earlier ones.
-  for (auto& [p, cs] : assignment) {
-    (void)p;
-    std::sort(cs.begin(), cs.end());
+  for (auto& entry : assignment) {
+    std::sort(entry.second.begin(), entry.second.end());
   }
   for (;;) {
     WitnessResult r = BuildAndCheckWitness(type, serial, assignment);

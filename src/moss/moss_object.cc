@@ -88,12 +88,11 @@ std::vector<Action> MossObject::EnabledOutputs() const {
   return out;
 }
 
-void MossObject::OnRequestCommit(TxName access, const Value& v) {
+void MossObject::OnRequestCommit(TxName access, const Value& /*v*/) {
   const AccessSpec& acc = type_.access(access);
   if (acc.op == OpCode::kRead) {
-    if (AcquireReadLock()) read_lockholders_.insert(access);
     // Reads leave the value stack unchanged.
-    (void)v;
+    if (AcquireReadLock()) read_lockholders_.insert(access);
   } else {
     write_lockholders_.insert(access);
     value_[access] = acc.arg;  // data(T).

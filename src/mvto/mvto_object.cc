@@ -88,7 +88,6 @@ void MvtoObject::OnRequestCommit(TxName access, const Value& v) {
   } else {
     NTSG_CHECK(!WriteTooLate(access));
     versions_.push_back(Version{access, acc.arg});
-    (void)v;
   }
 }
 

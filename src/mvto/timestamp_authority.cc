@@ -33,9 +33,8 @@ std::map<TxName, std::vector<TxName>> TimestampAuthority::CreationOrders()
   std::map<TxName, std::vector<TxName>> orders;
   for (auto& [p, children] : grouped) {
     std::sort(children.begin(), children.end());
-    for (const auto& [s, t] : children) {
-      (void)s;
-      orders[p].push_back(t);
+    for (const auto& seq_and_child : children) {
+      orders[p].push_back(seq_and_child.second);
     }
   }
   return orders;

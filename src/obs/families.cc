@@ -105,6 +105,30 @@ const DriverMetrics& GetDriverMetrics() {
   return m;
 }
 
+const SgBuildMetrics& GetSgBuildMetrics() {
+  static const SgBuildMetrics m = {
+      Reg().GetCounter("ntsg_sg_conflict_edges_emitted_total",
+                       "Distinct conflict edges emitted by frontier probes"),
+      Reg().GetCounter("ntsg_sg_precedes_edges_emitted_total",
+                       "Distinct precedes edges emitted by batch builds"),
+      Reg().GetCounter("ntsg_sg_frontier_hits_total",
+                       "Frontier stat entries that induced a conflict edge"),
+      Reg().GetCounter("ntsg_sg_frontier_misses_total",
+                       "Frontier class lists probed without finding a "
+                       "conflicting entry"),
+      Reg().GetCounter("ntsg_sg_class_pair_evals_total",
+                       "Operation-class conflict verdicts computed (each "
+                       "distinct pair once; skipped pairs never appear)"),
+      Reg().GetCounter("ntsg_sg_parallel_merges_total",
+                       "Per-shard edge sets merged by parallel batch builds"),
+      LatencyHistogram("ntsg_lca_level_build_us",
+                       "Backfill of one new binary-lifting ancestor level"),
+      LatencyHistogram("ntsg_sg_batch_build_us",
+                       "Full batch conflict-relation construction"),
+  };
+  return m;
+}
+
 const FaultMetrics& GetFaultMetrics() {
   static const FaultMetrics m = {
       Reg().GetCounter("ntsg_fault_crashes_total",
@@ -139,6 +163,7 @@ void RegisterAllMetricFamilies() {
   (void)GetIngestMetrics();
   (void)IngestQueueDepthGauge(0);
   (void)GetDriverMetrics();
+  (void)GetSgBuildMetrics();
   (void)GetFaultMetrics();
 }
 

@@ -70,6 +70,21 @@ struct DriverMetrics {
 };
 const DriverMetrics& GetDriverMetrics();
 
+/// SG(β) batch construction fast path: ancestor-index maintenance, conflict
+/// frontier probe effectiveness, memoized class-pair work, and the parallel
+/// object-sharded build.
+struct SgBuildMetrics {
+  Counter* conflict_edges_emitted;  // ntsg_sg_conflict_edges_emitted_total
+  Counter* precedes_edges_emitted;  // ntsg_sg_precedes_edges_emitted_total
+  Counter* frontier_hits;           // ntsg_sg_frontier_hits_total
+  Counter* frontier_misses;         // ntsg_sg_frontier_misses_total
+  Counter* class_pair_evals;        // ntsg_sg_class_pair_evals_total
+  Counter* parallel_merges;         // ntsg_sg_parallel_merges_total
+  Histogram* lca_level_build_us;    // ntsg_lca_level_build_us
+  Histogram* batch_build_us;        // ntsg_sg_batch_build_us
+};
+const SgBuildMetrics& GetSgBuildMetrics();
+
 /// Fault-recovery families (ntsg_fault_*), fed from FaultStats so chaos
 /// counters surface on the same scrape as everything else (see
 /// PublishFaultStats in fault/fault_injector.h).

@@ -5,7 +5,8 @@
 namespace ntsg {
 
 CertifierReport CertifySeriallyCorrect(const SystemType& type,
-                                       const Trace& beta, ConflictMode mode) {
+                                       const Trace& beta, ConflictMode mode,
+                                       const CertifyOptions& options) {
   CertifierReport report;
   Trace serial = SerialPart(beta);
 
@@ -14,7 +15,8 @@ CertifierReport CertifySeriallyCorrect(const SystemType& type,
                       : CheckAppropriateReturnValuesGeneral(type, serial);
   report.appropriate_return_values = values.ok();
 
-  SerializationGraph sg = SerializationGraph::Build(type, serial, mode);
+  SerializationGraph sg =
+      SerializationGraph::Build(type, serial, mode, options.num_threads);
   report.conflict_edge_count = sg.conflict_edges().size();
   report.precedes_edge_count = sg.precedes_edges().size();
   report.cycle = sg.FindCycle();

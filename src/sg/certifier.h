@@ -25,6 +25,14 @@ struct CertifierReport {
   std::optional<std::vector<TxName>> cycle;
 };
 
+struct CertifyOptions {
+  /// Worker threads for the batch conflict-relation build. Objects are
+  /// sharded across workers (the ConcurrentIngestPipeline decomposition)
+  /// and the per-shard edge sets merged before the acyclicity check; the
+  /// report is identical for every thread count. 1 = fully sequential.
+  size_t num_threads = 1;
+};
+
 /// Applies the paper's sufficient condition for serial correctness to a
 /// behavior: checks appropriate return values, builds SG(serial(β)) under
 /// `mode`, and tests acyclicity. A non-OK status means "not certified" — the
@@ -34,7 +42,8 @@ struct CertifierReport {
 /// `beta` may be a generic behavior (INFORM actions are stripped first, as
 /// in Theorem 17/25) or a simple behavior.
 CertifierReport CertifySeriallyCorrect(const SystemType& type,
-                                       const Trace& beta, ConflictMode mode);
+                                       const Trace& beta, ConflictMode mode,
+                                       const CertifyOptions& options = {});
 
 }  // namespace ntsg
 

@@ -1,0 +1,155 @@
+#include "sg/conflict_frontier.h"
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+namespace {
+
+uint64_t HashOpRecord(const OpRecord& rec) {
+  uint64_t h = HashMix64(static_cast<uint64_t>(rec.op));
+  h = HashMix64(h ^ static_cast<uint64_t>(rec.arg));
+  h = HashMix64(h ^ (rec.ret.is_ok() ? 0x517cc1b727220a95ull
+                                     : static_cast<uint64_t>(rec.ret.AsInt())));
+  // The all-ones key is the map's empty sentinel; fold it away.
+  return h & 0x7FFFFFFFFFFFFFFFull;
+}
+
+}  // namespace
+
+ObjectConflictFrontier::ObjectConflictFrontier(const SystemType& type,
+                                               ConflictMode mode,
+                                               ObjectId object)
+    : type_(&type),
+      mode_(mode),
+      object_(object),
+      otype_(type.object_type(object)) {
+  NTSG_CHECK(mode != ConflictMode::kReadWrite ||
+             otype_ == ObjectType::kReadWrite)
+      << "kReadWrite conflict mode requires read/write objects";
+}
+
+bool ObjectConflictFrontier::ClassesConflict(const OpRecord& a,
+                                             const OpRecord& b) const {
+  if (mode_ == ConflictMode::kReadWrite) return RwAccessesConflict(a.op, b.op);
+  return OperationsConflict(otype_, a, b);
+}
+
+uint32_t ObjectConflictFrontier::InternClass(const OpRecord& rec) {
+  uint64_t h = HashOpRecord(rec);
+  uint32_t* head = class_table_.FindOrInsert(h, kNoEntry);
+  for (uint32_t c = *head; c != kNoEntry; c = classes_[c].chain_next) {
+    const OpRecord& r = classes_[c].rec;
+    if (r.op == rec.op && r.arg == rec.arg && r.ret == rec.ret) return c;
+  }
+  // New class: compute its conflict adjacency against every class seen so
+  // far (self included) exactly once; these are the only OperationsConflict
+  // evaluations the frontier ever performs.
+  uint32_t id = static_cast<uint32_t>(classes_.size());
+  classes_.push_back(ClassDef{rec, *head, {}});
+  *head = id;
+  ClassDef& me = classes_[id];
+  for (uint32_t d = 0; d <= id; ++d) {
+    ++stats_.class_pair_evals;
+    if (!ClassesConflict(me.rec, classes_[d].rec)) continue;
+    me.conflicts.push_back(d);
+    if (d != id) classes_[d].conflicts.push_back(id);
+  }
+  return id;
+}
+
+void ObjectConflictFrontier::Emit(TxName parent, TxName from, TxName to,
+                                  std::vector<SiblingEdge>* out) {
+  ++stats_.hits;
+  SiblingEdge e{parent, from, to};
+  if (dedup_.Insert(e)) {
+    ++stats_.edges_emitted;
+    out->push_back(e);
+  }
+}
+
+void ObjectConflictFrontier::AddOp(TxName access, const Value& v, uint64_t pos,
+                                   std::vector<SiblingEdge>* new_edges) {
+  const SystemType& type = *type_;
+  NTSG_CHECK(type.IsAccess(access));
+  const AccessSpec& spec = type.access(access);
+  NTSG_CHECK_EQ(spec.object, object_);
+
+  const bool in_order = !any_ops_ || pos > max_pos_;
+  // In kReadWrite mode the conflict verdict ignores arguments and values, so
+  // normalizing the class key to (op) alone keeps the table at two classes.
+  OpRecord rec = mode_ == ConflictMode::kReadWrite
+                     ? OpRecord{spec.op, 0, Value::Ok()}
+                     : OpRecord{spec.op, spec.arg, v};
+  const uint32_t cu = InternClass(rec);
+
+  // Walk the ancestor chain; `child` is the child of `node` toward the
+  // access. At the lca with any prior conflicting operation the two
+  // to-children differ and an edge is emitted; above it they coincide and
+  // the child-equality test skips the pair, exactly as from != to does in
+  // the pair scan.
+  TxName child = access;
+  for (TxName node = type.parent(access);; child = node,
+              node = type.parent(node)) {
+    // Probe phase: edges against earlier (and, out of order, later)
+    // operations of conflicting classes. Runs before this operation is
+    // recorded so a self-conflicting class never pairs the op with itself.
+    for (uint32_t d : classes_[cu].conflicts) {
+      uint32_t list_idx =
+          node_class_lists_.Find((uint64_t{node} << 32) | d);
+      if (list_idx == FlatIndexMap::kNotFound) {
+        ++stats_.misses;
+        continue;
+      }
+      ClassList& list = lists_[list_idx];
+      uint32_t* slot_idx = list.child_slots.FindOrInsert(
+          child, static_cast<uint32_t>(list.slots.size()));
+      if (*slot_idx == list.slots.size()) list.slots.push_back(ChildSlot{});
+      ChildSlot& cs = list.slots[*slot_idx];
+      if (in_order) {
+        // Every existing entry has min_pos < pos; consume the unseen suffix
+        // and advance the watermark so no (entry, observer) pair is scanned
+        // twice across this child's operations.
+        for (size_t i = cs.watermark; i < list.entries.size(); ++i) {
+          const ChildStat& e = list.entries[i];
+          if (e.child != child) Emit(node, e.child, child, new_edges);
+        }
+        cs.watermark = static_cast<uint32_t>(list.entries.size());
+      } else {
+        // Deep reveal: the position falls inside history. Rescan in full,
+        // both directions; the dedup set absorbs re-emission. Watermarks
+        // are left alone — they only ever describe in-order consumption.
+        for (const ChildStat& e : list.entries) {
+          if (e.child == child) continue;
+          if (e.min_pos < pos) Emit(node, e.child, child, new_edges);
+          if (e.max_pos > pos) Emit(node, child, e.child, new_edges);
+        }
+      }
+    }
+
+    // Record phase: fold this operation into entries(node, cu).
+    uint32_t* list_slot = node_class_lists_.FindOrInsert(
+        (uint64_t{node} << 32) | cu, static_cast<uint32_t>(lists_.size()));
+    if (*list_slot == lists_.size()) lists_.emplace_back();
+    ClassList& mine = lists_[*list_slot];
+    uint32_t* slot_idx = mine.child_slots.FindOrInsert(
+        child, static_cast<uint32_t>(mine.slots.size()));
+    if (*slot_idx == mine.slots.size()) mine.slots.push_back(ChildSlot{});
+    ChildSlot& cs = mine.slots[*slot_idx];
+    if (cs.entry == kNoEntry) {
+      cs.entry = static_cast<uint32_t>(mine.entries.size());
+      mine.entries.push_back(ChildStat{child, pos, pos});
+    } else {
+      ChildStat& e = mine.entries[cs.entry];
+      if (pos < e.min_pos) e.min_pos = pos;
+      if (pos > e.max_pos) e.max_pos = pos;
+    }
+
+    if (node == kT0) break;
+  }
+
+  if (!any_ops_ || pos > max_pos_) max_pos_ = pos;
+  any_ops_ = true;
+}
+
+}  // namespace ntsg

@@ -1,10 +1,15 @@
 #include "sg/conflicts.h"
 
 #include <algorithm>
-#include <map>
-#include <set>
+#include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "common/logging.h"
+#include "obs/families.h"
+#include "obs/span.h"
+#include "sg/conflict_frontier.h"
+#include "sg/edge_set.h"
 #include "spec/commutativity.h"
 
 namespace ntsg {
@@ -27,45 +32,99 @@ bool AccessOpsConflict(const SystemType& type, ConflictMode mode, TxName u,
   return true;
 }
 
+namespace {
+
+/// Runs the frontier over one slice of objects, appending discovered edges
+/// to `out` and accumulating work tallies into `stats`. Reads only the
+/// (immutable during certification) SystemType and this slice's operation
+/// lists, so concurrent calls on disjoint slices are race-free.
+void BuildObjects(const SystemType& type, ConflictMode mode,
+                  const std::vector<std::vector<Operation>>& per_object,
+                  const std::vector<ObjectId>& objects,
+                  std::vector<SiblingEdge>* out, FrontierStats* stats) {
+  for (ObjectId x : objects) {
+    ObjectConflictFrontier frontier(type, mode, x);
+    uint64_t pos = 0;
+    for (const Operation& op : per_object[x]) {
+      frontier.AddOp(op.tx, op.value, pos++, out);
+    }
+    stats->edges_emitted += frontier.stats().edges_emitted;
+    stats->hits += frontier.stats().hits;
+    stats->misses += frontier.stats().misses;
+    stats->class_pair_evals += frontier.stats().class_pair_evals;
+  }
+}
+
+}  // namespace
+
 std::vector<SiblingEdge> ConflictRelation(const SystemType& type,
-                                          const Trace& beta,
-                                          ConflictMode mode) {
-  // Operations of visible(β, T0), grouped by object, in order.
+                                          const Trace& beta, ConflictMode mode,
+                                          size_t num_threads) {
+  const obs::SgBuildMetrics& metrics = obs::GetSgBuildMetrics();
+  obs::SpanTimer span(metrics.batch_build_us);
+
+  // Operations of visible(β, T0), grouped by object (dense table), in order.
   Trace vis = VisibleTo(type, beta, kT0);
-  std::map<ObjectId, std::vector<Operation>> per_object;
+  std::vector<std::vector<Operation>> per_object(type.num_objects());
   for (const Action& a : vis) {
     if (a.kind == ActionKind::kRequestCommit && type.IsAccess(a.tx)) {
       per_object[type.ObjectOf(a.tx)].push_back(Operation{a.tx, a.value});
     }
   }
-
-  std::set<SiblingEdge> edges;
-  for (const auto& [x, ops] : per_object) {
-    (void)x;
-    for (size_t j = 1; j < ops.size(); ++j) {
-      for (size_t i = 0; i < j; ++i) {
-        TxName u = ops[i].tx, w = ops[j].tx;
-        if (!AccessOpsConflict(type, mode, u, ops[i].value, w, ops[j].value)) {
-          continue;
-        }
-        TxName lca = type.Lca(u, w);
-        // Accesses are leaves, so distinct accesses are never related by
-        // ancestry; the lca is a proper ancestor of both.
-        TxName from = type.ChildToward(lca, u);
-        TxName to = type.ChildToward(lca, w);
-        if (from != to) edges.insert(SiblingEdge{lca, from, to});
-      }
-    }
+  std::vector<ObjectId> live;
+  for (ObjectId x = 0; x < per_object.size(); ++x) {
+    if (!per_object[x].empty()) live.push_back(x);
   }
-  return std::vector<SiblingEdge>(edges.begin(), edges.end());
+
+  std::vector<SiblingEdge> edges;
+  FrontierStats total;
+  if (num_threads <= 1 || live.size() <= 1) {
+    BuildObjects(type, mode, per_object, live, &edges, &total);
+  } else {
+    // Shard objects across workers as the ingest pipeline does; per-object
+    // builds are independent, and the sort+dedup below makes the merged
+    // result identical for every thread count and interleaving.
+    const size_t shards = std::min(num_threads, live.size());
+    std::vector<std::vector<ObjectId>> buckets(shards);
+    for (ObjectId x : live) buckets[HashMix64(x) % shards].push_back(x);
+    std::vector<std::vector<SiblingEdge>> outs(shards);
+    std::vector<FrontierStats> stats(shards);
+    std::vector<std::thread> workers;
+    workers.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      workers.emplace_back([&, s] {
+        BuildObjects(type, mode, per_object, buckets[s], &outs[s], &stats[s]);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    for (size_t s = 0; s < shards; ++s) {
+      edges.insert(edges.end(), outs[s].begin(), outs[s].end());
+      total.edges_emitted += stats[s].edges_emitted;
+      total.hits += stats[s].hits;
+      total.misses += stats[s].misses;
+      total.class_pair_evals += stats[s].class_pair_evals;
+    }
+    metrics.parallel_merges->Inc(shards);
+  }
+
+  // Canonical order; distinct objects can induce the same sibling edge, so
+  // dedup across objects here (each frontier already dedups within one).
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  metrics.conflict_edges_emitted->Inc(total.edges_emitted);
+  metrics.frontier_hits->Inc(total.hits);
+  metrics.frontier_misses->Inc(total.misses);
+  metrics.class_pair_evals->Inc(total.class_pair_evals);
+  return edges;
 }
 
 std::vector<SiblingEdge> PrecedesRelation(const SystemType& type,
                                           const Trace& beta) {
   TraceIndex index(type, beta);
   // reported_children[P] = children of P already reported at this point.
-  std::map<TxName, std::vector<TxName>> reported_children;
-  std::set<SiblingEdge> edges;
+  std::unordered_map<TxName, std::vector<TxName>> reported_children;
+  SiblingEdgeSet edges;
   for (const Action& a : beta) {
     if (a.kind == ActionKind::kReportCommit ||
         a.kind == ActionKind::kReportAbort) {
@@ -76,11 +135,12 @@ std::vector<SiblingEdge> PrecedesRelation(const SystemType& type,
       auto it = reported_children.find(p);
       if (it == reported_children.end()) continue;
       for (TxName earlier : it->second) {
-        if (earlier != a.tx) edges.insert(SiblingEdge{p, earlier, a.tx});
+        if (earlier != a.tx) edges.Insert(SiblingEdge{p, earlier, a.tx});
       }
     }
   }
-  return std::vector<SiblingEdge>(edges.begin(), edges.end());
+  obs::GetSgBuildMetrics().precedes_edges_emitted->Inc(edges.size());
+  return edges.SortedEdges();
 }
 
 }  // namespace ntsg

@@ -48,11 +48,26 @@ bool AccessOpsConflict(const SystemType& type, ConflictMode mode, TxName u,
 /// conflicting operations, the REQUEST_COMMIT of U preceding that of U' in
 /// visible(β, T0). `beta` must be a sequence of serial actions (apply
 /// SerialPart first for generic behaviors).
+///
+/// Built per object by ObjectConflictFrontier (work proportional to edge
+/// candidates, not operation pairs; see conflict_frontier.h). With
+/// `num_threads` > 1 the per-object builds are sharded across that many
+/// worker threads (objects are independent — the same decomposition
+/// ConcurrentIngestPipeline uses) and the edge sets merged afterwards.
+///
+/// Ordering guarantee: the returned vector is deduplicated and sorted by
+/// (parent, from, to), independent of `num_threads` and thread scheduling.
+/// FingerprintSerializationGraph and the adjacency construction in
+/// SerializationGraph rely on this canonical order; so do the golden
+/// explain transcripts.
 std::vector<SiblingEdge> ConflictRelation(const SystemType& type,
-                                          const Trace& beta, ConflictMode mode);
+                                          const Trace& beta, ConflictMode mode,
+                                          size_t num_threads = 1);
 
 /// precedes(β) (Section 4): (T, T') siblings whose common parent is visible
 /// to T0 in β, with a report event for T preceding REQUEST_CREATE(T') in β.
+/// Same ordering guarantee as ConflictRelation: deduplicated, sorted by
+/// (parent, from, to).
 std::vector<SiblingEdge> PrecedesRelation(const SystemType& type,
                                           const Trace& beta);
 

@@ -41,8 +41,8 @@ ProvenanceMaps BuildProvenance(const SystemType& type, const Trace& beta,
     if (!index.IsVisible(a.tx, kT0)) continue;
     per_object[type.ObjectOf(a.tx)].push_back(PosOp{i, a.tx, a.value});
   }
-  for (const auto& [x, ops] : per_object) {
-    (void)x;
+  for (const auto& entry : per_object) {
+    const std::vector<PosOp>& ops = entry.second;
     for (size_t j = 1; j < ops.size(); ++j) {
       for (size_t i = 0; i < j; ++i) {
         if (!AccessOpsConflict(type, mode, ops[i].tx, ops[i].value, ops[j].tx,

@@ -19,8 +19,10 @@ class SerializationGraph {
  public:
   /// Builds SG(β) from a sequence of serial actions. (For a generic behavior
   /// apply SerialPart first, mirroring the paper's SG(serial(β)).)
+  /// `num_threads` > 1 parallelizes the conflict-relation build across
+  /// objects; the resulting graph is identical for every thread count.
   static SerializationGraph Build(const SystemType& type, const Trace& beta,
-                                  ConflictMode mode);
+                                  ConflictMode mode, size_t num_threads = 1);
 
   /// Builds from precomputed edge sets (used by incremental callers).
   static SerializationGraph FromEdges(std::vector<SiblingEdge> conflict_edges,
@@ -51,10 +53,6 @@ class SerializationGraph {
   std::string ToDot(const SystemType& type) const;
 
  private:
-  /// adjacency per parent: node -> successors (deduplicated).
-  std::map<TxName, std::map<TxName, std::vector<TxName>>> BuildAdjacency()
-      const;
-
   std::vector<SiblingEdge> conflict_edges_;
   std::vector<SiblingEdge> precedes_edges_;
 };

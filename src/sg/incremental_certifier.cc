@@ -78,15 +78,18 @@ void VisibilityTracker::OnAbort(TxName t, std::vector<Item>* dropped) {
 
 // --- ObjectIngestState ------------------------------------------------------
 
-ObjectIngestState::ObjectIngestState(const SystemType& type, ObjectId x)
+ObjectIngestState::ObjectIngestState(const SystemType& type, ObjectId x,
+                                     ConflictMode mode)
     : type_(&type),
       x_(x),
+      frontier_(type, mode, x),
       replay_(MakeSpec(type.object_type(x), type.object_initial(x))) {}
 
 ObjectIngestState::ObjectIngestState(const ObjectIngestState& other)
     : type_(other.type_),
       x_(other.x_),
       ops_(other.ops_),
+      frontier_(other.frontier_),
       replay_(other.replay_->Clone()),
       legal_(other.legal_) {}
 
@@ -96,14 +99,15 @@ ObjectIngestState& ObjectIngestState::operator=(
   type_ = other.type_;
   x_ = other.x_;
   ops_ = other.ops_;
+  frontier_ = other.frontier_;
   replay_ = other.replay_->Clone();
   legal_ = other.legal_;
   return *this;
 }
 
-void ObjectIngestState::InsertVisibleOp(
-    uint64_t pos, TxName tx, const Value& v, ConflictMode mode,
-    std::vector<std::pair<TxName, TxName>>* conflict_pairs) {
+void ObjectIngestState::InsertVisibleOp(uint64_t pos, TxName tx,
+                                        const Value& v,
+                                        std::vector<SiblingEdge>* new_edges) {
   auto existing = ops_.find(pos);
   if (existing != ops_.end()) {
     // Duplicated delivery: at-least-once transports may hand us the same
@@ -114,14 +118,7 @@ void ObjectIngestState::InsertVisibleOp(
     return;
   }
 
-  for (const auto& [p, op] : ops_) {
-    if (!AccessOpsConflict(*type_, mode, op.tx, op.value, tx, v)) continue;
-    if (p < pos) {
-      conflict_pairs->emplace_back(op.tx, tx);
-    } else {
-      conflict_pairs->emplace_back(tx, op.tx);
-    }
-  }
+  frontier_.AddOp(tx, v, pos, new_edges);
 
   auto [it, inserted] = ops_.emplace(pos, Operation{tx, v});
   NTSG_CHECK(inserted);
@@ -201,7 +198,7 @@ IncrementalCertifier& IncrementalCertifier::operator=(
 ObjectIngestState& IncrementalCertifier::ObjectState(ObjectId x) {
   if (x >= objects_.size()) objects_.resize(x + 1);
   if (objects_[x] == nullptr) {
-    objects_[x] = std::make_unique<ObjectIngestState>(*type_, x);
+    objects_[x] = std::make_unique<ObjectIngestState>(*type_, x, mode_);
   }
   return *objects_[x];
 }
@@ -305,21 +302,17 @@ void IncrementalCertifier::ActivateOp(uint64_t pos, TxName tx,
   obs::TraceEmit(obs::TraceEventKind::kOpActivated, tx, tx, 0, 0, pos);
   ObjectIngestState& state = ObjectState(type_->ObjectOf(tx));
   bool was_legal = state.legal();
-  std::vector<std::pair<TxName, TxName>> pairs;
-  state.InsertVisibleOp(pos, tx, v, mode_, &pairs);
+  // The frontier performs the lca / child-toward mapping itself and dedups
+  // within the object; the certifier-level set dedups across objects.
+  std::vector<SiblingEdge> edges;
+  state.InsertVisibleOp(pos, tx, v, &edges);
   if (was_legal != state.legal()) {
     illegal_objects_ += was_legal ? 1 : -1;
   }
-  for (const auto& [earlier, later] : pairs) {
-    TxName lca = type_->Lca(earlier, later);
-    // Accesses are leaves, so distinct accesses are never related by
-    // ancestry; the lca is a proper ancestor of both.
-    TxName from = type_->ChildToward(lca, earlier);
-    TxName to = type_->ChildToward(lca, later);
-    if (from == to) continue;
-    if (conflict_edges_.insert(SiblingEdge{lca, from, to}).second) {
+  for (const SiblingEdge& e : edges) {
+    if (conflict_edges_.Insert(e)) {
       obs::GetCertifierMetrics().conflict_edges->Inc();
-      AddGraphEdge(lca, from, to, /*is_conflict=*/true);
+      AddGraphEdge(e.parent, e.from, e.to, /*is_conflict=*/true);
     }
   }
 }
@@ -365,7 +358,7 @@ void IncrementalCertifier::ActivateScope(TxName parent) {
 void IncrementalCertifier::EmitPrecedes(TxName parent, TxName from,
                                         TxName to) {
   if (from == to) return;
-  if (precedes_edges_.insert(SiblingEdge{parent, from, to}).second) {
+  if (precedes_edges_.Insert(SiblingEdge{parent, from, to})) {
     obs::GetCertifierMetrics().precedes_edges->Inc();
     AddGraphEdge(parent, from, to, /*is_conflict=*/false);
   }
@@ -406,9 +399,11 @@ void IncrementalCertifier::NoteVerdict() {
 }
 
 uint64_t IncrementalCertifier::graph_fingerprint() const {
+  // The fingerprinter wants strictly increasing edge order; the flat sets
+  // record insertion order, so sort first.
   GraphFingerprinter fp;
-  for (const SiblingEdge& e : conflict_edges_) fp.AddConflict(e);
-  for (const SiblingEdge& e : precedes_edges_) fp.AddPrecedes(e);
+  for (const SiblingEdge& e : conflict_edges_.SortedEdges()) fp.AddConflict(e);
+  for (const SiblingEdge& e : precedes_edges_.SortedEdges()) fp.AddPrecedes(e);
   return fp.Finish();
 }
 

@@ -5,11 +5,12 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <unordered_map>
 #include <vector>
 
+#include "sg/conflict_frontier.h"
 #include "sg/conflicts.h"
+#include "sg/edge_set.h"
 #include "sg/fast_graph.h"
 #include "spec/serial_spec.h"
 #include "tx/trace.h"
@@ -83,33 +84,36 @@ class VisibilityTracker {
 /// Per-object slice of the online certifier: the visible operation sequence
 /// ordered by trace position, its legality under the object's serial
 /// specification (= the appropriate-return-values condition of Theorem
-/// 8/19), and conflict discovery against previously visible operations.
+/// 8/19), and conflict discovery against previously visible operations via
+/// an ObjectConflictFrontier (class-summarized, so discovery cost is
+/// independent of how many visible operations this object has seen).
 ///
 /// Operations normally arrive in position order (appended as commits make
 /// them visible), which extends the replay state in O(1); a commit deep in
 /// the tree can retroactively reveal an *earlier* operation, in which case
-/// the replay is redone from scratch for this object only.
+/// the replay is redone from scratch for this object only (the frontier
+/// handles the out-of-order insert natively).
 ///
-/// Copyable (the serial-spec replay state clones), which is what shard
-/// snapshots and certifier restore points are made of. Re-inserting an
-/// already present (pos, tx, value) — a duplicated delivery — is an exact
-/// no-op, so at-least-once delivery cannot shift the verdict.
+/// Copyable (the serial-spec replay state clones; the frontier has value
+/// semantics), which is what shard snapshots and certifier restore points
+/// are made of. Re-inserting an already present (pos, tx, value) — a
+/// duplicated delivery — is an exact no-op, so at-least-once delivery
+/// cannot shift the verdict.
 class ObjectIngestState {
  public:
-  ObjectIngestState(const SystemType& type, ObjectId x);
+  ObjectIngestState(const SystemType& type, ObjectId x, ConflictMode mode);
 
   ObjectIngestState(const ObjectIngestState& other);
   ObjectIngestState& operator=(const ObjectIngestState& other);
 
   /// Inserts the newly visible operation (REQUEST_COMMIT of access `tx`
-  /// returning `v` at trace position `pos`) and appends to `conflict_pairs`
-  /// every ordered access pair (earlier, later) in which the new operation
-  /// conflicts with an already visible one under `mode`. Idempotent: a
-  /// duplicate of an already inserted operation changes nothing and emits
-  /// nothing.
+  /// returning `v` at trace position `pos`) and appends to `new_edges`
+  /// every sibling edge (lca, child-toward-earlier, child-toward-later)
+  /// induced by a conflict between the new operation and an already visible
+  /// one — already deduplicated within this object. Idempotent: a duplicate
+  /// of an already inserted operation changes nothing and emits nothing.
   void InsertVisibleOp(uint64_t pos, TxName tx, const Value& v,
-                       ConflictMode mode,
-                       std::vector<std::pair<TxName, TxName>>* conflict_pairs);
+                       std::vector<SiblingEdge>* new_edges);
 
   /// True iff the visible operation sequence replays against the serial
   /// spec (every recorded return value matches).
@@ -125,6 +129,7 @@ class ObjectIngestState {
   const SystemType* type_;
   ObjectId x_;
   std::map<uint64_t, Operation> ops_;
+  ObjectConflictFrontier frontier_;
   std::unique_ptr<SerialSpec> replay_;
   bool legal_ = true;
 };
@@ -232,8 +237,8 @@ class IncrementalCertifier {
   size_t illegal_objects_ = 0;
   std::unordered_map<TxName, ParentScope> scopes_;
   std::unordered_map<uint64_t, PendingOp> pending_ops_;
-  std::set<SiblingEdge> conflict_edges_;
-  std::set<SiblingEdge> precedes_edges_;
+  SiblingEdgeSet conflict_edges_;
+  SiblingEdgeSet precedes_edges_;
   IncrementalTopoGraph graph_;
   bool acyclic_ = true;
   uint64_t pos_ = 0;

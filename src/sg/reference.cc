@@ -1,0 +1,65 @@
+#include "sg/reference.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace ntsg {
+
+std::vector<SiblingEdge> NaiveConflictRelation(const SystemType& type,
+                                               const Trace& beta,
+                                               ConflictMode mode) {
+  // Operations of visible(β, T0), grouped by object, in order.
+  Trace vis = VisibleTo(type, beta, kT0);
+  std::map<ObjectId, std::vector<Operation>> per_object;
+  for (const Action& a : vis) {
+    if (a.kind == ActionKind::kRequestCommit && type.IsAccess(a.tx)) {
+      per_object[type.ObjectOf(a.tx)].push_back(Operation{a.tx, a.value});
+    }
+  }
+
+  std::set<SiblingEdge> edges;
+  for (const auto& entry : per_object) {
+    const std::vector<Operation>& ops = entry.second;
+    for (size_t j = 1; j < ops.size(); ++j) {
+      for (size_t i = 0; i < j; ++i) {
+        TxName u = ops[i].tx, w = ops[j].tx;
+        if (!AccessOpsConflict(type, mode, u, ops[i].value, w, ops[j].value)) {
+          continue;
+        }
+        TxName lca = type.Lca(u, w);
+        // Accesses are leaves, so distinct accesses are never related by
+        // ancestry; the lca is a proper ancestor of both.
+        TxName from = type.ChildToward(lca, u);
+        TxName to = type.ChildToward(lca, w);
+        if (from != to) edges.insert(SiblingEdge{lca, from, to});
+      }
+    }
+  }
+  return std::vector<SiblingEdge>(edges.begin(), edges.end());
+}
+
+std::vector<SiblingEdge> NaivePrecedesRelation(const SystemType& type,
+                                               const Trace& beta) {
+  TraceIndex index(type, beta);
+  // reported_children[P] = children of P already reported at this point.
+  std::map<TxName, std::vector<TxName>> reported_children;
+  std::set<SiblingEdge> edges;
+  for (const Action& a : beta) {
+    if (a.kind == ActionKind::kReportCommit ||
+        a.kind == ActionKind::kReportAbort) {
+      reported_children[type.parent(a.tx)].push_back(a.tx);
+    } else if (a.kind == ActionKind::kRequestCreate) {
+      TxName p = type.parent(a.tx);
+      if (!index.IsVisible(p, kT0)) continue;
+      auto it = reported_children.find(p);
+      if (it == reported_children.end()) continue;
+      for (TxName earlier : it->second) {
+        if (earlier != a.tx) edges.insert(SiblingEdge{p, earlier, a.tx});
+      }
+    }
+  }
+  return std::vector<SiblingEdge>(edges.begin(), edges.end());
+}
+
+}  // namespace ntsg

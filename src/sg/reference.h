@@ -1,0 +1,29 @@
+#ifndef NTSG_SG_REFERENCE_H_
+#define NTSG_SG_REFERENCE_H_
+
+#include <vector>
+
+#include "sg/conflicts.h"
+
+namespace ntsg {
+
+/// Executable specification of conflict(β): the direct transcription of
+/// Section 4 / Section 6.1 — every ordered pair of visible operations on
+/// every object, tested with AccessOpsConflict and resolved to a sibling
+/// edge through the lca. O(k²) pairs per object; retained verbatim (modulo
+/// the retired std::set round-trip) as the oracle the differential suite
+/// and the before/after benchmarks pin the frontier construction against.
+/// Returns edges sorted by (parent, from, to), deduplicated — the same
+/// contract as ConflictRelation.
+std::vector<SiblingEdge> NaiveConflictRelation(const SystemType& type,
+                                               const Trace& beta,
+                                               ConflictMode mode);
+
+/// Executable specification of precedes(β), same role and contract as
+/// NaiveConflictRelation.
+std::vector<SiblingEdge> NaivePrecedesRelation(const SystemType& type,
+                                               const Trace& beta);
+
+}  // namespace ntsg
+
+#endif  // NTSG_SG_REFERENCE_H_

@@ -144,18 +144,17 @@ void ConcurrentIngestPipeline::ApplyOp(Shard& shard, const WorkItem& item,
   ObjectId x = type_.ObjectOf(item.tx);
   std::unique_ptr<ObjectIngestState>& state = shard.objects[x];
   if (state == nullptr) {
-    state = std::make_unique<ObjectIngestState>(type_, x);
+    state = std::make_unique<ObjectIngestState>(type_, x, mode_);
   }
-  std::vector<std::pair<TxName, TxName>> pairs;
-  state->InsertVisibleOp(item.pos, item.tx, item.value, mode_, &pairs);
+  // The object's frontier maps conflicts straight to sibling edges (lca /
+  // child-toward resolved internally); the per-stripe sets dedup re-emission
+  // across recovery replays.
+  std::vector<SiblingEdge> edges;
+  state->InsertVisibleOp(item.pos, item.tx, item.value, &edges);
   ++shard.ops_processed;
 
-  for (const auto& [earlier, later] : pairs) {
-    TxName lca = type_.Lca(earlier, later);
-    TxName from = type_.ChildToward(lca, earlier);
-    TxName to = type_.ChildToward(lca, later);
-    if (from == to) continue;
-    InsertEdge(SiblingEdge{lca, from, to}, /*is_conflict=*/true);
+  for (const SiblingEdge& e : edges) {
+    InsertEdge(e, /*is_conflict=*/true);
   }
 }
 
@@ -379,9 +378,9 @@ void ConcurrentIngestPipeline::InsertEdge(const SiblingEdge& e,
     obs::SpanTimer span(obs::GetIngestMetrics().stripe_lock_wait_us);
     lock.lock();
   }
-  std::set<SiblingEdge>& dedup =
+  SiblingEdgeSet& dedup =
       is_conflict ? stripe.conflict_edges : stripe.precedes_edges;
-  if (!dedup.insert(e).second) return;
+  if (!dedup.Insert(e)) return;
   const uint8_t relation =
       is_conflict ? obs::kTraceFlagConflict : obs::kTraceFlagPrecedes;
   if (stripe.graph.AddEdge(e.from, e.to)) {
@@ -499,10 +498,10 @@ ConcurrentIngestReport ConcurrentIngestPipeline::Finish() {
   for (const auto& stripe : stripes_) {
     report.conflict_edge_count += stripe->conflict_edges.size();
     report.precedes_edge_count += stripe->precedes_edges.size();
-    conflict_edges.insert(conflict_edges.end(), stripe->conflict_edges.begin(),
-                          stripe->conflict_edges.end());
-    precedes_edges.insert(precedes_edges.end(), stripe->precedes_edges.begin(),
-                          stripe->precedes_edges.end());
+    const std::vector<SiblingEdge>& ce = stripe->conflict_edges.edges();
+    const std::vector<SiblingEdge>& pe = stripe->precedes_edges.edges();
+    conflict_edges.insert(conflict_edges.end(), ce.begin(), ce.end());
+    precedes_edges.insert(precedes_edges.end(), pe.begin(), pe.end());
   }
   report.graph_fingerprint = FingerprintSerializationGraph(
       std::move(conflict_edges), std::move(precedes_edges));

@@ -8,7 +8,6 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <set>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -141,11 +140,13 @@ class ConcurrentIngestPipeline {
   };
 
   /// One stripe of the shared graph: components whose parent hashes here.
+  /// The flat dedup sets record insertion order; Finish's aggregation
+  /// canonicalizes (FingerprintSerializationGraph sorts internally).
   struct Stripe {
     std::mutex mu;
     IncrementalTopoGraph graph;
-    std::set<SiblingEdge> conflict_edges;
-    std::set<SiblingEdge> precedes_edges;
+    SiblingEdgeSet conflict_edges;
+    SiblingEdgeSet precedes_edges;
   };
 
   /// An operation delivery the router is holding back (delay/reorder

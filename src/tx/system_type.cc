@@ -3,11 +3,44 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/families.h"
+#include "obs/span.h"
 
 namespace ntsg {
 
 SystemType::SystemType() {
   nodes_.push_back(Node{kInvalidTx, 0, std::nullopt});  // T0.
+  // T0 needs no index entries: max_depth_ is 0, so up_ stays empty until
+  // the first child is interned.
+}
+
+void SystemType::IndexNewNode(TxName t) {
+  // Extend every existing level with the new name. Level k reads level k-1,
+  // which already holds `t` by the time we get there, so each append is O(1).
+  for (size_t k = 0; k < up_.size(); ++k) {
+    TxName half = (k == 0) ? nodes_[t].parent : up_[k - 1][t];
+    up_[k].push_back((k == 0) ? half : up_[k - 1][half]);
+  }
+  const uint32_t d = nodes_[t].depth;
+  if (d <= max_depth_) return;
+  max_depth_ = d;
+  // `t` is the first name deep enough for a longer jump: backfill whole
+  // levels (each spans all of nodes_, `t` included). Depth grows by at most
+  // one per interned name, so this adds at most one level per call and
+  // O(n log depth) work over the life of the arena.
+  while ((uint64_t{1} << up_.size()) <= max_depth_) {
+    obs::SpanTimer span(obs::GetSgBuildMetrics().lca_level_build_us);
+    const size_t k = up_.size();
+    std::vector<TxName> level(nodes_.size());
+    if (k == 0) {
+      for (TxName x = 0; x < level.size(); ++x)
+        level[x] = (x == kT0) ? kT0 : nodes_[x].parent;
+    } else {
+      const std::vector<TxName>& prev = up_[k - 1];
+      for (TxName x = 0; x < level.size(); ++x) level[x] = prev[prev[x]];
+    }
+    up_.push_back(std::move(level));
+  }
 }
 
 ObjectId SystemType::AddObject(ObjectType type, std::string name,
@@ -20,7 +53,9 @@ TxName SystemType::NewChild(TxName parent) {
   NTSG_CHECK_LT(parent, nodes_.size());
   NTSG_CHECK(!IsAccess(parent)) << "accesses are leaves";
   nodes_.push_back(Node{parent, nodes_[parent].depth + 1, std::nullopt});
-  return static_cast<TxName>(nodes_.size() - 1);
+  TxName t = static_cast<TxName>(nodes_.size() - 1);
+  IndexNewNode(t);
+  return t;
 }
 
 TxName SystemType::NewAccess(TxName parent, const AccessSpec& spec) {
@@ -31,7 +66,9 @@ TxName SystemType::NewAccess(TxName parent, const AccessSpec& spec) {
       << OpCodeName(spec.op) << " invalid for "
       << ObjectTypeName(objects_[spec.object].type);
   nodes_.push_back(Node{parent, nodes_[parent].depth + 1, spec});
-  return static_cast<TxName>(nodes_.size() - 1);
+  TxName t = static_cast<TxName>(nodes_.size() - 1);
+  IndexNewNode(t);
+  return t;
 }
 
 ObjectId SystemType::ObjectOf(TxName t) const {
@@ -42,8 +79,8 @@ ObjectId SystemType::ObjectOf(TxName t) const {
 bool SystemType::IsAncestor(TxName a, TxName d) const {
   NTSG_CHECK_LT(a, nodes_.size());
   NTSG_CHECK_LT(d, nodes_.size());
-  while (nodes_[d].depth > nodes_[a].depth) d = nodes_[d].parent;
-  return a == d;
+  if (nodes_[a].depth > nodes_[d].depth) return false;
+  return AncestorAtDepth(d, nodes_[a].depth) == a;
 }
 
 bool SystemType::AreSiblings(TxName a, TxName b) const {
@@ -54,20 +91,40 @@ bool SystemType::AreSiblings(TxName a, TxName b) const {
 TxName SystemType::Lca(TxName a, TxName b) const {
   NTSG_CHECK_LT(a, nodes_.size());
   NTSG_CHECK_LT(b, nodes_.size());
-  while (nodes_[a].depth > nodes_[b].depth) a = nodes_[a].parent;
-  while (nodes_[b].depth > nodes_[a].depth) b = nodes_[b].parent;
-  while (a != b) {
-    a = nodes_[a].parent;
-    b = nodes_[b].parent;
+  const uint32_t da = nodes_[a].depth, db = nodes_[b].depth;
+  if (da > db) {
+    a = AncestorAtDepth(a, db);
+  } else if (db > da) {
+    b = AncestorAtDepth(b, da);
   }
-  return a;
+  if (a == b) return a;
+  // Jump both names up whenever their 2^k-th ancestors still differ; the
+  // clamp-to-T0 convention makes over-long jumps land on T0 together, so
+  // they are simply not taken. Afterwards a and b are distinct children of
+  // the lca.
+  for (size_t k = up_.size(); k-- > 0;) {
+    if (up_[k][a] != up_[k][b]) {
+      a = up_[k][a];
+      b = up_[k][b];
+    }
+  }
+  return nodes_[a].parent;
+}
+
+TxName SystemType::AncestorAtDepth(TxName t, uint32_t target_depth) const {
+  NTSG_CHECK_LT(t, nodes_.size());
+  NTSG_CHECK_LE(target_depth, nodes_[t].depth);
+  uint32_t diff = nodes_[t].depth - target_depth;
+  for (size_t k = 0; diff != 0; ++k, diff >>= 1) {
+    if (diff & 1u) t = up_[k][t];
+  }
+  return t;
 }
 
 TxName SystemType::ChildToward(TxName anc, TxName d) const {
   NTSG_CHECK(IsAncestor(anc, d));
   NTSG_CHECK_NE(anc, d);
-  while (nodes_[d].depth > nodes_[anc].depth + 1) d = nodes_[d].parent;
-  return d;
+  return AncestorAtDepth(d, nodes_[anc].depth + 1);
 }
 
 std::vector<TxName> SystemType::Ancestors(TxName t) const {

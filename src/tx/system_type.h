@@ -23,7 +23,14 @@ inline constexpr TxName kInvalidTx = 0xFFFFFFFFu;
 /// The paper's tree is infinite and known in advance; since any finite
 /// execution touches only finitely many names, we intern names lazily in an
 /// arena. All tree queries the theory needs — parent, ancestor, descendant,
-/// lca — are answered from parent pointers and depths.
+/// lca — are answered from a binary-lifting ancestor index maintained as
+/// names are interned: level k of `up_` holds every name's 2^k-th ancestor
+/// (clamped to T0), so Lca / ChildToward / IsAncestor cost O(log depth)
+/// jumps instead of a parent-pointer walk. Appending a name extends each
+/// level in O(1); a new level is backfilled in O(n) the first time any name
+/// reaches depth 2^k, for O(n log depth) total index cost. The index is
+/// immutable between interning calls, so concurrent read-only tree queries
+/// (the parallel batch certifier) are race-free.
 ///
 /// A name is an *access* iff it carries an AccessSpec; accesses must be
 /// leaves (never given children).
@@ -80,6 +87,10 @@ class SystemType {
   /// Least common ancestor of `a` and `b`.
   TxName Lca(TxName a, TxName b) const;
 
+  /// The ancestor of `t` at depth `target_depth`. Requires
+  /// target_depth <= depth(t).
+  TxName AncestorAtDepth(TxName t, uint32_t target_depth) const;
+
   /// The child of ancestor `anc` on the path down to descendant `d`.
   /// Requires IsAncestor(anc, d) and anc != d.
   TxName ChildToward(TxName anc, TxName d) const;
@@ -89,6 +100,10 @@ class SystemType {
 
   /// Human-readable dotted path, e.g. "T0.2.1".
   std::string NameOf(TxName t) const;
+
+  /// Levels currently held by the ancestor index (log2 of the deepest
+  /// interned name, rounded up); exposed for tests and stats.
+  size_t lca_index_levels() const { return up_.size(); }
 
  private:
   struct Node {
@@ -103,8 +118,18 @@ class SystemType {
     int64_t initial;
   };
 
+  /// Appends `t` (just pushed onto nodes_) to every level of the ancestor
+  /// index, growing a new level first if `t` is the first name deep enough
+  /// to need it.
+  void IndexNewNode(TxName t);
+
   std::vector<Node> nodes_;
   std::vector<ObjectInfo> objects_;
+  /// up_[k][t] = the 2^k-th ancestor of t, clamped to T0 (level 0 mirrors
+  /// the parent pointers, keeping the jump loops uniform). Level k exists
+  /// once some name has depth >= 2^k; every level spans all of nodes_.
+  std::vector<std::vector<TxName>> up_;
+  uint32_t max_depth_ = 0;
 };
 
 }  // namespace ntsg

@@ -156,21 +156,20 @@ TEST(IdempotencyTest, DuplicateInsertVisibleOpIsExactNoOp) {
   TxName w = type.NewAccess(top, AccessSpec{x, OpCode::kWrite, 5});
   TxName r = type.NewAccess(top, AccessSpec{x, OpCode::kRead, 0});
 
-  ObjectIngestState state(type, x);
-  std::vector<std::pair<TxName, TxName>> pairs;
-  state.InsertVisibleOp(3, w, Value::Ok(), ConflictMode::kReadWrite, &pairs);
-  EXPECT_TRUE(pairs.empty());
-  state.InsertVisibleOp(8, r, Value::Int(5), ConflictMode::kReadWrite,
-                        &pairs);
-  ASSERT_EQ(pairs.size(), 1u);  // w conflicts r
+  ObjectIngestState state(type, x, ConflictMode::kReadWrite);
+  std::vector<SiblingEdge> edges;
+  state.InsertVisibleOp(3, w, Value::Ok(), &edges);
+  EXPECT_TRUE(edges.empty());
+  state.InsertVisibleOp(8, r, Value::Int(5), &edges);
+  ASSERT_EQ(edges.size(), 1u);  // w conflicts r
+  EXPECT_EQ(edges[0], (SiblingEdge{top, w, r}));
   EXPECT_TRUE(state.legal());
 
-  // Redeliver both; nothing may change, in particular no re-emitted pairs.
-  pairs.clear();
-  state.InsertVisibleOp(3, w, Value::Ok(), ConflictMode::kReadWrite, &pairs);
-  state.InsertVisibleOp(8, r, Value::Int(5), ConflictMode::kReadWrite,
-                        &pairs);
-  EXPECT_TRUE(pairs.empty());
+  // Redeliver both; nothing may change, in particular no re-emitted edges.
+  edges.clear();
+  state.InsertVisibleOp(3, w, Value::Ok(), &edges);
+  state.InsertVisibleOp(8, r, Value::Int(5), &edges);
+  EXPECT_TRUE(edges.empty());
   EXPECT_EQ(state.op_count(), 2u);
   EXPECT_TRUE(state.legal());
 }

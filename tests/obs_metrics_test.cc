@@ -13,6 +13,9 @@
 #include "obs/families.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "sg/conflicts.h"
+#include "sg/fingerprint.h"
+#include "sg/graph.h"
 #include "sim/concurrent_ingest.h"
 #include "sim/driver.h"
 
@@ -171,7 +174,12 @@ TEST(ObsMetricsTest, RegisterAllCoversEveryLayerFamily) {
         "ntsg_ingest_ops_processed_total", "ntsg_ingest_delivery_lag_us",
         "ntsg_ingest_snapshot_us", "ntsg_ingest_replay_us",
         "ntsg_ingest_worker_restarts_total", "ntsg_driver_steps_total",
-        "ntsg_fault_crashes_total", "ntsg_fault_items_replayed_total"}) {
+        "ntsg_fault_crashes_total", "ntsg_fault_items_replayed_total",
+        "ntsg_sg_conflict_edges_emitted_total",
+        "ntsg_sg_precedes_edges_emitted_total", "ntsg_sg_frontier_hits_total",
+        "ntsg_sg_frontier_misses_total", "ntsg_sg_class_pair_evals_total",
+        "ntsg_sg_parallel_merges_total", "ntsg_lca_level_build_us",
+        "ntsg_sg_batch_build_us"}) {
     EXPECT_NE(text.find(family), std::string::npos) << family;
   }
 }
@@ -215,6 +223,75 @@ TEST(ObsMetricsTest, MetricsDoNotMoveVerdictOrFingerprint) {
     EXPECT_EQ(off_report.precedes_edge_count, on_report.precedes_edge_count);
     EXPECT_EQ(off_report.graph_fingerprint, on_report.graph_fingerprint)
         << "metrics moved the graph fingerprint at seed " << seed;
+  }
+}
+
+// The same contract for the batch fast path: the frontier-based
+// ConflictRelation must return the identical edge vector — and the batch
+// certifier the identical fingerprintable graph — with metrics off, metrics
+// on, and any worker count. The enabled run must also actually advance the
+// SG-build counters (edge emission, frontier hit/miss).
+TEST(ObsMetricsTest, BatchFastPathMetricsDoNotMoveEdgesOrFingerprint) {
+  for (uint64_t seed = 11; seed <= 14; ++seed) {
+    QuickRunParams params;
+    params.config.backend = Backend::kMoss;
+    params.config.seed = seed;
+    params.num_objects = 3;
+    params.num_toplevel = 4;
+    QuickRunResult run = QuickRun(params);
+    ASSERT_TRUE(run.sim.stats.completed);
+    Trace serial = SerialPart(run.sim.trace);
+
+    std::vector<SiblingEdge> off_edges, on_edges, on_parallel_edges;
+    {
+      ScopedMetricsEnabled off(false);
+      off_edges = ConflictRelation(*run.type, serial,
+                                   ConflictMode::kReadWrite);
+    }
+    const obs::SgBuildMetrics& m = obs::GetSgBuildMetrics();
+    uint64_t emitted0, hits0, misses0;
+    {
+      ScopedMetricsEnabled on(true);
+      emitted0 = m.conflict_edges_emitted->value();
+      hits0 = m.frontier_hits->value();
+      misses0 = m.frontier_misses->value();
+      on_edges = ConflictRelation(*run.type, serial, ConflictMode::kReadWrite);
+      on_parallel_edges = ConflictRelation(*run.type, serial,
+                                           ConflictMode::kReadWrite,
+                                           /*num_threads=*/4);
+      // Every final edge was emitted at least once; a first access to an
+      // object is always a frontier miss, later conflicting ones are hits.
+      EXPECT_GE(m.conflict_edges_emitted->value() - emitted0, on_edges.size());
+      if (!on_edges.empty()) {
+        // An edge implies a conflicting pair, which implies both a probe
+        // that found summaries (hit) and an earlier first-of-class probe
+        // that found none (miss).
+        EXPECT_GT(m.frontier_hits->value(), hits0);
+        EXPECT_GT(m.frontier_misses->value(), misses0);
+      }
+    }
+    EXPECT_EQ(off_edges, on_edges) << "metrics moved the edge set, seed "
+                                   << seed;
+    EXPECT_EQ(on_edges, on_parallel_edges)
+        << "thread count moved the edge set, seed " << seed;
+
+    uint64_t off_fp, on_fp;
+    {
+      ScopedMetricsEnabled off(false);
+      SerializationGraph g = SerializationGraph::Build(
+          *run.type, serial, ConflictMode::kReadWrite);
+      off_fp = FingerprintSerializationGraph(g.conflict_edges(),
+                                             g.precedes_edges());
+    }
+    {
+      ScopedMetricsEnabled on(true);
+      SerializationGraph g = SerializationGraph::Build(
+          *run.type, serial, ConflictMode::kReadWrite, /*num_threads=*/3);
+      on_fp = FingerprintSerializationGraph(g.conflict_edges(),
+                                            g.precedes_edges());
+    }
+    EXPECT_EQ(off_fp, on_fp) << "metrics moved the batch fingerprint, seed "
+                             << seed;
   }
 }
 

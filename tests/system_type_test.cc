@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "tx/system_type.h"
 
 namespace ntsg {
@@ -100,6 +101,68 @@ TEST_F(SystemTypeTest, NamesAreDense) {
   TxName fresh = type_.NewChild(b_);
   EXPECT_EQ(fresh, before);
   EXPECT_EQ(type_.num_names(), before + 1);
+}
+
+// Naive parent-pointer references for the binary-lifting ancestor index.
+TxName NaiveLca(const SystemType& type, TxName a, TxName b) {
+  while (type.depth(a) > type.depth(b)) a = type.parent(a);
+  while (type.depth(b) > type.depth(a)) b = type.parent(b);
+  while (a != b) {
+    a = type.parent(a);
+    b = type.parent(b);
+  }
+  return a;
+}
+
+bool NaiveIsAncestor(const SystemType& type, TxName a, TxName d) {
+  while (type.depth(d) > type.depth(a)) d = type.parent(d);
+  return a == d;
+}
+
+TEST(SystemTypeLcaIndexTest, DeepChainMatchesNaiveWalk) {
+  SystemType type;
+  std::vector<TxName> chain{kT0};
+  for (int i = 0; i < 70; ++i) chain.push_back(type.NewChild(chain.back()));
+  // 70 levels need ceil(log2(70)) = 7 jump tables.
+  EXPECT_EQ(type.lca_index_levels(), 7u);
+  for (size_t i = 0; i < chain.size(); i += 9) {
+    for (size_t j = 0; j < chain.size(); j += 7) {
+      EXPECT_EQ(type.Lca(chain[i], chain[j]), chain[std::min(i, j)]);
+      EXPECT_EQ(type.IsAncestor(chain[i], chain[j]), i <= j);
+    }
+    EXPECT_EQ(type.AncestorAtDepth(chain.back(), static_cast<uint32_t>(i)),
+              chain[i]);
+  }
+  EXPECT_EQ(type.ChildToward(kT0, chain.back()), chain[1]);
+  EXPECT_EQ(type.ChildToward(chain[33], chain.back()), chain[34]);
+}
+
+TEST(SystemTypeLcaIndexTest, RandomTreesMatchNaiveWalk) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    SystemType type;
+    std::vector<TxName> names{kT0};
+    for (int i = 0; i < 400; ++i) {
+      // Bias toward recent names so trees get deep as well as wide.
+      TxName parent =
+          rng.NextBool(0.3)
+              ? names[rng.NextBelow(names.size())]
+              : names[names.size() - 1 - rng.NextBelow(std::min<size_t>(
+                                             8, names.size()))];
+      names.push_back(type.NewChild(parent));
+    }
+    for (int i = 0; i < 2000; ++i) {
+      TxName a = names[rng.NextBelow(names.size())];
+      TxName b = names[rng.NextBelow(names.size())];
+      ASSERT_EQ(type.Lca(a, b), NaiveLca(type, a, b)) << "seed " << seed;
+      ASSERT_EQ(type.IsAncestor(a, b), NaiveIsAncestor(type, a, b));
+      if (a != b && NaiveIsAncestor(type, a, b)) {
+        TxName c = type.ChildToward(a, b);
+        ASSERT_EQ(type.parent(c), a);
+        ASSERT_TRUE(NaiveIsAncestor(type, c, b));
+      }
+    }
+  }
 }
 
 TEST(SystemTypeDeathTest, AccessesAreLeaves) {

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the SG fast path (EXPERIMENTS.md T10).
+
+Compares a candidate BENCH_sg_fastpath.json (produced by
+tools/bench_baseline.sh on the machine under test) against the checked-in
+baseline document and fails when
+
+  * any benchmark's median latency regressed by more than --max-regression
+    (default 15%) relative to the baseline median, or
+  * the naive/fast median ratio on the skewed workload (BM_SgBatchNaive/110
+    vs BM_SgBatchFast/110) fell below --min-speedup (default 3.0) in the
+    candidate run.
+
+Both documents must carry aggregate rows (bench_baseline.sh runs the
+fast-path benches with repetitions). Medians are compared after normalizing
+time units. Usage:
+
+  tools/check_bench_regression.py BASELINE CANDIDATE [options]
+"""
+
+import argparse
+import json
+import sys
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_medians(path):
+    """Returns {benchmark name -> median real_time in ns} for one document."""
+    with open(path) as f:
+        doc = json.load(f)
+    medians = {}
+    for rows in doc.get("benches", {}).values():
+        for row in rows:
+            if row.get("aggregate_name") != "median":
+                continue
+            name = row["name"]
+            if name.endswith("_median"):
+                name = name[: -len("_median")]
+            medians[name] = row["real_time"] * _UNIT_NS[row["time_unit"]]
+    return medians
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--max-regression", type=float, default=0.15,
+                        help="allowed fractional median slowdown (0.15 = 15%%)")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="required naive/fast median ratio, skewed load")
+    parser.add_argument("--speedup-naive", default="BM_SgBatchNaive/110")
+    parser.add_argument("--speedup-fast", default="BM_SgBatchFast/110")
+    args = parser.parse_args()
+
+    baseline = load_medians(args.baseline)
+    candidate = load_medians(args.candidate)
+    if not baseline:
+        print(f"error: no median rows in {args.baseline}", file=sys.stderr)
+        return 2
+    if not candidate:
+        print(f"error: no median rows in {args.candidate}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for name, base_ns in sorted(baseline.items()):
+        cand_ns = candidate.get(name)
+        if cand_ns is None:
+            failures.append(f"{name}: present in baseline, missing from "
+                            "candidate")
+            continue
+        ratio = cand_ns / base_ns
+        verdict = "OK"
+        if ratio > 1.0 + args.max_regression:
+            verdict = "REGRESSED"
+            failures.append(
+                f"{name}: median {cand_ns / 1e6:.3f} ms vs baseline "
+                f"{base_ns / 1e6:.3f} ms ({(ratio - 1.0) * 100:+.1f}%, "
+                f"allowed +{args.max_regression * 100:.0f}%)")
+        print(f"{verdict:>9}  {name}: {cand_ns / 1e6:.3f} ms "
+              f"(baseline {base_ns / 1e6:.3f} ms, {(ratio - 1.0) * 100:+.1f}%)")
+
+    naive = candidate.get(args.speedup_naive)
+    fast = candidate.get(args.speedup_fast)
+    if naive is None or fast is None:
+        failures.append(f"speedup rows missing: {args.speedup_naive} and/or "
+                        f"{args.speedup_fast}")
+    else:
+        speedup = naive / fast
+        print(f"{'OK' if speedup >= args.min_speedup else 'TOO SLOW':>9}  "
+              f"skewed naive/fast speedup: {speedup:.2f}x "
+              f"(required >= {args.min_speedup:.1f}x)")
+        if speedup < args.min_speedup:
+            failures.append(
+                f"skewed-workload speedup {speedup:.2f}x is below the "
+                f"required {args.min_speedup:.1f}x")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nall fast-path perf checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,7 +54,8 @@
 //   --abort-prob P    spontaneous abort probability per step       [0]
 //   --innermost       fine-grained stall aborts (default: top-level)
 //   --online          certify only: stream through IncrementalCertifier
-//   --shards N        certify: also run the concurrent pipeline;
+//   --shards N        certify/stats: parallelize the batch SG build across N
+//                     workers and also run the concurrent pipeline;
 //                     chaos: pipeline width                    [0 / chaos: 4]
 //   --fault-seed S    chaos only: fault-plan seed                       [1]
 //   --save FILE       run only: save the behavior (trace format)
@@ -442,7 +443,8 @@ int CmdCertify(const CliOptions& opt) {
   std::cout << "loaded " << opt.trace_file << " (" << beta.size()
             << " events)\n";
 
-  CertifierReport batch = CertifySeriallyCorrect(type, beta, mode);
+  CertifierReport batch = CertifySeriallyCorrect(
+      type, beta, mode, CertifyOptions{opt.shards > 0 ? opt.shards : 1});
   std::cout << "batch:       " << batch.status.ToString() << "\n";
 
   bool agree = true;
@@ -594,7 +596,9 @@ int CmdStats(const CliOptions& opt) {
   RunOutput out = RunOnce(opt, opt.seed);
   ConflictMode mode = ModeFor(*out.type);
 
-  CertifierReport batch = CertifySeriallyCorrect(*out.type, out.sim.trace, mode);
+  CertifierReport batch =
+      CertifySeriallyCorrect(*out.type, out.sim.trace, mode,
+                             CertifyOptions{opt.shards > 0 ? opt.shards : 1});
   IncrementalCertifier cert(*out.type, mode);
   cert.IngestTrace(out.sim.trace);
   ConcurrentIngestConfig config;
