@@ -129,6 +129,28 @@ const SgBuildMetrics& GetSgBuildMetrics() {
   return m;
 }
 
+const GcMetrics& GetGcMetrics() {
+  static const GcMetrics m = {
+      Reg().GetCounter("ntsg_gc_runs_total",
+                       "Watermark GC retirement passes executed"),
+      Reg().GetCounter("ntsg_gc_families_retired_total",
+                       "Top-level transaction families retired"),
+      Reg().GetCounter("ntsg_gc_nodes_retired_total",
+                       "Serialization-graph nodes reclaimed"),
+      Reg().GetCounter("ntsg_gc_ops_pruned_total",
+                       "Visible operations folded into replay checkpoints"),
+      Reg().GetCounter("ntsg_gc_late_events_total",
+                       "Actions ignored for naming an already-retired family"),
+      Reg().GetGauge("ntsg_gc_live_nodes",
+                     "Live serialization-graph nodes after the last GC pass"),
+      Reg().GetGauge("ntsg_gc_live_families",
+                     "Unretired top-level families after the last GC pass"),
+      LatencyHistogram("ntsg_gc_run_us",
+                       "Duration of one retirement pass"),
+  };
+  return m;
+}
+
 const FaultMetrics& GetFaultMetrics() {
   static const FaultMetrics m = {
       Reg().GetCounter("ntsg_fault_crashes_total",
@@ -164,6 +186,7 @@ void RegisterAllMetricFamilies() {
   (void)IngestQueueDepthGauge(0);
   (void)GetDriverMetrics();
   (void)GetSgBuildMetrics();
+  (void)GetGcMetrics();
   (void)GetFaultMetrics();
 }
 

@@ -85,6 +85,20 @@ struct SgBuildMetrics {
 };
 const SgBuildMetrics& GetSgBuildMetrics();
 
+/// Commit-watermark garbage collector (ntsg_gc_*): retirement pass activity
+/// and the live-state gauges the bounded-memory soak asserts on.
+struct GcMetrics {
+  Counter* runs;                // ntsg_gc_runs_total
+  Counter* families_retired;    // ntsg_gc_families_retired_total
+  Counter* nodes_retired;       // ntsg_gc_nodes_retired_total
+  Counter* ops_pruned;          // ntsg_gc_ops_pruned_total
+  Counter* late_events;         // ntsg_gc_late_events_total
+  Gauge* live_nodes;            // ntsg_gc_live_nodes
+  Gauge* live_families;         // ntsg_gc_live_families
+  Histogram* run_us;            // ntsg_gc_run_us
+};
+const GcMetrics& GetGcMetrics();
+
 /// Fault-recovery families (ntsg_fault_*), fed from FaultStats so chaos
 /// counters surface on the same scrape as everything else (see
 /// PublishFaultStats in fault/fault_injector.h).

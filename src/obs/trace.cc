@@ -83,6 +83,9 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kReplay: return "replay";
     case TraceEventKind::kStallAbort: return "stall_abort";
     case TraceEventKind::kInjectedAbort: return "injected_abort";
+    case TraceEventKind::kGcRun: return "gc_run";
+    case TraceEventKind::kGcRetire: return "gc_retire";
+    case TraceEventKind::kGcLateEvent: return "gc_late_event";
   }
   return "unknown";
 }
@@ -107,6 +110,8 @@ TraceEventFieldInfo TraceEventFields(TraceEventKind kind) {
     case TraceEventKind::kAdmissionCheck:
     case TraceEventKind::kStallAbort:
     case TraceEventKind::kInjectedAbort:
+    case TraceEventKind::kGcRetire:
+    case TraceEventKind::kGcLateEvent:
       return {true, false};
     case TraceEventKind::kVerdictRejected:
     case TraceEventKind::kFaultFired:
@@ -114,6 +119,7 @@ TraceEventFieldInfo TraceEventFields(TraceEventKind kind) {
     case TraceEventKind::kWorkerRestart:
     case TraceEventKind::kSnapshot:
     case TraceEventKind::kReplay:
+    case TraceEventKind::kGcRun:
       return {false, false};
   }
   return {false, false};

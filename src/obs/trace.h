@@ -52,6 +52,9 @@ enum class TraceEventKind : uint8_t {
   kReplay,           // shard recovered by log replay       (a=shard, arg=items replayed)
   kStallAbort,       // driver aborted a stalled tx         (a=victim, arg=step)
   kInjectedAbort,    // plan/spontaneous abort              (a=victim, arg=step)
+  kGcRun,            // watermark GC pass                   (a=#families retired, arg=watermark)
+  kGcRetire,         // one family retired                  (a=root, arg=#graph nodes removed)
+  kGcLateEvent,      // action named a retired family       (a=tx, b=ActionKind, arg=pos)
 };
 
 const char* TraceEventKindName(TraceEventKind kind);

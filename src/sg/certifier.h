@@ -31,6 +31,15 @@ struct CertifyOptions {
   /// and the per-shard edge sets merged before the acyclicity check; the
   /// report is identical for every thread count. 1 = fully sequential.
   size_t num_threads = 1;
+
+  /// Nonzero switches from the batch build to the streaming certifier with
+  /// commit-watermark GC running every `gc_watermark` actions, so peak
+  /// memory tracks the live transaction population instead of the trace
+  /// length (DESIGN.md §10). The verdict, the rejection witness, and the
+  /// appropriate-return-values check are identical to the batch build
+  /// (gc_differential_test); the reported edge counts cover the live
+  /// (unretired) scope only.
+  size_t gc_watermark = 0;
 };
 
 /// Applies the paper's sufficient condition for serial correctness to a

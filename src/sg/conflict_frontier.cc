@@ -1,5 +1,8 @@
 #include "sg/conflict_frontier.h"
 
+#include <utility>
+#include <vector>
+
 #include "common/logging.h"
 
 namespace ntsg {
@@ -127,10 +130,23 @@ void ObjectConflictFrontier::AddOp(TxName access, const Value& v, uint64_t pos,
       }
     }
 
-    // Record phase: fold this operation into entries(node, cu).
+    // Record phase: fold this operation into entries(node, cu). A fresh
+    // list recycles a Retire-freed slot before growing the arena, so live
+    // indices stay dense on a GC'd stream. A prospective index can never
+    // collide with an existing mapping: freed indices have no keys pointing
+    // at them and lists_.size() is out of range.
+    uint32_t prospective = free_lists_.empty()
+                               ? static_cast<uint32_t>(lists_.size())
+                               : free_lists_.back();
     uint32_t* list_slot = node_class_lists_.FindOrInsert(
-        (uint64_t{node} << 32) | cu, static_cast<uint32_t>(lists_.size()));
-    if (*list_slot == lists_.size()) lists_.emplace_back();
+        (uint64_t{node} << 32) | cu, prospective);
+    if (*list_slot == prospective) {
+      if (free_lists_.empty()) {
+        lists_.emplace_back();
+      } else {
+        free_lists_.pop_back();
+      }
+    }
     ClassList& mine = lists_[*list_slot];
     uint32_t* slot_idx = mine.child_slots.FindOrInsert(
         child, static_cast<uint32_t>(mine.slots.size()));
@@ -150,6 +166,98 @@ void ObjectConflictFrontier::AddOp(TxName access, const Value& v, uint64_t pos,
 
   if (!any_ops_ || pos > max_pos_) max_pos_ = pos;
   any_ops_ = true;
+}
+
+void ObjectConflictFrontier::Retire(
+    const std::unordered_set<TxName>& retired_roots) {
+  const SystemType& type = *type_;
+  auto family_retired = [&](TxName t) {
+    if (t == kT0) return false;
+    return retired_roots.count(type.AncestorAtDepth(t, 1)) != 0;
+  };
+
+  // Pass 1 over the key table: collect the lists to drop or filter (the
+  // table cannot be mutated mid-walk). Interior nodes of a retired family
+  // lose their whole (node, class) list; T0-level lists only lose the
+  // entries of retired children.
+  std::vector<std::pair<uint64_t, uint32_t>> drop, filter;
+  node_class_lists_.ForEach([&](uint64_t key, uint32_t idx) {
+    TxName node = static_cast<TxName>(key >> 32);
+    if (node == kT0) {
+      filter.emplace_back(key, idx);
+    } else if (family_retired(node)) {
+      drop.emplace_back(key, idx);
+    }
+  });
+
+  for (const auto& [key, idx] : drop) {
+    lists_[idx] = ClassList{};
+    free_lists_.push_back(idx);
+    NTSG_CHECK(node_class_lists_.Erase(key));
+  }
+
+  for (const auto& [key, idx] : filter) {
+    ClassList& list = lists_[idx];
+    // removed_prefix[i] = retired entries among entries[0, i): the watermark
+    // remap. Watermarks are prefix lengths of `entries`, so once retired
+    // entries vanish, every consumed-prefix count shifts down by the number
+    // removed below it.
+    std::vector<uint32_t> removed_prefix(list.entries.size() + 1, 0);
+    bool any_removed = false;
+    for (size_t i = 0; i < list.entries.size(); ++i) {
+      bool gone = retired_roots.count(list.entries[i].child) != 0;
+      removed_prefix[i + 1] = removed_prefix[i] + (gone ? 1 : 0);
+      any_removed |= gone;
+    }
+    if (!any_removed) continue;
+
+    std::vector<ChildStat> kept;
+    kept.reserve(list.entries.size() - removed_prefix.back());
+    for (const ChildStat& e : list.entries) {
+      if (retired_roots.count(e.child) == 0) kept.push_back(e);
+    }
+
+    if (kept.empty()) {
+      // Nothing left to observe either way: surviving observers' watermarks
+      // reset with the empty entry list when the slot is recreated.
+      lists_[idx] = ClassList{};
+      free_lists_.push_back(idx);
+      NTSG_CHECK(node_class_lists_.Erase(key));
+      continue;
+    }
+
+    // Rebuild the per-child slots keeping only live children, remapping
+    // their entry indices and watermarks past the removed prefix.
+    ClassList rebuilt;
+    rebuilt.entries = std::move(kept);
+    list.child_slots.ForEach([&](uint64_t child_key, uint32_t slot_idx) {
+      TxName child = static_cast<TxName>(child_key);
+      if (retired_roots.count(child) != 0) return;
+      const ChildSlot& old_slot = list.slots[slot_idx];
+      ChildSlot remapped;
+      remapped.entry = old_slot.entry == kNoEntry
+                           ? kNoEntry
+                           : old_slot.entry - removed_prefix[old_slot.entry];
+      remapped.watermark = old_slot.watermark -
+                           removed_prefix[old_slot.watermark];
+      uint32_t* s = rebuilt.child_slots.FindOrInsert(
+          child, static_cast<uint32_t>(rebuilt.slots.size()));
+      NTSG_CHECK_EQ(*s, rebuilt.slots.size());
+      rebuilt.slots.push_back(remapped);
+    });
+    lists_[idx] = std::move(rebuilt);
+  }
+
+  // Memoized edge verdicts naming retired families would otherwise pin their
+  // arena entries forever; the closure invariant means an edge touches a
+  // retired family iff its T0-projected endpoint does.
+  dedup_.EraseIf([&](const SiblingEdge& e) {
+    if (e.parent == kT0) {
+      return retired_roots.count(e.from) != 0 ||
+             retired_roots.count(e.to) != 0;
+    }
+    return family_retired(e.parent);
+  });
 }
 
 }  // namespace ntsg

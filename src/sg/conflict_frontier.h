@@ -2,6 +2,7 @@
 #define NTSG_SG_CONFLICT_FRONTIER_H_
 
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "sg/edge_set.h"
@@ -68,8 +69,23 @@ class ObjectConflictFrontier {
   void AddOp(TxName access, const Value& v, uint64_t pos,
              std::vector<SiblingEdge>* new_edges);
 
+  /// Drops every summary belonging to a retired top-level family (the GC
+  /// reclamation path). `retired_roots` holds children of T0 whose whole
+  /// subtree is retired; the caller guarantees no future AddOp names any of
+  /// them. Frees the (node, class) lists of interior nodes inside retired
+  /// families, filters retired children out of the T0-level lists (remapping
+  /// the in-order watermarks past the removed prefix entries), and drops
+  /// memoized edge verdicts touching retired names. Class definitions are
+  /// kept: they are object-type-global, not per-family (see DESIGN.md §10
+  /// on the kCommutativity residual).
+  void Retire(const std::unordered_set<TxName>& retired_roots);
+
   const FrontierStats& stats() const { return stats_; }
   size_t num_classes() const { return classes_.size(); }
+  /// Live (node, class) summaries; the soak test's bounded-memory probe.
+  size_t num_live_lists() const {
+    return node_class_lists_.size();
+  }
 
  private:
   static constexpr uint32_t kNoEntry = 0xFFFFFFFFu;
@@ -114,6 +130,7 @@ class ObjectConflictFrontier {
   FlatIndexMap class_table_;       // hash(rec) -> head of chain in classes_
   FlatIndexMap node_class_lists_;  // (node << 32 | class) -> index in lists_
   std::vector<ClassList> lists_;
+  std::vector<uint32_t> free_lists_;  // indices in lists_ freed by Retire
 
   SiblingEdgeSet dedup_;
   uint64_t max_pos_ = 0;

@@ -148,9 +148,16 @@ std::optional<std::map<TxName, std::vector<TxName>>> FastTopologicalOrders(
 uint32_t IncrementalTopoGraph::Slot(TxName t) {
   auto it = slot_.find(t);
   if (it != slot_.end()) return it->second;
-  uint32_t s = static_cast<uint32_t>(nodes_.size());
+  uint32_t s;
+  if (!free_slots_.empty()) {
+    s = free_slots_.back();
+    free_slots_.pop_back();
+    nodes_[s] = Node{{}, {}, next_ord_++, t};
+  } else {
+    s = static_cast<uint32_t>(nodes_.size());
+    nodes_.push_back(Node{{}, {}, next_ord_++, t});
+  }
   slot_.emplace(t, s);
-  nodes_.push_back(Node{{}, {}, next_ord_++});
   return s;
 }
 
@@ -267,11 +274,9 @@ std::vector<TxName> IncrementalTopoGraph::FindPath(TxName from,
   }
   if (!found) return {};
 
-  std::vector<TxName> names(nodes_.size());
-  for (const auto& [t, s] : slot_) names[s] = t;
   std::vector<TxName> path;
   for (uint32_t n = st; n != UINT32_MAX; n = parent[n]) {
-    path.push_back(names[n]);
+    path.push_back(nodes_[n].name);
   }
   std::reverse(path.begin(), path.end());
   return path;
@@ -296,6 +301,59 @@ void IncrementalTopoGraph::RemoveEdge(TxName from, TxName to) {
   };
   drop(nodes_[sx].out, sy);
   drop(nodes_[sy].in, sx);
+}
+
+void IncrementalTopoGraph::RemoveNode(TxName t) {
+  auto it = slot_.find(t);
+  if (it == slot_.end()) return;
+  const uint32_t s = it->second;
+  // Unlike RemoveEdge's swap-pop (safe there: the caller owns both ends),
+  // neighbor lists are erased in place. Retired nodes may have live
+  // successors, and a live node's `in` list feeds AddEdge's backward search
+  // in whatever order entries sit — but its `out` list drives FindPath's
+  // deterministic exploration, so a predecessor's out list must keep its
+  // insertion order when this node leaves it.
+  auto erase_stable = [](std::vector<uint32_t>& v, uint32_t target) {
+    auto pos = std::find(v.begin(), v.end(), target);
+    NTSG_CHECK(pos != v.end())
+        << "edge set and adjacency lists diverged on node removal";
+    v.erase(pos);
+  };
+  for (uint32_t succ : nodes_[s].out) {
+    NTSG_CHECK_EQ(edges_.erase(EdgeKey(t, nodes_[succ].name)), 1u);
+    erase_stable(nodes_[succ].in, s);
+  }
+  for (uint32_t pred : nodes_[s].in) {
+    NTSG_CHECK_EQ(edges_.erase(EdgeKey(nodes_[pred].name, t)), 1u);
+    erase_stable(nodes_[pred].out, s);
+  }
+  // Release the adjacency storage now (slab reuse only clears it), so a
+  // retired high-degree node does not pin its peak allocation forever.
+  nodes_[s].out = {};
+  nodes_[s].in = {};
+  slot_.erase(it);
+  free_slots_.push_back(s);
+}
+
+std::vector<TxName> IncrementalTopoGraph::InNeighbors(TxName t) const {
+  auto it = slot_.find(t);
+  if (it == slot_.end()) return {};
+  std::vector<TxName> preds;
+  preds.reserve(nodes_[it->second].in.size());
+  for (uint32_t p : nodes_[it->second].in) preds.push_back(nodes_[p].name);
+  return preds;
+}
+
+void IncrementalTopoGraph::CompactOrders() {
+  std::vector<uint32_t> live;
+  live.reserve(slot_.size());
+  for (const auto& [t, s] : slot_) live.push_back(s);
+  std::sort(live.begin(), live.end(), [this](uint32_t a, uint32_t b) {
+    return nodes_[a].ord < nodes_[b].ord;
+  });
+  uint64_t k = 0;
+  for (uint32_t s : live) nodes_[s].ord = k++;
+  next_ord_ = k;
 }
 
 }  // namespace ntsg

@@ -68,6 +68,11 @@ std::optional<std::map<TxName, std::vector<TxName>>> FastTopologicalOrders(
 /// Edge removal (needed when an SGT abort expunges supporting operations)
 /// keeps the current order untouched: any topological order of a graph
 /// remains valid for every subgraph.
+///
+/// Node removal (the GC retirement path) reclaims the node's slab slot for
+/// reuse and erases every incident edge; combined with CompactOrders it
+/// keeps both the slab and the order-key space bounded by the live node
+/// count on an unbounded stream.
 class IncrementalTopoGraph {
  public:
   /// Adds the edge from -> to. Returns false iff the edge would close a
@@ -81,6 +86,23 @@ class IncrementalTopoGraph {
   /// maintained order.
   void RemoveEdge(TxName from, TxName to);
 
+  /// Removes the node and every incident edge (no-op if never seen). The
+  /// slab slot is recycled for the next new node. Neighbor adjacency lists
+  /// are erased order-preservingly so FindPath's deterministic successor
+  /// exploration over the survivors is unchanged. Never invalidates the
+  /// maintained order (a subgraph keeps every topological order valid).
+  void RemoveNode(TxName t);
+
+  /// In-neighbors of `t` (empty if never seen), in edge-insertion order.
+  /// The GC's predecessor-closure primitive.
+  std::vector<TxName> InNeighbors(TxName t) const;
+
+  /// Reassigns order keys to 0..node_count()-1 preserving the current
+  /// relative order, and rewinds the key allocator. Called after a
+  /// retirement wave so the key space cannot creep toward overflow on an
+  /// unbounded stream.
+  void CompactOrders();
+
   /// Current position of `t` in the maintained topological order; nullopt
   /// for nodes the graph has never seen. For any present edge u -> v,
   /// *OrdOf(u) < *OrdOf(v).
@@ -93,14 +115,21 @@ class IncrementalTopoGraph {
   /// rejected edge is the cycle that insertion would have closed.
   std::vector<TxName> FindPath(TxName from, TxName to) const;
 
-  size_t node_count() const { return nodes_.size(); }
+  /// Live nodes (slab slots on the free list are not counted).
+  size_t node_count() const { return slot_.size(); }
   size_t edge_count() const { return edges_.size(); }
+  /// Slab capacity including recycled slots; bounded-memory assertions in
+  /// the GC soak test watch this rather than node_count().
+  size_t slab_count() const { return nodes_.size(); }
+  /// Next order key the allocator would hand out; CompactOrders rewinds it.
+  uint64_t next_ord() const { return next_ord_; }
 
  private:
   struct Node {
     std::vector<uint32_t> out;
     std::vector<uint32_t> in;
     uint64_t ord;
+    TxName name;
   };
 
   static uint64_t EdgeKey(TxName from, TxName to) {
@@ -114,6 +143,7 @@ class IncrementalTopoGraph {
   uint32_t Slot(TxName t);
 
   std::vector<Node> nodes_;
+  std::vector<uint32_t> free_slots_;
   std::unordered_map<TxName, uint32_t> slot_;
   std::unordered_set<uint64_t> edges_;
   uint64_t next_ord_ = 0;

@@ -1,0 +1,37 @@
+#include "sg/gc_watermark.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+std::vector<TxName> GcFamilyBook::SealedCandidates(
+    size_t watermark, const std::unordered_set<TxName>& blocked) const {
+  std::vector<TxName> out;
+  for (const auto& [root, f] : families_) {
+    if (!f.resolved) continue;
+    if (f.max_pos_end > watermark) continue;
+    if (blocked.count(root) != 0) continue;
+    out.push_back(root);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void GcFamilyBook::MarkRetired(TxName root) {
+  NTSG_CHECK_NE(root, kT0);
+  auto it = families_.find(root);
+  NTSG_CHECK(it != families_.end());
+  if (it->second.aborted) retired_aborted_.insert(root);
+  families_.erase(it);
+  NTSG_CHECK(retired_.insert(root).second);
+}
+
+std::vector<TxName> GcFamilyBook::SortedRetiredRoots() const {
+  std::vector<TxName> out(retired_.begin(), retired_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ntsg

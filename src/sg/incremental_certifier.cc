@@ -1,5 +1,6 @@
 #include "sg/incremental_certifier.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -24,13 +25,42 @@ constexpr uint64_t kScopeTagBit = 1ull << 63;
 TxName VisibilityTracker::BlockerOf(TxName subject, bool* dead) const {
   *dead = false;
   for (TxName u = subject; u != kT0; u = type_->parent(u)) {
-    if (Flag(aborted_, u)) {
+    uint8_t f = Flags(u);
+    if ((f & kAbortedBit) != 0) {
       *dead = true;
       return kInvalidTx;
     }
-    if (!Flag(committed_, u)) return u;
+    if ((f & kCommittedBit) == 0) return u;
   }
   return kInvalidTx;
+}
+
+void VisibilityTracker::SetBit(TxName t, uint8_t bit) {
+  size_t p = t >> kPageBits;
+  if (p >= pages_.size()) pages_.resize(p + 1);
+  Page& page = pages_[p];
+  if (page.flags.empty()) page.flags.assign(kPageSize, 0);
+  uint8_t& f = page.flags[t & (kPageSize - 1)];
+  if (f == 0) ++page.live;
+  f |= bit;
+}
+
+bool VisibilityTracker::NeverVisible(TxName t) const {
+  for (TxName u = t; u != kT0; u = type_->parent(u)) {
+    if ((Flags(u) & kAbortedBit) != 0) return true;
+  }
+  return false;
+}
+
+void VisibilityTracker::Retire(TxName t) {
+  waiters_.erase(t);
+  size_t p = t >> kPageBits;
+  if (p >= pages_.size() || pages_[p].flags.empty()) return;
+  Page& page = pages_[p];
+  uint8_t& f = page.flags[t & (kPageSize - 1)];
+  if (f == 0) return;
+  f = 0;
+  if (--page.live == 0) page.flags = {};  // Free the whole page.
 }
 
 VisibilityTracker::WatchResult VisibilityTracker::Watch(TxName subject,
@@ -45,7 +75,7 @@ VisibilityTracker::WatchResult VisibilityTracker::Watch(TxName subject,
 
 void VisibilityTracker::OnCommit(TxName t, std::vector<Item>* fired,
                                  std::vector<Item>* dropped) {
-  SetFlag(&committed_, t);
+  SetBit(t, kCommittedBit);
   auto it = waiters_.find(t);
   if (it == waiters_.end()) return;
   std::vector<Item> parked = std::move(it->second);
@@ -66,7 +96,7 @@ void VisibilityTracker::OnCommit(TxName t, std::vector<Item>* fired,
 }
 
 void VisibilityTracker::OnAbort(TxName t, std::vector<Item>* dropped) {
-  SetFlag(&aborted_, t);
+  SetBit(t, kAbortedBit);
   // Items parked on t waited for COMMIT(t), which can no longer happen.
   auto it = waiters_.find(t);
   if (it == waiters_.end()) return;
@@ -91,7 +121,10 @@ ObjectIngestState::ObjectIngestState(const ObjectIngestState& other)
       ops_(other.ops_),
       frontier_(other.frontier_),
       replay_(other.replay_->Clone()),
-      legal_(other.legal_) {}
+      legal_(other.legal_),
+      base_(other.base_ == nullptr ? nullptr : other.base_->Clone()),
+      base_illegal_(other.base_illegal_),
+      pruned_upto_(other.pruned_upto_) {}
 
 ObjectIngestState& ObjectIngestState::operator=(
     const ObjectIngestState& other) {
@@ -102,12 +135,22 @@ ObjectIngestState& ObjectIngestState::operator=(
   frontier_ = other.frontier_;
   replay_ = other.replay_->Clone();
   legal_ = other.legal_;
+  base_ = other.base_ == nullptr ? nullptr : other.base_->Clone();
+  base_illegal_ = other.base_illegal_;
+  pruned_upto_ = other.pruned_upto_;
   return *this;
 }
 
 void ObjectIngestState::InsertVisibleOp(uint64_t pos, TxName tx,
                                         const Value& v,
                                         std::vector<SiblingEdge>* new_edges) {
+  if (pos < pruned_upto_) {
+    // Redelivery of an operation the GC already folded into the checkpoint
+    // (an at-least-once transport replaying a pruned position). Dropping it
+    // before any side effect keeps pruning invisible to the verdict; the
+    // frontier no longer holds the entries a re-probe would need anyway.
+    return;
+  }
   auto existing = ops_.find(pos);
   if (existing != ops_.end()) {
     // Duplicated delivery: at-least-once transports may hand us the same
@@ -135,8 +178,11 @@ void ObjectIngestState::InsertVisibleOp(uint64_t pos, TxName tx,
 }
 
 void ObjectIngestState::Recompute() {
-  replay_ = MakeSpec(type_->object_type(x_), type_->object_initial(x_));
-  legal_ = true;
+  replay_ = base_ == nullptr
+                ? MakeSpec(type_->object_type(x_), type_->object_initial(x_))
+                : base_->Clone();
+  legal_ = !base_illegal_;
+  if (!legal_) return;
   for (const auto& [p, op] : ops_) {
     const AccessSpec& acc = type_->access(op.tx);
     if (replay_->Apply(acc.op, acc.arg) != op.value) {
@@ -146,11 +192,36 @@ void ObjectIngestState::Recompute() {
   }
 }
 
+size_t ObjectIngestState::Retire(
+    const std::unordered_set<TxName>& retired_roots) {
+  frontier_.Retire(retired_roots);
+  size_t pruned = 0;
+  auto it = ops_.begin();
+  while (it != ops_.end()) {
+    // An access at depth 1 is its own family root.
+    TxName root = type_->AncestorAtDepth(it->second.tx, 1);
+    if (retired_roots.count(root) == 0) break;
+    if (base_ == nullptr) {
+      base_ = MakeSpec(type_->object_type(x_), type_->object_initial(x_));
+    }
+    if (!base_illegal_) {
+      const AccessSpec& acc = type_->access(it->second.tx);
+      if (base_->Apply(acc.op, acc.arg) != it->second.value) {
+        base_illegal_ = true;
+      }
+    }
+    pruned_upto_ = it->first + 1;
+    it = ops_.erase(it);
+    ++pruned;
+  }
+  return pruned;
+}
+
 // --- IncrementalCertifier ---------------------------------------------------
 
 IncrementalCertifier::IncrementalCertifier(const SystemType& type,
-                                           ConflictMode mode)
-    : type_(&type), mode_(mode), tracker_(type) {}
+                                           ConflictMode mode, GcOptions gc)
+    : type_(&type), mode_(mode), tracker_(type), gc_(gc) {}
 
 IncrementalCertifier::IncrementalCertifier(const IncrementalCertifier& other)
     : type_(other.type_),
@@ -165,7 +236,10 @@ IncrementalCertifier::IncrementalCertifier(const IncrementalCertifier& other)
       acyclic_(other.acyclic_),
       pos_(other.pos_),
       first_rejection_pos_(other.first_rejection_pos_),
-      cycle_witness_(other.cycle_witness_) {
+      cycle_witness_(other.cycle_witness_),
+      gc_(other.gc_),
+      book_(other.book_),
+      gc_stats_(other.gc_stats_) {
   objects_.reserve(other.objects_.size());
   for (const auto& state : other.objects_) {
     objects_.push_back(state == nullptr
@@ -192,6 +266,9 @@ IncrementalCertifier& IncrementalCertifier::operator=(
   pos_ = copy.pos_;
   first_rejection_pos_ = copy.first_rejection_pos_;
   cycle_witness_ = std::move(copy.cycle_witness_);
+  gc_ = copy.gc_;
+  book_ = std::move(copy.book_);
+  gc_stats_ = copy.gc_stats_;
   return *this;
 }
 
@@ -228,6 +305,40 @@ void IncrementalCertifier::DropItem(const VisibilityTracker::Item& item) {
 void IncrementalCertifier::Ingest(const Action& a) {
   obs::GetCertifierMetrics().actions_ingested->Inc();
   uint64_t pos = pos_++;
+  if (gc_.enabled() && a.tx != kT0) {
+    TxName root = GcFamilyBook::RootOf(*type_, a.tx);
+    if (book_.IsRetired(root)) {
+      // Well-formed streams do still name retired families: INFORM_* and
+      // CREATE deliveries are verdict-inert by definition, and an aborted
+      // root's orphaned descendants keep running (and eventually aborting)
+      // long after the T0-level REPORT_ABORT. Both classes are invisible at
+      // T0, so an unpruned certifier would ignore them too — drop them
+      // silently; the position is still consumed to keep the stream
+      // numbering aligned. Anything else naming a retired family means the
+      // stream re-used a name whose whole lifecycle, report included, sat
+      // below the watermark — count it as a late event and refuse to
+      // resurrect reclaimed state.
+      if (a.kind == ActionKind::kCreate ||
+          a.kind == ActionKind::kInformCommit ||
+          a.kind == ActionKind::kInformAbort || book_.RetiredAborted(root)) {
+        return;
+      }
+      ++gc_stats_.late_events;
+      obs::GetGcMetrics().late_events->Inc();
+      obs::TraceEmit(obs::TraceEventKind::kGcLateEvent, kT0, a.tx,
+                     static_cast<uint32_t>(a.kind), 0, pos);
+      return;
+    }
+    book_.NoteRoot(root);
+    // Resolution is keyed off the T0-level *report*, not the commit/abort
+    // itself: the report is the last event that can touch T0's sibling
+    // ordering (precedes(β) at the top level).
+    if ((a.kind == ActionKind::kReportCommit ||
+         a.kind == ActionKind::kReportAbort) &&
+        type_->depth(a.tx) == 1) {
+      book_.NoteResolved(a.tx, a.kind == ActionKind::kReportAbort);
+    }
+  }
   if (obs::TraceEnabled()) {
     // The causal span is the paper's hightransaction(π): the transaction
     // whose scope the action occurs in (completions land on the parent).
@@ -290,6 +401,7 @@ void IncrementalCertifier::Ingest(const Action& a) {
   for (const auto& item : fired) FireItem(item);
   for (const auto& item : dropped) DropItem(item);
   NoteVerdict();
+  if (gc_.enabled() && pos_ % gc_.interval == 0) RunGc();
 }
 
 void IncrementalCertifier::IngestTrace(const Trace& beta) {
@@ -300,6 +412,7 @@ void IncrementalCertifier::ActivateOp(uint64_t pos, TxName tx,
                                       const Value& v) {
   obs::GetCertifierMetrics().ops_activated->Inc();
   obs::TraceEmit(obs::TraceEventKind::kOpActivated, tx, tx, 0, 0, pos);
+  if (gc_.enabled()) book_.NoteOp(GcFamilyBook::RootOf(*type_, tx), pos);
   ObjectIngestState& state = ObjectState(type_->ObjectOf(tx));
   bool was_legal = state.legal();
   // The frontier performs the lca / child-toward mapping itself and dedups
@@ -405,6 +518,173 @@ uint64_t IncrementalCertifier::graph_fingerprint() const {
   for (const SiblingEdge& e : conflict_edges_.SortedEdges()) fp.AddConflict(e);
   for (const SiblingEdge& e : precedes_edges_.SortedEdges()) fp.AddPrecedes(e);
   return fp.Finish();
+}
+
+uint64_t IncrementalCertifier::FingerprintLiveScope(
+    const std::unordered_set<TxName>& retired_roots) const {
+  // An edge is in retired scope iff its T0-projected endpoints are: sibling
+  // edges never cross a parent boundary, so a non-T0 edge lies inside one
+  // family (its parent's), and a T0 edge touches a retired family iff an
+  // endpoint is a retired root.
+  auto retired_edge = [&](const SiblingEdge& e) {
+    if (e.parent == kT0) {
+      return retired_roots.count(e.from) != 0 ||
+             retired_roots.count(e.to) != 0;
+    }
+    return retired_roots.count(type_->AncestorAtDepth(e.parent, 1)) != 0;
+  };
+  GraphFingerprinter fp;
+  for (const SiblingEdge& e : conflict_edges_.SortedEdges()) {
+    if (!retired_edge(e)) fp.AddConflict(e);
+  }
+  for (const SiblingEdge& e : precedes_edges_.SortedEdges()) {
+    if (!retired_edge(e)) fp.AddPrecedes(e);
+  }
+  return fp.Finish();
+}
+
+void IncrementalCertifier::RunGc() {
+  // A cycle is final and its witness must survive untouched, so the
+  // collector stands down once acyclicity is lost. Value-inappropriateness
+  // does NOT stop collection: it can be transient (an out-of-order reveal
+  // that a still-parked operation will heal), and the ops involved sit
+  // above the watermark by construction — any family whose ops interleave
+  // with parked work cannot seal — so retirement never disturbs it.
+  if (!gc_.enabled() || !acyclic_) return;
+  obs::SpanTimer span(obs::GetGcMetrics().run_us);
+  ++gc_stats_.runs;
+  obs::GetGcMetrics().runs->Inc();
+
+  // Watermark W: no activation after this point can carry a position < W.
+  // Fresh actions take positions >= pos_; the only older positions still
+  // able to activate belong to parked pending operations that are not dead
+  // (an aborted-ancestor op never fires). Families owning live parked work
+  // — operations or unactivated scopes with future precedes edges — are
+  // blocked outright.
+  uint64_t watermark = pos_;
+  std::unordered_set<TxName> blocked;
+  for (const auto& [pos, op] : pending_ops_) {
+    if (tracker_.NeverVisible(op.tx)) continue;
+    blocked.insert(GcFamilyBook::RootOf(*type_, op.tx));
+    watermark = std::min(watermark, pos);
+  }
+  for (const auto& [parent, scope] : scopes_) {
+    if (parent == kT0 || scope.visible) continue;
+    if (tracker_.NeverVisible(parent)) continue;
+    blocked.insert(GcFamilyBook::RootOf(*type_, parent));
+  }
+
+  std::vector<TxName> sealed =
+      book_.SealedCandidates(static_cast<size_t>(watermark), blocked);
+
+  // Predecessor closure: retire a sealed family only if every graph
+  // in-neighbor (a T0-level sibling, by the component structure) retires
+  // with it. Without this, an existing live→sealed edge plus a future
+  // (suppressed) sealed→live edge could hide a cycle from the pruned
+  // certifier. With it, no live→retired edge ever exists, which is also
+  // what keeps FindPath witnesses identical (DESIGN.md §10).
+  std::unordered_set<TxName> cand(sealed.begin(), sealed.end());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto it = cand.begin(); it != cand.end();) {
+      bool keep = true;
+      for (TxName p : graph_.InNeighbors(*it)) {
+        if (cand.count(p) == 0) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) {
+        ++it;
+      } else {
+        it = cand.erase(it);
+        changed = true;
+      }
+    }
+  }
+
+  std::vector<TxName> roots(cand.begin(), cand.end());
+  std::sort(roots.begin(), roots.end());
+  obs::TraceEmit(obs::TraceEventKind::kGcRun, kT0,
+                 static_cast<uint32_t>(roots.size()), 0, 0, watermark);
+  if (!roots.empty()) RetireFamilies(roots);
+  obs::GetGcMetrics().live_nodes->Set(graph_.node_count());
+  obs::GetGcMetrics().live_families->Set(book_.live_families());
+}
+
+void IncrementalCertifier::RetireFamilies(const std::vector<TxName>& roots) {
+  const std::unordered_set<TxName> rset(roots.begin(), roots.end());
+
+  for (TxName root : roots) {
+    size_t nodes_before = graph_.node_count();
+    for (TxName t : type_->SubtreeOf(root)) {
+      graph_.RemoveNode(t);
+      tracker_.Retire(t);
+      scopes_.erase(t);
+    }
+    size_t removed = nodes_before - graph_.node_count();
+    gc_stats_.retired_nodes += removed;
+    obs::GetGcMetrics().nodes_retired->Inc(removed);
+    ++gc_stats_.retired_families;
+    obs::GetGcMetrics().families_retired->Inc();
+    obs::TraceEmit(obs::TraceEventKind::kGcRetire, root, root, 0, 0, removed);
+    book_.MarkRetired(root);
+  }
+
+  // Parked operations under a retired family are necessarily dead (live
+  // ones blocked the seal); their payloads go with the family.
+  for (auto it = pending_ops_.begin(); it != pending_ops_.end();) {
+    if (rset.count(GcFamilyBook::RootOf(*type_, it->second.tx)) != 0) {
+      it = pending_ops_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // The T0 scope would otherwise emit precedes edges from retired reported
+  // children to every future top-level request forever. Order-preserving
+  // removal keeps the emission order of the survivors intact.
+  auto t0_scope = scopes_.find(kT0);
+  if (t0_scope != scopes_.end()) {
+    ParentScope& scope = t0_scope->second;
+    scope.reported.erase(
+        std::remove_if(scope.reported.begin(), scope.reported.end(),
+                       [&](TxName t) { return rset.count(t) != 0; }),
+        scope.reported.end());
+    scope.buffer.erase(
+        std::remove_if(scope.buffer.begin(), scope.buffer.end(),
+                       [&](const std::pair<bool, TxName>& ev) {
+                         return rset.count(ev.second) != 0;
+                       }),
+        scope.buffer.end());
+  }
+
+  // Memoized edge verdicts inside the retired scope. Closure guarantees no
+  // live→retired edge exists, so testing the T0 projection is exact.
+  auto retired_edge = [&](const SiblingEdge& e) {
+    if (e.parent == kT0) {
+      return rset.count(e.from) != 0 || rset.count(e.to) != 0;
+    }
+    return rset.count(type_->AncestorAtDepth(e.parent, 1)) != 0;
+  };
+  conflict_edges_.EraseIf(retired_edge);
+  precedes_edges_.EraseIf(retired_edge);
+
+  // Per-object frontier summaries and replay-prefix checkpointing. The full
+  // retired set goes in: an old retired family's operations that stayed in
+  // an object's sequence because a live family's op was interleaved after
+  // them become prunable once that family retires too.
+  for (const auto& obj : objects_) {
+    if (obj == nullptr) continue;
+    size_t pruned = obj->Retire(book_.retired_roots());
+    gc_stats_.pruned_ops += pruned;
+    obs::GetGcMetrics().ops_pruned->Inc(pruned);
+  }
+
+  // Keep the Pearce–Kelly key space anchored at the live population so it
+  // cannot creep toward overflow over an unbounded stream.
+  graph_.CompactOrders();
 }
 
 }  // namespace ntsg

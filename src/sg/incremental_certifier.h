@@ -6,12 +6,14 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "sg/conflict_frontier.h"
 #include "sg/conflicts.h"
 #include "sg/edge_set.h"
 #include "sg/fast_graph.h"
+#include "sg/gc_watermark.h"
 #include "spec/serial_spec.h"
 #include "tx/trace.h"
 
@@ -59,25 +61,57 @@ class VisibilityTracker {
   /// non-null) — COMMIT(t) can no longer happen.
   void OnAbort(TxName t, std::vector<Item>* dropped = nullptr);
 
-  bool IsCommitted(TxName t) const { return Flag(committed_, t); }
-  bool IsAborted(TxName t) const { return Flag(aborted_, t); }
+  bool IsCommitted(TxName t) const { return (Flags(t) & kCommittedBit) != 0; }
+  bool IsAborted(TxName t) const { return (Flags(t) & kAbortedBit) != 0; }
+
+  /// True iff `t` can never become visible: some ancestor strictly below T0
+  /// (t included) has aborted. Items watching such a subject will never
+  /// fire, so the GC neither waits for them nor counts their positions.
+  bool NeverVisible(TxName t) const;
+
+  /// Releases all state for `t`: its commit/abort flags and any items
+  /// parked on it (the GC calls this per retired name after proving no
+  /// parked item under the family can ever fire). Frees a flag page once
+  /// its last live name retires, which is what keeps tracker memory
+  /// proportional to live names on an unbounded stream.
+  void Retire(TxName t);
+
+  /// Visits every parked item (blocker order unspecified, parked order
+  /// within one blocker). The GC's watermark computation input.
+  template <typename Fn>
+  void ForEachParked(Fn&& fn) const {
+    for (const auto& [blocker, items] : waiters_) {
+      for (const Item& item : items) fn(item);
+    }
+  }
 
  private:
+  /// Commit/abort flags live in fixed-size pages indexed by name so state
+  /// can be released page-wise: a dense vector over names would grow with
+  /// every name ever interned, which is exactly what the GC exists to avoid.
+  static constexpr uint8_t kCommittedBit = 1;
+  static constexpr uint8_t kAbortedBit = 2;
+  static constexpr size_t kPageBits = 12;
+  static constexpr size_t kPageSize = size_t{1} << kPageBits;
+
+  struct Page {
+    std::vector<uint8_t> flags;  // empty (freed) or kPageSize bytes
+    uint32_t live = 0;           // names on this page with nonzero flags
+  };
+
   /// Lowest uncommitted ancestor of `subject` below T0 (kInvalidTx when
   /// visible now). Sets `*dead` when an ancestor has aborted.
   TxName BlockerOf(TxName subject, bool* dead) const;
 
-  static bool Flag(const std::vector<uint8_t>& v, TxName t) {
-    return t < v.size() && v[t] != 0;
+  uint8_t Flags(TxName t) const {
+    size_t p = t >> kPageBits;
+    if (p >= pages_.size() || pages_[p].flags.empty()) return 0;
+    return pages_[p].flags[t & (kPageSize - 1)];
   }
-  static void SetFlag(std::vector<uint8_t>* v, TxName t) {
-    if (t >= v->size()) v->resize(t + 1, 0);
-    (*v)[t] = 1;
-  }
+  void SetBit(TxName t, uint8_t bit);
 
   const SystemType* type_;
-  std::vector<uint8_t> committed_;
-  std::vector<uint8_t> aborted_;
+  std::vector<Page> pages_;
   std::unordered_map<TxName, std::vector<Item>> waiters_;
 };
 
@@ -111,19 +145,35 @@ class ObjectIngestState {
   /// every sibling edge (lca, child-toward-earlier, child-toward-later)
   /// induced by a conflict between the new operation and an already visible
   /// one — already deduplicated within this object. Idempotent: a duplicate
-  /// of an already inserted operation changes nothing and emits nothing.
+  /// of an already inserted operation changes nothing and emits nothing;
+  /// likewise an operation at a position the GC already folded into the
+  /// replay checkpoint (a redelivery of a pruned op) is dropped unseen.
   void InsertVisibleOp(uint64_t pos, TxName tx, const Value& v,
                        std::vector<SiblingEdge>* new_edges);
+
+  /// GC reclamation: drops this object's frontier summaries for retired
+  /// families, then folds the longest position-prefix of the visible
+  /// sequence consisting entirely of retired-family operations into a
+  /// serial-spec checkpoint (`base_`). Prefix-only pruning is what keeps
+  /// the replay exact: every retired operation sits below the caller's
+  /// watermark while every future insertion sits at or above it, so a
+  /// retired op that is interleaved *after* a live family's op stays in
+  /// ops_ (still needed to replay the live op's suffix) until the live op's
+  /// family retires too. Returns the number of operations pruned.
+  size_t Retire(const std::unordered_set<TxName>& retired_roots);
 
   /// True iff the visible operation sequence replays against the serial
   /// spec (every recorded return value matches).
   bool legal() const { return legal_; }
 
   size_t op_count() const { return ops_.size(); }
+  /// Positions below this bound were pruned into the checkpoint.
+  uint64_t pruned_upto() const { return pruned_upto_; }
 
  private:
   /// Full replay after an out-of-order insertion (or to re-judge a sequence
-  /// that was illegal before the insertion).
+  /// that was illegal before the insertion). Starts from the GC checkpoint
+  /// when one exists.
   void Recompute();
 
   const SystemType* type_;
@@ -132,6 +182,14 @@ class ObjectIngestState {
   ObjectConflictFrontier frontier_;
   std::unique_ptr<SerialSpec> replay_;
   bool legal_ = true;
+  /// Serial-spec state after the pruned prefix (null until the first prune);
+  /// Recompute clones it instead of replaying from the initial value.
+  std::unique_ptr<SerialSpec> base_;
+  /// Divergence already inside the pruned prefix pins the verdict illegal
+  /// (defensive: the certifier stops GC'ing after the first rejection, so a
+  /// divergent prefix is never actually pruned).
+  bool base_illegal_ = false;
+  uint64_t pruned_upto_ = 0;
 };
 
 /// The certifier's running answer for the prefix ingested so far.
@@ -166,13 +224,24 @@ struct IncrementalVerdict {
 /// checkpoint and re-ingests only the suffix, never the whole behavior.
 class IncrementalCertifier {
  public:
-  IncrementalCertifier(const SystemType& type, ConflictMode mode);
+  /// With `gc.enabled()` a commit-watermark retirement pass runs every
+  /// `gc.interval` ingested actions, bounding memory by the live-transaction
+  /// footprint instead of the stream length (DESIGN.md §10). The verdict,
+  /// rejection witness, and live-scope fingerprint are unchanged by GC —
+  /// the guarantee tests/gc_differential_test.cc enforces.
+  IncrementalCertifier(const SystemType& type, ConflictMode mode,
+                       GcOptions gc = GcOptions{});
 
   IncrementalCertifier(const IncrementalCertifier& other);
   IncrementalCertifier& operator=(const IncrementalCertifier& other);
 
   void Ingest(const Action& a);
   void IngestTrace(const Trace& beta);
+
+  /// Runs one retirement pass now (normally driven by the ingest counter).
+  /// No-op when GC is disabled or the verdict has already gone not-OK (a
+  /// cyclic verdict is final and the witness must stay intact).
+  void RunGc();
 
   IncrementalVerdict verdict() const {
     return IncrementalVerdict{illegal_objects_ == 0, acyclic_};
@@ -184,8 +253,29 @@ class IncrementalCertifier {
 
   /// Canonical fingerprint of the current conflict ∪ precedes edge sets
   /// (see sg/fingerprint.h). Certifiers that agree on the edge sets agree
-  /// here, byte for byte.
+  /// here, byte for byte. Under GC the sets hold live edges only, so
+  /// compare against an unpruned certifier via FingerprintLiveScope.
   uint64_t graph_fingerprint() const;
+
+  /// Fingerprint restricted to edges touching no family in `retired_roots`
+  /// (children of T0). On an unpruned certifier, passing a GC'd certifier's
+  /// retired_roots() yields exactly the GC'd certifier's
+  /// graph_fingerprint(): retirement drops edges inside retired families
+  /// and suppresses the future retired→live edges this filter excludes.
+  uint64_t FingerprintLiveScope(
+      const std::unordered_set<TxName>& retired_roots) const;
+
+  /// Families retired so far (children of T0); empty when GC is off.
+  const std::unordered_set<TxName>& retired_roots() const {
+    return book_.retired_roots();
+  }
+  /// Deterministic (sorted) retired roots, for reports and tests.
+  std::vector<TxName> SortedRetiredRoots() const {
+    return book_.SortedRetiredRoots();
+  }
+  const GcStats& gc_stats() const { return gc_stats_; }
+  /// Live serialization-graph nodes — the soak test's bounded-memory probe.
+  size_t live_node_count() const { return graph_.node_count(); }
 
   /// Position of the first action whose ingestion turned the verdict
   /// not-OK; nullopt while the prefix is certified.
@@ -229,6 +319,10 @@ class IncrementalCertifier {
   void AddGraphEdge(TxName parent, TxName from, TxName to, bool is_conflict);
   void NoteVerdict();
   ObjectIngestState& ObjectState(ObjectId x);
+  /// Executes the retirement of `roots` (already sealed and
+  /// predecessor-closed): graph nodes, frontier summaries, tracker state,
+  /// scopes, pending ops, and memoized edges.
+  void RetireFamilies(const std::vector<TxName>& roots);
 
   const SystemType* type_;
   ConflictMode mode_;
@@ -244,6 +338,9 @@ class IncrementalCertifier {
   uint64_t pos_ = 0;
   std::optional<uint64_t> first_rejection_pos_;
   std::vector<TxName> cycle_witness_;
+  GcOptions gc_;
+  GcFamilyBook book_;
+  GcStats gc_stats_;
 };
 
 }  // namespace ntsg

@@ -130,6 +130,14 @@ void ConcurrentIngestPipeline::Deliver(size_t shard, WorkItem item) {
 void ConcurrentIngestPipeline::ApplyOp(Shard& shard, const WorkItem& item,
                                        bool record_log) {
   if (record_log && faults_ != nullptr) shard.log.push_back(item);
+  // A chaos-duplicated delivery can land after its family was retired (the
+  // first delivery was applied pre-barrier; the duplicate sits behind the
+  // prune item). Applying it would resurrect reclaimed object state, so it
+  // is dropped — logged first, so replay re-drops it at the same point.
+  if (shard.retired != nullptr &&
+      shard.retired->count(GcFamilyBook::RootOf(type_, item.tx)) != 0) {
+    return;
+  }
   const size_t shard_index = static_cast<size_t>(&shard - shards_.data());
   obs::GetIngestMetrics().ops_processed->Inc(shard_index);
   obs::TraceEmit(obs::TraceEventKind::kOpApplied, item.tx, item.tx,
@@ -154,8 +162,23 @@ void ConcurrentIngestPipeline::ApplyOp(Shard& shard, const WorkItem& item,
   ++shard.ops_processed;
 
   for (const SiblingEdge& e : edges) {
+    // Replay-only: a family retired since the snapshot re-applies its ops
+    // (the logged prune re-folds them into the checkpoint) but its edges
+    // were erased from the stripes at retirement and must stay erased.
+    if (shard.latest_retired != nullptr &&
+        RetiredScopeEdge(*shard.latest_retired, e)) {
+      continue;
+    }
     InsertEdge(e, /*is_conflict=*/true);
   }
+}
+
+bool ConcurrentIngestPipeline::RetiredScopeEdge(
+    const std::unordered_set<TxName>& retired, const SiblingEdge& e) const {
+  if (e.parent == kT0) {
+    return retired.count(e.from) != 0 || retired.count(e.to) != 0;
+  }
+  return retired.count(GcFamilyBook::RootOf(type_, e.parent)) != 0;
 }
 
 void ConcurrentIngestPipeline::WorkerLoop(size_t shard_index) {
@@ -180,6 +203,16 @@ void ConcurrentIngestPipeline::WorkerLoop(size_t shard_index) {
       case WorkItem::Kind::kSnapshot:
         TakeSnapshot(shard);
         break;
+      case WorkItem::Kind::kGcSync:
+        {
+          std::lock_guard<std::mutex> lock(q.mu);
+          if (item.pos > q.gc_acks) q.gc_acks = item.pos;
+        }
+        q.gc_ack.notify_all();
+        break;
+      case WorkItem::Kind::kGcPrune:
+        ApplyGcPrune(shard, item, /*record_log=*/true);
+        break;
       case WorkItem::Kind::kCrash: {
         // Lose all volatile state and die. The queue itself is durable —
         // undelivered items survive for the successor; the delivery log
@@ -192,12 +225,35 @@ void ConcurrentIngestPipeline::WorkerLoop(size_t shard_index) {
           std::lock_guard<std::mutex> lock(q.mu);
           q.crashed = true;
         }
-        // A producer may be blocked on a full queue; it must observe the
-        // crash and run recovery rather than wait forever.
+        // A producer may be blocked on a full queue, and the router may be
+        // parked at a GC barrier; both must observe the crash and run
+        // recovery rather than wait forever.
         q.can_push.notify_all();
+        q.gc_ack.notify_all();
         return;
       }
     }
+  }
+}
+
+void ConcurrentIngestPipeline::ApplyGcPrune(Shard& shard, const WorkItem& item,
+                                            bool record_log) {
+  if (record_log && faults_ != nullptr) shard.log.push_back(item);
+  shard.retired = item.gc_roots;
+  // Retired sets grow monotonically along the prune chain, so the largest
+  // one seen is the newest — replay installs older sets into `retired`
+  // without disturbing the high-water view.
+  if (shard.latest_retired == nullptr ||
+      item.gc_roots->size() > shard.latest_retired->size()) {
+    shard.latest_retired = item.gc_roots;
+  }
+  uint64_t pruned = 0;
+  for (auto& [x, state] : shard.objects) {
+    pruned += state->Retire(*item.gc_roots);
+  }
+  if (pruned > 0) {
+    gc_pruned_ops_.fetch_add(pruned, std::memory_order_relaxed);
+    obs::GetGcMetrics().ops_pruned->Inc(pruned);
   }
 }
 
@@ -210,6 +266,7 @@ void ConcurrentIngestPipeline::TakeSnapshot(Shard& shard) {
   for (const auto& [x, state] : shard.objects) {
     shard.snapshot[x] = std::make_unique<ObjectIngestState>(*state);
   }
+  shard.snapshot_retired = shard.retired;
   shard.log.clear();
 }
 
@@ -222,12 +279,22 @@ void ConcurrentIngestPipeline::Recover(Shard& shard) {
   for (const auto& [x, state] : shard.snapshot) {
     shard.objects[x] = std::make_unique<ObjectIngestState>(*state);
   }
+  // The retired set rewinds to its snapshot value so replayed ops see the
+  // same prune points the lost incarnation did; logged kGcPrune items then
+  // advance it again in order.
+  shard.retired = shard.snapshot_retired;
   faults_->stats().items_replayed += shard.log.size();
   // Replay re-discovers conflict pairs whose edges are already in the
   // stripes; the dedup sets absorb them, which is exactly why recovery is
-  // idempotent.
+  // idempotent. (GC complicates this one step: edges of a family retired
+  // *before* the snapshot cannot re-emit, because the restored object state
+  // was already pruned of that family's ops.)
   for (const WorkItem& item : shard.log) {
-    ApplyOp(shard, item, /*record_log=*/false);
+    if (item.kind == WorkItem::Kind::kGcPrune) {
+      ApplyGcPrune(shard, item, /*record_log=*/false);
+    } else {
+      ApplyOp(shard, item, /*record_log=*/false);
+    }
   }
 }
 
@@ -300,6 +367,34 @@ void ConcurrentIngestPipeline::Ingest(const Action& a) {
   obs::GetIngestMetrics().actions_ingested->Inc();
   if (faults_ != nullptr) PollFaults(pos_);
   uint64_t pos = pos_++;
+  if (config_.gc_interval > 0 && a.tx != kT0) {
+    TxName root = GcFamilyBook::RootOf(type_, a.tx);
+    if (book_.IsRetired(root)) {
+      // Same straggler rule as the solo certifier: INFORM_*/CREATE
+      // deliveries and orphan activity under an aborted root are
+      // verdict-inert and dropped silently; anything else naming a retired
+      // family is a malformed stream and counts as a late event. Either
+      // way the position stays consumed, keeping the numbering aligned
+      // with an unpruned run.
+      if (a.kind == ActionKind::kCreate ||
+          a.kind == ActionKind::kInformCommit ||
+          a.kind == ActionKind::kInformAbort || book_.RetiredAborted(root)) {
+        return;
+      }
+      ++gc_stats_.late_events;
+      obs::GetGcMetrics().late_events->Inc();
+      obs::TraceEmit(obs::TraceEventKind::kGcLateEvent, kT0, a.tx,
+                     static_cast<uint32_t>(a.kind), 0, pos);
+      return;
+    }
+    book_.NoteRoot(root);
+    // Resolution keys off the T0-level report, mirroring the solo rule.
+    if ((a.kind == ActionKind::kReportCommit ||
+         a.kind == ActionKind::kReportAbort) &&
+        type_.depth(a.tx) == 1) {
+      book_.NoteResolved(a.tx, a.kind == ActionKind::kReportAbort);
+    }
+  }
   if (obs::TraceEnabled()) {
     TxName span = HighTransactionOf(type_, a);
     if (span == kInvalidTx) span = kT0;
@@ -357,12 +452,16 @@ void ConcurrentIngestPipeline::Ingest(const Action& a) {
     default:
       break;  // CREATE and INFORM_* never affect the verdict.
   }
+  if (config_.gc_interval > 0 && pos_ % config_.gc_interval == 0) RunGc();
 }
 
 void ConcurrentIngestPipeline::ActivateOp(uint64_t pos, TxName tx,
                                           const Value& v) {
   ++ops_routed_;
   obs::GetIngestMetrics().ops_routed->Inc();
+  if (config_.gc_interval > 0) {
+    book_.NoteOp(GcFamilyBook::RootOf(type_, tx), pos);
+  }
   size_t shard = ShardOf(type_.ObjectOf(tx));
   obs::TraceEmit(obs::TraceEventKind::kOpRouted, tx, tx,
                  static_cast<uint32_t>(shard), 0, pos);
@@ -433,6 +532,200 @@ void ConcurrentIngestPipeline::ActivateScope(TxName parent) {
   scope.buffer.clear();
 }
 
+void ConcurrentIngestPipeline::GcBarrier() {
+  const uint64_t epoch = ++gc_epoch_;
+  WorkItem sync;
+  sync.kind = WorkItem::Kind::kGcSync;
+  sync.pos = epoch;
+  for (size_t i = 0; i < shards_.size(); ++i) Push(i, sync);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ShardQueue& q = *shards_[i].queue;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(q.mu);
+        q.gc_ack.wait(lock, [&] { return q.gc_acks >= epoch || q.crashed; });
+        if (q.gc_acks >= epoch) break;
+      }
+      // The worker died before acking. The queue is durable, so the sync
+      // item is still in it (or the crash item preceding it consumed the
+      // incarnation first); the restarted worker drains through and acks.
+      RestartShard(i);
+    }
+  }
+}
+
+void ConcurrentIngestPipeline::RunGc() {
+  // Mirrors IncrementalCertifier::RunGc. A rejected verdict is final and
+  // Finish's aggregation must see the graph that produced it.
+  if (config_.gc_interval == 0 || gc_rejected_ ||
+      !acyclic_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  obs::SpanTimer span(obs::GetGcMetrics().run_us);
+  ++gc_stats_.runs;
+  obs::GetGcMetrics().runs->Inc();
+
+  uint64_t watermark = pos_;
+  std::unordered_set<TxName> blocked;
+  for (const auto& [pos, op] : pending_ops_) {
+    if (tracker_.NeverVisible(op.tx)) continue;
+    blocked.insert(GcFamilyBook::RootOf(type_, op.tx));
+    watermark = std::min(watermark, pos);
+  }
+  for (const auto& [parent, scope] : scopes_) {
+    if (parent == kT0 || scope.visible) continue;
+    if (tracker_.NeverVisible(parent)) continue;
+    blocked.insert(GcFamilyBook::RootOf(type_, parent));
+  }
+  // Pipeline-only constraint: an operation held back by a delivery fault is
+  // activated but not yet applied — its position caps the watermark and its
+  // family cannot seal. Fault-free this loop is empty, which is what keeps
+  // the retirement schedule identical to a solo certifier's.
+  for (const Shard& sh : shards_) {
+    for (const HeldItem& h : sh.held) {
+      blocked.insert(GcFamilyBook::RootOf(type_, h.item.tx));
+      watermark = std::min(watermark, h.item.pos);
+    }
+  }
+
+  std::vector<TxName> sealed =
+      book_.SealedCandidates(static_cast<size_t>(watermark), blocked);
+  if (sealed.empty()) {
+    obs::GetGcMetrics().live_families->Set(
+        static_cast<int64_t>(book_.live_families()));
+    return;  // nothing can retire; skip the (expensive) barrier
+  }
+
+  // Quiesce: after the barrier every routed operation has been applied, so
+  // stripe 0 holds exactly the T0-level edges a solo certifier would have
+  // at this position, and no worker emits edges until the prune is pushed.
+  GcBarrier();
+
+  // Cycles surface asynchronously (a worker flips acyclic_ mid-pass), so
+  // the entry check alone lags a solo certifier. The barrier makes this
+  // check exact: every op below the current position has been applied, so
+  // graph state now equals a solo run's at the same prefix. A cycle is
+  // final and its witness edges must survive, so the collector latches off
+  // instead of retiring. (Value-inappropriateness does not stop collection
+  // — see IncrementalCertifier::RunGc.)
+  if (!acyclic_.load(std::memory_order_relaxed)) {
+    gc_rejected_ = true;
+    return;
+  }
+
+  // Predecessor closure over the T0 component (all of it lives in stripe 0:
+  // StripeOf(kT0) == 0). Same fixpoint as the solo certifier.
+  std::unordered_set<TxName> cand(sealed.begin(), sealed.end());
+  {
+    std::lock_guard<std::mutex> lock(stripes_[0]->mu);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (auto it = cand.begin(); it != cand.end();) {
+        bool keep = true;
+        for (TxName p : stripes_[0]->graph.InNeighbors(*it)) {
+          if (cand.count(p) == 0) {
+            keep = false;
+            break;
+          }
+        }
+        if (keep) {
+          ++it;
+        } else {
+          it = cand.erase(it);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  std::vector<TxName> roots(cand.begin(), cand.end());
+  std::sort(roots.begin(), roots.end());
+  obs::TraceEmit(obs::TraceEventKind::kGcRun, kT0,
+                 static_cast<uint32_t>(roots.size()), 0, 0, watermark);
+  if (!roots.empty()) RetireFamilies(roots);
+  size_t live_nodes = 0;
+  for (const auto& stripe : stripes_) live_nodes += stripe->graph.node_count();
+  obs::GetGcMetrics().live_nodes->Set(static_cast<int64_t>(live_nodes));
+  obs::GetGcMetrics().live_families->Set(
+      static_cast<int64_t>(book_.live_families()));
+}
+
+void ConcurrentIngestPipeline::RetireFamilies(const std::vector<TxName>& roots) {
+  const std::unordered_set<TxName> rset(roots.begin(), roots.end());
+
+  // The workers are idle between the barrier and the prune push, but the
+  // locking discipline stays per-stripe anyway — it is the invariant the
+  // rest of the pipeline is audited against.
+  for (TxName root : roots) {
+    size_t removed = 0;
+    for (TxName t : type_.SubtreeOf(root)) {
+      Stripe& stripe = *stripes_[StripeOf(type_.parent(t))];
+      {
+        std::lock_guard<std::mutex> lock(stripe.mu);
+        size_t before = stripe.graph.node_count();
+        stripe.graph.RemoveNode(t);
+        removed += before - stripe.graph.node_count();
+      }
+      tracker_.Retire(t);
+      scopes_.erase(t);
+    }
+    gc_stats_.retired_nodes += removed;
+    obs::GetGcMetrics().nodes_retired->Inc(removed);
+    ++gc_stats_.retired_families;
+    obs::GetGcMetrics().families_retired->Inc();
+    obs::TraceEmit(obs::TraceEventKind::kGcRetire, root, root, 0, 0, removed);
+    book_.MarkRetired(root);
+  }
+
+  // Parked operations under a retired family are necessarily dead (live
+  // ones would have blocked the seal).
+  for (auto it = pending_ops_.begin(); it != pending_ops_.end();) {
+    if (rset.count(GcFamilyBook::RootOf(type_, it->second.tx)) != 0) {
+      it = pending_ops_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Drop retired children from the T0 scope, order-preservingly, so future
+  // top-level REQUEST_CREATEs stop emitting precedes edges to them.
+  auto t0_scope = scopes_.find(kT0);
+  if (t0_scope != scopes_.end()) {
+    ParentScope& scope = t0_scope->second;
+    scope.reported.erase(
+        std::remove_if(scope.reported.begin(), scope.reported.end(),
+                       [&](TxName t) { return rset.count(t) != 0; }),
+        scope.reported.end());
+    scope.buffer.erase(
+        std::remove_if(scope.buffer.begin(), scope.buffer.end(),
+                       [&](const std::pair<bool, TxName>& ev) {
+                         return rset.count(ev.second) != 0;
+                       }),
+        scope.buffer.end());
+  }
+
+  // Reclaim the memoized edges of the retired scope and re-anchor each
+  // stripe's Pearce-Kelly key space at its live population.
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    stripe->conflict_edges.EraseIf(
+        [&](const SiblingEdge& e) { return RetiredScopeEdge(rset, e); });
+    stripe->precedes_edges.EraseIf(
+        [&](const SiblingEdge& e) { return RetiredScopeEdge(rset, e); });
+    stripe->graph.CompactOrders();
+  }
+
+  // Fan the cumulative retired set out so each shard prunes its object
+  // states before it applies anything the router routes after this pass.
+  auto cumulative =
+      std::make_shared<const std::unordered_set<TxName>>(book_.retired_roots());
+  WorkItem prune;
+  prune.kind = WorkItem::Kind::kGcPrune;
+  prune.gc_roots = cumulative;
+  for (size_t i = 0; i < shards_.size(); ++i) Push(i, prune);
+}
+
 ConcurrentIngestReport ConcurrentIngestPipeline::Finish() {
   NTSG_CHECK(!finished_) << "Finish called twice";
   finished_ = true;
@@ -477,6 +770,11 @@ ConcurrentIngestReport ConcurrentIngestPipeline::Finish() {
         case WorkItem::Kind::kSnapshot:
           TakeSnapshot(shard);
           break;
+        case WorkItem::Kind::kGcSync:
+          break;  // no waiter left; the barrier never outlives Ingest
+        case WorkItem::Kind::kGcPrune:
+          ApplyGcPrune(shard, item, /*record_log=*/true);
+          break;
         case WorkItem::Kind::kCrash:
           Recover(shard);
           break;
@@ -498,16 +796,23 @@ ConcurrentIngestReport ConcurrentIngestPipeline::Finish() {
   for (const auto& stripe : stripes_) {
     report.conflict_edge_count += stripe->conflict_edges.size();
     report.precedes_edge_count += stripe->precedes_edges.size();
-    const std::vector<SiblingEdge>& ce = stripe->conflict_edges.edges();
-    const std::vector<SiblingEdge>& pe = stripe->precedes_edges.edges();
-    conflict_edges.insert(conflict_edges.end(), ce.begin(), ce.end());
-    precedes_edges.insert(precedes_edges.end(), pe.begin(), pe.end());
+    // The raw arenas may carry dead sentinels (parent == kInvalidTx) from
+    // GC erasures that have not hit a compaction point; skip them.
+    stripe->conflict_edges.ForEach(
+        [&](const SiblingEdge& e) { conflict_edges.push_back(e); });
+    stripe->precedes_edges.ForEach(
+        [&](const SiblingEdge& e) { precedes_edges.push_back(e); });
   }
   report.graph_fingerprint = FingerprintSerializationGraph(
       std::move(conflict_edges), std::move(precedes_edges));
   if (faults_ != nullptr) {
     report.faults = faults_->stats();
     PublishFaultStats(report.faults);
+  }
+  if (config_.gc_interval > 0) {
+    gc_stats_.pruned_ops = gc_pruned_ops_.load(std::memory_order_relaxed);
+    report.gc = gc_stats_;
+    report.retired_roots = book_.SortedRetiredRoots();
   }
   for (Shard& shard : shards_) shard.queue_depth->Set(0);
   return report;

@@ -10,11 +10,13 @@
 #include <optional>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "fault/fault_injector.h"
 #include "fault/fault_plan.h"
 #include "obs/metrics.h"
+#include "sg/gc_watermark.h"
 #include "sg/incremental_certifier.h"
 #include "tx/trace.h"
 
@@ -50,6 +52,15 @@ struct ConcurrentIngestConfig {
   /// Base of the exponential backoff between failed restart attempts, in
   /// microseconds (attempt k sleeps base << k).
   uint64_t restart_backoff_us = 1;
+
+  /// Nonzero enables commit-watermark GC: every `gc_interval` actions the
+  /// router retires sealed top-level families under the same watermark +
+  /// predecessor-closure rule as IncrementalCertifier::RunGc (DESIGN.md
+  /// §10), after a sync barrier that quiesces the shard queues. The
+  /// fault-free retirement schedule — and therefore the live-scope
+  /// fingerprint — is identical to a solo certifier's at the same interval;
+  /// under faults, delivery holdbacks lower the watermark, never raise it.
+  size_t gc_interval = 0;
 };
 
 struct ConcurrentIngestReport {
@@ -65,6 +76,12 @@ struct ConcurrentIngestReport {
   uint64_t graph_fingerprint = 0;
   /// Faults actually delivered (all zero when fault_plan is null).
   FaultStats faults;
+  /// Watermark-GC activity (all zero when gc_interval is 0).
+  GcStats gc;
+  /// Families retired by GC over the run, sorted. Feeds
+  /// IncrementalCertifier::FingerprintLiveScope when a test compares this
+  /// pipeline's pruned fingerprint against an unpruned reference.
+  std::vector<TxName> retired_roots;
 
   bool ok() const { return appropriate && acyclic; }
 };
@@ -117,11 +134,16 @@ class ConcurrentIngestPipeline {
       kOp,        // a visible operation to insert
       kCrash,     // fault: drop volatile state and exit the worker
       kSnapshot,  // fault hook: checkpoint state, truncate the log
+      kGcSync,    // GC barrier: ack the epoch in `pos`, nothing else
+      kGcPrune,   // GC: adopt `gc_roots` and prune per-object state
     };
     Kind kind = Kind::kOp;
     uint64_t pos = 0;
     TxName tx = kInvalidTx;
     Value value;
+    /// kGcPrune payload: the cumulative retired-root set, shared across the
+    /// shards (read-only once published).
+    std::shared_ptr<const std::unordered_set<TxName>> gc_roots = nullptr;
     /// Steady-clock stamp (us) taken at push when metrics are enabled; 0
     /// otherwise. Feeds the delivery-lag histogram only — never the verdict.
     uint64_t enqueue_us = 0;
@@ -137,6 +159,12 @@ class ConcurrentIngestPipeline {
     /// Set by the worker as it dies from an injected crash; cleared by the
     /// router once recovery succeeds.
     bool crashed = false;
+    /// Highest kGcSync epoch the worker has drained past. The queue is
+    /// durable across crashes, so an unacked sync item survives for the
+    /// successor worker — the router's barrier wait only has to restart
+    /// crashed shards, never re-push.
+    uint64_t gc_acks = 0;
+    std::condition_variable gc_ack;
   };
 
   /// One stripe of the shared graph: components whose parent hashes here.
@@ -167,6 +195,21 @@ class ConcurrentIngestPipeline {
     /// checkpoint of `objects` plus the operations delivered since.
     std::unordered_map<ObjectId, std::unique_ptr<ObjectIngestState>> snapshot;
     std::vector<WorkItem> log;
+    /// Worker-owned view of the retired-root set (installed by kGcPrune
+    /// items, so it advances in delivery order); null before the first
+    /// prune. Guards ApplyOp against chaos-duplicated deliveries of a
+    /// family that has since been retired.
+    std::shared_ptr<const std::unordered_set<TxName>> retired;
+    /// The retired set as of the last snapshot; restored before log replay
+    /// so recovery sees the same prune points the lost incarnation did.
+    std::shared_ptr<const std::unordered_set<TxName>> snapshot_retired;
+    /// The newest retired set ever installed on this shard — never rewound
+    /// by recovery. Log replay must re-apply a since-retired family's ops
+    /// to the object state (their effects belong in the replay checkpoint)
+    /// but must NOT re-emit their sibling edges: those were erased from the
+    /// stripes at retirement and the dedup-absorption argument no longer
+    /// holds for them.
+    std::shared_ptr<const std::unordered_set<TxName>> latest_retired;
     /// Router-side delivery-fault state.
     std::vector<HeldItem> held;
     uint64_t hold_next = 0;  // pending kDelay/kReorder: hold the next op
@@ -203,6 +246,24 @@ class ConcurrentIngestPipeline {
   void ActivateOp(uint64_t pos, TxName tx, const Value& v);
   void ScopeEvent(TxName parent, bool is_report, TxName child);
   void ActivateScope(TxName parent);
+  /// One watermark-GC pass (mirrors IncrementalCertifier::RunGc): compute
+  /// the watermark and blocked set from router state plus fault holdbacks,
+  /// quiesce the shards, close the sealed candidates under graph
+  /// predecessors, and retire.
+  void RunGc();
+  /// Pushes a kGcSync epoch to every shard and waits for all acks,
+  /// restarting any shard that crashes mid-barrier. On return every
+  /// operation routed before the barrier has been applied.
+  void GcBarrier();
+  void RetireFamilies(const std::vector<TxName>& roots);
+  /// Installs the retired set on the shard and prunes its object states.
+  /// Runs on the worker thread (delivery order) and during log replay.
+  void ApplyGcPrune(Shard& shard, const WorkItem& item, bool record_log);
+  /// True iff the edge lies in the retired scope of `retired` (T0-level
+  /// edges: an endpoint is a retired root; deeper edges: the parent's
+  /// family is retired) — the same projection FingerprintLiveScope uses.
+  bool RetiredScopeEdge(const std::unordered_set<TxName>& retired,
+                        const SiblingEdge& e) const;
 
   const SystemType& type_;
   const ConflictMode mode_;
@@ -229,6 +290,16 @@ class ConcurrentIngestPipeline {
   /// single branch in that case.
   std::unique_ptr<FaultInjector> faults_;
   std::vector<FaultEvent> fired_scratch_;
+  /// Watermark-GC state (router-owned; workers only see kGcPrune payloads).
+  GcFamilyBook book_;
+  GcStats gc_stats_;
+  uint64_t gc_epoch_ = 0;
+  /// Latched once a rejection (cycle or illegal object) is observed at a GC
+  /// barrier; the collector stands down for good, mirroring the solo
+  /// certifier's first-rejection rule.
+  bool gc_rejected_ = false;
+  /// Ops folded into replay checkpoints, summed across worker threads.
+  std::atomic<uint64_t> gc_pruned_ops_{0};
 
   // Shared state.
   std::vector<Shard> shards_;

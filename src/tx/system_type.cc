@@ -54,6 +54,8 @@ TxName SystemType::NewChild(TxName parent) {
   NTSG_CHECK(!IsAccess(parent)) << "accesses are leaves";
   nodes_.push_back(Node{parent, nodes_[parent].depth + 1, std::nullopt});
   TxName t = static_cast<TxName>(nodes_.size() - 1);
+  nodes_[t].next_sibling = nodes_[parent].first_child;
+  nodes_[parent].first_child = t;
   IndexNewNode(t);
   return t;
 }
@@ -67,6 +69,8 @@ TxName SystemType::NewAccess(TxName parent, const AccessSpec& spec) {
       << ObjectTypeName(objects_[spec.object].type);
   nodes_.push_back(Node{parent, nodes_[parent].depth + 1, spec});
   TxName t = static_cast<TxName>(nodes_.size() - 1);
+  nodes_[t].next_sibling = nodes_[parent].first_child;
+  nodes_[parent].first_child = t;
   IndexNewNode(t);
   return t;
 }
@@ -134,6 +138,19 @@ std::vector<TxName> SystemType::Ancestors(TxName t) const {
     out.push_back(t);
     if (t == kT0) break;
     t = nodes_[t].parent;
+  }
+  return out;
+}
+
+std::vector<TxName> SystemType::SubtreeOf(TxName root) const {
+  NTSG_CHECK_LT(root, nodes_.size());
+  std::vector<TxName> out;
+  out.push_back(root);
+  for (size_t i = 0; i < out.size(); ++i) {
+    for (TxName c = nodes_[out[i]].first_child; c != kInvalidTx;
+         c = nodes_[c].next_sibling) {
+      out.push_back(c);
+    }
   }
   return out;
 }

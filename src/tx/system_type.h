@@ -98,6 +98,12 @@ class SystemType {
   /// Ancestors of `t` from `t` up to and including T0.
   std::vector<TxName> Ancestors(TxName t) const;
 
+  /// Every name in the subtree rooted at `root` (root included), in
+  /// unspecified order. Walks the intrusive child lists, so the cost is
+  /// proportional to the subtree, not the arena — the GC uses this to
+  /// enumerate a retired family without scanning every interned name.
+  std::vector<TxName> SubtreeOf(TxName root) const;
+
   /// Human-readable dotted path, e.g. "T0.2.1".
   std::string NameOf(TxName t) const;
 
@@ -110,6 +116,13 @@ class SystemType {
     TxName parent;
     uint32_t depth;
     std::optional<AccessSpec> access;
+    /// Intrusive child list (prepend on intern, so reverse creation order);
+    /// lets SubtreeOf walk one family without scanning the arena. Appending
+    /// a child mutates only the new node and its parent's head pointer,
+    /// preserving the immutable-between-interning-calls contract for
+    /// concurrent readers of already-interned subtrees.
+    TxName first_child = kInvalidTx;
+    TxName next_sibling = kInvalidTx;
   };
 
   struct ObjectInfo {

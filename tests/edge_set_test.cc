@@ -1,0 +1,235 @@
+// Unit tests for the deletion paths of the flat containers behind the
+// conflict frontier and the edge accumulators: FlatIndexMap tombstoned
+// erase/rehash and SiblingEdgeSet erase/compaction. The GC retirement path
+// (PR 6) makes deletion a first-class operation on both, so the probe-chain
+// invariants get direct coverage here instead of only riding along under the
+// frontier tests.
+
+#include "sg/edge_set.h"
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace ntsg {
+namespace {
+
+TEST(FlatIndexMapTest, EraseMakesKeyAbsent) {
+  FlatIndexMap m;
+  *m.FindOrInsert(7, 70) = 70;
+  *m.FindOrInsert(8, 80) = 80;
+  EXPECT_TRUE(m.Erase(7));
+  EXPECT_EQ(m.Find(7), FlatIndexMap::kNotFound);
+  EXPECT_EQ(m.Find(8), 80u);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_FALSE(m.Erase(7));  // Double-erase is a no-op.
+  EXPECT_FALSE(m.Erase(99));
+}
+
+TEST(FlatIndexMapTest, EraseOnEmptyMap) {
+  FlatIndexMap m;
+  EXPECT_FALSE(m.Erase(0));
+  EXPECT_EQ(m.Find(0), FlatIndexMap::kNotFound);
+}
+
+TEST(FlatIndexMapTest, ProbeChainSurvivesTombstone) {
+  // Insert enough keys that some probe chains collide, erase interior
+  // members, and confirm every survivor is still reachable.
+  FlatIndexMap m;
+  for (uint64_t k = 0; k < 64; ++k) *m.FindOrInsert(k, uint32_t(k)) = uint32_t(k);
+  for (uint64_t k = 0; k < 64; k += 2) EXPECT_TRUE(m.Erase(k));
+  for (uint64_t k = 0; k < 64; ++k) {
+    if (k % 2 == 0) {
+      EXPECT_EQ(m.Find(k), FlatIndexMap::kNotFound) << k;
+    } else {
+      EXPECT_EQ(m.Find(k), uint32_t(k)) << k;
+    }
+  }
+  EXPECT_EQ(m.size(), 32u);
+}
+
+TEST(FlatIndexMapTest, InsertReusesTombstone) {
+  FlatIndexMap m;
+  for (uint64_t k = 0; k < 8; ++k) *m.FindOrInsert(k, uint32_t(k)) = uint32_t(k);
+  EXPECT_TRUE(m.Erase(3));
+  size_t tombs = m.tombstones();
+  EXPECT_GE(tombs, 1u);
+  // Re-inserting the same key must land on (or before) the tombstone, not
+  // duplicate it past the chain.
+  *m.FindOrInsert(3, 33) = 33;
+  EXPECT_EQ(m.Find(3), 33u);
+  EXPECT_LT(m.tombstones(), tombs + 1);
+  EXPECT_EQ(m.size(), 8u);
+}
+
+TEST(FlatIndexMapTest, RehashDropsTombstones) {
+  FlatIndexMap m;
+  // Churn insert/erase so tombstones pile up; the rehash trigger counts them
+  // toward load, so Find/FindOrInsert never degrade to a full-table scan.
+  for (uint64_t round = 0; round < 200; ++round) {
+    *m.FindOrInsert(round, uint32_t(round)) = uint32_t(round);
+    if (round >= 4) EXPECT_TRUE(m.Erase(round - 4));
+  }
+  EXPECT_EQ(m.size(), 4u);
+  // Tombstones are bounded by the rehash trigger; far fewer than the 196
+  // erases performed.
+  EXPECT_LT(m.tombstones(), 100u);
+  for (uint64_t k = 196; k < 200; ++k) EXPECT_EQ(m.Find(k), uint32_t(k));
+  EXPECT_EQ(m.Find(100), FlatIndexMap::kNotFound);
+}
+
+TEST(FlatIndexMapTest, ForEachVisitsExactlyLiveEntries) {
+  FlatIndexMap m;
+  for (uint64_t k = 0; k < 20; ++k) *m.FindOrInsert(k * 3, uint32_t(k)) = uint32_t(k);
+  for (uint64_t k = 0; k < 20; k += 2) EXPECT_TRUE(m.Erase(k * 3));
+  std::map<uint64_t, uint32_t> seen;
+  m.ForEach([&](uint64_t key, uint32_t value) { seen[key] = value; });
+  EXPECT_EQ(seen.size(), 10u);
+  for (uint64_t k = 1; k < 20; k += 2) {
+    ASSERT_TRUE(seen.count(k * 3)) << k;
+    EXPECT_EQ(seen[k * 3], uint32_t(k));
+  }
+}
+
+TEST(FlatIndexMapTest, RandomizedAgainstStdMap) {
+  std::mt19937_64 rng(42);
+  FlatIndexMap m;
+  std::map<uint64_t, uint32_t> ref;
+  for (int step = 0; step < 20000; ++step) {
+    uint64_t key = rng() % 512;
+    if (rng() % 3 == 0) {
+      EXPECT_EQ(m.Erase(key), ref.erase(key) > 0) << "step " << step;
+    } else {
+      uint32_t v = uint32_t(rng());
+      *m.FindOrInsert(key, v) = v;
+      ref[key] = v;
+    }
+    ASSERT_EQ(m.size(), ref.size()) << "step " << step;
+  }
+  for (uint64_t key = 0; key < 512; ++key) {
+    auto it = ref.find(key);
+    if (it == ref.end()) {
+      EXPECT_EQ(m.Find(key), FlatIndexMap::kNotFound) << key;
+    } else {
+      EXPECT_EQ(m.Find(key), it->second) << key;
+    }
+  }
+}
+
+SiblingEdge E(TxName parent, TxName from, TxName to) {
+  return SiblingEdge{parent, from, to};
+}
+
+TEST(SiblingEdgeSetTest, EraseMakesEdgeAbsent) {
+  SiblingEdgeSet s;
+  EXPECT_TRUE(s.Insert(E(0, 1, 2)));
+  EXPECT_TRUE(s.Insert(E(0, 2, 3)));
+  EXPECT_TRUE(s.Erase(E(0, 1, 2)));
+  EXPECT_FALSE(s.Contains(E(0, 1, 2)));
+  EXPECT_TRUE(s.Contains(E(0, 2, 3)));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_FALSE(s.Erase(E(0, 1, 2)));
+  EXPECT_FALSE(s.Erase(E(9, 9, 9)));
+}
+
+TEST(SiblingEdgeSetTest, ReinsertAfterErase) {
+  SiblingEdgeSet s;
+  EXPECT_TRUE(s.Insert(E(1, 2, 3)));
+  EXPECT_TRUE(s.Erase(E(1, 2, 3)));
+  EXPECT_TRUE(s.Insert(E(1, 2, 3)));  // Fresh insert, not a duplicate hit.
+  EXPECT_FALSE(s.Insert(E(1, 2, 3)));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(SiblingEdgeSetTest, RawArenaCarriesDeadSentinels) {
+  SiblingEdgeSet s;
+  s.Insert(E(0, 1, 2));
+  s.Insert(E(0, 3, 4));
+  s.Insert(E(0, 5, 6));
+  EXPECT_TRUE(s.Erase(E(0, 3, 4)));
+  EXPECT_EQ(s.dead(), 1u);
+  // Below the compaction threshold the arena keeps its length and marks the
+  // erased entry with an invalid parent; live indices do not shift.
+  ASSERT_EQ(s.edges().size(), 3u);
+  EXPECT_EQ(s.edges()[1].parent, kInvalidTx);
+  EXPECT_EQ(s.edges()[0], E(0, 1, 2));
+  EXPECT_EQ(s.edges()[2], E(0, 5, 6));
+  std::vector<SiblingEdge> walked;
+  s.ForEach([&](const SiblingEdge& e) { walked.push_back(e); });
+  ASSERT_EQ(walked.size(), 2u);
+  EXPECT_EQ(walked[0], E(0, 1, 2));
+  EXPECT_EQ(walked[1], E(0, 5, 6));
+}
+
+TEST(SiblingEdgeSetTest, SortedEdgesSkipsDead) {
+  SiblingEdgeSet s;
+  s.Insert(E(0, 9, 1));
+  s.Insert(E(0, 2, 5));
+  s.Insert(E(0, 2, 4));
+  EXPECT_TRUE(s.Erase(E(0, 2, 5)));
+  std::vector<SiblingEdge> sorted = s.SortedEdges();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0], E(0, 2, 4));
+  EXPECT_EQ(sorted[1], E(0, 9, 1));
+}
+
+TEST(SiblingEdgeSetTest, EraseIfKeepsStableOrder) {
+  SiblingEdgeSet s;
+  for (TxName i = 0; i < 20; ++i) s.Insert(E(i % 4, i + 1, i + 2));
+  size_t removed = s.EraseIf(
+      [](const SiblingEdge& e) { return e.parent == 2; });
+  EXPECT_EQ(removed, 5u);
+  EXPECT_EQ(s.size(), 15u);
+  EXPECT_EQ(s.dead(), 0u);  // EraseIf compacts eagerly.
+  // Survivors keep insertion order in the raw arena.
+  TxName prev_from = 0;
+  for (const SiblingEdge& e : s.edges()) {
+    EXPECT_NE(e.parent, kInvalidTx);
+    EXPECT_NE(e.parent, 2u);
+    EXPECT_GT(e.from, prev_from);
+    prev_from = e.from;
+  }
+  // Dedup structure still consistent: erased edges reinsert as new.
+  EXPECT_TRUE(s.Insert(E(2, 3, 4)));
+  EXPECT_FALSE(s.Insert(E(0, 1, 2)));
+}
+
+TEST(SiblingEdgeSetTest, CompactionTriggersUnderChurn) {
+  SiblingEdgeSet s;
+  for (TxName i = 0; i < 1000; ++i) {
+    s.Insert(E(1, i + 1, i + 2));
+    if (i >= 10) EXPECT_TRUE(s.Erase(E(1, i - 9, i - 8)));
+  }
+  EXPECT_EQ(s.size(), 10u);
+  // The arena must have compacted along the way rather than growing to
+  // ~1000 entries of sentinels.
+  EXPECT_LT(s.edges().size(), 64u);
+  for (TxName i = 991; i < 1001; ++i) EXPECT_TRUE(s.Contains(E(1, i, i + 1)));
+  EXPECT_FALSE(s.Contains(E(1, 5, 6)));
+}
+
+TEST(SiblingEdgeSetTest, RandomizedAgainstStdSet) {
+  std::mt19937_64 rng(7);
+  SiblingEdgeSet s;
+  std::set<SiblingEdge> ref;
+  for (int step = 0; step < 20000; ++step) {
+    SiblingEdge e = E(TxName(rng() % 8), TxName(rng() % 32), TxName(rng() % 32));
+    if (rng() % 3 == 0) {
+      EXPECT_EQ(s.Erase(e), ref.erase(e) > 0) << "step " << step;
+    } else {
+      EXPECT_EQ(s.Insert(e), ref.insert(e).second) << "step " << step;
+    }
+    ASSERT_EQ(s.size(), ref.size()) << "step " << step;
+  }
+  std::vector<SiblingEdge> sorted = s.SortedEdges();
+  ASSERT_EQ(sorted.size(), ref.size());
+  size_t i = 0;
+  for (const SiblingEdge& e : ref) EXPECT_EQ(sorted[i++], e);
+}
+
+}  // namespace
+}  // namespace ntsg

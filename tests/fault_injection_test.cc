@@ -6,13 +6,17 @@
 // produced behaviors serially correct.
 //
 // The determinism suite covers 25 workload seeds × 4 fault-plan seeds × both
-// conflict modes = 200 (workload, plan) pairs. It carries the `nightly`
-// label as well as `tier1`, so the scheduled TSan job replays the whole
-// suite under the race detector with faults enabled.
+// conflict modes = 200 (workload, plan) pairs. The GC-interaction suite runs
+// another 56 pairs with the commit-watermark collector enabled, proving that
+// crash/restart, duplicated deliveries, and snapshot/replay *after pruning*
+// still land on the fault-free unpruned verdict and live-scope fingerprint.
+// It carries the `nightly` label as well as `tier1`, so the scheduled TSan
+// job replays the whole suite under the race detector with faults enabled.
 
 #include <gtest/gtest.h>
 
 #include <set>
+#include <unordered_set>
 #include <vector>
 
 #include "fault/fault_injector.h"
@@ -380,6 +384,89 @@ TEST(ChaosDeterminismTest, VerdictAndFingerprintSurviveEveryPlan) {
   }
   EXPECT_EQ(pairs, 200u);
   EXPECT_GT(total_faults, 0u);       // the plans genuinely fired
+  EXPECT_GT(rejected_workloads, 0u);  // rejected verdicts were covered too
+}
+
+// --- GC × chaos interaction ---------------------------------------------------
+
+// 7 workload seeds × 4 plan seeds × 2 conflict modes = 56 pairs, all with the
+// commit-watermark collector on. Faults change *when* families retire (held
+// deliveries block sealing, crashes interleave with barriers), so the chaotic
+// retirement schedule is not compared against the clean one; the contract is
+// that whatever the pipeline pruned, its surviving graph equals the fault-free
+// unpruned certifier's restricted to the same live scope, and the verdict is
+// untouched. Duplicated deliveries landing behind a prune and snapshot/replay
+// of pruned shards are exactly the resurrection paths this suite pins down.
+TEST(GcChaosTest, PrunedPipelineSurvivesEveryPlan) {
+  const ModeCase kModes[] = {
+      {ObjectType::kReadWrite, ConflictMode::kReadWrite},
+      {ObjectType::kCounter, ConflictMode::kCommutativity},
+  };
+  size_t pairs = 0;
+  size_t total_faults = 0;
+  size_t total_retired = 0;
+  size_t rejected_workloads = 0;
+  for (const ModeCase& mc : kModes) {
+    for (uint64_t workload_seed = 1; workload_seed <= 7; ++workload_seed) {
+      bool broken = workload_seed % 3 == 0;
+      Backend backend =
+          mc.object_type == ObjectType::kReadWrite
+              ? (broken ? Backend::kDirtyReadMoss : Backend::kMoss)
+              : (broken ? Backend::kNoCommuteUndo : Backend::kUndo);
+      QuickRunResult run = MakeWorkload(workload_seed, mc.object_type,
+                                        backend);
+      const Trace& beta = run.sim.trace;
+
+      // Ground truth: fault-free, unpruned, sequential.
+      IncrementalCertifier truth(*run.type, mc.mode);
+      truth.IngestTrace(beta);
+      if (!truth.verdict().ok()) ++rejected_workloads;
+
+      ConcurrentIngestConfig gc_config;
+      gc_config.num_shards = 3;
+      gc_config.seed = workload_seed;
+      gc_config.gc_interval = 16 + workload_seed;
+
+      for (uint64_t plan_seed = 1; plan_seed <= 4; ++plan_seed) {
+        FaultPlanParams params;
+        params.crashes = 2;
+        params.restart_fails = 1;
+        params.delays = 3;
+        params.duplicates = 3;
+        params.reorders = 2;
+        params.snapshots = 1;
+        FaultPlan plan = FaultPlan::Generate(
+            plan_seed * 1000 + workload_seed, beta.size(),
+            gc_config.num_shards, params);
+
+        ConcurrentIngestConfig chaos_config = gc_config;
+        chaos_config.fault_plan = &plan;
+        ConcurrentIngestReport chaotic = ConcurrentIngestPipeline::Run(
+            *run.type, beta, mc.mode, chaos_config);
+
+        ++pairs;
+        total_faults += chaotic.faults.total_injected();
+        total_retired += chaotic.retired_roots.size();
+        ASSERT_EQ(chaotic.appropriate, truth.verdict().appropriate)
+            << "workload " << workload_seed << " plan " << plan_seed;
+        ASSERT_EQ(chaotic.acyclic, truth.verdict().acyclic)
+            << "workload " << workload_seed << " plan " << plan_seed;
+        std::unordered_set<TxName> retired(chaotic.retired_roots.begin(),
+                                           chaotic.retired_roots.end());
+        ASSERT_EQ(chaotic.graph_fingerprint,
+                  truth.FingerprintLiveScope(retired))
+            << "workload " << workload_seed << " plan " << plan_seed;
+        ASSERT_EQ(chaotic.gc.retired_families, chaotic.retired_roots.size());
+        // Faults live below the router, so they can never make a well-formed
+        // stream look like it named a retired family.
+        ASSERT_EQ(chaotic.gc.late_events, 0u)
+            << "workload " << workload_seed << " plan " << plan_seed;
+      }
+    }
+  }
+  EXPECT_EQ(pairs, 56u);
+  EXPECT_GT(total_faults, 0u);        // the plans genuinely fired
+  EXPECT_GT(total_retired, 0u);       // pruning genuinely happened under chaos
   EXPECT_GT(rejected_workloads, 0u);  // rejected verdicts were covered too
 }
 

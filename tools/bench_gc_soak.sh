@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_gc_soak.json, the T11 commit-watermark GC baseline.
+#
+# Runs the BM_CertifyStream{NoGc,Gc} rows of bench_gc_memory with
+# repetitions so the document carries median aggregates; the nightly CI job
+# gates a fresh run against the checked-in file with
+#
+#   tools/check_bench_regression.py BENCH_gc_soak.json candidate.json \
+#     --speedup-naive BM_CertifyStreamNoGc/20000 \
+#     --speedup-fast  BM_CertifyStreamGc/20000 \
+#     --min-speedup 0.9
+#
+# i.e. collection may cost at most ~10% against the no-GC stream at the
+# gated size (in practice the no-GC path is far slower — its live state
+# grows superlinearly — so the floor only trips if GC itself regresses).
+#
+# Usage: tools/bench_gc_soak.sh [output.json]
+#   BUILD_DIR            build tree holding bench/ binaries (default: build)
+#   NTSG_BENCH_MIN_TIME  --benchmark_min_time per bench (default: 0.05)
+#   NTSG_BENCH_REPS      repetitions for the medians (default: 5)
+#
+# Numbers are machine- and build-type-specific: regenerate on the reference
+# machine when reseeding the baseline, and read deltas, not absolutes.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+MIN_TIME="${NTSG_BENCH_MIN_TIME:-0.05}"
+REPS="${NTSG_BENCH_REPS:-5}"
+OUT="${1:-BENCH_gc_soak.json}"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+bin="$BUILD_DIR/bench/bench_gc_memory"
+if [[ ! -x "$bin" ]]; then
+  echo "missing $bin — build the bench targets first" >&2
+  exit 1
+fi
+echo "running bench_gc_memory rows (reps=$REPS)..." >&2
+"$bin" \
+  --benchmark_filter='BM_CertifyStream' \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json \
+  --benchmark_out="$workdir/gc_soak.json" \
+  --benchmark_out_format=json >/dev/null
+jq --arg reps "$REPS" \
+  '{schema: 1,
+    repetitions: ($reps | tonumber),
+    context: (.context | del(.date, .executable)),
+    benches: {bench_gc_memory:
+      [.benchmarks[] | del(.family_index, .per_family_instance_index,
+                           .run_name, .repetitions, .repetition_index,
+                           .threads)]}}' \
+  "$workdir/gc_soak.json" > "$OUT"
+echo "wrote $OUT" >&2

@@ -54,6 +54,11 @@
 //   --abort-prob P    spontaneous abort probability per step       [0]
 //   --innermost       fine-grained stall aborts (default: top-level)
 //   --online          certify only: stream through IncrementalCertifier
+//   --gc[=N]          certify only: commit-watermark GC every N actions
+//                     (bare --gc uses N=1024). Applies to the batch path
+//                     (which then streams with bounded memory), --online,
+//                     and --shards; prints families/nodes retired and ops
+//                     pruned. Metrics land in the ntsg_gc_* families.
 //   --shards N        certify/stats: parallelize the batch SG build across N
 //                     workers and also run the concurrent pipeline;
 //                     chaos: pipeline width                    [0 / chaos: 4]
@@ -107,6 +112,7 @@ struct CliOptions {
   std::string trace_file;  // audit / certify operand.
   bool online = false;
   size_t shards = 0;
+  size_t gc_interval = 0;
   Backend backend = Backend::kMoss;
   size_t objects = 4;
   ObjectType object_type = ObjectType::kReadWrite;
@@ -263,6 +269,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
       opt->innermost = true;
     } else if (a == "--online") {
       opt->online = true;
+    } else if (a == "--gc") {
+      opt->gc_interval = 1024;
+    } else if (a.rfind("--gc=", 0) == 0) {
+      opt->gc_interval = std::strtoull(a.c_str() + std::strlen("--gc="),
+                                       nullptr, 10);
+      if (opt->gc_interval == 0) {
+        std::cerr << "--gc requires a positive interval\n";
+        return false;
+      }
     } else if (a == "--shards") {
       if (!(v = need(a.c_str()))) return false;
       opt->shards = std::strtoull(v, nullptr, 10);
@@ -444,12 +459,15 @@ int CmdCertify(const CliOptions& opt) {
             << " events)\n";
 
   CertifierReport batch = CertifySeriallyCorrect(
-      type, beta, mode, CertifyOptions{opt.shards > 0 ? opt.shards : 1});
+      type, beta, mode,
+      CertifyOptions{opt.shards > 0 ? opt.shards : 1, opt.gc_interval});
   std::cout << "batch:       " << batch.status.ToString() << "\n";
 
   bool agree = true;
   if (opt.online) {
-    IncrementalCertifier cert(type, mode);
+    GcOptions gc;
+    gc.interval = opt.gc_interval;
+    IncrementalCertifier cert(type, mode, gc);
     cert.IngestTrace(beta);
     IncrementalVerdict v = cert.verdict();
     std::cout << "incremental: "
@@ -463,17 +481,30 @@ int CmdCertify(const CliOptions& opt) {
                 << *cert.first_rejection_pos() << " of " << beta.size()
                 << "\n";
     }
+    if (gc.enabled()) {
+      const GcStats& g = cert.gc_stats();
+      std::cout << "gc:          " << g.retired_families << " families / "
+                << g.retired_nodes << " nodes retired, " << g.pruned_ops
+                << " ops pruned in " << g.runs << " passes; "
+                << cert.live_node_count() << " live nodes remain\n";
+    }
     agree = agree && v.ok() == batch.status.ok();
   }
   if (opt.shards > 0) {
     ConcurrentIngestConfig config;
     config.num_shards = opt.shards;
     config.seed = opt.seed;
+    config.gc_interval = opt.gc_interval;
     ConcurrentIngestReport report =
         ConcurrentIngestPipeline::Run(type, beta, mode, config);
     std::cout << "concurrent:  " << (report.ok() ? "ok" : "REJECTED") << " ("
               << opt.shards << " shards, " << report.ops_routed
               << " ops routed)\n";
+    if (opt.gc_interval > 0) {
+      std::cout << "gc:          " << report.gc.retired_families
+                << " families retired, " << report.gc.pruned_ops
+                << " ops pruned in " << report.gc.runs << " passes\n";
+    }
     agree = agree && report.ok() == batch.status.ok();
   }
   if (!agree) {
