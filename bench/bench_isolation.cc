@@ -1,0 +1,102 @@
+// Experiment T12: cost of the isolation-level spectrum over plain SG(β)
+// certification. Three questions:
+//
+//   * what does the four-level verdict vector cost next to the Theorem 8/19
+//     certifier alone (BM_IsoVectorShared vs BM_CertifierSerOnly);
+//   * how much does sharing one labeled graph across the spectrum save over
+//     running each level as a standalone checker that rebuilds its own
+//     relations (BM_IsoVectorShared vs BM_IsoVectorPerLevel) — the ratio
+//     tools/check_bench_regression.py gates in CI;
+//   * what the streaming path costs end-to-end (BM_IsoIncremental).
+//
+// arg = top-level transaction count of the cached Moss workload.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "iso/checker.h"
+#include "iso/incremental_iso.h"
+#include "sg/certifier.h"
+
+namespace ntsg {
+namespace {
+
+void BM_IsoVectorShared(benchmark::State& state) {
+  size_t toplevel = static_cast<size_t>(state.range(0));
+  const QuickRunResult& run = bench::CachedRun(toplevel, Backend::kMoss);
+  IsoCheckOptions options;
+  options.explain = false;
+  size_t conflict = 0, anti = 0;
+  for (auto _ : state) {
+    IsoVerdictVector vv = CheckIsolationLevels(
+        *run.type, run.sim.trace, ConflictMode::kReadWrite, options);
+    conflict = vv.conflict_edges;
+    anti = vv.anti_edges;
+    benchmark::DoNotOptimize(vv);
+  }
+  state.counters["events"] = static_cast<double>(run.sim.trace.size());
+  state.counters["conflict_edges"] = static_cast<double>(conflict);
+  state.counters["anti_edges"] = static_cast<double>(anti);
+}
+
+// The unshared route: every level as a standalone checker with its own
+// labeled-relation build. What the spectrum would cost without the shared
+// LabeledSg assembly path.
+void BM_IsoVectorPerLevel(benchmark::State& state) {
+  size_t toplevel = static_cast<size_t>(state.range(0));
+  const QuickRunResult& run = bench::CachedRun(toplevel, Backend::kMoss);
+  Trace serial = SerialPart(run.sim.trace);
+  IsoCheckOptions options;
+  options.explain = false;
+  for (auto _ : state) {
+    bool ok[kNumIsoLevels];
+    for (size_t lvl = 0; lvl < kNumIsoLevels; ++lvl) {
+      LabeledSg graph =
+          LabeledSg::Build(*run.type, serial, ConflictMode::kReadWrite);
+      IsoVerdictVector vv = CheckFromLabeledGraph(
+          *run.type, serial, ConflictMode::kReadWrite, graph, options);
+      ok[lvl] = vv.levels[lvl].ok;
+    }
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["events"] = static_cast<double>(run.sim.trace.size());
+}
+
+void BM_CertifierSerOnly(benchmark::State& state) {
+  size_t toplevel = static_cast<size_t>(state.range(0));
+  const QuickRunResult& run = bench::CachedRun(toplevel, Backend::kMoss);
+  for (auto _ : state) {
+    CertifierReport report = CertifySeriallyCorrect(
+        *run.type, run.sim.trace, ConflictMode::kReadWrite);
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["events"] = static_cast<double>(run.sim.trace.size());
+}
+
+void BM_IsoIncremental(benchmark::State& state) {
+  size_t toplevel = static_cast<size_t>(state.range(0));
+  const QuickRunResult& run = bench::CachedRun(toplevel, Backend::kMoss);
+  IsoCheckOptions options;
+  options.explain = false;
+  for (auto _ : state) {
+    IncrementalIsoChecker inc(*run.type, ConflictMode::kReadWrite);
+    inc.IngestTrace(run.sim.trace);
+    IsoVerdictVector vv = inc.Verdict(options);
+    benchmark::DoNotOptimize(vv);
+  }
+  state.counters["events"] = static_cast<double>(run.sim.trace.size());
+}
+
+BENCHMARK(BM_IsoVectorShared)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IsoVectorPerLevel)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CertifierSerOnly)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IsoIncremental)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ntsg
+
+NTSG_BENCH_MAIN();

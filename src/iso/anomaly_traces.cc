@@ -1,0 +1,245 @@
+#include "iso/anomaly_traces.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ntsg {
+
+namespace {
+
+AccessSpec Rd(ObjectId x) { return AccessSpec{x, OpCode::kRead, 0}; }
+AccessSpec Wr(ObjectId x, int64_t v) { return AccessSpec{x, OpCode::kWrite, v}; }
+
+/// Serial-action emitter for hand-built executions. Every top-level is
+/// created before any access runs, so no incidental precedes edges appear
+/// at the T0 level — each template's SG(β) is exactly its conflict shape.
+class TraceBuilder {
+ public:
+  explicit TraceBuilder(SystemType* type) : type_(type) {}
+
+  TxName Top() { return Begin(kT0); }
+
+  TxName Begin(TxName parent) {
+    TxName t = type_->NewChild(parent);
+    trace_.push_back(Action::RequestCreate(t));
+    trace_.push_back(Action::Create(t));
+    return t;
+  }
+
+  /// Declares, runs, and commits one access under `parent`, returning
+  /// `ret` from its operation.
+  TxName Run(TxName parent, const AccessSpec& spec, const Value& ret) {
+    TxName a = type_->NewAccess(parent, spec);
+    trace_.push_back(Action::RequestCreate(a));
+    trace_.push_back(Action::Create(a));
+    trace_.push_back(Action::RequestCommit(a, ret));
+    trace_.push_back(Action::Commit(a));
+    trace_.push_back(Action::ReportCommit(a, ret));
+    return a;
+  }
+
+  void Commit(TxName t) {
+    trace_.push_back(Action::RequestCommit(t, Value::Ok()));
+    trace_.push_back(Action::Commit(t));
+    trace_.push_back(Action::ReportCommit(t, Value::Ok()));
+  }
+
+  void Abort(TxName t) {
+    trace_.push_back(Action::Abort(t));
+    trace_.push_back(Action::ReportAbort(t));
+  }
+
+  Trace Take() { return std::move(trace_); }
+
+ private:
+  SystemType* type_;
+  Trace trace_;
+};
+
+}  // namespace
+
+const char* AnomalyTemplateName(AnomalyTemplate t) {
+  switch (t) {
+    case AnomalyTemplate::kDirtyRead:
+      return "dirty_read";
+    case AnomalyTemplate::kDirtyReadNested:
+      return "dirty_read_nested";
+    case AnomalyTemplate::kNonRepeatableRead:
+      return "non_repeatable_read";
+    case AnomalyTemplate::kReadSkew:
+      return "read_skew";
+    case AnomalyTemplate::kNestedReadSkew:
+      return "nested_read_skew";
+    case AnomalyTemplate::kLostUpdate:
+      return "lost_update";
+    case AnomalyTemplate::kWriteSkew:
+      return "write_skew";
+    case AnomalyTemplate::kLongFork:
+      return "long_fork";
+    case AnomalyTemplate::kDependencyCycle:
+      return "dependency_cycle";
+    case AnomalyTemplate::kSerializableClean:
+      return "serializable_clean";
+    case AnomalyTemplate::kAbortedReaderClean:
+      return "aborted_reader_clean";
+  }
+  return "unknown";
+}
+
+BuiltTrace BuildAnomalyTrace(AnomalyTemplate t, uint64_t salt) {
+  BuiltTrace out;
+  out.type = std::make_unique<SystemType>();
+  SystemType& type = *out.type;
+  ObjectId x = type.AddObject(ObjectType::kReadWrite, "X", 0);
+  ObjectId y = type.AddObject(ObjectType::kReadWrite, "Y", 0);
+  ObjectId z = type.AddObject(ObjectType::kReadWrite, "Z", 0);
+  TraceBuilder b(&type);
+
+  switch (t) {
+    case AnomalyTemplate::kDirtyRead: {
+      TxName w = b.Top();
+      TxName r = b.Top();
+      b.Run(w, Wr(x, 1), Value::Ok());
+      b.Run(r, Rd(x), Value::Int(1));  // observes the uncommitted write
+      b.Commit(r);
+      b.Abort(w);
+      break;
+    }
+    case AnomalyTemplate::kDirtyReadNested: {
+      TxName w = b.Top();
+      TxName r = b.Top();
+      TxName s = b.Begin(w);  // subtransaction commits, its parent aborts
+      b.Run(s, Wr(x, 1), Value::Ok());
+      b.Commit(s);
+      b.Run(r, Rd(x), Value::Int(1));
+      b.Commit(r);
+      b.Abort(w);
+      break;
+    }
+    case AnomalyTemplate::kNonRepeatableRead: {
+      TxName t1 = b.Top();
+      TxName t2 = b.Top();
+      b.Run(t1, Rd(x), Value::Int(0));
+      b.Run(t2, Wr(x, 1), Value::Ok());
+      b.Commit(t2);
+      b.Run(t1, Rd(x), Value::Int(1));  // same object, different answer
+      b.Commit(t1);
+      break;
+    }
+    case AnomalyTemplate::kReadSkew: {
+      TxName t1 = b.Top();
+      TxName t2 = b.Top();
+      b.Run(t1, Rd(x), Value::Int(0));
+      b.Run(t2, Wr(x, 1), Value::Ok());
+      b.Run(t2, Wr(y, 1), Value::Ok());
+      b.Commit(t2);
+      b.Run(t1, Rd(y), Value::Int(1));  // half-old, half-new snapshot
+      b.Commit(t1);
+      break;
+    }
+    case AnomalyTemplate::kNestedReadSkew: {
+      TxName t1 = b.Top();
+      TxName t2 = b.Top();
+      TxName s1 = b.Begin(t1);
+      b.Run(s1, Rd(x), Value::Int(0));
+      b.Commit(s1);
+      b.Run(t2, Wr(x, 1), Value::Ok());
+      b.Run(t2, Wr(y, 1), Value::Ok());
+      b.Commit(t2);
+      TxName s2 = b.Begin(t1);  // sibling subtransaction sees the new half
+      b.Run(s2, Rd(y), Value::Int(1));
+      b.Commit(s2);
+      b.Commit(t1);
+      break;
+    }
+    case AnomalyTemplate::kLostUpdate: {
+      TxName t1 = b.Top();
+      TxName t2 = b.Top();
+      b.Run(t1, Rd(x), Value::Int(0));
+      b.Run(t2, Rd(x), Value::Int(0));
+      b.Run(t2, Wr(x, 1), Value::Ok());
+      b.Commit(t2);
+      b.Run(t1, Wr(x, 2), Value::Ok());  // clobbers t2's update
+      b.Commit(t1);
+      break;
+    }
+    case AnomalyTemplate::kWriteSkew: {
+      TxName t1 = b.Top();
+      TxName t2 = b.Top();
+      b.Run(t1, Rd(x), Value::Int(0));
+      b.Run(t2, Rd(y), Value::Int(0));
+      b.Run(t1, Wr(y, 1), Value::Ok());
+      b.Run(t2, Wr(x, 1), Value::Ok());
+      b.Commit(t1);
+      b.Commit(t2);
+      break;
+    }
+    case AnomalyTemplate::kLongFork: {
+      TxName w1 = b.Top();
+      TxName w2 = b.Top();
+      TxName r1 = b.Top();
+      TxName r2 = b.Top();
+      b.Run(r2, Rd(x), Value::Int(0));
+      b.Run(w1, Wr(x, 1), Value::Ok());
+      b.Commit(w1);
+      b.Run(r1, Rd(x), Value::Int(1));  // r1 sees w1 first
+      b.Run(r1, Rd(y), Value::Int(0));
+      b.Run(w2, Wr(y, 1), Value::Ok());
+      b.Commit(w2);
+      b.Run(r2, Rd(y), Value::Int(1));  // r2 sees w2 first
+      b.Commit(r1);
+      b.Commit(r2);
+      break;
+    }
+    case AnomalyTemplate::kDependencyCycle: {
+      TxName t1 = b.Top();
+      TxName t2 = b.Top();
+      b.Run(t1, Wr(x, 1), Value::Ok());
+      b.Run(t2, Rd(x), Value::Int(1));
+      b.Run(t2, Wr(y, 1), Value::Ok());
+      b.Run(t1, Rd(y), Value::Int(1));  // mutual reads-from, no anti edge
+      b.Commit(t1);
+      b.Commit(t2);
+      break;
+    }
+    case AnomalyTemplate::kSerializableClean: {
+      TxName t1 = b.Top();
+      TxName t2 = b.Top();
+      TxName s = b.Begin(t1);
+      b.Run(s, Wr(x, 1), Value::Ok());
+      b.Commit(s);
+      b.Commit(t1);
+      b.Run(t2, Rd(x), Value::Int(1));
+      b.Run(t2, Wr(y, 1), Value::Ok());
+      b.Commit(t2);
+      break;
+    }
+    case AnomalyTemplate::kAbortedReaderClean: {
+      TxName t1 = b.Top();
+      TxName t2 = b.Top();
+      b.Run(t1, Wr(x, 1), Value::Ok());
+      b.Commit(t1);
+      b.Run(t2, Rd(x), Value::Int(1));
+      b.Abort(t2);  // observation dies with the reader
+      break;
+    }
+  }
+
+  // Salted padding: benign committed read-only top-levels on the spare
+  // object. They conflict with nothing (reads commute) and are created
+  // last, so added precedes edges only point into them — no new cycles,
+  // no value anomalies, identical verdict vector.
+  for (uint64_t i = 0; i < salt % 3; ++i) {
+    TxName pad = b.Top();
+    b.Run(pad, Rd(z), Value::Int(0));
+    b.Commit(pad);
+  }
+
+  out.trace = b.Take();
+  return out;
+}
+
+}  // namespace ntsg

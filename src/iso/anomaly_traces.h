@@ -1,0 +1,48 @@
+#ifndef NTSG_ISO_ANOMALY_TRACES_H_
+#define NTSG_ISO_ANOMALY_TRACES_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "tx/trace.h"
+
+namespace ntsg {
+
+/// Hand-built minimal executions, one per textbook anomaly (plus two clean
+/// controls), over read/write registers. Each pins a known verdict vector:
+/// the corpus goldens render them, the differential test checks them at
+/// every prefix, and the miner interleaves them (salted) with simulator
+/// runs as a guaranteed-yield source.
+enum class AnomalyTemplate : uint8_t {
+  kDirtyRead = 0,        // committed reader of an aborted writer's value
+  kDirtyReadNested,      // writer committed into a parent that then aborts
+  kNonRepeatableRead,    // same object read twice across a committed write
+  kReadSkew,             // two reads straddling a committed writer pair
+  kNestedReadSkew,       // read skew split across two subtransactions
+  kLostUpdate,           // two read-modify-writes from the same stale read
+  kWriteSkew,            // disjoint writes guarded by crossed reads
+  kLongFork,             // two readers observing independent writers in
+                         // incompatible orders
+  kDependencyCycle,      // wr/wr cycle with no anti-dependency (G1c)
+  kSerializableClean,    // nested, conflicting, perfectly serial — all PASS
+  kAbortedReaderClean,   // aborted reader leaves no visible footprint
+};
+
+inline constexpr size_t kNumAnomalyTemplates = 11;
+
+const char* AnomalyTemplateName(AnomalyTemplate t);
+
+struct BuiltTrace {
+  std::unique_ptr<SystemType> type;
+  Trace trace;
+};
+
+/// Materializes one template. `salt` perturbs the instance (appends up to
+/// two benign committed read-only top-levels on a spare object) without
+/// changing the verdict vector; instances with different salts serialize
+/// differently, which is what the miner's seed-space walk wants.
+BuiltTrace BuildAnomalyTrace(AnomalyTemplate t, uint64_t salt = 0);
+
+}  // namespace ntsg
+
+#endif  // NTSG_ISO_ANOMALY_TRACES_H_

@@ -1,0 +1,83 @@
+#ifndef NTSG_ISO_INCREMENTAL_ISO_H_
+#define NTSG_ISO_INCREMENTAL_ISO_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "iso/checker.h"
+#include "sg/conflict_frontier.h"
+#include "sg/edge_set.h"
+#include "sg/incremental_certifier.h"
+#include "tx/trace.h"
+
+namespace ntsg {
+
+/// Online form of the spectrum checker: consumes a behavior action by
+/// action, maintaining the *labeled* conflict and precedes relations of the
+/// prefix ingested so far, and answers the verdict vector for that prefix
+/// on demand.
+///
+/// Edge discovery mirrors IncrementalCertifier (the same VisibilityTracker
+/// drives operation/scope activations; one label-enabled
+/// ObjectConflictFrontier per object discovers conflicts at global trace
+/// positions; per-parent report/request bookkeeping yields precedes edges
+/// once the parent is visible), so the edge sets at every prefix equal the
+/// batch relations of that prefix. Verdict() funnels the accumulated edges
+/// through the same CheckFromLabeledGraph the batch checker uses — the two
+/// modes agree on every per-level verdict by construction (the differential
+/// test re-asserts it per prefix).
+///
+/// Unlike the certifier this keeps the serial prefix buffered: the
+/// value-aware checks (dirty reads, appropriate return values) are judged
+/// at Verdict() time, since their answers are not monotone over prefixes
+/// (a writer's later commit launders an earlier read).
+class IncrementalIsoChecker {
+ public:
+  IncrementalIsoChecker(const SystemType& type, ConflictMode mode);
+
+  void Ingest(const Action& a);
+  void IngestTrace(const Trace& beta);
+
+  /// The verdict vector of the ingested prefix.
+  IsoVerdictVector Verdict(const IsoCheckOptions& options = {}) const;
+
+  size_t actions_ingested() const { return static_cast<size_t>(pos_); }
+  size_t conflict_edge_count() const;
+  size_t precedes_edge_count() const { return precedes_edges_.size(); }
+
+ private:
+  struct ParentScope {
+    bool registered = false;
+    bool visible = false;
+    std::vector<TxName> reported;
+    std::vector<std::pair<bool, TxName>> buffer;  // (is_report, child)
+  };
+  struct PendingOp {
+    TxName tx;
+    Value value;
+  };
+
+  void FireItem(const VisibilityTracker::Item& item);
+  void DropItem(const VisibilityTracker::Item& item);
+  void ActivateOp(uint64_t pos, TxName tx, const Value& v);
+  void ScopeEvent(TxName parent, bool is_report, TxName child);
+  void ActivateScope(TxName parent);
+  void EmitPrecedes(TxName parent, TxName from, TxName to);
+  ObjectConflictFrontier& Frontier(ObjectId x);
+
+  const SystemType* type_;
+  ConflictMode mode_;
+  VisibilityTracker tracker_;
+  std::vector<std::unique_ptr<ObjectConflictFrontier>> frontiers_;
+  std::unordered_map<TxName, ParentScope> scopes_;
+  std::unordered_map<uint64_t, PendingOp> pending_ops_;
+  SiblingEdgeSet precedes_edges_;
+  Trace serial_;  // serial prefix, for the value-aware checks at Verdict()
+  uint64_t pos_ = 0;
+  std::vector<SiblingEdge> scratch_;  // frontier emission sink, reused
+};
+
+}  // namespace ntsg
+
+#endif  // NTSG_ISO_INCREMENTAL_ISO_H_

@@ -1,0 +1,45 @@
+#include "iso/levels.h"
+
+namespace ntsg {
+
+const char* IsoLevelName(IsoLevel level) {
+  switch (level) {
+    case IsoLevel::kReadCommitted:
+      return "read_committed";
+    case IsoLevel::kReadAtomic:
+      return "read_atomic";
+    case IsoLevel::kSnapshotIsolation:
+      return "snapshot_isolation";
+    case IsoLevel::kSerializable:
+      return "serializable";
+  }
+  return "unknown";
+}
+
+const char* AnomalyKindName(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kNone:
+      return "none";
+    case AnomalyKind::kDirtyRead:
+      return "dirty_read";
+    case AnomalyKind::kNonRepeatableRead:
+      return "non_repeatable_read";
+    case AnomalyKind::kReadSkew:
+      return "read_skew";
+    case AnomalyKind::kLostUpdate:
+      return "lost_update";
+    case AnomalyKind::kWriteSkew:
+      return "write_skew";
+    case AnomalyKind::kLongFork:
+      return "long_fork";
+    case AnomalyKind::kDependencyCycle:
+      return "dependency_cycle";
+    case AnomalyKind::kSerializationCycle:
+      return "serialization_cycle";
+    case AnomalyKind::kInappropriateValues:
+      return "inappropriate_values";
+  }
+  return "unknown";
+}
+
+}  // namespace ntsg

@@ -1,0 +1,66 @@
+#ifndef NTSG_ISO_LEVELS_H_
+#define NTSG_ISO_LEVELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ntsg {
+
+/// The isolation-level spectrum the checkers decide, weakest to strongest.
+/// Each level proscribes a superset of the patterns of the level before it,
+/// so a verdict vector over the spectrum is monotone by construction: a
+/// trace rejected at some level is rejected at every stronger level.
+///
+/// The characterizations are phrased over the labeled SG(β) sibling graphs
+/// (conflict(β) ∪ precedes(β) with per-edge dependency kinds, see
+/// sg/conflicts.h) plus one value-aware side condition:
+///
+///   kReadCommitted    proscribes dirty reads (a visible access observing a
+///                     value only ever written by a transaction that is not
+///                     visible to it — Adya's G1a, judged on values, not
+///                     positions) and dependency-only cycles (no pure
+///                     anti-dependency edge — G1c).
+///   kReadAtomic       adds cycles with exactly one pure anti-dependency
+///                     edge (Adya's G-single, the PL-2+ "read atomic /
+///                     causal" tier): this is the weakest level that rejects
+///                     lost updates and read skew.
+///   kSnapshotIsolation adds the SG anti-pattern characterization of
+///                     snapshot isolation (Fekete et al.): a closed walk in
+///                     which two pure anti-dependency edges are cyclically
+///                     consecutive. Write skew is the canonical hit.
+///   kSerializable     is Theorem 8/19 in full: appropriate return values
+///                     plus acyclicity of every SG(β) sibling graph.
+enum class IsoLevel : uint8_t {
+  kReadCommitted = 0,
+  kReadAtomic = 1,
+  kSnapshotIsolation = 2,
+  kSerializable = 3,
+};
+
+inline constexpr size_t kNumIsoLevels = 4;
+
+const char* IsoLevelName(IsoLevel level);
+
+/// The named shape of one isolation violation. The first six are the
+/// classic anomalies; the rest are structural fallbacks for witnesses that
+/// match no textbook shape. Naming is best-effort (it reads the ww/wr split
+/// of edge labels, which is lossy under frontier watermark suppression);
+/// verdicts never depend on it.
+enum class AnomalyKind : uint8_t {
+  kNone = 0,
+  kDirtyRead,           // read of a value only non-visible writers produced
+  kNonRepeatableRead,   // rw/wr 2-cycle on one object
+  kReadSkew,            // rw/wr 2-cycle across objects
+  kLostUpdate,          // rw against a ww-dependency back-edge, same object
+  kWriteSkew,           // all-anti 2-cycle across objects
+  kLongFork,            // alternating wr/rw cycle of length >= 4
+  kDependencyCycle,     // cycle with no pure anti-dependency edge (G1c)
+  kSerializationCycle,  // any other SG(β) cycle
+  kInappropriateValues, // return values fail the serial spec, no cycle
+};
+
+const char* AnomalyKindName(AnomalyKind kind);
+
+}  // namespace ntsg
+
+#endif  // NTSG_ISO_LEVELS_H_

@@ -179,6 +179,36 @@ const FaultMetrics& GetFaultMetrics() {
   return m;
 }
 
+const IsoMetrics& GetIsoMetrics() {
+  static const IsoMetrics m = {
+      Reg().GetCounter("ntsg_iso_checks_total",
+                       "Isolation verdict vectors computed"),
+      Reg().GetCounter("ntsg_iso_level_rejections_total",
+                       "Traces rejected per isolation level",
+                       "level=\"read_committed\""),
+      Reg().GetCounter("ntsg_iso_level_rejections_total",
+                       "Traces rejected per isolation level",
+                       "level=\"read_atomic\""),
+      Reg().GetCounter("ntsg_iso_level_rejections_total",
+                       "Traces rejected per isolation level",
+                       "level=\"snapshot_isolation\""),
+      Reg().GetCounter("ntsg_iso_level_rejections_total",
+                       "Traces rejected per isolation level",
+                       "level=\"serializable\""),
+      Reg().GetCounter("ntsg_iso_dirty_reads_total",
+                       "Value-judged dirty reads detected"),
+      Reg().GetCounter("ntsg_iso_witnesses_verified_total",
+                       "Violation witnesses that re-verified edge-by-edge"),
+      Reg().GetCounter("ntsg_iso_miner_runs_total",
+                       "Workload/seed points explored by the anomaly miner"),
+      Reg().GetCounter("ntsg_iso_miner_hits_total",
+                       "Miner runs rejected at the serializable level"),
+      LatencyHistogram("ntsg_iso_check_us",
+                       "Full verdict-vector computation for one trace"),
+  };
+  return m;
+}
+
 void RegisterAllMetricFamilies() {
   (void)GetCertifierMetrics();
   (void)GetSgtMetrics();
@@ -188,6 +218,7 @@ void RegisterAllMetricFamilies() {
   (void)GetSgBuildMetrics();
   (void)GetGcMetrics();
   (void)GetFaultMetrics();
+  (void)GetIsoMetrics();
 }
 
 }  // namespace ntsg::obs

@@ -117,6 +117,23 @@ struct FaultMetrics {
 };
 const FaultMetrics& GetFaultMetrics();
 
+/// Isolation-level spectrum checkers and the anomaly miner (ntsg_iso_*).
+/// Level-rejection counters are labeled by level name; the per-level fields
+/// below follow the IsoLevel order (weakest first).
+struct IsoMetrics {
+  Counter* checks;                // ntsg_iso_checks_total
+  Counter* rejections_rc;         // ntsg_iso_level_rejections_total{level=...}
+  Counter* rejections_ra;
+  Counter* rejections_si;
+  Counter* rejections_ser;
+  Counter* dirty_reads;           // ntsg_iso_dirty_reads_total
+  Counter* witnesses_verified;    // ntsg_iso_witnesses_verified_total
+  Counter* miner_runs;            // ntsg_iso_miner_runs_total
+  Counter* miner_hits;            // ntsg_iso_miner_hits_total
+  Histogram* check_us;            // ntsg_iso_check_us
+};
+const IsoMetrics& GetIsoMetrics();
+
 /// Forces registration of every family above (plus queue-depth shard 0), so
 /// a snapshot taken before any workload still exposes the full schema with
 /// zero values — what `ntsg certify --metrics-out` relies on.

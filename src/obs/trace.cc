@@ -86,6 +86,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kGcRun: return "gc_run";
     case TraceEventKind::kGcRetire: return "gc_retire";
     case TraceEventKind::kGcLateEvent: return "gc_late_event";
+    case TraceEventKind::kIsoLevelRejected: return "iso_level_rejected";
+    case TraceEventKind::kIsoMinerHit: return "iso_miner_hit";
   }
   return "unknown";
 }
@@ -120,6 +122,8 @@ TraceEventFieldInfo TraceEventFields(TraceEventKind kind) {
     case TraceEventKind::kSnapshot:
     case TraceEventKind::kReplay:
     case TraceEventKind::kGcRun:
+    case TraceEventKind::kIsoLevelRejected:
+    case TraceEventKind::kIsoMinerHit:
       return {false, false};
   }
   return {false, false};

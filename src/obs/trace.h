@@ -55,6 +55,8 @@ enum class TraceEventKind : uint8_t {
   kGcRun,            // watermark GC pass                   (a=#families retired, arg=watermark)
   kGcRetire,         // one family retired                  (a=root, arg=#graph nodes removed)
   kGcLateEvent,      // action named a retired family       (a=tx, b=ActionKind, arg=pos)
+  kIsoLevelRejected, // isolation level rejected a trace    (a=IsoLevel, b=AnomalyKind)
+  kIsoMinerHit,      // miner found a counterexample        (a=run index, b=AnomalyKind)
 };
 
 const char* TraceEventKindName(TraceEventKind kind);

@@ -1,5 +1,6 @@
 #include "sg/conflict_frontier.h"
 
+#include <iterator>
 #include <utility>
 #include <vector>
 
@@ -62,9 +63,23 @@ uint32_t ObjectConflictFrontier::InternClass(const OpRecord& rec) {
 }
 
 void ObjectConflictFrontier::Emit(TxName parent, TxName from, TxName to,
+                                  uint32_t from_class, uint32_t to_class,
                                   std::vector<SiblingEdge>* out) {
   ++stats_.hits;
   SiblingEdge e{parent, from, to};
+  if (labels_enabled_) {
+    // Classify this inducing pair by the observer/mutator split of its two
+    // operation classes. Two pure observers never conflict under either
+    // mode (reads commute; backward commutativity of two observers holds
+    // because neither moves the state), so the fourth combination cannot
+    // occur; map it to ww defensively.
+    const bool from_mod = IsModifyingOp(classes_[from_class].rec.op);
+    const bool to_mod = IsModifyingOp(classes_[to_class].rec.op);
+    DepKind kind = !from_mod && to_mod ? DepKind::kReadWrite
+                   : from_mod && !to_mod ? DepKind::kWriteRead
+                                         : DepKind::kWriteWrite;
+    label_bits_[e] |= static_cast<uint8_t>(kind);
+  }
   if (dedup_.Insert(e)) {
     ++stats_.edges_emitted;
     out->push_back(e);
@@ -115,7 +130,7 @@ void ObjectConflictFrontier::AddOp(TxName access, const Value& v, uint64_t pos,
         // twice across this child's operations.
         for (size_t i = cs.watermark; i < list.entries.size(); ++i) {
           const ChildStat& e = list.entries[i];
-          if (e.child != child) Emit(node, e.child, child, new_edges);
+          if (e.child != child) Emit(node, e.child, child, d, cu, new_edges);
         }
         cs.watermark = static_cast<uint32_t>(list.entries.size());
       } else {
@@ -124,8 +139,8 @@ void ObjectConflictFrontier::AddOp(TxName access, const Value& v, uint64_t pos,
         // are left alone — they only ever describe in-order consumption.
         for (const ChildStat& e : list.entries) {
           if (e.child == child) continue;
-          if (e.min_pos < pos) Emit(node, e.child, child, new_edges);
-          if (e.max_pos > pos) Emit(node, child, e.child, new_edges);
+          if (e.min_pos < pos) Emit(node, e.child, child, d, cu, new_edges);
+          if (e.max_pos > pos) Emit(node, child, e.child, cu, d, new_edges);
         }
       }
     }
@@ -251,13 +266,17 @@ void ObjectConflictFrontier::Retire(
   // Memoized edge verdicts naming retired families would otherwise pin their
   // arena entries forever; the closure invariant means an edge touches a
   // retired family iff its T0-projected endpoint does.
-  dedup_.EraseIf([&](const SiblingEdge& e) {
+  auto retired_edge = [&](const SiblingEdge& e) {
     if (e.parent == kT0) {
       return retired_roots.count(e.from) != 0 ||
              retired_roots.count(e.to) != 0;
     }
     return family_retired(e.parent);
-  });
+  };
+  dedup_.EraseIf(retired_edge);
+  for (auto it = label_bits_.begin(); it != label_bits_.end();) {
+    it = retired_edge(it->first) ? label_bits_.erase(it) : std::next(it);
+  }
 }
 
 }  // namespace ntsg

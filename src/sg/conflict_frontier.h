@@ -2,6 +2,7 @@
 #define NTSG_SG_CONFLICT_FRONTIER_H_
 
 #include <cstdint>
+#include <map>
 #include <unordered_set>
 #include <vector>
 
@@ -69,6 +70,22 @@ class ObjectConflictFrontier {
   void AddOp(TxName access, const Value& v, uint64_t pos,
              std::vector<SiblingEdge>* new_edges);
 
+  /// Turns on per-edge dependency-label accumulation (DepKind bits, see
+  /// conflicts.h). Off by default so the hot certification path pays
+  /// nothing; the isolation-level checkers enable it before the first
+  /// AddOp. Labels are accumulated on every probe hit, *before* the dedup
+  /// set suppresses re-emission, so an edge's bitmask keeps growing as new
+  /// inducing pairs appear even after the edge itself was reported.
+  void EnableLabels() { labels_enabled_ = true; }
+  bool labels_enabled() const { return labels_enabled_; }
+
+  /// Accumulated DepKind bitmask per emitted edge (empty unless
+  /// EnableLabels() was called before the ops were fed). The representative
+  /// object of every entry is this frontier's object.
+  const std::map<SiblingEdge, uint8_t>& edge_label_bits() const {
+    return label_bits_;
+  }
+
   /// Drops every summary belonging to a retired top-level family (the GC
   /// reclamation path). `retired_roots` holds children of T0 whose whole
   /// subtree is retired; the caller guarantees no future AddOp names any of
@@ -118,8 +135,10 @@ class ObjectConflictFrontier {
 
   uint32_t InternClass(const OpRecord& rec);
   bool ClassesConflict(const OpRecord& a, const OpRecord& b) const;
-  void Emit(TxName parent, TxName from, TxName to,
-            std::vector<SiblingEdge>* out);
+  /// `from_class`/`to_class` are the operation classes of the two inducing
+  /// operations — the label accumulator classifies the pair from them.
+  void Emit(TxName parent, TxName from, TxName to, uint32_t from_class,
+            uint32_t to_class, std::vector<SiblingEdge>* out);
 
   const SystemType* type_;
   ConflictMode mode_;
@@ -133,6 +152,8 @@ class ObjectConflictFrontier {
   std::vector<uint32_t> free_lists_;  // indices in lists_ freed by Retire
 
   SiblingEdgeSet dedup_;
+  bool labels_enabled_ = false;
+  std::map<SiblingEdge, uint8_t> label_bits_;
   uint64_t max_pos_ = 0;
   bool any_ops_ = false;
   FrontierStats stats_;

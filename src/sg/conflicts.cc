@@ -1,6 +1,7 @@
 #include "sg/conflicts.h"
 
 #include <algorithm>
+#include <map>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -111,6 +112,100 @@ std::vector<SiblingEdge> ConflictRelation(const SystemType& type,
   // dedup across objects here (each frontier already dedups within one).
   std::sort(edges.begin(), edges.end());
   edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  metrics.conflict_edges_emitted->Inc(total.edges_emitted);
+  metrics.frontier_hits->Inc(total.hits);
+  metrics.frontier_misses->Inc(total.misses);
+  metrics.class_pair_evals->Inc(total.class_pair_evals);
+  return edges;
+}
+
+namespace {
+
+/// Label-tracking variant of BuildObjects: runs an EnableLabels() frontier
+/// over one slice of objects and folds each object's edge bitmasks into
+/// `merged` (OR on the kinds, smallest object id as representative).
+void BuildLabeledObjects(const SystemType& type, ConflictMode mode,
+                         const std::vector<std::vector<Operation>>& per_object,
+                         const std::vector<ObjectId>& objects,
+                         std::map<SiblingEdge, EdgeLabel>* merged,
+                         FrontierStats* stats) {
+  std::vector<SiblingEdge> scratch;
+  for (ObjectId x : objects) {
+    ObjectConflictFrontier frontier(type, mode, x);
+    frontier.EnableLabels();
+    uint64_t pos = 0;
+    for (const Operation& op : per_object[x]) {
+      frontier.AddOp(op.tx, op.value, pos++, &scratch);
+    }
+    for (const auto& [edge, kinds] : frontier.edge_label_bits()) {
+      EdgeLabel& label = (*merged)[edge];
+      label.kinds |= kinds;
+      if (x < label.object) label.object = x;
+    }
+    stats->edges_emitted += frontier.stats().edges_emitted;
+    stats->hits += frontier.stats().hits;
+    stats->misses += frontier.stats().misses;
+    stats->class_pair_evals += frontier.stats().class_pair_evals;
+  }
+}
+
+}  // namespace
+
+std::vector<LabeledSiblingEdge> LabeledConflictRelation(
+    const SystemType& type, const Trace& beta, ConflictMode mode,
+    size_t num_threads) {
+  const obs::SgBuildMetrics& metrics = obs::GetSgBuildMetrics();
+  obs::SpanTimer span(metrics.batch_build_us);
+
+  Trace vis = VisibleTo(type, beta, kT0);
+  std::vector<std::vector<Operation>> per_object(type.num_objects());
+  for (const Action& a : vis) {
+    if (a.kind == ActionKind::kRequestCommit && type.IsAccess(a.tx)) {
+      per_object[type.ObjectOf(a.tx)].push_back(Operation{a.tx, a.value});
+    }
+  }
+  std::vector<ObjectId> live;
+  for (ObjectId x = 0; x < per_object.size(); ++x) {
+    if (!per_object[x].empty()) live.push_back(x);
+  }
+
+  std::map<SiblingEdge, EdgeLabel> merged;
+  FrontierStats total;
+  if (num_threads <= 1 || live.size() <= 1) {
+    BuildLabeledObjects(type, mode, per_object, live, &merged, &total);
+  } else {
+    const size_t shards = std::min(num_threads, live.size());
+    std::vector<std::vector<ObjectId>> buckets(shards);
+    for (ObjectId x : live) buckets[HashMix64(x) % shards].push_back(x);
+    std::vector<std::map<SiblingEdge, EdgeLabel>> outs(shards);
+    std::vector<FrontierStats> stats(shards);
+    std::vector<std::thread> workers;
+    workers.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      workers.emplace_back([&, s] {
+        BuildLabeledObjects(type, mode, per_object, buckets[s], &outs[s],
+                            &stats[s]);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    for (size_t s = 0; s < shards; ++s) {
+      for (const auto& [edge, label] : outs[s]) merged[edge].Merge(label);
+      total.edges_emitted += stats[s].edges_emitted;
+      total.hits += stats[s].hits;
+      total.misses += stats[s].misses;
+      total.class_pair_evals += stats[s].class_pair_evals;
+    }
+    metrics.parallel_merges->Inc(shards);
+  }
+
+  // The map is keyed by SiblingEdge's canonical (parent, from, to) order, so
+  // the result carries ConflictRelation's ordering guarantee for free.
+  std::vector<LabeledSiblingEdge> edges;
+  edges.reserve(merged.size());
+  for (const auto& [edge, label] : merged) {
+    edges.push_back(LabeledSiblingEdge{edge, label});
+  }
 
   metrics.conflict_edges_emitted->Inc(total.edges_emitted);
   metrics.frontier_hits->Inc(total.hits);

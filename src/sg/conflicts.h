@@ -35,6 +35,60 @@ struct SiblingEdge {
   }
 };
 
+/// The dependency kind of one inducing operation pair of a conflict edge
+/// (T, T'): classified by whether each endpoint's operation is a pure
+/// observer (IsModifyingOp is false) or a mutator. The isolation-level
+/// checkers (src/iso) branch on exactly one distinction — whether an edge is
+/// *purely* an anti-dependency (observer before mutator, the classic rw
+/// edge) or carries any forward dependency — so the kinds are kept as a
+/// small bitmask per edge.
+enum class DepKind : uint8_t {
+  kWriteWrite = 1,  // mutator -> mutator (ww)
+  kWriteRead = 2,   // mutator -> observer (wr, a read-from dependency)
+  kReadWrite = 4,   // observer -> mutator (rw, an anti-dependency)
+};
+
+/// Accumulated label of one conflict edge: the union of DepKind bits over
+/// every inducing operation pair, plus one representative object.
+///
+/// Exactness contract: the `kReadWrite`-only test (`anti_only()`) is exact —
+/// an edge reports anti-only iff *every* inducing pair is observer->mutator.
+/// The ww-vs-wr split inside the dependency class is best-effort under the
+/// frontier's in-order watermark suppression (a suppressed pair always has
+/// the same anti/dependency class as the pair that consumed its entry, but
+/// may differ in ww vs wr); src/iso uses that split only to *name*
+/// anomalies, never to decide a verdict.
+struct EdgeLabel {
+  uint8_t kinds = 0;  // OR of DepKind bits
+  ObjectId object = kInvalidObject;
+
+  void Add(DepKind k, ObjectId obj) {
+    kinds |= static_cast<uint8_t>(k);
+    if (object == kInvalidObject || obj < object) object = obj;
+  }
+  bool Has(DepKind k) const {
+    return (kinds & static_cast<uint8_t>(k)) != 0;
+  }
+  /// Every inducing pair was observer->mutator: a pure anti-dependency.
+  bool anti_only() const {
+    return kinds == static_cast<uint8_t>(DepKind::kReadWrite);
+  }
+  void Merge(const EdgeLabel& other) {
+    kinds |= other.kinds;
+    if (other.object < object) object = other.object;
+  }
+};
+
+/// A conflict edge together with its accumulated dependency label.
+struct LabeledSiblingEdge {
+  SiblingEdge edge;
+  EdgeLabel label;
+
+  bool operator<(const LabeledSiblingEdge& other) const {
+    return edge < other.edge;
+  }
+};
+
 /// Decides whether two access operations conflict under `mode`: the
 /// operation-level predicate behind ConflictRelation, exposed for the
 /// incremental certifier, which discovers conflicting pairs one visible
@@ -63,6 +117,16 @@ bool AccessOpsConflict(const SystemType& type, ConflictMode mode, TxName u,
 std::vector<SiblingEdge> ConflictRelation(const SystemType& type,
                                           const Trace& beta, ConflictMode mode,
                                           size_t num_threads = 1);
+
+/// conflict(β) with per-edge dependency labels: the same edge set as
+/// ConflictRelation (same ordering guarantee, same dedup), with each edge
+/// carrying the union of DepKind bits over its inducing operation pairs and
+/// a representative object. Built by the same ObjectConflictFrontier with
+/// label tracking enabled; when two objects induce the same sibling edge
+/// their labels are OR-merged and the smallest object id kept.
+std::vector<LabeledSiblingEdge> LabeledConflictRelation(
+    const SystemType& type, const Trace& beta, ConflictMode mode,
+    size_t num_threads = 1);
 
 /// precedes(β) (Section 4): (T, T') siblings whose common parent is visible
 /// to T0 in β, with a report event for T preceding REQUEST_CREATE(T') in β.

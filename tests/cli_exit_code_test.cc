@@ -9,9 +9,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
 
+#include "iso/anomaly_traces.h"
 #include "sg/certifier.h"
 #include "sim/driver.h"
 #include "tx/trace_io.h"
@@ -110,6 +112,57 @@ TEST(CliExitCodeTest, CertificationFailureReturns1AndSuccessReturns0) {
   }
   ASSERT_TRUE(found) << "no rejecting trace in 40 dirty-read seeds";
   std::remove(bad_path.c_str());
+}
+
+TEST(CliExitCodeTest, IsolateFollowsTheExitCodeContract) {
+  // Usage errors: no operand without --mine, bad flag values, and an
+  // unwritable --out archive directory — all caught before any work.
+  EXPECT_EQ(RunCli("isolate"), 2);
+  EXPECT_EQ(RunCli("isolate --mine --runs 0"), 2);
+  EXPECT_EQ(RunCli("isolate --mine --runs 2 --out /proc/no-such-ntsg/x"), 2);
+  // Missing operand file is a corrupt-trace error, same as certify/explain.
+  EXPECT_EQ(RunCli("isolate " + TempPath("ntsg_iso_does_not_exist.trace")), 4);
+
+  // A clean behavior passes every level (0), with or without --online.
+  QuickRunParams good;
+  good.config.backend = Backend::kMoss;
+  good.config.seed = 2;
+  good.num_objects = 2;
+  good.num_toplevel = 3;
+  QuickRunResult ok_run = QuickRun(good);
+  std::string ok_path = TempPath("ntsg_iso_ok.trace");
+  ASSERT_TRUE(WriteTraceFile(ok_path, *ok_run.type, ok_run.sim.trace).ok());
+  EXPECT_EQ(RunCli("isolate " + ok_path), 0);
+  EXPECT_EQ(RunCli("isolate " + ok_path + " --online"), 0);
+  std::remove(ok_path.c_str());
+
+  // An anomalous behavior fails some level (1); the incremental checker
+  // agrees, so --online still exits 1, not 3.
+  BuiltTrace skew = BuildAnomalyTrace(AnomalyTemplate::kWriteSkew);
+  std::string bad_path = TempPath("ntsg_iso_write_skew.trace");
+  ASSERT_TRUE(WriteTraceFile(bad_path, *skew.type, skew.trace).ok());
+  EXPECT_EQ(RunCli("isolate " + bad_path), 1);
+  EXPECT_EQ(RunCli("isolate " + bad_path + " --online"), 1);
+  std::remove(bad_path.c_str());
+}
+
+TEST(CliExitCodeTest, IsolateMineArchivesHitsAndExitsZero) {
+  std::string out_dir = TempPath("ntsg_iso_mine_out");
+  EXPECT_EQ(RunCli("isolate --mine --runs 8 --quiet --out " + out_dir), 0);
+  // The first template point (run 0, dirty read) always hits, so the
+  // archive holds its replayable trace plus the rendered verdict vector.
+  std::ifstream trace_in(out_dir + "/hit_0_dirty_read.trace");
+  ASSERT_TRUE(trace_in.good());
+  std::string first;
+  std::getline(trace_in, first);
+  EXPECT_EQ(first.rfind("ntsg-trace", 0), 0u) << first;
+  std::ifstream render_in(out_dir + "/hit_0_dirty_read.verdict.txt");
+  ASSERT_TRUE(render_in.good());
+  std::string render((std::istreambuf_iterator<char>(render_in)),
+                     std::istreambuf_iterator<char>());
+  EXPECT_NE(render.find("isolation verdict vector"), std::string::npos);
+  EXPECT_NE(render.find("read_committed"), std::string::npos);
+  std::filesystem::remove_all(out_dir);
 }
 
 TEST(CliExitCodeTest, TraceOutWritesEventsAndExitsZero) {

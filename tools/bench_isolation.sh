@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_isolation.json, the T12 isolation-spectrum perf
+# baseline. Runs bench_isolation with repetitions so the document carries
+# median aggregates; tools/check_bench_regression.py gates the nightly CI
+# job against it with
+#
+#   tools/check_bench_regression.py BENCH_isolation.json candidate.json \
+#     --speedup-naive BM_IsoVectorPerLevel/64 \
+#     --speedup-fast  BM_IsoVectorShared/64 --min-speedup 2.0
+#
+# (the required ratio is the saving from sharing one labeled graph across
+# all four levels instead of rebuilding the relations per level).
+#
+# Usage: tools/bench_isolation.sh [output.json]
+#   BUILD_DIR            build tree holding bench/ binaries (default: build)
+#   NTSG_BENCH_MIN_TIME  --benchmark_min_time per bench (default: 0.05)
+#   NTSG_BENCH_REPS      repetitions for the medians (default: 5)
+#
+# Numbers are machine- and build-type-specific: regenerate on the reference
+# machine when reseeding the baseline, and read deltas, not absolutes.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+MIN_TIME="${NTSG_BENCH_MIN_TIME:-0.05}"
+REPS="${NTSG_BENCH_REPS:-5}"
+OUT="${1:-BENCH_isolation.json}"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+bin="$BUILD_DIR/bench/bench_isolation"
+if [[ ! -x "$bin" ]]; then
+  echo "missing $bin — build the bench targets first" >&2
+  exit 1
+fi
+echo "running bench_isolation (reps=$REPS, min_time=$MIN_TIME)..." >&2
+"$bin" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json \
+  --benchmark_out="$workdir/isolation.json" \
+  --benchmark_out_format=json >/dev/null
+jq --arg reps "$REPS" \
+  '{schema: 1,
+    repetitions: ($reps | tonumber),
+    context: (.context | del(.date, .executable)),
+    benches: {bench_isolation:
+      [.benchmarks[] | del(.family_index, .per_family_instance_index,
+                           .run_name, .repetitions, .repetition_index,
+                           .threads)]}}' \
+  "$workdir/isolation.json" > "$OUT"
+echo "wrote $OUT" >&2

@@ -1,12 +1,20 @@
 // corpus_gen — regenerates the golden trace corpus under tests/corpus/.
 //
-//   corpus_gen <output-dir>
+//   corpus_gen <output-dir> [golden-dir]
 //
 // Each corpus entry is a seeded simulator run saved in the ntsg-trace
 // format, together with a MANIFEST.tsv line recording the expected
 // certification outcome and the canonical serialization-graph fingerprint:
 //
 //   <file> <mode> <ok|rejected> <conflict-edges> <precedes-edges> <fp-hex>
+//
+// The hand-built anomaly templates (iso/anomaly_traces.h) are emitted
+// alongside as iso_<template>.trace, pinned by ISO_MANIFEST.tsv:
+//
+//   <file> <mode> <rc> <ra> <si> <ser> <anomaly>     (pass|fail per level)
+//
+// and, when [golden-dir] is given, each template's rendered verdict vector
+// is written there as iso_<template>.verdict.txt for byte-exact comparison.
 //
 // The corpus pins today's verdicts as goldens: corpus_test replays every
 // entry through the batch, incremental, and sharded certifiers and fails on
@@ -18,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "iso/anomaly_traces.h"
+#include "iso/checker.h"
 #include "sg/certifier.h"
 #include "sg/incremental_certifier.h"
 #include "sim/driver.h"
@@ -131,13 +141,78 @@ int Generate(const std::string& out_dir) {
   return 0;
 }
 
+// Emits every hand-built anomaly template (salt 0) with its expected
+// per-level verdict vector, sanity-checking before pinning: the vector must
+// be monotone and every failing level's witness must survive the
+// independent re-verification.
+int GenerateIso(const std::string& out_dir, const std::string& golden_dir) {
+  std::ofstream manifest(out_dir + "/ISO_MANIFEST.tsv");
+  if (!manifest) {
+    std::fprintf(stderr, "cannot write %s/ISO_MANIFEST.tsv\n",
+                 out_dir.c_str());
+    return 1;
+  }
+  for (size_t i = 0; i < kNumAnomalyTemplates; ++i) {
+    AnomalyTemplate t = static_cast<AnomalyTemplate>(i);
+    const char* name = AnomalyTemplateName(t);
+    BuiltTrace built = BuildAnomalyTrace(t);
+    IsoVerdictVector vv = CheckIsolationLevels(*built.type, built.trace,
+                                               ConflictMode::kReadWrite);
+    if (!vv.Monotone()) {
+      std::fprintf(stderr, "iso_%s: verdict vector is not monotone\n", name);
+      return 1;
+    }
+    for (const IsoLevelVerdict& lv : vv.levels) {
+      if (!lv.ok && !lv.violation.witness_verified) {
+        std::fprintf(stderr, "iso_%s: %s witness failed re-verification\n",
+                     name, IsoLevelName(lv.level));
+        return 1;
+      }
+    }
+
+    std::string file = std::string("iso_") + name + ".trace";
+    Status st = WriteTraceFile(out_dir + "/" + file, *built.type,
+                               built.trace);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(), st.ToString().c_str());
+      return 1;
+    }
+    manifest << file << "\tread_write";
+    for (const IsoLevelVerdict& lv : vv.levels) {
+      manifest << "\t" << (lv.ok ? "pass" : "fail");
+    }
+    size_t first = vv.FirstFailing();
+    manifest << "\t"
+             << (vv.AllOk() ? "none"
+                            : AnomalyKindName(vv.levels[first].violation.anomaly))
+             << "\n";
+
+    if (!golden_dir.empty()) {
+      std::string golden = golden_dir + "/" + "iso_" + name + ".verdict.txt";
+      std::ofstream out(golden);
+      out << vv.ToString(*built.type);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", golden.c_str());
+        return 1;
+      }
+    }
+    std::printf("%-26s %s\n", file.c_str(),
+                vv.AllOk()
+                    ? "all pass"
+                    : AnomalyKindName(vv.levels[first].violation.anomaly));
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace ntsg
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: corpus_gen <output-dir>\n");
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr, "usage: corpus_gen <output-dir> [golden-dir]\n");
     return 2;
   }
-  return ntsg::Generate(argv[1]);
+  int rc = ntsg::Generate(argv[1]);
+  if (rc != 0) return rc;
+  return ntsg::GenerateIso(argv[1], argc == 3 ? argv[2] : "");
 }

@@ -27,6 +27,17 @@
 //                                 write the event stream to --trace-out FILE
 //                                 (required; *.json selects Chrome
 //                                 trace_event format, else NDJSON)
+//   ntsg isolate <trace-file>     check a saved behavior against the whole
+//                                 isolation spectrum (read committed, read
+//                                 atomic, snapshot isolation, serializable)
+//                                 and print the verdict vector; --online also
+//                                 streams it through the incremental checker
+//                                 and demands agreement. With --mine (no
+//                                 operand) searches workload/seed space for
+//                                 executions a weaker level accepts but
+//                                 SG(beta) rejects; --runs N sets the search
+//                                 budget, --out DIR archives each hit's
+//                                 trace and rendered verdict vector
 //
 // Exit codes (distinct so scripts can branch on the failure kind):
 //   0  success / verdicts agree
@@ -75,13 +86,18 @@
 //   --quiet           suppress the per-event trace dump
 
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include "checker/witness.h"
 #include "fault/fault_plan.h"
+#include "iso/checker.h"
+#include "iso/incremental_iso.h"
+#include "iso/miner.h"
 #include "mvto/timestamp_authority.h"
 #include "obs/families.h"
 #include "obs/metrics.h"
@@ -134,6 +150,9 @@ struct CliOptions {
   std::string trace_out;
   size_t flight_recorder = 0;
   bool quiet = false;
+  bool mine = false;        // isolate only: anomaly-miner mode
+  size_t runs = 64;         // isolate --mine: search budget
+  std::string out_dir;      // isolate --mine: hit archive directory
 };
 
 // Set by commands that know the SystemType so trace exporters and the
@@ -169,6 +188,23 @@ bool ValidateWritable(const std::string& path) {
   return true;
 }
 
+// Same fail-fast contract for an output *directory*: create it if missing,
+// then prove a file can be written inside before any mining runs.
+bool ValidateWritableDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string probe_path = dir + "/.ntsg_probe";
+  {
+    std::ofstream probe(probe_path, std::ios::trunc);
+    if (!probe) {
+      std::cerr << "cannot write into directory " << dir << "\n";
+      return false;
+    }
+  }
+  std::filesystem::remove(probe_path, ec);
+  return true;
+}
+
 bool ParseBackend(const std::string& name, Backend* out) {
   for (Backend b :
        {Backend::kMoss, Backend::kDirtyReadMoss, Backend::kNoReadLockMoss,
@@ -195,7 +231,8 @@ bool ParseType(const std::string& name, ObjectType* out) {
 }
 
 int Usage() {
-  std::cerr << "usage: ntsg run|audit|certify|sweep|chaos|stats|explain|trace"
+  std::cerr << "usage: ntsg "
+               "run|audit|certify|sweep|chaos|stats|explain|trace|isolate"
                " [options]  (see tools/ntsg_cli.cc header for the full "
                "list)\n";
   return kExitUsage;
@@ -208,6 +245,11 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
   if (opt->command == "audit" || opt->command == "certify" ||
       opt->command == "explain") {
     if (argc < 3) return false;
+    opt->trace_file = argv[2];
+    i = 3;
+  }
+  // isolate's operand is optional: --mine needs no input trace.
+  if (opt->command == "isolate" && argc >= 3 && argv[2][0] != '-') {
     opt->trace_file = argv[2];
     i = 3;
   }
@@ -317,6 +359,18 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
       }
     } else if (a == "--quiet") {
       opt->quiet = true;
+    } else if (a == "--mine") {
+      opt->mine = true;
+    } else if (a == "--runs") {
+      if (!(v = need(a.c_str()))) return false;
+      opt->runs = std::strtoull(v, nullptr, 10);
+      if (opt->runs == 0) {
+        std::cerr << "--runs requires a positive count\n";
+        return false;
+      }
+    } else if (a == "--out") {
+      if (!(v = need(a.c_str()))) return false;
+      opt->out_dir = v;
     } else {
       std::cerr << "unknown option " << a << "\n";
       return false;
@@ -325,7 +379,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
   return opt->command == "run" || opt->command == "audit" ||
          opt->command == "certify" || opt->command == "sweep" ||
          opt->command == "chaos" || opt->command == "stats" ||
-         opt->command == "explain" || opt->command == "trace";
+         opt->command == "explain" || opt->command == "trace" ||
+         opt->command == "isolate";
 }
 
 struct RunOutput {
@@ -696,6 +751,92 @@ int CmdTrace(const CliOptions& opt) {
   return kExitOk;
 }
 
+// Checks one saved behavior against the whole isolation spectrum and prints
+// the verdict vector; with --online the same trace is streamed through the
+// incremental checker and the per-level verdicts must agree. With --mine,
+// searches workload/seed space for executions a weaker level accepts but
+// SG(beta) rejects, re-verifies every witness, and (with --out) archives
+// each hit's replayable trace plus its rendered verdict vector.
+int CmdIsolate(const CliOptions& opt) {
+  if (opt.mine) {
+    MinerOptions mopt;
+    mopt.seed = opt.seed;
+    mopt.runs = opt.runs;
+    mopt.num_threads = opt.shards > 0 ? opt.shards : 1;
+    MinerReport report = MineAnomalies(mopt);
+    std::cout << "mined " << report.runs << " runs: " << report.hits.size()
+              << " hit(s), " << report.gap_hits()
+              << " accepted by a weaker level, "
+              << report.anomaly_counts.size()
+              << " distinct anomaly class(es)\n";
+    for (const auto& [anomaly, count] : report.anomaly_counts) {
+      std::cout << "  " << anomaly << ": " << count << "\n";
+    }
+    bool all_verified = true;
+    size_t archived = 0;
+    for (const MinedHit& hit : report.hits) {
+      if (!opt.quiet) {
+        std::cout << "hit run=" << hit.run_index << " source=" << hit.source
+                  << " first_failing=" << IsoLevelName(hit.first_failing)
+                  << " anomaly=" << AnomalyKindName(hit.anomaly)
+                  << " witness_verified=" << (hit.witness_verified ? "yes"
+                                                                   : "NO")
+                  << "\n";
+      }
+      all_verified = all_verified && hit.witness_verified;
+      if (!opt.out_dir.empty()) {
+        std::ostringstream stem;
+        stem << opt.out_dir << "/hit_" << hit.run_index << "_"
+             << AnomalyKindName(hit.anomaly);
+        std::ofstream trace_out(stem.str() + ".trace");
+        trace_out << hit.trace_text;
+        std::ofstream render_out(stem.str() + ".verdict.txt");
+        render_out << "source: " << hit.source << "\n" << hit.render_text;
+        if (trace_out && render_out) ++archived;
+      }
+    }
+    if (!opt.out_dir.empty()) {
+      std::cout << "archived " << archived << " hit(s) under " << opt.out_dir
+                << "\n";
+    }
+    if (!all_verified) {
+      std::cout << "MISMATCH: a mined witness failed re-verification\n";
+      return kExitMismatch;
+    }
+    return kExitOk;
+  }
+
+  SystemType type;
+  Trace beta;
+  SiblingOrders orders;
+  Status st = ReadTraceFile(opt.trace_file, &type, &beta, &orders);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return kExitTraceCorrupt;
+  }
+  ConflictMode mode = ModeFor(type);
+  SetTraceNames(type);
+  std::cout << "loaded " << opt.trace_file << " (" << beta.size()
+            << " events)\n";
+  IsoCheckOptions check;
+  check.num_threads = opt.shards > 0 ? opt.shards : 1;
+  IsoVerdictVector vv = CheckIsolationLevels(type, beta, mode, check);
+  std::cout << vv.ToString(type);
+  if (opt.online) {
+    IncrementalIsoChecker inc(type, mode);
+    inc.IngestTrace(beta);
+    IsoVerdictVector online = inc.Verdict(check);
+    bool agree = true;
+    for (size_t i = 0; i < kNumIsoLevels; ++i) {
+      agree = agree && online.levels[i].ok == vv.levels[i].ok;
+    }
+    std::cout << "incremental: " << (agree ? "agrees" : "DISAGREES")
+              << " (" << inc.actions_ingested() << " actions ingested)\n";
+    if (!agree) return kExitMismatch;
+  }
+  return vv.AllOk() ? kExitOk : kExitCertificationFailed;
+}
+
 int Dispatch(const CliOptions& opt) {
   if (opt.command == "run") return CmdRun(opt);
   if (opt.command == "audit") return CmdAudit(opt);
@@ -704,6 +845,7 @@ int Dispatch(const CliOptions& opt) {
   if (opt.command == "stats") return CmdStats(opt);
   if (opt.command == "explain") return CmdExplain(opt);
   if (opt.command == "trace") return CmdTrace(opt);
+  if (opt.command == "isolate") return CmdIsolate(opt);
   return CmdSweep(opt);
 }
 
@@ -716,6 +858,17 @@ int main(int argc, char** argv) {
   if (opt.command == "trace" && opt.trace_out.empty()) {
     std::cerr << "trace requires --trace-out FILE\n";
     return ntsg::kExitUsage;
+  }
+  if (opt.command == "isolate") {
+    if (!opt.mine && opt.trace_file.empty()) {
+      std::cerr << "isolate requires a trace file (or --mine)\n";
+      return ntsg::kExitUsage;
+    }
+    // The hit archive fails fast like --metrics-out: a bad --out is a usage
+    // error before any mining runs, not a surprise after the search.
+    if (!opt.out_dir.empty() && !ntsg::ValidateWritableDir(opt.out_dir)) {
+      return ntsg::kExitUsage;
+    }
   }
   // Output paths fail fast: a bad --metrics-out / --trace-out is a usage
   // error caught before any work runs, not a surprise afterwards.
