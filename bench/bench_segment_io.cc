@@ -1,0 +1,147 @@
+// Experiment T13: trace ingest cost, text vs binary segments. The text
+// reader re-tokenizes every line through istreams; the binary reader mmaps
+// the file and replays varint records straight out of the mapping. The
+// acceptance bar (tools/check_bench_regression.py gates it) is a >= 3x
+// median speedup of BM_BinaryIngest over BM_TextIngest on the 10k-op
+// uniform and Zipf batches. BM_BinaryIngestRle prices the optional
+// per-segment compression; the *Write benchmarks record the producer side.
+//
+// Arg(0) = uniform object popularity; Arg(110) = Zipf(1.10) — the same two
+// shapes the SG fast-path benches use (bench_util.h CachedBatch).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "bench_util.h"
+#include "tx/segment/segment_reader.h"
+#include "tx/trace_io.h"
+
+namespace ntsg {
+namespace {
+
+struct WorkloadFiles {
+  std::string text_path;
+  std::string binary_path;
+  std::string binary_rle_path;
+  size_t text_bytes = 0;
+  size_t binary_bytes = 0;
+};
+
+/// Writes the CachedBatch workload for `zipf_hundredths` once per process in
+/// all three renditions and hands back the paths.
+const WorkloadFiles& Files(int zipf_hundredths) {
+  static std::map<int, WorkloadFiles> cache;
+  auto it = cache.find(zipf_hundredths);
+  if (it == cache.end()) {
+    const bench::SyntheticBatch& batch = bench::CachedBatch(zipf_hundredths);
+    WorkloadFiles f;
+    std::string base = std::filesystem::temp_directory_path() /
+                       ("ntsg_bench_segment_io_" +
+                        std::to_string(zipf_hundredths));
+    f.text_path = base + ".trace";
+    f.binary_path = base + ".ntsgs";
+    f.binary_rle_path = base + ".rle.ntsgs";
+    Status st = WriteTraceFile(f.text_path, *batch.type, batch.trace);
+    if (st.ok()) {
+      st = seg::WriteBinaryTraceFile(f.binary_path, *batch.type, batch.trace);
+    }
+    if (st.ok()) {
+      st = seg::WriteBinaryTraceFile(f.binary_rle_path, *batch.type,
+                                     batch.trace, {}, seg::Codec::kRle);
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "workload setup failed: %s\n",
+                   st.ToString().c_str());
+      std::abort();
+    }
+    f.text_bytes = std::filesystem::file_size(f.text_path);
+    f.binary_bytes = std::filesystem::file_size(f.binary_path);
+    it = cache.emplace(zipf_hundredths, std::move(f)).first;
+  }
+  return it->second;
+}
+
+void BM_TextIngest(benchmark::State& state) {
+  const WorkloadFiles& f = Files(static_cast<int>(state.range(0)));
+  size_t events = 0;
+  for (auto _ : state) {
+    SystemType type;
+    Trace trace;
+    Status st = ReadTraceFile(f.text_path, &type, &trace);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    events = trace.size();
+    benchmark::DoNotOptimize(trace);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.text_bytes));
+  state.counters["events"] = static_cast<double>(events);
+}
+
+void BM_BinaryIngest(benchmark::State& state) {
+  const WorkloadFiles& f = Files(static_cast<int>(state.range(0)));
+  size_t events = 0;
+  for (auto _ : state) {
+    SystemType type;
+    Trace trace;
+    Status st = seg::ReadBinaryTraceFile(f.binary_path, &type, &trace);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    events = trace.size();
+    benchmark::DoNotOptimize(trace);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.binary_bytes));
+  state.counters["events"] = static_cast<double>(events);
+}
+
+void BM_BinaryIngestRle(benchmark::State& state) {
+  const WorkloadFiles& f = Files(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    SystemType type;
+    Trace trace;
+    Status st = seg::ReadBinaryTraceFile(f.binary_rle_path, &type, &trace);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    benchmark::DoNotOptimize(trace);
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(std::filesystem::file_size(f.binary_rle_path)));
+}
+
+void BM_TextWrite(benchmark::State& state) {
+  const bench::SyntheticBatch& batch =
+      bench::CachedBatch(static_cast<int>(state.range(0)));
+  std::string path = std::filesystem::temp_directory_path() /
+                     "ntsg_bench_segment_io_write.trace";
+  for (auto _ : state) {
+    Status st = WriteTraceFile(path, *batch.type, batch.trace);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  std::remove(path.c_str());
+}
+
+void BM_BinaryWrite(benchmark::State& state) {
+  const bench::SyntheticBatch& batch =
+      bench::CachedBatch(static_cast<int>(state.range(0)));
+  std::string path = std::filesystem::temp_directory_path() /
+                     "ntsg_bench_segment_io_write.ntsgs";
+  for (auto _ : state) {
+    Status st = seg::WriteBinaryTraceFile(path, *batch.type, batch.trace);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  std::remove(path.c_str());
+}
+
+BENCHMARK(BM_TextIngest)->Arg(0)->Arg(110);
+BENCHMARK(BM_BinaryIngest)->Arg(0)->Arg(110);
+BENCHMARK(BM_BinaryIngestRle)->Arg(0)->Arg(110);
+BENCHMARK(BM_TextWrite)->Arg(0)->Arg(110);
+BENCHMARK(BM_BinaryWrite)->Arg(0)->Arg(110);
+
+}  // namespace
+}  // namespace ntsg
+
+NTSG_BENCH_MAIN();

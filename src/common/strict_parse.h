@@ -1,0 +1,78 @@
+#ifndef NTSG_COMMON_STRICT_PARSE_H_
+#define NTSG_COMMON_STRICT_PARSE_H_
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+namespace ntsg {
+
+/// Strict numeric token parsing. The `strtoll(s, nullptr, 10)` idiom this
+/// replaces silently turns "abc" into 0 and "12xyz" into 12; these helpers
+/// only succeed when the *entire* token is a single in-range base-10 number:
+/// no leading whitespace, no trailing junk, no embedded NUL, no wrapping of
+/// negatives into unsigned, and ERANGE is a failure rather than a clamp.
+
+inline bool StrictParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty() || std::isspace(static_cast<unsigned char>(s[0]))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno == ERANGE || end != s.c_str() + s.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+inline bool StrictParseUint64(const std::string& s, uint64_t* out) {
+  if (s.empty() || std::isspace(static_cast<unsigned char>(s[0])) ||
+      s[0] == '-') {  // strtoull wraps negatives instead of failing
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno == ERANGE || end != s.c_str() + s.size()) return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+inline bool StrictParseUint32(const std::string& s, uint32_t* out) {
+  uint64_t v;
+  if (!StrictParseUint64(s, &v) ||
+      v > std::numeric_limits<uint32_t>::max()) {
+    return false;
+  }
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
+inline bool StrictParseInt(const std::string& s, int* out) {
+  int64_t v;
+  if (!StrictParseInt64(s, &v) || v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+inline bool StrictParseDouble(const std::string& s, double* out) {
+  if (s.empty() || std::isspace(static_cast<unsigned char>(s[0]))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (errno == ERANGE || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace ntsg
+
+#endif  // NTSG_COMMON_STRICT_PARSE_H_

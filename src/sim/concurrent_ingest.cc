@@ -43,6 +43,12 @@ ConcurrentIngestPipeline::ConcurrentIngestPipeline(
   NTSG_CHECK(config_.num_shards > 0);
   NTSG_CHECK(config_.num_stripes > 0);
   NTSG_CHECK(config_.queue_capacity > 0);
+  if (!config_.wal_dir.empty()) {
+    seg::TraceStore::Options wal_opts;
+    wal_opts.actions_per_segment = config_.wal_segment_actions;
+    wal_status_ =
+        seg::TraceStore::Create(config_.wal_dir, &type_, {}, wal_opts, &wal_);
+  }
   if (config_.fault_plan != nullptr) {
     faults_.reset(new FaultInjector(
         *config_.fault_plan,
@@ -364,6 +370,13 @@ void ConcurrentIngestPipeline::PollFaults(uint64_t tick) {
 
 void ConcurrentIngestPipeline::Ingest(const Action& a) {
   NTSG_CHECK(!finished_) << "Ingest after Finish";
+  // Log before routing: an action the pipeline saw is an action the WAL
+  // holds (modulo the unsealed tail). Disk failure latches wal_status_ and
+  // stands the log down — it never blocks the verdict.
+  if (wal_ != nullptr && wal_status_.ok()) {
+    wal_status_ = wal_->Append(a);
+    if (wal_status_.ok()) ++wal_appended_;
+  }
   obs::GetIngestMetrics().actions_ingested->Inc();
   if (faults_ != nullptr) PollFaults(pos_);
   uint64_t pos = pos_++;
@@ -716,6 +729,16 @@ void ConcurrentIngestPipeline::RetireFamilies(const std::vector<TxName>& roots) 
     stripe->graph.CompactOrders();
   }
 
+  // Retired families make whole sealed WAL segments droppable: a segment
+  // every one of whose actions belongs to a retired family can never be
+  // needed by recovery again.
+  if (wal_ != nullptr && wal_status_.ok()) {
+    size_t dropped = 0;
+    wal_status_ = wal_->DropRetiredSegments(
+        [this](TxName root) { return book_.IsRetired(root); }, &dropped);
+    wal_segments_dropped_ += dropped;
+  }
+
   // Fan the cumulative retired set out so each shard prunes its object
   // states before it applies anything the router routes after this pass.
   auto cumulative =
@@ -813,6 +836,15 @@ ConcurrentIngestReport ConcurrentIngestPipeline::Finish() {
     gc_stats_.pruned_ops = gc_pruned_ops_.load(std::memory_order_relaxed);
     report.gc = gc_stats_;
     report.retired_roots = book_.SortedRetiredRoots();
+  }
+  if (wal_ != nullptr) {
+    // Seal the tail so the directory ends at a durable boundary; everything
+    // before this line already survives as a scannable unsealed tail.
+    if (wal_status_.ok()) wal_status_ = wal_->SealActive();
+    report.wal_appended = wal_appended_;
+    report.wal_segments_sealed = wal_->num_sealed_segments();
+    report.wal_segments_dropped = wal_segments_dropped_;
+    report.wal_status = wal_status_;
   }
   for (Shard& shard : shards_) shard.queue_depth->Set(0);
   return report;

@@ -18,6 +18,7 @@
 #include "obs/metrics.h"
 #include "sg/gc_watermark.h"
 #include "sg/incremental_certifier.h"
+#include "tx/segment/trace_store.h"
 #include "tx/trace.h"
 
 namespace ntsg {
@@ -61,6 +62,17 @@ struct ConcurrentIngestConfig {
   /// fingerprint — is identical to a solo certifier's at the same interval;
   /// under faults, delivery holdbacks lower the watermark, never raise it.
   size_t gc_interval = 0;
+
+  /// Non-empty enables the segment write-ahead log: the router appends every
+  /// ingested action to a TraceStore under this directory *before* routing
+  /// it, so a crash of the whole pipeline loses at most the unsealed tail
+  /// (and even that is scanned best-effort on reopen). Appends are
+  /// router-side only — worker crashes and delivery faults never cost
+  /// logged actions. When GC is also on, sealed segments whose families
+  /// have all been retired are unlinked at each retirement pass.
+  std::string wal_dir;
+  /// Actions per WAL segment before the router seals it and rolls.
+  uint64_t wal_segment_actions = 4096;
 };
 
 struct ConcurrentIngestReport {
@@ -82,6 +94,13 @@ struct ConcurrentIngestReport {
   /// IncrementalCertifier::FingerprintLiveScope when a test compares this
   /// pipeline's pruned fingerprint against an unpruned reference.
   std::vector<TxName> retired_roots;
+  /// Write-ahead-log activity (all zero / Ok when wal_dir is empty). A
+  /// non-Ok wal_status means the log on disk is not trustworthy even though
+  /// the in-memory verdict is.
+  uint64_t wal_appended = 0;
+  uint64_t wal_segments_sealed = 0;
+  uint64_t wal_segments_dropped = 0;
+  Status wal_status;
 
   bool ok() const { return appropriate && acyclic; }
 };
@@ -300,6 +319,13 @@ class ConcurrentIngestPipeline {
   bool gc_rejected_ = false;
   /// Ops folded into replay checkpoints, summed across worker threads.
   std::atomic<uint64_t> gc_pruned_ops_{0};
+  /// Segment write-ahead log (router-owned; null when wal_dir is empty).
+  /// The first append/seal/drop failure latches wal_status_ and disables
+  /// further writes — the certification verdict is never blocked on disk.
+  std::unique_ptr<seg::TraceStore> wal_;
+  Status wal_status_;
+  uint64_t wal_appended_ = 0;
+  uint64_t wal_segments_dropped_ = 0;
 
   // Shared state.
   std::vector<Shard> shards_;

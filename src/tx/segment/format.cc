@@ -1,0 +1,425 @@
+#include "tx/segment/format.h"
+
+#include <cstring>
+
+namespace ntsg::seg {
+
+namespace {
+
+inline void PutU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+inline void PutU64(uint8_t* p, uint64_t v) {
+  PutU32(p, static_cast<uint32_t>(v));
+  PutU32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+inline uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+// The same value-vs-OK split the text format's "ok" token makes.
+constexpr uint8_t kValueOk = 0;
+constexpr uint8_t kValueInt = 1;
+
+bool KindHasValue(ActionKind kind) {
+  return kind == ActionKind::kRequestCommit ||
+         kind == ActionKind::kReportCommit;
+}
+
+bool KindHasObject(ActionKind kind) {
+  return kind == ActionKind::kInformCommit || kind == ActionKind::kInformAbort;
+}
+
+// Caps that bound decoder allocations on corrupt input before any payload
+// CRC check runs (the tail-recovery scan decodes unchecked bytes).
+constexpr uint64_t kMaxObjectNameLen = 1u << 16;
+constexpr uint64_t kMaxDecl = 1u << 28;  // objects / names / orders / children
+
+const uint32_t* Crc32cTable() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+void EncodeHeader(const SegmentHeader& h, uint8_t out[kHeaderSize]) {
+  std::memcpy(out, kMagic, sizeof(kMagic));
+  PutU32(out + 8, h.version);
+  PutU32(out + 12, static_cast<uint32_t>(h.kind));
+  PutU64(out + 16, h.type_fingerprint);
+  PutU64(out + 24, h.action_count);
+  PutU64(out + 32, h.payload_len);
+  PutU64(out + 40, h.first_pos);
+  PutU32(out + 48, static_cast<uint32_t>(h.codec));
+  PutU32(out + 52, h.flags);
+  PutU32(out + 56, h.payload_crc);
+  PutU32(out + 60, Crc32c(out, 60));
+}
+
+Status DecodeHeader(const uint8_t* p, size_t n, SegmentHeader* out) {
+  if (n < kHeaderSize) {
+    return Status::Corruption("segment header truncated");
+  }
+  if (std::memcmp(p, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad segment magic");
+  }
+  if (GetU32(p + 60) != Crc32c(p, 60)) {
+    return Status::Corruption("segment header CRC mismatch");
+  }
+  out->version = GetU32(p + 8);
+  if (out->version == 0 || out->version > kFormatVersion) {
+    return Status::Corruption("unsupported segment format version " +
+                              std::to_string(out->version));
+  }
+  uint32_t kind = GetU32(p + 12);
+  if (kind > static_cast<uint32_t>(SegmentKind::kActions)) {
+    return Status::Corruption("unknown segment kind");
+  }
+  out->kind = static_cast<SegmentKind>(kind);
+  out->type_fingerprint = GetU64(p + 16);
+  out->action_count = GetU64(p + 24);
+  out->payload_len = GetU64(p + 32);
+  out->first_pos = GetU64(p + 40);
+  uint32_t codec = GetU32(p + 48);
+  if (codec > static_cast<uint32_t>(Codec::kRle)) {
+    return Status::Corruption("unknown segment codec");
+  }
+  out->codec = static_cast<Codec>(codec);
+  out->flags = GetU32(p + 52);
+  if ((out->flags & ~(kFlagSealed | kFlagLast)) != 0) {
+    return Status::Corruption("unknown segment flags");
+  }
+  out->payload_crc = GetU32(p + 56);
+  return Status::Ok();
+}
+
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint(const uint8_t** p, const uint8_t* end, uint64_t* out) {
+  uint64_t v = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    if (*p == end) return false;
+    uint8_t b = *(*p)++;
+    v |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) {
+      // Reject non-canonical overlong encodings that smuggle bits past 64.
+      if (shift == 63 && b > 1) return false;
+      *out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  const uint32_t* table = Crc32cTable();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+uint64_t Fingerprint64(const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::string RleCompress(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() / 2 + 16);
+  size_t i = 0;
+  while (i < raw.size()) {
+    // Measure the run at i.
+    size_t run = 1;
+    while (i + run < raw.size() && raw[i + run] == raw[i] && run < 129) ++run;
+    if (run >= 2) {
+      out.push_back(static_cast<char>(0x80 + (run - 2)));
+      out.push_back(raw[i]);
+      i += run;
+      continue;
+    }
+    // Accumulate a literal stretch until the next run of >= 3 (a run of 2
+    // inside a literal is cheaper left literal than split).
+    size_t start = i;
+    while (i < raw.size()) {
+      size_t ahead = 1;
+      while (i + ahead < raw.size() && raw[i + ahead] == raw[i] && ahead < 3) {
+        ++ahead;
+      }
+      if (ahead >= 3) break;
+      // A literal control byte can cover at most 128 bytes (len - 1 must
+      // stay below the 0x80 repeat marker), so never step past that.
+      if (i - start + ahead > 128) break;
+      i += ahead;
+    }
+    size_t len = i - start;
+    if (len == 0) {  // the stretch opens with a 3+ run; loop around
+      continue;
+    }
+    out.push_back(static_cast<char>(len - 1));
+    out.append(raw.substr(start, len));
+  }
+  return out;
+}
+
+Status RleDecompress(std::string_view compressed, std::string* out) {
+  out->clear();
+  size_t i = 0;
+  while (i < compressed.size()) {
+    uint8_t c = static_cast<uint8_t>(compressed[i++]);
+    if (c < 0x80) {
+      size_t len = static_cast<size_t>(c) + 1;
+      if (i + len > compressed.size()) {
+        return Status::Corruption("RLE literal run truncated");
+      }
+      out->append(compressed.substr(i, len));
+      i += len;
+    } else {
+      if (i >= compressed.size()) {
+        return Status::Corruption("RLE repeat run truncated");
+      }
+      out->append(static_cast<size_t>(c - 0x80) + 2, compressed[i++]);
+    }
+  }
+  return Status::Ok();
+}
+
+void AppendActionRecord(std::string* out, const Action& a) {
+  out->push_back(static_cast<char>(a.kind));
+  PutVarint(out, a.tx);
+  if (KindHasValue(a.kind)) {
+    if (a.value.is_ok()) {
+      out->push_back(static_cast<char>(kValueOk));
+    } else {
+      out->push_back(static_cast<char>(kValueInt));
+      PutVarint(out, ZigzagEncode(a.value.AsInt()));
+    }
+  }
+  if (KindHasObject(a.kind)) {
+    PutVarint(out, a.at_object);
+  }
+}
+
+Status DecodeActionRecord(const uint8_t** p, const uint8_t* end,
+                          const SystemType& type, Action* out) {
+  if (*p == end) return Status::Corruption("action record truncated");
+  uint8_t kind_byte = *(*p)++;
+  if (kind_byte > static_cast<uint8_t>(ActionKind::kInformAbort)) {
+    return Status::Corruption("unknown action kind byte");
+  }
+  ActionKind kind = static_cast<ActionKind>(kind_byte);
+  uint64_t tx;
+  if (!GetVarint(p, end, &tx)) {
+    return Status::Corruption("action record truncated (tx)");
+  }
+  if (tx >= type.num_names()) {
+    return Status::Corruption("action names undeclared transaction");
+  }
+  *out = Action{};
+  out->kind = kind;
+  out->tx = static_cast<TxName>(tx);
+  if (KindHasValue(kind)) {
+    if (*p == end) return Status::Corruption("action record truncated (value)");
+    uint8_t tag = *(*p)++;
+    if (tag == kValueOk) {
+      out->value = Value::Ok();
+    } else if (tag == kValueInt) {
+      uint64_t z;
+      if (!GetVarint(p, end, &z)) {
+        return Status::Corruption("action record truncated (value payload)");
+      }
+      out->value = Value::Int(ZigzagDecode(z));
+    } else {
+      return Status::Corruption("unknown value tag");
+    }
+  }
+  if (KindHasObject(kind)) {
+    uint64_t obj;
+    if (!GetVarint(p, end, &obj)) {
+      return Status::Corruption("action record truncated (object)");
+    }
+    if (obj >= type.num_objects()) {
+      return Status::Corruption("action names unknown object");
+    }
+    out->at_object = static_cast<ObjectId>(obj);
+  }
+  return Status::Ok();
+}
+
+std::string EncodeSystemPayload(const SystemType& type,
+                                const SiblingOrders& orders) {
+  std::string out;
+  PutVarint(&out, type.num_objects());
+  for (ObjectId x = 0; x < type.num_objects(); ++x) {
+    out.push_back(static_cast<char>(type.object_type(x)));
+    PutVarint(&out, ZigzagEncode(type.object_initial(x)));
+    const std::string& name = type.object_name(x);
+    PutVarint(&out, name.size());
+    out.append(name);
+  }
+  PutVarint(&out, type.num_names());
+  for (TxName t = 1; t < type.num_names(); ++t) {
+    PutVarint(&out, type.parent(t));
+    if (type.IsAccess(t)) {
+      const AccessSpec& acc = type.access(t);
+      out.push_back(1);
+      PutVarint(&out, acc.object);
+      out.push_back(static_cast<char>(acc.op));
+      PutVarint(&out, ZigzagEncode(acc.arg));
+    } else {
+      out.push_back(0);
+    }
+  }
+  PutVarint(&out, orders.size());
+  for (const auto& [parent, children] : orders) {
+    PutVarint(&out, parent);
+    PutVarint(&out, children.size());
+    for (TxName c : children) PutVarint(&out, c);
+  }
+  return out;
+}
+
+Status DecodeSystemPayload(const uint8_t* p, size_t n, SystemType* type,
+                           SiblingOrders* orders) {
+  if (type->num_objects() != 0 || type->num_names() != 1) {
+    return Status::InvalidArgument("target SystemType must be empty");
+  }
+  const uint8_t* end = p + n;
+  uint64_t num_objects;
+  if (!GetVarint(&p, end, &num_objects) || num_objects > kMaxDecl) {
+    return Status::Corruption("system payload truncated (object count)");
+  }
+  for (uint64_t x = 0; x < num_objects; ++x) {
+    if (p == end) return Status::Corruption("object table truncated");
+    uint8_t otype = *p++;
+    if (otype > static_cast<uint8_t>(ObjectType::kBankAccount)) {
+      return Status::Corruption("unknown object type byte");
+    }
+    uint64_t zinitial, name_len;
+    if (!GetVarint(&p, end, &zinitial) || !GetVarint(&p, end, &name_len) ||
+        name_len > kMaxObjectNameLen ||
+        name_len > static_cast<uint64_t>(end - p)) {
+      return Status::Corruption("object table truncated");
+    }
+    std::string name(reinterpret_cast<const char*>(p),
+                     static_cast<size_t>(name_len));
+    p += name_len;
+    type->AddObject(static_cast<ObjectType>(otype), std::move(name),
+                    ZigzagDecode(zinitial));
+  }
+  uint64_t num_names;
+  if (!GetVarint(&p, end, &num_names) || num_names == 0 ||
+      num_names > kMaxDecl) {
+    return Status::Corruption("system payload truncated (name count)");
+  }
+  for (uint64_t t = 1; t < num_names; ++t) {
+    uint64_t parent;
+    if (!GetVarint(&p, end, &parent) || p == end) {
+      return Status::Corruption("name arena truncated");
+    }
+    if (parent >= t) return Status::Corruption("parent not yet declared");
+    if (type->IsAccess(static_cast<TxName>(parent))) {
+      return Status::Corruption("accesses are leaves (access given a child)");
+    }
+    uint8_t has_access = *p++;
+    if (has_access == 0) {
+      type->NewChild(static_cast<TxName>(parent));
+    } else if (has_access == 1) {
+      uint64_t obj;
+      if (!GetVarint(&p, end, &obj) || p == end) {
+        return Status::Corruption("access spec truncated");
+      }
+      if (obj >= type->num_objects()) {
+        return Status::Corruption("access names unknown object");
+      }
+      uint8_t op = *p++;
+      if (op > static_cast<uint8_t>(OpCode::kBalance)) {
+        return Status::Corruption("unknown op byte");
+      }
+      uint64_t zarg;
+      if (!GetVarint(&p, end, &zarg)) {
+        return Status::Corruption("access spec truncated (arg)");
+      }
+      if (!OpValidForType(type->object_type(static_cast<ObjectId>(obj)),
+                          static_cast<OpCode>(op))) {
+        return Status::Corruption("op invalid for object type");
+      }
+      type->NewAccess(static_cast<TxName>(parent),
+                      AccessSpec{static_cast<ObjectId>(obj),
+                                 static_cast<OpCode>(op), ZigzagDecode(zarg)});
+    } else {
+      return Status::Corruption("bad access marker");
+    }
+  }
+  uint64_t num_orders;
+  if (!GetVarint(&p, end, &num_orders) || num_orders > kMaxDecl) {
+    return Status::Corruption("system payload truncated (order count)");
+  }
+  for (uint64_t i = 0; i < num_orders; ++i) {
+    uint64_t parent, count;
+    if (!GetVarint(&p, end, &parent) || !GetVarint(&p, end, &count) ||
+        count > kMaxDecl) {
+      return Status::Corruption("sibling order truncated");
+    }
+    if (parent >= type->num_names()) {
+      return Status::Corruption("unknown order parent");
+    }
+    std::vector<TxName> children;
+    children.reserve(static_cast<size_t>(count));
+    for (uint64_t k = 0; k < count; ++k) {
+      uint64_t child;
+      if (!GetVarint(&p, end, &child)) {
+        return Status::Corruption("sibling order truncated");
+      }
+      if (child >= type->num_names() ||
+          type->parent(static_cast<TxName>(child)) !=
+              static_cast<TxName>(parent)) {
+        return Status::Corruption(
+            "order child is not a child of the stated parent");
+      }
+      children.push_back(static_cast<TxName>(child));
+    }
+    if (orders != nullptr) {
+      (*orders)[static_cast<TxName>(parent)] = std::move(children);
+    }
+  }
+  if (p != end) return Status::Corruption("trailing bytes in system payload");
+  return Status::Ok();
+}
+
+}  // namespace ntsg::seg

@@ -1,0 +1,138 @@
+#ifndef NTSG_TX_SEGMENT_FORMAT_H_
+#define NTSG_TX_SEGMENT_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "tx/trace.h"
+#include "tx/trace_io.h"
+
+namespace ntsg::seg {
+
+/// The compact binary trace format (DESIGN.md §12). A binary trace is a
+/// sequence of *segments*; each segment is a fixed 64-byte little-endian
+/// header followed by a payload. The first segment encodes the SystemType
+/// (plus any sibling orders); every following segment packs a run of
+/// actions as varints. Headers and payloads are independently protected by
+/// CRC32C, and every action segment carries the fingerprint of the system
+/// payload it belongs to, so segments from different systems cannot be
+/// stitched together silently.
+///
+/// Header layout (all fields little-endian):
+///
+///   offset  size  field
+///   0       8     magic "NTSGSEG1"
+///   8       4     format version (currently 1)
+///   12      4     segment kind (0 = system, 1 = actions)
+///   16      8     system-type fingerprint (FNV-1a 64 of the system payload)
+///   24      8     action count (0 for system segments)
+///   32      8     payload byte length, as stored (post-codec)
+///   40      8     first action position (global index; 0 for system)
+///   48      4     codec (0 = raw varints, 1 = RLE over the raw bytes)
+///   52      4     flags (bit 0: sealed; bit 1: last segment of an image)
+///   56      4     CRC32C of the stored payload bytes
+///   60      4     CRC32C of header bytes [0, 60)
+///
+/// A segment is *sealed* once its final header (counts, CRCs, sealed flag)
+/// has been rewritten and fsync'd; until then the header on disk carries
+/// zero counts and a clear sealed bit, which is how crash recovery tells a
+/// write-ahead tail from a complete segment.
+inline constexpr char kMagic[8] = {'N', 'T', 'S', 'G', 'S', 'E', 'G', '1'};
+inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr size_t kHeaderSize = 64;
+
+enum class SegmentKind : uint32_t {
+  kSystem = 0,   // payload = EncodeSystemPayload
+  kActions = 1,  // payload = a run of action records
+};
+
+enum class Codec : uint32_t {
+  kRaw = 0,  // varint-packed records, stored as encoded
+  kRle = 1,  // byte-level run-length encoding over the raw bytes
+};
+
+inline constexpr uint32_t kFlagSealed = 1u;
+/// Marks the final segment of a self-contained trace image (a .ntsgs file).
+/// Without it, chopping a whole trailing segment off a file would still
+/// decode — as a silently shorter trace. Directory stores (TraceStore) never
+/// set it: their segment count is open-ended by design.
+inline constexpr uint32_t kFlagLast = 2u;
+
+struct SegmentHeader {
+  uint32_t version = kFormatVersion;
+  SegmentKind kind = SegmentKind::kActions;
+  uint64_t type_fingerprint = 0;
+  uint64_t action_count = 0;
+  uint64_t payload_len = 0;
+  uint64_t first_pos = 0;
+  Codec codec = Codec::kRaw;
+  uint32_t flags = 0;
+  uint32_t payload_crc = 0;
+
+  bool sealed() const { return (flags & kFlagSealed) != 0; }
+  bool last() const { return (flags & kFlagLast) != 0; }
+};
+
+/// Serializes `h` into exactly kHeaderSize bytes (computing the header CRC).
+void EncodeHeader(const SegmentHeader& h, uint8_t out[kHeaderSize]);
+
+/// Validates magic, version, and the header CRC; fills `out` on success.
+/// `n` is the number of bytes available at `p` (short reads are Corruption).
+Status DecodeHeader(const uint8_t* p, size_t n, SegmentHeader* out);
+
+// --- Primitive codecs ------------------------------------------------------
+
+/// LEB128 varint append / bounded decode. Decode fails (returns false) on
+/// truncation or a value wider than 64 bits.
+void PutVarint(std::string* out, uint64_t v);
+bool GetVarint(const uint8_t** p, const uint8_t* end, uint64_t* out);
+
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// CRC32C (Castagnoli), table-driven. `seed` chains incremental updates:
+/// Crc32c(b, n2, Crc32c(a, n1)) == Crc32c(a+b).
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+/// 64-bit FNV-1a, used as the system-type fingerprint embedded in every
+/// action segment header.
+uint64_t Fingerprint64(const void* data, size_t n);
+
+/// Byte-level run-length codec — the built-in `Codec::kRle`. Control byte
+/// 0x00-0x7F announces a literal run of (c + 1) bytes; 0x80-0xFF announces
+/// (c - 0x80 + 2) repeats of the next byte. Deliberately simple: the codec
+/// field exists so a real compressor can slot in without a format bump.
+std::string RleCompress(std::string_view raw);
+Status RleDecompress(std::string_view compressed, std::string* out);
+
+// --- Record codecs ---------------------------------------------------------
+
+/// Appends one action record: kind byte, varint tx, then (for kinds that
+/// carry one) a value tag + zigzag payload and/or a varint object id.
+void AppendActionRecord(std::string* out, const Action& a);
+
+/// Decodes one record, advancing *p; validates the kind byte and that tx /
+/// object ids are dense in `type` (the same checks the text parser makes).
+Status DecodeActionRecord(const uint8_t** p, const uint8_t* end,
+                          const SystemType& type, Action* out);
+
+/// System payload: object table, name arena (parents + access specs), and
+/// sibling orders, all varint-packed. Decode targets a fresh SystemType
+/// (no objects, only T0) and validates every structural invariant the text
+/// parser enforces — dense ids, declared parents, access parents being
+/// composites, ops valid for their object's type.
+std::string EncodeSystemPayload(const SystemType& type,
+                                const SiblingOrders& orders);
+Status DecodeSystemPayload(const uint8_t* p, size_t n, SystemType* type,
+                           SiblingOrders* orders);
+
+}  // namespace ntsg::seg
+
+#endif  // NTSG_TX_SEGMENT_FORMAT_H_

@@ -1,0 +1,274 @@
+#include "tx/segment/segment_reader.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "tx/segment/segment_writer.h"
+
+namespace ntsg::seg {
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(const_cast<uint8_t*>(data_), size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+Status MappedFile::Open(const std::string& path, MappedFile* out) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::Internal("fstat " + path + ": " + std::strerror(errno));
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::Internal(path + " is not a regular file");
+  }
+  MappedFile mapped;
+  if (st.st_size > 0) {
+    void* p = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                     MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) {
+      ::close(fd);
+      return Status::Internal("mmap " + path + ": " + std::strerror(errno));
+    }
+    mapped.data_ = static_cast<const uint8_t*>(p);
+    mapped.size_ = static_cast<size_t>(st.st_size);
+  }
+  ::close(fd);
+  *out = std::move(mapped);
+  return Status::Ok();
+}
+
+Status SegmentCursor::Next(SegmentView* out) {
+  tail_ = nullptr;
+  tail_len_ = 0;
+  if (done()) return Status::Corruption("no more segments");
+
+  SegmentHeader h;
+  NTSG_RETURN_IF_ERROR(DecodeHeader(p_, static_cast<size_t>(end_ - p_), &h));
+  p_ += kHeaderSize;
+
+  if (!h.sealed()) {
+    // Write-ahead tail: everything to end-of-range is unverified bytes.
+    out->header = h;
+    out->payload = p_;
+    out->payload_len = 0;
+    tail_ = p_;
+    tail_len_ = static_cast<size_t>(end_ - p_);
+    p_ = end_;
+    return Status::Ok();
+  }
+
+  if (h.payload_len > static_cast<uint64_t>(end_ - p_)) {
+    return Status::Corruption("segment payload truncated");
+  }
+  size_t len = static_cast<size_t>(h.payload_len);
+  if (Crc32c(p_, len) != h.payload_crc) {
+    return Status::Corruption("segment payload CRC mismatch");
+  }
+  out->header = h;
+  out->payload = p_;
+  out->payload_len = len;
+  p_ += len;
+  return Status::Ok();
+}
+
+Status DecodeActionsInto(const SegmentView& view, const SystemType& type,
+                         Trace* trace, std::string* scratch) {
+  const uint8_t* p = view.payload;
+  const uint8_t* end = p + view.payload_len;
+  if (view.header.codec == Codec::kRle) {
+    NTSG_RETURN_IF_ERROR(RleDecompress(
+        std::string_view(reinterpret_cast<const char*>(view.payload),
+                         view.payload_len),
+        scratch));
+    p = reinterpret_cast<const uint8_t*>(scratch->data());
+    end = p + scratch->size();
+  }
+  uint64_t decoded = 0;
+  Action a;
+  while (p != end) {
+    NTSG_RETURN_IF_ERROR(DecodeActionRecord(&p, end, type, &a));
+    trace->push_back(a);
+    ++decoded;
+  }
+  if (decoded != view.header.action_count) {
+    return Status::Corruption("segment action count mismatch: header says " +
+                              std::to_string(view.header.action_count) +
+                              ", payload holds " + std::to_string(decoded));
+  }
+  return Status::Ok();
+}
+
+Status DecodeBinaryTrace(const uint8_t* data, size_t size, SystemType* type,
+                         Trace* trace, SiblingOrders* orders) {
+  SegmentCursor cursor(data, size);
+  if (cursor.done()) return Status::Corruption("empty binary trace");
+
+  SegmentView view;
+  NTSG_RETURN_IF_ERROR(cursor.Next(&view));
+  if (view.header.kind != SegmentKind::kSystem) {
+    return Status::Corruption("binary trace must start with a system segment");
+  }
+  if (!view.header.sealed()) {
+    return Status::Corruption("system segment is unsealed");
+  }
+
+  std::string scratch;
+  const uint8_t* sys_payload = view.payload;
+  size_t sys_len = view.payload_len;
+  if (view.header.codec == Codec::kRle) {
+    NTSG_RETURN_IF_ERROR(RleDecompress(
+        std::string_view(reinterpret_cast<const char*>(view.payload),
+                         view.payload_len),
+        &scratch));
+    sys_payload = reinterpret_cast<const uint8_t*>(scratch.data());
+    sys_len = scratch.size();
+  }
+  uint64_t fingerprint = Fingerprint64(sys_payload, sys_len);
+  if (view.header.type_fingerprint != fingerprint) {
+    return Status::Corruption("system segment fingerprint mismatch");
+  }
+  NTSG_RETURN_IF_ERROR(DecodeSystemPayload(sys_payload, sys_len, type, orders));
+
+  if (view.header.last() && !cursor.done()) {
+    return Status::Corruption("segments after the marked-last segment");
+  }
+
+  uint64_t next_pos = 0;
+  std::string action_scratch;
+  bool saw_last = view.header.last();
+  while (!cursor.done()) {
+    NTSG_RETURN_IF_ERROR(cursor.Next(&view));
+    if (view.header.kind != SegmentKind::kActions) {
+      return Status::Corruption("duplicate system segment");
+    }
+    if (!view.header.sealed()) {
+      return Status::Corruption("unsealed action segment in binary trace");
+    }
+    if (view.header.last() && !cursor.done()) {
+      return Status::Corruption("segments after the marked-last segment");
+    }
+    saw_last = view.header.last();
+    if (view.header.type_fingerprint != fingerprint) {
+      return Status::Corruption(
+          "action segment belongs to a different system type");
+    }
+    if (view.header.first_pos != next_pos) {
+      return Status::Corruption("action segments out of order or gapped");
+    }
+    NTSG_RETURN_IF_ERROR(
+        DecodeActionsInto(view, *type, trace, &action_scratch));
+    next_pos += view.header.action_count;
+  }
+  if (!saw_last) {
+    return Status::Corruption(
+        "binary trace truncated at a segment boundary (no last-segment mark)");
+  }
+  return Status::Ok();
+}
+
+std::string SerializeBinaryTrace(const SystemType& type, const Trace& trace,
+                                 const SiblingOrders& orders, Codec codec,
+                                 uint64_t actions_per_segment) {
+  if (actions_per_segment == 0) actions_per_segment = 1;
+  std::string out;
+
+  std::string sys_payload = EncodeSystemPayload(type, orders);
+  uint64_t fingerprint = Fingerprint64(sys_payload.data(), sys_payload.size());
+  // kFlagLast marks the image's final segment so a truncation that drops a
+  // whole trailing segment cannot pass as a shorter-but-valid trace.
+  AppendSealedSegment(&out, SegmentKind::kSystem, fingerprint,
+                      /*action_count=*/0, /*first_pos=*/0, codec, sys_payload,
+                      trace.empty() ? kFlagLast : 0);
+
+  std::string payload;
+  for (size_t first = 0; first < trace.size(); first += actions_per_segment) {
+    size_t count =
+        std::min<size_t>(actions_per_segment, trace.size() - first);
+    payload.clear();
+    for (size_t i = 0; i < count; ++i) {
+      AppendActionRecord(&payload, trace[first + i]);
+    }
+    AppendSealedSegment(&out, SegmentKind::kActions, fingerprint, count, first,
+                        codec, payload,
+                        first + count == trace.size() ? kFlagLast : 0);
+  }
+  return out;
+}
+
+Status ReadBinaryTraceFile(const std::string& path, SystemType* type,
+                           Trace* trace, SiblingOrders* orders) {
+  MappedFile mapped;
+  NTSG_RETURN_IF_ERROR(MappedFile::Open(path, &mapped));
+  return DecodeBinaryTrace(mapped.data(), mapped.size(), type, trace, orders);
+}
+
+Status WriteBinaryTraceFile(const std::string& path, const SystemType& type,
+                            const Trace& trace, const SiblingOrders& orders,
+                            Codec codec, uint64_t actions_per_segment) {
+  std::string image =
+      SerializeBinaryTrace(type, trace, orders, codec, actions_per_segment);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing: " +
+                            std::strerror(errno));
+  }
+  size_t written = image.empty() ? 0 : std::fwrite(image.data(), 1, image.size(), f);
+  bool flushed = std::fflush(f) == 0;
+  bool closed = std::fclose(f) == 0;
+  if (written != image.size() || !flushed || !closed) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+Result<bool> SniffBinaryTraceFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  char head[sizeof(kMagic)];
+  size_t got = std::fread(head, 1, sizeof(head), f);
+  std::fclose(f);
+  return got == sizeof(head) && std::memcmp(head, kMagic, sizeof(head)) == 0;
+}
+
+Status ReadTraceFileAuto(const std::string& path, SystemType* type,
+                         Trace* trace, SiblingOrders* orders) {
+  Result<bool> binary = SniffBinaryTraceFile(path);
+  if (!binary.ok()) return binary.status();
+  if (*binary) {
+    return ReadBinaryTraceFile(path, type, trace, orders);
+  }
+  return ReadTraceFile(path, type, trace, orders);
+}
+
+}  // namespace ntsg::seg

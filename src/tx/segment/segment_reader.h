@@ -1,0 +1,116 @@
+#ifndef NTSG_TX_SEGMENT_SEGMENT_READER_H_
+#define NTSG_TX_SEGMENT_SEGMENT_READER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "tx/segment/format.h"
+
+namespace ntsg::seg {
+
+/// Read-only mmap of a whole file. Movable, not copyable; unmaps on
+/// destruction. Empty files map to (nullptr, 0), which the cursor treats as
+/// zero segments.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// NotFound if the file cannot be opened; Internal on stat/mmap failure.
+  static Status Open(const std::string& path, MappedFile* out);
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// One decoded segment inside a larger mapping. `payload` points into the
+/// mapping (as stored, i.e. post-codec) — no copy is made.
+struct SegmentView {
+  SegmentHeader header;
+  const uint8_t* payload = nullptr;
+  size_t payload_len = 0;
+};
+
+/// Cursor over back-to-back segments in a byte range. Next() validates the
+/// header (magic, version, CRC), bounds-checks the payload length against
+/// the remaining bytes, and verifies the payload CRC for sealed segments.
+/// Unsealed headers carry zero counts, so their nominal payload is empty —
+/// the bytes after an unsealed header up to end-of-range are the write-ahead
+/// tail, exposed via `tail`/`tail_len` for best-effort recovery scans.
+class SegmentCursor {
+ public:
+  SegmentCursor(const uint8_t* p, size_t n) : p_(p), end_(p + n) {}
+
+  bool done() const { return p_ == end_; }
+
+  /// Advances past the next segment. After an unsealed segment the cursor is
+  /// positioned at end-of-range (the tail consumes the rest).
+  Status Next(SegmentView* out);
+
+  /// Raw bytes following the most recent unsealed header (empty otherwise).
+  const uint8_t* tail() const { return tail_; }
+  size_t tail_len() const { return tail_len_; }
+
+ private:
+  const uint8_t* p_;
+  const uint8_t* end_;
+  const uint8_t* tail_ = nullptr;
+  size_t tail_len_ = 0;
+};
+
+/// Decodes a sealed actions segment into `trace` (appending), validating
+/// every record against `type` and the stored action count. Raw-codec
+/// payloads decode straight out of the mapping; RLE payloads inflate into
+/// `*scratch` first.
+Status DecodeActionsInto(const SegmentView& view, const SystemType& type,
+                         Trace* trace, std::string* scratch);
+
+/// Strict whole-buffer decode of a binary trace: a sealed system segment
+/// followed by zero or more sealed action segments with matching
+/// fingerprints and contiguous first_pos. Any unsealed segment, CRC or
+/// fingerprint mismatch, gap, or trailing byte is Corruption. `type` must be
+/// fresh (no objects, only T0).
+Status DecodeBinaryTrace(const uint8_t* data, size_t size, SystemType* type,
+                         Trace* trace, SiblingOrders* orders = nullptr);
+
+/// Serializes the full system + trace as one sealed binary file image.
+/// Actions are split into segments of at most `actions_per_segment`.
+std::string SerializeBinaryTrace(const SystemType& type, const Trace& trace,
+                                 const SiblingOrders& orders = {},
+                                 Codec codec = Codec::kRaw,
+                                 uint64_t actions_per_segment = 1 << 16);
+
+/// File wrappers, mirroring Read/WriteTraceFile. ReadBinaryTraceFile maps
+/// the file and replays zero-copy via DecodeBinaryTrace; NotFound if the
+/// file cannot be opened, Corruption on any format violation.
+Status ReadBinaryTraceFile(const std::string& path, SystemType* type,
+                           Trace* trace, SiblingOrders* orders = nullptr);
+Status WriteBinaryTraceFile(const std::string& path, const SystemType& type,
+                            const Trace& trace,
+                            const SiblingOrders& orders = {},
+                            Codec codec = Codec::kRaw,
+                            uint64_t actions_per_segment = 1 << 16);
+
+/// True if the file starts with the segment magic (reads 8 bytes; does not
+/// validate anything else). NotFound if the file cannot be opened.
+Result<bool> SniffBinaryTraceFile(const std::string& path);
+
+/// Format-dispatching read: sniffs the magic and calls ReadBinaryTraceFile
+/// or the text ReadTraceFile accordingly.
+Status ReadTraceFileAuto(const std::string& path, SystemType* type,
+                         Trace* trace, SiblingOrders* orders = nullptr);
+
+}  // namespace ntsg::seg
+
+#endif  // NTSG_TX_SEGMENT_SEGMENT_READER_H_

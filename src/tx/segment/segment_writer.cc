@@ -1,0 +1,223 @@
+#include "tx/segment/segment_writer.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ntsg::seg {
+
+namespace {
+
+Status WriteFully(int fd, const void* data, size_t n, const std::string& path) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("write " + path + ": " + std::strerror(errno));
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::Ok();
+}
+
+Status PwriteFully(int fd, const void* data, size_t n, off_t off,
+                   const std::string& path) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    ssize_t w = ::pwrite(fd, p, n, off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("pwrite " + path + ": " + std::strerror(errno));
+    }
+    p += w;
+    off += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void AppendSealedSegment(std::string* out, SegmentKind kind,
+                         uint64_t type_fingerprint, uint64_t action_count,
+                         uint64_t first_pos, Codec codec,
+                         std::string_view raw_payload, uint32_t extra_flags) {
+  std::string stored;
+  if (codec == Codec::kRle) {
+    stored = RleCompress(raw_payload);
+  }
+  std::string_view payload =
+      codec == Codec::kRle ? std::string_view(stored) : raw_payload;
+
+  SegmentHeader h;
+  h.kind = kind;
+  h.type_fingerprint = type_fingerprint;
+  h.action_count = action_count;
+  h.payload_len = payload.size();
+  h.first_pos = first_pos;
+  h.codec = codec;
+  h.flags = kFlagSealed | extra_flags;
+  h.payload_crc = Crc32c(payload.data(), payload.size());
+
+  uint8_t header_bytes[kHeaderSize];
+  EncodeHeader(h, header_bytes);
+  out->append(reinterpret_cast<const char*>(header_bytes), kHeaderSize);
+  out->append(payload.data(), payload.size());
+}
+
+Status SegmentWriter::Create(const std::string& path, const Options& opts,
+                             std::unique_ptr<SegmentWriter>* out) {
+  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status::Internal("open " + path + ": " + std::strerror(errno));
+  }
+  auto writer =
+      std::unique_ptr<SegmentWriter>(new SegmentWriter(path, fd, opts));
+
+  // Unsealed placeholder: real identity fields, zero counts, sealed clear.
+  SegmentHeader h;
+  h.kind = SegmentKind::kActions;
+  h.type_fingerprint = opts.type_fingerprint;
+  h.first_pos = opts.first_pos;
+  h.codec = opts.codec;
+  uint8_t header_bytes[kHeaderSize];
+  EncodeHeader(h, header_bytes);
+  NTSG_RETURN_IF_ERROR(WriteFully(fd, header_bytes, kHeaderSize, path));
+
+  *out = std::move(writer);
+  return Status::Ok();
+}
+
+Status SegmentWriter::Resume(const std::string& path, const Options& opts,
+                             uint64_t valid_payload, uint64_t action_count,
+                             std::unique_ptr<SegmentWriter>* out) {
+  if (opts.codec != Codec::kRaw) {
+    return Status::InvalidArgument("only raw-codec tails can be resumed");
+  }
+  int fd = ::open(path.c_str(), O_RDWR, 0644);
+  if (fd < 0) {
+    return Status::Internal("open " + path + ": " + std::strerror(errno));
+  }
+  auto writer =
+      std::unique_ptr<SegmentWriter>(new SegmentWriter(path, fd, opts));
+
+  // Drop any torn bytes past the last record that decoded cleanly, then
+  // recompute the running CRC over the kept prefix.
+  off_t keep = static_cast<off_t>(kHeaderSize + valid_payload);
+  if (::ftruncate(fd, keep) != 0) {
+    return Status::Internal("ftruncate " + path + ": " + std::strerror(errno));
+  }
+  if (::lseek(fd, keep, SEEK_SET) < 0) {
+    return Status::Internal("lseek " + path + ": " + std::strerror(errno));
+  }
+  std::string prefix(static_cast<size_t>(valid_payload), '\0');
+  size_t got = 0;
+  while (got < prefix.size()) {
+    ssize_t r = ::pread(fd, prefix.data() + got, prefix.size() - got,
+                        static_cast<off_t>(kHeaderSize + got));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("pread " + path + ": " + std::strerror(errno));
+    }
+    if (r == 0) return Status::Corruption("segment tail shorter than claimed");
+    got += static_cast<size_t>(r);
+  }
+  writer->written_ = valid_payload;
+  writer->crc_ = Crc32c(prefix.data(), prefix.size());
+  writer->action_count_ = action_count;
+
+  *out = std::move(writer);
+  return Status::Ok();
+}
+
+SegmentWriter::~SegmentWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status SegmentWriter::Append(const Action& a) {
+  if (sealed_) return Status::FailedPrecondition("segment already sealed");
+  AppendActionRecord(&pending_, a);
+  ++action_count_;
+  return Status::Ok();
+}
+
+Status SegmentWriter::WritePending() {
+  if (pending_.empty()) return Status::Ok();
+  NTSG_RETURN_IF_ERROR(WriteFully(fd_, pending_.data(), pending_.size(), path_));
+  crc_ = Crc32c(pending_.data(), pending_.size(), crc_);
+  written_ += pending_.size();
+  pending_.clear();
+  return Status::Ok();
+}
+
+Status SegmentWriter::Flush() {
+  if (sealed_) return Status::FailedPrecondition("segment already sealed");
+  if (opts_.codec != Codec::kRaw) return Status::Ok();
+  return WritePending();
+}
+
+Status SegmentWriter::Seal() {
+  if (sealed_) return Status::FailedPrecondition("segment already sealed");
+
+  uint64_t payload_len;
+  uint32_t payload_crc;
+  if (opts_.codec == Codec::kRaw) {
+    NTSG_RETURN_IF_ERROR(WritePending());
+    payload_len = written_;
+    payload_crc = crc_;
+  } else {
+    std::string stored = RleCompress(pending_);
+    NTSG_RETURN_IF_ERROR(WriteFully(fd_, stored.data(), stored.size(), path_));
+    payload_len = stored.size();
+    payload_crc = Crc32c(stored.data(), stored.size());
+    pending_.clear();
+  }
+
+  SegmentHeader h;
+  h.kind = SegmentKind::kActions;
+  h.type_fingerprint = opts_.type_fingerprint;
+  h.action_count = action_count_;
+  h.payload_len = payload_len;
+  h.first_pos = opts_.first_pos;
+  h.codec = opts_.codec;
+  h.flags = kFlagSealed;
+  h.payload_crc = payload_crc;
+  uint8_t header_bytes[kHeaderSize];
+  EncodeHeader(h, header_bytes);
+  NTSG_RETURN_IF_ERROR(PwriteFully(fd_, header_bytes, kHeaderSize, 0, path_));
+
+  if (::fsync(fd_) != 0) {
+    return Status::Internal("fsync " + path_ + ": " + std::strerror(errno));
+  }
+  sealed_ = true;
+  return Status::Ok();
+}
+
+Status WriteSystemSegment(const std::string& path, const SystemType& type,
+                          const SiblingOrders& orders, Codec codec,
+                          uint64_t* fingerprint_out) {
+  std::string payload = EncodeSystemPayload(type, orders);
+  uint64_t fingerprint = Fingerprint64(payload.data(), payload.size());
+
+  std::string file;
+  AppendSealedSegment(&file, SegmentKind::kSystem, fingerprint,
+                      /*action_count=*/0, /*first_pos=*/0, codec, payload);
+
+  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status::Internal("open " + path + ": " + std::strerror(errno));
+  }
+  Status s = WriteFully(fd, file.data(), file.size(), path);
+  if (s.ok() && ::fsync(fd) != 0) {
+    s = Status::Internal("fsync " + path + ": " + std::strerror(errno));
+  }
+  ::close(fd);
+  if (s.ok() && fingerprint_out != nullptr) *fingerprint_out = fingerprint;
+  return s;
+}
+
+}  // namespace ntsg::seg

@@ -1,0 +1,101 @@
+#ifndef NTSG_TX_SEGMENT_SEGMENT_WRITER_H_
+#define NTSG_TX_SEGMENT_SEGMENT_WRITER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "tx/segment/format.h"
+
+namespace ntsg::seg {
+
+/// Builds one complete sealed segment (header + payload, codec applied) in
+/// memory, appending it to `*out`. The payload CRC covers the bytes as
+/// stored; the action count / first_pos are the caller's bookkeeping.
+void AppendSealedSegment(std::string* out, SegmentKind kind,
+                         uint64_t type_fingerprint, uint64_t action_count,
+                         uint64_t first_pos, Codec codec,
+                         std::string_view raw_payload,
+                         uint32_t extra_flags = 0);
+
+/// Streaming writer for one on-disk action segment. Created with an
+/// *unsealed* placeholder header (zero counts, sealed bit clear); appends
+/// buffer in memory and drain to the fd on Flush / segment roll; Seal()
+/// flushes, rewrites the final header in place, and fsyncs, which is the
+/// durability point — an unsealed file is a crash tail that recovery scans
+/// best-effort (TraceStore::Open).
+///
+/// Only Codec::kRaw supports streaming: a compressed payload cannot be
+/// emitted until it is complete, so Codec::kRle buffers everything and hits
+/// the disk at Seal(). Write-ahead-log use therefore wants kRaw.
+///
+/// The destructor closes the fd without sealing (deliberately — tests and
+/// crash recovery rely on unsealed tails being left behind).
+class SegmentWriter {
+ public:
+  struct Options {
+    uint64_t type_fingerprint = 0;
+    uint64_t first_pos = 0;
+    Codec codec = Codec::kRaw;
+  };
+
+  /// Creates (truncating) `path` and writes the unsealed placeholder header.
+  static Status Create(const std::string& path, const Options& opts,
+                       std::unique_ptr<SegmentWriter>* out);
+
+  /// Reopens an unsealed tail segment for continued appending after crash
+  /// recovery: truncates the file to `valid_payload` bytes past the header
+  /// (the prefix that decoded cleanly) and resumes the CRC from there.
+  /// Only meaningful for Codec::kRaw tails.
+  static Status Resume(const std::string& path, const Options& opts,
+                       uint64_t valid_payload, uint64_t action_count,
+                       std::unique_ptr<SegmentWriter>* out);
+
+  ~SegmentWriter();
+
+  SegmentWriter(const SegmentWriter&) = delete;
+  SegmentWriter& operator=(const SegmentWriter&) = delete;
+
+  /// Encodes one action record into the pending buffer.
+  Status Append(const Action& a);
+
+  /// Drains the pending buffer to the fd (no-op for kRle, which must hold
+  /// the whole payload until Seal).
+  Status Flush();
+
+  /// Flush + rewrite the final header (counts, CRCs, sealed flag) + fsync.
+  /// The writer is unusable for further appends afterwards.
+  Status Seal();
+
+  uint64_t action_count() const { return action_count_; }
+  uint64_t payload_bytes() const { return written_ + pending_.size(); }
+  bool sealed() const { return sealed_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  SegmentWriter(std::string path, int fd, const Options& opts)
+      : path_(std::move(path)), fd_(fd), opts_(opts) {}
+
+  Status WritePending();
+
+  std::string path_;
+  int fd_;
+  Options opts_;
+  std::string pending_;       // encoded records not yet on the fd
+  uint64_t written_ = 0;      // payload bytes already on the fd
+  uint64_t action_count_ = 0;
+  uint32_t crc_ = 0;          // running CRC over bytes already on the fd
+  bool sealed_ = false;
+};
+
+/// Writes `path` as one complete sealed system segment (fsync'd). The
+/// fingerprint of the *raw* (pre-codec) system payload — the value action
+/// segments must embed — is returned through `fingerprint_out`.
+Status WriteSystemSegment(const std::string& path, const SystemType& type,
+                          const SiblingOrders& orders, Codec codec,
+                          uint64_t* fingerprint_out);
+
+}  // namespace ntsg::seg
+
+#endif  // NTSG_TX_SEGMENT_SEGMENT_WRITER_H_

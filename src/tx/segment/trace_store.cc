@@ -1,0 +1,282 @@
+#include "tx/segment/trace_store.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "tx/segment/segment_reader.h"
+
+namespace ntsg::seg {
+
+namespace {
+
+constexpr char kSegSuffix[] = ".ntsgs";
+
+/// seg-<8 digits>.ntsgs -> index; false for any other name.
+bool ParseSegmentName(const char* name, uint64_t* index) {
+  if (std::strncmp(name, "seg-", 4) != 0) return false;
+  uint64_t v = 0;
+  int digits = 0;
+  const char* p = name + 4;
+  while (*p >= '0' && *p <= '9') {
+    v = v * 10 + static_cast<uint64_t>(*p - '0');
+    ++p;
+    ++digits;
+  }
+  if (digits != 8 || std::strcmp(p, kSegSuffix) != 0) return false;
+  *index = v;
+  return true;
+}
+
+Status ListSegments(const std::string& dir, std::map<uint64_t, std::string>* out) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::NotFound("cannot open directory " + dir + ": " +
+                            std::strerror(errno));
+  }
+  while (struct dirent* e = ::readdir(d)) {
+    uint64_t index;
+    if (ParseSegmentName(e->d_name, &index)) {
+      (*out)[index] = dir + "/" + e->d_name;
+    }
+  }
+  ::closedir(d);
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string TraceStore::SegmentPath(const std::string& dir, uint64_t idx) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%08llu%s",
+                static_cast<unsigned long long>(idx), kSegSuffix);
+  return dir + "/" + name;
+}
+
+Status TraceStore::Create(const std::string& dir, const SystemType* type,
+                          const SiblingOrders& orders, const Options& opts,
+                          std::unique_ptr<TraceStore>* out) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal("mkdir " + dir + ": " + std::strerror(errno));
+  }
+  std::map<uint64_t, std::string> existing;
+  NTSG_RETURN_IF_ERROR(ListSegments(dir, &existing));
+  for (const auto& [index, path] : existing) {
+    if (::unlink(path.c_str()) != 0) {
+      return Status::Internal("unlink " + path + ": " + std::strerror(errno));
+    }
+  }
+
+  auto store = std::unique_ptr<TraceStore>(new TraceStore(dir, type, opts));
+  NTSG_RETURN_IF_ERROR(WriteSystemSegment(SegmentPath(dir, 0), *type, orders,
+                                          opts.codec, &store->fingerprint_));
+  *out = std::move(store);
+  return Status::Ok();
+}
+
+Status TraceStore::Open(const std::string& dir, SystemType* type,
+                        SiblingOrders* orders, Trace* recovered,
+                        const Options& opts,
+                        std::unique_ptr<TraceStore>* out) {
+  std::map<uint64_t, std::string> files;
+  NTSG_RETURN_IF_ERROR(ListSegments(dir, &files));
+  if (files.empty() || files.begin()->first != 0) {
+    return Status::Corruption("trace store " + dir +
+                              " has no system segment (seg-00000000)");
+  }
+
+  auto store = std::unique_ptr<TraceStore>(new TraceStore(dir, type, opts));
+  std::string scratch;
+
+  // System segment first.
+  {
+    MappedFile mapped;
+    NTSG_RETURN_IF_ERROR(MappedFile::Open(files.begin()->second, &mapped));
+    SegmentCursor cursor(mapped.data(), mapped.size());
+    SegmentView view;
+    NTSG_RETURN_IF_ERROR(cursor.Next(&view));
+    if (view.header.kind != SegmentKind::kSystem || !view.header.sealed()) {
+      return Status::Corruption("seg-00000000 is not a sealed system segment");
+    }
+    const uint8_t* payload = view.payload;
+    size_t len = view.payload_len;
+    if (view.header.codec == Codec::kRle) {
+      NTSG_RETURN_IF_ERROR(RleDecompress(
+          std::string_view(reinterpret_cast<const char*>(view.payload),
+                           view.payload_len),
+          &scratch));
+      payload = reinterpret_cast<const uint8_t*>(scratch.data());
+      len = scratch.size();
+    }
+    store->fingerprint_ = Fingerprint64(payload, len);
+    if (view.header.type_fingerprint != store->fingerprint_) {
+      return Status::Corruption("system segment fingerprint mismatch");
+    }
+    NTSG_RETURN_IF_ERROR(DecodeSystemPayload(payload, len, type, orders));
+  }
+
+  // Action segments in index order; only the last may be an unsealed tail.
+  uint64_t last_index = 0;
+  for (auto it = std::next(files.begin()); it != files.end(); ++it) {
+    const auto& [index, path] = *it;
+    bool is_last = std::next(it) == files.end();
+    last_index = index;
+
+    MappedFile mapped;
+    NTSG_RETURN_IF_ERROR(MappedFile::Open(path, &mapped));
+    SegmentCursor cursor(mapped.data(), mapped.size());
+    SegmentView view;
+    NTSG_RETURN_IF_ERROR(cursor.Next(&view));
+    if (view.header.kind != SegmentKind::kActions) {
+      return Status::Corruption(path + ": duplicate system segment");
+    }
+    if (view.header.type_fingerprint != store->fingerprint_) {
+      return Status::Corruption(path + ": segment from a different system");
+    }
+
+    if (view.header.sealed()) {
+      if (!cursor.done()) {
+        return Status::Corruption(path + ": trailing bytes after segment");
+      }
+      NTSG_RETURN_IF_ERROR(
+          DecodeActionsInto(view, *type, recovered, &scratch));
+      store->sealed_[view.header.first_pos] =
+          SealedInfo{index, view.header.first_pos};
+      store->next_pos_ = view.header.first_pos + view.header.action_count;
+      continue;
+    }
+
+    // Unsealed write-ahead tail.
+    if (!is_last) {
+      return Status::Corruption(path + ": unsealed segment before the tail");
+    }
+    if (view.header.codec != Codec::kRaw) {
+      // A compressed segment has no durable payload until seal; nothing to
+      // recover. Drop the placeholder and let the next append recreate it.
+      if (::unlink(path.c_str()) != 0) {
+        return Status::Internal("unlink " + path + ": " +
+                                std::strerror(errno));
+      }
+      store->next_index_ = index;
+      break;
+    }
+    const uint8_t* p = cursor.tail();
+    const uint8_t* end = p + cursor.tail_len();
+    uint64_t valid = 0;
+    uint64_t count = 0;
+    Action a;
+    while (p != end && DecodeActionRecord(&p, end, *type, &a).ok()) {
+      recovered->push_back(a);
+      ++count;
+      valid = static_cast<uint64_t>(p - cursor.tail());
+    }
+    store->next_pos_ = view.header.first_pos + count;
+    SegmentWriter::Options wopts;
+    wopts.type_fingerprint = store->fingerprint_;
+    wopts.first_pos = view.header.first_pos;
+    wopts.codec = Codec::kRaw;
+    NTSG_RETURN_IF_ERROR(
+        SegmentWriter::Resume(path, wopts, valid, count, &store->active_));
+    store->active_index_ = index;
+    store->active_first_pos_ = view.header.first_pos;
+  }
+  if (store->next_index_ <= last_index) store->next_index_ = last_index + 1;
+
+  *out = std::move(store);
+  return Status::Ok();
+}
+
+Status TraceStore::Append(const Action& a) {
+  if (active_ == nullptr) {
+    SegmentWriter::Options wopts;
+    wopts.type_fingerprint = fingerprint_;
+    wopts.first_pos = next_pos_;
+    wopts.codec = opts_.codec;
+    uint64_t index = next_index_++;
+    NTSG_RETURN_IF_ERROR(
+        SegmentWriter::Create(SegmentPath(dir_, index), wopts, &active_));
+    active_index_ = index;
+    active_first_pos_ = next_pos_;
+  }
+  NTSG_RETURN_IF_ERROR(active_->Append(a));
+  ++next_pos_;
+  NTSG_RETURN_IF_ERROR(active_->Flush());
+  if (active_->action_count() >= opts_.actions_per_segment) {
+    return SealActive();
+  }
+  return Status::Ok();
+}
+
+Status TraceStore::SealActive() {
+  if (active_ == nullptr) return Status::Ok();
+  NTSG_RETURN_IF_ERROR(active_->Seal());
+  sealed_[active_first_pos_] = SealedInfo{active_index_, active_first_pos_};
+  active_.reset();
+  return Status::Ok();
+}
+
+Status TraceStore::ReadAll(Trace* out) const {
+  std::string scratch;
+  for (const auto& [first_pos, info] : sealed_) {
+    MappedFile mapped;
+    NTSG_RETURN_IF_ERROR(MappedFile::Open(SegmentPath(dir_, info.index), &mapped));
+    SegmentCursor cursor(mapped.data(), mapped.size());
+    SegmentView view;
+    NTSG_RETURN_IF_ERROR(cursor.Next(&view));
+    if (!view.header.sealed() ||
+        view.header.type_fingerprint != fingerprint_) {
+      return Status::Corruption(SegmentPath(dir_, info.index) +
+                                ": sealed segment changed on disk");
+    }
+    NTSG_RETURN_IF_ERROR(DecodeActionsInto(view, *type_, out, &scratch));
+  }
+  return Status::Ok();
+}
+
+Status TraceStore::DropRetiredSegments(
+    const std::function<bool(TxName)>& retired, size_t* dropped) {
+  size_t n = 0;
+  std::string scratch;
+  for (auto it = sealed_.begin(); it != sealed_.end();) {
+    std::string path = SegmentPath(dir_, it->second.index);
+    Trace actions;
+    {
+      MappedFile mapped;
+      NTSG_RETURN_IF_ERROR(MappedFile::Open(path, &mapped));
+      SegmentCursor cursor(mapped.data(), mapped.size());
+      SegmentView view;
+      NTSG_RETURN_IF_ERROR(cursor.Next(&view));
+      NTSG_RETURN_IF_ERROR(
+          DecodeActionsInto(view, *type_, &actions, &scratch));
+    }
+    bool droppable = true;
+    for (const Action& a : actions) {
+      // Actions naming T0 itself pin the segment; everything else belongs
+      // to the depth-1 family of its transaction.
+      if (a.tx == kT0 || type_->depth(a.tx) == 0 ||
+          !retired(type_->AncestorAtDepth(a.tx, 1))) {
+        droppable = false;
+        break;
+      }
+    }
+    if (!droppable) {
+      ++it;
+      continue;
+    }
+    if (::unlink(path.c_str()) != 0) {
+      return Status::Internal("unlink " + path + ": " + std::strerror(errno));
+    }
+    it = sealed_.erase(it);
+    ++n;
+  }
+  if (dropped != nullptr) *dropped = n;
+  return Status::Ok();
+}
+
+}  // namespace ntsg::seg

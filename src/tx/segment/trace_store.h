@@ -1,0 +1,113 @@
+#ifndef NTSG_TX_SEGMENT_TRACE_STORE_H_
+#define NTSG_TX_SEGMENT_TRACE_STORE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "tx/segment/format.h"
+#include "tx/segment/segment_writer.h"
+
+namespace ntsg::seg {
+
+/// A directory of segments stitched into one logical trace — the persistent
+/// form of a run and, because the active segment accepts appends before it
+/// is sealed, a write-ahead log at the same time.
+///
+/// Layout: `seg-00000000.ntsgs` is the sealed system segment; every later
+/// `seg-%08u.ntsgs` holds a run of actions. Segments roll at
+/// `actions_per_segment`; Seal is the durability point. On reopen, the
+/// sealed prefix is trusted (CRC-verified), and an unsealed last segment is
+/// scanned best-effort: the longest cleanly-decoding record prefix is
+/// recovered, torn bytes after it are truncated away, and appending resumes
+/// there — recovery restarts from the last sealed boundary plus whatever
+/// tail survived, never from text re-ingestion.
+///
+/// Segments whose transactions have all been retired by the GC can be
+/// dropped (unlinked) without disturbing the rest of the store; ReadAll
+/// tolerates the resulting gaps in both the numbering and the positions.
+class TraceStore {
+ public:
+  struct Options {
+    uint64_t actions_per_segment = 4096;
+    /// Streaming appends require kRaw (a compressed payload cannot hit the
+    /// disk until seal); kRle is honored for Create/Open stores that only
+    /// ever seal whole segments.
+    Codec codec = Codec::kRaw;
+  };
+
+  /// Initializes `dir` (created if missing; any existing seg-*.ntsgs files
+  /// are removed) with a sealed system segment for `type`. The store keeps
+  /// the `type` pointer — the caller's SystemType must outlive the store.
+  static Status Create(const std::string& dir, const SystemType* type,
+                       const SiblingOrders& orders, const Options& opts,
+                       std::unique_ptr<TraceStore>* out);
+
+  /// Reopens `dir`: decodes the system segment into the caller's fresh
+  /// `type`, replays every sealed segment plus the recovered tail into
+  /// `recovered`, and leaves the store ready for further appends.
+  static Status Open(const std::string& dir, SystemType* type,
+                     SiblingOrders* orders, Trace* recovered,
+                     const Options& opts, std::unique_ptr<TraceStore>* out);
+
+  ~TraceStore() = default;
+
+  TraceStore(const TraceStore&) = delete;
+  TraceStore& operator=(const TraceStore&) = delete;
+
+  /// Appends one action to the active segment, rolling (seal + new segment)
+  /// at the configured size.
+  Status Append(const Action& a);
+
+  /// Seals the active segment if it has any actions (fsync'd); a subsequent
+  /// Append opens a fresh one.
+  Status SealActive();
+
+  /// Replays the whole store (sealed segments only) into `out`, verifying
+  /// CRCs and fingerprints. Positions may be gapped if segments were
+  /// dropped; records are appended in position order.
+  Status ReadAll(Trace* out) const;
+
+  /// Unlinks every *sealed* action segment all of whose actions belong to
+  /// retired families: `retired(root)` answers whether the depth-1 ancestor
+  /// family `root` has been retired by the GC. Actions naming T0 itself
+  /// (top-level completions) pin their segment. Returns the number of
+  /// segments dropped through `dropped`.
+  Status DropRetiredSegments(
+      const std::function<bool(TxName)>& retired, size_t* dropped);
+
+  uint64_t next_pos() const { return next_pos_; }
+  uint64_t num_sealed_segments() const { return sealed_.size(); }
+  const std::string& dir() const { return dir_; }
+
+  /// `seg-%08u.ntsgs` path for index `idx` under `dir`.
+  static std::string SegmentPath(const std::string& dir, uint64_t idx);
+
+ private:
+  TraceStore(std::string dir, const SystemType* type, const Options& opts)
+      : dir_(std::move(dir)), type_(type), opts_(opts) {}
+
+  Status RollActive();
+
+  struct SealedInfo {
+    uint64_t index;      // file-name index
+    uint64_t first_pos;  // global position of its first action
+  };
+
+  std::string dir_;
+  const SystemType* type_;
+  Options opts_;
+  uint64_t fingerprint_ = 0;
+  uint64_t next_index_ = 1;  // next segment file index to create
+  uint64_t next_pos_ = 0;    // global position of the next appended action
+  std::map<uint64_t, SealedInfo> sealed_;  // by first_pos
+  std::unique_ptr<SegmentWriter> active_;
+  uint64_t active_index_ = 0;
+  uint64_t active_first_pos_ = 0;
+};
+
+}  // namespace ntsg::seg
+
+#endif  // NTSG_TX_SEGMENT_TRACE_STORE_H_

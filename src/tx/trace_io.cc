@@ -1,8 +1,12 @@
 #include "tx/trace_io.h"
 
+#include <sys/stat.h>
+
 #include <fstream>
 #include <sstream>
 #include <vector>
+
+#include "common/strict_parse.h"
 
 namespace ntsg {
 
@@ -125,6 +129,12 @@ Status ParseSystemAndTrace(const std::string& text, SystemType* type,
     std::istringstream fields(line);
     std::string tag;
     fields >> tag;
+    // Every line must be fully consumed; a numeric field that stops early
+    // ("12xyz") leaves its junk behind for this check to reject.
+    auto has_trailing_junk = [&fields] {
+      std::string extra;
+      return static_cast<bool>(fields >> extra);
+    };
     if (tag == "object") {
       uint32_t id;
       std::string type_name, obj_name;
@@ -137,12 +147,16 @@ Status ParseSystemAndTrace(const std::string& text, SystemType* type,
         return fail("unknown object type " + type_name);
       }
       if (id != type->num_objects()) return fail("object ids must be dense");
+      if (has_trailing_junk()) return fail("trailing junk on object line");
       type->AddObject(otype, obj_name, initial);
     } else if (tag == "tx") {
       uint32_t id, parent;
       if (!(fields >> id >> parent)) return fail("malformed tx line");
       if (id != type->num_names()) return fail("tx ids must be dense");
       if (parent >= type->num_names()) return fail("parent not yet declared");
+      if (type->IsAccess(parent)) {
+        return fail("accesses are leaves (parent is an access)");
+      }
       std::string access_tag;
       if (fields >> access_tag) {
         if (access_tag != "access") return fail("expected 'access'");
@@ -160,6 +174,7 @@ Status ParseSystemAndTrace(const std::string& text, SystemType* type,
         if (!OpValidForType(type->object_type(obj), op)) {
           return fail("op invalid for object type");
         }
+        if (has_trailing_junk()) return fail("trailing junk on tx line");
         type->NewAccess(parent, AccessSpec{obj, op, arg});
       } else {
         type->NewChild(parent);
@@ -177,6 +192,9 @@ Status ParseSystemAndTrace(const std::string& text, SystemType* type,
         }
         children.push_back(child);
       }
+      // The child loop stops at end-of-line (eof) or at a non-numeric /
+      // half-numeric token (junk left in the stream).
+      if (!fields.eof()) return fail("bad order child");
       if (orders != nullptr) (*orders)[parent] = std::move(children);
     } else if (tag == "event") {
       std::string kind_name;
@@ -196,7 +214,11 @@ Status ParseSystemAndTrace(const std::string& text, SystemType* type,
         if (v == "ok") {
           a.value = Value::Ok();
         } else {
-          a.value = Value::Int(std::strtoll(v.c_str(), nullptr, 10));
+          int64_t iv;
+          if (!StrictParseInt64(v, &iv)) {
+            return fail("bad value token '" + v + "'");
+          }
+          a.value = Value::Int(iv);
         }
       }
       if (KindHasObject(kind)) {
@@ -205,6 +227,7 @@ Status ParseSystemAndTrace(const std::string& text, SystemType* type,
         if (obj >= type->num_objects()) return fail("unknown object");
         a.at_object = obj;
       }
+      if (has_trailing_junk()) return fail("trailing junk on event line");
       trace->push_back(a);
     } else {
       return fail("unknown tag " + tag);
@@ -218,16 +241,28 @@ Status WriteTraceFile(const std::string& path, const SystemType& type,
   std::ofstream out(path);
   if (!out) return Status::Internal("cannot open " + path + " for writing");
   out << SerializeSystemAndTrace(type, trace, orders);
+  // The buffered data only hits the disk at flush: an ENOSPC failure is
+  // invisible to out.good() before this point.
+  out.flush();
   return out.good() ? Status::Ok()
                     : Status::Internal("write failed for " + path);
 }
 
 Status ReadTraceFile(const std::string& path, SystemType* type, Trace* trace,
                      SiblingOrders* orders) {
-  std::ifstream in(path);
+  // Opening a directory "succeeds" and then fails mid-read in a way istreams
+  // blur with an empty file; classify it up front.
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0 && !S_ISREG(st.st_mode)) {
+    return Status::Internal(path + " is not a regular file");
+  }
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
+  if (in.bad()) {
+    return Status::Internal("I/O error while reading " + path);
+  }
   return ParseSystemAndTrace(buf.str(), type, trace, orders);
 }
 

@@ -1,0 +1,511 @@
+// Unit tests for the binary trace segment layer (src/tx/segment/): the wire
+// primitives (varints, zigzag, CRC32C, RLE), header and payload round-trips,
+// the streaming SegmentWriter / zero-copy reader pair, the TraceStore
+// directory format with crash recovery, and the central corruption promise —
+// any single bit flip or truncation of an encoded trace must surface as a
+// decode error, never as a silently different trace.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "sg/certifier.h"
+#include "sim/driver.h"
+#include "tx/segment/format.h"
+#include "tx/segment/segment_reader.h"
+#include "tx/segment/segment_writer.h"
+#include "tx/segment/trace_store.h"
+#include "tx/trace_io.h"
+
+namespace ntsg {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& name) {
+  std::string dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// A small simulated run used as the round-trip workload throughout.
+QuickRunResult SmallRun(uint64_t seed = 7) {
+  QuickRunParams params;
+  params.config.backend = Backend::kMoss;
+  params.config.seed = seed;
+  params.num_objects = 3;
+  params.num_toplevel = 4;
+  params.gen.depth = 2;
+  return QuickRun(params);
+}
+
+TEST(SegmentFormatTest, VarintRoundTripsAcrossTheRange) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{127}, uint64_t{128},
+                     uint64_t{16383}, uint64_t{16384}, uint64_t{1} << 35,
+                     UINT64_MAX - 1, UINT64_MAX}) {
+    std::string buf;
+    seg::PutVarint(&buf, v);
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(buf.data());
+    uint64_t back = 0;
+    ASSERT_TRUE(seg::GetVarint(&p, p + buf.size(), &back)) << v;
+    EXPECT_EQ(back, v);
+    EXPECT_EQ(p, reinterpret_cast<const uint8_t*>(buf.data()) + buf.size());
+  }
+}
+
+TEST(SegmentFormatTest, VarintRejectsTruncationAndOverflow) {
+  // Every proper prefix of a multi-byte encoding is truncated.
+  std::string buf;
+  seg::PutVarint(&buf, UINT64_MAX);
+  ASSERT_EQ(buf.size(), 10u);
+  for (size_t n = 0; n < buf.size(); ++n) {
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(buf.data());
+    uint64_t v;
+    EXPECT_FALSE(seg::GetVarint(&p, p + n, &v)) << n;
+  }
+  // A tenth byte smuggling bits past 2^64 is non-canonical.
+  std::string over(9, '\x80');
+  over.push_back('\x02');
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(over.data());
+  uint64_t v;
+  EXPECT_FALSE(seg::GetVarint(&p, p + over.size(), &v));
+}
+
+TEST(SegmentFormatTest, ZigzagIsAnInvolutionOnEdgeValues) {
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1}, INT64_MIN, INT64_MAX,
+                    int64_t{-1234567}, int64_t{1234567}}) {
+    EXPECT_EQ(seg::ZigzagDecode(seg::ZigzagEncode(v)), v);
+  }
+  // Small magnitudes stay small — that is the point of the encoding.
+  EXPECT_EQ(seg::ZigzagEncode(0), 0u);
+  EXPECT_EQ(seg::ZigzagEncode(-1), 1u);
+  EXPECT_EQ(seg::ZigzagEncode(1), 2u);
+}
+
+TEST(SegmentFormatTest, Crc32cMatchesTheReferenceVectorAndChainsBySeed) {
+  // The canonical Castagnoli check value.
+  EXPECT_EQ(seg::Crc32c("123456789", 9), 0xE3069283u);
+  // Incremental computation over a split buffer equals the whole-buffer CRC.
+  const char* s = "binary segments need seams";
+  size_t n = 26;
+  uint32_t whole = seg::Crc32c(s, n);
+  for (size_t cut = 0; cut <= n; ++cut) {
+    uint32_t part = seg::Crc32c(s, cut);
+    EXPECT_EQ(seg::Crc32c(s + cut, n - cut, part), whole) << cut;
+  }
+}
+
+TEST(SegmentFormatTest, RleRoundTripsAdversarialBuffers) {
+  std::mt19937_64 rng(42);
+  std::vector<std::string> cases = {
+      "", "a", "aa", "aaa", std::string(500, 'x'),
+      std::string(128, 'y'),   // exactly one literal control's worth
+      std::string(129, 'z'),   // one past the literal control limit
+      std::string(130, 'w'),
+  };
+  // Alternating bytes (pure literal) at the control-byte boundaries — the
+  // shape that overflows a literal run if the length cap is off by one.
+  for (size_t len : {127u, 128u, 129u, 130u, 255u, 256u, 257u}) {
+    std::string alt;
+    for (size_t i = 0; i < len; ++i) alt.push_back(i % 2 == 0 ? 'A' : 'B');
+    cases.push_back(alt);
+    // Literal stretch of `len` followed by a long run.
+    cases.push_back(alt + std::string(300, 'R'));
+  }
+  for (int i = 0; i < 200; ++i) {
+    std::string r;
+    size_t len = rng() % 600;
+    for (size_t j = 0; j < len; ++j) {
+      // Biased toward repeats so both codec paths get exercised.
+      r.push_back(static_cast<char>('a' + rng() % 3));
+    }
+    cases.push_back(r);
+  }
+  for (const std::string& raw : cases) {
+    std::string packed = seg::RleCompress(raw);
+    std::string back;
+    ASSERT_TRUE(seg::RleDecompress(packed, &back).ok()) << raw.size();
+    EXPECT_EQ(back, raw) << "length " << raw.size();
+  }
+  // Truncated control tails are corruption, not silence.
+  std::string run_packed = seg::RleCompress(std::string(40, 'q'));
+  std::string lit_packed = seg::RleCompress("abcdef");
+  EXPECT_FALSE(
+      seg::RleDecompress(run_packed.substr(0, run_packed.size() - 1), &cases[0])
+          .ok());
+  EXPECT_FALSE(
+      seg::RleDecompress(lit_packed.substr(0, lit_packed.size() - 1), &cases[0])
+          .ok());
+}
+
+TEST(SegmentFormatTest, HeaderRoundTripsAndRejectsEveryFieldTamper) {
+  seg::SegmentHeader h;
+  h.version = seg::kFormatVersion;
+  h.kind = seg::SegmentKind::kActions;
+  h.type_fingerprint = 0xDEADBEEFCAFEF00Dull;
+  h.action_count = 12345;
+  h.payload_len = 67890;
+  h.first_pos = 17;
+  h.codec = seg::Codec::kRle;
+  h.flags = seg::kFlagSealed;
+  h.payload_crc = 0x12345678;
+
+  uint8_t buf[seg::kHeaderSize];
+  seg::EncodeHeader(h, buf);
+  seg::SegmentHeader back;
+  ASSERT_TRUE(seg::DecodeHeader(buf, sizeof(buf), &back).ok());
+  EXPECT_EQ(back.type_fingerprint, h.type_fingerprint);
+  EXPECT_EQ(back.action_count, h.action_count);
+  EXPECT_EQ(back.payload_len, h.payload_len);
+  EXPECT_EQ(back.first_pos, h.first_pos);
+  EXPECT_EQ(back.codec, seg::Codec::kRle);
+  EXPECT_TRUE(back.sealed());
+  EXPECT_EQ(back.payload_crc, h.payload_crc);
+
+  // Any single bit flip anywhere in the header must fail the header CRC (or
+  // the magic check) — there are no ignored bytes.
+  for (size_t bit = 0; bit < seg::kHeaderSize * 8; ++bit) {
+    uint8_t tampered[seg::kHeaderSize];
+    std::memcpy(tampered, buf, sizeof(buf));
+    tampered[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    seg::SegmentHeader out;
+    EXPECT_FALSE(seg::DecodeHeader(tampered, sizeof(tampered), &out).ok())
+        << "bit " << bit;
+  }
+  // Short buffers are rejected outright.
+  seg::SegmentHeader out;
+  EXPECT_FALSE(seg::DecodeHeader(buf, seg::kHeaderSize - 1, &out).ok());
+}
+
+TEST(SegmentIoTest, BinaryTraceRoundTripsByteExactly) {
+  QuickRunResult run = SmallRun();
+  for (seg::Codec codec : {seg::Codec::kRaw, seg::Codec::kRle}) {
+    std::string image =
+        seg::SerializeBinaryTrace(*run.type, run.sim.trace, {}, codec);
+    SystemType type2;
+    Trace trace2;
+    SiblingOrders orders2;
+    ASSERT_TRUE(seg::DecodeBinaryTrace(
+                    reinterpret_cast<const uint8_t*>(image.data()),
+                    image.size(), &type2, &trace2, &orders2)
+                    .ok());
+    EXPECT_EQ(SerializeSystemAndTrace(*run.type, run.sim.trace),
+              SerializeSystemAndTrace(type2, trace2, orders2));
+  }
+}
+
+TEST(SegmentIoTest, MultiSegmentImagesDecodeContiguously) {
+  QuickRunResult run = SmallRun();
+  ASSERT_GT(run.sim.trace.size(), 64u);
+  // Tiny segments force many boundaries; the decode must stitch them.
+  std::string image = seg::SerializeBinaryTrace(*run.type, run.sim.trace, {},
+                                                seg::Codec::kRaw, 16);
+  SystemType type2;
+  Trace trace2;
+  ASSERT_TRUE(seg::DecodeBinaryTrace(
+                  reinterpret_cast<const uint8_t*>(image.data()), image.size(),
+                  &type2, &trace2)
+                  .ok());
+  EXPECT_EQ(SerializeSystemAndTrace(*run.type, run.sim.trace),
+            SerializeSystemAndTrace(type2, trace2));
+}
+
+// The tentpole corruption promise: flipping ANY single bit of a sealed
+// binary trace image must yield a decode error. A flip that decoded OK but
+// produced a different trace would be a silent wrong verdict downstream.
+TEST(SegmentIoTest, EverySingleBitFlipIsDetected) {
+  QuickRunParams params;
+  params.config.backend = Backend::kMoss;
+  params.config.seed = 3;
+  params.num_objects = 2;
+  params.num_toplevel = 2;
+  QuickRunResult run = QuickRun(params);
+  for (seg::Codec codec : {seg::Codec::kRaw, seg::Codec::kRle}) {
+    std::string image =
+        seg::SerializeBinaryTrace(*run.type, run.sim.trace, {}, codec);
+    std::string baseline = SerializeSystemAndTrace(*run.type, run.sim.trace);
+    for (size_t bit = 0; bit < image.size() * 8; ++bit) {
+      std::string tampered = image;
+      tampered[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+      SystemType type2;
+      Trace trace2;
+      Status st = seg::DecodeBinaryTrace(
+          reinterpret_cast<const uint8_t*>(tampered.data()), tampered.size(),
+          &type2, &trace2);
+      ASSERT_FALSE(st.ok()) << "undetected flip at bit " << bit << " (codec "
+                            << static_cast<int>(codec) << ")";
+    }
+  }
+}
+
+TEST(SegmentIoTest, EveryTruncationIsDetected) {
+  QuickRunResult run = SmallRun(5);
+  std::string image = seg::SerializeBinaryTrace(*run.type, run.sim.trace);
+  for (size_t n = 0; n < image.size(); ++n) {
+    SystemType type2;
+    Trace trace2;
+    Status st = seg::DecodeBinaryTrace(
+        reinterpret_cast<const uint8_t*>(image.data()), n, &type2, &trace2);
+    ASSERT_FALSE(st.ok()) << "undetected truncation to " << n << " bytes";
+  }
+}
+
+TEST(SegmentIoTest, FileWrappersClassifyMissingVsCorrupt) {
+  std::string dir = TempDir("ntsg_segment_wrappers");
+  QuickRunResult run = SmallRun();
+  std::string path = dir + "/t.ntsgs";
+  ASSERT_TRUE(
+      seg::WriteBinaryTraceFile(path, *run.type, run.sim.trace).ok());
+
+  SystemType type2;
+  Trace trace2;
+  EXPECT_TRUE(seg::ReadBinaryTraceFile(path, &type2, &trace2).ok());
+  EXPECT_EQ(trace2.size(), run.sim.trace.size());
+
+  SystemType type3;
+  Trace trace3;
+  Status st = seg::ReadBinaryTraceFile(dir + "/missing.ntsgs", &type3, &trace3);
+  EXPECT_EQ(st.code(), Status::Code::kNotFound) << st.ToString();
+
+  // The sniffer distinguishes formats; the auto-reader dispatches on it.
+  Result<bool> is_bin = seg::SniffBinaryTraceFile(path);
+  ASSERT_TRUE(is_bin.ok());
+  EXPECT_TRUE(*is_bin);
+  std::string text_path = dir + "/t.trace";
+  ASSERT_TRUE(WriteTraceFile(text_path, *run.type, run.sim.trace).ok());
+  Result<bool> is_text = seg::SniffBinaryTraceFile(text_path);
+  ASSERT_TRUE(is_text.ok());
+  EXPECT_FALSE(*is_text);
+
+  for (const std::string& p : {path, text_path}) {
+    SystemType t;
+    Trace tr;
+    ASSERT_TRUE(seg::ReadTraceFileAuto(p, &t, &tr).ok()) << p;
+    EXPECT_EQ(SerializeSystemAndTrace(t, tr),
+              SerializeSystemAndTrace(*run.type, run.sim.trace));
+  }
+  fs::remove_all(dir);
+}
+
+TEST(SegmentWriterTest, StreamedSegmentsSealAndReadBack) {
+  std::string dir = TempDir("ntsg_segment_writer");
+  QuickRunResult run = SmallRun();
+  std::string sys_path = dir + "/sys.ntsgs";
+  uint64_t fp = 0;
+  ASSERT_TRUE(seg::WriteSystemSegment(sys_path, *run.type, {},
+                                      seg::Codec::kRaw, &fp)
+                  .ok());
+
+  seg::SegmentWriter::Options opts;
+  opts.type_fingerprint = fp;
+  std::string act_path = dir + "/act.ntsgs";
+  std::unique_ptr<seg::SegmentWriter> w;
+  ASSERT_TRUE(seg::SegmentWriter::Create(act_path, opts, &w).ok());
+  for (const Action& a : run.sim.trace) {
+    ASSERT_TRUE(w->Append(a).ok());
+  }
+  ASSERT_TRUE(w->Seal().ok());
+  EXPECT_TRUE(w->sealed());
+  EXPECT_EQ(w->action_count(), run.sim.trace.size());
+
+  // Read both files back the way TraceStore does: cursor + per-kind decode.
+  // (DecodeBinaryTrace is for self-contained images, which carry an
+  // explicit last-segment mark that store segments deliberately lack.)
+  seg::MappedFile sys_map, act_map;
+  ASSERT_TRUE(seg::MappedFile::Open(sys_path, &sys_map).ok());
+  ASSERT_TRUE(seg::MappedFile::Open(act_path, &act_map).ok());
+
+  seg::SegmentCursor sys_cur(sys_map.data(), sys_map.size());
+  seg::SegmentView view;
+  ASSERT_TRUE(sys_cur.Next(&view).ok());
+  ASSERT_EQ(view.header.kind, seg::SegmentKind::kSystem);
+  SystemType type2;
+  ASSERT_TRUE(
+      seg::DecodeSystemPayload(view.payload, view.payload_len, &type2, nullptr)
+          .ok());
+
+  seg::SegmentCursor act_cur(act_map.data(), act_map.size());
+  ASSERT_TRUE(act_cur.Next(&view).ok());
+  ASSERT_TRUE(view.header.sealed());
+  EXPECT_EQ(view.header.type_fingerprint, fp);
+  Trace trace2;
+  std::string scratch;
+  ASSERT_TRUE(seg::DecodeActionsInto(view, type2, &trace2, &scratch).ok());
+  EXPECT_EQ(SerializeSystemAndTrace(*run.type, run.sim.trace),
+            SerializeSystemAndTrace(type2, trace2));
+  fs::remove_all(dir);
+}
+
+TEST(SegmentWriterTest, UnsealedTailIsLeftBehindOnDestruction) {
+  std::string dir = TempDir("ntsg_segment_unsealed");
+  std::string path = dir + "/tail.ntsgs";
+  QuickRunResult run = SmallRun();
+  {
+    std::unique_ptr<seg::SegmentWriter> w;
+    ASSERT_TRUE(
+        seg::SegmentWriter::Create(path, seg::SegmentWriter::Options{}, &w)
+            .ok());
+    ASSERT_TRUE(w->Append(run.sim.trace[0]).ok());
+    ASSERT_TRUE(w->Flush().ok());
+    // No Seal: simulated crash.
+  }
+  seg::MappedFile map;
+  ASSERT_TRUE(seg::MappedFile::Open(path, &map).ok());
+  seg::SegmentCursor cur(map.data(), map.size());
+  seg::SegmentView view;
+  ASSERT_TRUE(cur.Next(&view).ok());
+  EXPECT_FALSE(view.header.sealed());
+  EXPECT_GT(cur.tail_len(), 0u);  // the flushed record survives as tail bytes
+  EXPECT_TRUE(cur.done());
+  fs::remove_all(dir);
+}
+
+TEST(TraceStoreTest, AppendRollReopenRecoversEverything) {
+  std::string dir = TempDir("ntsg_trace_store");
+  QuickRunResult run = SmallRun();
+
+  seg::TraceStore::Options opts;
+  opts.actions_per_segment = 32;  // force several rolls
+  std::unique_ptr<seg::TraceStore> store;
+  ASSERT_TRUE(
+      seg::TraceStore::Create(dir, run.type.get(), {}, opts, &store).ok());
+  for (const Action& a : run.sim.trace) {
+    ASSERT_TRUE(store->Append(a).ok());
+  }
+  EXPECT_EQ(store->next_pos(), run.sim.trace.size());
+  // Deliberately do NOT SealActive: the open tail must be recovered too.
+  uint64_t sealed_before = store->num_sealed_segments();
+  ASSERT_GT(sealed_before, 1u);
+  store.reset();
+
+  SystemType type2;
+  SiblingOrders orders2;
+  Trace recovered;
+  std::unique_ptr<seg::TraceStore> reopened;
+  ASSERT_TRUE(seg::TraceStore::Open(dir, &type2, &orders2, &recovered, opts,
+                                    &reopened)
+                  .ok());
+  EXPECT_EQ(SerializeSystemAndTrace(*run.type, run.sim.trace),
+            SerializeSystemAndTrace(type2, recovered, orders2));
+  // The store remains appendable where it left off.
+  EXPECT_EQ(reopened->next_pos(), run.sim.trace.size());
+  ASSERT_TRUE(reopened->Append(run.sim.trace[0]).ok());
+  ASSERT_TRUE(reopened->SealActive().ok());
+  fs::remove_all(dir);
+}
+
+TEST(TraceStoreTest, TornTailBytesAreTruncatedNotTrusted) {
+  std::string dir = TempDir("ntsg_trace_store_torn");
+  QuickRunResult run = SmallRun();
+  seg::TraceStore::Options opts;
+  opts.actions_per_segment = 1 << 20;  // everything in the one open segment
+  std::unique_ptr<seg::TraceStore> store;
+  ASSERT_TRUE(
+      seg::TraceStore::Create(dir, run.type.get(), {}, opts, &store).ok());
+  for (const Action& a : run.sim.trace) {
+    ASSERT_TRUE(store->Append(a).ok());
+  }
+  store.reset();
+
+  // Tear the unsealed tail: chop a byte off, then append garbage.
+  std::string tail_path = seg::TraceStore::SegmentPath(dir, 1);
+  auto size = fs::file_size(tail_path);
+  fs::resize_file(tail_path, size - 1);
+  {
+    std::ofstream out(tail_path, std::ios::binary | std::ios::app);
+    out << "\xFF\xFF\xFF\xFF";
+  }
+
+  SystemType type2;
+  SiblingOrders orders2;
+  Trace recovered;
+  std::unique_ptr<seg::TraceStore> reopened;
+  ASSERT_TRUE(seg::TraceStore::Open(dir, &type2, &orders2, &recovered, opts,
+                                    &reopened)
+                  .ok());
+  // The longest cleanly-decoding prefix survives; the torn record does not.
+  ASSERT_LT(recovered.size(), run.sim.trace.size());
+  ASSERT_GT(recovered.size(), 0u);
+  for (size_t i = 0; i < recovered.size(); ++i) {
+    EXPECT_EQ(recovered[i].kind, run.sim.trace[i].kind) << i;
+    EXPECT_EQ(recovered[i].tx, run.sim.trace[i].tx) << i;
+  }
+  // Appending resumes at the recovered position and the store seals cleanly.
+  EXPECT_EQ(reopened->next_pos(), recovered.size());
+  ASSERT_TRUE(reopened->Append(run.sim.trace.back()).ok());
+  ASSERT_TRUE(reopened->SealActive().ok());
+  Trace all;
+  ASSERT_TRUE(reopened->ReadAll(&all).ok());
+  EXPECT_EQ(all.size(), recovered.size() + 1);
+  fs::remove_all(dir);
+}
+
+TEST(TraceStoreTest, DropRetiredSegmentsUnlinksOnlyFullyRetiredFiles) {
+  std::string dir = TempDir("ntsg_trace_store_gc");
+  QuickRunResult run = SmallRun();
+  seg::TraceStore::Options opts;
+  opts.actions_per_segment = 16;
+  std::unique_ptr<seg::TraceStore> store;
+  ASSERT_TRUE(
+      seg::TraceStore::Create(dir, run.type.get(), {}, opts, &store).ok());
+  for (const Action& a : run.sim.trace) {
+    ASSERT_TRUE(store->Append(a).ok());
+  }
+  ASSERT_TRUE(store->SealActive().ok());
+  uint64_t total = store->num_sealed_segments();
+  ASSERT_GT(total, 2u);
+
+  // Nothing retired: nothing dropped.
+  size_t dropped = 0;
+  ASSERT_TRUE(
+      store->DropRetiredSegments([](TxName) { return false; }, &dropped).ok());
+  EXPECT_EQ(dropped, 0u);
+  EXPECT_EQ(store->num_sealed_segments(), total);
+
+  // Everything retired: every segment whose actions all belong to depth-1
+  // families goes away; top-level (T0-naming) records pin their file.
+  ASSERT_TRUE(
+      store->DropRetiredSegments([](TxName) { return true; }, &dropped).ok());
+  EXPECT_GT(dropped, 0u);
+  EXPECT_LT(store->num_sealed_segments(), total);
+
+  // What remains still reads back cleanly (positions now have gaps).
+  Trace remaining;
+  ASSERT_TRUE(store->ReadAll(&remaining).ok());
+  EXPECT_LT(remaining.size(), run.sim.trace.size());
+  fs::remove_all(dir);
+}
+
+TEST(TraceStoreTest, CertificationVerdictSurvivesTheStore) {
+  // End to end: a trace pushed through the store and read back certifies to
+  // the same verdict as the in-memory original.
+  std::string dir = TempDir("ntsg_trace_store_verdict");
+  QuickRunResult run = SmallRun(11);
+  std::unique_ptr<seg::TraceStore> store;
+  ASSERT_TRUE(seg::TraceStore::Create(dir, run.type.get(), {},
+                                      seg::TraceStore::Options{}, &store)
+                  .ok());
+  for (const Action& a : run.sim.trace) {
+    ASSERT_TRUE(store->Append(a).ok());
+  }
+  ASSERT_TRUE(store->SealActive().ok());
+  Trace stored;
+  ASSERT_TRUE(store->ReadAll(&stored).ok());
+  CertifierReport direct = CertifySeriallyCorrect(*run.type, run.sim.trace,
+                                                  ConflictMode::kReadWrite);
+  CertifierReport replayed =
+      CertifySeriallyCorrect(*run.type, stored, ConflictMode::kReadWrite);
+  EXPECT_EQ(direct.status.ok(), replayed.status.ok());
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ntsg

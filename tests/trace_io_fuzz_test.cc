@@ -11,6 +11,7 @@
 
 #include "common/rng.h"
 #include "sim/driver.h"
+#include "tx/segment/segment_reader.h"
 #include "tx/trace_io.h"
 
 namespace ntsg {
@@ -133,6 +134,140 @@ TEST(TraceIoFuzzTest, RandomMutationsNeverCrashTheParser) {
   // is fine — a flipped digit can still be a valid file).
   EXPECT_GT(rejected, 0u);
   EXPECT_EQ(parsed_ok + rejected, 300u);
+}
+
+// Numeric-edge corpus: the exact token shapes the old strtoll-based parser
+// accepted silently ("abc" -> 0, "12xyz" -> 12, saturating overflow). Every
+// one of these must be Corruption now, on the precise line that holds it.
+TEST(TraceIoFuzzTest, NumericEdgeTokensAreRejectedEverywhere) {
+  const char* kBadValues[] = {
+      "",      // empty token (becomes a missing-field error)
+      "+",     // sign alone
+      "-",     // sign alone
+      "abc",   // strtoll -> 0 historically
+      "12xyz", "xyz12",
+      "9223372036854775808",    // INT64_MAX + 1
+      "-9223372036854775809",   // INT64_MIN - 1
+      "99999999999999999999999999",
+      "0x10", "1e5", "1.5", "1 2",
+  };
+  for (const char* bad : kBadValues) {
+    // As an event value (the one field that goes through StrictParseInt64).
+    std::string text = std::string("ntsg-trace v1\ntx 1 0\n") +
+                       "event REQUEST_COMMIT 1 " + bad + "\n";
+    SystemType type;
+    Trace trace;
+    EXPECT_FALSE(ParseSystemAndTrace(text, &type, &trace).ok())
+        << "value accepted: '" << bad << "'";
+    // As an object initial.
+    std::string obj_text =
+        std::string("ntsg-trace v1\nobject 0 read_write X ") + bad + "\n";
+    SystemType type2;
+    Trace trace2;
+    EXPECT_FALSE(ParseSystemAndTrace(obj_text, &type2, &trace2).ok())
+        << "initial accepted: '" << bad << "'";
+  }
+  // Embedded NUL after a valid number is trailing junk, not a clean parse.
+  std::string nul_text("ntsg-trace v1\ntx 1 0\nevent REQUEST_COMMIT 1 5");
+  nul_text.push_back('\0');
+  nul_text.push_back('\n');
+  SystemType type;
+  Trace trace;
+  EXPECT_FALSE(ParseSystemAndTrace(nul_text, &type, &trace).ok());
+
+  // INT64_MIN and INT64_MAX themselves are legal values and round-trip.
+  for (const char* edge : {"-9223372036854775808", "9223372036854775807"}) {
+    std::string text = std::string("ntsg-trace v1\ntx 1 0\n") +
+                       "event REQUEST_COMMIT 1 " + edge + "\n";
+    SystemType t;
+    Trace tr;
+    Status st = ParseSystemAndTrace(text, &t, &tr);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(SerializeSystemAndTrace(t, tr), text);
+  }
+}
+
+// Text and binary renditions of the same workload must describe the same
+// system and trace — byte-identically after a decode/re-serialize cycle.
+TEST(TraceIoFuzzTest, TextAndBinaryReadersAgreeOnEveryWorkload) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    ObjectType object_type =
+        seed % 2 == 0 ? ObjectType::kCounter : ObjectType::kReadWrite;
+    std::string text = SerializeWorkload(seed, object_type);
+
+    SystemType ttype;
+    Trace ttrace;
+    SiblingOrders torders;
+    ASSERT_TRUE(ParseSystemAndTrace(text, &ttype, &ttrace, &torders).ok());
+
+    seg::Codec codec = seed % 2 == 0 ? seg::Codec::kRle : seg::Codec::kRaw;
+    std::string image =
+        seg::SerializeBinaryTrace(ttype, ttrace, torders, codec);
+    SystemType btype;
+    Trace btrace;
+    SiblingOrders borders;
+    ASSERT_TRUE(seg::DecodeBinaryTrace(
+                    reinterpret_cast<const uint8_t*>(image.data()),
+                    image.size(), &btype, &btrace, &borders)
+                    .ok());
+    EXPECT_EQ(SerializeSystemAndTrace(btype, btrace, borders), text)
+        << "seed " << seed;
+  }
+}
+
+// Mutation fuzzing over the binary rendition, mirroring the text fuzzer:
+// flips, truncations, and splices must decode cleanly or fail cleanly, and a
+// clean decode must reproduce the original bytes' meaning exactly (any
+// mutation that decodes OK must be a no-op on the serialized form).
+TEST(TraceIoFuzzTest, BinaryMutationsNeverYieldADifferentTrace) {
+  std::string text = SerializeWorkload(5, ObjectType::kReadWrite);
+  SystemType type;
+  Trace trace;
+  SiblingOrders orders;
+  ASSERT_TRUE(ParseSystemAndTrace(text, &type, &trace, &orders).ok());
+  std::string base = seg::SerializeBinaryTrace(type, trace, orders);
+
+  Rng rng(99);
+  size_t decoded_ok = 0, rejected = 0;
+  for (int round = 0; round < 300; ++round) {
+    std::string image = base;
+    int mutations = 1 + static_cast<int>(rng.NextBelow(3));
+    for (int m = 0; m < mutations; ++m) {
+      switch (rng.NextBelow(3)) {
+        case 0: {
+          size_t i = rng.NextBelow(image.size());
+          image[i] = static_cast<char>(rng.NextBelow(256));
+          break;
+        }
+        case 1: {
+          image.resize(rng.NextBelow(image.size() + 1));
+          break;
+        }
+        default: {
+          size_t i = rng.NextBelow(image.size() + 1);
+          image.insert(i, "JUNK");
+          break;
+        }
+      }
+    }
+    SystemType mtype;
+    Trace mtrace;
+    SiblingOrders morders;
+    Status st = seg::DecodeBinaryTrace(
+        reinterpret_cast<const uint8_t*>(image.data()), image.size(), &mtype,
+        &mtrace, &morders);
+    if (st.ok()) {
+      ++decoded_ok;
+      // CRC + fingerprint + last-mark leave no room for a decode that is
+      // both clean and different.
+      EXPECT_EQ(SerializeSystemAndTrace(mtype, mtrace, morders), text);
+      EXPECT_EQ(image, base);
+    } else {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 250u);  // nearly every mutation must be caught
+  EXPECT_EQ(decoded_ok + rejected, 300u);
 }
 
 }  // namespace

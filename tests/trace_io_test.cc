@@ -1,6 +1,7 @@
 // Round-trip and robustness tests for the trace serialization format.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include "sim/driver.h"
 #include "tx/trace_io.h"
@@ -83,6 +84,34 @@ TEST(TraceIoTest, ReadMissingFileFails) {
   Trace trace;
   Status s = ReadTraceFile("/nonexistent/nowhere.txt", &type, &trace);
   EXPECT_EQ(s.code(), Status::Code::kNotFound);
+}
+
+TEST(TraceIoTest, ReadDirectoryIsAnIoErrorNotNotFound) {
+  // Opening a directory "succeeds" as an istream and then fails mid-read;
+  // the reader must classify this as an I/O problem, never as a missing or
+  // (worse) empty-but-parseable file.
+  SystemType type;
+  Trace trace;
+  Status s = ReadTraceFile(::testing::TempDir(), &type, &trace);
+  EXPECT_EQ(s.code(), Status::Code::kInternal) << s.ToString();
+}
+
+TEST(TraceIoTest, WriteFailureIsReportedNotSwallowed) {
+  // /dev/full accepts opens and buffered writes, then fails at flush with
+  // ENOSPC — exactly the failure the pre-fix code reported as Ok because it
+  // consulted out.good() before the buffer ever hit the device.
+  if (::access("/dev/full", W_OK) != 0) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  SystemType type;
+  type.AddObject(ObjectType::kCounter, "C", 0);
+  TxName a = type.NewAccess(kT0, AccessSpec{0, OpCode::kIncrement, 1});
+  Trace trace = {Action::RequestCreate(a), Action::Create(a)};
+  Status s = WriteTraceFile("/dev/full", type, trace);
+  EXPECT_FALSE(s.ok()) << "ENOSPC swallowed";
+  EXPECT_EQ(s.code(), Status::Code::kInternal);
+  // An unwritable path still fails up front.
+  EXPECT_FALSE(WriteTraceFile("/nonexistent/dir/x.trace", type, trace).ok());
 }
 
 TEST(TraceIoTest, RejectsMalformedInput) {

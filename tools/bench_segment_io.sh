@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_segment_io.json, the T13 trace-ingest perf baseline
+# (text istream parsing vs zero-copy binary segment replay). Runs
+# bench_segment_io with repetitions so the document carries median
+# aggregates; tools/check_bench_regression.py gates the nightly CI job
+# against it with
+#
+#   tools/check_bench_regression.py BENCH_segment_io.json candidate.json \
+#     --speedup-naive BM_TextIngest/0 \
+#     --speedup-fast  BM_BinaryIngest/0 --min-speedup 3.0
+#
+# (the required ratio is the whole point of the binary format: ingest must
+# beat the line-oriented text reader by at least 3x on the 10k-op batch).
+#
+# Usage: tools/bench_segment_io.sh [output.json]
+#   BUILD_DIR            build tree holding bench/ binaries (default: build)
+#   NTSG_BENCH_MIN_TIME  --benchmark_min_time per bench (default: 0.05)
+#   NTSG_BENCH_REPS      repetitions for the medians (default: 5)
+#
+# Numbers are machine- and build-type-specific: regenerate on the reference
+# machine when reseeding the baseline, and read deltas, not absolutes.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+MIN_TIME="${NTSG_BENCH_MIN_TIME:-0.05}"
+REPS="${NTSG_BENCH_REPS:-5}"
+OUT="${1:-BENCH_segment_io.json}"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+bin="$BUILD_DIR/bench/bench_segment_io"
+if [[ ! -x "$bin" ]]; then
+  echo "missing $bin — build the bench targets first" >&2
+  exit 1
+fi
+echo "running bench_segment_io (reps=$REPS, min_time=$MIN_TIME)..." >&2
+"$bin" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json \
+  --benchmark_out="$workdir/segment_io.json" \
+  --benchmark_out_format=json >/dev/null
+jq --arg reps "$REPS" \
+  '{schema: 1,
+    repetitions: ($reps | tonumber),
+    context: (.context | del(.date, .executable)),
+    benches: {bench_segment_io:
+      [.benchmarks[] | del(.family_index, .per_family_instance_index,
+                           .run_name, .repetitions, .repetition_index,
+                           .threads)]}}' \
+  "$workdir/segment_io.json" > "$OUT"
+echo "wrote $OUT" >&2

@@ -1,6 +1,11 @@
 // corpus_gen — regenerates the golden trace corpus under tests/corpus/.
 //
-//   corpus_gen <output-dir> [golden-dir]
+//   corpus_gen <output-dir> [golden-dir] [--binary-dir=DIR]
+//
+// With --binary-dir=DIR every entry is also written as a binary segment
+// twin (<name>.ntsgs); each twin is read back, re-certified, and its
+// verdict, edge counts, and graph fingerprint must be byte-identical to the
+// text entry's before the generator reports success.
 //
 // Each corpus entry is a seeded simulator run saved in the ntsg-trace
 // format, together with a MANIFEST.tsv line recording the expected
@@ -31,6 +36,7 @@
 #include "sg/certifier.h"
 #include "sg/incremental_certifier.h"
 #include "sim/driver.h"
+#include "tx/segment/segment_reader.h"
 #include "tx/trace_io.h"
 
 namespace ntsg {
@@ -83,12 +89,47 @@ const CorpusSpec kSpecs[] = {
      8, 2},
 };
 
-int Generate(const std::string& out_dir) {
+// Writes <name>.ntsgs into binary_dir and proves the twin is faithful: the
+// binary file is read back and its decoded system + trace must re-serialize
+// to exactly the same text as the original. Byte-equal serializations imply
+// identical certification verdicts and fingerprints across formats.
+// Alternates the codec per entry so the corpus pins both raw and RLE paths.
+int WriteBinaryTwin(const std::string& binary_dir, const std::string& name,
+                    const SystemType& type, const Trace& trace,
+                    size_t entry_index) {
+  seg::Codec codec =
+      entry_index % 2 == 0 ? seg::Codec::kRaw : seg::Codec::kRle;
+  std::string path = binary_dir + "/" + name + ".ntsgs";
+  Status st = seg::WriteBinaryTraceFile(path, type, trace, {}, codec);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), st.ToString().c_str());
+    return 1;
+  }
+  SystemType type2;
+  Trace trace2;
+  SiblingOrders orders2;
+  st = seg::ReadBinaryTraceFile(path, &type2, &trace2, &orders2);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: re-read failed: %s\n", path.c_str(),
+                 st.ToString().c_str());
+    return 1;
+  }
+  if (SerializeSystemAndTrace(type, trace) !=
+      SerializeSystemAndTrace(type2, trace2, orders2)) {
+    std::fprintf(stderr, "%s: binary twin diverges from text entry\n",
+                 path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int Generate(const std::string& out_dir, const std::string& binary_dir) {
   std::ofstream manifest(out_dir + "/MANIFEST.tsv");
   if (!manifest) {
     std::fprintf(stderr, "cannot write %s/MANIFEST.tsv\n", out_dir.c_str());
     return 1;
   }
+  size_t entry_index = 0;
   for (const CorpusSpec& spec : kSpecs) {
     QuickRunParams params;
     params.config.backend = spec.backend;
@@ -124,6 +165,11 @@ int Generate(const std::string& out_dir) {
       std::fprintf(stderr, "%s: %s\n", spec.name, st.ToString().c_str());
       return 1;
     }
+    if (!binary_dir.empty()) {
+      int rc = WriteBinaryTwin(binary_dir, spec.name, *run.type,
+                               run.sim.trace, entry_index++);
+      if (rc != 0) return rc;
+    }
     char fp[32];
     std::snprintf(fp, sizeof(fp), "%016llx",
                   static_cast<unsigned long long>(cert.graph_fingerprint()));
@@ -145,7 +191,8 @@ int Generate(const std::string& out_dir) {
 // per-level verdict vector, sanity-checking before pinning: the vector must
 // be monotone and every failing level's witness must survive the
 // independent re-verification.
-int GenerateIso(const std::string& out_dir, const std::string& golden_dir) {
+int GenerateIso(const std::string& out_dir, const std::string& golden_dir,
+                const std::string& binary_dir) {
   std::ofstream manifest(out_dir + "/ISO_MANIFEST.tsv");
   if (!manifest) {
     std::fprintf(stderr, "cannot write %s/ISO_MANIFEST.tsv\n",
@@ -176,6 +223,11 @@ int GenerateIso(const std::string& out_dir, const std::string& golden_dir) {
     if (!st.ok()) {
       std::fprintf(stderr, "%s: %s\n", file.c_str(), st.ToString().c_str());
       return 1;
+    }
+    if (!binary_dir.empty()) {
+      int rc = WriteBinaryTwin(binary_dir, std::string("iso_") + name,
+                               *built.type, built.trace, i);
+      if (rc != 0) return rc;
     }
     manifest << file << "\tread_write";
     for (const IsoLevelVerdict& lv : vv.levels) {
@@ -208,11 +260,29 @@ int GenerateIso(const std::string& out_dir, const std::string& golden_dir) {
 }  // namespace ntsg
 
 int main(int argc, char** argv) {
-  if (argc < 2 || argc > 3) {
-    std::fprintf(stderr, "usage: corpus_gen <output-dir> [golden-dir]\n");
+  std::vector<std::string> positional;
+  std::string binary_dir;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--binary-dir=", 0) == 0) {
+      binary_dir = arg.substr(std::string("--binary-dir=").size());
+      if (binary_dir.empty()) {
+        std::fprintf(stderr, "--binary-dir requires a directory\n");
+        return 2;
+      }
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.empty() || positional.size() > 2) {
+    std::fprintf(stderr,
+                 "usage: corpus_gen <output-dir> [golden-dir] "
+                 "[--binary-dir=DIR]\n");
     return 2;
   }
-  int rc = ntsg::Generate(argv[1]);
+  int rc = ntsg::Generate(positional[0], binary_dir);
   if (rc != 0) return rc;
-  return ntsg::GenerateIso(argv[1], argc == 3 ? argv[2] : "");
+  return ntsg::GenerateIso(positional[0],
+                           positional.size() == 2 ? positional[1] : "",
+                           binary_dir);
 }

@@ -27,6 +27,12 @@
 //                                 write the event stream to --trace-out FILE
 //                                 (required; *.json selects Chrome
 //                                 trace_event format, else NDJSON)
+//   ntsg convert <in> <out>       re-encode a saved behavior between the text
+//                                 trace format and the binary segment format
+//                                 (input format is sniffed; output defaults
+//                                 to the opposite, or --format forces one);
+//                                 the output is re-read and verified against
+//                                 the input before reporting success
 //   ntsg isolate <trace-file>     check a saved behavior against the whole
 //                                 isolation spectrum (read committed, read
 //                                 atomic, snapshot isolation, serializable)
@@ -74,7 +80,14 @@
 //                     workers and also run the concurrent pipeline;
 //                     chaos: pipeline width                    [0 / chaos: 4]
 //   --fault-seed S    chaos only: fault-plan seed                       [1]
-//   --save FILE       run only: save the behavior (trace format)
+//   --save FILE       run / chaos: save the behavior (format per --format)
+//   --format NAME     text | binary: trace file format for --save and
+//                     convert; readers sniff the format, but an explicit
+//                     --format forces that reader            [text / sniffed]
+//   --codec NAME      raw | rle: per-segment codec for binary writes   [raw]
+//   --wal DIR         certify/chaos with --shards: write-ahead-log every
+//                     routed action into a segment directory (TraceStore)
+//                     and report the recovery replay
 //   --dot FILE        run only: dump the serialization graph (Graphviz)
 //   --metrics-out F   enable metrics and write a snapshot to F after the
 //                     command (Prometheus text; *.json selects JSON)
@@ -94,6 +107,7 @@
 #include <string>
 
 #include "checker/witness.h"
+#include "common/strict_parse.h"
 #include "fault/fault_plan.h"
 #include "iso/checker.h"
 #include "iso/incremental_iso.h"
@@ -110,6 +124,8 @@
 #include "sim/concurrent_ingest.h"
 #include "sim/driver.h"
 #include "sim/trace_stats.h"
+#include "tx/segment/segment_reader.h"
+#include "tx/segment/trace_store.h"
 #include "tx/trace_checks.h"
 #include "tx/trace_io.h"
 
@@ -123,9 +139,12 @@ constexpr int kExitUsage = 2;
 constexpr int kExitMismatch = 3;
 constexpr int kExitTraceCorrupt = 4;
 
+enum class TraceFormat { kText, kBinary };
+
 struct CliOptions {
   std::string command;
-  std::string trace_file;  // audit / certify operand.
+  std::string trace_file;  // audit / certify / convert-input operand.
+  std::string out_file;    // convert output operand.
   bool online = false;
   size_t shards = 0;
   size_t gc_interval = 0;
@@ -153,6 +172,10 @@ struct CliOptions {
   bool mine = false;        // isolate only: anomaly-miner mode
   size_t runs = 64;         // isolate --mine: search budget
   std::string out_dir;      // isolate --mine: hit archive directory
+  TraceFormat format = TraceFormat::kText;
+  bool format_set = false;  // explicit --format (forces reader + writer)
+  seg::Codec codec = seg::Codec::kRaw;
+  std::string wal_dir;      // certify/chaos --shards: segment WAL directory
 };
 
 // Set by commands that know the SystemType so trace exporters and the
@@ -232,10 +255,50 @@ bool ParseType(const std::string& name, ObjectType* out) {
 
 int Usage() {
   std::cerr << "usage: ntsg "
-               "run|audit|certify|sweep|chaos|stats|explain|trace|isolate"
+               "run|audit|certify|sweep|chaos|stats|explain|trace|isolate|"
+               "convert"
                " [options]  (see tools/ntsg_cli.cc header for the full "
                "list)\n";
   return kExitUsage;
+}
+
+// Strict flag-value parsing: "abc" and "12xyz" are usage errors, not silent
+// zeros; negative or overflowed counts fail instead of wrapping.
+bool ParseCountFlag(const char* flag, const std::string& v, size_t* out) {
+  uint64_t n;
+  if (!StrictParseUint64(v, &n)) {
+    std::cerr << flag << " requires a non-negative integer, got '" << v
+              << "'\n";
+    return false;
+  }
+  *out = static_cast<size_t>(n);
+  return true;
+}
+
+bool ParseU64Flag(const char* flag, const std::string& v, uint64_t* out) {
+  if (!StrictParseUint64(v, out)) {
+    std::cerr << flag << " requires a non-negative integer, got '" << v
+              << "'\n";
+    return false;
+  }
+  return true;
+}
+
+bool ParseNonNegIntFlag(const char* flag, const std::string& v, int* out) {
+  if (!StrictParseInt(v, out) || *out < 0) {
+    std::cerr << flag << " requires a non-negative integer, got '" << v
+              << "'\n";
+    return false;
+  }
+  return true;
+}
+
+bool ParseDoubleFlag(const char* flag, const std::string& v, double* out) {
+  if (!StrictParseDouble(v, out)) {
+    std::cerr << flag << " requires a number, got '" << v << "'\n";
+    return false;
+  }
+  return true;
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* opt) {
@@ -247,6 +310,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
     if (argc < 3) return false;
     opt->trace_file = argv[2];
     i = 3;
+  }
+  if (opt->command == "convert") {
+    if (argc < 4) return false;
+    opt->trace_file = argv[2];
+    opt->out_file = argv[3];
+    i = 4;
   }
   // isolate's operand is optional: --mine needs no input trace.
   if (opt->command == "isolate" && argc >= 3 && argv[2][0] != '-') {
@@ -269,44 +338,47 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
       }
     } else if (a == "--objects") {
       if (!(v = need(a.c_str()))) return false;
-      opt->objects = std::strtoull(v, nullptr, 10);
+      if (!ParseCountFlag("--objects", v, &opt->objects)) return false;
     } else if (a == "--type") {
       if (!(v = need(a.c_str())) || !ParseType(v, &opt->object_type)) {
         return false;
       }
     } else if (a == "--initial") {
       if (!(v = need(a.c_str()))) return false;
-      opt->initial = std::strtoll(v, nullptr, 10);
+      if (!StrictParseInt64(v, &opt->initial)) {
+        std::cerr << "--initial requires an integer, got '" << v << "'\n";
+        return false;
+      }
     } else if (a == "--toplevel") {
       if (!(v = need(a.c_str()))) return false;
-      opt->toplevel = std::strtoull(v, nullptr, 10);
+      if (!ParseCountFlag("--toplevel", v, &opt->toplevel)) return false;
     } else if (a == "--depth") {
       if (!(v = need(a.c_str()))) return false;
-      opt->depth = std::atoi(v);
+      if (!ParseNonNegIntFlag("--depth", v, &opt->depth)) return false;
     } else if (a == "--fanout") {
       if (!(v = need(a.c_str()))) return false;
-      opt->fanout = std::atoi(v);
+      if (!ParseNonNegIntFlag("--fanout", v, &opt->fanout)) return false;
     } else if (a == "--read-prob") {
       if (!(v = need(a.c_str()))) return false;
-      opt->read_prob = std::atof(v);
+      if (!ParseDoubleFlag("--read-prob", v, &opt->read_prob)) return false;
     } else if (a == "--zipf") {
       if (!(v = need(a.c_str()))) return false;
-      opt->zipf = std::atof(v);
+      if (!ParseDoubleFlag("--zipf", v, &opt->zipf)) return false;
     } else if (a == "--retries") {
       if (!(v = need(a.c_str()))) return false;
-      opt->retries = std::atoi(v);
+      if (!ParseNonNegIntFlag("--retries", v, &opt->retries)) return false;
     } else if (a == "--seed") {
       if (!(v = need(a.c_str()))) return false;
-      opt->seed = std::strtoull(v, nullptr, 10);
+      if (!ParseU64Flag("--seed", v, &opt->seed)) return false;
     } else if (a == "--fault-seed") {
       if (!(v = need(a.c_str()))) return false;
-      opt->fault_seed = std::strtoull(v, nullptr, 10);
+      if (!ParseU64Flag("--fault-seed", v, &opt->fault_seed)) return false;
     } else if (a == "--seeds") {
       if (!(v = need(a.c_str()))) return false;
-      opt->seeds = std::strtoull(v, nullptr, 10);
+      if (!ParseCountFlag("--seeds", v, &opt->seeds)) return false;
     } else if (a == "--abort-prob") {
       if (!(v = need(a.c_str()))) return false;
-      opt->abort_prob = std::atof(v);
+      if (!ParseDoubleFlag("--abort-prob", v, &opt->abort_prob)) return false;
     } else if (a == "--innermost") {
       opt->innermost = true;
     } else if (a == "--online") {
@@ -314,15 +386,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
     } else if (a == "--gc") {
       opt->gc_interval = 1024;
     } else if (a.rfind("--gc=", 0) == 0) {
-      opt->gc_interval = std::strtoull(a.c_str() + std::strlen("--gc="),
-                                       nullptr, 10);
-      if (opt->gc_interval == 0) {
+      if (!ParseCountFlag("--gc", a.substr(std::strlen("--gc=")),
+                          &opt->gc_interval) ||
+          opt->gc_interval == 0) {
         std::cerr << "--gc requires a positive interval\n";
         return false;
       }
     } else if (a == "--shards") {
       if (!(v = need(a.c_str()))) return false;
-      opt->shards = std::strtoull(v, nullptr, 10);
+      if (!ParseCountFlag("--shards", v, &opt->shards)) return false;
     } else if (a == "--save") {
       if (!(v = need(a.c_str()))) return false;
       opt->save_file = v;
@@ -349,11 +421,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
       }
     } else if (a == "--flight-recorder") {
       if (!(v = need(a.c_str()))) return false;
-      opt->flight_recorder = std::strtoull(v, nullptr, 10);
+      if (!ParseCountFlag("--flight-recorder", v, &opt->flight_recorder)) {
+        return false;
+      }
     } else if (a.rfind("--flight-recorder=", 0) == 0) {
-      opt->flight_recorder = std::strtoull(
-          a.c_str() + std::strlen("--flight-recorder="), nullptr, 10);
-      if (opt->flight_recorder == 0) {
+      if (!ParseCountFlag("--flight-recorder",
+                          a.substr(std::strlen("--flight-recorder=")),
+                          &opt->flight_recorder) ||
+          opt->flight_recorder == 0) {
         std::cerr << "--flight-recorder requires a positive count\n";
         return false;
       }
@@ -363,14 +438,40 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
       opt->mine = true;
     } else if (a == "--runs") {
       if (!(v = need(a.c_str()))) return false;
-      opt->runs = std::strtoull(v, nullptr, 10);
-      if (opt->runs == 0) {
+      if (!ParseCountFlag("--runs", v, &opt->runs) || opt->runs == 0) {
         std::cerr << "--runs requires a positive count\n";
         return false;
       }
     } else if (a == "--out") {
       if (!(v = need(a.c_str()))) return false;
       opt->out_dir = v;
+    } else if (a == "--format" || a.rfind("--format=", 0) == 0) {
+      std::string name = a == "--format"
+                             ? ((v = need("--format")) ? v : "")
+                             : a.substr(std::strlen("--format="));
+      if (name == "text") {
+        opt->format = TraceFormat::kText;
+      } else if (name == "binary") {
+        opt->format = TraceFormat::kBinary;
+      } else {
+        std::cerr << "--format must be text or binary\n";
+        return false;
+      }
+      opt->format_set = true;
+    } else if (a == "--codec" || a.rfind("--codec=", 0) == 0) {
+      std::string name = a == "--codec" ? ((v = need("--codec")) ? v : "")
+                                        : a.substr(std::strlen("--codec="));
+      if (name == "raw") {
+        opt->codec = seg::Codec::kRaw;
+      } else if (name == "rle") {
+        opt->codec = seg::Codec::kRle;
+      } else {
+        std::cerr << "--codec must be raw or rle\n";
+        return false;
+      }
+    } else if (a == "--wal") {
+      if (!(v = need(a.c_str()))) return false;
+      opt->wal_dir = v;
     } else {
       std::cerr << "unknown option " << a << "\n";
       return false;
@@ -380,7 +481,26 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
          opt->command == "certify" || opt->command == "sweep" ||
          opt->command == "chaos" || opt->command == "stats" ||
          opt->command == "explain" || opt->command == "trace" ||
-         opt->command == "isolate";
+         opt->command == "isolate" || opt->command == "convert";
+}
+
+// Readers sniff the on-disk format; an explicit --format instead forces that
+// reader (so a mislabeled file is a corruption error, not a silent fallback).
+Status ReadTraceAnyFormat(const CliOptions& opt, const std::string& path,
+                          SystemType* type, Trace* beta,
+                          SiblingOrders* orders) {
+  if (!opt.format_set) return seg::ReadTraceFileAuto(path, type, beta, orders);
+  return opt.format == TraceFormat::kBinary
+             ? seg::ReadBinaryTraceFile(path, type, beta, orders)
+             : ReadTraceFile(path, type, beta, orders);
+}
+
+Status WriteTraceAnyFormat(const CliOptions& opt, const std::string& path,
+                           const SystemType& type, const Trace& beta,
+                           const SiblingOrders& orders) {
+  return opt.format == TraceFormat::kBinary
+             ? seg::WriteBinaryTraceFile(path, type, beta, orders, opt.codec)
+             : WriteTraceFile(path, type, beta, orders);
 }
 
 struct RunOutput {
@@ -477,8 +597,8 @@ int CmdRun(const CliOptions& opt) {
   if (!opt.save_file.empty()) {
     // MVTO runs persist their timestamp order so offline audits can target
     // the scheduler's own serialization order.
-    Status st = WriteTraceFile(opt.save_file, *out.type, out.sim.trace,
-                               out.mvto_orders);
+    Status st = WriteTraceAnyFormat(opt, opt.save_file, *out.type,
+                                    out.sim.trace, out.mvto_orders);
     std::cout << "save: " << st.ToString() << "\n";
   }
   return Audit(opt, *out.type, out.sim.trace, out.mvto_orders);
@@ -488,7 +608,7 @@ int CmdAudit(const CliOptions& opt) {
   SystemType type;
   Trace beta;
   SiblingOrders orders;
-  Status st = ReadTraceFile(opt.trace_file, &type, &beta, &orders);
+  Status st = ReadTraceAnyFormat(opt, opt.trace_file, &type, &beta, &orders);
   if (!st.ok()) {
     std::cerr << st.ToString() << "\n";
     return kExitTraceCorrupt;
@@ -503,7 +623,7 @@ int CmdCertify(const CliOptions& opt) {
   SystemType type;
   Trace beta;
   SiblingOrders orders;
-  Status st = ReadTraceFile(opt.trace_file, &type, &beta, &orders);
+  Status st = ReadTraceAnyFormat(opt, opt.trace_file, &type, &beta, &orders);
   if (!st.ok()) {
     std::cerr << st.ToString() << "\n";
     return kExitTraceCorrupt;
@@ -550,6 +670,7 @@ int CmdCertify(const CliOptions& opt) {
     config.num_shards = opt.shards;
     config.seed = opt.seed;
     config.gc_interval = opt.gc_interval;
+    config.wal_dir = opt.wal_dir;
     ConcurrentIngestReport report =
         ConcurrentIngestPipeline::Run(type, beta, mode, config);
     std::cout << "concurrent:  " << (report.ok() ? "ok" : "REJECTED") << " ("
@@ -559,6 +680,13 @@ int CmdCertify(const CliOptions& opt) {
       std::cout << "gc:          " << report.gc.retired_families
                 << " families retired, " << report.gc.pruned_ops
                 << " ops pruned in " << report.gc.runs << " passes\n";
+    }
+    if (!opt.wal_dir.empty()) {
+      std::cout << "wal:         " << report.wal_appended
+                << " actions logged, " << report.wal_segments_sealed
+                << " segments sealed, " << report.wal_segments_dropped
+                << " dropped by gc (" << report.wal_status.ToString() << ")\n";
+      agree = agree && report.wal_status.ok();
     }
     agree = agree && report.ok() == batch.status.ok();
   }
@@ -607,6 +735,12 @@ int CmdChaos(const CliOptions& opt) {
   std::cout << "faulted behavior certifies: " << batch.status.ToString()
             << "\n";
 
+  if (!opt.save_file.empty()) {
+    Status save_st = WriteTraceAnyFormat(opt, opt.save_file, *out.type,
+                                         out.sim.trace, out.mvto_orders);
+    std::cout << "save: " << save_st.ToString() << "\n";
+  }
+
   // Pipeline-layer plan: crashes, restart failures, delivery delay /
   // reorder / duplication, snapshots — over the trace as delivered.
   FaultPlan pipe_plan = FaultPlan::Generate(
@@ -622,11 +756,20 @@ int CmdChaos(const CliOptions& opt) {
 
   ConcurrentIngestConfig chaos_config = base_config;
   chaos_config.fault_plan = &pipe_plan;
+  // The WAL rides the *chaotic* run: appends happen router-side, so worker
+  // crashes and delivery faults must not cost logged actions.
+  chaos_config.wal_dir = opt.wal_dir;
   ConcurrentIngestReport chaotic = ConcurrentIngestPipeline::Run(
       *out.type, out.sim.trace, mode, chaos_config);
 
   if (chaotic.faults.crashes > 0) g_injected_crash = true;
   std::cout << "fault log: " << chaotic.faults.ToString() << "\n";
+  if (!opt.wal_dir.empty()) {
+    std::cout << "wal: " << chaotic.wal_appended << " actions logged, "
+              << chaotic.wal_segments_sealed << " segments sealed ("
+              << chaotic.wal_status.ToString() << ")\n";
+    if (!chaotic.wal_status.ok()) return kExitMismatch;
+  }
   std::cout << "clean:   " << (clean.ok() ? "ok" : "REJECTED")
             << " fingerprint=" << std::hex << clean.graph_fingerprint
             << std::dec << "\nchaotic: " << (chaotic.ok() ? "ok" : "REJECTED")
@@ -719,7 +862,7 @@ int CmdExplain(const CliOptions& opt) {
   SystemType type;
   Trace beta;
   SiblingOrders orders;
-  Status st = ReadTraceFile(opt.trace_file, &type, &beta, &orders);
+  Status st = ReadTraceAnyFormat(opt, opt.trace_file, &type, &beta, &orders);
   if (!st.ok()) {
     std::cerr << st.ToString() << "\n";
     return kExitTraceCorrupt;
@@ -809,7 +952,7 @@ int CmdIsolate(const CliOptions& opt) {
   SystemType type;
   Trace beta;
   SiblingOrders orders;
-  Status st = ReadTraceFile(opt.trace_file, &type, &beta, &orders);
+  Status st = ReadTraceAnyFormat(opt, opt.trace_file, &type, &beta, &orders);
   if (!st.ok()) {
     std::cerr << st.ToString() << "\n";
     return kExitTraceCorrupt;
@@ -837,8 +980,66 @@ int CmdIsolate(const CliOptions& opt) {
   return vv.AllOk() ? kExitOk : kExitCertificationFailed;
 }
 
+// Re-encodes a saved behavior between the text and binary formats. The input
+// format is sniffed; the output format defaults to the opposite of the input
+// unless --format forces one. After writing, the output is re-read and its
+// canonical text rendering compared against the input's — a conversion that
+// would change the behavior (and hence any verdict) exits 3.
+int CmdConvert(const CliOptions& opt) {
+  SystemType type;
+  Trace beta;
+  SiblingOrders orders;
+  Result<bool> is_binary = seg::SniffBinaryTraceFile(opt.trace_file);
+  if (!is_binary.ok()) {
+    std::cerr << is_binary.status().ToString() << "\n";
+    return kExitTraceCorrupt;
+  }
+  Status st = *is_binary
+                  ? seg::ReadBinaryTraceFile(opt.trace_file, &type, &beta,
+                                             &orders)
+                  : ReadTraceFile(opt.trace_file, &type, &beta, &orders);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return kExitTraceCorrupt;
+  }
+
+  TraceFormat out_format =
+      opt.format_set ? opt.format
+                     : (*is_binary ? TraceFormat::kText : TraceFormat::kBinary);
+  Status wst = out_format == TraceFormat::kBinary
+                   ? seg::WriteBinaryTraceFile(opt.out_file, type, beta,
+                                               orders, opt.codec)
+                   : WriteTraceFile(opt.out_file, type, beta, orders);
+  if (!wst.ok()) {
+    std::cerr << wst.ToString() << "\n";
+    return kExitUsage;
+  }
+
+  SystemType type2;
+  Trace beta2;
+  SiblingOrders orders2;
+  Status rst = seg::ReadTraceFileAuto(opt.out_file, &type2, &beta2, &orders2);
+  if (!rst.ok() ||
+      SerializeSystemAndTrace(type, beta, orders) !=
+          SerializeSystemAndTrace(type2, beta2, orders2)) {
+    std::cerr << "round-trip verification failed: "
+              << (rst.ok() ? "re-read behavior differs" : rst.ToString())
+              << "\n";
+    return kExitMismatch;
+  }
+
+  std::cout << "converted " << opt.trace_file << " ("
+            << (*is_binary ? "binary" : "text") << ") -> " << opt.out_file
+            << " (" << (out_format == TraceFormat::kBinary ? "binary" : "text")
+            << ", " << beta.size() << " events, "
+            << std::filesystem::file_size(opt.out_file)
+            << " bytes, verified)\n";
+  return kExitOk;
+}
+
 int Dispatch(const CliOptions& opt) {
   if (opt.command == "run") return CmdRun(opt);
+  if (opt.command == "convert") return CmdConvert(opt);
   if (opt.command == "audit") return CmdAudit(opt);
   if (opt.command == "certify") return CmdCertify(opt);
   if (opt.command == "chaos") return CmdChaos(opt);
