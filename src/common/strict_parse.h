@@ -3,6 +3,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <limits>
@@ -69,6 +70,9 @@ inline bool StrictParseDouble(const std::string& s, double* out) {
   char* end = nullptr;
   double v = std::strtod(s.c_str(), &end);
   if (errno == ERANGE || end != s.c_str() + s.size()) return false;
+  // "nan" and "inf" are valid strtod tokens but nonsense as flag values,
+  // and NaN defeats range checks like `v <= 0` downstream.
+  if (!std::isfinite(v)) return false;
   *out = v;
   return true;
 }

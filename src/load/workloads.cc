@@ -1,0 +1,216 @@
+#include "load/workloads.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "sim/program.h"
+
+namespace ntsg::load {
+
+namespace {
+
+using NodeVec = std::vector<std::unique_ptr<ProgramNode>>;
+
+// --- Bank: transfers and audits over kBankAccount objects -----------------
+
+constexpr int64_t kInitialBalance = 1000;
+
+// transfer(a -> b, amt): sequential withdraw-then-deposit. The withdraw can
+// legitimately fail (returns 0 on insufficient funds) — that is a legal
+// serial return value, not an abort, so transfers never retry for balance
+// reasons; retries only fire on concurrency aborts.
+std::unique_ptr<ProgramNode> BankTransfer(Rng& rng, size_t accounts) {
+  const ObjectId a = static_cast<ObjectId>(rng.NextBelow(accounts));
+  ObjectId b = static_cast<ObjectId>(rng.NextBelow(accounts - 1));
+  if (b >= a) ++b;  // distinct destination, uniform over the rest
+  const int64_t amt = rng.NextInRange(1, 50);
+  NodeVec steps;
+  steps.push_back(MakeAccess(a, OpCode::kWithdraw, amt));
+  steps.push_back(MakeAccess(b, OpCode::kDeposit, amt));
+  return MakeSeq(std::move(steps));
+}
+
+// audit: balance reads of several accounts as parallel subtransactions.
+std::unique_ptr<ProgramNode> BankAudit(Rng& rng, size_t accounts) {
+  const size_t k = 2 + rng.NextBelow(std::min<size_t>(accounts, 4));
+  NodeVec reads;
+  for (size_t i = 0; i < k; ++i) {
+    reads.push_back(MakeAccess(static_cast<ObjectId>(rng.NextBelow(accounts)),
+                               OpCode::kBalance, 0));
+  }
+  return MakePar(std::move(reads));
+}
+
+// --- TPC-C-flavored new-order over counters -------------------------------
+
+// Object layout: objects [0, districts) are district order-number counters,
+// objects [districts, scale) are per-item stock counters.
+constexpr size_t kDistrictShare = 4;  // 1/4 of scale are districts (>= 1)
+
+std::unique_ptr<ProgramNode> TpccNewOrder(Rng& rng, size_t districts,
+                                          size_t items) {
+  NodeVec steps;
+  steps.push_back(MakeAccess(static_cast<ObjectId>(rng.NextBelow(districts)),
+                             OpCode::kIncrement, 1));
+  const size_t lines = 2 + rng.NextBelow(3);  // 2..4 order lines
+  NodeVec line_nodes;
+  for (size_t i = 0; i < lines; ++i) {
+    const ObjectId stock =
+        static_cast<ObjectId>(districts + rng.NextBelow(items));
+    const int64_t qty = rng.NextInRange(1, 5);
+    NodeVec line;
+    line.push_back(MakeAccess(stock, OpCode::kCounterRead, 0));
+    line.push_back(MakeAccess(stock, OpCode::kDecrement, qty));
+    line_nodes.push_back(MakeSeq(std::move(line)));
+  }
+  steps.push_back(MakePar(std::move(line_nodes)));
+  return MakeSeq(std::move(steps));
+}
+
+std::unique_ptr<ProgramNode> TpccStockScan(Rng& rng, size_t districts,
+                                           size_t items) {
+  const size_t k = 2 + rng.NextBelow(std::min<size_t>(items, 4));
+  NodeVec reads;
+  for (size_t i = 0; i < k; ++i) {
+    reads.push_back(
+        MakeAccess(static_cast<ObjectId>(districts + rng.NextBelow(items)),
+                   OpCode::kCounterRead, 0));
+  }
+  return MakePar(std::move(reads));
+}
+
+// --- Commutativity stress over counters and sets --------------------------
+
+// Object layout: objects [0, counters) are counters, [counters, scale) sets.
+std::unique_ptr<ProgramNode> CommuteTxn(Rng& rng, size_t counters,
+                                        size_t sets) {
+  const size_t k = 2 + rng.NextBelow(3);  // 2..4 parallel accesses
+  NodeVec ops;
+  for (size_t i = 0; i < k; ++i) {
+    if (rng.NextBool(0.5)) {
+      const ObjectId c = static_cast<ObjectId>(rng.NextBelow(counters));
+      if (rng.NextBool(0.15)) {
+        ops.push_back(MakeAccess(c, OpCode::kCounterRead, 0));
+      } else {
+        ops.push_back(MakeAccess(c,
+                                 rng.NextBool(0.5) ? OpCode::kIncrement
+                                                   : OpCode::kDecrement,
+                                 rng.NextInRange(1, 10)));
+      }
+    } else {
+      const ObjectId s = static_cast<ObjectId>(counters + rng.NextBelow(sets));
+      const int64_t elem = rng.NextInRange(0, 7);  // small domain: real churn
+      if (rng.NextBool(0.15)) {
+        ops.push_back(MakeAccess(
+            s, rng.NextBool(0.5) ? OpCode::kContains : OpCode::kSetSize,
+            elem));
+      } else {
+        ops.push_back(MakeAccess(
+            s, rng.NextBool(0.5) ? OpCode::kAdd : OpCode::kRemove, elem));
+      }
+    }
+  }
+  return MakePar(std::move(ops));
+}
+
+}  // namespace
+
+const char* WorkloadName(Workload w) {
+  switch (w) {
+    case Workload::kBank:
+      return "bank";
+    case Workload::kTpcc:
+      return "tpcc";
+    case Workload::kCommute:
+      return "commute";
+  }
+  return "?";
+}
+
+bool ParseWorkload(const std::string& s, Workload* out) {
+  if (s == "bank") {
+    *out = Workload::kBank;
+  } else if (s == "tpcc") {
+    *out = Workload::kTpcc;
+  } else if (s == "commute") {
+    *out = Workload::kCommute;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+WorkloadInstance BuildWorkload(const WorkloadParams& params) {
+  NTSG_CHECK(params.scale >= 2) << "workloads need at least two objects";
+  NTSG_CHECK(params.toplevel > 0);
+
+  WorkloadInstance out;
+  out.type = std::make_unique<SystemType>();
+  Rng rng(params.seed ^ 0xA5E10AD5EEDull);
+
+  NodeVec tops;
+  tops.reserve(params.toplevel);
+  switch (params.workload) {
+    case Workload::kBank: {
+      for (size_t i = 0; i < params.scale; ++i) {
+        out.type->AddObject(ObjectType::kBankAccount,
+                            "acct" + std::to_string(i), kInitialBalance);
+      }
+      for (size_t i = 0; i < params.toplevel; ++i) {
+        tops.push_back(rng.NextBool(0.8) ? BankTransfer(rng, params.scale)
+                                         : BankAudit(rng, params.scale));
+      }
+      break;
+    }
+    case Workload::kTpcc: {
+      const size_t districts = std::max<size_t>(1, params.scale / kDistrictShare);
+      const size_t items = params.scale - districts;
+      NTSG_CHECK(items >= 1) << "tpcc needs at least one item";
+      for (size_t i = 0; i < districts; ++i) {
+        out.type->AddObject(ObjectType::kCounter, "district" + std::to_string(i),
+                            0);
+      }
+      for (size_t i = 0; i < items; ++i) {
+        out.type->AddObject(ObjectType::kCounter, "stock" + std::to_string(i),
+                            100);
+      }
+      for (size_t i = 0; i < params.toplevel; ++i) {
+        tops.push_back(rng.NextBool(0.85)
+                           ? TpccNewOrder(rng, districts, items)
+                           : TpccStockScan(rng, districts, items));
+      }
+      break;
+    }
+    case Workload::kCommute: {
+      const size_t counters = std::max<size_t>(1, params.scale / 2);
+      const size_t sets = std::max<size_t>(1, params.scale - counters);
+      for (size_t i = 0; i < counters; ++i) {
+        out.type->AddObject(ObjectType::kCounter, "ctr" + std::to_string(i), 0);
+      }
+      for (size_t i = 0; i < sets; ++i) {
+        out.type->AddObject(ObjectType::kSet, "set" + std::to_string(i), 0);
+      }
+      for (size_t i = 0; i < params.toplevel; ++i) {
+        tops.push_back(CommuteTxn(rng, counters, sets));
+      }
+      break;
+    }
+  }
+
+  Simulation sim(out.type.get(), MakePar(std::move(tops), params.retries));
+  SimConfig config;
+  config.seed = params.seed;
+  config.backend = Backend::kUndo;  // the only backend serving any data type
+  config.stall_policy = StallPolicy::kAbortInnermost;
+  SimResult result = sim.Run(config);
+  NTSG_CHECK(result.stats.completed) << "workload did not quiesce";
+  out.trace = std::move(result.trace);
+  out.stats = result.stats;
+  out.mode = ConflictMode::kCommutativity;
+  return out;
+}
+
+}  // namespace ntsg::load

@@ -1,0 +1,75 @@
+#ifndef NTSG_LOAD_WORKLOADS_H_
+#define NTSG_LOAD_WORKLOADS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sg/conflicts.h"
+#include "sim/driver.h"
+#include "tx/system_type.h"
+#include "tx/trace.h"
+
+namespace ntsg::load {
+
+/// Application workload suite for the open-loop load harness: three
+/// hand-shaped nested-transaction generators that stand in for real
+/// application code, the way the paper's examples do. Each produces a full
+/// behavior by running the simulation driver over the U_X (undo-logging,
+/// Section 6.2) backend, so any certifier mode can be driven with it.
+enum class Workload : uint8_t {
+  /// Bank transfers and audits over kBankAccount objects: a transfer is a
+  /// sequential pair (withdraw source; deposit destination) — nested so an
+  /// insufficient-funds abort of the withdraw rolls back the whole transfer
+  /// — and an audit reads many balances in parallel subtransactions.
+  kBank,
+  /// TPC-C-flavored new-order: take an order number from the district
+  /// counter, then update the stock of each ordered item in parallel, every
+  /// item update itself a (read stock; decrement stock) sequence — three
+  /// levels of nesting, mixed with read-only stock-level scans.
+  kTpcc,
+  /// Backward-commutativity stress per paper Section 6: counters and sets
+  /// hammered with increments/decrements and adds/removes that commute
+  /// backward, plus occasional observers that do not — the workload where
+  /// ConflictMode::kCommutativity certifies far fewer edges than a
+  /// read/write interpretation would.
+  kCommute,
+};
+
+const char* WorkloadName(Workload w);
+/// Case-sensitive parse of "bank" | "tpcc" | "commute". False on anything
+/// else, leaving `out` untouched.
+bool ParseWorkload(const std::string& s, Workload* out);
+
+struct WorkloadParams {
+  Workload workload = Workload::kBank;
+  /// Number of application objects (accounts / items / structures); >= 2.
+  size_t scale = 16;
+  /// Top-level transactions generated.
+  size_t toplevel = 64;
+  /// Retry budget per top-level transaction after an abort report.
+  int retries = 2;
+  /// Seeds both program shaping and the simulation scheduler. The produced
+  /// behavior is a pure function of (workload, scale, toplevel, retries,
+  /// seed) — the determinism the byte-identical timeline contract rests on.
+  uint64_t seed = 1;
+};
+
+/// A generated behavior ready to feed a certifier, plus the context needed
+/// to certify it.
+struct WorkloadInstance {
+  std::unique_ptr<SystemType> type;
+  Trace trace;
+  SimStats stats;
+  /// Conflict interpretation matching the object mix (kCommutativity for
+  /// every bundled workload — they all use typed objects).
+  ConflictMode mode = ConflictMode::kCommutativity;
+};
+
+/// Builds the system type, generates the programs, and runs the simulation.
+/// Deterministic in `params` (see WorkloadParams::seed).
+WorkloadInstance BuildWorkload(const WorkloadParams& params);
+
+}  // namespace ntsg::load
+
+#endif  // NTSG_LOAD_WORKLOADS_H_

@@ -209,6 +209,25 @@ const IsoMetrics& GetIsoMetrics() {
   return m;
 }
 
+const LoadMetrics& GetLoadMetrics() {
+  static const LoadMetrics m = {
+      Reg().GetCounter("ntsg_load_actions_offered_total",
+                       "Actions scheduled by the open-loop arrival process"),
+      Reg().GetCounter("ntsg_load_actions_admitted_total",
+                       "Actions admitted into a certifier by the harness"),
+      Reg().GetCounter("ntsg_load_epochs_total",
+                       "Timeline epochs completed by load runs"),
+      Reg().GetCounter("ntsg_load_sweep_steps_total",
+                       "Offered-rate steps executed by saturation sweeps"),
+      Reg().GetCounter("ntsg_load_late_arrivals_total",
+                       "Arrivals admitted after their scheduled virtual time"),
+      Reg().GetHistogram("ntsg_load_admission_us",
+                         "Scheduled-arrival-to-admission-complete latency",
+                         LoadLatencyBucketsUs()),
+  };
+  return m;
+}
+
 void RegisterAllMetricFamilies() {
   (void)GetCertifierMetrics();
   (void)GetSgtMetrics();
@@ -219,6 +238,7 @@ void RegisterAllMetricFamilies() {
   (void)GetGcMetrics();
   (void)GetFaultMetrics();
   (void)GetIsoMetrics();
+  (void)GetLoadMetrics();
 }
 
 }  // namespace ntsg::obs

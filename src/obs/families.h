@@ -134,6 +134,21 @@ struct IsoMetrics {
 };
 const IsoMetrics& GetIsoMetrics();
 
+/// Open-loop load harness (ntsg_load_*): offered/admitted traffic and the
+/// admission-latency histogram the saturation sweep knees on. The histogram
+/// uses LoadLatencyBucketsUs (log-spaced 1us..10s) rather than the default
+/// latency bounds — quantile resolution around the knee matters more than
+/// bucket count here.
+struct LoadMetrics {
+  Counter* actions_offered;     // ntsg_load_actions_offered_total
+  Counter* actions_admitted;    // ntsg_load_actions_admitted_total
+  Counter* epochs;              // ntsg_load_epochs_total
+  Counter* sweep_steps;         // ntsg_load_sweep_steps_total
+  Counter* late_arrivals;       // ntsg_load_late_arrivals_total
+  Histogram* admission_us;      // ntsg_load_admission_us
+};
+const LoadMetrics& GetLoadMetrics();
+
 /// Forces registration of every family above (plus queue-depth shard 0), so
 /// a snapshot taken before any workload still exposes the full schema with
 /// zero values — what `ntsg certify --metrics-out` relies on.

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -51,11 +52,44 @@ Histogram::Histogram(std::vector<uint64_t> bounds)
 
 void Histogram::Observe(uint64_t v) {
   if (!MetricsEnabled()) return;
+  ObserveAlways(v);
+}
+
+void Histogram::ObserveAlways(uint64_t v) {
   size_t i = std::lower_bound(bounds_.begin(), bounds_.end(), v) -
              bounds_.begin();
   buckets_[i].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+double Histogram::Quantile(double q) const {
+  q = std::min(1.0, std::max(0.0, q));
+  // One consistent pass over the bucket counters; count_ may lag or lead
+  // these by in-flight observations, so the rank is taken against the same
+  // snapshot the walk uses.
+  std::vector<uint64_t> snap(bounds_.size() + 1);
+  uint64_t total = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snap[i];
+  }
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    if (snap[i] == 0) continue;
+    const double below = static_cast<double>(cumulative);
+    cumulative += snap[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i == bounds_.size()) return static_cast<double>(bounds_.back());
+    const double lower =
+        i == 0 ? 0.0 : static_cast<double>(bounds_[i - 1]);
+    const double upper = static_cast<double>(bounds_[i]);
+    const double frac = (rank - below) / static_cast<double>(snap[i]);
+    return lower + (upper - lower) * std::min(1.0, std::max(0.0, frac));
+  }
+  return static_cast<double>(bounds_.empty() ? 0 : bounds_.back());
 }
 
 void Histogram::Reset() {
@@ -68,6 +102,24 @@ void Histogram::Reset() {
 
 std::vector<uint64_t> DefaultLatencyBucketsUs() {
   return {1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576};
+}
+
+std::vector<uint64_t> LogBuckets(uint64_t lo, uint64_t hi, int per_decade) {
+  NTSG_CHECK(lo > 0 && hi >= lo && per_decade > 0);
+  std::vector<uint64_t> bounds;
+  const double step = std::pow(10.0, 1.0 / per_decade);
+  double b = static_cast<double>(lo);
+  while (true) {
+    uint64_t v = static_cast<uint64_t>(std::llround(b));
+    if (bounds.empty() || v > bounds.back()) bounds.push_back(v);
+    if (v >= hi) break;
+    b *= step;
+  }
+  return bounds;
+}
+
+std::vector<uint64_t> LoadLatencyBucketsUs() {
+  return LogBuckets(1, 10'000'000, 8);
 }
 
 std::string JsonEscape(const std::string& s) {
@@ -264,6 +316,12 @@ std::string MetricsRegistry::PrometheusText() const {
           out << Series(name, labels) << " " << inst.gauge->value() << "\n";
           break;
         case Kind::kHistogram: {
+          // Exposition-format conformance: the cumulative `+Inf` bucket and
+          // `_count` must be equal and no smaller than any finite bucket
+          // within one scrape. Both are therefore derived from a single
+          // pass over the bucket counters — the separate count_ cell can
+          // lag an in-flight Observe (bucket incremented, count not yet)
+          // and would render a non-monotone bucket series.
           const Histogram& h = *inst.histogram;
           uint64_t cumulative = 0;
           for (size_t i = 0; i < h.bounds().size(); ++i) {
@@ -272,10 +330,12 @@ std::string MetricsRegistry::PrometheusText() const {
                           "le=\"" + std::to_string(h.bounds()[i]) + "\"")
                 << " " << cumulative << "\n";
           }
+          cumulative += h.bucket(h.bounds().size());
           out << Series(name + "_bucket", labels, "le=\"+Inf\"") << " "
-              << h.count() << "\n";
+              << cumulative << "\n";
           out << Series(name + "_sum", labels) << " " << h.sum() << "\n";
-          out << Series(name + "_count", labels) << " " << h.count() << "\n";
+          out << Series(name + "_count", labels) << " " << cumulative
+              << "\n";
           break;
         }
       }
@@ -284,20 +344,37 @@ std::string MetricsRegistry::PrometheusText() const {
   return out.str();
 }
 
-std::string MetricsRegistry::JsonText() const {
+namespace {
+
+/// Fixed-precision decimal rendering for quantile estimates: three decimals,
+/// never scientific notation, so exporters are byte-deterministic for equal
+/// values regardless of locale or magnitude.
+std::string FormatQuantile(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::JsonText(bool compact) const {
+  const char* nl = compact ? "" : "\n";
+  const char* indent = compact ? "" : "  ";
+  const char* sp = compact ? "" : " ";
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;
-  out << "{\n";
+  out << "{" << nl;
   bool first_family = true;
   for (const auto& [name, family] : families_) {
-    if (!first_family) out << ",\n";
+    if (!first_family) out << "," << nl;
     first_family = false;
-    out << "  \"" << JsonEscape(name) << "\": {";
+    out << indent << "\"" << JsonEscape(name) << "\":" << sp << "{";
     bool first_inst = true;
     for (const auto& [labels, inst] : family.instances) {
-      if (!first_inst) out << ", ";
+      if (!first_inst) out << "," << sp;
       first_inst = false;
-      out << "\"" << (labels.empty() ? "_" : JsonEscape(labels)) << "\": ";
+      out << "\"" << (labels.empty() ? "_" : JsonEscape(labels)) << "\":"
+          << sp;
       switch (family.kind) {
         case Kind::kCounter:
           out << inst.counter->value();
@@ -309,11 +386,22 @@ std::string MetricsRegistry::JsonText() const {
           out << inst.gauge->value();
           break;
         case Kind::kHistogram: {
+          // Same single-pass consistency rule as the Prometheus exposition:
+          // "count" is the bucket total, so it always equals the sum of
+          // "buckets" within one snapshot.
           const Histogram& h = *inst.histogram;
-          out << "{\"count\": " << h.count() << ", \"sum\": " << h.sum()
-              << ", \"buckets\": [";
+          uint64_t total = 0;
           for (size_t i = 0; i <= h.bounds().size(); ++i) {
-            if (i > 0) out << ", ";
+            total += h.bucket(i);
+          }
+          out << "{\"count\":" << sp << total << "," << sp
+              << "\"sum\":" << sp << h.sum() << "," << sp << "\"p50\":" << sp
+              << FormatQuantile(h.Quantile(0.50)) << "," << sp
+              << "\"p95\":" << sp << FormatQuantile(h.Quantile(0.95)) << ","
+              << sp << "\"p99\":" << sp << FormatQuantile(h.Quantile(0.99))
+              << "," << sp << "\"buckets\":" << sp << "[";
+          for (size_t i = 0; i <= h.bounds().size(); ++i) {
+            if (i > 0) out << "," << sp;
             out << h.bucket(i);
           }
           out << "]}";
@@ -323,7 +411,27 @@ std::string MetricsRegistry::JsonText() const {
     }
     out << "}";
   }
-  out << "\n}\n";
+  out << nl << "}" << nl;
+  return out.str();
+}
+
+std::string MetricsRegistry::QuantileText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, family] : families_) {
+    if (family.kind != Kind::kHistogram) continue;
+    for (const auto& [labels, inst] : family.instances) {
+      const Histogram& h = *inst.histogram;
+      uint64_t total = 0;
+      for (size_t i = 0; i <= h.bounds().size(); ++i) total += h.bucket(i);
+      if (total == 0) continue;
+      out << name << (labels.empty() ? "" : "{" + labels + "}") << ": p50="
+          << FormatQuantile(h.Quantile(0.50))
+          << " p95=" << FormatQuantile(h.Quantile(0.95))
+          << " p99=" << FormatQuantile(h.Quantile(0.99)) << " (" << total
+          << " samples)\n";
+    }
+  }
   return out.str();
 }
 

@@ -95,6 +95,11 @@ class Histogram {
   explicit Histogram(std::vector<uint64_t> bounds);
 
   void Observe(uint64_t v);
+  /// Records regardless of the global enable switch. For instruments a
+  /// caller owns outright (the load harness's admission histogram): the
+  /// measurement is the caller's product, not background telemetry, so it
+  /// must not vanish when the process-wide switch is off.
+  void ObserveAlways(uint64_t v);
 
   const std::vector<uint64_t>& bounds() const { return bounds_; }
   /// Count in bucket i (i == bounds().size() is the +Inf bucket).
@@ -103,6 +108,16 @@ class Histogram {
   }
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside the
+  /// bucket holding the rank. Bucket i spans (lower, bounds()[i]] with
+  /// lower = bounds()[i-1] (0 for the first); a rank landing in the +Inf
+  /// bucket reports the highest finite bound (the histogram cannot resolve
+  /// beyond it). Returns 0 on an empty histogram. Ranks are computed from
+  /// one pass over the bucket counters (never count_), so a concurrent
+  /// Observe can skew the estimate by at most its own sample.
+  double Quantile(double q) const;
+
   void Reset();
 
  private:
@@ -115,6 +130,18 @@ class Histogram {
 /// 1us .. ~1s in roughly 4x steps — wide enough for a single edge insert and
 /// a full shard replay on the same scale.
 std::vector<uint64_t> DefaultLatencyBucketsUs();
+
+/// Strictly increasing integer bounds from `lo` to at least `hi` in equal
+/// log steps (`per_decade` buckets per factor of 10, duplicates from integer
+/// rounding dropped). The resolution the quantile estimator inherits: with
+/// 8 buckets per decade the interpolation error is bounded by ~15% of the
+/// reported value at any scale.
+std::vector<uint64_t> LogBuckets(uint64_t lo, uint64_t hi, int per_decade);
+
+/// Log-bucketed admission-latency bounds for the load harness: 1us .. 10s at
+/// 8 buckets per decade (~56 buckets), fine enough to separate p99 from p999
+/// around a saturation knee.
+std::vector<uint64_t> LoadLatencyBucketsUs();
 
 /// Escapes a string for embedding inside a JSON string literal: double
 /// quotes, backslashes, and all control characters (\b \f \n \r \t, \uXXXX
@@ -151,10 +178,18 @@ class MetricsRegistry {
                           const std::string& labels = "");
 
   /// Prometheus text exposition (families in name order, instances in label
-  /// order — deterministic given identical values).
+  /// order — deterministic given identical values). Histogram series derive
+  /// the `+Inf` bucket and `_count` from one pass over the bucket counters,
+  /// so every scrape is internally consistent (cumulative buckets monotone,
+  /// `_count` equal to the `+Inf` bucket) even against concurrent writers.
   std::string PrometheusText() const;
-  /// The same snapshot as a single JSON object.
-  std::string JsonText() const;
+  /// The same snapshot as a single JSON object. Histogram instances carry
+  /// "p50"/"p95"/"p99" estimates next to the raw buckets. `compact` drops
+  /// all formatting whitespace so the document fits on one NDJSON line.
+  std::string JsonText(bool compact = false) const;
+  /// One line per histogram family: name plus p50/p95/p99 (microsecond
+  /// convention). What `ntsg stats` prints above the raw exposition.
+  std::string QuantileText() const;
   /// Writes JSON when `path` ends in ".json", Prometheus text otherwise.
   Status WriteSnapshot(const std::string& path) const;
 

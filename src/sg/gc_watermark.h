@@ -29,6 +29,7 @@ struct GcStats {
   uint64_t retired_nodes = 0;    // Graph nodes removed.
   uint64_t pruned_ops = 0;       // Visible operations folded into checkpoints.
   uint64_t late_events = 0;      // Actions naming already-retired families.
+  uint64_t last_watermark = 0;   // Position watermark of the latest pass.
 };
 
 /// Per-family (child of T0) lifecycle bookkeeping behind the watermark GC.

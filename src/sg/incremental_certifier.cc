@@ -574,6 +574,8 @@ void IncrementalCertifier::RunGc() {
     blocked.insert(GcFamilyBook::RootOf(*type_, parent));
   }
 
+  gc_stats_.last_watermark = watermark;
+
   std::vector<TxName> sealed =
       book_.SealedCandidates(static_cast<size_t>(watermark), blocked);
 

@@ -34,6 +34,24 @@ uint64_t Mix64(uint64_t z) {
 // IncrementalCertifier, so the two routers stay line-for-line comparable.
 constexpr uint64_t kScopeTagBit = 1ull << 63;
 
+// Times one Ingest call into the caller's admission histogram (null = off).
+// Covers every exit path of the router, including early returns for retired
+// families; bypasses the global metrics switch by design (see the config
+// field's contract).
+class AdmissionTimer {
+ public:
+  explicit AdmissionTimer(obs::Histogram* h) : h_(h) {
+    if (h_ != nullptr) start_us_ = NowUs();
+  }
+  ~AdmissionTimer() {
+    if (h_ != nullptr) h_->ObserveAlways(NowUs() - start_us_);
+  }
+
+ private:
+  obs::Histogram* h_;
+  uint64_t start_us_ = 0;
+};
+
 }  // namespace
 
 ConcurrentIngestPipeline::ConcurrentIngestPipeline(
@@ -370,6 +388,7 @@ void ConcurrentIngestPipeline::PollFaults(uint64_t tick) {
 
 void ConcurrentIngestPipeline::Ingest(const Action& a) {
   NTSG_CHECK(!finished_) << "Ingest after Finish";
+  AdmissionTimer admit_timer(config_.admission_latency);
   // Log before routing: an action the pipeline saw is an action the WAL
   // holds (modulo the unsealed tail). Disk failure latches wal_status_ and
   // stands the log down — it never blocks the verdict.
@@ -601,6 +620,8 @@ void ConcurrentIngestPipeline::RunGc() {
     }
   }
 
+  gc_stats_.last_watermark = watermark;
+
   std::vector<TxName> sealed =
       book_.SealedCandidates(static_cast<size_t>(watermark), blocked);
   if (sealed.empty()) {
@@ -747,6 +768,15 @@ void ConcurrentIngestPipeline::RetireFamilies(const std::vector<TxName>& roots) 
   prune.kind = WorkItem::Kind::kGcPrune;
   prune.gc_roots = cumulative;
   for (size_t i = 0; i < shards_.size(); ++i) Push(i, prune);
+}
+
+size_t ConcurrentIngestPipeline::TotalQueueDepth() {
+  size_t depth = 0;
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.queue->mu);
+    depth += sh.queue->items.size();
+  }
+  return depth;
 }
 
 ConcurrentIngestReport ConcurrentIngestPipeline::Finish() {

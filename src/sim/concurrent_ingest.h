@@ -73,6 +73,16 @@ struct ConcurrentIngestConfig {
   std::string wal_dir;
   /// Actions per WAL segment before the router seals it and rolls.
   uint64_t wal_segment_actions = 4096;
+
+  /// Optional admission-latency hook: non-null makes the router record each
+  /// Ingest call's duration (microseconds) into this caller-owned histogram
+  /// — router-side service time including the WAL append, fault polling,
+  /// visibility work, and any backpressure wait on a full shard queue.
+  /// Recording uses Histogram::ObserveAlways (the measurement is the
+  /// caller's product, e.g. the load harness's admission quantiles, not
+  /// background telemetry) and, like every instrument, never feeds back
+  /// into the verdict.
+  obs::Histogram* admission_latency = nullptr;
 };
 
 struct ConcurrentIngestReport {
@@ -146,6 +156,16 @@ class ConcurrentIngestPipeline {
   static ConcurrentIngestReport Run(const SystemType& type, const Trace& beta,
                                     ConflictMode mode,
                                     const ConcurrentIngestConfig& config);
+
+  /// Watermark-GC progress so far. Router-owned counters: read between
+  /// Ingest calls on the ingesting thread (the load harness's per-epoch
+  /// timeline), not concurrently with one.
+  const GcStats& gc_stats() const { return gc_stats_; }
+
+  /// Work items currently queued across all shards, sampled under each
+  /// queue's mutex in turn (a momentary reading, not a consistent cut).
+  /// Observability only — never part of the verdict.
+  size_t TotalQueueDepth();
 
  private:
   struct WorkItem {

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "tx/access.h"
+
 namespace ntsg {
 
 TraceStats ComputeTraceStats(const SystemType& type, const Trace& trace) {
@@ -14,6 +16,7 @@ TraceStats ComputeTraceStats(const SystemType& type, const Trace& trace) {
   for (size_t i = 0; i < trace.size(); ++i) {
     const Action& a = trace[i];
     stats.per_kind[a.kind]++;
+    stats.actions_by_depth[type.depth(a.tx)]++;
     switch (a.kind) {
       case ActionKind::kCreate:
         create_pos[a.tx] = i;
@@ -39,10 +42,13 @@ TraceStats ComputeTraceStats(const SystemType& type, const Trace& trace) {
           ++stats.access_responses;
           const AccessSpec& acc = type.access(a.tx);
           auto& traffic = stats.per_object[acc.object];
+          auto& class_mix = stats.object_class_mix[type.object_type(acc.object)];
           if (IsModifyingOp(acc.op)) {
             ++traffic.updates;
+            ++class_mix.updates;
           } else {
             ++traffic.observers;
+            ++class_mix.observers;
           }
         }
         break;
@@ -68,6 +74,15 @@ std::string TraceStats::ToString(const SystemType& type) const {
   out << "\naborted by depth:  ";
   for (const auto& [d, n] : aborted_by_depth) {
     out << "  d" << d << "=" << n;
+  }
+  out << "\nactions by depth: ";
+  for (const auto& [d, n] : actions_by_depth) {
+    out << "  d" << d << "=" << n;
+  }
+  out << "\nobject class mix:";
+  for (const auto& [t, traffic] : object_class_mix) {
+    out << "  " << ObjectTypeName(t) << "=" << traffic.updates << "u/"
+        << traffic.observers << "o";
   }
   out << "\nobject traffic:\n";
   for (const auto& [x, t] : per_object) {

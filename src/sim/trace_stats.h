@@ -20,12 +20,23 @@ struct TraceStats {
   std::map<uint32_t, size_t> committed_by_depth;
   std::map<uint32_t, size_t> aborted_by_depth;
 
+  // Every action counted at the nesting depth of its subject transaction
+  // (T0 events land at depth 0). The shape a workload generator actually
+  // produced, as opposed to the outcome counts above which only see
+  // COMMIT/ABORT.
+  std::map<uint32_t, size_t> actions_by_depth;
+
   // Access traffic per object, split by modifying vs observer operations.
   struct ObjectTraffic {
     size_t updates = 0;
     size_t observers = 0;
   };
   std::map<ObjectId, ObjectTraffic> per_object;
+
+  // The same traffic aggregated by object class (read/write register,
+  // counter, set, ...) — the commutativity mix that decides how much SG(β)
+  // benefits from type-specific conflict predicates (paper Section 6).
+  std::map<ObjectType, ObjectTraffic> object_class_mix;
 
   // "Latency" of committed transactions, in trace positions from CREATE to
   // COMMIT — a proxy for how long work stayed live.

@@ -165,6 +165,57 @@ TEST(CliExitCodeTest, IsolateMineArchivesHitsAndExitsZero) {
   std::filesystem::remove_all(out_dir);
 }
 
+TEST(CliExitCodeTest, LoadFlagValidationReturns2) {
+  // Every load-harness flag is strictly parsed: bad names, non-numeric or
+  // out-of-range values, and trailing junk are all usage errors (2), caught
+  // before any workload is generated.
+  EXPECT_EQ(RunCli("load --workload ycsb"), 2);
+  EXPECT_EQ(RunCli("load --workload"), 2);       // flag missing its value
+  EXPECT_EQ(RunCli("load --rate 0"), 2);
+  EXPECT_EQ(RunCli("load --rate -100"), 2);
+  EXPECT_EQ(RunCli("load --rate abc"), 2);
+  EXPECT_EQ(RunCli("load --rate 10x"), 2);       // trailing junk
+  EXPECT_EQ(RunCli("load --rate nan"), 2);       // NaN defeats range checks
+  EXPECT_EQ(RunCli("load --rate=inf"), 2);
+  EXPECT_EQ(RunCli("load --epochs 0"), 2);
+  EXPECT_EQ(RunCli("load --epochs -1"), 2);
+  EXPECT_EQ(RunCli("load --epochs 2.5"), 2);
+  EXPECT_EQ(RunCli("load --epochs=1e3"), 2);
+  EXPECT_EQ(RunCli("load --arrival pareto"), 2);
+  EXPECT_EQ(RunCli("load --certifier bogus"), 2);
+  EXPECT_EQ(RunCli("load --sweep-steps 0"), 2);
+  EXPECT_EQ(RunCli("load --knee-us 0"), 2);
+  EXPECT_EQ(RunCli("load --knee-us oops"), 2);
+  EXPECT_EQ(RunCli("load --objects 1"), 2);      // workload scale floor
+  EXPECT_EQ(RunCli("load --timeline-out /nonexistent-ntsg-dir/tl.ndjson"), 2);
+}
+
+TEST(CliExitCodeTest, LoadRunsWriteTimelineAndAgreeAcrossModes) {
+  // A small unpaced run exits 0 and streams exactly --epochs NDJSON records.
+  std::string tl = TempPath("ntsg_cli_load_tl.ndjson");
+  EXPECT_EQ(RunCli("load --workload bank --toplevel 16 --objects 6 --seed 3 "
+                   "--no-pace --epochs 3 --timeline-out " + tl),
+            0);
+  std::ifstream in(tl);
+  ASSERT_TRUE(in.good()) << tl;
+  size_t lines = 0;
+  std::string first, line;
+  while (std::getline(in, line)) {
+    if (lines == 0) first = line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3u);
+  EXPECT_EQ(first.rfind("{\"epoch\":0,", 0), 0u) << first;
+  EXPECT_NE(first.find("\"verdict\":"), std::string::npos) << first;
+  std::remove(tl.c_str());
+
+  // --certifier all demands batch, incremental, and sharded agree; a clean
+  // workload certifies everywhere, so the run exits 0, not 3.
+  EXPECT_EQ(RunCli("load --workload commute --toplevel 12 --objects 6 "
+                   "--seed 2 --no-pace --certifier all"),
+            0);
+}
+
 TEST(CliExitCodeTest, TraceOutWritesEventsAndExitsZero) {
   std::string ndjson = TempPath("ntsg_cli_trace.ndjson");
   EXPECT_EQ(RunCli("trace --toplevel 3 --seed 5 --trace-out=" + ndjson), 0);

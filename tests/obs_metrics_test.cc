@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -293,6 +295,131 @@ TEST(ObsMetricsTest, BatchFastPathMetricsDoNotMoveEdgesOrFingerprint) {
     EXPECT_EQ(off_fp, on_fp) << "metrics moved the batch fingerprint, seed "
                              << seed;
   }
+}
+
+// Pins the quantile estimator on a known distribution: 100 samples uniform
+// over (0, 100] in a histogram with bounds {10, 20, ..., 100} put exactly 10
+// samples in each bucket, so every quantile interpolates to q * 100.
+TEST(ObsMetricsTest, QuantileInterpolationOnUniformDistribution) {
+  ScopedMetricsEnabled on(true);
+  std::vector<uint64_t> bounds;
+  for (uint64_t b = 10; b <= 100; b += 10) bounds.push_back(b);
+  obs::Histogram h(bounds);
+  for (uint64_t v = 1; v <= 100; ++v) h.Observe(v);
+
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 100.0);
+  // Rank 25 sits midway through the (20, 30] bucket.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 25.0);
+
+  // Degenerate cases: empty histogram reports 0; a rank landing in the +Inf
+  // bucket saturates at the highest finite bound.
+  obs::Histogram empty({10});
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+  obs::Histogram inf({10});
+  inf.Observe(5000);
+  EXPECT_DOUBLE_EQ(inf.Quantile(0.99), 10.0);
+}
+
+TEST(ObsMetricsTest, ObserveAlwaysBypassesTheGlobalGate) {
+  ScopedMetricsEnabled off(false);
+  obs::Histogram h({10, 100});
+  h.Observe(5);  // gated: dropped
+  h.ObserveAlways(5);
+  h.ObserveAlways(50);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.sum(), 55u);
+}
+
+TEST(ObsMetricsTest, LogBucketsAreStrictlyIncreasingAndCoverRange) {
+  std::vector<uint64_t> b = obs::LogBuckets(1, 10'000'000, 8);
+  ASSERT_GE(b.size(), 2u);
+  EXPECT_EQ(b.front(), 1u);
+  EXPECT_GE(b.back(), 10'000'000u);
+  for (size_t i = 1; i < b.size(); ++i) EXPECT_GT(b[i], b[i - 1]) << i;
+  // The load-harness bounds are exactly these over 1us..10s.
+  EXPECT_EQ(obs::LoadLatencyBucketsUs(), obs::LogBuckets(1, 10'000'000, 8));
+}
+
+// Exporter conformance: for every histogram family in the exposition, the
+// `+Inf` bucket must be present, cumulative, and equal to `_count`, and a
+// `_sum` line must exist — the invariants Prometheus scrapers assume.
+TEST(ObsMetricsTest, PrometheusHistogramSeriesAreInternallyConsistent) {
+  ScopedMetricsEnabled on(true);
+  obs::MetricsRegistry reg;
+  obs::Histogram* a = reg.GetHistogram("t_a_us", "a", {10, 100});
+  a->Observe(1);
+  a->Observe(99);
+  a->Observe(12345);
+  obs::Histogram* b =
+      reg.GetHistogram("t_b_us", "b", obs::LoadLatencyBucketsUs());
+  for (uint64_t v : {3u, 70u, 900u, 44'000u}) b->Observe(v);
+  reg.GetHistogram("t_empty_us", "never observed", {10});
+
+  std::istringstream lines(reg.PrometheusText());
+  std::map<std::string, uint64_t> inf_bucket, count, last_bucket;
+  std::set<std::string> has_sum, histogram_families;
+  for (std::string line; std::getline(lines, line);) {
+    if (line.rfind("# TYPE ", 0) == 0 &&
+        line.find(" histogram") != std::string::npos) {
+      std::string fam = line.substr(7, line.find(' ', 7) - 7);
+      histogram_families.insert(fam);
+      continue;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    uint64_t value = std::stoull(line.substr(space + 1));
+    std::string series = line.substr(0, space);
+    size_t brace = series.find('{');
+    std::string name = series.substr(0, brace);
+    if (name.size() > 7 && name.rfind("_bucket") == name.size() - 7) {
+      std::string fam = name.substr(0, name.size() - 7);
+      if (series.find("le=\"+Inf\"") != std::string::npos) {
+        inf_bucket[fam] = value;
+      } else {
+        // Exposition order is cumulative: each bucket >= the previous.
+        EXPECT_GE(value, last_bucket[fam]) << line;
+        last_bucket[fam] = value;
+      }
+    } else if (name.size() > 6 && name.rfind("_count") == name.size() - 6) {
+      count[name.substr(0, name.size() - 6)] = value;
+    } else if (name.size() > 4 && name.rfind("_sum") == name.size() - 4) {
+      has_sum.insert(name.substr(0, name.size() - 4));
+    }
+  }
+  ASSERT_GE(histogram_families.size(), 3u);
+  for (const std::string& fam : histogram_families) {
+    ASSERT_TRUE(inf_bucket.count(fam)) << fam << " missing +Inf bucket";
+    ASSERT_TRUE(count.count(fam)) << fam << " missing _count";
+    EXPECT_EQ(inf_bucket[fam], count[fam]) << fam;
+    EXPECT_GE(inf_bucket[fam], last_bucket[fam]) << fam;
+    EXPECT_TRUE(has_sum.count(fam)) << fam << " missing _sum";
+  }
+  EXPECT_EQ(inf_bucket["t_a_us"], 3u);
+  EXPECT_EQ(inf_bucket["t_empty_us"], 0u);
+}
+
+TEST(ObsMetricsTest, JsonAndQuantileTextCarryQuantiles) {
+  ScopedMetricsEnabled on(true);
+  obs::MetricsRegistry reg;
+  obs::Histogram* h = reg.GetHistogram("t_q_us", "q", {10, 100, 1000});
+  for (uint64_t v = 1; v <= 100; ++v) h->Observe(v);
+
+  std::string json = reg.JsonText();
+  EXPECT_NE(json.find("\"p50\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  // Compact mode: a single line, machine-parseable in NDJSON contexts.
+  std::string compact = reg.JsonText(/*compact=*/true);
+  EXPECT_EQ(compact.find('\n'), std::string::npos);
+  EXPECT_EQ(compact.find(' '), std::string::npos);
+
+  std::string quant = reg.QuantileText();
+  EXPECT_NE(quant.find("t_q_us"), std::string::npos) << quant;
+  EXPECT_NE(quant.find("p99"), std::string::npos);
 }
 
 // Enabled instrumentation actually counts: a pipeline run with metrics on

@@ -44,9 +44,62 @@ TEST(TraceStatsTest, CountsHandBuiltTrace) {
   EXPECT_DOUBLE_EQ(stats.mean_commit_latency, (2 + 12) / 2.0);
   EXPECT_EQ(stats.max_commit_latency, 12u);
 
+  // Per-depth action counts: t1's four actions land at depth 1, the ten
+  // access-lifecycle actions at depth 2, nothing at T0's depth 0.
+  EXPECT_EQ(stats.actions_by_depth[1], 4u);
+  EXPECT_EQ(stats.actions_by_depth[2], 10u);
+  EXPECT_EQ(stats.actions_by_depth.count(0), 0u);
+  size_t depth_total = 0;
+  for (const auto& [d, n] : stats.actions_by_depth) {
+    (void)d;
+    depth_total += n;
+  }
+  EXPECT_EQ(depth_total, beta.size());
+
+  // Class mix mirrors per-object traffic aggregated by object type.
+  EXPECT_EQ(stats.object_class_mix[ObjectType::kReadWrite].updates, 1u);
+  EXPECT_EQ(stats.object_class_mix[ObjectType::kReadWrite].observers, 1u);
+  EXPECT_EQ(stats.object_class_mix.size(), 1u);
+
   std::string rendered = stats.ToString(type);
   EXPECT_NE(rendered.find("object traffic"), std::string::npos);
   EXPECT_NE(rendered.find("X"), std::string::npos);
+  EXPECT_NE(rendered.find("actions by depth"), std::string::npos);
+  EXPECT_NE(rendered.find("object class mix"), std::string::npos);
+}
+
+// The class mix aggregates across all objects of a class and keeps classes
+// separate — the figure that says how commutativity-friendly a workload is.
+TEST(TraceStatsTest, ObjectClassMixAggregatesAcrossObjects) {
+  SystemType type;
+  ObjectId c0 = type.AddObject(ObjectType::kCounter, "c0", 0);
+  ObjectId c1 = type.AddObject(ObjectType::kCounter, "c1", 0);
+  ObjectId s = type.AddObject(ObjectType::kSet, "s", 0);
+  TxName t1 = type.NewChild(kT0);
+  TxName inc = type.NewAccess(t1, AccessSpec{c0, OpCode::kIncrement, 1});
+  TxName red = type.NewAccess(t1, AccessSpec{c1, OpCode::kCounterRead, 0});
+  TxName add = type.NewAccess(t1, AccessSpec{s, OpCode::kAdd, 3});
+
+  Trace beta = {Action::RequestCreate(t1), Action::Create(t1)};
+  for (TxName a : {inc, red, add}) {
+    beta.push_back(Action::RequestCreate(a));
+    beta.push_back(Action::Create(a));
+    beta.push_back(Action::RequestCommit(a, Value::Ok()));
+    beta.push_back(Action::Commit(a));
+    beta.push_back(Action::ReportCommit(a, Value::Ok()));
+  }
+  beta.push_back(Action::RequestCommit(t1, Value::Ok()));
+  beta.push_back(Action::Commit(t1));
+
+  TraceStats stats = ComputeTraceStats(type, beta);
+  EXPECT_EQ(stats.object_class_mix[ObjectType::kCounter].updates, 1u);
+  EXPECT_EQ(stats.object_class_mix[ObjectType::kCounter].observers, 1u);
+  EXPECT_EQ(stats.object_class_mix[ObjectType::kSet].updates, 1u);
+  EXPECT_EQ(stats.object_class_mix[ObjectType::kSet].observers, 0u);
+  EXPECT_EQ(stats.object_class_mix.count(ObjectType::kReadWrite), 0u);
+  // The per-class totals equal the per-object totals.
+  EXPECT_EQ(stats.per_object[c0].updates + stats.per_object[c1].updates,
+            stats.object_class_mix[ObjectType::kCounter].updates);
 }
 
 TEST(TraceStatsTest, ConsistentWithSimStats) {

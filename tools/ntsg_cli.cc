@@ -33,6 +33,22 @@
 //                                 to the opposite, or --format forces one);
 //                                 the output is re-read and verified against
 //                                 the input before reporting success
+//   ntsg load  [options]          open-loop load harness: generate an
+//                                 application workload (--workload bank |
+//                                 tpcc | commute), schedule its actions at
+//                                 --rate actions per virtual second
+//                                 (--arrival poisson | fixed), and drive the
+//                                 chosen certifier (--certifier batch |
+//                                 incremental | sharded | all; "all" demands
+//                                 verdict agreement). Reports admission-
+//                                 latency quantiles (p50/p95/p99/p999);
+//                                 --timeline-out FILE streams a per-epoch
+//                                 NDJSON timeline (--epochs windows;
+//                                 deterministic core fields only, unless
+//                                 --timeline-wallclock adds quantiles, queue
+//                                 depths, and a metrics snapshot); --sweep
+//                                 steps the offered rate until the latency
+//                                 knees and reports saturation throughput
 //   ntsg isolate <trace-file>     check a saved behavior against the whole
 //                                 isolation spectrum (read committed, read
 //                                 atomic, snapshot isolation, serializable)
@@ -97,6 +113,24 @@
 //                     on a nonzero exit or an injected crash, dump the last
 //                     N events per thread to stderr
 //   --quiet           suppress the per-event trace dump
+//
+// Load-harness options (ntsg load; --objects is the workload scale,
+// --toplevel / --retries / --seed shape the generated transactions):
+//   --workload NAME   bank | tpcc | commute                        [bank]
+//   --rate R          offered rate, actions per virtual second     [50000]
+//   --arrival NAME    poisson | fixed inter-arrival times          [poisson]
+//   --epochs N        timeline epochs over the schedule span       [10]
+//   --certifier NAME  batch | incremental | sharded | all          [incremental]
+//   --timeline-out F  stream the per-epoch NDJSON timeline to F
+//                     (with --certifier all: F.<mode> per mode)
+//   --timeline-wallclock  add latency quantiles, queue depth, and a metrics
+//                     snapshot to each timeline record (wall-clock fields —
+//                     byte-determinism holds only without them)
+//   --no-pace         admit back-to-back instead of pacing arrivals to the
+//                     wall clock (virtual-time bookkeeping is unchanged)
+//   --sweep           saturation sweep: double the rate until p99 knees
+//   --sweep-steps N   sweep rate steps                             [6]
+//   --knee-us X       sweep p99 knee threshold in microseconds     [5000]
 
 #include <cstring>
 #include <filesystem>
@@ -108,6 +142,8 @@
 
 #include "checker/witness.h"
 #include "common/strict_parse.h"
+#include "load/load_gen.h"
+#include "load/workloads.h"
 #include "fault/fault_plan.h"
 #include "iso/checker.h"
 #include "iso/incremental_iso.h"
@@ -176,6 +212,21 @@ struct CliOptions {
   bool format_set = false;  // explicit --format (forces reader + writer)
   seg::Codec codec = seg::Codec::kRaw;
   std::string wal_dir;      // certify/chaos --shards: segment WAL directory
+
+  // load command.
+  load::Workload workload = load::Workload::kBank;
+  double rate = 50'000.0;
+  bool poisson = true;
+  size_t epochs = 10;
+  load::CertMode cert_mode = load::CertMode::kIncremental;
+  bool cert_all = false;      // --certifier all: run every mode, demand
+                              // verdict agreement
+  bool sweep_rates = false;   // --sweep: saturation sweep mode
+  size_t sweep_steps = 6;
+  double knee_us = 5'000.0;
+  std::string timeline_out;
+  bool timeline_wallclock = false;
+  bool no_pace = false;
 };
 
 // Set by commands that know the SystemType so trace exporters and the
@@ -256,7 +307,7 @@ bool ParseType(const std::string& name, ObjectType* out) {
 int Usage() {
   std::cerr << "usage: ntsg "
                "run|audit|certify|sweep|chaos|stats|explain|trace|isolate|"
-               "convert"
+               "convert|load"
                " [options]  (see tools/ntsg_cli.cc header for the full "
                "list)\n";
   return kExitUsage;
@@ -472,6 +523,83 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
     } else if (a == "--wal") {
       if (!(v = need(a.c_str()))) return false;
       opt->wal_dir = v;
+    } else if (a == "--workload" || a.rfind("--workload=", 0) == 0) {
+      std::string name = a == "--workload"
+                             ? ((v = need("--workload")) ? v : "")
+                             : a.substr(std::strlen("--workload="));
+      if (!load::ParseWorkload(name, &opt->workload)) {
+        std::cerr << "--workload must be bank, tpcc, or commute\n";
+        return false;
+      }
+    } else if (a == "--rate" || a.rfind("--rate=", 0) == 0) {
+      std::string val = a == "--rate" ? ((v = need("--rate")) ? v : "")
+                                      : a.substr(std::strlen("--rate="));
+      if (!ParseDoubleFlag("--rate", val, &opt->rate) || opt->rate <= 0) {
+        std::cerr << "--rate requires a positive rate\n";
+        return false;
+      }
+    } else if (a == "--arrival" || a.rfind("--arrival=", 0) == 0) {
+      std::string name = a == "--arrival" ? ((v = need("--arrival")) ? v : "")
+                                          : a.substr(std::strlen("--arrival="));
+      if (name == "poisson") {
+        opt->poisson = true;
+      } else if (name == "fixed") {
+        opt->poisson = false;
+      } else {
+        std::cerr << "--arrival must be poisson or fixed\n";
+        return false;
+      }
+    } else if (a == "--epochs" || a.rfind("--epochs=", 0) == 0) {
+      std::string val = a == "--epochs" ? ((v = need("--epochs")) ? v : "")
+                                        : a.substr(std::strlen("--epochs="));
+      if (!ParseCountFlag("--epochs", val, &opt->epochs) ||
+          opt->epochs == 0) {
+        std::cerr << "--epochs requires a positive count\n";
+        return false;
+      }
+    } else if (a == "--certifier" || a.rfind("--certifier=", 0) == 0) {
+      std::string name = a == "--certifier"
+                             ? ((v = need("--certifier")) ? v : "")
+                             : a.substr(std::strlen("--certifier="));
+      if (name == "all") {
+        opt->cert_all = true;
+      } else if (!load::ParseCertMode(name, &opt->cert_mode)) {
+        std::cerr << "--certifier must be batch, incremental, sharded, or "
+                     "all\n";
+        return false;
+      }
+    } else if (a == "--sweep") {
+      opt->sweep_rates = true;
+    } else if (a == "--sweep-steps" || a.rfind("--sweep-steps=", 0) == 0) {
+      std::string val = a == "--sweep-steps"
+                            ? ((v = need("--sweep-steps")) ? v : "")
+                            : a.substr(std::strlen("--sweep-steps="));
+      if (!ParseCountFlag("--sweep-steps", val, &opt->sweep_steps) ||
+          opt->sweep_steps == 0) {
+        std::cerr << "--sweep-steps requires a positive count\n";
+        return false;
+      }
+    } else if (a == "--knee-us" || a.rfind("--knee-us=", 0) == 0) {
+      std::string val = a == "--knee-us" ? ((v = need("--knee-us")) ? v : "")
+                                         : a.substr(std::strlen("--knee-us="));
+      if (!ParseDoubleFlag("--knee-us", val, &opt->knee_us) ||
+          opt->knee_us <= 0) {
+        std::cerr << "--knee-us requires a positive threshold\n";
+        return false;
+      }
+    } else if (a == "--timeline-out" || a.rfind("--timeline-out=", 0) == 0) {
+      std::string val = a == "--timeline-out"
+                            ? ((v = need("--timeline-out")) ? v : "")
+                            : a.substr(std::strlen("--timeline-out="));
+      if (val.empty()) {
+        std::cerr << "--timeline-out requires an argument\n";
+        return false;
+      }
+      opt->timeline_out = val;
+    } else if (a == "--timeline-wallclock") {
+      opt->timeline_wallclock = true;
+    } else if (a == "--no-pace") {
+      opt->no_pace = true;
     } else {
       std::cerr << "unknown option " << a << "\n";
       return false;
@@ -481,7 +609,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
          opt->command == "certify" || opt->command == "sweep" ||
          opt->command == "chaos" || opt->command == "stats" ||
          opt->command == "explain" || opt->command == "trace" ||
-         opt->command == "isolate" || opt->command == "convert";
+         opt->command == "isolate" || opt->command == "convert" ||
+         opt->command == "load";
 }
 
 // Readers sniff the on-disk format; an explicit --format instead forces that
@@ -843,7 +972,8 @@ int CmdStats(const CliOptions& opt) {
             << " concurrent=" << (pipe.ok() ? "ok" : "rejected") << "\n";
 
   if (opt.metrics_out.empty()) {
-    std::cout << obs::MetricsRegistry::Default().PrometheusText();
+    std::cout << obs::MetricsRegistry::Default().QuantileText()
+              << obs::MetricsRegistry::Default().PrometheusText();
     return kExitOk;
   }
   Status st = obs::MetricsRegistry::Default().WriteSnapshot(opt.metrics_out);
@@ -853,6 +983,136 @@ int CmdStats(const CliOptions& opt) {
   }
   std::cout << "wrote " << opt.metrics_out << "\n";
   return kExitOk;
+}
+
+// Open-loop load harness: generates one application workload, schedules its
+// actions at the offered rate, and drives the chosen certifier mode(s),
+// reporting admission-latency quantiles, the per-epoch timeline, and (with
+// --sweep) the saturation throughput. With --certifier all, every generated
+// workload must certify with the same verdict across batch / incremental /
+// sharded — disagreement exits 3 like certify's cross-checks.
+int CmdLoad(const CliOptions& opt) {
+  if (opt.objects < 2) {
+    std::cerr << "load requires --objects >= 2 (the workload scale)\n";
+    return kExitUsage;
+  }
+  load::WorkloadParams wp;
+  wp.workload = opt.workload;
+  wp.scale = opt.objects;
+  wp.toplevel = opt.toplevel;
+  wp.retries = opt.retries;
+  wp.seed = opt.seed;
+  load::WorkloadInstance wl = load::BuildWorkload(wp);
+  std::cout << "workload=" << load::WorkloadName(wp.workload)
+            << " seed=" << opt.seed << " events=" << wl.trace.size()
+            << " committed=" << wl.stats.toplevel_committed
+            << " aborted=" << wl.stats.toplevel_aborted << "\n";
+
+  std::vector<load::CertMode> modes;
+  if (opt.cert_all) {
+    modes = {load::CertMode::kBatch, load::CertMode::kIncremental,
+             load::CertMode::kSharded};
+  } else {
+    modes = {opt.cert_mode};
+  }
+
+  auto base_options = [&](load::CertMode mode) {
+    load::LoadOptions lo;
+    lo.rate = opt.rate;
+    lo.poisson = opt.poisson;
+    lo.arrival_seed = opt.seed;  // one schedule shared by every mode
+    lo.epochs = opt.epochs;
+    lo.mode = mode;
+    lo.shards = opt.shards > 0 ? opt.shards : 4;
+    lo.gc_interval = opt.gc_interval;
+    lo.pace = !opt.no_pace;
+    return lo;
+  };
+
+  if (opt.sweep_rates) {
+    bool all_certified = true;
+    for (load::CertMode mode : modes) {
+      load::SweepOptions so;
+      so.base = base_options(mode);
+      so.max_steps = opt.sweep_steps;
+      so.knee_p99_us = opt.knee_us;
+      load::SweepReport sweep;
+      Status st = load::RunSaturationSweep(wl, so, &sweep);
+      if (!st.ok()) {
+        std::cerr << st.ToString() << "\n";
+        return kExitUsage;
+      }
+      std::cout << "sweep " << load::CertModeName(mode) << " (gc="
+                << opt.gc_interval << "):\n";
+      for (const load::SweepStep& step : sweep.steps) {
+        std::cout << "  offered=" << step.offered_rate
+                  << " achieved=" << step.achieved_rate
+                  << " p50=" << step.p50_us << "us p99=" << step.p99_us
+                  << "us" << (step.kneed ? "  <- knee" : "") << "\n";
+      }
+      std::cout << "  saturation=" << sweep.saturation_rate
+                << " actions/s, certified="
+                << (sweep.certified ? "yes" : "NO") << "\n";
+      all_certified = all_certified && sweep.certified;
+    }
+    return all_certified ? kExitOk : kExitCertificationFailed;
+  }
+
+  bool all_certified = true;
+  bool agree = true;
+  bool first = true;
+  bool first_verdict = false;
+  for (load::CertMode mode : modes) {
+    load::LoadOptions lo = base_options(mode);
+    if (!opt.timeline_out.empty()) {
+      // One timeline file per mode under --certifier all, so no mode
+      // overwrites another's epochs.
+      lo.timeline_path =
+          modes.size() == 1
+              ? opt.timeline_out
+              : opt.timeline_out + "." + load::CertModeName(mode);
+      lo.timeline_wallclock = opt.timeline_wallclock;
+    }
+    load::LoadReport report;
+    Status st = load::RunLoad(wl, lo, &report);
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return kExitUsage;
+    }
+    if (!report.timeline_status.ok()) {
+      std::cerr << report.timeline_status.ToString() << "\n";
+      return kExitUsage;
+    }
+    std::cout << load::CertModeName(mode) << ": "
+              << (report.certified ? "ok" : "REJECTED") << " actions="
+              << report.actions << " ops=" << report.ops
+              << " vtime=" << report.vtime_end_us << "us achieved="
+              << report.achieved_rate << "/s late=" << report.late_arrivals
+              << "\n  p50=" << report.p50_us << "us p95=" << report.p95_us
+              << "us p99=" << report.p99_us << "us p999=" << report.p999_us
+              << "us\n";
+    if (opt.gc_interval > 0 && mode != load::CertMode::kBatch) {
+      std::cout << "  gc: " << report.gc.retired_families
+                << " families retired in " << report.gc.runs
+                << " passes, watermark=" << report.gc.last_watermark << "\n";
+    }
+    if (!lo.timeline_path.empty()) {
+      std::cout << "  timeline: " << lo.timeline_path << " ("
+                << report.epochs_emitted << " epochs)\n";
+    }
+    all_certified = all_certified && report.certified;
+    if (first) {
+      first = false;
+      first_verdict = report.certified;
+    } else if (report.certified != first_verdict) {
+      agree = false;
+    }
+  }
+  if (!agree) {
+    std::cout << "DISAGREEMENT between certifier modes\n";
+    return kExitMismatch;
+  }
+  return all_certified ? kExitOk : kExitCertificationFailed;
 }
 
 // Certifies a saved behavior and explains the verdict: on rejection, the
@@ -1047,6 +1307,7 @@ int Dispatch(const CliOptions& opt) {
   if (opt.command == "explain") return CmdExplain(opt);
   if (opt.command == "trace") return CmdTrace(opt);
   if (opt.command == "isolate") return CmdIsolate(opt);
+  if (opt.command == "load") return CmdLoad(opt);
   return CmdSweep(opt);
 }
 
@@ -1077,6 +1338,11 @@ int main(int argc, char** argv) {
     return ntsg::kExitUsage;
   }
   if (!opt.trace_out.empty() && !ntsg::ValidateWritable(opt.trace_out)) {
+    return ntsg::kExitUsage;
+  }
+  // The timeline's real emitter(s) may write per-mode suffixed paths; the
+  // base-path probe still catches a bad directory before any load runs.
+  if (!opt.timeline_out.empty() && !ntsg::ValidateWritable(opt.timeline_out)) {
     return ntsg::kExitUsage;
   }
   if (!opt.metrics_out.empty() || opt.command == "stats") {
