@@ -75,6 +75,10 @@ class Sink {
 
   virtual ~Sink() = default;
   virtual void Admit(const Action& a) = 0;
+  /// Called when a timeline epoch closes, before EpochVerdict/EpochGc are
+  /// read: a batching sink flushes its buffer here so epoch records keep
+  /// reflecting every admitted action, batch size notwithstanding.
+  virtual void EpochBoundary() {}
   virtual const char* EpochVerdict() const = 0;
   virtual GcStats EpochGc() const = 0;
   virtual uint64_t QueueDepth() = 0;
@@ -105,23 +109,41 @@ class BatchSink : public Sink {
 
 class IncrementalSink : public Sink {
  public:
-  IncrementalSink(const SystemType& type, ConflictMode mode, size_t gc_interval)
-      : cert_(type, mode, GcOptions{gc_interval}) {}
+  IncrementalSink(const SystemType& type, ConflictMode mode, size_t gc_interval,
+                  size_t batch)
+      : cert_(type, mode, GcOptions{gc_interval}), batch_(batch) {}
 
-  void Admit(const Action& a) override { cert_.Ingest(a); }
+  void Admit(const Action& a) override {
+    if (batch_ <= 1) {
+      cert_.Ingest(a);
+      return;
+    }
+    buffer_.push_back(a);
+    if (buffer_.size() >= batch_) Flush();
+  }
+  void EpochBoundary() override { Flush(); }
   const char* EpochVerdict() const override {
     return cert_.verdict().ok() ? "ok" : "rejected";
   }
   GcStats EpochGc() const override { return cert_.gc_stats(); }
-  uint64_t QueueDepth() override { return 0; }
+  uint64_t QueueDepth() override { return buffer_.size(); }
 
   Final Finish() override {
+    Flush();
     IncrementalVerdict v = cert_.verdict();
     return Final{v.appropriate, v.acyclic, cert_.gc_stats()};
   }
 
  private:
+  void Flush() {
+    if (buffer_.empty()) return;
+    cert_.IngestBatch(std::span<const Action>(buffer_));
+    buffer_.clear();
+  }
+
   IncrementalCertifier cert_;
+  const size_t batch_;
+  std::vector<Action> buffer_;
 };
 
 class ShardedSink : public Sink {
@@ -151,11 +173,12 @@ std::unique_ptr<Sink> MakeSink(const WorkloadInstance& wl,
       return std::make_unique<BatchSink>(*wl.type, wl.mode);
     case CertMode::kIncremental:
       return std::make_unique<IncrementalSink>(*wl.type, wl.mode,
-                                               opt.gc_interval);
+                                               opt.gc_interval, opt.batch);
     case CertMode::kSharded: {
       ConcurrentIngestConfig config;
       config.num_shards = opt.shards;
       config.gc_interval = opt.gc_interval;
+      config.batch_max = opt.batch;
       return std::make_unique<ShardedSink>(*wl.type, wl.mode, config);
     }
   }
@@ -224,6 +247,7 @@ Status RunLoad(const WorkloadInstance& wl, const LoadOptions& opt,
   uint64_t ops = 0;
 
   auto emit_epoch = [&]() {
+    sink->EpochBoundary();
     if (timeline != nullptr) {
       obs::TimelineEpoch e;
       e.epoch = epoch_idx;

@@ -43,6 +43,13 @@ struct LoadOptions {
   size_t shards = 4;
   /// Commit-watermark GC interval for incremental/sharded; 0 = off.
   size_t gc_interval = 0;
+  /// >1 enables epoch-batched admission: the incremental sink buffers up to
+  /// this many actions and commits them with one IngestBatch (flushing at
+  /// every timeline epoch boundary and at Finish, so epoch verdicts stay
+  /// deterministic); the sharded sink passes it through as the workers'
+  /// batch_max (queue runs drained and committed per stripe in one batched
+  /// reorder). 0 or 1 = per-event. Verdicts are batching-independent.
+  size_t batch = 0;
   /// Sleep until each arrival's scheduled wall time (true measurement);
   /// false admits back-to-back and records pure service time — what the
   /// determinism tests use, since the virtual-time bookkeeping is identical

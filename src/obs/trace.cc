@@ -88,6 +88,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kGcLateEvent: return "gc_late_event";
     case TraceEventKind::kIsoLevelRejected: return "iso_level_rejected";
     case TraceEventKind::kIsoMinerHit: return "iso_miner_hit";
+    case TraceEventKind::kBatchCommit: return "batch_commit";
+    case TraceEventKind::kBatchBisect: return "batch_bisect";
   }
   return "unknown";
 }
@@ -124,6 +126,8 @@ TraceEventFieldInfo TraceEventFields(TraceEventKind kind) {
     case TraceEventKind::kGcRun:
     case TraceEventKind::kIsoLevelRejected:
     case TraceEventKind::kIsoMinerHit:
+    case TraceEventKind::kBatchCommit:
+    case TraceEventKind::kBatchBisect:
       return {false, false};
   }
   return {false, false};

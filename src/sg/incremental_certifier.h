@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -238,6 +239,27 @@ class IncrementalCertifier {
   void Ingest(const Action& a);
   void IngestTrace(const Trace& beta);
 
+  /// Epoch-batched admission: ingests the actions in order but defers every
+  /// serialization-graph insertion the batch produces, committing them with
+  /// ONE batched reorder pass (IncrementalTopoGraph::AddEdgesBatch) at the
+  /// end instead of one Pearce–Kelly pass per edge. Equivalent to calling
+  /// Ingest per action at every batch boundary: verdict, first_rejection_pos,
+  /// cycle witness, and graph fingerprint are byte-identical (the batch-
+  /// parity property test). Two guards keep that exact:
+  ///
+  ///   * a batch never spans a GC barrier — staged edges flush before every
+  ///     scheduled RunGc, so the collector always sees the live graph;
+  ///   * once the verdict is cyclic (final), remaining actions take the
+  ///     per-event path — there is nothing left to batch.
+  ///
+  /// On batch rejection the staged edges are replayed per-edge from the
+  /// start of the batch (the failed commit leaves the graph untouched), so
+  /// the exact first-rejecting action and its witness cycle are recovered.
+  void IngestBatch(std::span<const Action> batch);
+
+  /// IngestTrace in batches of `batch_size` actions (<=1 means per-event).
+  void IngestTraceBatched(const Trace& beta, size_t batch_size);
+
   /// Runs one retirement pass now (normally driven by the ingest counter).
   /// No-op when GC is disabled or the verdict has already gone not-OK (a
   /// cyclic verdict is final and the witness must stay intact).
@@ -310,6 +332,17 @@ class IncrementalCertifier {
     Value value;
   };
 
+  /// One deferred graph insertion: the edge plus the position of the action
+  /// whose processing produced it, so a rejected batch can map the first
+  /// cycle-closing edge back to its first-rejecting action.
+  struct StagedEdge {
+    TxName parent;
+    TxName from;
+    TxName to;
+    bool is_conflict;
+    uint64_t action_pos;
+  };
+
   void FireItem(const VisibilityTracker::Item& item);
   void DropItem(const VisibilityTracker::Item& item);
   void ActivateOp(uint64_t pos, TxName tx, const Value& v);
@@ -318,6 +351,18 @@ class IncrementalCertifier {
   void EmitPrecedes(TxName parent, TxName from, TxName to);
   void AddGraphEdge(TxName parent, TxName from, TxName to, bool is_conflict);
   void NoteVerdict();
+  /// Ingest minus the per-action verdict/GC tail — the shared body of the
+  /// per-event and batched paths. Returns false when the action named a
+  /// retired family and was dropped: the position is consumed, but the
+  /// verdict/GC tail must NOT run for it (a dropped event is invisible, so
+  /// it cannot trigger a collection pass — the retirement schedule would
+  /// otherwise drift from a run that never saw the late event).
+  bool IngestAction(const Action& a);
+  /// Commits (or replays) the staged edges and reconciles the deferred
+  /// verdict: first_rejection_pos becomes the minimum of the first staged
+  /// illegal-values position and the first cycle-closing action, exactly
+  /// what per-event NoteVerdict would have latched.
+  void FlushBatch();
   ObjectIngestState& ObjectState(ObjectId x);
   /// Executes the retirement of `roots` (already sealed and
   /// predecessor-closed): graph nodes, frontier summaries, tracker state,
@@ -341,6 +386,19 @@ class IncrementalCertifier {
   GcOptions gc_;
   GcFamilyBook book_;
   GcStats gc_stats_;
+  /// Batched-admission state. Empty/false at every public-call boundary
+  /// except inside IngestBatch (FlushBatch always runs before it returns),
+  /// so copies taken between calls need not carry it.
+  bool batching_ = false;
+  std::vector<StagedEdge> staged_edges_;
+  std::optional<uint64_t> staged_illegal_pos_;
+  uint64_t batch_actions_ = 0;
+  /// Per-call scratch (cleared before each use) so the park/fire hot path
+  /// does zero heap allocation at steady state; never holds state across
+  /// calls and is deliberately not copied.
+  std::vector<VisibilityTracker::Item> fired_scratch_;
+  std::vector<VisibilityTracker::Item> dropped_scratch_;
+  std::vector<SiblingEdge> edge_scratch_;
 };
 
 }  // namespace ntsg

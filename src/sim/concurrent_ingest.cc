@@ -152,7 +152,8 @@ void ConcurrentIngestPipeline::Deliver(size_t shard, WorkItem item) {
 }
 
 void ConcurrentIngestPipeline::ApplyOp(Shard& shard, const WorkItem& item,
-                                       bool record_log) {
+                                       bool record_log,
+                                       std::vector<SiblingEdge>* staged) {
   if (record_log && faults_ != nullptr) shard.log.push_back(item);
   // A chaos-duplicated delivery can land after its family was retired (the
   // first delivery was applied pre-barrier; the duplicate sits behind the
@@ -193,7 +194,91 @@ void ConcurrentIngestPipeline::ApplyOp(Shard& shard, const WorkItem& item,
         RetiredScopeEdge(*shard.latest_retired, e)) {
       continue;
     }
-    InsertEdge(e, /*is_conflict=*/true);
+    if (staged != nullptr) {
+      staged->push_back(e);
+    } else {
+      InsertEdge(e, /*is_conflict=*/true);
+    }
+  }
+}
+
+void ConcurrentIngestPipeline::ApplyOpRun(Shard& shard, const WorkItem& first,
+                                          const std::vector<WorkItem>& rest) {
+  std::vector<SiblingEdge> staged;
+  ApplyOp(shard, first, /*record_log=*/true, &staged);
+  for (const WorkItem& item : rest) {
+    ApplyOp(shard, item, /*record_log=*/true, &staged);
+  }
+  obs::GetBatchMetrics().actions_batched->Inc(1 + rest.size());
+  obs::GetBatchMetrics().batch_size->Observe(
+      static_cast<double>(1 + rest.size()));
+  if (!staged.empty()) CommitEdgeBatch(staged);
+}
+
+void ConcurrentIngestPipeline::CommitEdgeBatch(
+    const std::vector<SiblingEdge>& staged) {
+  obs::GetBatchMetrics().edges_staged->Inc(staged.size());
+  // Group by stripe, preserving discovery order within each group; a run's
+  // edges usually concentrate on a few stripes, so scan the small stripe
+  // space rather than building a hash map per run.
+  std::vector<std::vector<const SiblingEdge*>> by_stripe(stripes_.size());
+  for (const SiblingEdge& e : staged) {
+    by_stripe[StripeOf(e.parent)].push_back(&e);
+  }
+  for (size_t s = 0; s < by_stripe.size(); ++s) {
+    if (by_stripe[s].empty()) continue;
+    Stripe& stripe = *stripes_[s];
+    std::unique_lock<std::mutex> lock(stripe.mu, std::defer_lock);
+    {
+      obs::SpanTimer span(obs::GetIngestMetrics().stripe_lock_wait_us);
+      lock.lock();
+    }
+    obs::SpanTimer commit_span(obs::GetBatchMetrics().commit_us);
+    // The per-stripe dedup set filters both live duplicates and recovery
+    // re-emissions, exactly as the per-event InsertEdge does.
+    std::vector<IncrementalTopoGraph::BatchEdge> fresh;
+    std::vector<const SiblingEdge*> fresh_src;
+    fresh.reserve(by_stripe[s].size());
+    for (const SiblingEdge* e : by_stripe[s]) {
+      if (!stripe.conflict_edges.Insert(*e)) continue;
+      fresh.push_back(IncrementalTopoGraph::BatchEdge{e->from, e->to});
+      fresh_src.push_back(e);
+    }
+    if (fresh.empty()) continue;
+    IncrementalTopoGraph::BatchAddResult r = stripe.graph.AddEdgesBatch(fresh);
+    if (r.ok) {
+      obs::GetBatchMetrics().batches_committed->Inc();
+      obs::GetBatchMetrics().edges_committed->Inc(r.fresh_edges);
+      obs::TraceEmit(obs::TraceEventKind::kBatchCommit, kT0,
+                     static_cast<uint32_t>(fresh.size()),
+                     static_cast<uint32_t>(r.fresh_edges), 0, r.region_nodes);
+      if (obs::TraceEnabled()) {
+        for (const SiblingEdge* e : fresh_src) {
+          obs::TraceEmit(obs::TraceEventKind::kEdgeInserted, e->parent,
+                         e->from, e->to, obs::kTraceFlagConflict);
+        }
+      }
+    } else {
+      // Some edge in this stripe batch closes a cycle. The failed commit
+      // left the stripe graph untouched; per-edge replay reproduces exactly
+      // what sequential InsertEdge calls would have done — inserts up to the
+      // rejection, the rejection event, and the acyclic_ flip.
+      obs::GetBatchMetrics().batches_bisected->Inc();
+      obs::TraceEmit(obs::TraceEventKind::kBatchBisect, kT0,
+                     static_cast<uint32_t>(fresh.size()), 0, 0, fresh.size());
+      for (const SiblingEdge* e : fresh_src) {
+        if (stripe.graph.AddEdge(e->from, e->to)) {
+          obs::TraceEmit(obs::TraceEventKind::kEdgeInserted, e->parent,
+                         e->from, e->to, obs::kTraceFlagConflict);
+        } else {
+          obs::TraceEmit(
+              obs::TraceEventKind::kEdgeRejected, e->parent, e->from, e->to,
+              static_cast<uint8_t>(obs::kTraceFlagConflict |
+                                   obs::kTraceFlagCycle));
+          acyclic_.store(false, std::memory_order_relaxed);
+        }
+      }
+    }
   }
 }
 
@@ -208,21 +293,40 @@ bool ConcurrentIngestPipeline::RetiredScopeEdge(
 void ConcurrentIngestPipeline::WorkerLoop(size_t shard_index) {
   Shard& shard = shards_[shard_index];
   ShardQueue& q = *shard.queue;
+  std::vector<WorkItem> run;  // batched-mode kOp run after the first item
   for (;;) {
     WorkItem item;
+    run.clear();
     {
       std::unique_lock<std::mutex> lock(q.mu);
       q.can_pop.wait(lock, [&] { return !q.items.empty() || q.closed; });
       if (q.items.empty()) return;  // closed and drained
       item = std::move(q.items.front());
       q.items.pop_front();
+      if (config_.batch_max > 1 && item.kind == WorkItem::Kind::kOp) {
+        // Drain the run of consecutive operations behind it, stopping at
+        // the first control item (crash/snapshot/GC): a batch never crosses
+        // a fault or GC boundary, and the control item keeps its slot at
+        // the queue head for the next pass.
+        while (run.size() + 1 < config_.batch_max && !q.items.empty() &&
+               q.items.front().kind == WorkItem::Kind::kOp) {
+          run.push_back(std::move(q.items.front()));
+          q.items.pop_front();
+        }
+      }
       shard.queue_depth->Set(static_cast<int64_t>(q.items.size()));
-      q.can_push.notify_one();
+      // A drained run can free many slots; wake all blocked pushers (in
+      // practice one router thread, so this is one wakeup either way).
+      q.can_push.notify_all();
     }
 
     switch (item.kind) {
       case WorkItem::Kind::kOp:
-        ApplyOp(shard, item, /*record_log=*/true);
+        if (run.empty()) {
+          ApplyOp(shard, item, /*record_log=*/true);
+        } else {
+          ApplyOpRun(shard, item, run);
+        }
         break;
       case WorkItem::Kind::kSnapshot:
         TakeSnapshot(shard);

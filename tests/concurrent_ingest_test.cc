@@ -127,6 +127,92 @@ TEST(ConcurrentIngestTest, StressManyShardsManyIterations) {
   }
 }
 
+// Epoch-batched admission in the workers: queue runs drained and committed
+// per stripe with one AddEdgesBatch reorder must land on the same verdict
+// and edge counts as per-event admission, for any batch_max — including
+// sizes larger than the queue capacity (runs clip at whatever is queued)
+// and with rejecting traces (batch replay-on-reject path).
+TEST(ConcurrentIngestTest, BatchedAdmissionAgreesWithPerEvent) {
+  size_t rejected = 0;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Backend backend = seed % 3 == 0 ? Backend::kDirtyReadMoss : Backend::kMoss;
+    QuickRunResult run = MakeRun(seed, 4, backend);
+    ASSERT_TRUE(run.sim.stats.completed);
+    for (size_t batch : {2u, 7u, 64u, 4096u}) {
+      for (size_t stripes : {1u, 8u}) {
+        ConcurrentIngestConfig config;
+        config.num_shards = 3;
+        config.num_stripes = stripes;
+        config.seed = seed;
+        config.batch_max = batch;
+        ExpectAgreesWithIncremental(*run.type, run.sim.trace,
+                                    ConflictMode::kReadWrite, config);
+        ConcurrentIngestReport report = ConcurrentIngestPipeline::Run(
+            *run.type, run.sim.trace, ConflictMode::kReadWrite, config);
+        if (!report.ok()) ++rejected;
+      }
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+}
+
+// Batches must not span GC barriers: with a GC interval and batching both
+// on, the retirement schedule, live-graph fingerprint, and verdict must be
+// exactly what the per-event pipeline produces at the same interval —
+// queue runs stop at kGcSync/kGcPrune control items, so every edge a GC
+// pass should see is committed before the barrier acks.
+TEST(ConcurrentIngestTest, BatchedAdmissionRespectsGcBarrier) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    QuickRunResult run = MakeRun(seed, 6, Backend::kMoss);
+    ASSERT_TRUE(run.sim.stats.completed);
+    ConcurrentIngestConfig config;
+    config.num_shards = 3;
+    config.seed = seed;
+    config.gc_interval = 32;
+    ConcurrentIngestReport per_event = ConcurrentIngestPipeline::Run(
+        *run.type, run.sim.trace, ConflictMode::kReadWrite, config);
+    for (size_t batch : {8u, 16u, 128u}) {
+      config.batch_max = batch;
+      ConcurrentIngestReport batched = ConcurrentIngestPipeline::Run(
+          *run.type, run.sim.trace, ConflictMode::kReadWrite, config);
+      EXPECT_EQ(batched.ok(), per_event.ok())
+          << "seed " << seed << " batch " << batch;
+      EXPECT_EQ(batched.retired_roots, per_event.retired_roots)
+          << "seed " << seed << " batch " << batch;
+      EXPECT_EQ(batched.graph_fingerprint, per_event.graph_fingerprint)
+          << "seed " << seed << " batch " << batch;
+      EXPECT_EQ(batched.gc.retired_families, per_event.gc.retired_families)
+          << "seed " << seed << " batch " << batch;
+    }
+  }
+}
+
+// TSan coverage for the batched path: maximum thread churn with runs
+// staged outside any lock and committed stripe-by-stripe. Must run
+// data-race-free under -DNTSG_SANITIZE=thread.
+TEST(ConcurrentIngestTest, StressBatchedManyShards) {
+  QuickRunResult run = MakeRun(13, 10, Backend::kMoss);
+  ASSERT_TRUE(run.sim.stats.completed);
+  for (uint64_t iter = 0; iter < 4; ++iter) {
+    for (ConflictMode mode :
+         {ConflictMode::kReadWrite, ConflictMode::kCommutativity}) {
+      ConcurrentIngestConfig config;
+      config.num_shards = 4;
+      config.num_stripes = 8;
+      config.seed = iter + 1;
+      config.queue_capacity = 8;
+      config.batch_max = 8;
+      ConcurrentIngestReport report = ConcurrentIngestPipeline::Run(
+          *run.type, run.sim.trace, mode, config);
+      IncrementalCertifier cert(*run.type, mode);
+      cert.IngestTrace(run.sim.trace);
+      ASSERT_EQ(report.ok(), cert.verdict().ok());
+      ASSERT_EQ(report.conflict_edge_count, cert.conflict_edge_count());
+      ASSERT_EQ(report.precedes_edge_count, cert.precedes_edge_count());
+    }
+  }
+}
+
 TEST(ConcurrentIngestTest, DestructorJoinsWithoutFinish) {
   QuickRunResult run = MakeRun(17, 3, Backend::kMoss);
   ConcurrentIngestConfig config;

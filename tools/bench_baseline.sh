@@ -24,6 +24,10 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
+# shellcheck source=tools/bench_common.sh
+source tools/bench_common.sh
+ntsg_bench_prepare bench_incremental_certifier bench_fault_overhead \
+  bench_obs_overhead bench_trace_overhead bench_sg_construction
 MIN_TIME="${NTSG_BENCH_MIN_TIME:-0.05}"
 REPS="${NTSG_BENCH_REPS:-5}"
 OUT="${1:-BENCH_baseline.json}"
@@ -62,7 +66,8 @@ if [[ ${#BENCHES[@]} -gt 0 ]]; then
     --slurpfile first "$workdir/${BENCHES[0]}.json" \
     '{schema: 1,
       min_time: ($min_time | tonumber),
-      context: ($first[0].context | del(.date, .executable)),
+      context: (($first[0].context | del(.date, .executable))
+                + {repo_build_type: env.NTSG_REPO_BUILD_TYPE}),
       benches: {}}' > "$workdir/merged.json"
   for bench in "${BENCHES[@]}"; do
     jq --arg name "$bench" --slurpfile doc "$workdir/$bench.json" \
@@ -96,7 +101,8 @@ echo "running bench_sg_construction SgBatch rows (reps=$REPS)..." >&2
 jq --arg reps "$REPS" \
   '{schema: 1,
     repetitions: ($reps | tonumber),
-    context: (.context | del(.date, .executable)),
+    context: ((.context | del(.date, .executable))
+              + {repo_build_type: env.NTSG_REPO_BUILD_TYPE}),
     benches: {bench_sg_construction:
       [.benchmarks[] | del(.family_index, .per_family_instance_index,
                            .run_name, .repetitions, .repetition_index,

@@ -22,6 +22,9 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
+# shellcheck source=tools/bench_common.sh
+source tools/bench_common.sh
+ntsg_bench_prepare bench_isolation
 MIN_TIME="${NTSG_BENCH_MIN_TIME:-0.05}"
 REPS="${NTSG_BENCH_REPS:-5}"
 OUT="${1:-BENCH_isolation.json}"
@@ -45,7 +48,8 @@ echo "running bench_isolation (reps=$REPS, min_time=$MIN_TIME)..." >&2
 jq --arg reps "$REPS" \
   '{schema: 1,
     repetitions: ($reps | tonumber),
-    context: (.context | del(.date, .executable)),
+    context: ((.context | del(.date, .executable))
+              + {repo_build_type: env.NTSG_REPO_BUILD_TYPE}),
     benches: {bench_isolation:
       [.benchmarks[] | del(.family_index, .per_family_instance_index,
                            .run_name, .repetitions, .repetition_index,

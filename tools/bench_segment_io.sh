@@ -23,6 +23,9 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
+# shellcheck source=tools/bench_common.sh
+source tools/bench_common.sh
+ntsg_bench_prepare bench_segment_io
 MIN_TIME="${NTSG_BENCH_MIN_TIME:-0.05}"
 REPS="${NTSG_BENCH_REPS:-5}"
 OUT="${1:-BENCH_segment_io.json}"
@@ -46,7 +49,8 @@ echo "running bench_segment_io (reps=$REPS, min_time=$MIN_TIME)..." >&2
 jq --arg reps "$REPS" \
   '{schema: 1,
     repetitions: ($reps | tonumber),
-    context: (.context | del(.date, .executable)),
+    context: ((.context | del(.date, .executable))
+              + {repo_build_type: env.NTSG_REPO_BUILD_TYPE}),
     benches: {bench_segment_io:
       [.benchmarks[] | del(.family_index, .per_family_instance_index,
                            .run_name, .repetitions, .repetition_index,

@@ -9,7 +9,14 @@ baseline document and fails when
     (default 15%) relative to the baseline median, or
   * the naive/fast median ratio on the skewed workload (BM_SgBatchNaive/110
     vs BM_SgBatchFast/110) fell below --min-speedup (default 3.0) in the
-    candidate run.
+    candidate run, or
+  * either document was produced from a Debug build of the repo
+    (context.repo_build_type, stamped by the bench_*.sh regenerators):
+    -O0 medians are meaningless as a perf anchor, so the gate refuses
+    rather than comparing them. A debug-built Google Benchmark *library*
+    (context.library_build_type) only warns — it biases the harness's
+    timer overhead, not the measured code, and is fixed by whatever the
+    system package shipped.
 
 Both documents must carry aggregate rows (bench_baseline.sh runs the
 fast-path benches with repetitions). Medians are compared after normalizing
@@ -25,10 +32,13 @@ import sys
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
-def load_medians(path):
-    """Returns {benchmark name -> median real_time in ns} for one document."""
+def load_doc(path):
     with open(path) as f:
-        doc = json.load(f)
+        return json.load(f)
+
+
+def load_medians(doc):
+    """Returns {benchmark name -> median real_time in ns} for one document."""
     medians = {}
     for rows in doc.get("benches", {}).values():
         for row in rows:
@@ -39,6 +49,29 @@ def load_medians(path):
                 name = name[: -len("_median")]
             medians[name] = row["real_time"] * _UNIT_NS[row["time_unit"]]
     return medians
+
+
+def check_build_type(path, doc):
+    """Refuses Debug-repo snapshots; warns on a debug timing library.
+
+    Returns an error string for refusal, None when acceptable.
+    """
+    context = doc.get("context", {})
+    repo = context.get("repo_build_type")
+    if repo is not None and repo.lower() == "debug":
+        return (f"{path}: snapshot was produced from a Debug repo build "
+                "(context.repo_build_type) — regenerate with "
+                "tools/bench_*.sh, which configure Release")
+    if repo is None:
+        print(f"warning: {path} carries no repo_build_type stamp (predates "
+              "the bench_common.sh guard); cannot verify it was an "
+              "optimized build", file=sys.stderr)
+    if context.get("library_build_type") == "debug":
+        print(f"warning: {path} was timed against a debug-built Google "
+              "Benchmark library (context.library_build_type); harness "
+              "overhead is inflated — read deltas, not absolutes",
+              file=sys.stderr)
+    return None
 
 
 def main():
@@ -53,8 +86,17 @@ def main():
     parser.add_argument("--speedup-fast", default="BM_SgBatchFast/110")
     args = parser.parse_args()
 
-    baseline = load_medians(args.baseline)
-    candidate = load_medians(args.candidate)
+    baseline_doc = load_doc(args.baseline)
+    candidate_doc = load_doc(args.candidate)
+    for path, doc in ((args.baseline, baseline_doc),
+                      (args.candidate, candidate_doc)):
+        refusal = check_build_type(path, doc)
+        if refusal is not None:
+            print(f"error: {refusal}", file=sys.stderr)
+            return 2
+
+    baseline = load_medians(baseline_doc)
+    candidate = load_medians(candidate_doc)
     if not baseline:
         print(f"error: no median rows in {args.baseline}", file=sys.stderr)
         return 2

@@ -92,6 +92,15 @@
 //                     (which then streams with bounded memory), --online,
 //                     and --shards; prints families/nodes retired and ops
 //                     pruned. Metrics land in the ntsg_gc_* families.
+//   --batch[=N]       certify --online / stats / load: epoch-batched
+//                     admission — stage up to N actions' edges and commit
+//                     them with one topological recompute (bare --batch
+//                     uses N=256; 0/1 = per-event). Verdicts, witness
+//                     cycles, and explain
+//                     output are byte-identical to per-event admission; a
+//                     rejected batch is replayed per-edge to recover the
+//                     exact first-rejecting action. Batches never span a GC
+//                     barrier. Metrics land in the ntsg_batch_* families.
 //   --shards N        certify/stats: parallelize the batch SG build across N
 //                     workers and also run the concurrent pipeline;
 //                     chaos: pipeline width                    [0 / chaos: 4]
@@ -128,6 +137,8 @@
 //                     byte-determinism holds only without them)
 //   --no-pace         admit back-to-back instead of pacing arrivals to the
 //                     wall clock (virtual-time bookkeeping is unchanged)
+//   --batch[=N]       epoch-batched admission in the incremental / sharded
+//                     sinks (see common options above)
 //   --sweep           saturation sweep: double the rate until p99 knees
 //   --sweep-steps N   sweep rate steps                             [6]
 //   --knee-us X       sweep p99 knee threshold in microseconds     [5000]
@@ -184,6 +195,7 @@ struct CliOptions {
   bool online = false;
   size_t shards = 0;
   size_t gc_interval = 0;
+  size_t batch = 0;  // --batch[=N]: epoch-batched admission (0/1 = per-event)
   Backend backend = Backend::kMoss;
   size_t objects = 4;
   ObjectType object_type = ObjectType::kReadWrite;
@@ -441,6 +453,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
                           &opt->gc_interval) ||
           opt->gc_interval == 0) {
         std::cerr << "--gc requires a positive interval\n";
+        return false;
+      }
+    } else if (a == "--batch") {
+      opt->batch = 256;
+    } else if (a.rfind("--batch=", 0) == 0) {
+      if (!ParseCountFlag("--batch", a.substr(std::strlen("--batch=")),
+                          &opt->batch) ||
+          opt->batch == 0) {
+        std::cerr << "--batch requires a positive size\n";
         return false;
       }
     } else if (a == "--shards") {
@@ -772,7 +793,11 @@ int CmdCertify(const CliOptions& opt) {
     GcOptions gc;
     gc.interval = opt.gc_interval;
     IncrementalCertifier cert(type, mode, gc);
-    cert.IngestTrace(beta);
+    if (opt.batch > 1) {
+      cert.IngestTraceBatched(beta, opt.batch);
+    } else {
+      cert.IngestTrace(beta);
+    }
     IncrementalVerdict v = cert.verdict();
     std::cout << "incremental: "
               << (v.ok() ? "ok"
@@ -792,6 +817,17 @@ int CmdCertify(const CliOptions& opt) {
                 << " ops pruned in " << g.runs << " passes; "
                 << cert.live_node_count() << " live nodes remain\n";
     }
+    if (opt.batch > 1) {
+      std::cout << "batching:    " << opt.batch << " actions per batch";
+      if (obs::MetricsEnabled()) {
+        const obs::BatchMetrics& bm = obs::GetBatchMetrics();
+        std::cout << "; " << bm.batches_committed->value() << " committed, "
+                  << bm.batches_bisected->value() << " replayed per-edge ("
+                  << bm.edges_committed->value() << " of "
+                  << bm.edges_staged->value() << " staged edges fresh)";
+      }
+      std::cout << "\n";
+    }
     agree = agree && v.ok() == batch.status.ok();
   }
   if (opt.shards > 0) {
@@ -799,6 +835,7 @@ int CmdCertify(const CliOptions& opt) {
     config.num_shards = opt.shards;
     config.seed = opt.seed;
     config.gc_interval = opt.gc_interval;
+    config.batch_max = opt.batch;
     config.wal_dir = opt.wal_dir;
     ConcurrentIngestReport report =
         ConcurrentIngestPipeline::Run(type, beta, mode, config);
@@ -958,10 +995,15 @@ int CmdStats(const CliOptions& opt) {
       CertifySeriallyCorrect(*out.type, out.sim.trace, mode,
                              CertifyOptions{opt.shards > 0 ? opt.shards : 1});
   IncrementalCertifier cert(*out.type, mode);
-  cert.IngestTrace(out.sim.trace);
+  if (opt.batch > 1) {
+    cert.IngestTraceBatched(out.sim.trace, opt.batch);
+  } else {
+    cert.IngestTrace(out.sim.trace);
+  }
   ConcurrentIngestConfig config;
   config.num_shards = opt.shards > 0 ? opt.shards : 4;
   config.seed = opt.seed;
+  config.batch_max = opt.batch;
   ConcurrentIngestReport pipe =
       ConcurrentIngestPipeline::Run(*out.type, out.sim.trace, mode, config);
 
@@ -1025,6 +1067,7 @@ int CmdLoad(const CliOptions& opt) {
     lo.mode = mode;
     lo.shards = opt.shards > 0 ? opt.shards : 4;
     lo.gc_interval = opt.gc_interval;
+    lo.batch = opt.batch;
     lo.pace = !opt.no_pace;
     return lo;
   };
